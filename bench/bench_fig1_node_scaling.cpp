@@ -1,0 +1,149 @@
+// Figure 1 + Sect. 4.1.1-4.1.3 tables: node-level speedup, DP / DP-AVX
+// performance, parallel efficiencies, acceleration factors, vectorization.
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+struct AppSeries {
+  std::map<int, core::RunResult> by_p;  // sweep point -> result
+};
+
+std::map<std::string, AppSeries> sweep_cluster(const mach::ClusterSpec& cl) {
+  std::map<std::string, AppSeries> out;
+  for (const auto& e : core::suite()) {
+    auto app = make_fast_app(e.info.name, core::Workload::kTiny);
+    AppSeries s;
+    for (int p : node_sweep(cl.cores_per_node()))
+      s.by_p.emplace(p, core::run_benchmark(*app, cl, p));
+    out.emplace(e.info.name, std::move(s));
+  }
+  return out;
+}
+
+void print_cluster(const mach::ClusterSpec& cl,
+                   const std::map<std::string, AppSeries>& data) {
+  const int cpn = cl.cores_per_node();
+  const int cpd = cl.cpu.cores_per_domain();
+
+  section("Fig. 1 (" + cl.name + "): speedup vs processes (baseline 1 rank)");
+  std::vector<std::string> header{"p"};
+  for (const auto& [name, s] : data) header.push_back(name);
+  perf::Table t(header);
+  for (int p : node_sweep(cpn)) {
+    // Dense inside the first ccNUMA domain (the Fig. 1 inset), domain
+    // boundaries and a few interior points beyond.
+    const bool fluctuating = true;  // fluctuating codes need every point
+    (void)fluctuating;
+    if (p > cpd && p % 2 != 0 && p != cpn && p % cpd != 0) continue;
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& [name, s] : data) {
+      const double t1 = s.by_p.at(1).seconds_per_step();
+      row.push_back(perf::Table::num(t1 / s.by_p.at(p).seconds_per_step(), 2));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  section("Fig. 1(b-c/e-f) (" + cl.name +
+          "): full-node DP and DP-AVX performance");
+  perf::Table tp({"app", "DP [Gflop/s]", "DP-AVX [Gflop/s]", "vect. ratio"});
+  for (const auto& [name, s] : data) {
+    const auto& m = s.by_p.at(cpn).metrics();
+    tp.add_row({name, perf::Table::num(m.performance() / 1e9, 0),
+                perf::Table::num(m.performance_simd() / 1e9, 0),
+                perf::Table::num(m.vectorization_ratio(), 3)});
+  }
+  tp.print(std::cout);
+
+  section("Sect. 4.1.1 (" + cl.name +
+          "): parallel efficiency across ccNUMA domains [%]");
+  expectation(cl.name == "ClusterA"
+                  ? "lbm 130 soma 93 tealeaf 100 cloverleaf 98 minisweep 73 "
+                    "pot3d 100 sph-exa 80 hpgmgfv 95 weather 95"
+                  : "lbm 95 soma 86 tealeaf 100 cloverleaf 96 minisweep 80 "
+                    "pot3d 104 sph-exa 79 hpgmgfv 98 weather 121");
+  perf::Table te({"app", "efficiency [%]"});
+  const int domains = cl.cpu.domains_per_node();
+  for (const auto& [name, s] : data) {
+    const double speedup = s.by_p.at(cpd).seconds_per_step() /
+                           s.by_p.at(cpn).seconds_per_step();
+    te.add_row({name, perf::Table::num(100.0 * speedup / domains, 0)});
+  }
+  te.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const auto a = mach::cluster_a();
+  const auto b = mach::cluster_b();
+  const auto da = sweep_cluster(a);
+  const auto db = sweep_cluster(b);
+  print_cluster(a, da);
+  print_cluster(b, db);
+
+  section("Sect. 4.1.2: acceleration factor ClusterB over ClusterA");
+  expectation(
+      "non-memory-bound: lbm 1.21 soma 1.35 minisweep 1.39 sph-exa 1.48 "
+      "weather 2.03 | memory-bound: tealeaf 1.66 cloverleaf 1.57 pot3d 1.63 "
+      "hpgmgfv 1.65");
+  perf::Table ta({"app", "B over A", "class"});
+  for (const auto& e : core::suite()) {
+    const double tA = da.at(e.info.name).by_p.at(72).seconds_per_step();
+    const double tB = db.at(e.info.name).by_p.at(104).seconds_per_step();
+    ta.add_row({e.info.name, perf::Table::num(tA / tB, 2),
+                e.info.memory_bound ? "memory-bound" : "non-memory-bound"});
+  }
+  ta.print(std::cout);
+
+  // Fig. 1(a,d) insets: min/max/average speedup on the first ccNUMA domain,
+  // over repeated runs with OS-noise seeds (the paper's repetition spread).
+  for (const auto* cl : {&a, &b}) {
+    section("Fig. 1 inset (" + cl->name +
+            "): speedup min/avg/max over 3 noisy repetitions, first domain");
+    perf::Table ti({"p", "pot3d (saturating)", "sph-exa (scalable)",
+                    "minisweep (erratic)"});
+    const int cpd = cl->cpu.cores_per_domain();
+    for (int p = 1; p <= cpd; p += (p < 4 ? 1 : 3)) {
+      std::vector<std::string> row{std::to_string(p)};
+      for (const char* name : {"pot3d", "sph-exa", "minisweep"}) {
+        auto app = make_fast_app(name, core::Workload::kTiny, 2, 1);
+        perf::RunStats stats;
+        double t1 = 0.0;
+        for (std::uint64_t seed : {1u, 2u, 3u}) {
+          core::RunOptions opts;
+          opts.os_noise_amplitude = 0.03;
+          opts.os_noise_seed = seed;
+          const double tp =
+              core::run_benchmark(*app, *cl, p, opts).seconds_per_step();
+          const double t1s =
+              core::run_benchmark(*app, *cl, 1, opts).seconds_per_step();
+          t1 = t1s;
+          stats.add(t1s / tp);
+        }
+        (void)t1;
+        row.push_back(perf::Table::num(stats.mean(), 2) + " (" +
+                      perf::Table::num(stats.min(), 2) + "-" +
+                      perf::Table::num(stats.max(), 2) + ")");
+      }
+      ti.add_row(std::move(row));
+    }
+    ti.print(std::cout);
+  }
+
+  section("Sect. 4.1.3: vectorization ratios [%] (A / B)");
+  perf::Table tv({"app", "ClusterA", "ClusterB"});
+  for (const auto& e : core::suite()) {
+    const auto& ma = da.at(e.info.name).by_p.at(72).metrics();
+    const auto& mb = db.at(e.info.name).by_p.at(104).metrics();
+    tv.add_row({e.info.name,
+                perf::Table::num(100.0 * ma.vectorization_ratio(), 1),
+                perf::Table::num(100.0 * mb.vectorization_ratio(), 1)});
+  }
+  tv.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 2(g,h) insets: ITAC-like timelines of the minisweep serialization
+// (59 processes) and the lbm slow-rank imbalance (71 processes) on ClusterA.
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+void report(const std::string& name, int p, int first_rank, int last_rank) {
+  const auto cl = mach::cluster_a();
+  auto app = make_fast_app(name, core::Workload::kTiny, 2, 1);
+  core::RunOptions opts;
+  opts.trace = true;
+  const auto r = core::run_benchmark(*app, cl, p, opts);
+
+  section(name + " at " + std::to_string(p) + " processes (" + cl.name + ")");
+  std::cout << "time per step: " << perf::Table::num(r.seconds_per_step(), 4)
+            << " s, MPI fraction: "
+            << perf::Table::num(100.0 * r.metrics().mpi_fraction(), 1)
+            << " %\n";
+  const auto fr = perf::activity_fractions(r.engine().timeline());
+  perf::Table t({"activity", "share of traced time [%]"});
+  for (const auto& [act, share] : fr)
+    t.add_row({std::string(sim::to_string(act)),
+               perf::Table::num(100.0 * share, 1)});
+  t.print(std::cout);
+
+  std::cout << "timeline (ranks " << first_rank << ".." << last_rank
+            << "; # compute, S send, R recv, W wait, A allreduce, B barrier):\n"
+            << perf::render_ascii_ranks(r.engine().timeline(), first_rank,
+                                        last_rank, 100);
+}
+
+}  // namespace
+
+int main() {
+  expectation(
+      "minisweep: 59 procs (prime -> 1x59 chain) serializes; ~75% of time in "
+      "MPI vs healthy 58 procs. lbm: 71 procs has one slower rank; others "
+      "accumulate waiting time at the barrier.");
+
+  report("minisweep", 58, 24, 40);
+  report("minisweep", 59, 24, 40);
+  report("lbm", 72, 56, 71);
+  report("lbm", 71, 56, 70);
+  return 0;
+}

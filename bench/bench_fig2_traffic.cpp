@@ -1,0 +1,71 @@
+// Figure 2: node-level memory/L3/L2 bandwidths and data volumes.
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+void traffic_for_cluster(const mach::ClusterSpec& cl) {
+  const int cpn = cl.cores_per_node();
+  section("Fig. 2(a-b) (" + cl.name + "): memory bandwidth vs processes [GB/s]");
+  expectation(
+      "pot3d/cloverleaf/tealeaf saturate the domain bandwidth (75-78 GB/s on "
+      "A, 58-62 on B), hpgmgfv weakly saturating, weather high but mixed, "
+      "lbm mid-range with fluctuations, soma/minisweep/sph-exa low");
+
+  std::vector<std::string> header{"p"};
+  for (const auto& e : core::suite()) header.push_back(e.info.name);
+  perf::Table t(header);
+
+  // One series per app over the sweep.
+  std::map<std::string, std::map<int, perf::JobMetrics>> series;
+  for (const auto& e : core::suite()) {
+    auto app = make_fast_app(e.info.name, core::Workload::kTiny);
+    for (int p : node_sweep(cpn)) {
+      if (p > 4 && p % 4 != 0 && p != cpn && p != cl.cpu.cores_per_domain())
+        continue;
+      series[e.info.name].emplace(p,
+                                  core::run_benchmark(*app, cl, p).metrics());
+    }
+  }
+  for (const auto& [p, m0] : series.begin()->second) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& e : core::suite())
+      row.push_back(
+          perf::Table::num(series[e.info.name].at(p).mem_bandwidth() / 1e9, 1));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  section("Fig. 2(e-h) (" + cl.name +
+          "): full-node data volumes per step [GB] (memory / L3 / L2)");
+  perf::Table tv({"app", "memory", "L3", "L2", "L3 BW [GB/s]", "L2 BW [GB/s]"});
+  for (const auto& e : core::suite()) {
+    const auto& m = series[e.info.name].at(cpn);
+    const double steps = 3.0;  // make_fast_app measured steps
+    tv.add_row({e.info.name, perf::Table::num(m.mem_bytes / steps / 1e9, 2),
+                perf::Table::num(m.l3_bytes / steps / 1e9, 2),
+                perf::Table::num(m.l2_bytes / steps / 1e9, 2),
+                perf::Table::num(m.l3_bandwidth() / 1e9, 0),
+                perf::Table::num(m.l2_bandwidth() / 1e9, 0)});
+  }
+  tv.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  traffic_for_cluster(mach::cluster_a());
+  traffic_for_cluster(mach::cluster_b());
+
+  section("Sect. 4.1.4: victim-L3 check (pot3d, one ClusterA domain)");
+  expectation("L3 bandwidth exceeds L2 bandwidth (124 vs 80 GB/s)");
+  auto app = make_fast_app("pot3d", core::Workload::kTiny);
+  const auto r = core::run_benchmark(*app, mach::cluster_a(), 18);
+  perf::Table t({"metric", "GB/s"});
+  t.add_row({"memory", perf::Table::num(r.metrics().mem_bandwidth() / 1e9, 0)});
+  t.add_row({"L3", perf::Table::num(r.metrics().l3_bandwidth() / 1e9, 0)});
+  t.add_row({"L2", perf::Table::num(r.metrics().l2_bandwidth() / 1e9, 0)});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 3: CPU and DRAM power -- (a,c) vs speedup on one ccNUMA domain with
+// zero-core baseline extrapolation, (b,d) vs processes on the full node;
+// Sect. 4.2.1 hot/cool table and 4.2.3 baseline comparison.
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+void domain_power(const mach::ClusterSpec& cl) {
+  const int cpd = cl.cpu.cores_per_domain();
+  section("Fig. 3(a/c) (" + cl.name +
+          "): chip+DRAM power vs speedup on one ccNUMA domain");
+  std::vector<std::string> header{"app"};
+  for (int p = 1; p <= cpd; p += (cpd > 14 ? 3 : 2))
+    header.push_back("p=" + std::to_string(p));
+  header.push_back("p=" + std::to_string(cpd));
+  for (const auto& e : core::suite()) {
+    auto app = make_fast_app(e.info.name, core::Workload::kTiny);
+    std::cout << "  " << e.info.name << ": speedup | chipW | dramW:";
+    core::RunResult r1 = core::run_benchmark(*app, cl, 1);
+    for (int p = 1; p <= cpd; ++p) {
+      if (p != 1 && p != cpd && p % 3 != 0) continue;
+      const auto r = core::run_benchmark(*app, cl, p);
+      std::cout << "  " << p << ": "
+                << perf::Table::num(
+                       r1.seconds_per_step() / r.seconds_per_step(), 1)
+                << "|" << perf::Table::num(r.power().chip_w, 0) << "|"
+                << perf::Table::num(r.power().dram_w, 1);
+    }
+    std::cout << "\n";
+  }
+}
+
+// Linear least-squares intercept of chip power vs active cores: the paper's
+// zero-core baseline extrapolation (Sect. 4.2.3).
+void baseline_extrapolation(const mach::ClusterSpec& cl,
+                            const std::string& appname) {
+  auto app = make_fast_app(appname, core::Workload::kTiny);
+  const int cpd = cl.cpu.cores_per_domain();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (int p = 1; p <= cpd / 2; ++p) {  // pre-saturation linear region
+    const auto r = core::run_benchmark(*app, cl, p);
+    sx += p;
+    sy += r.power().chip_w;
+    sxx += static_cast<double>(p) * p;
+    sxy += p * r.power().chip_w;
+    ++n;
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double intercept = (sy - slope * sx) / n;
+  std::cout << "  " << cl.name << " (" << appname
+            << "): baseline = " << perf::Table::num(intercept, 0) << " W = "
+            << perf::Table::num(100.0 * intercept / cl.cpu.tdp_per_socket_w, 0)
+            << "% of TDP (slope " << perf::Table::num(slope, 2)
+            << " W/core)\n";
+}
+
+void hot_cool(const mach::ClusterSpec& cl) {
+  const int socket = cl.cpu.cores_per_socket;
+  section("Sect. 4.2.1 (" + cl.name + "): per-socket power of hot vs cool codes");
+  expectation(cl.name == "ClusterA"
+                  ? "sph-exa 244 W (98% TDP), soma 222 W (89%); DRAM 16 W "
+                    "saturated / 9.5 W floor"
+                  : "sph-exa 333 W (97% TDP), soma 298 W (85%); DRAM 10-13 W "
+                    "saturated / 5.5 W floor");
+  perf::Table t({"app", "chip [W]", "% of TDP", "DRAM [W] (per domain)"});
+  for (const auto& e : core::suite()) {
+    auto app = make_fast_app(e.info.name, core::Workload::kTiny);
+    const auto r = core::run_benchmark(*app, cl, socket);
+    t.add_row({e.info.name, perf::Table::num(r.power().chip_w, 0),
+               perf::Table::num(
+                   100.0 * r.power().chip_w / cl.cpu.tdp_per_socket_w, 0),
+               perf::Table::num(r.power().dram_w / r.power().domains_used, 1)});
+  }
+  t.print(std::cout);
+}
+
+void node_power(const mach::ClusterSpec& cl) {
+  const int cpn = cl.cores_per_node();
+  section("Fig. 3(b/d) (" + cl.name + "): total power vs processes (full node)");
+  expectation("power doubles going from one populated socket to two");
+  perf::Table t({"app", "1 domain [W]", "1 socket [W]", "full node [W]"});
+  for (const auto& e : core::suite()) {
+    auto app = make_fast_app(e.info.name, core::Workload::kTiny);
+    const auto rd =
+        core::run_benchmark(*app, cl, cl.cpu.cores_per_domain());
+    const auto rs = core::run_benchmark(*app, cl, cl.cpu.cores_per_socket);
+    const auto rn = core::run_benchmark(*app, cl, cpn);
+    t.add_row({e.info.name, perf::Table::num(rd.power().total_w(), 0),
+               perf::Table::num(rs.power().total_w(), 0),
+               perf::Table::num(rn.power().total_w(), 0)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const auto a = mach::cluster_a();
+  const auto b = mach::cluster_b();
+
+  domain_power(a);
+  domain_power(b);
+  hot_cool(a);
+  hot_cool(b);
+  node_power(a);
+  node_power(b);
+
+  section("Sect. 4.2.3: zero-core baseline power extrapolation");
+  expectation(
+      "~40% of 250 W TDP on Ice Lake (95-101 W), ~50% of 350 W TDP on "
+      "Sapphire Rapids (176-181 W), <20% of 120 W on 2012 Sandy Bridge");
+  baseline_extrapolation(a, "sph-exa");
+  baseline_extrapolation(b, "sph-exa");
+  baseline_extrapolation(mach::sandy_bridge_reference(), "sph-exa");
+  return 0;
+}

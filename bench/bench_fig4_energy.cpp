@@ -1,0 +1,77 @@
+// Figure 4: Z-plots (energy vs speedup, cores as parameter), total energy vs
+// processes, and the Sect. 4.3.1 energy/EDP-minimum analysis.
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+void zplot(const mach::ClusterSpec& cl) {
+  const int cpd = cl.cpu.cores_per_domain();
+  section("Fig. 4(a/b) (" + cl.name +
+          "): Z-plot on one ccNUMA domain -- energy [J/step] vs speedup");
+  expectation(
+      "minimum-energy and minimum-EDP operating points nearly coincide at "
+      "high core counts (race-to-idle; Sect. 4.3.1)");
+  perf::Table t({"app", "E(1 core)", "E(min)", "p at Emin", "p at EDPmin",
+                 "E(full domain)"});
+  for (const auto& e : core::suite()) {
+    auto app = make_fast_app(e.info.name, core::Workload::kTiny);
+    std::vector<power::OperatingPoint> pts;
+    std::vector<double> energy_per_step;
+    double t1 = 0.0;
+    for (int p = 1; p <= cpd; ++p) {
+      const auto r = core::run_benchmark(*app, cl, p);
+      if (p == 1) t1 = r.seconds_per_step();
+      const double e_step =
+          r.power().total_energy_j() / app->measured_steps();
+      pts.push_back({p, t1 / r.seconds_per_step(), e_step});
+      energy_per_step.push_back(e_step);
+    }
+    const auto emin = power::min_energy_point(pts);
+    const auto edpmin = power::min_edp_point(pts);
+    t.add_row({e.info.name, perf::Table::num(pts.front().energy_j, 1),
+               perf::Table::num(pts[emin].energy_j, 1),
+               std::to_string(pts[emin].resources),
+               std::to_string(pts[edpmin].resources),
+               perf::Table::num(pts.back().energy_j, 1)});
+  }
+  t.print(std::cout);
+}
+
+void total_energy(const mach::ClusterSpec& cl) {
+  const int cpn = cl.cores_per_node();
+  section("Fig. 4(c) (" + cl.name +
+          "): total node energy per step [J] vs processes");
+  expectation(
+      "lbm and minisweep show fluctuating energy mirroring their fluctuating "
+      "performance (race-to-idle: slow operating points burn more energy)");
+  std::vector<std::string> header{"p"};
+  for (const auto& e : core::suite()) header.push_back(e.info.name);
+  perf::Table t(header);
+  std::map<std::string, std::unique_ptr<core::AppProxy>> apps;
+  for (const auto& e : core::suite())
+    apps[e.info.name] = make_fast_app(e.info.name, core::Workload::kTiny);
+  for (int p : node_sweep(cpn)) {
+    if (p > 8 && p % 8 != 0 && p != cpn) continue;
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& e : core::suite()) {
+      const auto r = core::run_benchmark(*apps[e.info.name], cl, p);
+      row.push_back(perf::Table::num(
+          r.power().total_energy_j() / apps[e.info.name]->measured_steps(),
+          1));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  zplot(mach::cluster_a());
+  zplot(mach::cluster_b());
+  total_energy(mach::cluster_a());
+  total_energy(mach::cluster_b());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 6 + Sect. 5.2: multi-node total (chip+DRAM) power and energy.
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+std::unique_ptr<core::AppProxy> make_small_app(const std::string& name) {
+  using namespace spechpc::apps;
+  std::unique_ptr<core::AppProxy> app;
+  if (name == "tealeaf") {
+    auto cfg = tealeaf::TealeafConfig::small();
+    cfg.cg_iters_per_step = 8;
+    app = std::make_unique<tealeaf::TealeafProxy>(cfg);
+  } else if (name == "pot3d") {
+    auto cfg = pot3d::Pot3dConfig::small();
+    cfg.cg_iters_per_step = 8;
+    app = std::make_unique<pot3d::Pot3dProxy>(cfg);
+  } else {
+    app = core::make_app(name, core::Workload::kSmall);
+  }
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  return app;
+}
+
+void cluster_energy(const mach::ClusterSpec& cl) {
+  const int max_nodes = cl.max_nodes >= 16 ? 16 : cl.max_nodes;
+  section("Fig. 6 (" + cl.name + "): total power [kW] vs nodes");
+  expectation(
+      cl.name == "ClusterA"
+          ? "74-85% of the 8 kW CPU TDP limit on the full set of nodes"
+          : "63-76% of the 11.2 kW CPU TDP limit on the full set of nodes");
+  std::vector<std::string> header{"nodes"};
+  for (const auto& e : core::suite()) header.push_back(e.info.name);
+  perf::Table tp(header);
+  perf::Table te(header);
+  std::map<std::string, std::map<int, core::RunResult>> results;
+  for (const auto& e : core::suite()) {
+    auto app = make_small_app(e.info.name);
+    for (int n : multinode_sweep(max_nodes))
+      results[e.info.name].emplace(n, core::run_on_nodes(*app, cl, n));
+  }
+  for (int n : multinode_sweep(max_nodes)) {
+    std::vector<std::string> rp{std::to_string(n)}, re{std::to_string(n)};
+    for (const auto& e : core::suite()) {
+      const auto& r = results[e.info.name].at(n);
+      rp.push_back(perf::Table::num(r.power().total_w() / 1e3, 2));
+      re.push_back(
+          perf::Table::num(r.power().total_energy_j() / 2.0 / 1e3, 2));
+    }
+    tp.add_row(std::move(rp));
+    te.add_row(std::move(re));
+  }
+  tp.print(std::cout);
+
+  section("Fig. 6 (" + cl.name + "): total energy per step [kJ] vs nodes");
+  expectation(
+      "scalable codes (tealeaf) hold constant energy; poorly scaling codes "
+      "(minisweep, soma, sph-exa) burn more energy with more nodes; soma's "
+      "slope steepens beyond ~3 nodes");
+  te.print(std::cout);
+
+  // TDP utilization at the full node count.
+  const double tdp_kw = max_nodes * cl.cpu.sockets_per_node *
+                        cl.cpu.tdp_per_socket_w / 1e3;
+  double lo = 1e30, hi = 0.0;
+  for (const auto& e : core::suite()) {
+    const double w = results[e.info.name].at(max_nodes).power().total_w();
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  std::cout << "TDP utilization at " << max_nodes
+            << " nodes: " << perf::Table::num(100.0 * lo / 1e3 / tdp_kw, 0)
+            << "-" << perf::Table::num(100.0 * hi / 1e3 / tdp_kw, 0)
+            << "% of " << perf::Table::num(tdp_kw, 1) << " kW\n";
+}
+
+}  // namespace
+
+int main() {
+  cluster_energy(mach::cluster_a());
+  cluster_energy(mach::cluster_b());
+  return 0;
+}

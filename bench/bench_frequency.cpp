@@ -1,0 +1,43 @@
+// DVFS what-if study (the paper's outlook: "optimization opportunities"):
+// runtime, power, and energy of a memory-bound vs a compute-bound code when
+// the core clock is scaled, on one ClusterA ccNUMA domain.
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+int main() {
+  const auto a = mach::cluster_a();
+  expectation(
+      "classic DVFS result consistent with the paper's race-to-idle "
+      "analysis: down-clocking leaves memory-bound runtime unchanged and "
+      "saves energy, but stretches compute-bound runtime with little or no "
+      "energy benefit; the large baseline power limits all savings");
+
+  for (const char* name : {"tealeaf", "sph-exa", "lbm"}) {
+    section(std::string(name) + " on one ClusterA ccNUMA domain vs clock");
+    perf::Table t({"clock [GHz]", "t/step [s]", "chip [W]", "E/step [J]",
+                   "E vs base"});
+    struct Row {
+      double ghz, t_step, chip_w, energy;
+    };
+    std::vector<Row> rows;
+    double e_base = 0.0;
+    for (double f : {0.6, 0.7, 0.8, 0.9, 1.0, 1.1}) {
+      const auto cl = mach::scale_frequency(a, f);
+      auto app = make_fast_app(name, core::Workload::kTiny, 2, 1);
+      const auto r = core::run_benchmark(*app, cl, 18);
+      const double e = r.power().total_energy_j() / app->measured_steps();
+      if (f == 1.0) e_base = e;
+      rows.push_back({cl.cpu.base_clock_hz / 1e9, r.seconds_per_step(),
+                      r.power().chip_w, e});
+    }
+    for (const Row& row : rows)
+      t.add_row({perf::Table::num(row.ghz, 2),
+                 perf::Table::num(row.t_step, 4),
+                 perf::Table::num(row.chip_w, 0),
+                 perf::Table::num(row.energy, 1),
+                 perf::Table::num(row.energy / e_base, 2)});
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks of the real numerical kernels and of the
+// SimMPI engine itself (events/second, collectives cost).
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/cloverleaf/cloverleaf_kernel.hpp"
+#include "apps/hpgmg/hpgmg_kernel.hpp"
+#include "apps/lbm/lbm_kernel.hpp"
+#include "apps/minisweep/minisweep_kernel.hpp"
+#include "apps/pot3d/pot3d_kernel.hpp"
+#include "apps/soma/soma_kernel.hpp"
+#include "apps/sphexa/sphexa_kernel.hpp"
+#include "apps/tealeaf/tealeaf_kernel.hpp"
+#include "apps/weather/weather_kernel.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace {
+
+using namespace spechpc;
+
+void BM_LbmStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  apps::lbm::LbmSolver s(n, n, 0.8);
+  s.set_uniform(1.0, 0.05, 0.0);
+  for (auto _ : state) s.step();
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_LbmStep)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TealeafCgStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    apps::tealeaf::HeatSolver s(n, n, 1.0, 0.1);
+    std::vector<double> u(static_cast<std::size_t>(n) * n, 0.0);
+    u[static_cast<std::size_t>(n) * n / 2] = 1.0;
+    s.set_field(u);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.step(1e-8, 200));
+  }
+}
+BENCHMARK(BM_TealeafCgStep)->Arg(32)->Arg(64);
+
+void BM_CloverleafStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  apps::cloverleaf::EulerSolver s(n, n, 1.0, 1.0);
+  s.initialize({1.0, 0.0, 0.0, 2.5}, {0.125, 0.0, 0.0, 0.25});
+  for (auto _ : state) benchmark::DoNotOptimize(s.step(0.4, 1e-3));
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CloverleafStep)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MinisweepSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  apps::minisweep::SweepSolver s(n, n, n, 1.0);
+  s.set_inflow(1.0);
+  s.set_source(0.5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(s.sweep({0.5, 0.5, 0.7}));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MinisweepSweep)->Arg(16)->Arg(32);
+
+void BM_Pot3dPcgSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  apps::pot3d::PotentialSolver s(n, n, n);
+  std::vector<double> b(s.size(), 0.0), x;
+  b[s.size() / 2] = 1.0;
+  for (auto _ : state) benchmark::DoNotOptimize(s.solve(b, x, 1e-6, 300));
+}
+BENCHMARK(BM_Pot3dPcgSolve)->Arg(8)->Arg(12);
+
+void BM_SphStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  apps::sphexa::SphSystem s(apps::sphexa::SphParams{});
+  for (int i = 0; i < n; ++i)
+    s.add_particle(0.05 * (i % 10), 0.05 * (i / 10));
+  s.compute_density();
+  for (auto _ : state) s.step(1e-4);
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SphStep)->Arg(50)->Arg(100);
+
+void BM_HpgmgVcycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  apps::hpgmg::MultigridPoisson mg(n);
+  std::vector<double> f(static_cast<std::size_t>(n) * n, 1.0);
+  mg.set_rhs(f);
+  for (auto _ : state) benchmark::DoNotOptimize(mg.vcycle());
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_HpgmgVcycle)->Arg(63)->Arg(127);
+
+void BM_WeatherStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  apps::weather::AdvectionSolver s(n, n / 4, 1.0, 0.2);
+  std::vector<double> q(static_cast<std::size_t>(n) * n / 4, 1.0);
+  s.set_tracer(q);
+  for (auto _ : state) s.step(0.8);
+  state.SetItemsProcessed(state.iterations() * n * n / 4);
+}
+BENCHMARK(BM_WeatherStep)->Arg(128)->Arg(256);
+
+void BM_SomaSweep(benchmark::State& state) {
+  apps::soma::SomaParams prm;
+  prm.n_polymers = static_cast<int>(state.range(0));
+  apps::soma::PolymerSystem s(prm);
+  for (auto _ : state) benchmark::DoNotOptimize(s.sweep(1.0));
+  state.SetItemsProcessed(state.iterations() * prm.n_polymers *
+                          prm.beads_per_polymer);
+}
+BENCHMARK(BM_SomaSweep)->Arg(8)->Arg(32);
+
+// --- SimMPI engine throughput ------------------------------------------
+
+void BM_EngineComputeEvents(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.nranks = ranks;
+    sim::Engine eng(std::move(cfg));
+    eng.run([](sim::Comm& c) -> sim::Task<> {
+      sim::KernelWork w;
+      w.flops_scalar = 1e6;
+      for (int i = 0; i < 100; ++i) co_await c.compute(w);
+    });
+    benchmark::DoNotOptimize(eng.elapsed());
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * 100);
+}
+BENCHMARK(BM_EngineComputeEvents)->Arg(16)->Arg(256);
+
+void BM_EngineAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.nranks = ranks;
+    sim::Engine eng(std::move(cfg));
+    eng.run([](sim::Comm& c) -> sim::Task<> {
+      for (int i = 0; i < 10; ++i)
+        co_await c.allreduce(1.0, sim::ReduceOp::kSum);
+    });
+    benchmark::DoNotOptimize(eng.elapsed());
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * 10);
+}
+BENCHMARK(BM_EngineAllreduce)->Arg(16)->Arg(104)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Time-resolved Roofline trajectories (the paper's ClusterCockpit artifact,
+// footnote 2): arithmetic intensity and flop rate of a running job over
+// time, reconstructed from the traced SimMPI timeline.
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+void trajectory(const std::string& name, const mach::ClusterSpec& cl) {
+  auto app = make_fast_app(name, core::Workload::kTiny, 4, 1);
+  core::RunOptions opts;
+  opts.trace = true;
+  const auto r =
+      core::run_benchmark(*app, cl, cl.cpu.cores_per_domain(), opts);
+
+  section(name + " (" + cl.name + ", one ccNUMA domain): Roofline trajectory");
+  const auto pts = perf::roofline_trajectory(r.engine().timeline(), 16);
+  perf::Table t({"t [s]", "intensity [F/B]", "Gflop/s",
+                 "bandwidth-bound?"});
+  // Domain Roofline knee: peak / saturated bandwidth.
+  const double peak =
+      cl.cpu.peak_simd_flops_per_core() * cl.cpu.cores_per_domain();
+  const double knee = peak / cl.cpu.sat_bw_per_domain_Bps;
+  for (const auto& p : pts)
+    t.add_row({perf::Table::num(p.time, 3), perf::Table::num(p.intensity, 2),
+               perf::Table::num(p.flop_rate / 1e9, 1),
+               p.intensity < knee ? "yes" : "no"});
+  t.print(std::cout);
+  std::cout << "domain Roofline knee at " << perf::Table::num(knee, 1)
+            << " F/B (peak " << perf::Table::num(peak / 1e9, 0)
+            << " Gflop/s, saturated bandwidth "
+            << perf::Table::num(cl.cpu.sat_bw_per_domain_Bps / 1e9, 1)
+            << " GB/s)\n";
+}
+
+}  // namespace
+
+int main() {
+  expectation(
+      "per-phase trajectories: lbm alternates between the memory-bound "
+      "propagate and the compute-bound collide; pot3d sits left of the "
+      "Roofline knee throughout (bandwidth-bound); sph-exa far right of it");
+  const auto a = mach::cluster_a();
+  trajectory("lbm", a);
+  trajectory("pot3d", a);
+  trajectory("sph-exa", a);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Tables 1 & 2: benchmark attributes, numerics, and application domains.
+#include "bench_util.hpp"
+
+using namespace benchutil;
+
+int main() {
+  section("Table 1/2: SPEChpc 2021 suite attributes");
+  perf::Table t({"name", "language", "LOC", "collective", "domain",
+                 "memory-bound"});
+  for (const auto& e : core::suite())
+    t.add_row({e.info.name, e.info.language, std::to_string(e.info.loc),
+               e.info.collective, e.info.domain,
+               e.info.memory_bound ? "yes" : "no"});
+  t.print(std::cout);
+
+  section("Table 2: numerical methods");
+  perf::Table t2({"name", "numerics"});
+  for (const auto& e : core::suite()) t2.add_row({e.info.name, e.info.numerics});
+  t2.print(std::cout);
+
+  section("Table 3: simulated cluster specifications");
+  perf::Table t3({"attribute", "ClusterA", "ClusterB"});
+  const auto a = mach::cluster_a();
+  const auto b = mach::cluster_b();
+  auto row = [&](const std::string& k, double va, double vb, int prec = 1) {
+    t3.add_row({k, perf::Table::num(va, prec), perf::Table::num(vb, prec)});
+  };
+  t3.add_row({"processor", a.cpu.name + " " + a.cpu.model,
+              b.cpu.name + " " + b.cpu.model});
+  row("base clock [GHz]", a.cpu.base_clock_hz / 1e9, b.cpu.base_clock_hz / 1e9);
+  row("cores per node", a.cpu.cores_per_node(), b.cpu.cores_per_node(), 0);
+  row("ccNUMA domains per node", a.cpu.domains_per_node(),
+      b.cpu.domains_per_node(), 0);
+  row("L2 per core [MiB]", a.cpu.l2_per_core_bytes / (1 << 20),
+      b.cpu.l2_per_core_bytes / (1 << 20), 2);
+  row("L3 per socket [MiB]", a.cpu.l3_per_socket_bytes / (1 << 20),
+      b.cpu.l3_per_socket_bytes / (1 << 20), 0);
+  row("theor. node bandwidth [GB/s]",
+      a.cpu.theor_bw_per_domain_Bps * a.cpu.domains_per_node() / 1e9,
+      b.cpu.theor_bw_per_domain_Bps * b.cpu.domains_per_node() / 1e9, 1);
+  row("peak node DP [Gflop/s]", a.cpu.peak_node_flops() / 1e9,
+      b.cpu.peak_node_flops() / 1e9, 0);
+  row("TDP per socket [W]", a.cpu.tdp_per_socket_w, b.cpu.tdp_per_socket_w, 0);
+  row("baseline power per socket [W]", a.cpu.idle_power_per_socket_w,
+      b.cpu.idle_power_per_socket_w, 0);
+  t3.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the figure/table benchmark harnesses.
+//
+// Each bench binary regenerates one artifact of the paper (a figure's data
+// series or a table) and prints it in aligned-table form, together with the
+// paper's qualitative expectation so the comparison is self-contained.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spechpc.hpp"
+
+namespace benchutil {
+
+using namespace spechpc;
+
+/// Node-level sweep points used across figure benches (dense enough to show
+/// the fluctuating codes, sparse enough to stay fast).
+inline std::vector<int> node_sweep(int cores_per_node) {
+  std::vector<int> pts;
+  for (int p = 1; p <= cores_per_node; ++p) pts.push_back(p);
+  return pts;
+}
+
+/// Multi-node sweep (nodes).
+inline std::vector<int> multinode_sweep(int max_nodes) {
+  std::vector<int> pts;
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16})
+    if (n <= max_nodes) pts.push_back(n);
+  return pts;
+}
+
+/// Creates an app with reduced modeled steps for large sweeps.
+inline std::unique_ptr<core::AppProxy> make_fast_app(std::string_view name,
+                                                     core::Workload w,
+                                                     int steps = 3,
+                                                     int warmup = 1) {
+  auto app = core::make_app(name, w);
+  app->set_measured_steps(steps);
+  app->set_warmup_steps(warmup);
+  return app;
+}
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void expectation(const std::string& text) {
+  std::cout << "paper expectation: " << text << "\n";
+}
+
+}  // namespace benchutil

@@ -1,0 +1,77 @@
+// Real-numerics playground: runs the actual computational kernels behind the
+// proxies (no simulation involved) and prints physical results -- a shock
+// expanding in the cloverleaf Euler solver, heat diffusing in tealeaf's CG
+// solver, a multigrid solve, and an advected weather front.
+#include <cmath>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "apps/cloverleaf/cloverleaf_kernel.hpp"
+#include "apps/hpgmg/hpgmg_kernel.hpp"
+#include "apps/lbm/lbm_kernel.hpp"
+#include "apps/tealeaf/tealeaf_kernel.hpp"
+#include "apps/weather/weather_kernel.hpp"
+
+using namespace spechpc::apps;
+
+int main() {
+  std::cout << "--- cloverleaf: 2D Euler energy-drop problem ---\n";
+  cloverleaf::EulerSolver euler(64, 64, 1.0, 1.0);
+  euler.initialize({1.0, 0.0, 0.0, 2.5}, {0.125, 0.0, 0.0, 0.25});
+  const double m0 = euler.total_mass();
+  for (int i = 0; i < 100; ++i) euler.step(0.4, 1e-2);
+  std::cout << "  after 100 steps: mass drift "
+            << std::abs(euler.total_mass() - m0) / m0
+            << ", pressure at far corner " << euler.pressure(56, 56) << "\n";
+
+  std::cout << "--- tealeaf: implicit heat conduction ---\n";
+  tealeaf::HeatSolver heat(64, 64, 1.0, 0.5);
+  std::vector<double> u(64 * 64, 0.0);
+  u[64 * 32 + 32] = 100.0;
+  heat.set_field(u);
+  int total_iters = 0;
+  for (int s = 0; s < 5; ++s) total_iters += heat.step(1e-10, 1000);
+  std::cout << "  5 implicit steps, " << total_iters
+            << " CG iterations total; peak temperature now "
+            << heat.field()[64 * 32 + 32] << " (was 100)\n";
+
+  std::cout << "--- hpgmgfv: multigrid Poisson solve ---\n";
+  hpgmg::MultigridPoisson mg(127);
+  std::vector<double> f(127 * 127);
+  for (int y = 0; y < 127; ++y)
+    for (int x = 0; x < 127; ++x)
+      f[static_cast<std::size_t>(y) * 127 + x] =
+          std::sin(std::numbers::pi * (x + 1) / 128.0) *
+          std::sin(std::numbers::pi * (y + 1) / 128.0);
+  mg.set_rhs(f);
+  const int cycles = mg.solve(1e-10, 50);
+  std::cout << "  127x127 Poisson solved to 1e-10 in " << cycles
+            << " V-cycles (textbook: ~10)\n";
+
+  std::cout << "--- lbm: D2Q9 lattice Boltzmann pulse ---\n";
+  lbm::LbmSolver lbm_solver(48, 48, 0.8);
+  lbm_solver.set_uniform(1.0, 0.0, 0.0);
+  lbm_solver.set_cell(24, 24, 1.5, 0.0, 0.0);
+  for (int i = 0; i < 60; ++i) lbm_solver.step();
+  std::cout << "  after 60 steps the density pulse decayed to "
+            << lbm_solver.density(24, 24) << " (mass conserved at "
+            << lbm_solver.total_mass() / (48.0 * 48.0) << " per site)\n";
+
+  std::cout << "--- weather: advected tracer front ---\n";
+  weather::AdvectionSolver adv(128, 8, 1.0, 0.0);
+  std::vector<double> q(128 * 8, 0.0);
+  for (int z = 0; z < 8; ++z) q[static_cast<std::size_t>(z) * 128 + 16] = 1.0;
+  adv.set_tracer(q);
+  for (int i = 0; i < 64; ++i) adv.step(1.0);
+  int peak_x = 0;
+  double peak = 0.0;
+  for (int x = 0; x < 128; ++x)
+    if (adv.tracer()[x] > peak) {
+      peak = adv.tracer()[x];
+      peak_x = x;
+    }
+  std::cout << "  tracer front moved from x=16 to x=" << peak_x
+            << " in 64 unit-CFL steps (exact advection)\n";
+  return 0;
+}

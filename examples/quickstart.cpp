@@ -1,0 +1,43 @@
+// Quickstart: run one SPEChpc proxy on a simulated cluster and print the
+// paper's core metrics (runtime, Gflop/s, memory bandwidth, power, energy).
+//
+//   ./quickstart [app] [nranks]     (default: tealeaf on a full ClusterA node)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/spechpc.hpp"
+
+using namespace spechpc;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "tealeaf";
+  const auto cluster = mach::cluster_a();
+  const int nranks = argc > 2 ? std::atoi(argv[2]) : cluster.cores_per_node();
+
+  auto app = core::make_app(name, core::Workload::kTiny);
+  std::cout << "running " << name << " (tiny) with " << nranks
+            << " MPI ranks on simulated " << cluster.name << " ("
+            << cluster.cpu.name << ")\n";
+
+  const core::RunResult res = core::run_benchmark(*app, cluster, nranks);
+  const auto& m = res.metrics();
+  const auto& p = res.power();
+
+  std::cout << "  time per step        : " << res.seconds_per_step() << " s\n"
+            << "  DP performance       : " << m.performance() / 1e9
+            << " Gflop/s\n"
+            << "  DP-AVX performance   : " << m.performance_simd() / 1e9
+            << " Gflop/s (vectorization "
+            << 100.0 * m.vectorization_ratio() << " %)\n"
+            << "  memory bandwidth     : " << m.mem_bandwidth() / 1e9
+            << " GB/s\n"
+            << "  MPI time fraction    : " << 100.0 * m.mpi_fraction()
+            << " %\n"
+            << "  chip power           : " << p.chip_w << " W over "
+            << p.sockets_used << " socket(s)\n"
+            << "  DRAM power           : " << p.dram_w << " W over "
+            << p.domains_used << " ccNUMA domain(s)\n"
+            << "  energy to solution   : " << p.total_energy_j() << " J ("
+            << p.edp() << " Js EDP)\n";
+  return 0;
+}

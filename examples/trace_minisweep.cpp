@@ -1,0 +1,44 @@
+// Communication-tracing demo: reproduces the paper's minisweep MPI
+// serialization analysis (Sect. 4.1.5) with the built-in ITAC-like tracer,
+// then shows that the force-eager protocol ablation removes the effect.
+#include <iostream>
+
+#include "core/spechpc.hpp"
+
+using namespace spechpc;
+
+namespace {
+
+void run_and_show(int nranks, bool force_eager) {
+  const auto cluster = mach::cluster_a();
+  auto app = core::make_app("minisweep", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.trace = true;
+  opts.protocol.force_eager = force_eager;
+  const auto r = core::run_benchmark(*app, cluster, nranks, opts);
+
+  std::cout << "\nminisweep, " << nranks << " ranks, "
+            << (force_eager ? "forced-eager" : "rendezvous") << " protocol: "
+            << perf::Table::num(r.seconds_per_step(), 4) << " s/step, "
+            << perf::Table::num(100.0 * r.metrics().mpi_fraction(), 1)
+            << " % MPI\n";
+  std::cout << perf::render_ascii_ranks(r.engine().timeline(), 0, 11, 100);
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "Prime rank counts degenerate the KBA grid to a 1 x p chain; the\n"
+         "code sends (large, rendezvous-mode) faces downstream before\n"
+         "posting its upwind receive, so the chain unblocks serially from\n"
+         "the open boundary -- the 'ripple' of the paper's Fig. 2(g):\n";
+  run_and_show(58, false);
+  run_and_show(59, false);
+  run_and_show(59, true);
+  std::cout << "\nWith eager sends the chain never blocks: the performance\n"
+               "bug is a protocol interaction, not bandwidth.\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps {
+
+sim::Task<> AppProxy::setup(sim::Comm&) const { co_return; }
+
+sim::Task<> AppProxy::rank_main(sim::Comm& comm) const {
+  co_await setup(comm);
+  // Warm-up steps incl. global synchronization, as in the paper's
+  // methodology (Sect. 3), then measure.
+  for (int it = 0; it < warmup_steps(); ++it) co_await step(comm, it);
+  co_await comm.barrier();
+  comm.begin_measurement();
+  for (int it = 0; it < measured_steps(); ++it)
+    co_await step(comm, warmup_steps() + it);
+}
+
+}  // namespace spechpc::apps

@@ -1,0 +1,65 @@
+// Common interface of the nine SPEChpc 2021 benchmark proxies.
+//
+// Each proxy is a SimMPI rank program whose communication structure mirrors
+// the original application (halo exchanges, reductions, sweeps, barriers)
+// and whose compute phases carry the original's resource signature (flops,
+// per-level traffic, working set, SIMD fraction) derived from Table 1/2 and
+// the paper's measurements.  The run is normalized per timestep, so the
+// number of modeled steps is reduced from the real inputs (documented in
+// DESIGN.md); metrics like bandwidth, Gflop/s and speedup are unaffected.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "simmpi/comm.hpp"
+
+namespace spechpc::apps {
+
+/// Which SPEChpc workload suite an instance models (Table 1 inputs).
+enum class Workload { kTiny, kSmall };
+
+inline const char* to_string(Workload w) {
+  return w == Workload::kTiny ? "tiny" : "small";
+}
+
+/// Static registry data (Table 1/2).
+struct AppInfo {
+  std::string name;        ///< e.g. "lbm"
+  std::string language;    ///< original implementation language
+  int loc = 0;             ///< original lines of code
+  std::string collective;  ///< dominant collective ("Barrier", "Allreduce", "-")
+  std::string numerics;    ///< numerical method summary (Table 2)
+  std::string domain;      ///< application domain (Table 2)
+  bool memory_bound = false;  ///< paper's node-level classification
+};
+
+/// Base class: implements the measurement protocol (warmup steps, barrier,
+/// counter snapshot, measured steps); subclasses provide setup() and step().
+class AppProxy {
+ public:
+  virtual ~AppProxy() = default;
+
+  virtual const AppInfo& info() const = 0;
+  /// Modeled timesteps in the measured region (metrics are per-step
+  /// normalized, so benches may lower this for large sweeps).
+  int measured_steps() const { return measured_steps_; }
+  int warmup_steps() const { return warmup_steps_; }
+  void set_measured_steps(int n) { measured_steps_ = n; }
+  void set_warmup_steps(int n) { warmup_steps_ = n; }
+
+  /// Complete rank program: pass to Engine::run.
+  sim::Task<> rank_main(sim::Comm& comm) const;
+
+ protected:
+  /// One application timestep (outer iteration).
+  virtual sim::Task<> step(sim::Comm& comm, int iter) const = 0;
+  /// One-time initialization (default: none).
+  virtual sim::Task<> setup(sim::Comm& comm) const;
+
+ private:
+  int measured_steps_ = 8;
+  int warmup_steps_ = 2;
+};
+
+}  // namespace spechpc::apps

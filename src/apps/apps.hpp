@@ -1,0 +1,15 @@
+// Umbrella header: the nine SPEChpc 2021 benchmark proxies and kernels.
+#pragma once
+
+#include "apps/app_base.hpp"
+#include "apps/cloverleaf/cloverleaf_proxy.hpp"
+#include "apps/decomp.hpp"
+#include "apps/halo.hpp"
+#include "apps/hpgmg/hpgmg_proxy.hpp"
+#include "apps/lbm/lbm_proxy.hpp"
+#include "apps/minisweep/minisweep_proxy.hpp"
+#include "apps/pot3d/pot3d_proxy.hpp"
+#include "apps/soma/soma_proxy.hpp"
+#include "apps/sphexa/sphexa_proxy.hpp"
+#include "apps/tealeaf/tealeaf_proxy.hpp"
+#include "apps/weather/weather_proxy.hpp"

@@ -1,0 +1,54 @@
+// Real compressible-Euler kernel (CloverLeaf's numerical core).
+//
+// Solves the 2D compressible Euler equations for an ideal gas on a Cartesian
+// grid with an explicit finite-volume scheme (Lax-Friedrichs fluxes, CFL
+// timestep control).  CloverLeaf proper uses a second-order staggered
+// Lagrangian+remap scheme; the conservation properties and the resource
+// signature (many full-grid sweeps per step) are the same class (documented
+// substitution).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace spechpc::apps::cloverleaf {
+
+/// Conserved state: density, x-momentum, y-momentum, total energy.
+struct State {
+  double rho = 0.0, mx = 0.0, my = 0.0, e = 0.0;
+};
+
+class EulerSolver {
+ public:
+  /// nx x ny cells on [0,Lx] x [0,Ly]; gamma: ideal-gas index.
+  EulerSolver(int nx, int ny, double lx, double ly, double gamma = 1.4);
+
+  /// Two ideal-gas states (Table 1): `inner` fills the lower-left quarter,
+  /// `outer` the rest (the clover "energy drop" setup).
+  void initialize(const State& inner, const State& outer);
+
+  /// One explicit step; returns the dt used (CFL-limited, <= max_dt).
+  double step(double cfl, double max_dt);
+
+  State cell(int x, int y) const;
+  double total_mass() const;
+  double total_energy() const;
+  std::array<double, 2> total_momentum() const;
+  double pressure(int x, int y) const;
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+ private:
+  std::size_t idx(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(x);
+  }
+  double max_wave_speed() const;
+
+  int nx_, ny_;
+  double dx_, dy_, gamma_;
+  std::vector<State> u_, unew_;
+};
+
+}  // namespace spechpc::apps::cloverleaf

@@ -1,0 +1,64 @@
+#include "apps/cloverleaf/cloverleaf_proxy.hpp"
+
+#include "apps/decomp.hpp"
+#include "apps/halo.hpp"
+
+namespace spechpc::apps::cloverleaf {
+
+namespace {
+
+// An explicit hydro step streams ~25 field arrays (density/energy/pressure/
+// velocities/fluxes, old+new copies) through memory.
+constexpr double kBytesPerCellStep = 25.0 * 8.0;
+constexpr double kFlopsPerCellStep = 120.0;
+constexpr double kSimdFraction = 0.95;
+constexpr int kHaloFields = 6;  // fields exchanged per halo update
+
+const AppInfo kInfo{
+    .name = "cloverleaf",
+    .language = "Fortran",
+    .loc = 12500,
+    .collective = "Allreduce",
+    .numerics = "Compressible Euler, 2D Cartesian, explicit 2nd order",
+    .domain = "Physics / high energy physics",
+    .memory_bound = true,
+};
+
+}  // namespace
+
+const AppInfo& CloverleafProxy::info() const { return kInfo; }
+
+sim::Task<> CloverleafProxy::step(sim::Comm& comm, int /*iter*/) const {
+  const int p = comm.size();
+  const Grid2D g = choose_grid_2d(p, cfg_.nx, cfg_.ny);
+  const Coord2D c = coord_2d(comm.rank(), g);
+  const Range rx = split_1d(cfg_.nx, g.px, c.x);
+  const Range ry = split_1d(cfg_.ny, g.py, c.y);
+  const double cells = static_cast<double>(rx.count) * ry.count;
+  const Neighbors2D nb = neighbors_2d(comm.rank(), g);
+
+  // Lagrangian step + advective remap, modeled as two half-step sweeps with
+  // a halo update between them (CloverLeaf's update_halo cadence).
+  for (int half = 0; half < 2; ++half) {
+    sim::KernelWork w;
+    w.label = half == 0 ? "lagrangian_step" : "advection_remap";
+    w.flops_simd = 0.5 * cells * kFlopsPerCellStep * kSimdFraction;
+    w.flops_scalar = 0.5 * cells * kFlopsPerCellStep * (1.0 - kSimdFraction);
+    w.issue_efficiency = 0.7;
+    w.traffic.mem_bytes = 0.5 * cells * kBytesPerCellStep;
+    w.traffic.l3_bytes = 0.5 * cells * kBytesPerCellStep;
+    w.traffic.l2_bytes = 0.5 * cells * kBytesPerCellStep * 1.15;
+    w.working_set_bytes = cells * kBytesPerCellStep;  // all field arrays
+    w.concurrent_streams = 8;
+    co_await comm.compute(w);
+
+    co_await exchange_halo_2d(
+        comm, nb, static_cast<double>(ry.count) * 8.0 * kHaloFields * 2,
+        static_cast<double>(rx.count) * 8.0 * kHaloFields * 2, half * 8);
+  }
+
+  // CFL timestep control: one global min-reduction per step.
+  co_await comm.allreduce(1.0, sim::ReduceOp::kMin);
+}
+
+}  // namespace spechpc::apps::cloverleaf

@@ -1,0 +1,41 @@
+// SimMPI proxy of the SPEChpc "cloverleaf" benchmark (519/619.clvleaf).
+//
+// Explicit second-order compressible Euler on a 2D Cartesian grid: each
+// timestep sweeps ~25 full-grid field arrays (Lagrangian step, advection
+// remap, viscosity, PdV), exchanges multi-field halos with four neighbors
+// and reduces the CFL timestep with one MPI_Allreduce.  Strongly memory
+// bound and well vectorized (Sect. 4.1.3/4.1.4).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::cloverleaf {
+
+struct CloverleafConfig {
+  std::int64_t nx = 0;
+  std::int64_t ny = 0;
+
+  static CloverleafConfig tiny() { return {15360, 15360}; }
+  static CloverleafConfig small() { return {61440, 30720}; }
+};
+
+class CloverleafProxy final : public AppProxy {
+ public:
+  explicit CloverleafProxy(CloverleafConfig cfg) : cfg_(cfg) {}
+  explicit CloverleafProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? CloverleafConfig::tiny()
+                                  : CloverleafConfig::small()) {}
+
+  const AppInfo& info() const override;
+  const CloverleafConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  CloverleafConfig cfg_;
+};
+
+}  // namespace spechpc::apps::cloverleaf

@@ -1,0 +1,84 @@
+#include "apps/decomp.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace spechpc::apps {
+
+Grid2D choose_grid_2d(int p) {
+  if (p < 1) throw std::invalid_argument("choose_grid_2d: p < 1");
+  Grid2D best{1, p};
+  for (int px = 1; px * px <= p; ++px)
+    if (p % px == 0) best = Grid2D{px, p / px};
+  return best;
+}
+
+Grid2D choose_grid_2d(int p, std::int64_t nx, std::int64_t ny) {
+  if (p < 1) throw std::invalid_argument("choose_grid_2d: p < 1");
+  Grid2D best{1, p};
+  double best_perimeter = std::numeric_limits<double>::max();
+  for (int px = 1; px <= p; ++px) {
+    if (p % px != 0) continue;
+    const int py = p / px;
+    const double perimeter = static_cast<double>(nx) / px +
+                             static_cast<double>(ny) / py;
+    if (perimeter < best_perimeter) {
+      best_perimeter = perimeter;
+      best = Grid2D{px, py};
+    }
+  }
+  return best;
+}
+
+Grid3D choose_grid_3d(int p) {
+  if (p < 1) throw std::invalid_argument("choose_grid_3d: p < 1");
+  Grid3D best{1, 1, p};
+  double best_score = std::numeric_limits<double>::max();
+  for (int px = 1; px * px * px <= p; ++px) {
+    if (p % px != 0) continue;
+    const int rest = p / px;
+    for (int py = px; py * py <= rest; ++py) {
+      if (rest % py != 0) continue;
+      const int pz = rest / py;
+      // Prefer near-cubic: minimize the surface of a unit-volume brick.
+      const double score = 1.0 / px + 1.0 / py + 1.0 / pz;
+      if (score < best_score) {
+        best_score = score;
+        best = Grid3D{px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+Range split_1d(std::int64_t n, int parts, int idx) {
+  if (parts < 1 || idx < 0 || idx >= parts)
+    throw std::invalid_argument("split_1d: bad partition");
+  const std::int64_t base = n / parts;
+  const std::int64_t extra = n % parts;
+  Range r;
+  if (idx < extra) {
+    r.count = base + 1;
+    r.begin = idx * (base + 1);
+  } else {
+    r.count = base;
+    r.begin = extra * (base + 1) + (idx - extra) * base;
+  }
+  return r;
+}
+
+Coord2D coord_2d(int rank, const Grid2D& g) {
+  return Coord2D{rank % g.px, rank / g.px};
+}
+
+Neighbors2D neighbors_2d(int rank, const Grid2D& g) {
+  const Coord2D c = coord_2d(rank, g);
+  Neighbors2D n;
+  if (c.x > 0) n.left = rank - 1;
+  if (c.x < g.px - 1) n.right = rank + 1;
+  if (c.y > 0) n.down = rank - g.px;
+  if (c.y < g.py - 1) n.up = rank + g.px;
+  return n;
+}
+
+}  // namespace spechpc::apps

@@ -1,0 +1,53 @@
+// Domain-decomposition helpers shared by the benchmark proxies.
+#pragma once
+
+#include <cstdint>
+
+namespace spechpc::apps {
+
+/// 2D process grid (px * py == p).
+struct Grid2D {
+  int px = 1;
+  int py = 1;
+};
+
+/// 3D process grid (px * py * pz == p).
+struct Grid3D {
+  int px = 1;
+  int py = 1;
+  int pz = 1;
+};
+
+/// Factorizes p into the process grid closest to square (MPI_Dims_create
+/// semantics): px <= py, px as large as possible.  Primes give 1 x p.
+Grid2D choose_grid_2d(int p);
+
+/// Factorization minimizing the halo perimeter of an nx x ny domain:
+/// picks the (px, py) with the smallest nx/px + ny/py.
+Grid2D choose_grid_2d(int p, std::int64_t nx, std::int64_t ny);
+
+/// Near-cubic 3D factorization (px <= py <= pz).
+Grid3D choose_grid_3d(int p);
+
+/// Block distribution of n items over `parts`: the first n % parts blocks
+/// get one extra item (MPI-style remainder handling).
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t count = 0;
+};
+Range split_1d(std::int64_t n, int parts, int idx);
+
+/// Cartesian neighbor ranks in a px x py grid (row-major: rank = y*px + x);
+/// -1 marks an open boundary.
+struct Neighbors2D {
+  int left = -1, right = -1, down = -1, up = -1;
+};
+Neighbors2D neighbors_2d(int rank, const Grid2D& g);
+
+/// Coordinates of a rank in a 2D grid.
+struct Coord2D {
+  int x = 0, y = 0;
+};
+Coord2D coord_2d(int rank, const Grid2D& g);
+
+}  // namespace spechpc::apps

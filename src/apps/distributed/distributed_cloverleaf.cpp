@@ -1,0 +1,216 @@
+#include "apps/distributed/distributed_cloverleaf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/decomp.hpp"
+#include "simmpi/engine.hpp"
+
+namespace spechpc::apps::cloverleaf {
+
+namespace {
+
+struct Flux {
+  double rho, mx, my, e;
+};
+
+// Slab with one ghost row above/below; interior rows 1..rows.
+struct Slab {
+  int nx = 0;
+  std::int64_t rows = 0;
+  std::int64_t y0 = 0;
+  std::size_t idx(std::int64_t x, std::int64_t y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  }
+  std::size_t size() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(rows + 2);
+  }
+};
+
+sim::Task<> exchange_state_ghosts(sim::Comm& comm, const Slab& s,
+                                  std::vector<State>& u) {
+  const int p = comm.size();
+  const auto nx = static_cast<std::size_t>(s.nx);
+  if (p == 1) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      u[s.idx(static_cast<std::int64_t>(x), 0)] =
+          u[s.idx(static_cast<std::int64_t>(x), s.rows)];
+      u[s.idx(static_cast<std::int64_t>(x), s.rows + 1)] =
+          u[s.idx(static_cast<std::int64_t>(x), 1)];
+    }
+    co_return;
+  }
+  const int up = (comm.rank() + 1) % p;
+  const int down = (comm.rank() + p - 1) % p;
+  // State is 4 doubles; pack boundary rows into flat buffers.
+  auto pack_row = [&](std::int64_t row, std::vector<double>& buf) {
+    buf.resize(4 * nx);
+    for (std::size_t x = 0; x < nx; ++x) {
+      const State& c = u[s.idx(static_cast<std::int64_t>(x), row)];
+      buf[4 * x + 0] = c.rho;
+      buf[4 * x + 1] = c.mx;
+      buf[4 * x + 2] = c.my;
+      buf[4 * x + 3] = c.e;
+    }
+  };
+  auto unpack_row = [&](std::int64_t row, const std::vector<double>& buf) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      State& c = u[s.idx(static_cast<std::int64_t>(x), row)];
+      c.rho = buf[4 * x + 0];
+      c.mx = buf[4 * x + 1];
+      c.my = buf[4 * x + 2];
+      c.e = buf[4 * x + 3];
+    }
+  };
+  std::vector<double> send_up, send_down, recv_up(4 * nx), recv_down(4 * nx);
+  pack_row(s.rows, send_up);
+  pack_row(1, send_down);
+  std::vector<sim::Request> reqs;
+  reqs.push_back(comm.irecv(down, 0, std::span<double>(recv_down)));
+  reqs.push_back(comm.irecv(up, 1, std::span<double>(recv_up)));
+  reqs.push_back(comm.isend(up, 0, std::span<const double>(send_up)));
+  reqs.push_back(comm.isend(down, 1, std::span<const double>(send_down)));
+  co_await comm.waitall(std::move(reqs));
+  unpack_row(0, recv_down);
+  unpack_row(s.rows + 1, recv_up);
+}
+
+}  // namespace
+
+DistributedEuler::DistributedEuler(int nx, int ny, double lx, double ly,
+                                   double gamma)
+    : nx_(nx), ny_(ny), dx_(lx / nx), dy_(ly / ny), gamma_(gamma) {
+  if (nx < 2 || ny < 2)
+    throw std::invalid_argument("DistributedEuler: bad grid");
+  if (gamma <= 1.0) throw std::invalid_argument("DistributedEuler: gamma");
+}
+
+sim::Task<> DistributedEuler::run(sim::Comm& comm, int steps,
+                                  const State& inner, const State& outer,
+                                  double cfl, double max_dt,
+                                  std::vector<double>* density_out) const {
+  if (comm.size() > ny_)
+    throw std::invalid_argument("DistributedEuler: more ranks than rows");
+  const Range ry = split_1d(ny_, comm.size(), comm.rank());
+  Slab s;
+  s.nx = nx_;
+  s.rows = ry.count;
+  s.y0 = ry.begin;
+
+  std::vector<State> u(s.size()), un(s.size());
+  for (std::int64_t j = 1; j <= s.rows; ++j)
+    for (std::int64_t i = 0; i < s.nx; ++i) {
+      const std::int64_t gy = s.y0 + j - 1;
+      u[s.idx(i, j)] = (i < nx_ / 2 && gy < ny_ / 2) ? inner : outer;
+    }
+
+  auto pressure_of = [&](const State& c) {
+    const double kinetic = 0.5 * (c.mx * c.mx + c.my * c.my) / c.rho;
+    return (gamma_ - 1.0) * (c.e - kinetic);
+  };
+  auto local_wave_speed = [&] {
+    double c = 1e-30;
+    for (std::int64_t j = 1; j <= s.rows; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i) {
+        const State& st = u[s.idx(i, j)];
+        const double p = std::max(1e-12, pressure_of(st));
+        const double a = std::sqrt(gamma_ * p / st.rho);
+        const double ux = std::abs(st.mx / st.rho);
+        const double uy = std::abs(st.my / st.rho);
+        c = std::max(c, std::max(ux, uy) + a);
+      }
+    return c;
+  };
+  auto phys_flux_x = [&](const State& st) -> Flux {
+    const double v = st.mx / st.rho;
+    const double p = pressure_of(st);
+    return {st.mx, st.mx * v + p, st.my * v, (st.e + p) * v};
+  };
+  auto phys_flux_y = [&](const State& st) -> Flux {
+    const double v = st.my / st.rho;
+    const double p = pressure_of(st);
+    return {st.my, st.mx * v, st.my * v + p, (st.e + p) * v};
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    // Global CFL wave speed: exact max-allreduce (bit-identical to serial).
+    const double a =
+        co_await comm.allreduce(local_wave_speed(), sim::ReduceOp::kMax);
+    const double dt = std::min(max_dt, cfl * std::min(dx_, dy_) / a);
+
+    co_await exchange_state_ghosts(comm, s, u);
+
+    auto lf = [&](const State& l, const State& r, const Flux& fl,
+                  const Flux& fr) -> Flux {
+      return {0.5 * (fl.rho + fr.rho) - 0.5 * a * (r.rho - l.rho),
+              0.5 * (fl.mx + fr.mx) - 0.5 * a * (r.mx - l.mx),
+              0.5 * (fl.my + fr.my) - 0.5 * a * (r.my - l.my),
+              0.5 * (fl.e + fr.e) - 0.5 * a * (r.e - l.e)};
+    };
+    auto at = [&](std::int64_t x, std::int64_t y) -> const State& {
+      return u[s.idx((x + s.nx) % s.nx, y)];  // ghosts cover y = 0, rows+1
+    };
+    for (std::int64_t j = 1; j <= s.rows; ++j) {
+      for (std::int64_t i = 0; i < s.nx; ++i) {
+        const State& c = u[s.idx(i, j)];
+        const State &xl = at(i - 1, j), &xr = at(i + 1, j);
+        const State &yd = at(i, j - 1), &yu = at(i, j + 1);
+        const Flux fxl = lf(xl, c, phys_flux_x(xl), phys_flux_x(c));
+        const Flux fxr = lf(c, xr, phys_flux_x(c), phys_flux_x(xr));
+        const Flux fyd = lf(yd, c, phys_flux_y(yd), phys_flux_y(c));
+        const Flux fyu = lf(c, yu, phys_flux_y(c), phys_flux_y(yu));
+        State& n = un[s.idx(i, j)];
+        n.rho = c.rho - dt / dx_ * (fxr.rho - fxl.rho) -
+                dt / dy_ * (fyu.rho - fyd.rho);
+        n.mx =
+            c.mx - dt / dx_ * (fxr.mx - fxl.mx) - dt / dy_ * (fyu.mx - fyd.mx);
+        n.my =
+            c.my - dt / dx_ * (fxr.my - fxl.my) - dt / dy_ * (fyu.my - fyd.my);
+        n.e = c.e - dt / dx_ * (fxr.e - fxl.e) - dt / dy_ * (fyu.e - fyd.e);
+      }
+    }
+    u.swap(un);
+  }
+
+  // Gather densities to rank 0 (all ranks participate).
+  std::vector<double> mine(static_cast<std::size_t>(s.rows) * nx_);
+  for (std::int64_t j = 1; j <= s.rows; ++j)
+    for (std::int64_t i = 0; i < s.nx; ++i)
+      mine[static_cast<std::size_t>(j - 1) * nx_ + static_cast<std::size_t>(i)] =
+          u[s.idx(i, j)].rho;
+  if (comm.rank() == 0) {
+    if (!density_out)
+      throw std::invalid_argument("DistributedEuler: rank 0 needs an output");
+    density_out->assign(static_cast<std::size_t>(nx_) * ny_, 0.0);
+    std::copy(mine.begin(), mine.end(), density_out->begin());
+    for (int src = 1; src < comm.size(); ++src) {
+      const Range rr = split_1d(ny_, comm.size(), src);
+      co_await comm.recv(
+          src, 17,
+          std::span<double>(
+              density_out->data() + static_cast<std::size_t>(rr.begin) * nx_,
+              static_cast<std::size_t>(rr.count) * nx_));
+    }
+  } else {
+    co_await comm.send(0, 17, std::span<const double>(mine));
+  }
+}
+
+std::vector<double> DistributedEuler::simulate(int nranks, int steps,
+                                               const State& inner,
+                                               const State& outer, double cfl,
+                                               double max_dt) const {
+  std::vector<double> density;
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  sim::Engine eng(std::move(cfg));
+  eng.run([&](sim::Comm& comm) -> sim::Task<> {
+    return run(comm, steps, inner, outer, cfl, max_dt,
+               comm.rank() == 0 ? &density : nullptr);
+  });
+  return density;
+}
+
+}  // namespace spechpc::apps::cloverleaf

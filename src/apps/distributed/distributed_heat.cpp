@@ -1,0 +1,191 @@
+#include "apps/distributed/distributed_heat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/decomp.hpp"
+#include "simmpi/engine.hpp"
+
+namespace spechpc::apps::tealeaf {
+
+namespace {
+
+// Local slab with one ghost row above and below; row-major, nx wide.
+struct Slab {
+  int nx = 0;
+  std::int64_t rows = 0;    // interior rows owned
+  std::int64_t y0 = 0;      // first global row
+  bool has_down = false;    // neighbor below (smaller y)
+  bool has_up = false;
+
+  std::size_t idx(std::int64_t x, std::int64_t y_local_with_ghost) const {
+    // y = 0 is the lower ghost row; interior rows are 1..rows.
+    return static_cast<std::size_t>(y_local_with_ghost) *
+               static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  }
+  std::size_t size() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(rows + 2);
+  }
+};
+
+// Exchanges the first/last interior rows into the neighbors' ghost rows.
+sim::Task<> exchange_ghosts(sim::Comm& comm, const Slab& s,
+                            std::vector<double>& v) {
+  const auto nx = static_cast<std::size_t>(s.nx);
+  std::vector<sim::Request> reqs;
+  if (s.has_down)
+    reqs.push_back(comm.irecv(
+        comm.rank() - 1, 0, std::span<double>(v.data(), nx)));  // lower ghost
+  if (s.has_up)
+    reqs.push_back(comm.irecv(
+        comm.rank() + 1, 1,
+        std::span<double>(v.data() + s.idx(0, s.rows + 1), nx)));
+  if (s.has_down)
+    reqs.push_back(comm.isend(
+        comm.rank() - 1, 1,
+        std::span<const double>(v.data() + s.idx(0, 1), nx)));
+  if (s.has_up)
+    reqs.push_back(comm.isend(
+        comm.rank() + 1, 0,
+        std::span<const double>(v.data() + s.idx(0, s.rows), nx)));
+  co_await comm.waitall(std::move(reqs));
+}
+
+// A = I + coef * (5-point Laplacian), Dirichlet boundaries; ghosts hold the
+// neighbor slabs' boundary rows (zero at the physical boundary).
+void apply_local(const Slab& s, double coef, const std::vector<double>& x,
+                 std::vector<double>& ax) {
+  for (std::int64_t j = 1; j <= s.rows; ++j) {
+    for (std::int64_t i = 0; i < s.nx; ++i) {
+      const double c = x[s.idx(i, j)];
+      const double l = i > 0 ? x[s.idx(i - 1, j)] : 0.0;
+      const double r = i < s.nx - 1 ? x[s.idx(i + 1, j)] : 0.0;
+      const double d = x[s.idx(i, j - 1)];  // ghost row holds 0 at boundary
+      const double u = x[s.idx(i, j + 1)];
+      ax[s.idx(i, j)] = c + coef * (4.0 * c - l - r - d - u);
+    }
+  }
+}
+
+double local_dot(const Slab& s, const std::vector<double>& a,
+                 const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::int64_t j = 1; j <= s.rows; ++j)
+    for (std::int64_t i = 0; i < s.nx; ++i)
+      sum += a[s.idx(i, j)] * b[s.idx(i, j)];
+  return sum;
+}
+
+}  // namespace
+
+DistributedHeatSolver::DistributedHeatSolver(int nx, int ny, double kappa,
+                                             double dt)
+    : nx_(nx), ny_(ny), coef_(dt * kappa) {
+  if (nx < 1 || ny < 1)
+    throw std::invalid_argument("DistributedHeatSolver: bad grid");
+  if (kappa <= 0.0 || dt <= 0.0)
+    throw std::invalid_argument("DistributedHeatSolver: bad parameters");
+}
+
+sim::Task<int> DistributedHeatSolver::step(sim::Comm& comm,
+                                           const std::vector<double>& u0,
+                                           std::vector<double>* out,
+                                           double tol, int max_iters) const {
+  if (u0.size() != static_cast<std::size_t>(nx_) * ny_)
+    throw std::invalid_argument("DistributedHeatSolver: field size mismatch");
+  if (comm.size() > ny_)
+    throw std::invalid_argument(
+        "DistributedHeatSolver: more ranks than grid rows");
+
+  const Range ry = split_1d(ny_, comm.size(), comm.rank());
+  Slab s;
+  s.nx = nx_;
+  s.rows = ry.count;
+  s.y0 = ry.begin;
+  s.has_down = comm.rank() > 0;
+  s.has_up = comm.rank() < comm.size() - 1;
+
+  // Local vectors with ghost rows (ghosts = 0 at physical boundaries).
+  std::vector<double> b(s.size(), 0.0), x(s.size(), 0.0), r(s.size(), 0.0),
+      p(s.size(), 0.0), ap(s.size(), 0.0);
+  for (std::int64_t j = 0; j < s.rows; ++j)
+    for (std::int64_t i = 0; i < s.nx; ++i) {
+      const double v =
+          u0[static_cast<std::size_t>(s.y0 + j) * nx_ + static_cast<std::size_t>(i)];
+      b[s.idx(i, j + 1)] = v;
+      x[s.idx(i, j + 1)] = v;  // initial guess: previous field
+    }
+
+  co_await exchange_ghosts(comm, s, x);
+  apply_local(s, coef_, x, ap);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - ap[i];
+  p = r;
+  double rr = co_await comm.allreduce(local_dot(s, r, r), sim::ReduceOp::kSum);
+  const double stop = tol * tol;
+
+  int it = 0;
+  for (; it < max_iters && rr > stop; ++it) {
+    co_await exchange_ghosts(comm, s, p);
+    apply_local(s, coef_, p, ap);
+    const double pap =
+        co_await comm.allreduce(local_dot(s, p, ap), sim::ReduceOp::kSum);
+    const double alpha = rr / pap;
+    for (std::int64_t j = 1; j <= s.rows; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i) {
+        x[s.idx(i, j)] += alpha * p[s.idx(i, j)];
+        r[s.idx(i, j)] -= alpha * ap[s.idx(i, j)];
+      }
+    const double rr_new =
+        co_await comm.allreduce(local_dot(s, r, r), sim::ReduceOp::kSum);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::int64_t j = 1; j <= s.rows; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i)
+        p[s.idx(i, j)] = r[s.idx(i, j)] + beta * p[s.idx(i, j)];
+  }
+
+  // Gather the interior rows to rank 0 (all ranks participate).
+  {
+    std::vector<double> mine(static_cast<std::size_t>(s.rows) * nx_);
+    for (std::int64_t j = 0; j < s.rows; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i)
+        mine[static_cast<std::size_t>(j) * nx_ + static_cast<std::size_t>(i)] =
+            x[s.idx(i, j + 1)];
+    if (comm.rank() == 0) {
+      if (!out)
+        throw std::invalid_argument(
+            "DistributedHeatSolver: rank 0 needs an output");
+      out->assign(static_cast<std::size_t>(nx_) * ny_, 0.0);
+      std::copy(mine.begin(), mine.end(), out->begin());
+      for (int src = 1; src < comm.size(); ++src) {
+        const Range rr2 = split_1d(ny_, comm.size(), src);
+        co_await comm.recv(
+            src, 99,
+            std::span<double>(out->data() +
+                                  static_cast<std::size_t>(rr2.begin) * nx_,
+                              static_cast<std::size_t>(rr2.count) * nx_));
+      }
+    } else {
+      co_await comm.send(0, 99, std::span<const double>(mine));
+    }
+  }
+  co_return it;
+}
+
+DistributedHeatSolver::Result DistributedHeatSolver::solve(
+    int nranks, const std::vector<double>& u0, double tol,
+    int max_iters) const {
+  Result res;
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  sim::Engine eng(std::move(cfg));
+  eng.run([&](sim::Comm& comm) -> sim::Task<> {
+    std::vector<double>* out = comm.rank() == 0 ? &res.field : nullptr;
+    const int it = co_await step(comm, u0, out, tol, max_iters);
+    if (comm.rank() == 0) res.iterations = it;
+  });
+  return res;
+}
+
+}  // namespace spechpc::apps::tealeaf

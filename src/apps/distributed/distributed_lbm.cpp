@@ -1,0 +1,203 @@
+#include "apps/distributed/distributed_lbm.hpp"
+
+#include <stdexcept>
+
+#include "apps/decomp.hpp"
+#include "apps/lbm/d2q9.hpp"
+#include "simmpi/engine.hpp"
+
+namespace spechpc::apps::lbm {
+
+namespace {
+
+using d2q9::equilibrium;
+using d2q9::kCx;
+using d2q9::kCy;
+using d2q9::kQ;
+
+// Slab of a periodic lattice: interior rows 1..rows, ghost rows 0 / rows+1.
+struct Slab {
+  int nx = 0;
+  std::int64_t rows = 0;
+  std::int64_t y0 = 0;
+
+  std::size_t idx(std::int64_t x, std::int64_t y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  }
+  std::size_t size() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(rows + 2);
+  }
+};
+
+using Field = std::array<std::vector<double>, kQ>;
+
+// Exchanges the post-collision boundary rows of all populations; the
+// lattice is globally periodic, so the ranks form a ring.
+sim::Task<> exchange_ghosts(sim::Comm& comm, const Slab& s, Field& f) {
+  const int p = comm.size();
+  const auto nx = static_cast<std::size_t>(s.nx);
+  if (p == 1) {
+    // Periodic wrap entirely local.
+    for (int q = 0; q < kQ; ++q) {
+      auto& v = f[static_cast<std::size_t>(q)];
+      for (std::size_t x = 0; x < nx; ++x) {
+        v[s.idx(static_cast<std::int64_t>(x), 0)] =
+            v[s.idx(static_cast<std::int64_t>(x), s.rows)];
+        v[s.idx(static_cast<std::int64_t>(x), s.rows + 1)] =
+            v[s.idx(static_cast<std::int64_t>(x), 1)];
+      }
+    }
+    co_return;
+  }
+  const int up = (comm.rank() + 1) % p;
+  const int down = (comm.rank() + p - 1) % p;
+  // Pack all populations' boundary rows into one message per direction.
+  std::vector<double> send_up(kQ * nx), send_down(kQ * nx);
+  std::vector<double> recv_up(kQ * nx), recv_down(kQ * nx);
+  for (int q = 0; q < kQ; ++q)
+    for (std::size_t x = 0; x < nx; ++x) {
+      send_up[static_cast<std::size_t>(q) * nx + x] =
+          f[static_cast<std::size_t>(q)]
+           [s.idx(static_cast<std::int64_t>(x), s.rows)];
+      send_down[static_cast<std::size_t>(q) * nx + x] =
+          f[static_cast<std::size_t>(q)][s.idx(static_cast<std::int64_t>(x), 1)];
+    }
+  std::vector<sim::Request> reqs;
+  reqs.push_back(comm.irecv(down, 0, std::span<double>(recv_down)));
+  reqs.push_back(comm.irecv(up, 1, std::span<double>(recv_up)));
+  reqs.push_back(comm.isend(up, 0, std::span<const double>(send_up)));
+  reqs.push_back(comm.isend(down, 1, std::span<const double>(send_down)));
+  co_await comm.waitall(std::move(reqs));
+  for (int q = 0; q < kQ; ++q)
+    for (std::size_t x = 0; x < nx; ++x) {
+      f[static_cast<std::size_t>(q)][s.idx(static_cast<std::int64_t>(x), 0)] =
+          recv_down[static_cast<std::size_t>(q) * nx + x];
+      f[static_cast<std::size_t>(q)]
+       [s.idx(static_cast<std::int64_t>(x), s.rows + 1)] =
+          recv_up[static_cast<std::size_t>(q) * nx + x];
+    }
+}
+
+void collide(const Slab& s, double omega, Field& f) {
+  for (std::int64_t j = 1; j <= s.rows; ++j) {
+    for (std::int64_t i = 0; i < s.nx; ++i) {
+      const std::size_t c = s.idx(i, j);
+      double rho = 0.0, mx = 0.0, my = 0.0;
+      for (int q = 0; q < kQ; ++q) {
+        const double v = f[static_cast<std::size_t>(q)][c];
+        rho += v;
+        mx += v * kCx[q];
+        my += v * kCy[q];
+      }
+      const double ux = mx / rho;
+      const double uy = my / rho;
+      for (int q = 0; q < kQ; ++q) {
+        double& v = f[static_cast<std::size_t>(q)][c];
+        v += omega * (equilibrium(q, rho, ux, uy) - v);
+      }
+    }
+  }
+}
+
+void propagate(const Slab& s, const Field& f, Field& out) {
+  for (int q = 0; q < kQ; ++q) {
+    const auto& src = f[static_cast<std::size_t>(q)];
+    auto& dst = out[static_cast<std::size_t>(q)];
+    for (std::int64_t j = 1; j <= s.rows; ++j) {
+      const std::int64_t js = j - kCy[q];  // ghost rows cover js = 0, rows+1
+      for (std::int64_t i = 0; i < s.nx; ++i) {
+        const std::int64_t is = (i - kCx[q] + s.nx) % s.nx;
+        dst[s.idx(i, j)] = src[s.idx(is, js)];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DistributedLbm::DistributedLbm(int nx, int ny, double tau)
+    : nx_(nx), ny_(ny), tau_(tau) {
+  if (nx < 1 || ny < 1)
+    throw std::invalid_argument("DistributedLbm: bad lattice");
+  if (tau <= 0.5) throw std::invalid_argument("DistributedLbm: tau <= 0.5");
+}
+
+sim::Task<> DistributedLbm::run(sim::Comm& comm, int steps, double rho,
+                                double ux, double uy, int bump_x, int bump_y,
+                                std::vector<double>* out) const {
+  if (comm.size() > ny_)
+    throw std::invalid_argument("DistributedLbm: more ranks than rows");
+  const Range ry = split_1d(ny_, comm.size(), comm.rank());
+  Slab s;
+  s.nx = nx_;
+  s.rows = ry.count;
+  s.y0 = ry.begin;
+
+  Field f, tmp;
+  for (int q = 0; q < kQ; ++q) {
+    f[static_cast<std::size_t>(q)].assign(s.size(), 0.0);
+    tmp[static_cast<std::size_t>(q)].assign(s.size(), 0.0);
+  }
+  for (std::int64_t j = 1; j <= s.rows; ++j)
+    for (std::int64_t i = 0; i < s.nx; ++i) {
+      const bool bump = (s.y0 + j - 1) == bump_y && i == bump_x;
+      for (int q = 0; q < kQ; ++q)
+        f[static_cast<std::size_t>(q)][s.idx(i, j)] =
+            equilibrium(q, bump ? rho * 1.5 : rho, ux, uy);
+    }
+
+  const double omega = 1.0 / tau_;
+  for (int step = 0; step < steps; ++step) {
+    collide(s, omega, f);
+    co_await exchange_ghosts(comm, s, f);
+    propagate(s, f, tmp);
+    for (int q = 0; q < kQ; ++q)
+      f[static_cast<std::size_t>(q)].swap(tmp[static_cast<std::size_t>(q)]);
+  }
+
+  {
+    // Gather per-rank density rows to rank 0 (all ranks participate).
+    std::vector<double> mine(static_cast<std::size_t>(s.rows) * nx_, 0.0);
+    for (std::int64_t j = 1; j <= s.rows; ++j)
+      for (std::int64_t i = 0; i < s.nx; ++i) {
+        double d = 0.0;
+        for (int q = 0; q < kQ; ++q)
+          d += f[static_cast<std::size_t>(q)][s.idx(i, j)];
+        mine[static_cast<std::size_t>(j - 1) * nx_ +
+             static_cast<std::size_t>(i)] = d;
+      }
+    if (comm.rank() == 0) {
+      if (!out)
+        throw std::invalid_argument("DistributedLbm: rank 0 needs an output");
+      out->assign(static_cast<std::size_t>(nx_) * ny_, 0.0);
+      std::copy(mine.begin(), mine.end(), out->begin());
+      for (int src = 1; src < comm.size(); ++src) {
+        const Range rr = split_1d(ny_, comm.size(), src);
+        co_await comm.recv(
+            src, 42,
+            std::span<double>(
+                out->data() + static_cast<std::size_t>(rr.begin) * nx_,
+                static_cast<std::size_t>(rr.count) * nx_));
+      }
+    } else {
+      co_await comm.send(0, 42, std::span<const double>(mine));
+    }
+  }
+}
+
+std::vector<double> DistributedLbm::simulate(int nranks, int steps, double rho,
+                                             double ux, double uy, int bump_x,
+                                             int bump_y) const {
+  std::vector<double> density;
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  sim::Engine eng(std::move(cfg));
+  eng.run([&](sim::Comm& comm) -> sim::Task<> {
+    return run(comm, steps, rho, ux, uy, bump_x, bump_y,
+               comm.rank() == 0 ? &density : nullptr);
+  });
+  return density;
+}
+
+}  // namespace spechpc::apps::lbm

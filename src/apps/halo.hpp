@@ -1,0 +1,49 @@
+// Nonblocking halo exchange used by the stencil-based proxies.
+#pragma once
+
+#include <vector>
+
+#include "apps/decomp.hpp"
+#include "simmpi/comm.hpp"
+
+namespace spechpc::apps {
+
+/// Exchanges modeled halo messages with up to four Cartesian neighbors
+/// (irecv all, isend all, waitall -- the deadlock-free pattern the stencil
+/// codes use).  bytes_x: size of the left/right (column) messages; bytes_y:
+/// size of the down/up (row) messages.  Negative neighbor ids are skipped.
+inline sim::Task<> exchange_halo_2d(sim::Comm& comm, const Neighbors2D& nb_in,
+                                    double bytes_x, double bytes_y,
+                                    int tag_base = 0) {
+  // Self-neighbors (periodic wrap of a 1-wide grid) are local copies in the
+  // real codes, not messages.
+  Neighbors2D nb = nb_in;
+  if (nb.left == comm.rank()) nb.left = -1;
+  if (nb.right == comm.rank()) nb.right = -1;
+  if (nb.down == comm.rank()) nb.down = -1;
+  if (nb.up == comm.rank()) nb.up = -1;
+  std::vector<sim::Request> reqs;
+  // Receives first so large sends find matching receives posted.
+  if (nb.left >= 0) reqs.push_back(comm.irecv_bytes(nb.left, tag_base + 0));
+  if (nb.right >= 0) reqs.push_back(comm.irecv_bytes(nb.right, tag_base + 1));
+  if (nb.down >= 0) reqs.push_back(comm.irecv_bytes(nb.down, tag_base + 2));
+  if (nb.up >= 0) reqs.push_back(comm.irecv_bytes(nb.up, tag_base + 3));
+  if (nb.left >= 0) reqs.push_back(comm.isend_bytes(nb.left, tag_base + 1, bytes_x));
+  if (nb.right >= 0) reqs.push_back(comm.isend_bytes(nb.right, tag_base + 0, bytes_x));
+  if (nb.down >= 0) reqs.push_back(comm.isend_bytes(nb.down, tag_base + 3, bytes_y));
+  if (nb.up >= 0) reqs.push_back(comm.isend_bytes(nb.up, tag_base + 2, bytes_y));
+  co_await comm.waitall(std::move(reqs));
+}
+
+/// Periodic variant: every rank has all four neighbors (torus).
+inline Neighbors2D periodic_neighbors_2d(int rank, const Grid2D& g) {
+  const Coord2D c = coord_2d(rank, g);
+  Neighbors2D n;
+  n.left = ((c.x + g.px - 1) % g.px) + c.y * g.px;
+  n.right = ((c.x + 1) % g.px) + c.y * g.px;
+  n.down = c.x + ((c.y + g.py - 1) % g.py) * g.px;
+  n.up = c.x + ((c.y + 1) % g.py) * g.px;
+  return n;
+}
+
+}  // namespace spechpc::apps

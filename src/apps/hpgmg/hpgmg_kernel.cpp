@@ -1,0 +1,145 @@
+#include "apps/hpgmg/hpgmg_kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spechpc::apps::hpgmg {
+
+MultigridPoisson::MultigridPoisson(int n) : n_(n) {
+  // n must be 2^k - 1 so that coarse grids nest: (n-1)/2 interior points.
+  int m = n;
+  while (m >= 3) {
+    if (m % 2 == 0) throw std::invalid_argument("MultigridPoisson: n != 2^k-1");
+    Level lv;
+    lv.n = m;
+    lv.h = 1.0 / (m + 1);
+    lv.u.assign(static_cast<std::size_t>(m) * m, 0.0);
+    lv.f.assign(static_cast<std::size_t>(m) * m, 0.0);
+    lv.r.assign(static_cast<std::size_t>(m) * m, 0.0);
+    levels_.push_back(std::move(lv));
+    m = (m - 1) / 2;
+  }
+  if (levels_.empty())
+    throw std::invalid_argument("MultigridPoisson: n too small");
+}
+
+void MultigridPoisson::set_rhs(const std::vector<double>& f) {
+  if (f.size() != levels_[0].f.size())
+    throw std::invalid_argument("MultigridPoisson: rhs size mismatch");
+  levels_[0].f = f;
+}
+
+void MultigridPoisson::smooth(Level& lv, int sweeps) {
+  const int n = lv.n;
+  const double h2 = lv.h * lv.h;
+  constexpr double kOmega = 0.8;  // weighted Jacobi
+  std::vector<double> tmp(lv.u.size());
+  for (int s = 0; s < sweeps; ++s) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const double l = x > 0 ? lv.u[idx(n, x - 1, y)] : 0.0;
+        const double r = x < n - 1 ? lv.u[idx(n, x + 1, y)] : 0.0;
+        const double d = y > 0 ? lv.u[idx(n, x, y - 1)] : 0.0;
+        const double t = y < n - 1 ? lv.u[idx(n, x, y + 1)] : 0.0;
+        const double jac = 0.25 * (l + r + d + t + h2 * lv.f[idx(n, x, y)]);
+        tmp[idx(n, x, y)] =
+            (1.0 - kOmega) * lv.u[idx(n, x, y)] + kOmega * jac;
+      }
+    }
+    lv.u.swap(tmp);
+  }
+}
+
+void MultigridPoisson::compute_residual(Level& lv) {
+  const int n = lv.n;
+  const double inv_h2 = 1.0 / (lv.h * lv.h);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const double c = lv.u[idx(n, x, y)];
+      const double l = x > 0 ? lv.u[idx(n, x - 1, y)] : 0.0;
+      const double r = x < n - 1 ? lv.u[idx(n, x + 1, y)] : 0.0;
+      const double d = y > 0 ? lv.u[idx(n, x, y - 1)] : 0.0;
+      const double t = y < n - 1 ? lv.u[idx(n, x, y + 1)] : 0.0;
+      lv.r[idx(n, x, y)] =
+          lv.f[idx(n, x, y)] - inv_h2 * (4.0 * c - l - r - d - t);
+    }
+  }
+}
+
+void MultigridPoisson::restrict_to(const Level& fine, Level& coarse) {
+  const int nc = coarse.n, nf = fine.n;
+  for (int yc = 0; yc < nc; ++yc) {
+    for (int xc = 0; xc < nc; ++xc) {
+      const int xf = 2 * xc + 1, yf = 2 * yc + 1;
+      auto at = [&](int x, int y) {
+        if (x < 0 || y < 0 || x >= nf || y >= nf) return 0.0;
+        return fine.r[idx(nf, x, y)];
+      };
+      coarse.f[idx(nc, xc, yc)] =
+          0.25 * at(xf, yf) +
+          0.125 * (at(xf - 1, yf) + at(xf + 1, yf) + at(xf, yf - 1) +
+                   at(xf, yf + 1)) +
+          0.0625 * (at(xf - 1, yf - 1) + at(xf + 1, yf - 1) +
+                    at(xf - 1, yf + 1) + at(xf + 1, yf + 1));
+    }
+  }
+}
+
+void MultigridPoisson::prolong_add(const Level& coarse, Level& fine) {
+  const int nc = coarse.n, nf = fine.n;
+  auto at = [&](int x, int y) {
+    if (x < 0 || y < 0 || x >= nc || y >= nc) return 0.0;
+    return coarse.u[idx(nc, x, y)];
+  };
+  for (int yf = 0; yf < nf; ++yf) {
+    for (int xf = 0; xf < nf; ++xf) {
+      const double xc = (xf - 1) / 2.0, yc = (yf - 1) / 2.0;
+      const int x0 = static_cast<int>(std::floor(xc));
+      const int y0 = static_cast<int>(std::floor(yc));
+      const double ax = xc - x0, ay = yc - y0;
+      fine.u[idx(nf, xf, yf)] +=
+          (1 - ax) * (1 - ay) * at(x0, y0) + ax * (1 - ay) * at(x0 + 1, y0) +
+          (1 - ax) * ay * at(x0, y0 + 1) + ax * ay * at(x0 + 1, y0 + 1);
+    }
+  }
+}
+
+void MultigridPoisson::cycle(std::size_t l, int pre, int post) {
+  Level& lv = levels_[l];
+  if (l + 1 == levels_.size()) {
+    smooth(lv, 32);  // coarsest: smooth hard (tiny grid)
+    return;
+  }
+  smooth(lv, pre);
+  compute_residual(lv);
+  Level& coarse = levels_[l + 1];
+  restrict_to(lv, coarse);
+  std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+  cycle(l + 1, pre, post);
+  prolong_add(coarse, lv);
+  smooth(lv, post);
+}
+
+double MultigridPoisson::residual_norm() const {
+  Level lv = levels_[0];  // copy: residual_norm is const
+  compute_residual(lv);
+  double s = 0.0;
+  for (double v : lv.r) s += v * v;
+  return std::sqrt(s);
+}
+
+double MultigridPoisson::vcycle(int pre_smooth, int post_smooth) {
+  cycle(0, pre_smooth, post_smooth);
+  return residual_norm();
+}
+
+int MultigridPoisson::solve(double tol, int max_cycles) {
+  double f2 = 0.0;
+  for (double v : levels_[0].f) f2 += v * v;
+  const double stop = tol * std::sqrt(f2);
+  for (int c = 1; c <= max_cycles; ++c)
+    if (vcycle() <= stop) return c;
+  return max_cycles;
+}
+
+}  // namespace spechpc::apps::hpgmg

@@ -1,0 +1,80 @@
+#include "apps/hpgmg/hpgmg_proxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/decomp.hpp"
+
+namespace spechpc::apps::hpgmg {
+
+namespace {
+
+constexpr double kSmoothSweeps = 4.0;     // pre+post smoothing per level
+constexpr double kBytesPerCellSweep = 3.0 * 8.0;  // u, f, u_new streams
+constexpr double kFlopsPerCellSweep = 15.0;
+constexpr double kSimdFraction = 0.88;
+
+const AppInfo kInfo{
+    .name = "hpgmgfv",
+    .language = "C",
+    .loc = 16700,
+    .collective = "Allreduce",
+    .numerics = "Finite-volume geometric multigrid, variable-coefficient",
+    .domain = "Cosmology, astrophysics, combustion",
+    .memory_bound = true,
+};
+
+}  // namespace
+
+const AppInfo& HpgmgProxy::info() const { return kInfo; }
+
+sim::Task<> HpgmgProxy::step(sim::Comm& comm, int /*iter*/) const {
+  const int p = comm.size();
+  const double local_fine =
+      static_cast<double>(cfg_.fine_cells) / p;
+  // Levels down to one box of box_dim^3 cells per rank.
+  const double coarsest_cells =
+      std::pow(2.0, 3.0 * cfg_.box_dim_log2);  // 32^3
+  const int levels = std::max(
+      1, 1 + static_cast<int>(std::log2(std::max(
+                 1.0, local_fine / coarsest_cells)) / 3.0));
+
+  // 1D neighbor chain models the box-to-box face exchange partners.
+  const int left = comm.rank() > 0 ? comm.rank() - 1 : -1;
+  const int right = comm.rank() + 1 < p ? comm.rank() + 1 : -1;
+
+  // Down- and up-sweep of one V-cycle.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int l = 0; l < levels; ++l) {
+      const int level = pass == 0 ? l : levels - 1 - l;
+      const double cells = local_fine / std::pow(8.0, level);
+      sim::KernelWork w;
+      w.label = "smooth_l" + std::to_string(level);
+      w.flops_simd =
+          cells * kFlopsPerCellSweep * kSmoothSweeps * kSimdFraction;
+      w.flops_scalar =
+          cells * kFlopsPerCellSweep * kSmoothSweeps * (1.0 - kSimdFraction);
+      w.issue_efficiency = 0.7;
+      const double sweep_bytes = cells * kBytesPerCellSweep * kSmoothSweeps;
+      w.traffic.mem_bytes = sweep_bytes;
+      w.traffic.l3_bytes = sweep_bytes;
+      w.traffic.l2_bytes = sweep_bytes * 1.2;
+      w.working_set_bytes = cells * 9.0;  // box-wise smoother reuse
+      w.concurrent_streams = 5;
+      co_await comm.compute(w);
+
+      // Face halo per smoothing sweep: shrinks by 4x per level.
+      const double face =
+          std::cbrt(cells) * std::cbrt(cells) * 8.0 * kSmoothSweeps;
+      const int tag = pass * 64 + level * 2;
+      if (left >= 0)
+        co_await comm.sendrecv(left, tag, face, left, tag + 1);
+      if (right >= 0)
+        co_await comm.sendrecv(right, tag + 1, face, right, tag);
+    }
+  }
+  // Residual norm for the convergence check.
+  co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+}
+
+}  // namespace spechpc::apps::hpgmg

@@ -1,0 +1,41 @@
+// SimMPI proxy of the SPEChpc "hpgmgfv" benchmark (534/634.hpgmgfv).
+//
+// Finite-volume geometric multigrid on a 3D Cartesian grid: per V-cycle a
+// level loop whose per-level grids shrink by 8x -- fine levels are memory
+// bound (weak bandwidth saturation), coarse levels live in cache but their
+// halo messages shrink to latency-bound size, so communication overhead
+// grows with scale and outweighs the cache gains (the paper's Case C).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::hpgmg {
+
+struct HpgmgConfig {
+  std::int64_t fine_cells = 0;  ///< total fine-grid cells
+  int box_dim_log2 = 5;         ///< finest boxes are 32^3 (Table 1)
+
+  static HpgmgConfig tiny() { return {512LL * 512 * 512, 5}; }
+  static HpgmgConfig small() { return {1024LL * 1024 * 1024, 5}; }
+};
+
+class HpgmgProxy final : public AppProxy {
+ public:
+  explicit HpgmgProxy(HpgmgConfig cfg) : cfg_(cfg) {}
+  explicit HpgmgProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? HpgmgConfig::tiny()
+                                  : HpgmgConfig::small()) {}
+
+  const AppInfo& info() const override;
+  const HpgmgConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  HpgmgConfig cfg_;
+};
+
+}  // namespace spechpc::apps::hpgmg

@@ -1,0 +1,20 @@
+// D2Q9 lattice constants shared by the serial and distributed LBM kernels.
+#pragma once
+
+namespace spechpc::apps::lbm::d2q9 {
+
+inline constexpr int kQ = 9;
+inline constexpr int kCx[kQ] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+inline constexpr int kCy[kQ] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+inline constexpr double kW[kQ] = {4.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,
+                                  1.0 / 9.0,  1.0 / 9.0,  1.0 / 36.0,
+                                  1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+
+/// Second-order BGK equilibrium distribution.
+inline double equilibrium(int q, double rho, double ux, double uy) {
+  const double cu = 3.0 * (kCx[q] * ux + kCy[q] * uy);
+  const double u2 = 1.5 * (ux * ux + uy * uy);
+  return kW[q] * rho * (1.0 + cu + 0.5 * cu * cu - u2);
+}
+
+}  // namespace spechpc::apps::lbm::d2q9

@@ -1,0 +1,112 @@
+#include "apps/lbm/lbm_kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/lbm/d2q9.hpp"
+
+namespace spechpc::apps::lbm {
+
+using d2q9::equilibrium;
+using d2q9::kCx;
+using d2q9::kCy;
+
+LbmSolver::LbmSolver(int nx, int ny, double tau) : nx_(nx), ny_(ny) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("LbmSolver: bad lattice");
+  if (tau <= 0.5) throw std::invalid_argument("LbmSolver: tau must be > 0.5");
+  omega_ = 1.0 / tau;
+  const auto n = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  for (int q = 0; q < kQ; ++q) {
+    f_[static_cast<std::size_t>(q)].assign(n, 0.0);
+    ftmp_[static_cast<std::size_t>(q)].assign(n, 0.0);
+  }
+}
+
+void LbmSolver::set_uniform(double rho, double ux, double uy) {
+  for (int y = 0; y < ny_; ++y)
+    for (int x = 0; x < nx_; ++x) set_cell(x, y, rho, ux, uy);
+}
+
+void LbmSolver::set_cell(int x, int y, double rho, double ux, double uy) {
+  for (int q = 0; q < kQ; ++q)
+    f_[static_cast<std::size_t>(q)][idx(x, y)] = equilibrium(q, rho, ux, uy);
+}
+
+double LbmSolver::density(int x, int y) const {
+  double rho = 0.0;
+  for (int q = 0; q < kQ; ++q) rho += f(q, x, y);
+  return rho;
+}
+
+std::array<double, 2> LbmSolver::velocity(int x, int y) const {
+  double rho = 0.0, mx = 0.0, my = 0.0;
+  for (int q = 0; q < kQ; ++q) {
+    const double v = f(q, x, y);
+    rho += v;
+    mx += v * kCx[q];
+    my += v * kCy[q];
+  }
+  return {mx / rho, my / rho};
+}
+
+double LbmSolver::total_mass() const {
+  double m = 0.0;
+  for (int q = 0; q < kQ; ++q)
+    for (double v : f_[static_cast<std::size_t>(q)]) m += v;
+  return m;
+}
+
+std::array<double, 2> LbmSolver::total_momentum() const {
+  double mx = 0.0, my = 0.0;
+  for (int q = 0; q < kQ; ++q) {
+    double s = 0.0;
+    for (double v : f_[static_cast<std::size_t>(q)]) s += v;
+    mx += s * kCx[q];
+    my += s * kCy[q];
+  }
+  return {mx, my};
+}
+
+void LbmSolver::collide() {
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      const std::size_t i = idx(x, y);
+      double rho = 0.0, mx = 0.0, my = 0.0;
+      for (int q = 0; q < kQ; ++q) {
+        const double v = f_[static_cast<std::size_t>(q)][i];
+        rho += v;
+        mx += v * kCx[q];
+        my += v * kCy[q];
+      }
+      const double ux = mx / rho;
+      const double uy = my / rho;
+      for (int q = 0; q < kQ; ++q) {
+        double& v = f_[static_cast<std::size_t>(q)][i];
+        v += omega_ * (equilibrium(q, rho, ux, uy) - v);
+      }
+    }
+  }
+}
+
+void LbmSolver::propagate() {
+  for (int q = 0; q < kQ; ++q) {
+    const auto& src = f_[static_cast<std::size_t>(q)];
+    auto& dst = ftmp_[static_cast<std::size_t>(q)];
+    for (int y = 0; y < ny_; ++y) {
+      const int ys = (y - kCy[q] + ny_) % ny_;
+      for (int x = 0; x < nx_; ++x) {
+        const int xs = (x - kCx[q] + nx_) % nx_;
+        dst[idx(x, y)] = src[idx(xs, ys)];
+      }
+    }
+  }
+  for (int q = 0; q < kQ; ++q)
+    f_[static_cast<std::size_t>(q)].swap(ftmp_[static_cast<std::size_t>(q)]);
+}
+
+void LbmSolver::step() {
+  collide();
+  propagate();
+}
+
+}  // namespace spechpc::apps::lbm

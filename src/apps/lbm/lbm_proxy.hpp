@@ -1,0 +1,47 @@
+// SimMPI proxy of the SPEChpc "lbm" benchmark (505.lbm_t / 605.lbm_s).
+//
+// D2Q37 lattice Boltzmann, 2D domain decomposition, nonblocking halo
+// exchange plus an MPI_Barrier per iteration (Table 1).  Per-site signature:
+// a memory-bound "propagate" kernel with 37 sparse population streams and a
+// high-intensity "collide" kernel with ~6600 flops per site update
+// (Sect. 4.1.6).  The 37 SoA streams make the kernel sensitive to the local
+// leading dimension: power-of-two lattices produce page-aligned strides for
+// many decompositions, which the machine model turns into the paper's
+// characteristic performance fluctuations.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::lbm {
+
+struct LbmConfig {
+  std::int64_t nx = 0;  ///< lattice X dimension
+  std::int64_t ny = 0;  ///< lattice Y dimension
+  int iterations = 0;   ///< official iteration count (run is per-step normalized)
+  /// Ablation (Sect. 5: the barrier "could be avoided because it is only
+  /// used to synchronize processes at the end of each iteration").
+  bool skip_barrier = false;
+
+  static LbmConfig tiny() { return {4096, 16384, 600}; }
+  static LbmConfig small() { return {12000, 48000, 500}; }
+};
+
+class LbmProxy final : public AppProxy {
+ public:
+  explicit LbmProxy(LbmConfig cfg) : cfg_(cfg) {}
+  explicit LbmProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? LbmConfig::tiny() : LbmConfig::small()) {}
+
+  const AppInfo& info() const override;
+  const LbmConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  LbmConfig cfg_;
+};
+
+}  // namespace spechpc::apps::lbm

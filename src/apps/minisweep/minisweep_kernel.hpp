@@ -1,0 +1,54 @@
+// Real discrete-ordinates transport sweep kernel (Minisweep's core).
+//
+// Upwind "diamond-difference-like" sweep of the steady transport equation
+// over a 3D structured grid for one angular direction: every cell depends on
+// its upwind neighbors in x, y and z, giving the wavefront dependency
+// structure that drives the KBA pipeline (and its serialization bug) in the
+// proxy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spechpc::apps::minisweep {
+
+/// One angular direction with positive direction cosines.
+struct Direction {
+  double mu = 0.0;   ///< |cosine| along x
+  double eta = 0.0;  ///< |cosine| along y
+  double xi = 0.0;   ///< |cosine| along z
+};
+
+class SweepSolver {
+ public:
+  /// nx x ny x nz cells, total cross-section sigma (absorption removes flux).
+  SweepSolver(int nx, int ny, int nz, double sigma);
+
+  /// Volumetric source, uniform; inflow boundary flux on the three upwind
+  /// faces of the octant.
+  void set_source(double q) { q_ = q; }
+  void set_inflow(double psi_in) { inflow_ = psi_in; }
+
+  /// Sweeps one direction; returns the angular flux field (x fastest).
+  std::vector<double> sweep(const Direction& d) const;
+
+  /// Scalar flux: mean over a set of directions (quadrature weight 1/n).
+  std::vector<double> scalar_flux(const std::vector<Direction>& dirs) const;
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+
+ private:
+  std::size_t idx(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * ny_ + y) * nx_ +
+           static_cast<std::size_t>(x);
+  }
+
+  int nx_, ny_, nz_;
+  double sigma_;
+  double q_ = 0.0;
+  double inflow_ = 0.0;
+};
+
+}  // namespace spechpc::apps::minisweep

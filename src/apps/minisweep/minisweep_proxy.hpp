@@ -1,0 +1,47 @@
+// SimMPI proxy of the SPEChpc "minisweep" benchmark (521/621.miniswp).
+//
+// KBA radiation-transport sweep: the domain is decomposed over a (py, pz)
+// process grid, the z-dimension is tiled into blocks, and angular-flux faces
+// ripple through the process grid as a pipelined wavefront.  The proxy
+// reproduces the original's communication ordering -- every process issues
+// its (large, rendezvous-mode) face send to the downstream neighbor BEFORE
+// posting the upwind receive (Sect. 4.1.5) -- which serializes the whole
+// chain whenever the process grid degenerates to 1 x p (prime and awkward
+// process counts).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::minisweep {
+
+struct MinisweepConfig {
+  int ncell_x = 0, ncell_y = 0, ncell_z = 0;
+  int num_groups = 0;   ///< energy groups
+  int num_angles = 0;   ///< angles per octant direction
+  int nblock_z = 0;     ///< KBA z-blocks
+  int octant_pairs = 2; ///< modeled sweep directions per iteration
+
+  static MinisweepConfig tiny() { return {96, 64, 64, 64, 32, 8, 2}; }
+  static MinisweepConfig small() { return {128, 64, 64, 64, 32, 8, 2}; }
+};
+
+class MinisweepProxy final : public AppProxy {
+ public:
+  explicit MinisweepProxy(MinisweepConfig cfg) : cfg_(cfg) {}
+  explicit MinisweepProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? MinisweepConfig::tiny()
+                                  : MinisweepConfig::small()) {}
+
+  const AppInfo& info() const override;
+  const MinisweepConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  MinisweepConfig cfg_;
+};
+
+}  // namespace spechpc::apps::minisweep

@@ -1,0 +1,106 @@
+#include "apps/pot3d/pot3d_kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace spechpc::apps::pot3d {
+
+PotentialSolver::PotentialSolver(int nr, int nt, int np)
+    : nr_(nr), nt_(nt), np_(np) {
+  if (nr < 2 || nt < 2 || np < 2)
+    throw std::invalid_argument("PotentialSolver: bad grid");
+  constexpr double kR0 = 1.0, kR1 = 2.5;
+  dr_ = (kR1 - kR0) / (nr + 1);
+  dt_ = std::numbers::pi / (nt + 1);
+  dp_ = 2.0 * std::numbers::pi / np;
+  r_.resize(static_cast<std::size_t>(nr));
+  for (int i = 0; i < nr; ++i)
+    r_[static_cast<std::size_t>(i)] = kR0 + (i + 1) * dr_;
+  sin_t_.resize(static_cast<std::size_t>(nt));
+  for (int j = 0; j < nt; ++j)
+    sin_t_[static_cast<std::size_t>(j)] = std::sin((j + 1) * dt_);
+
+  // Precompute the (negative-definite-made-positive) stencil diagonal.
+  diag_.assign(size(), 0.0);
+  for (int k = 0; k < np_; ++k)
+    for (int j = 0; j < nt_; ++j)
+      for (int i = 0; i < nr_; ++i) {
+        const double r = r_[static_cast<std::size_t>(i)];
+        const double st = sin_t_[static_cast<std::size_t>(j)];
+        diag_[idx(i, j, k)] = 2.0 / (dr_ * dr_) +
+                              2.0 / (r * r * dt_ * dt_) +
+                              2.0 / (r * r * st * st * dp_ * dp_);
+      }
+}
+
+void PotentialSolver::apply(const std::vector<double>& x,
+                            std::vector<double>& ax) const {
+  ax.assign(size(), 0.0);
+  for (int k = 0; k < np_; ++k) {
+    const int km = (k + np_ - 1) % np_;  // phi periodic
+    const int kp = (k + 1) % np_;
+    for (int j = 0; j < nt_; ++j) {
+      for (int i = 0; i < nr_; ++i) {
+        const double r = r_[static_cast<std::size_t>(i)];
+        const double st = sin_t_[static_cast<std::size_t>(j)];
+        const double cr = 1.0 / (dr_ * dr_);
+        const double ct = 1.0 / (r * r * dt_ * dt_);
+        const double cp = 1.0 / (r * r * st * st * dp_ * dp_);
+        // -Laplacian (positive definite): diag*x - offdiag couplings.
+        double v = diag_[idx(i, j, k)] * x[idx(i, j, k)];
+        if (i > 0) v -= cr * x[idx(i - 1, j, k)];
+        if (i < nr_ - 1) v -= cr * x[idx(i + 1, j, k)];
+        if (j > 0) v -= ct * x[idx(i, j - 1, k)];
+        if (j < nt_ - 1) v -= ct * x[idx(i, j + 1, k)];
+        v -= cp * x[idx(i, j, km)];
+        v -= cp * x[idx(i, j, kp)];
+        ax[idx(i, j, k)] = v;
+      }
+    }
+  }
+}
+
+int PotentialSolver::solve(const std::vector<double>& b,
+                           std::vector<double>& x, double tol,
+                           int max_iters) {
+  if (b.size() != size())
+    throw std::invalid_argument("PotentialSolver: rhs size mismatch");
+  const std::size_t n = size();
+  x.assign(n, 0.0);
+  std::vector<double> r = b, z(n), p(n), ap(n);
+
+  auto dot = [](const std::vector<double>& a, const std::vector<double>& c) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * c[i];
+    return s;
+  };
+  auto precondition = [&](const std::vector<double>& rin,
+                          std::vector<double>& zout) {
+    for (std::size_t i = 0; i < rin.size(); ++i) zout[i] = rin[i] / diag_[i];
+  };
+
+  precondition(r, z);
+  p = z;
+  double rz = dot(r, z);
+  const double stop = tol * tol * dot(b, b);
+
+  int it = 0;
+  for (; it < max_iters && dot(r, r) > stop; ++it) {
+    apply(p, ap);
+    const double alpha = rz / dot(p, ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    precondition(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  last_residual_ = std::sqrt(dot(r, r));
+  return it;
+}
+
+}  // namespace spechpc::apps::pot3d

@@ -1,0 +1,48 @@
+// Real potential-field solver kernel (POT3D's numerical core).
+//
+// Preconditioned conjugate gradients (Jacobi/diagonal preconditioner) for
+// the variable-coefficient 7-point Laplacian in 3D spherical coordinates
+// (r, theta, phi), the solver POT3D uses for solar coronal potential-field
+// reconstructions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spechpc::apps::pot3d {
+
+class PotentialSolver {
+ public:
+  /// nr x nt x np interior points on r in [1, 2.5], theta in (0, pi),
+  /// phi in [0, 2*pi) (phi periodic).
+  PotentialSolver(int nr, int nt, int np);
+
+  /// Applies the spherical Laplacian stencil (Dirichlet in r/theta).
+  void apply(const std::vector<double>& x, std::vector<double>& ax) const;
+
+  /// Solves A x = b with PCG; returns iterations used.
+  int solve(const std::vector<double>& b, std::vector<double>& x, double tol,
+            int max_iters);
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(nr_) * nt_ * np_;
+  }
+  double last_residual() const { return last_residual_; }
+  int nr() const { return nr_; }
+  int nt() const { return nt_; }
+  int np() const { return np_; }
+
+ private:
+  std::size_t idx(int i, int j, int k) const {
+    return (static_cast<std::size_t>(k) * nt_ + j) * nr_ +
+           static_cast<std::size_t>(i);
+  }
+
+  int nr_, nt_, np_;
+  std::vector<double> r_, sin_t_;       // coordinate values
+  std::vector<double> diag_;            // stencil diagonal (preconditioner)
+  double dr_, dt_, dp_;
+  double last_residual_ = 0.0;
+};
+
+}  // namespace spechpc::apps::pot3d

@@ -1,0 +1,98 @@
+#include "apps/pot3d/pot3d_proxy.hpp"
+
+#include <vector>
+
+#include "apps/decomp.hpp"
+
+namespace spechpc::apps::pot3d {
+
+namespace {
+
+constexpr double kBytesPerCellIter = 70.0;  // SpMV + PCG vector updates
+constexpr double kFlopsPerCellIter = 22.0;
+constexpr double kSimdFraction = 0.96;
+constexpr double kHotArrays = 4.0;  // CG vectors re-touched every iteration
+
+const AppInfo kInfo{
+    .name = "pot3d",
+    .language = "Fortran",
+    .loc = 495000,
+    .collective = "Allreduce",
+    .numerics = "Preconditioned CG, Laplace in 3D spherical coordinates",
+    .domain = "Solar physics",
+    .memory_bound = true,
+};
+
+}  // namespace
+
+const AppInfo& Pot3dProxy::info() const { return kInfo; }
+
+sim::Task<> Pot3dProxy::step(sim::Comm& comm, int /*iter*/) const {
+  const int p = comm.size();
+  const Grid3D g = choose_grid_3d(p);
+  const int ci = comm.rank() % g.px;
+  const int cj = (comm.rank() / g.px) % g.py;
+  const int ck = comm.rank() / (g.px * g.py);
+  const Range rr = split_1d(cfg_.nr, g.px, ci);
+  const Range rt = split_1d(cfg_.nt, g.py, cj);
+  const Range rp = split_1d(cfg_.np, g.pz, ck);
+  const double cells =
+      static_cast<double>(rr.count) * rt.count * rp.count;
+
+  // Six face neighbors: r and theta open, phi periodic.  recv_tag is this
+  // rank's face direction; the matching send uses the peer's direction
+  // (opposite face), so pairs line up deterministically.
+  struct Face {
+    int peer;
+    double bytes;
+    int recv_tag;
+    int send_tag;
+  };
+  std::vector<Face> faces;
+  const double face_r = static_cast<double>(rt.count) * rp.count * 8.0;
+  const double face_t = static_cast<double>(rr.count) * rp.count * 8.0;
+  const double face_p = static_cast<double>(rr.count) * rt.count * 8.0;
+  if (ci > 0) faces.push_back({comm.rank() - 1, face_r, 100, 101});
+  if (ci < g.px - 1) faces.push_back({comm.rank() + 1, face_r, 101, 100});
+  if (cj > 0) faces.push_back({comm.rank() - g.px, face_t, 102, 103});
+  if (cj < g.py - 1) faces.push_back({comm.rank() + g.px, face_t, 103, 102});
+  if (g.pz > 1) {
+    const int km = ci + cj * g.px + ((ck + g.pz - 1) % g.pz) * g.px * g.py;
+    const int kp = ci + cj * g.px + ((ck + 1) % g.pz) * g.px * g.py;
+    if (km == kp) {
+      // Two-rank ring in phi: a single symmetric exchange.
+      faces.push_back({km, face_p, 104, 104});
+    } else {
+      faces.push_back({km, face_p, 104, 105});
+      faces.push_back({kp, face_p, 105, 104});
+    }
+  }
+
+  for (int it = 0; it < cfg_.cg_iters_per_step; ++it) {
+    sim::KernelWork w;
+    w.label = "pcg_iteration";
+    w.flops_simd = cells * kFlopsPerCellIter * kSimdFraction;
+    w.flops_scalar = cells * kFlopsPerCellIter * (1.0 - kSimdFraction);
+    w.issue_efficiency = 0.8;
+    w.traffic.mem_bytes = cells * kBytesPerCellIter;
+    w.traffic.l3_bytes = cells * kBytesPerCellIter;
+    w.traffic.l2_bytes = cells * kBytesPerCellIter * 1.2;
+    w.working_set_bytes = cells * 8.0 * kHotArrays;
+    w.concurrent_streams = 7;
+    co_await comm.compute(w);
+
+    // Halo of the search direction over all six faces.
+    std::vector<sim::Request> reqs;
+    for (const Face& f : faces)
+      reqs.push_back(comm.irecv_bytes(f.peer, f.recv_tag));
+    for (const Face& f : faces)
+      reqs.push_back(comm.isend_bytes(f.peer, f.send_tag, f.bytes));
+    co_await comm.waitall(std::move(reqs));
+
+    // pAp and r.z dot products.
+    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+  }
+}
+
+}  // namespace spechpc::apps::pot3d

@@ -1,0 +1,43 @@
+// SimMPI proxy of the SPEChpc "pot3d" benchmark (528/628.pot3d).
+//
+// Preconditioned CG for the Laplace equation in 3D spherical coordinates:
+// per iteration a memory-bound 7-point SpMV plus vector updates, a 6-face
+// halo exchange over a 3D process grid, and two scalar MPI_Allreduce
+// reductions.  Strongly memory bound, very well vectorized, and the
+// "hot" CG working set (x, r, p, z vectors) is small enough to slide into
+// the aggregate caches at high node counts -- the paper's Case A
+// superlinear multi-node scaling.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::pot3d {
+
+struct Pot3dConfig {
+  int nr = 0, nt = 0, np = 0;
+  int cg_iters_per_step = 25;
+
+  static Pot3dConfig tiny() { return {173, 361, 1171, 25}; }
+  static Pot3dConfig small() { return {325, 450, 2050, 25}; }
+};
+
+class Pot3dProxy final : public AppProxy {
+ public:
+  explicit Pot3dProxy(Pot3dConfig cfg) : cfg_(cfg) {}
+  explicit Pot3dProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? Pot3dConfig::tiny()
+                                  : Pot3dConfig::small()) {}
+
+  const AppInfo& info() const override;
+  const Pot3dConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  Pot3dConfig cfg_;
+};
+
+}  // namespace spechpc::apps::pot3d

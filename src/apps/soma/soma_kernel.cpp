@@ -1,0 +1,129 @@
+#include "apps/soma/soma_kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spechpc::apps::soma {
+
+PolymerSystem::PolymerSystem(const SomaParams& params)
+    : params_(params), rng_state_(params.seed * 2654435761u + 1u) {
+  if (params.n_polymers < 1 || params.beads_per_polymer < 2)
+    throw std::invalid_argument("PolymerSystem: bad sizes");
+  const int n = n_beads();
+  x_.resize(static_cast<std::size_t>(n));
+  y_.resize(static_cast<std::size_t>(n));
+  // Random-walk initial conformations.
+  for (int p = 0; p < params_.n_polymers; ++p) {
+    double px = rng01() * params_.box;
+    double py = rng01() * params_.box;
+    for (int b = 0; b < params_.beads_per_polymer; ++b) {
+      const int i = p * params_.beads_per_polymer + b;
+      x_[static_cast<std::size_t>(i)] = wrap(px);
+      y_[static_cast<std::size_t>(i)] = wrap(py);
+      px += (rng01() - 0.5);
+      py += (rng01() - 0.5);
+    }
+  }
+  density_.assign(static_cast<std::size_t>(params_.grid) * params_.grid, 0.0);
+  update_density();
+}
+
+double PolymerSystem::rng01() {
+  // xorshift64*: deterministic, seed-reproducible.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return static_cast<double>((rng_state_ * 2685821657736338717ull) >> 11) /
+         9007199254740992.0;
+}
+
+double PolymerSystem::wrap(double v) const {
+  v = std::fmod(v, params_.box);
+  return v < 0.0 ? v + params_.box : v;
+}
+
+int PolymerSystem::cell_of(double v) const {
+  int c = static_cast<int>(v / params_.box * params_.grid);
+  if (c >= params_.grid) c = params_.grid - 1;
+  if (c < 0) c = 0;
+  return c;
+}
+
+void PolymerSystem::update_density() {
+  for (double& d : density_) d = 0.0;
+  for (int i = 0; i < n_beads(); ++i)
+    density_[static_cast<std::size_t>(cell_of(y_[static_cast<std::size_t>(
+                 i)])) *
+                 params_.grid +
+             cell_of(x_[static_cast<std::size_t>(i)])] += 1.0;
+}
+
+double PolymerSystem::total_density() const {
+  double s = 0.0;
+  for (double d : density_) s += d;
+  return s;
+}
+
+double PolymerSystem::bond_energy() const {
+  double e = 0.0;
+  for (int p = 0; p < params_.n_polymers; ++p) {
+    for (int b = 1; b < params_.beads_per_polymer; ++b) {
+      const int i = p * params_.beads_per_polymer + b;
+      double dx = x_[static_cast<std::size_t>(i)] -
+                  x_[static_cast<std::size_t>(i - 1)];
+      double dy = y_[static_cast<std::size_t>(i)] -
+                  y_[static_cast<std::size_t>(i - 1)];
+      // Minimum image.
+      if (dx > params_.box / 2) dx -= params_.box;
+      if (dx < -params_.box / 2) dx += params_.box;
+      if (dy > params_.box / 2) dy -= params_.box;
+      if (dy < -params_.box / 2) dy += params_.box;
+      e += 0.5 * params_.bond_k * (dx * dx + dy * dy);
+    }
+  }
+  return e;
+}
+
+double PolymerSystem::local_energy(int bead, double px, double py) const {
+  double e = 0.0;
+  const int p = bead / params_.beads_per_polymer;
+  const int b = bead % params_.beads_per_polymer;
+  auto bond = [&](int j) {
+    double dx = px - x_[static_cast<std::size_t>(j)];
+    double dy = py - y_[static_cast<std::size_t>(j)];
+    if (dx > params_.box / 2) dx -= params_.box;
+    if (dx < -params_.box / 2) dx += params_.box;
+    if (dy > params_.box / 2) dy -= params_.box;
+    if (dy < -params_.box / 2) dy += params_.box;
+    e += 0.5 * params_.bond_k * (dx * dx + dy * dy);
+  };
+  if (b > 0) bond(bead - 1);
+  if (b < params_.beads_per_polymer - 1) bond(bead + 1);
+  (void)p;
+  // Soft density repulsion from the (replicated) grid.
+  e += params_.density_chi *
+       density_[static_cast<std::size_t>(cell_of(py)) * params_.grid +
+                cell_of(px)];
+  return e;
+}
+
+double PolymerSystem::sweep(double beta) {
+  int accepted = 0;
+  const int n = n_beads();
+  for (int i = 0; i < n; ++i) {
+    const double ox = x_[static_cast<std::size_t>(i)];
+    const double oy = y_[static_cast<std::size_t>(i)];
+    const double nx = wrap(ox + (rng01() - 0.5) * 2.0 * params_.max_move);
+    const double ny = wrap(oy + (rng01() - 0.5) * 2.0 * params_.max_move);
+    const double de = local_energy(i, nx, ny) - local_energy(i, ox, oy);
+    if (de <= 0.0 || rng01() < std::exp(-beta * de)) {
+      x_[static_cast<std::size_t>(i)] = nx;
+      y_[static_cast<std::size_t>(i)] = ny;
+      ++accepted;
+    }
+  }
+  update_density();
+  return static_cast<double>(accepted) / n;
+}
+
+}  // namespace spechpc::apps::soma

@@ -1,0 +1,58 @@
+// Real soft-coarse-grained polymer Monte-Carlo kernel (SOMA's core).
+//
+// Bead-spring polymers in a periodic box interacting through a soft
+// density-functional (SCMF-style) potential accumulated on a grid: each MC
+// sweep proposes random bead displacements accepted by Metropolis on the
+// bond energy + local density penalty.  The density *grid is replicated*
+// across ranks in the original -- the root cause of the paper's soma
+// memory-traffic findings, modeled by the proxy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spechpc::apps::soma {
+
+struct SomaParams {
+  int n_polymers = 8;
+  int beads_per_polymer = 16;
+  int grid = 16;            ///< density grid cells per dimension (2D)
+  double box = 16.0;        ///< box length
+  double bond_k = 1.0;      ///< harmonic bond stiffness
+  double density_chi = 0.5; ///< soft repulsion strength
+  double max_move = 0.5;    ///< proposal displacement
+  std::uint64_t seed = 42;
+};
+
+class PolymerSystem {
+ public:
+  explicit PolymerSystem(const SomaParams& params);
+
+  /// One MC sweep (one proposed move per bead); returns acceptance ratio.
+  double sweep(double beta);
+
+  /// Recomputes the density grid from bead positions.
+  void update_density();
+
+  int n_beads() const {
+    return params_.n_polymers * params_.beads_per_polymer;
+  }
+  double total_density() const;  ///< sums to n_beads (conservation)
+  double bond_energy() const;
+  const std::vector<double>& density() const { return density_; }
+  double bead_x(int i) const { return x_[static_cast<std::size_t>(i)]; }
+  double bead_y(int i) const { return y_[static_cast<std::size_t>(i)]; }
+
+ private:
+  double wrap(double v) const;
+  int cell_of(double v) const;
+  double local_energy(int bead, double px, double py) const;
+  double rng01();
+
+  SomaParams params_;
+  std::vector<double> x_, y_;
+  std::vector<double> density_;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace spechpc::apps::soma

@@ -1,0 +1,44 @@
+// SimMPI proxy of the SPEChpc "soma" benchmark (513/613.soma).
+//
+// Monte-Carlo polymer dynamics with a *replicated* density field: polymer
+// work is distributed over ranks (scalar, essentially unvectorized), but
+// every rank scans its full replica of the interaction field each step and
+// the replicas are combined with a large MPI_Allreduce.  This reproduces
+// the paper's signature soma behavior (Sect. 5.1.2): aggregate memory
+// traffic rises linearly with rank count, per-node bandwidth climbs to a
+// plateau while scaling stalls, and MPI reductions dominate the runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::soma {
+
+struct SomaConfig {
+  std::int64_t n_polymers = 0;
+  int beads_per_polymer = 32;
+  double field_bytes = 0.0;  ///< replicated density-field size
+
+  static SomaConfig tiny() { return {14000000, 32, 32.0e6}; }
+  static SomaConfig small() { return {25000000, 32, 48.0e6}; }
+};
+
+class SomaProxy final : public AppProxy {
+ public:
+  explicit SomaProxy(SomaConfig cfg) : cfg_(cfg) {}
+  explicit SomaProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? SomaConfig::tiny() : SomaConfig::small()) {
+  }
+
+  const AppInfo& info() const override;
+  const SomaConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  SomaConfig cfg_;
+};
+
+}  // namespace spechpc::apps::soma

@@ -1,0 +1,105 @@
+#include "apps/sphexa/sphexa_kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace spechpc::apps::sphexa {
+
+void SphSystem::add_particle(double x, double y, double vx, double vy) {
+  x_.push_back(x);
+  y_.push_back(y);
+  vx_.push_back(vx);
+  vy_.push_back(vy);
+  rho_.push_back(0.0);
+  ax_.push_back(0.0);
+  ay_.push_back(0.0);
+}
+
+double SphSystem::kernel_w(double r, double h) {
+  // 2D cubic spline, normalization 10 / (7 pi h^2).
+  const double q = r / h;
+  const double sigma = 10.0 / (7.0 * std::numbers::pi * h * h);
+  if (q < 1.0) return sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+  if (q < 2.0) {
+    const double t = 2.0 - q;
+    return sigma * 0.25 * t * t * t;
+  }
+  return 0.0;
+}
+
+double SphSystem::kernel_dw(double r, double h) {
+  const double q = r / h;
+  const double sigma = 10.0 / (7.0 * std::numbers::pi * h * h);
+  if (q < 1.0) return sigma / h * (-3.0 * q + 2.25 * q * q);
+  if (q < 2.0) {
+    const double t = 2.0 - q;
+    return -sigma / h * 0.75 * t * t;
+  }
+  return 0.0;
+}
+
+void SphSystem::compute_density() {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double rho = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = x_[i] - x_[j];
+      const double dy = y_[i] - y_[j];
+      rho += params_.mass * kernel_w(std::sqrt(dx * dx + dy * dy), params_.h);
+    }
+    rho_[i] = rho;
+  }
+}
+
+double SphSystem::pressure(std::size_t i) const {
+  return params_.k_pressure * std::pow(rho_[i], params_.gamma);
+}
+
+void SphSystem::compute_forces() {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ax_[i] = 0.0;
+    ay_[i] = 0.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pi_term = pressure(i) / (rho_[i] * rho_[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x_[i] - x_[j];
+      const double dy = y_[i] - y_[j];
+      const double r = std::sqrt(dx * dx + dy * dy);
+      if (r <= 1e-12 || r >= 2.0 * params_.h) continue;
+      const double pj_term = pressure(j) / (rho_[j] * rho_[j]);
+      // Symmetric pressure force: momentum-conserving by construction.
+      const double f =
+          -params_.mass * (pi_term + pj_term) * kernel_dw(r, params_.h);
+      const double fx = f * dx / r;
+      const double fy = f * dy / r;
+      ax_[i] += fx;
+      ay_[i] += fy;
+      ax_[j] -= fx;
+      ay_[j] -= fy;
+    }
+  }
+}
+
+void SphSystem::step(double dt) {
+  compute_density();
+  compute_forces();
+  for (std::size_t i = 0; i < size(); ++i) {
+    vx_[i] += dt * ax_[i];
+    vy_[i] += dt * ay_[i];
+    x_[i] += dt * vx_[i];
+    y_[i] += dt * vy_[i];
+  }
+}
+
+std::pair<double, double> SphSystem::momentum() const {
+  double px = 0.0, py = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    px += params_.mass * vx_[i];
+    py += params_.mass * vy_[i];
+  }
+  return {px, py};
+}
+
+}  // namespace spechpc::apps::sphexa

@@ -1,0 +1,71 @@
+#include "apps/sphexa/sphexa_proxy.hpp"
+
+#include <cmath>
+
+#include "apps/decomp.hpp"
+
+namespace spechpc::apps::sphexa {
+
+namespace {
+
+constexpr double kFlopsPerParticle = 9000.0;  // ~100 neighbors x 2 passes
+constexpr double kSimdFraction = 0.80;
+constexpr double kBytesPerParticle = 110.0;   // tree-ordered, cache friendly
+constexpr double kHaloFields = 10.0;
+constexpr double kHaloLayers = 4.0;           // 2h interaction shell
+constexpr double kOctreeBytesPerParticle = 8.0 / 64.0;  // global tree metadata
+
+const AppInfo kInfo{
+    .name = "sph-exa",
+    .language = "C++14",
+    .loc = 3400,
+    .collective = "Allreduce",
+    .numerics = "Smoothed Particle Hydrodynamics (meshless Lagrangian)",
+    .domain = "Astrophysics and cosmology",
+    .memory_bound = false,
+};
+
+}  // namespace
+
+const AppInfo& SphexaProxy::info() const { return kInfo; }
+
+sim::Task<> SphexaProxy::step(sim::Comm& comm, int /*iter*/) const {
+  const int p = comm.size();
+  const Range mine = split_1d(cfg_.n_particles, p, comm.rank());
+  const double local = static_cast<double>(mine.count);
+  // Surface particles exchanged with each of ~6 spatial neighbors.
+  const double surface = std::cbrt(local) * std::cbrt(local);
+  const double halo_bytes = surface * kHaloLayers * kHaloFields * 8.0;
+  // 1D neighbor chain stands in for the space-filling-curve decomposition.
+  const int left = comm.rank() > 0 ? comm.rank() - 1 : -1;
+  const int right = comm.rank() + 1 < p ? comm.rank() + 1 : -1;
+
+  for (int pass = 0; pass < 2; ++pass) {  // density pass, then force pass
+    // Blocking pairwise halo exchange (the original's pattern).
+    const int tag = pass * 4;
+    if (left >= 0) co_await comm.sendrecv(left, tag, halo_bytes, left, tag + 1);
+    if (right >= 0)
+      co_await comm.sendrecv(right, tag + 1, halo_bytes, right, tag);
+
+    sim::KernelWork w;
+    w.label = pass == 0 ? "density" : "momentum_energy";
+    w.flops_simd = 0.5 * local * kFlopsPerParticle * kSimdFraction;
+    w.flops_scalar = 0.5 * local * kFlopsPerParticle * (1.0 - kSimdFraction);
+    w.issue_efficiency = 0.85;  // the suite's hottest code (Sect. 4.2.1)
+    w.traffic.mem_bytes = 0.5 * local * kBytesPerParticle;
+    w.traffic.l3_bytes = 0.5 * local * kBytesPerParticle * 2.0;
+    w.traffic.l2_bytes = 0.5 * local * kBytesPerParticle * 4.0;
+    w.working_set_bytes = local * 400.0;  // particles + tree + neighbor lists
+    w.concurrent_streams = 8;
+    co_await comm.compute(w);
+  }
+
+  // Global octree synchronization: replicated tree metadata.
+  co_await comm.allreduce_bytes(static_cast<double>(cfg_.n_particles) *
+                                kOctreeBytesPerParticle);
+  // Timestep and energy reductions.
+  co_await comm.allreduce(1.0, sim::ReduceOp::kMin);
+  co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+}
+
+}  // namespace spechpc::apps::sphexa

@@ -1,0 +1,41 @@
+// SimMPI proxy of the SPEChpc "sph-exa" benchmark (532/632.sph_exa).
+//
+// Smoothed particle hydrodynamics: per step two blocking pairwise halo
+// passes (density, then forces) over a 3D domain decomposition, a global
+// octree-metadata allreduce, and scalar timestep reductions.  The hottest
+// code of the suite (close to TDP) on the node; multi-node scaling suffers
+// from the comparatively small data set combined with blocking pairwise
+// exchanges and MPI_Allreduce (Sect. 5.1, case "poor").
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::sphexa {
+
+struct SphexaConfig {
+  std::int64_t n_particles = 0;
+
+  static SphexaConfig tiny() { return {210LL * 210 * 210}; }
+  static SphexaConfig small() { return {350LL * 350 * 350}; }
+};
+
+class SphexaProxy final : public AppProxy {
+ public:
+  explicit SphexaProxy(SphexaConfig cfg) : cfg_(cfg) {}
+  explicit SphexaProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? SphexaConfig::tiny()
+                                  : SphexaConfig::small()) {}
+
+  const AppInfo& info() const override;
+  const SphexaConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  SphexaConfig cfg_;
+};
+
+}  // namespace spechpc::apps::sphexa

@@ -1,0 +1,79 @@
+#include "apps/tealeaf/tealeaf_kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spechpc::apps::tealeaf {
+
+HeatSolver::HeatSolver(int nx, int ny, double kappa, double dt)
+    : nx_(nx), ny_(ny), coef_(dt * kappa) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("HeatSolver: bad grid");
+  if (kappa <= 0.0 || dt <= 0.0)
+    throw std::invalid_argument("HeatSolver: kappa and dt must be positive");
+  u_.assign(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny), 0.0);
+}
+
+void HeatSolver::set_field(const std::vector<double>& u) {
+  if (u.size() != u_.size())
+    throw std::invalid_argument("HeatSolver: field size mismatch");
+  u_ = u;
+}
+
+void HeatSolver::apply(const std::vector<double>& x,
+                       std::vector<double>& ax) const {
+  ax.resize(x.size());
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      const double c = x[idx(i, j)];
+      const double l = i > 0 ? x[idx(i - 1, j)] : 0.0;
+      const double r = i < nx_ - 1 ? x[idx(i + 1, j)] : 0.0;
+      const double d = j > 0 ? x[idx(i, j - 1)] : 0.0;
+      const double t = j < ny_ - 1 ? x[idx(i, j + 1)] : 0.0;
+      ax[idx(i, j)] = c + coef_ * (4.0 * c - l - r - d - t);
+    }
+  }
+}
+
+double HeatSolver::dot(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+int HeatSolver::step(double tol, int max_iters) {
+  const std::size_t n = u_.size();
+  std::vector<double> x = u_;  // initial guess: previous field
+  std::vector<double> r(n), p(n), ap(n);
+
+  apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = u_[i] - ap[i];
+  p = r;
+  double rr = dot(r, r);
+  const double stop = tol * tol;
+
+  int it = 0;
+  for (; it < max_iters && rr > stop; ++it) {
+    apply(p, ap);
+    const double alpha = rr / dot(p, ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  last_residual_ = std::sqrt(rr);
+  u_ = x;
+  return it;
+}
+
+double HeatSolver::total_energy() const {
+  double s = 0.0;
+  for (double v : u_) s += v;
+  return s;
+}
+
+}  // namespace spechpc::apps::tealeaf

@@ -1,0 +1,47 @@
+// Real linear heat-conduction kernel (TeaLeaf's numerical core).
+//
+// Solves one implicit Euler step of the heat equation on a 2D regular grid,
+// (I + dt*K*L) u = u_prev, with L the 5-point Laplacian, using unpreconditioned
+// conjugate gradients -- the solver configuration of the SPEChpc tealeaf
+// inputs (Table 1: "Conjugate Gradient").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spechpc::apps::tealeaf {
+
+class HeatSolver {
+ public:
+  /// nx x ny interior cells, conduction coefficient kappa, timestep dt.
+  HeatSolver(int nx, int ny, double kappa, double dt);
+
+  /// Sets the initial energy/temperature field.
+  void set_field(const std::vector<double>& u);
+  const std::vector<double>& field() const { return u_; }
+
+  /// Advances one implicit step; returns CG iterations used.
+  int step(double tol, int max_iters);
+
+  /// Applies A = I + dt*kappa*L (Dirichlet boundaries) -- exposed for tests.
+  void apply(const std::vector<double>& x, std::vector<double>& ax) const;
+
+  double total_energy() const;  ///< sum of u (conserved up to boundary loss)
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  double last_residual() const { return last_residual_; }
+
+ private:
+  std::size_t idx(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(x);
+  }
+  static double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+  int nx_, ny_;
+  double coef_;  // dt * kappa
+  std::vector<double> u_;
+  double last_residual_ = 0.0;
+};
+
+}  // namespace spechpc::apps::tealeaf

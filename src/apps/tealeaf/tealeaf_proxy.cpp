@@ -1,0 +1,64 @@
+#include "apps/tealeaf/tealeaf_proxy.hpp"
+
+#include "apps/decomp.hpp"
+#include "apps/halo.hpp"
+
+namespace spechpc::apps::tealeaf {
+
+namespace {
+
+// Per-cell, per-CG-iteration signature: SpMV (5-pt) + three vector updates
+// touch ~6 full arrays (r, p, Ap, x, plus stencil reads served from cache).
+constexpr double kBytesPerCellIter = 60.0;
+constexpr double kFlopsPerCellIter = 14.0;
+constexpr double kSimdFraction = 0.14;  // poorly vectorized (Sect. 4.1.3)
+constexpr int kArraysInWorkingSet = 6;
+
+const AppInfo kInfo{
+    .name = "tealeaf",
+    .language = "C",
+    .loc = 5400,
+    .collective = "Allreduce",
+    .numerics = "Linear heat conduction, 2D 5-point stencil, implicit CG",
+    .domain = "Physics / high energy physics",
+    .memory_bound = true,
+};
+
+}  // namespace
+
+const AppInfo& TealeafProxy::info() const { return kInfo; }
+
+sim::Task<> TealeafProxy::step(sim::Comm& comm, int /*iter*/) const {
+  const int p = comm.size();
+  const Grid2D g = choose_grid_2d(p, cfg_.nx, cfg_.ny);
+  const Coord2D c = coord_2d(comm.rank(), g);
+  const Range rx = split_1d(cfg_.nx, g.px, c.x);
+  const Range ry = split_1d(cfg_.ny, g.py, c.y);
+  const double cells = static_cast<double>(rx.count) * ry.count;
+  const Neighbors2D nb = neighbors_2d(comm.rank(), g);
+
+  for (int it = 0; it < cfg_.cg_iters_per_step; ++it) {
+    // SpMV + vector updates: memory bound.
+    sim::KernelWork w;
+    w.label = "cg_iteration";
+    w.flops_simd = cells * kFlopsPerCellIter * kSimdFraction;
+    w.flops_scalar = cells * kFlopsPerCellIter * (1.0 - kSimdFraction);
+    w.issue_efficiency = 0.8;
+    w.traffic.mem_bytes = cells * kBytesPerCellIter;
+    w.traffic.l3_bytes = cells * kBytesPerCellIter;
+    w.traffic.l2_bytes = cells * kBytesPerCellIter * 1.2;
+    w.working_set_bytes = cells * 8.0 * kArraysInWorkingSet;
+    w.concurrent_streams = kArraysInWorkingSet;
+    co_await comm.compute(w);
+
+    // 1-deep halo of the search direction.
+    co_await exchange_halo_2d(comm, nb, static_cast<double>(ry.count) * 8.0,
+                              static_cast<double>(rx.count) * 8.0);
+
+    // Two dot products per CG iteration (pAp and rr).
+    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+  }
+}
+
+}  // namespace spechpc::apps::tealeaf

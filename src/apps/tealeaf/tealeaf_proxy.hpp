@@ -1,0 +1,41 @@
+// SimMPI proxy of the SPEChpc "tealeaf" benchmark (518/618.tealeaf).
+//
+// Implicit 2D heat conduction, 5-point stencil, CG solver: per CG iteration
+// a memory-bound sparse matrix-vector product plus vector updates, a 1-deep
+// halo exchange, and two scalar MPI_Allreduce reductions (dot products).
+// Strongly memory bound and poorly vectorized (Sect. 4.1.3/4.1.4).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::tealeaf {
+
+struct TealeafConfig {
+  std::int64_t nx = 0;      ///< cells in x (Table 1: x_cells)
+  std::int64_t ny = 0;      ///< cells in y
+  int cg_iters_per_step = 30;  ///< modeled CG iterations per outer step
+
+  static TealeafConfig tiny() { return {8192, 8192, 30}; }
+  static TealeafConfig small() { return {16384, 16384, 30}; }
+};
+
+class TealeafProxy final : public AppProxy {
+ public:
+  explicit TealeafProxy(TealeafConfig cfg) : cfg_(cfg) {}
+  explicit TealeafProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? TealeafConfig::tiny()
+                                  : TealeafConfig::small()) {}
+
+  const AppInfo& info() const override;
+  const TealeafConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  TealeafConfig cfg_;
+};
+
+}  // namespace spechpc::apps::tealeaf

@@ -1,0 +1,68 @@
+#include "apps/weather/weather_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spechpc::apps::weather {
+
+AdvectionSolver::AdvectionSolver(int nx, int nz, double u_wind, double w_wind)
+    : nx_(nx), nz_(nz), u_(u_wind), w_(w_wind) {
+  if (nx < 2 || nz < 2) throw std::invalid_argument("AdvectionSolver: grid");
+  dx_ = 1.0 / nx;
+  dz_ = 1.0 / nz;
+  q_.assign(static_cast<std::size_t>(nx) * nz, 0.0);
+  qn_ = q_;
+}
+
+void AdvectionSolver::set_tracer(const std::vector<double>& q) {
+  if (q.size() != q_.size())
+    throw std::invalid_argument("AdvectionSolver: tracer size mismatch");
+  q_ = q;
+}
+
+void AdvectionSolver::step(double cfl) {
+  const double speed =
+      std::max(std::abs(u_) / dx_, std::abs(w_) / dz_) + 1e-30;
+  dt_ = cfl / speed;
+  // Upwind fluxes; periodic in x, zero-flux walls in z.
+  for (int z = 0; z < nz_; ++z) {
+    const int zm = z - 1, zp = z + 1;
+    for (int x = 0; x < nx_; ++x) {
+      const int xm = (x + nx_ - 1) % nx_;
+      const int xp = (x + 1) % nx_;
+      const double qc = q_[idx(x, z)];
+      // x-direction upwind flux difference.
+      double fx;
+      if (u_ >= 0.0)
+        fx = u_ * (qc - q_[idx(xm, z)]) / dx_;
+      else
+        fx = u_ * (q_[idx(xp, z)] - qc) / dx_;
+      // z-direction with solid walls: no flux through the boundaries.
+      double fz = 0.0;
+      if (w_ >= 0.0) {
+        const double ql = zm >= 0 ? q_[idx(x, zm)] : qc;  // wall: flux in = out
+        fz = w_ * (qc - ql) / dz_;
+        if (zm < 0) fz = 0.0;
+      } else {
+        const double qr = zp < nz_ ? q_[idx(x, zp)] : qc;
+        fz = w_ * (qr - qc) / dz_;
+        if (zp >= nz_) fz = 0.0;
+      }
+      qn_[idx(x, z)] = qc - dt_ * (fx + fz);
+    }
+  }
+  q_.swap(qn_);
+}
+
+double AdvectionSolver::total_tracer() const {
+  double s = 0.0;
+  for (double v : q_) s += v;
+  return s;
+}
+
+double AdvectionSolver::max_tracer() const {
+  return *std::max_element(q_.begin(), q_.end());
+}
+
+}  // namespace spechpc::apps::weather

@@ -1,0 +1,69 @@
+#include "apps/weather/weather_proxy.hpp"
+
+#include "apps/decomp.hpp"
+
+namespace spechpc::apps::weather {
+
+namespace {
+
+// One FV step streams ~20 field arrays but re-touches a small hot state
+// (rho, u, w, theta tendencies) every sub-kernel: big DRAM appetite, small
+// hot working set -> strong cache sensitivity on Sapphire Rapids.
+constexpr double kFlopsPerCell = 120.0;
+constexpr double kSimdFraction = 0.09;  // Sect. 4.1.3: poorly vectorized
+constexpr double kBytesPerCell = 160.0;
+constexpr double kHotArrays = 3.5;
+constexpr int kHaloWidth = 2;
+constexpr int kFields = 4;  // rho, u, w, theta
+
+const AppInfo kInfo{
+    .name = "weather",
+    .language = "Fortran",
+    .loc = 1100,
+    .collective = "-",
+    .numerics = "Traditional finite-volume atmosphere control flow",
+    .domain = "Atmospheric weather and climate",
+    .memory_bound = false,
+};
+
+}  // namespace
+
+const AppInfo& WeatherProxy::info() const { return kInfo; }
+
+sim::Task<> WeatherProxy::step(sim::Comm& comm, int /*iter*/) const {
+  const int p = comm.size();
+  const Range rx = split_1d(cfg_.nx, p, comm.rank());
+  const double cells = static_cast<double>(rx.count) * cfg_.nz;
+  const double hot_ws = cells * 8.0 * kHotArrays;
+
+  // Dominant FV step: a mix of memory-bound flux sweeps and poorly
+  // vectorized physics whose hot state rides in the caches when the local
+  // domain is small enough (Sect. 5.1.1, Case A).
+  sim::KernelWork w;
+  w.label = "fv_step";
+  w.flops_simd = cells * kFlopsPerCell * kSimdFraction;
+  w.flops_scalar = cells * kFlopsPerCell * (1.0 - kSimdFraction);
+  w.issue_efficiency = 0.6;
+  w.traffic.mem_bytes = cells * kBytesPerCell;
+  w.traffic.l3_bytes = cells * kBytesPerCell * 1.1;
+  w.traffic.l2_bytes = cells * kBytesPerCell * 1.3;
+  w.working_set_bytes = hot_ws;
+  w.concurrent_streams = 10;
+  co_await comm.compute(w);
+
+  // Column halos with the two x-neighbors (periodic), 2 cells deep.
+  const double halo_bytes =
+      static_cast<double>(cfg_.nz) * kHaloWidth * kFields * 8.0;
+  const int left = (comm.rank() + p - 1) % p;
+  const int right = (comm.rank() + 1) % p;
+  if (left != comm.rank()) {
+    std::vector<sim::Request> reqs;
+    reqs.push_back(comm.irecv_bytes(left, 0));
+    reqs.push_back(comm.irecv_bytes(right, 1));
+    reqs.push_back(comm.isend_bytes(left, 1, halo_bytes));
+    reqs.push_back(comm.isend_bytes(right, 0, halo_bytes));
+    co_await comm.waitall(std::move(reqs));
+  }
+}
+
+}  // namespace spechpc::apps::weather

@@ -1,0 +1,43 @@
+// SimMPI proxy of the SPEChpc "weather" benchmark (535/635.weather).
+//
+// Traditional finite-volume atmosphere control flow, decomposed along the
+// global x-dimension: per step a dominant, poorly vectorized physics/
+// dynamics kernel, a memory-intensive flux kernel, and 2-deep column halo
+// exchanges with the two x-neighbors (pure point-to-point, no collectives
+// -- Table 1).  The hot working set is small enough to slide into
+// Sapphire Rapids' larger caches with rising rank counts, producing the
+// paper's strongest superlinear scaling (Case A on ClusterB).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::apps::weather {
+
+struct WeatherConfig {
+  std::int64_t nx = 0;  ///< global x cells
+  std::int64_t nz = 0;  ///< global z cells
+
+  static WeatherConfig tiny() { return {24000, 1250}; }
+  static WeatherConfig small() { return {192000, 1250}; }
+};
+
+class WeatherProxy final : public AppProxy {
+ public:
+  explicit WeatherProxy(WeatherConfig cfg) : cfg_(cfg) {}
+  explicit WeatherProxy(Workload w)
+      : cfg_(w == Workload::kTiny ? WeatherConfig::tiny()
+                                  : WeatherConfig::small()) {}
+
+  const AppInfo& info() const override;
+  const WeatherConfig& config() const { return cfg_; }
+
+ protected:
+  sim::Task<> step(sim::Comm& comm, int iter) const override;
+
+ private:
+  WeatherConfig cfg_;
+};
+
+}  // namespace spechpc::apps::weather

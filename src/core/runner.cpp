@@ -1,0 +1,53 @@
+#include "core/runner.hpp"
+
+#include "machine/topology.hpp"
+
+namespace spechpc::core {
+
+RunResult run_benchmark(const apps::AppProxy& app,
+                        const mach::ClusterSpec& cluster,
+                        sim::Placement placement, const RunOptions& opts) {
+  RunResult res;
+  res.compute_ =
+      std::make_unique<mach::RooflineComputeModel>(cluster, opts.roofline);
+  res.network_ = std::make_unique<mach::HdrNetworkModel>(cluster.net);
+  if (opts.os_noise_amplitude > 0.0)
+    res.noisy_ = std::make_unique<mach::NoisyComputeModel>(
+        res.compute_.get(), opts.os_noise_amplitude, opts.os_noise_seed);
+
+  sim::EngineConfig cfg;
+  cfg.nranks = placement.nranks();
+  cfg.placement = std::move(placement);
+  cfg.compute = res.noisy_ ? static_cast<const sim::ComputeModel*>(res.noisy_.get())
+                           : res.compute_.get();
+  cfg.network = res.network_.get();
+  cfg.protocol = opts.protocol;
+  cfg.enable_trace = opts.trace;
+  res.engine_ = std::make_unique<sim::Engine>(std::move(cfg));
+
+  res.engine_->run(
+      [&app](sim::Comm& comm) -> sim::Task<> { return app.rank_main(comm); });
+
+  res.metrics_ = perf::collect(*res.engine_);
+  res.power_ = power::PowerModel(cluster).analyze(*res.engine_);
+  res.steps_ = app.measured_steps();
+  return res;
+}
+
+RunResult run_benchmark(const apps::AppProxy& app,
+                        const mach::ClusterSpec& cluster, int nranks,
+                        const RunOptions& opts) {
+  return run_benchmark(app, cluster, mach::block_placement(cluster, nranks),
+                       opts);
+}
+
+RunResult run_on_nodes(const apps::AppProxy& app,
+                       const mach::ClusterSpec& cluster, int nodes,
+                       const RunOptions& opts) {
+  const int nranks = nodes * cluster.cores_per_node();
+  return run_benchmark(
+      app, cluster, mach::block_placement_on_nodes(cluster, nranks, nodes),
+      opts);
+}
+
+}  // namespace spechpc::core

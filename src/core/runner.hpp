@@ -1,0 +1,64 @@
+// Experiment runner: executes one benchmark on a simulated cluster and
+// derives the paper's metrics (performance, traffic, power, energy).
+#pragma once
+
+#include <memory>
+
+#include "apps/app_base.hpp"
+#include "machine/machine.hpp"
+#include "perf/metrics.hpp"
+#include "power/power_model.hpp"
+#include "simmpi/engine.hpp"
+
+namespace spechpc::core {
+
+struct RunOptions {
+  bool trace = false;
+  mach::RooflineOptions roofline;
+  sim::ProtocolConfig protocol;
+  /// OS-noise amplitude (max relative per-phase slowdown); 0 = noiseless.
+  /// Repeat runs with different seeds to obtain min/max/avg statistics as
+  /// the paper reports them.
+  double os_noise_amplitude = 0.0;
+  std::uint64_t os_noise_seed = 0;
+};
+
+/// One finished run: owns the engine (for timeline access) and the models.
+class RunResult {
+ public:
+  const sim::Engine& engine() const { return *engine_; }
+  const perf::JobMetrics& metrics() const { return metrics_; }
+  const power::PowerReport& power() const { return power_; }
+  double wall_s() const { return metrics_.wall_s; }
+  /// Wall time per modeled application step.
+  double seconds_per_step() const { return metrics_.wall_s / steps_; }
+
+ private:
+  friend RunResult run_benchmark(const apps::AppProxy&,
+                                 const mach::ClusterSpec&, sim::Placement,
+                                 const RunOptions&);
+  std::unique_ptr<mach::RooflineComputeModel> compute_;
+  std::unique_ptr<mach::NoisyComputeModel> noisy_;
+  std::unique_ptr<mach::HdrNetworkModel> network_;
+  std::unique_ptr<sim::Engine> engine_;
+  perf::JobMetrics metrics_;
+  power::PowerReport power_;
+  int steps_ = 1;
+};
+
+/// Runs `app` with the given placement on `cluster`.
+RunResult run_benchmark(const apps::AppProxy& app,
+                        const mach::ClusterSpec& cluster,
+                        sim::Placement placement, const RunOptions& opts = {});
+
+/// Node-filling run with `nranks` ranks (block placement).
+RunResult run_benchmark(const apps::AppProxy& app,
+                        const mach::ClusterSpec& cluster, int nranks,
+                        const RunOptions& opts = {});
+
+/// Multi-node run: all cores of `nodes` nodes.
+RunResult run_on_nodes(const apps::AppProxy& app,
+                       const mach::ClusterSpec& cluster, int nodes,
+                       const RunOptions& opts = {});
+
+}  // namespace spechpc::core

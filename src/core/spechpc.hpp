@@ -1,0 +1,16 @@
+// Top-level public API of the SPEChpc 2021 case-study reproduction library.
+//
+// Quickstart:
+//   auto cluster = spechpc::mach::cluster_a();
+//   auto app = spechpc::core::make_app("tealeaf", spechpc::core::Workload::kTiny);
+//   auto res = spechpc::core::run_benchmark(*app, cluster, 72);
+//   std::cout << res.metrics().performance() / 1e9 << " Gflop/s\n";
+#pragma once
+
+#include "apps/apps.hpp"
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "machine/machine.hpp"
+#include "perf/perf.hpp"
+#include "power/power_model.hpp"
+#include "simmpi/simmpi.hpp"

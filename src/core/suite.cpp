@@ -1,0 +1,51 @@
+#include "core/suite.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "apps/apps.hpp"
+
+namespace spechpc::core {
+
+namespace {
+
+template <typename Proxy>
+SuiteEntry entry() {
+  SuiteEntry e;
+  e.make = [](Workload w) -> std::unique_ptr<AppProxy> {
+    return std::make_unique<Proxy>(w);
+  };
+  e.info = Proxy(Workload::kTiny).info();
+  return e;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& suite() {
+  static const std::vector<SuiteEntry> kSuite = {
+      entry<apps::lbm::LbmProxy>(),
+      entry<apps::soma::SomaProxy>(),
+      entry<apps::tealeaf::TealeafProxy>(),
+      entry<apps::cloverleaf::CloverleafProxy>(),
+      entry<apps::minisweep::MinisweepProxy>(),
+      entry<apps::pot3d::Pot3dProxy>(),
+      entry<apps::sphexa::SphexaProxy>(),
+      entry<apps::hpgmg::HpgmgProxy>(),
+      entry<apps::weather::WeatherProxy>(),
+  };
+  return kSuite;
+}
+
+std::unique_ptr<AppProxy> make_app(std::string_view name, Workload w) {
+  for (const SuiteEntry& e : suite())
+    if (e.info.name == name) return e.make(w);
+  throw std::invalid_argument("unknown benchmark: " + std::string(name));
+}
+
+std::vector<std::string_view> app_names() {
+  std::vector<std::string_view> names;
+  for (const SuiteEntry& e : suite()) names.push_back(e.info.name);
+  return names;
+}
+
+}  // namespace spechpc::core

@@ -1,0 +1,32 @@
+// SPEChpc 2021 suite registry (Tables 1 and 2 of the paper).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "apps/app_base.hpp"
+
+namespace spechpc::core {
+
+using apps::AppProxy;
+using apps::Workload;
+
+struct SuiteEntry {
+  std::function<std::unique_ptr<AppProxy>(Workload)> make;
+  /// Registry metadata (equals make(w)->info() for both workloads).
+  apps::AppInfo info;
+};
+
+/// All nine benchmarks, in the paper's Table 1 order.
+const std::vector<SuiteEntry>& suite();
+
+/// Creates one benchmark instance by name ("lbm", "soma", ...); throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<AppProxy> make_app(std::string_view name, Workload w);
+
+/// Names of all nine benchmarks in suite order.
+std::vector<std::string_view> app_names();
+
+}  // namespace spechpc::core

@@ -1,0 +1,8 @@
+// Machine-model umbrella header.
+#pragma once
+
+#include "machine/network.hpp"
+#include "machine/noise.hpp"
+#include "machine/roofline.hpp"
+#include "machine/specs.hpp"
+#include "machine/topology.hpp"

@@ -1,0 +1,41 @@
+// HDR100 InfiniBand / shared-memory network model.
+//
+// Latency-bandwidth (Hockney/LogGP-style) costs with two transports: the
+// shared-memory path for ranks on the same node and the InfiniBand fat-tree
+// path across nodes.  The paper notes both clusters use identical HDR100
+// fat-trees, so no topology contention is modeled (documented substitution).
+#pragma once
+
+#include "machine/specs.hpp"
+#include "simmpi/models.hpp"
+
+namespace spechpc::mach {
+
+class HdrNetworkModel final : public sim::NetworkModel {
+ public:
+  explicit HdrNetworkModel(InterconnectSpec spec) : spec_(std::move(spec)) {}
+
+  sim::TransferCost transfer(int src, int dst, const sim::Placement& p,
+                             double bytes) const override {
+    const bool intra = p.same_node(src, dst);
+    const double lat = intra ? spec_.intra_latency_s : spec_.inter_latency_s;
+    const double bw = intra ? spec_.intra_bw_Bps : spec_.link_bw_Bps;
+    sim::TransferCost c;
+    c.sender_busy_s = spec_.sender_overhead_s + bytes / bw;
+    c.in_flight_s = lat + bytes / bw;
+    return c;
+  }
+
+  double control_latency(int src, int dst,
+                         const sim::Placement& p) const override {
+    return p.same_node(src, dst) ? spec_.intra_latency_s
+                                 : spec_.inter_latency_s;
+  }
+
+  const InterconnectSpec& spec() const { return spec_; }
+
+ private:
+  InterconnectSpec spec_;
+};
+
+}  // namespace spechpc::mach

@@ -1,0 +1,51 @@
+// OS-noise decorator for compute models.
+//
+// Real measurements vary run to run (the paper reports min/max/average
+// speedups over repetitions and "only statistically significant deviations").
+// This decorator perturbs every compute phase with deterministic,
+// seed-reproducible multiplicative jitter, so repeated simulations with
+// different seeds reproduce the statistical spread of real runs while each
+// individual run stays bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "simmpi/models.hpp"
+
+namespace spechpc::mach {
+
+class NoisyComputeModel final : public sim::ComputeModel {
+ public:
+  /// amplitude: maximum relative slowdown (e.g. 0.02 = up to +2% per phase;
+  /// noise only ever slows down, like real OS interference).
+  NoisyComputeModel(const sim::ComputeModel* inner, double amplitude,
+                    std::uint64_t seed)
+      : inner_(inner), amplitude_(amplitude), seed_(seed) {}
+
+  sim::ComputeOutcome evaluate(int rank, const sim::Placement& placement,
+                               const sim::KernelWork& work) const override {
+    sim::ComputeOutcome out = inner_->evaluate(rank, placement, work);
+    out.seconds *= 1.0 + amplitude_ * sample(rank);
+    return out;
+  }
+
+ private:
+  // splitmix64-style hash of (seed, rank, per-rank call counter) -> [0, 1).
+  double sample(int rank) const {
+    std::uint64_t x = seed_ + 0x9e3779b97f4a7c15ull * (counter_++) +
+                      0xbf58476d1ce4e5b9ull * static_cast<std::uint64_t>(rank + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) / 9007199254740992.0;
+  }
+
+  const sim::ComputeModel* inner_;
+  double amplitude_;
+  std::uint64_t seed_;
+  mutable std::uint64_t counter_ = 0;
+};
+
+}  // namespace spechpc::mach

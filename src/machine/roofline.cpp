@@ -1,0 +1,104 @@
+#include "machine/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spechpc::mach {
+
+AlignmentEffect alignment_effect(int concurrent_streams,
+                                 std::int64_t leading_dim_bytes) {
+  AlignmentEffect eff;
+  if (concurrent_streams < 16 || leading_dim_bytes <= 0) return eff;
+  const std::int64_t r4k = leading_dim_bytes % 4096;
+  if (r4k == 0) {
+    // Every stream starts on the same page offset: with tens of streams the
+    // DTLB runs out of entries and L1 sets alias -> slow execution, little
+    // extra traffic (the paper's 71-process lbm case).
+    eff.time_penalty = 1.7;
+    return eff;
+  }
+  if (r4k <= 128 || r4k >= 4096 - 128) {
+    eff.time_penalty = 1.4;
+    return eff;
+  }
+  if (leading_dim_bytes % 512 == 0) {
+    // 512 B-periodic streams collide in L1 cache sets: conflict misses
+    // re-fetch lines from L2 (the paper's excess-L2-volume lbm cases).
+    eff.time_penalty = 1.3;
+    eff.l2_traffic_factor = 2.5;
+  }
+  return eff;
+}
+
+RooflineComputeModel::RooflineComputeModel(ClusterSpec cluster,
+                                           RooflineOptions opts)
+    : cluster_(std::move(cluster)), opts_(opts) {}
+
+sim::ComputeOutcome RooflineComputeModel::evaluate(
+    int rank, const sim::Placement& placement,
+    const sim::KernelWork& w) const {
+  const CpuSpec& c = cluster_.cpu;
+  const int n_dom = placement.ranks_in_domain_of(rank);
+
+  double mem = w.traffic.mem_bytes;
+  double l3 = w.traffic.l3_bytes;
+  double l2 = w.traffic.l2_bytes;
+
+  // --- cache-fit: working sets covered by private L2 + the rank's L3 share
+  // stop drawing traffic from the level below.
+  if (opts_.model_cache_fit && w.working_set_bytes > 0.0) {
+    const double l3_share = c.l3_per_domain_bytes() / n_dom;
+    const double outer = c.l2_per_core_bytes + l3_share;
+    const double cov = std::min(1.0, outer / w.working_set_bytes);
+    // Quartic onset: partial coverage helps little (LRU keeps evicting the
+    // uncovered tail), full coverage removes ~97% of DRAM traffic.
+    const double cov2 = cov * cov;
+    mem *= 1.0 - 0.97 * cov2 * cov2;
+    const double cov_l2 =
+        std::min(1.0, c.l2_per_core_bytes / w.working_set_bytes);
+    const double cl2 = cov_l2 * cov_l2;
+    l3 *= 1.0 - 0.95 * cl2 * cl2;
+  }
+
+  // --- victim L3: part of the DRAM stream is prefetched into L2 and later
+  // evicted down through L3 (Sect. 4.1.4: pot3d's L3 bandwidth exceeds its
+  // L2 bandwidth, 124 vs 80 GB/s -> ~1.6x the DRAM stream).
+  if (opts_.model_victim_l3 && c.l3_is_victim_cache)
+    l3 += kVictimL3Factor * mem;
+
+  // --- alignment pathologies (lbm, Sect. 4.1.6).
+  AlignmentEffect align;
+  if (opts_.model_alignment_pathology)
+    align = alignment_effect(w.concurrent_streams, w.leading_dim_bytes);
+  l2 *= align.l2_traffic_factor;
+
+  // --- bandwidth shares under domain contention.
+  const double bw_mem =
+      opts_.naive_linear_bandwidth
+          ? c.per_core_mem_bw_Bps
+          : std::min(c.per_core_mem_bw_Bps, c.sat_bw_per_domain_Bps / n_dom);
+  const double bw_l3 =
+      std::min(c.l3_bw_per_core_Bps, c.l3_bw_per_domain_Bps / n_dom);
+  const double bw_l2 = c.l2_bw_per_core_Bps;
+
+  // --- ceilings.
+  const double eff = w.issue_efficiency > 0.0 ? w.issue_efficiency : 1.0;
+  const double t_flop =
+      (w.flops_simd / (c.base_clock_hz * c.simd_flops_per_cycle) +
+       w.flops_scalar / (c.base_clock_hz * c.scalar_flops_per_cycle)) /
+      eff;
+  const double t_mem = mem / bw_mem;
+  const double t_l3 = l3 / bw_l3;
+  const double t_cache = std::max(l2 / bw_l2, t_flop);
+
+  sim::ComputeOutcome out;
+  // The TLB/L1-set pathology gates every access the kernel makes, so the
+  // penalty applies to the whole phase, not only the in-cache ceiling.
+  out.seconds = std::max({t_flop, t_mem, t_l3, t_cache}) * align.time_penalty;
+  out.effective = sim::TrafficVolumes{mem, l3, l2};
+  out.core_utilization =
+      out.seconds > 0.0 ? std::min(1.0, t_flop / out.seconds) : 0.0;
+  return out;
+}
+
+}  // namespace spechpc::mach

@@ -1,0 +1,62 @@
+// ccNUMA-aware Roofline execution model.
+//
+// Converts a KernelWork into virtual seconds on a given cluster using the
+// multi-ceiling Roofline abstraction: phase time is the maximum of the
+// in-core (flop), L2, L3, and memory "ceilings", with
+//   * per-domain memory-bandwidth saturation (few cores scale linearly,
+//     many cores share the saturated domain bandwidth),
+//   * cache-fit traffic reduction (working sets that fit into the per-rank
+//     L2 + L3 share stop drawing DRAM traffic -> superlinear scaling),
+//   * victim-L3 modeling (DRAM streams pass down through L3 on ICL/SPR),
+//   * data-alignment pathologies (many page-aligned concurrent streams
+//     thrash the TLB / L1 sets -- the paper's lbm fluctuations).
+#pragma once
+
+#include "machine/specs.hpp"
+#include "simmpi/models.hpp"
+
+namespace spechpc::mach {
+
+struct RooflineOptions {
+  bool model_cache_fit = true;
+  bool model_victim_l3 = true;
+  bool model_alignment_pathology = true;
+  /// Ablation: no bandwidth saturation (every core gets its single-core
+  /// bandwidth regardless of how many share the domain).
+  bool naive_linear_bandwidth = false;
+};
+
+/// Result of the alignment-pathology analysis for one kernel.
+struct AlignmentEffect {
+  double time_penalty = 1.0;       ///< slowdown of the in-cache ceiling
+  double l2_traffic_factor = 1.0;  ///< excess L1<->L2 traffic
+};
+
+/// Pure helper, exposed for unit testing: classifies a (streams, leading
+/// dimension) combination.  Page-aligned leading dimensions of many-stream
+/// kernels exhaust TLB entries (slow, no excess traffic); 512 B-aligned ones
+/// collide in L1 sets (excess L2 traffic).
+AlignmentEffect alignment_effect(int concurrent_streams,
+                                 std::int64_t leading_dim_bytes);
+
+class RooflineComputeModel final : public sim::ComputeModel {
+ public:
+  explicit RooflineComputeModel(ClusterSpec cluster, RooflineOptions opts = {});
+
+  sim::ComputeOutcome evaluate(int rank, const sim::Placement& placement,
+                               const sim::KernelWork& work) const override;
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  const RooflineOptions& options() const { return opts_; }
+
+  /// Fraction of DRAM traffic that passes down through the victim L3
+  /// (calibrated so pot3d's L3 bandwidth exceeds its L2 bandwidth as in
+  /// Sect. 4.1.4: 124 vs 80 GB/s).
+  static constexpr double kVictimL3Factor = 0.6;
+
+ private:
+  ClusterSpec cluster_;
+  RooflineOptions opts_;
+};
+
+}  // namespace spechpc::mach

@@ -1,0 +1,170 @@
+#include "machine/specs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spechpc::mach {
+
+namespace {
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}  // namespace
+
+ClusterSpec scale_frequency(const ClusterSpec& cluster, double factor) {
+  if (factor <= 0.0)
+    throw std::invalid_argument("scale_frequency: factor must be positive");
+  ClusterSpec out = cluster;
+  CpuSpec& cpu = out.cpu;
+  cpu.base_clock_hz *= factor;
+  // In-core and in-cache rates track the clock; DRAM does not.
+  cpu.l2_bw_per_core_Bps *= factor;
+  cpu.l3_bw_per_domain_Bps *= factor;
+  cpu.l3_bw_per_core_Bps *= factor;
+  // Dynamic power ~ f * V^2; V(f) is fairly flat near the base clock on
+  // server parts, so the effective exponent is below the textbook 3.
+  const double dyn = std::pow(factor, 1.8);
+  cpu.core_power_busy_scalar_w *= dyn;
+  cpu.core_power_busy_simd_w *= dyn;
+  cpu.core_power_stall_w *= dyn;
+  cpu.core_power_mpi_w *= dyn;
+  // Baseline: ~60% static leakage (frequency-independent), ~40% clock tree.
+  cpu.idle_power_per_socket_w *= 0.6 + 0.4 * dyn;
+  return out;
+}
+
+ClusterSpec cluster_a() {
+  CpuSpec cpu;
+  cpu.name = "Ice Lake";
+  cpu.model = "Platinum 8360Y";
+  cpu.base_clock_hz = 2.4e9;
+  cpu.cores_per_socket = 36;
+  cpu.sockets_per_node = 2;
+  cpu.domains_per_socket = 2;  // SNC2: 18-core ccNUMA domains
+  cpu.l1_per_core_bytes = 48 * kKiB;
+  cpu.l2_per_core_bytes = 1.25 * kMiB;
+  cpu.l3_per_socket_bytes = 54 * kMiB;
+  cpu.l3_is_victim_cache = true;
+  // 8 ch DDR4-3200 per socket = 204.8 GB/s, i.e. 102.4 GB/s per SNC domain.
+  cpu.theor_bw_per_domain_Bps = 102.4e9;
+  cpu.sat_bw_per_domain_Bps = 76.5e9;   // paper Sect. 4.1.4: 75-78 GB/s
+  cpu.per_core_mem_bw_Bps = 14.0e9;     // saturation from ~6 cores per domain
+  cpu.mem_per_node_bytes = 4 * 64 * kGiB;
+  cpu.simd_flops_per_cycle = 32.0;    // 2x AVX-512 FMA: 2*8*2
+  cpu.scalar_flops_per_cycle = 4.0;   // 2 scalar FMA pipes
+  cpu.l2_bw_per_core_Bps = 100.0e9;
+  cpu.l3_bw_per_domain_Bps = 200.0e9;
+  cpu.l3_bw_per_core_Bps = 25.0e9;
+  cpu.tdp_per_socket_w = 250.0;
+  // Zero-core extrapolation: 95-101 W (Sect. 4.2.3); midpoint.
+  cpu.idle_power_per_socket_w = 98.0;
+  // Calibrated to Sect. 4.2.1: sph-exa (80% SIMD) reaches 244 W on 36
+  // cores, soma (2% SIMD) only 222 W.
+  cpu.core_power_busy_scalar_w = 3.42;
+  cpu.core_power_busy_simd_w = 4.22;
+  cpu.core_power_stall_w = 1.5;
+  cpu.core_power_mpi_w = 3.4;
+  // pot3d/tealeaf/cloverleaf: 16 W per saturated domain; soma floor 9.5 W.
+  cpu.dram_idle_power_per_domain_w = 9.0;
+  cpu.dram_max_power_per_domain_w = 16.0;
+
+  InterconnectSpec net;
+  net.name = "HDR100 InfiniBand (fat-tree)";
+  net.link_bw_Bps = 12.5e9;  // 100 Gbit/s per link and direction
+  net.inter_latency_s = 1.5e-6;
+  net.intra_latency_s = 0.4e-6;
+  net.intra_bw_Bps = 20.0e9;
+  net.sender_overhead_s = 0.3e-6;
+
+  return ClusterSpec{"ClusterA", cpu, net, /*max_nodes=*/24};
+}
+
+ClusterSpec cluster_b() {
+  CpuSpec cpu;
+  cpu.name = "Sapphire Rapids";
+  cpu.model = "Platinum 8470";
+  cpu.base_clock_hz = 2.0e9;
+  cpu.cores_per_socket = 52;
+  cpu.sockets_per_node = 2;
+  cpu.domains_per_socket = 4;  // SNC4: 13-core ccNUMA domains
+  cpu.l1_per_core_bytes = 48 * kKiB;
+  cpu.l2_per_core_bytes = 2 * kMiB;
+  cpu.l3_per_socket_bytes = 105 * kMiB;
+  cpu.l3_is_victim_cache = true;
+  // 8 ch DDR5-4800 per socket = 307.2 GB/s, i.e. 76.8 GB/s per SNC domain.
+  cpu.theor_bw_per_domain_Bps = 76.8e9;
+  cpu.sat_bw_per_domain_Bps = 60.0e9;  // paper Sect. 4.1.4: 58-62 GB/s
+  cpu.per_core_mem_bw_Bps = 12.0e9;
+  cpu.mem_per_node_bytes = 8 * 128 * kGiB;
+  cpu.simd_flops_per_cycle = 32.0;
+  cpu.scalar_flops_per_cycle = 4.0;
+  cpu.l2_bw_per_core_Bps = 110.0e9;  // larger/faster L2 (footnote 7)
+  cpu.l3_bw_per_domain_Bps = 170.0e9;
+  cpu.l3_bw_per_core_Bps = 30.0e9;
+  cpu.tdp_per_socket_w = 350.0;
+  // Zero-core extrapolation: 176-181 W, ~50% of TDP.
+  cpu.idle_power_per_socket_w = 178.0;
+  // Calibrated to Sect. 4.2.1: sph-exa reaches 333 W on 52 cores,
+  // soma only 298 W.
+  cpu.core_power_busy_scalar_w = 2.28;
+  cpu.core_power_busy_simd_w = 3.16;
+  cpu.core_power_stall_w = 1.5;
+  cpu.core_power_mpi_w = 2.5;
+  // DDR5 at lower voltage/half-rate clocking: 10-13 W saturated, 5.5 W floor.
+  cpu.dram_idle_power_per_domain_w = 5.2;
+  cpu.dram_max_power_per_domain_w = 12.0;
+
+  InterconnectSpec net;
+  net.name = "HDR100 InfiniBand (fat-tree)";
+  net.link_bw_Bps = 12.5e9;
+  net.inter_latency_s = 1.5e-6;
+  net.intra_latency_s = 0.4e-6;
+  net.intra_bw_Bps = 20.0e9;
+  net.sender_overhead_s = 0.3e-6;
+
+  return ClusterSpec{"ClusterB", cpu, net, /*max_nodes=*/16};
+}
+
+ClusterSpec sandy_bridge_reference() {
+  CpuSpec cpu;
+  cpu.name = "Sandy Bridge";
+  cpu.model = "E5-2680 (reference)";
+  cpu.base_clock_hz = 2.7e9;
+  cpu.cores_per_socket = 8;
+  cpu.sockets_per_node = 2;
+  cpu.domains_per_socket = 1;
+  cpu.l1_per_core_bytes = 32 * kKiB;
+  cpu.l2_per_core_bytes = 256 * kKiB;
+  cpu.l3_per_socket_bytes = 20 * kMiB;
+  cpu.l3_is_victim_cache = false;
+  cpu.theor_bw_per_domain_Bps = 51.2e9;  // 4 ch DDR3-1600
+  cpu.sat_bw_per_domain_Bps = 38.0e9;
+  cpu.per_core_mem_bw_Bps = 10.0e9;
+  cpu.mem_per_node_bytes = 64 * kGiB;
+  cpu.simd_flops_per_cycle = 8.0;  // AVX mul + add
+  cpu.scalar_flops_per_cycle = 2.0;
+  cpu.l2_bw_per_core_Bps = 60.0e9;
+  cpu.l3_bw_per_domain_Bps = 80.0e9;
+  cpu.l3_bw_per_core_Bps = 15.0e9;
+  cpu.tdp_per_socket_w = 120.0;
+  // "baseline power only accounted for less than 20% of the 120 W TDP".
+  cpu.idle_power_per_socket_w = 22.0;
+  cpu.core_power_busy_scalar_w = 9.0;
+  cpu.core_power_busy_simd_w = 11.0;
+  cpu.core_power_stall_w = 5.0;
+  cpu.core_power_mpi_w = 9.0;
+  cpu.dram_idle_power_per_domain_w = 6.0;
+  cpu.dram_max_power_per_domain_w = 18.0;
+
+  InterconnectSpec net;
+  net.name = "QDR InfiniBand";
+  net.link_bw_Bps = 4.0e9;
+  net.inter_latency_s = 2.0e-6;
+  net.intra_latency_s = 0.5e-6;
+  net.intra_bw_Bps = 10.0e9;
+  net.sender_overhead_s = 0.5e-6;
+
+  return ClusterSpec{"SandyBridgeRef", cpu, net, /*max_nodes=*/8};
+}
+
+}  // namespace spechpc::mach

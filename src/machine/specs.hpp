@@ -1,0 +1,104 @@
+// Machine specifications of the paper's two clusters (Table 3) plus a Sandy
+// Bridge reference system used for the historical baseline-power contrast in
+// Sect. 4.2.3.  All numbers are taken from the paper or derived from it
+// (derivations are noted inline).
+#pragma once
+
+#include <string>
+
+namespace spechpc::mach {
+
+/// One CPU generation with its cache/bandwidth/power characteristics.
+struct CpuSpec {
+  std::string name;   ///< e.g. "Ice Lake"
+  std::string model;  ///< e.g. "Platinum 8360Y"
+
+  double base_clock_hz = 0.0;
+  int cores_per_socket = 0;
+  int sockets_per_node = 0;
+  int domains_per_socket = 0;  ///< ccNUMA domains (Sub-NUMA Clustering)
+
+  // Cache hierarchy (bytes).
+  double l1_per_core_bytes = 0.0;
+  double l2_per_core_bytes = 0.0;
+  double l3_per_socket_bytes = 0.0;
+  bool l3_is_victim_cache = false;  ///< ICL/SPR: non-inclusive victim L3
+
+  // Memory subsystem.
+  double theor_bw_per_domain_Bps = 0.0;  ///< channel-count * data-rate share
+  double sat_bw_per_domain_Bps = 0.0;    ///< achievable (saturated) bandwidth
+  double per_core_mem_bw_Bps = 0.0;      ///< single-core achievable bandwidth
+  double mem_per_node_bytes = 0.0;
+
+  // In-core / in-cache execution.
+  double simd_flops_per_cycle = 0.0;    ///< DP, AVX-512 FMA (2x512b pipes)
+  double scalar_flops_per_cycle = 0.0;  ///< DP, scalar FMA
+  double l2_bw_per_core_Bps = 0.0;
+  double l3_bw_per_domain_Bps = 0.0;
+  double l3_bw_per_core_Bps = 0.0;
+
+  // Power model (per socket / per domain; calibrated to Sect. 4.2).
+  double tdp_per_socket_w = 0.0;
+  double idle_power_per_socket_w = 0.0;  ///< zero-core extrapolation
+  double core_power_busy_scalar_w = 0.0;  ///< ports busy, scalar mix
+  double core_power_busy_simd_w = 0.0;    ///< ports busy, full AVX-512 mix
+  double core_power_stall_w = 0.0;       ///< stalled on memory
+  double core_power_mpi_w = 0.0;         ///< spin-waiting in MPI
+  double dram_idle_power_per_domain_w = 0.0;
+  double dram_max_power_per_domain_w = 0.0;  ///< at saturated bandwidth
+
+  // Derived conveniences.
+  int cores_per_node() const { return cores_per_socket * sockets_per_node; }
+  int domains_per_node() const {
+    return domains_per_socket * sockets_per_node;
+  }
+  int cores_per_domain() const { return cores_per_socket / domains_per_socket; }
+  double peak_simd_flops_per_core() const {
+    return base_clock_hz * simd_flops_per_cycle;
+  }
+  double peak_node_flops() const {
+    return peak_simd_flops_per_core() * cores_per_node();
+  }
+  double sat_bw_per_node_Bps() const {
+    return sat_bw_per_domain_Bps * domains_per_node();
+  }
+  double l3_per_domain_bytes() const {
+    return l3_per_socket_bytes / domains_per_socket;
+  }
+};
+
+/// Interconnect characteristics (both clusters: HDR100 InfiniBand fat-tree).
+struct InterconnectSpec {
+  std::string name;
+  double link_bw_Bps = 0.0;        ///< per link and direction
+  double inter_latency_s = 0.0;    ///< MPI half-round-trip between nodes
+  double intra_latency_s = 0.0;    ///< shared-memory transport latency
+  double intra_bw_Bps = 0.0;       ///< shared-memory copy bandwidth per pair
+  double sender_overhead_s = 0.0;  ///< per-message CPU overhead
+};
+
+struct ClusterSpec {
+  std::string name;
+  CpuSpec cpu;
+  InterconnectSpec net;
+  int max_nodes = 0;  ///< nodes available to the study
+
+  int cores_per_node() const { return cpu.cores_per_node(); }
+};
+
+/// DVFS what-if (paper outlook: "optimization opportunities"): returns the
+/// cluster with the core clock scaled by `factor`.  Core-bound throughput
+/// and cache bandwidths scale with f; DRAM bandwidth does not.  Dynamic
+/// core power follows ~f*V^2 with V roughly linear in f over the DVFS range
+/// (P_dyn ~ f^1.8); the baseline's clock-distribution share scales with f,
+/// its static-leakage share does not.
+ClusterSpec scale_frequency(const ClusterSpec& cluster, double factor);
+
+/// ClusterA: Intel Xeon Ice Lake Platinum 8360Y, 2 x 36 cores, SNC2.
+ClusterSpec cluster_a();
+/// ClusterB: Intel Xeon Sapphire Rapids Platinum 8470, 2 x 52 cores, SNC4.
+ClusterSpec cluster_b();
+/// 2012 Sandy Bridge reference (baseline-power contrast, Sect. 4.2.3).
+ClusterSpec sandy_bridge_reference();
+
+}  // namespace spechpc::mach

@@ -1,0 +1,53 @@
+#include "machine/topology.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace spechpc::mach {
+
+namespace {
+
+sim::RankLocation locate(const CpuSpec& cpu, int node, int core_in_node) {
+  sim::RankLocation loc;
+  loc.node = node;
+  const int socket_in_node = core_in_node / cpu.cores_per_socket;
+  const int domain_in_node = core_in_node / cpu.cores_per_domain();
+  loc.socket = node * cpu.sockets_per_node + socket_in_node;
+  loc.domain = node * cpu.domains_per_node() + domain_in_node;
+  loc.core = node * cpu.cores_per_node() + core_in_node;
+  return loc;
+}
+
+}  // namespace
+
+sim::Placement block_placement(const ClusterSpec& cluster, int nranks) {
+  if (nranks < 1) throw std::invalid_argument("block_placement: nranks < 1");
+  const CpuSpec& cpu = cluster.cpu;
+  const int cpn = cpu.cores_per_node();
+  if (nranks > cluster.max_nodes * cpn)
+    throw std::invalid_argument("block_placement: job exceeds cluster size");
+  std::vector<sim::RankLocation> locs(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    locs[static_cast<std::size_t>(r)] = locate(cpu, r / cpn, r % cpn);
+  return sim::Placement(std::move(locs));
+}
+
+sim::Placement block_placement_on_nodes(const ClusterSpec& cluster, int nranks,
+                                        int nodes) {
+  if (nranks < 1 || nodes < 1)
+    throw std::invalid_argument("block_placement_on_nodes: bad arguments");
+  if (nodes > cluster.max_nodes)
+    throw std::invalid_argument("block_placement_on_nodes: too many nodes");
+  const CpuSpec& cpu = cluster.cpu;
+  const int per_node = (nranks + nodes - 1) / nodes;
+  if (per_node > cpu.cores_per_node())
+    throw std::invalid_argument(
+        "block_placement_on_nodes: more ranks per node than cores");
+  std::vector<sim::RankLocation> locs(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    locs[static_cast<std::size_t>(r)] =
+        locate(cpu, r / per_node, r % per_node);
+  return sim::Placement(std::move(locs));
+}
+
+}  // namespace spechpc::mach

@@ -1,0 +1,21 @@
+// Rank-to-core placement on a cluster (likwid-mpirun block pinning).
+#pragma once
+
+#include "machine/specs.hpp"
+#include "simmpi/placement.hpp"
+
+namespace spechpc::mach {
+
+/// Consecutive ranks on consecutive cores, filling ccNUMA domains, sockets,
+/// and nodes in order (the paper's likwid-mpirun setup).  Throws if the job
+/// exceeds the cluster's core capacity.
+sim::Placement block_placement(const ClusterSpec& cluster, int nranks);
+
+/// Block placement spread over exactly `nodes` nodes: ranks are distributed
+/// round-robin over nodes in contiguous blocks of ceil(nranks/nodes), i.e.
+/// each node receives an equal contiguous chunk (strong-scaling multi-node
+/// runs use all cores of every node: nranks = nodes * cores_per_node).
+sim::Placement block_placement_on_nodes(const ClusterSpec& cluster, int nranks,
+                                        int nodes);
+
+}  // namespace spechpc::mach

@@ -1,0 +1,80 @@
+// Derived job-level metrics (the quantities plotted in the paper's figures).
+#pragma once
+
+#include "simmpi/engine.hpp"
+
+namespace spechpc::perf {
+
+/// Aggregate performance metrics of one finished SimMPI run.
+struct JobMetrics {
+  double wall_s = 0.0;
+  int nranks = 0;
+  int nodes = 0;
+
+  double flops_total = 0.0;
+  double flops_simd = 0.0;
+
+  // Effective data volumes, summed over all ranks (Fig. 2(e-h), Fig. 5(c,f)).
+  double mem_bytes = 0.0;
+  double l3_bytes = 0.0;
+  double l2_bytes = 0.0;
+
+  // Communication totals.
+  double bytes_sent = 0.0;
+  std::int64_t messages = 0;
+
+  // Time breakdown (averaged over ranks).
+  double compute_time_avg = 0.0;
+  double mpi_time_avg = 0.0;
+
+  /// DP performance in flop/s (the paper's "DP" metric).
+  double performance() const { return wall_s > 0.0 ? flops_total / wall_s : 0.0; }
+  /// SIMD-only performance ("DP-AVX": vectorized part only).
+  double performance_simd() const {
+    return wall_s > 0.0 ? flops_simd / wall_s : 0.0;
+  }
+  /// Vectorization ratio: fraction of flops done with SIMD instructions.
+  double vectorization_ratio() const {
+    return flops_total > 0.0 ? flops_simd / flops_total : 0.0;
+  }
+  /// Whole-job memory bandwidth (data volume / wall time).
+  double mem_bandwidth() const {
+    return wall_s > 0.0 ? mem_bytes / wall_s : 0.0;
+  }
+  double l3_bandwidth() const { return wall_s > 0.0 ? l3_bytes / wall_s : 0.0; }
+  double l2_bandwidth() const { return wall_s > 0.0 ? l2_bytes / wall_s : 0.0; }
+  /// Per-node memory bandwidth (Fig. 5(b,e)).
+  double mem_bandwidth_per_node() const {
+    return nodes > 0 ? mem_bandwidth() / nodes : 0.0;
+  }
+  /// Fraction of rank time spent inside MPI.
+  double mpi_fraction() const {
+    const double t = compute_time_avg + mpi_time_avg;
+    return t > 0.0 ? mpi_time_avg / t : 0.0;
+  }
+};
+
+/// Collects metrics over the measured region of a finished run.
+inline JobMetrics collect(const sim::Engine& engine) {
+  JobMetrics m;
+  m.wall_s = engine.measured_wall();
+  m.nranks = engine.nranks();
+  m.nodes = engine.placement().nodes_used();
+  for (int r = 0; r < engine.nranks(); ++r) {
+    const sim::RankCounters c = engine.measured(r);
+    m.flops_total += c.total_flops();
+    m.flops_simd += c.flops_simd;
+    m.mem_bytes += c.traffic.mem_bytes;
+    m.l3_bytes += c.traffic.l3_bytes;
+    m.l2_bytes += c.traffic.l2_bytes;
+    m.bytes_sent += c.bytes_sent;
+    m.messages += c.messages_sent;
+    m.compute_time_avg += c.time(sim::Activity::kCompute);
+    m.mpi_time_avg += c.mpi_time();
+  }
+  m.compute_time_avg /= m.nranks;
+  m.mpi_time_avg /= m.nranks;
+  return m;
+}
+
+}  // namespace spechpc::perf

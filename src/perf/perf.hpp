@@ -1,0 +1,9 @@
+// Perf-measurement umbrella header.
+#pragma once
+
+#include "perf/metrics.hpp"
+#include "perf/stats.hpp"
+#include "perf/tables.hpp"
+#include "perf/timeline_render.hpp"
+#include "perf/timeseries.hpp"
+#include "perf/trace_export.hpp"

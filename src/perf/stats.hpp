@@ -1,0 +1,51 @@
+// Min/max/mean statistics over repeated runs (the paper reports min, max and
+// average speedups across repetitions; Fig. 1(a,d), Fig. 5(a,d)).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace spechpc::perf {
+
+class RunStats {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t count() const { return samples_.size(); }
+
+  double min() const {
+    require_nonempty();
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    require_nonempty();
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+  double mean() const {
+    require_nonempty();
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+  double stddev() const {
+    require_nonempty();
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void require_nonempty() const {
+    if (samples_.empty()) throw std::logic_error("RunStats: no samples");
+  }
+  std::vector<double> samples_;
+};
+
+}  // namespace spechpc::perf

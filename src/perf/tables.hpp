@@ -1,0 +1,32 @@
+// Plain-text/CSV table emission for benchmark harness output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spechpc::perf {
+
+/// Accumulates rows of string cells and renders them as an aligned text
+/// table or CSV.  Figure benches use this to print the paper-style series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Number formatting helper: fixed precision, trailing zeros trimmed.
+  static std::string num(double v, int precision = 3);
+
+  void print(std::ostream& os) const;       ///< aligned, pipe-separated
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spechpc::perf

@@ -1,0 +1,101 @@
+#include "perf/timeline_render.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <vector>
+
+namespace spechpc::perf {
+
+namespace {
+
+char glyph(sim::Activity a) {
+  switch (a) {
+    case sim::Activity::kCompute: return '#';
+    case sim::Activity::kSend: return 'S';
+    case sim::Activity::kRecv: return 'R';
+    case sim::Activity::kWait: return 'W';
+    case sim::Activity::kAllreduce: return 'A';
+    case sim::Activity::kReduce: return 'r';
+    case sim::Activity::kBcast: return 'b';
+    case sim::Activity::kBarrier: return 'B';
+    case sim::Activity::kCount: break;
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::map<sim::Activity, double> activity_fractions(const sim::Timeline& tl,
+                                                   int rank) {
+  std::map<sim::Activity, double> seconds;
+  double total = 0.0;
+  for (const auto& iv : tl.intervals()) {
+    if (rank >= 0 && iv.rank != rank) continue;
+    const double dt = iv.t_end - iv.t_begin;
+    seconds[iv.activity] += dt;
+    total += dt;
+  }
+  if (total > 0.0)
+    for (auto& [a, s] : seconds) s /= total;
+  return seconds;
+}
+
+std::string render_ascii_ranks(const sim::Timeline& tl, int first, int last,
+                               int columns, double t_begin, double t_end) {
+  if (t_end < 0.0) {
+    for (const auto& iv : tl.intervals()) t_end = std::max(t_end, iv.t_end);
+    if (t_end <= t_begin) t_end = t_begin + 1.0;
+  }
+  const int nrows = last - first + 1;
+  const double dt = (t_end - t_begin) / columns;
+  // Dominant activity per bucket: accumulate seconds per (row, col, activity).
+  constexpr auto kNumActs = static_cast<std::size_t>(sim::Activity::kCount);
+  std::vector<std::array<double, kNumActs>> acc(
+      static_cast<std::size_t>(nrows * columns));
+  for (const auto& iv : tl.intervals()) {
+    if (iv.rank < first || iv.rank > last) continue;
+    const int row = iv.rank - first;
+    const double b = std::max(iv.t_begin, t_begin);
+    const double e = std::min(iv.t_end, t_end);
+    if (e <= b) continue;
+    int c0 = static_cast<int>((b - t_begin) / dt);
+    int c1 = static_cast<int>((e - t_begin) / dt);
+    c0 = std::clamp(c0, 0, columns - 1);
+    c1 = std::clamp(c1, 0, columns - 1);
+    for (int c = c0; c <= c1; ++c) {
+      const double cb = t_begin + c * dt;
+      const double ce = cb + dt;
+      const double overlap = std::min(e, ce) - std::max(b, cb);
+      if (overlap > 0.0)
+        acc[static_cast<std::size_t>(row * columns + c)]
+           [static_cast<std::size_t>(iv.activity)] += overlap;
+    }
+  }
+  std::ostringstream os;
+  for (int row = 0; row < nrows; ++row) {
+    os << "r";
+    os.width(4);
+    os << std::left << (first + row) << "|";
+    for (int c = 0; c < columns; ++c) {
+      const auto& cell = acc[static_cast<std::size_t>(row * columns + c)];
+      double best = 0.0;
+      char ch = '.';
+      for (std::size_t a = 0; a < kNumActs; ++a)
+        if (cell[a] > best) {
+          best = cell[a];
+          ch = glyph(static_cast<sim::Activity>(a));
+        }
+      os << ch;
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_ascii(const sim::Timeline& tl, int nranks, int columns,
+                         double t_begin, double t_end) {
+  return render_ascii_ranks(tl, 0, nranks - 1, columns, t_begin, t_end);
+}
+
+}  // namespace spechpc::perf

@@ -1,0 +1,27 @@
+// ITAC-style rendering and analysis of SimMPI timelines (Fig. 2(g,h) insets).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "simmpi/trace.hpp"
+
+namespace spechpc::perf {
+
+/// Per-activity share of total traced time, over all ranks or one rank.
+/// Mirrors the paper's "75% of the time is spent in MPI_Recv" breakdowns.
+std::map<sim::Activity, double> activity_fractions(const sim::Timeline& tl,
+                                                   int rank = -1);
+
+/// ASCII timeline: one row per rank, `columns` time buckets; each bucket
+/// shows the activity that dominates it ('#' compute, 'R' recv, 'S' send,
+/// 'W' wait, 'A' allreduce, 'B' barrier, '.' idle/untraced).
+std::string render_ascii(const sim::Timeline& tl, int nranks, int columns = 80,
+                         double t_begin = 0.0, double t_end = -1.0);
+
+/// Renders only ranks [first, last] (insets show a window of ranks).
+std::string render_ascii_ranks(const sim::Timeline& tl, int first, int last,
+                               int columns = 80, double t_begin = 0.0,
+                               double t_end = -1.0);
+
+}  // namespace spechpc::perf

@@ -1,0 +1,61 @@
+#include "perf/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spechpc::perf {
+
+std::vector<TimeBucket> time_series(const sim::Timeline& timeline,
+                                    int buckets, double t_end) {
+  if (buckets < 1) throw std::invalid_argument("time_series: buckets < 1");
+  if (t_end < 0.0) {
+    t_end = 0.0;
+    for (const auto& iv : timeline.intervals())
+      t_end = std::max(t_end, iv.t_end);
+  }
+  if (t_end <= 0.0) t_end = 1.0;
+
+  std::vector<TimeBucket> out(static_cast<std::size_t>(buckets));
+  const double dt = t_end / buckets;
+  for (int b = 0; b < buckets; ++b) {
+    out[static_cast<std::size_t>(b)].t_begin = b * dt;
+    out[static_cast<std::size_t>(b)].t_end = (b + 1) * dt;
+  }
+
+  for (const auto& iv : timeline.intervals()) {
+    const double len = iv.t_end - iv.t_begin;
+    if (len <= 0.0) continue;
+    int b0 = static_cast<int>(iv.t_begin / dt);
+    int b1 = static_cast<int>(iv.t_end / dt);
+    b0 = std::clamp(b0, 0, buckets - 1);
+    b1 = std::clamp(b1, 0, buckets - 1);
+    for (int b = b0; b <= b1; ++b) {
+      auto& bucket = out[static_cast<std::size_t>(b)];
+      const double overlap = std::min(iv.t_end, bucket.t_end) -
+                             std::max(iv.t_begin, bucket.t_begin);
+      if (overlap <= 0.0) continue;
+      const double share = overlap / len;
+      if (iv.activity == sim::Activity::kCompute) {
+        bucket.flops += iv.flops * share;
+        bucket.mem_bytes += iv.mem_bytes * share;
+        bucket.compute_seconds += overlap;
+      } else {
+        bucket.mpi_seconds += overlap;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RooflinePoint> roofline_trajectory(const sim::Timeline& timeline,
+                                               int buckets) {
+  std::vector<RooflinePoint> pts;
+  for (const TimeBucket& b : time_series(timeline, buckets)) {
+    if (b.flops <= 0.0) continue;
+    pts.push_back(RooflinePoint{0.5 * (b.t_begin + b.t_end), b.intensity(),
+                                b.flop_rate()});
+  }
+  return pts;
+}
+
+}  // namespace spechpc::perf

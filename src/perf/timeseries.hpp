@@ -1,0 +1,60 @@
+// Time-resolved job monitoring (the ClusterCockpit substitute).
+//
+// The paper obtained "time-resolved Roofline plots of the benchmarks ...
+// using the ClusterCockpit monitoring framework".  This module reconstructs
+// that view from a traced SimMPI run: the timeline's compute intervals are
+// binned into fixed time buckets, yielding per-bucket flop rate, memory
+// bandwidth, and arithmetic intensity -- the trajectory a job traces through
+// the Roofline plane over its lifetime.
+#pragma once
+
+#include <vector>
+
+#include "simmpi/trace.hpp"
+
+namespace spechpc::perf {
+
+struct TimeBucket {
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  double flops = 0.0;      ///< flops executed inside the bucket (all ranks)
+  double mem_bytes = 0.0;  ///< DRAM traffic inside the bucket (all ranks)
+  double compute_seconds = 0.0;  ///< rank-seconds spent computing
+  double mpi_seconds = 0.0;      ///< rank-seconds spent inside MPI
+
+  double flop_rate() const {
+    const double dt = t_end - t_begin;
+    return dt > 0.0 ? flops / dt : 0.0;
+  }
+  double bandwidth() const {
+    const double dt = t_end - t_begin;
+    return dt > 0.0 ? mem_bytes / dt : 0.0;
+  }
+  /// Arithmetic intensity [flop/byte] of the work executed in the bucket.
+  double intensity() const {
+    return mem_bytes > 0.0 ? flops / mem_bytes : 0.0;
+  }
+  double mpi_fraction() const {
+    const double total = compute_seconds + mpi_seconds;
+    return total > 0.0 ? mpi_seconds / total : 0.0;
+  }
+};
+
+/// Bins a traced run into `buckets` equal time slices over [0, t_end].
+/// Interval resources are attributed proportionally to overlap.
+std::vector<TimeBucket> time_series(const sim::Timeline& timeline,
+                                    int buckets, double t_end = -1.0);
+
+/// One point of a time-resolved Roofline trajectory.
+struct RooflinePoint {
+  double time = 0.0;       ///< bucket midpoint
+  double intensity = 0.0;  ///< flop/byte
+  double flop_rate = 0.0;  ///< flop/s
+};
+
+/// Roofline trajectory of a traced run (buckets without compute work are
+/// skipped).
+std::vector<RooflinePoint> roofline_trajectory(const sim::Timeline& timeline,
+                                               int buckets);
+
+}  // namespace spechpc::perf

@@ -1,0 +1,50 @@
+#include "perf/trace_export.hpp"
+
+#include <ostream>
+
+namespace spechpc::perf {
+
+namespace {
+
+// Minimal JSON string escaping (labels are kernel names / MPI call names).
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void export_csv(const sim::Timeline& timeline, std::ostream& os) {
+  os << "rank,t_begin,t_end,activity,label,flops,mem_bytes\n";
+  for (const auto& iv : timeline.intervals())
+    os << iv.rank << ',' << iv.t_begin << ',' << iv.t_end << ','
+       << sim::to_string(iv.activity) << ',' << iv.label << ',' << iv.flops
+       << ',' << iv.mem_bytes << '\n';
+}
+
+void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& iv : timeline.intervals()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"";
+    write_escaped(os, iv.label.empty()
+                          ? std::string(sim::to_string(iv.activity))
+                          : iv.label);
+    os << "\",\"cat\":\"" << sim::to_string(iv.activity)
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << iv.rank
+       << ",\"ts\":" << iv.t_begin * 1e6
+       << ",\"dur\":" << (iv.t_end - iv.t_begin) * 1e6 << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace spechpc::perf

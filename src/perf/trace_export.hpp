@@ -1,0 +1,18 @@
+// Timeline export: CSV (for plotting) and Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto for an interactive ITAC-like view).
+#pragma once
+
+#include <iosfwd>
+
+#include "simmpi/trace.hpp"
+
+namespace spechpc::perf {
+
+/// One row per interval: rank,begin,end,activity,label,flops,mem_bytes.
+void export_csv(const sim::Timeline& timeline, std::ostream& os);
+
+/// Chrome trace-event format: complete ("X") events, one track per rank
+/// (pid 0, tid = rank), microsecond timestamps.
+void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os);
+
+}  // namespace spechpc::perf

@@ -1,0 +1,72 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace spechpc::power {
+
+PowerReport PowerModel::analyze(const sim::Engine& engine) const {
+  const mach::CpuSpec& cpu = cluster_.cpu;
+  const sim::Placement& p = engine.placement();
+  PowerReport rep;
+  rep.wall_s = engine.measured_wall();
+  if (rep.wall_s <= 0.0) return rep;
+
+  std::map<int, double> domain_mem_bytes;  // DRAM traffic per ccNUMA domain
+  std::map<int, bool> sockets;
+
+  double dynamic_w = 0.0;
+  for (int r = 0; r < engine.nranks(); ++r) {
+    const sim::RankCounters m = engine.measured(r);
+    const double t_compute = m.time(sim::Activity::kCompute);
+    const double t_busy = std::min(m.port_busy_seconds, t_compute);
+    const double t_stall = t_compute - t_busy;
+    const double t_mpi = m.mpi_time();
+    // Wide SIMD execution draws measurably more power than a scalar
+    // instruction mix (the paper's hot sph-exa vs cool soma contrast).
+    const double total_flops = m.total_flops();
+    const double simd_frac =
+        total_flops > 0.0 ? m.flops_simd / total_flops : 0.0;
+    const double busy_w =
+        cpu.core_power_busy_scalar_w +
+        simd_frac *
+            (cpu.core_power_busy_simd_w - cpu.core_power_busy_scalar_w);
+    // Time after a rank's last event (or before measurement) draws only
+    // baseline power; active fractions are normalized by the wall time.
+    dynamic_w += (t_busy * busy_w + t_stall * cpu.core_power_stall_w +
+                  t_mpi * cpu.core_power_mpi_w) /
+                 rep.wall_s;
+    const auto& loc = p.of(r);
+    sockets[loc.socket] = true;
+    domain_mem_bytes[loc.domain] += m.traffic.mem_bytes;
+  }
+
+  rep.sockets_used = static_cast<int>(sockets.size());
+  rep.domains_used = static_cast<int>(domain_mem_bytes.size());
+  rep.chip_w = rep.sockets_used * cpu.idle_power_per_socket_w + dynamic_w;
+
+  for (const auto& [domain, bytes] : domain_mem_bytes) {
+    const double bw = bytes / rep.wall_s;
+    const double util = std::min(1.0, bw / cpu.sat_bw_per_domain_Bps);
+    rep.dram_w += cpu.dram_idle_power_per_domain_w +
+                  util * (cpu.dram_max_power_per_domain_w -
+                          cpu.dram_idle_power_per_domain_w);
+  }
+  return rep;
+}
+
+std::size_t min_energy_point(const std::vector<OperatingPoint>& pts) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    if (pts[i].energy_j < pts[best].energy_j) best = i;
+  return best;
+}
+
+std::size_t min_edp_point(const std::vector<OperatingPoint>& pts) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    if (pts[i].edp() < pts[best].edp()) best = i;
+  return best;
+}
+
+}  // namespace spechpc::power

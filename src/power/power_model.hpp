@@ -1,0 +1,65 @@
+// RAPL-like chip and DRAM power/energy model (Sect. 4.2/4.3 methodology).
+//
+// The paper reduces its RAPL measurements to a simple structural model:
+// chip power = baseline (idle) power of each populated package plus a
+// per-active-core dynamic term that depends on what the core is doing
+// (executing, stalled on memory, or spin-waiting in MPI); DRAM power rises
+// with memory-bandwidth utilization and saturates with it.  This module
+// evaluates exactly that model over a finished SimMPI run.
+#pragma once
+
+#include <vector>
+
+#include "machine/specs.hpp"
+#include "simmpi/engine.hpp"
+
+namespace spechpc::power {
+
+/// Average power and total energy of one job execution.
+struct PowerReport {
+  double wall_s = 0.0;
+  double chip_w = 0.0;  ///< sum over populated packages (RAPL PKG domain)
+  double dram_w = 0.0;  ///< sum over populated ccNUMA domains (RAPL DRAM)
+  int sockets_used = 0;
+  int domains_used = 0;
+
+  double total_w() const { return chip_w + dram_w; }
+  double chip_energy_j() const { return chip_w * wall_s; }
+  double dram_energy_j() const { return dram_w * wall_s; }
+  double total_energy_j() const { return total_w() * wall_s; }
+  /// Energy-delay product (J s).
+  double edp() const { return total_energy_j() * wall_s; }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(mach::ClusterSpec cluster)
+      : cluster_(std::move(cluster)) {}
+
+  /// Evaluates the power model over the measured region of a finished run.
+  PowerReport analyze(const sim::Engine& engine) const;
+
+  const mach::ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  mach::ClusterSpec cluster_;
+};
+
+/// One operating point in a Z-plot (energy vs performance, cores as the
+/// curve parameter; Sect. 4.3, Fig. 4).
+struct OperatingPoint {
+  int resources = 0;   ///< number of cores (or nodes)
+  double speedup = 0.0;
+  double energy_j = 0.0;
+
+  double edp() const {
+    return speedup > 0.0 ? energy_j / speedup : 0.0;
+  }  ///< proportional to E*T for fixed baseline time
+};
+
+/// Index of the minimum-energy point.
+std::size_t min_energy_point(const std::vector<OperatingPoint>& pts);
+/// Index of the minimum-EDP point (slope through origin in the Z-plot).
+std::size_t min_edp_point(const std::vector<OperatingPoint>& pts);
+
+}  // namespace spechpc::power

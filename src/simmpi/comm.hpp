@@ -1,0 +1,241 @@
+// SimMPI: rank-facing communicator API.
+//
+// A Comm is handed to every rank coroutine and provides the MPI-like surface:
+// blocking send/recv, nonblocking isend/irecv/wait, sendrecv, collectives
+// (allreduce, reduce, bcast, barrier) and compute-phase submission.  All
+// operations are awaitable and advance the rank's virtual clock.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simmpi/engine.hpp"
+
+namespace spechpc::sim {
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+namespace detail {
+
+inline std::vector<std::byte> pack(const void* data, std::size_t bytes) {
+  std::vector<std::byte> v(bytes);
+  if (bytes > 0) std::memcpy(v.data(), data, bytes);
+  return v;
+}
+
+}  // namespace detail
+
+class Comm {
+ public:
+  /// Awaiter for blocking sends (returned by send/send_bytes).
+  struct SendAwaiter {
+    Engine* e;
+    int rank, dst, tag;
+    double bytes;
+    std::vector<std::byte> payload;
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      return !e->op_send(rank, dst, tag, bytes, std::move(payload), true, -1,
+                         h)
+                  .inline_complete;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaiter for blocking receives; resumes to the matched message size.
+  struct RecvAwaiter {
+    Engine* e;
+    int rank, src, tag;
+    std::byte* buf;
+    std::size_t buf_bytes;
+    double received = 0.0;
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      return !e->op_recv(rank, src, tag, buf, buf_bytes, &received, true, -1,
+                         h)
+                  .inline_complete;
+    }
+    double await_resume() const noexcept { return received; }
+  };
+
+  Comm() = default;
+  /// World communicator of `rank` (constructed by the Engine).
+  Comm(Engine* engine, int rank)
+      : engine_(engine), rank_(rank), grank_(rank) {}
+
+  /// Rank within this communicator.
+  int rank() const { return rank_; }
+  /// Size of this communicator's group.
+  int size() const {
+    return group_ ? static_cast<int>(group_->size()) : engine_->nranks();
+  }
+  /// Rank in the world communicator.
+  int world_rank() const { return grank_; }
+  double now() const { return engine_->now(grank_); }
+  Engine& engine() const { return *engine_; }
+
+  /// MPI_Comm_split: collective over this communicator; returns the
+  /// sub-communicator of all callers passing the same `color`, ordered by
+  /// (key, rank).  Note: kAnySource receives on a sub-communicator match
+  /// messages from any world rank -- disambiguate by tag when mixing
+  /// communicators.
+  Task<Comm> split(int color, int key);
+
+  // --- compute ---------------------------------------------------------
+
+  /// Submits a compute phase; virtual time advances per the ComputeModel.
+  auto compute(KernelWork work) {
+    struct Awaiter {
+      Engine* e;
+      int rank;
+      KernelWork w;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        e->op_compute(rank, w, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{engine_, grank_, std::move(work)};
+  }
+
+  /// Pure virtual delay (serial section, I/O stand-in, ...).
+  auto delay(double seconds, std::string label = "delay") {
+    struct Awaiter {
+      Engine* e;
+      int rank;
+      double s;
+      std::string lbl;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        e->op_delay(rank, s, lbl, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{engine_, grank_, seconds, std::move(label)};
+  }
+
+  // --- blocking point-to-point ------------------------------------------
+
+  template <typename T>
+  SendAwaiter send(int dst, int tag, std::span<const T> data) {
+    return SendAwaiter{engine_, grank_, to_global(dst), tag,
+                       static_cast<double>(data.size_bytes()),
+                       detail::pack(data.data(), data.size_bytes())};
+  }
+  /// Modeled send: costs `bytes` on the wire, carries no payload.
+  SendAwaiter send_bytes(int dst, int tag, double bytes) {
+    return SendAwaiter{engine_, grank_, to_global(dst), tag, bytes, {}};
+  }
+
+  template <typename T>
+  RecvAwaiter recv(int src, int tag, std::span<T> out) {
+    return RecvAwaiter{engine_, grank_, to_global(src), tag,
+                       reinterpret_cast<std::byte*>(out.data()),
+                       out.size_bytes()};
+  }
+  /// Modeled receive: matches by (src, tag), discards payload.
+  RecvAwaiter recv_bytes(int src, int tag) {
+    return RecvAwaiter{engine_, grank_, to_global(src), tag, nullptr, 0};
+  }
+
+  /// Nonblocking completion probe (MPI_Test): true once the request has
+  /// completed at or before this rank's current virtual time.
+  bool test(Request req) const;
+
+  // --- nonblocking ---------------------------------------------------------
+
+  template <typename T>
+  Request isend(int dst, int tag, std::span<const T> data) {
+    return isend_impl(dst, tag, static_cast<double>(data.size_bytes()),
+                      detail::pack(data.data(), data.size_bytes()));
+  }
+  Request isend_bytes(int dst, int tag, double bytes) {
+    return isend_impl(dst, tag, bytes, {});
+  }
+  template <typename T>
+  Request irecv(int src, int tag, std::span<T> out) {
+    return irecv_impl(src, tag, reinterpret_cast<std::byte*>(out.data()),
+                      out.size_bytes());
+  }
+  Request irecv_bytes(int src, int tag) {
+    return irecv_impl(src, tag, nullptr, 0);
+  }
+
+  auto wait(Request req) {
+    struct Awaiter {
+      Engine* e;
+      int rank;
+      std::int64_t id;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        return !e->op_wait(rank, id, h).inline_complete;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{engine_, grank_, req.id};
+  }
+  Task<> waitall(std::vector<Request> reqs);
+
+  // --- combined / collectives (implemented in collectives.cpp) -----------
+
+  Task<> sendrecv(int dst, int sendtag, double send_bytes, int src,
+                  int recvtag);
+  Task<> allreduce(std::span<double> data, ReduceOp op);
+  Task<double> allreduce(double value, ReduceOp op);
+  /// Modeled allreduce of `bytes` payload (no data carried) -- for large
+  /// field reductions where only the cost matters.
+  Task<> allreduce_bytes(double bytes);
+  Task<> reduce(std::span<double> data, ReduceOp op, int root);
+  Task<> bcast(std::span<double> data, int root);
+  Task<> barrier();
+  /// Root receives rank r's contribution at out[r*data.size()].
+  Task<> gather(std::span<const double> data, std::span<double> out, int root);
+  /// Every rank receives every rank's contribution (gather + bcast).
+  Task<> allgather(std::span<const double> data, std::span<double> out);
+  /// Modeled personalized all-to-all: `bytes_per_peer` to every other rank
+  /// (pairwise-exchange schedule, p-1 rounds).
+  Task<> alltoall_bytes(double bytes_per_peer);
+
+  // --- measurement ---------------------------------------------------------
+
+  /// Snapshots this rank's counters/clock; call right after a warmup barrier.
+  void begin_measurement();
+
+ private:
+  friend class Engine;
+
+  Request isend_impl(int dst, int tag, double bytes,
+                     std::vector<std::byte> payload);
+  Request irecv_impl(int src, int tag, std::byte* buf, std::size_t buf_bytes);
+
+  // Collective plumbing: tags are drawn from a reserved range; all ranks
+  // execute collectives in the same program order, so sequence numbers agree.
+  int next_collective_tag();
+  struct ActivityScope;  // RAII push/pop of the per-rank activity override
+
+  /// Sub-communicator constructor (used by split()).
+  Comm(Engine* engine, std::shared_ptr<const std::vector<int>> group,
+       int local_rank, int global_rank, int comm_id)
+      : engine_(engine),
+        group_(std::move(group)),
+        rank_(local_rank),
+        grank_(global_rank),
+        comm_id_(comm_id) {}
+
+  int to_global(int local) const {
+    if (local < 0) return local;  // kAnySource passes through
+    return group_ ? (*group_)[static_cast<std::size_t>(local)] : local;
+  }
+
+  Engine* engine_ = nullptr;
+  std::shared_ptr<const std::vector<int>> group_;  // null: world
+  int rank_ = -1;   // rank within the group
+  int grank_ = -1;  // world rank
+  int comm_id_ = 0;
+  mutable std::int64_t seq_ = 0;  // per-communicator collective sequence
+};
+
+}  // namespace spechpc::sim

@@ -1,0 +1,103 @@
+// SimMPI: per-rank accounting of time, flops, traffic, and messages.
+//
+// Plays the role of likwid-perfctr's MEM_DP / L3 / L2 counter groups plus the
+// ITAC time-per-MPI-call breakdown in the paper's methodology.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "simmpi/work.hpp"
+
+namespace spechpc::sim {
+
+/// What a rank is doing during a timeline interval.
+enum class Activity : std::uint8_t {
+  kCompute = 0,
+  kSend,
+  kRecv,
+  kWait,       // MPI_Wait on a nonblocking request
+  kAllreduce,
+  kReduce,
+  kBcast,
+  kBarrier,
+  kCount
+};
+
+constexpr std::string_view to_string(Activity a) {
+  switch (a) {
+    case Activity::kCompute: return "compute";
+    case Activity::kSend: return "MPI_Send";
+    case Activity::kRecv: return "MPI_Recv";
+    case Activity::kWait: return "MPI_Wait";
+    case Activity::kAllreduce: return "MPI_Allreduce";
+    case Activity::kReduce: return "MPI_Reduce";
+    case Activity::kBcast: return "MPI_Bcast";
+    case Activity::kBarrier: return "MPI_Barrier";
+    case Activity::kCount: break;
+  }
+  return "?";
+}
+
+constexpr bool is_mpi_activity(Activity a) { return a != Activity::kCompute; }
+
+/// Accumulated per-rank counters.
+struct RankCounters {
+  double flops_simd = 0.0;
+  double flops_scalar = 0.0;
+  /// Seconds the core's execution ports were busy (vs stalled on data);
+  /// input to the chip power model.
+  double port_busy_seconds = 0.0;
+  TrafficVolumes traffic;  ///< effective (measured-like) data volumes
+  double bytes_sent = 0.0;
+  double bytes_received = 0.0;
+  std::int64_t messages_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t collectives = 0;
+  std::array<double, static_cast<std::size_t>(Activity::kCount)> time_in{};
+
+  double time(Activity a) const {
+    return time_in[static_cast<std::size_t>(a)];
+  }
+  double total_time() const {
+    double t = 0.0;
+    for (double v : time_in) t += v;
+    return t;
+  }
+  double mpi_time() const { return total_time() - time(Activity::kCompute); }
+  double total_flops() const { return flops_simd + flops_scalar; }
+
+  RankCounters& operator+=(const RankCounters& o) {
+    flops_simd += o.flops_simd;
+    flops_scalar += o.flops_scalar;
+    port_busy_seconds += o.port_busy_seconds;
+    traffic += o.traffic;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    messages_sent += o.messages_sent;
+    messages_received += o.messages_received;
+    collectives += o.collectives;
+    for (std::size_t i = 0; i < time_in.size(); ++i) time_in[i] += o.time_in[i];
+    return *this;
+  }
+  /// Element-wise difference (used to subtract a warmup snapshot).
+  friend RankCounters operator-(RankCounters a, const RankCounters& b) {
+    a.flops_simd -= b.flops_simd;
+    a.flops_scalar -= b.flops_scalar;
+    a.port_busy_seconds -= b.port_busy_seconds;
+    a.traffic.mem_bytes -= b.traffic.mem_bytes;
+    a.traffic.l3_bytes -= b.traffic.l3_bytes;
+    a.traffic.l2_bytes -= b.traffic.l2_bytes;
+    a.bytes_sent -= b.bytes_sent;
+    a.bytes_received -= b.bytes_received;
+    a.messages_sent -= b.messages_sent;
+    a.messages_received -= b.messages_received;
+    a.collectives -= b.collectives;
+    for (std::size_t i = 0; i < a.time_in.size(); ++i)
+      a.time_in[i] -= b.time_in[i];
+    return a;
+  }
+};
+
+}  // namespace spechpc::sim

@@ -1,0 +1,433 @@
+#include "simmpi/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "simmpi/comm.hpp"
+
+namespace spechpc::sim {
+
+namespace detail {
+
+void PromiseBase::notify_engine_done() noexcept { engine->on_rank_done(rank); }
+
+}  // namespace detail
+
+Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.nranks < 1) throw std::invalid_argument("Engine: nranks < 1");
+  if (cfg_.placement.nranks() == 0)
+    cfg_.placement = Placement::single_domain(cfg_.nranks);
+  if (cfg_.placement.nranks() != cfg_.nranks)
+    throw std::invalid_argument("Engine: placement size != nranks");
+  if (!cfg_.compute) {
+    default_compute_ = std::make_unique<SimpleComputeModel>();
+    compute_ = default_compute_.get();
+  } else {
+    compute_ = cfg_.compute;
+  }
+  if (!cfg_.network) {
+    default_network_ = std::make_unique<SimpleNetworkModel>();
+    network_ = default_network_.get();
+  } else {
+    network_ = cfg_.network;
+  }
+  const auto n = static_cast<std::size_t>(cfg_.nranks);
+  clock_.assign(n, 0.0);
+  counters_.assign(n, RankCounters{});
+  snapshot_.assign(n, RankCounters{});
+  measure_begin_.assign(n, 0.0);
+  measuring_.assign(n, false);
+  done_.assign(n, false);
+  activity_stack_.assign(n, {});
+  unexpected_.assign(n, {});
+  rzv_sends_.assign(n, {});
+  posted_.assign(n, {});
+}
+
+Engine::~Engine() {
+  for (auto h : roots_)
+    if (h) h.destroy();
+}
+
+void Engine::schedule(double time, int rank, std::coroutine_handle<> h) {
+  events_.push(Event{time, next_seq_++, rank, h});
+}
+
+void Engine::on_rank_done(int rank) {
+  done_[static_cast<std::size_t>(rank)] = true;
+  ++done_count_;
+}
+
+void Engine::run(const RankFn& fn) {
+  if (ran_) throw std::logic_error("Engine::run may only be called once");
+  ran_ = true;
+  comms_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  roots_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    comms_.push_back(std::make_unique<Comm>(this, r));
+    Task<> t = fn(*comms_.back());
+    auto h = t.release();
+    h.promise().engine = this;
+    h.promise().rank = r;
+    roots_.push_back(h);
+    schedule(0.0, r, h);
+  }
+  while (!events_.empty() && done_count_ < cfg_.nranks) {
+    Event ev = events_.top();
+    events_.pop();
+    auto r = static_cast<std::size_t>(ev.rank);
+    clock_[r] = std::max(clock_[r], ev.time);
+    ev.handle.resume();
+  }
+  for (auto h : roots_)
+    if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+  if (done_count_ < cfg_.nranks) report_deadlock();
+}
+
+double Engine::elapsed() const {
+  double m = 0.0;
+  for (double c : clock_) m = std::max(m, c);
+  return m;
+}
+
+RankCounters Engine::measured(int rank) const {
+  auto r = static_cast<std::size_t>(rank);
+  return measuring_[r] ? counters_[r] - snapshot_[r] : counters_[r];
+}
+
+double Engine::measured_wall() const {
+  double begin = 0.0;
+  bool any = false;
+  for (std::size_t r = 0; r < measuring_.size(); ++r) {
+    if (measuring_[r]) {
+      begin = any ? std::min(begin, measure_begin_[r]) : measure_begin_[r];
+      any = true;
+    }
+  }
+  return elapsed() - (any ? begin : 0.0);
+}
+
+RankCounters Engine::measured_total() const {
+  RankCounters total;
+  for (int r = 0; r < cfg_.nranks; ++r) total += measured(r);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+
+Activity Engine::effective_activity(int rank, Activity a) const {
+  // The outermost collective owns the time: an allreduce built from
+  // reduce+bcast reports as MPI_Allreduce, like ITAC would show it.
+  const auto& st = activity_stack_[static_cast<std::size_t>(rank)];
+  return st.empty() ? a : st.front();
+}
+
+void Engine::account(int rank, Activity a, double t0, double t1,
+                     const std::string& label) {
+  Activity eff = effective_activity(rank, a);
+  counters_[static_cast<std::size_t>(rank)]
+      .time_in[static_cast<std::size_t>(eff)] += (t1 - t0);
+  if (cfg_.enable_trace && t1 > t0 &&
+      activity_stack_[static_cast<std::size_t>(rank)].empty())
+    timeline_.record(TraceInterval{rank, t0, t1, eff, label});
+}
+
+// ---------------------------------------------------------------------------
+// Compute
+
+void Engine::op_compute(int rank, const KernelWork& work,
+                        std::coroutine_handle<> self) {
+  const auto r = static_cast<std::size_t>(rank);
+  const double t0 = clock_[r];
+  ComputeOutcome out = compute_->evaluate(rank, cfg_.placement, work);
+  counters_[r].flops_simd += work.flops_simd;
+  counters_[r].flops_scalar += work.flops_scalar;
+  counters_[r].port_busy_seconds += out.seconds * out.core_utilization;
+  counters_[r].traffic += out.effective;
+  account(rank, Activity::kCompute, t0, t0 + out.seconds, work.label);
+  if (cfg_.enable_trace && out.seconds > 0.0 &&
+      activity_stack_[r].empty() && !timeline_.empty()) {
+    // account() just recorded the interval; attach its resource data.
+    auto& iv = timeline_.back();
+    if (iv.rank == rank && iv.t_begin == t0) {
+      iv.flops = work.total_flops();
+      iv.mem_bytes = out.effective.mem_bytes;
+    }
+  }
+  schedule(t0 + out.seconds, rank, self);
+}
+
+void Engine::op_delay(int rank, double seconds, const std::string& label,
+                      std::coroutine_handle<> self) {
+  const auto r = static_cast<std::size_t>(rank);
+  const double t0 = clock_[r];
+  account(rank, Activity::kCompute, t0, t0 + seconds, label);
+  schedule(t0 + seconds, rank, self);
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+
+bool Engine::request_complete_at(std::int64_t id, double t) const {
+  const auto& rs = requests_[static_cast<std::size_t>(id)];
+  return rs.complete && rs.completion_time <= t;
+}
+
+std::int64_t Engine::make_request(int rank) {
+  requests_.push_back(RequestState{rank, false, 0.0, nullptr, 0.0,
+                                   Activity::kWait});
+  return static_cast<std::int64_t>(requests_.size() - 1);
+}
+
+void Engine::complete_request(std::int64_t id, double completion) {
+  auto& rs = requests_[static_cast<std::size_t>(id)];
+  rs.complete = true;
+  rs.completion_time = completion;
+  if (rs.waiter) {
+    const double tc = std::max(rs.waiter_t0, completion);
+    account(rs.rank, rs.waiter_activity, rs.waiter_t0, tc, "wait");
+    schedule(tc, rs.rank, rs.waiter);
+    rs.waiter = nullptr;
+  }
+}
+
+Engine::OpResult Engine::op_wait(int rank, std::int64_t request_id,
+                                 std::coroutine_handle<> self) {
+  const auto r = static_cast<std::size_t>(rank);
+  auto& rs = requests_[static_cast<std::size_t>(request_id)];
+  const double t0 = clock_[r];
+  if (rs.complete) {
+    const double tc = std::max(t0, rs.completion_time);
+    account(rank, Activity::kWait, t0, tc, "wait");
+    clock_[r] = tc;
+    return {true, 0.0};
+  }
+  rs.waiter = self;
+  rs.waiter_t0 = t0;
+  rs.waiter_activity = Activity::kWait;
+  return {false, 0.0};
+}
+
+std::optional<std::size_t> Engine::find_unexpected(int dst, int src, int tag) {
+  const auto& bucket = unexpected_[static_cast<std::size_t>(dst)];
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const auto& m = bucket[i];
+    if ((src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag))
+      return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Engine::find_rzv(int dst, int src, int tag) {
+  const auto& bucket = rzv_sends_[static_cast<std::size_t>(dst)];
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const auto& m = bucket[i];
+    if ((src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag))
+      return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Engine::find_posted(int dst, int src, int tag) {
+  const auto& bucket = posted_[static_cast<std::size_t>(dst)];
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const auto& p = bucket[i];
+    if ((p.src_filter == kAnySource || p.src_filter == src) &&
+        (p.tag_filter == kAnyTag || p.tag_filter == tag))
+      return i;
+  }
+  return std::nullopt;
+}
+
+void Engine::complete_recv(PostedRecv& pr, double completion,
+                           const Message& msg) {
+  if (pr.buffer && !msg.payload.empty())
+    std::memcpy(pr.buffer, msg.payload.data(),
+                std::min(pr.buffer_bytes, msg.payload.size()));
+  if (pr.out_bytes) *pr.out_bytes = msg.bytes;
+  auto d = static_cast<std::size_t>(pr.dst);
+  counters_[d].bytes_received += msg.bytes;
+  ++counters_[d].messages_received;
+  if (pr.receiver) {
+    account(pr.dst, pr.activity, pr.t_posted, completion, "recv");
+    schedule(completion, pr.dst, pr.receiver);
+  } else if (pr.request >= 0) {
+    complete_request(pr.request, completion);
+  }
+}
+
+void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
+  const double ctl = network_->control_latency(rs.src, rs.dst, cfg_.placement);
+  const double rts_arrival = rs.t_ready + ctl;
+  const double handshake = std::max(pr.t_posted, rts_arrival) + ctl;
+  const TransferCost cost =
+      network_->transfer(rs.src, rs.dst, cfg_.placement, rs.bytes);
+  const double tc = handshake + cost.in_flight_s;
+
+  // Receiver side.
+  if (pr.buffer && !rs.payload.empty())
+    std::memcpy(pr.buffer, rs.payload.data(),
+                std::min(pr.buffer_bytes, rs.payload.size()));
+  if (pr.out_bytes) *pr.out_bytes = rs.bytes;
+  auto d = static_cast<std::size_t>(pr.dst);
+  counters_[d].bytes_received += rs.bytes;
+  ++counters_[d].messages_received;
+  if (pr.receiver) {
+    account(pr.dst, pr.activity, pr.t_posted, tc, "recv");
+    schedule(tc, pr.dst, pr.receiver);
+  } else if (pr.request >= 0) {
+    complete_request(pr.request, tc);
+  }
+
+  // Sender side: unblocks when the pipe drains.
+  if (rs.sender) {
+    account(rs.src, Activity::kSend, rs.t_ready, tc, "send");
+    schedule(tc, rs.src, rs.sender);
+  } else if (rs.request >= 0) {
+    complete_request(rs.request, tc);
+  }
+}
+
+bool Engine::try_match_message(Message& msg) {
+  auto idx = find_posted(msg.dst, msg.src, msg.tag);
+  if (!idx) return false;
+  auto& bucket = posted_[static_cast<std::size_t>(msg.dst)];
+  PostedRecv pr = std::move(bucket[*idx]);
+  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(*idx));
+  const double completion = std::max(pr.t_posted, msg.arrival);
+  complete_recv(pr, completion, msg);
+  return true;
+}
+
+bool Engine::try_match_rzv(RzvSend& rs) {
+  auto idx = find_posted(rs.dst, rs.src, rs.tag);
+  if (!idx) return false;
+  auto& bucket = posted_[static_cast<std::size_t>(rs.dst)];
+  PostedRecv pr = std::move(bucket[*idx]);
+  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(*idx));
+  complete_rzv_pair(pr, rs);
+  return true;
+}
+
+Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
+                                 std::vector<std::byte> payload, bool blocking,
+                                 std::int64_t request_id,
+                                 std::coroutine_handle<> self) {
+  const auto r = static_cast<std::size_t>(rank);
+  if (dst < 0 || dst >= cfg_.nranks)
+    throw std::out_of_range("op_send: bad destination rank");
+  const double t0 = clock_[r];
+  counters_[r].bytes_sent += bytes;
+  ++counters_[r].messages_sent;
+
+  const bool eager = cfg_.protocol.force_eager ||
+                     bytes <= cfg_.protocol.eager_threshold_bytes;
+  if (eager) {
+    const TransferCost cost =
+        network_->transfer(rank, dst, cfg_.placement, bytes);
+    clock_[r] = t0 + cost.sender_busy_s;
+    account(rank, Activity::kSend, t0, clock_[r], "send");
+    Message m{rank,    dst,
+              tag,     bytes,
+              std::move(payload), t0 + cost.in_flight_s,
+              next_seq_++};
+    if (!try_match_message(m))
+      unexpected_[static_cast<std::size_t>(dst)].push_back(std::move(m));
+    if (request_id >= 0) complete_request(request_id, clock_[r]);
+    return {true, 0.0};
+  }
+
+  // Rendezvous: the sender cannot make progress until a matching receive is
+  // posted (synchronous mode for large messages -- the mechanism behind the
+  // paper's minisweep serialization analysis, Sect. 4.1.5).
+  RzvSend rs{rank,
+             dst,
+             tag,
+             bytes,
+             std::move(payload),
+             t0,
+             blocking ? self : std::coroutine_handle<>{},
+             request_id,
+             next_seq_++};
+  if (try_match_rzv(rs)) return {!blocking, 0.0};
+  rzv_sends_[static_cast<std::size_t>(dst)].push_back(std::move(rs));
+  return {!blocking, 0.0};
+}
+
+Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
+                                 std::size_t buffer_bytes, double* out_bytes,
+                                 bool blocking, std::int64_t request_id,
+                                 std::coroutine_handle<> self) {
+  const auto r = static_cast<std::size_t>(rank);
+  const double t0 = clock_[r];
+
+  if (auto idx = find_unexpected(rank, src, tag)) {
+    auto& bucket = unexpected_[r];
+    Message m = std::move(bucket[*idx]);
+    bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(*idx));
+    const double tc = std::max(t0, m.arrival);
+    if (buffer && !m.payload.empty())
+      std::memcpy(buffer, m.payload.data(),
+                  std::min(buffer_bytes, m.payload.size()));
+    if (out_bytes) *out_bytes = m.bytes;
+    counters_[r].bytes_received += m.bytes;
+    ++counters_[r].messages_received;
+    if (blocking) {
+      account(rank, Activity::kRecv, t0, tc, "recv");
+      clock_[r] = tc;
+    } else {
+      complete_request(request_id, tc);
+    }
+    return {true, m.bytes};
+  }
+
+  PostedRecv pr{rank,
+                src,
+                tag,
+                t0,
+                blocking ? self : std::coroutine_handle<>{},
+                buffer,
+                buffer_bytes,
+                out_bytes,
+                request_id,
+                effective_activity(rank, Activity::kRecv),
+                next_seq_++};
+
+  if (auto idx = find_rzv(rank, src, tag)) {
+    auto& bucket = rzv_sends_[r];
+    RzvSend rs = std::move(bucket[*idx]);
+    bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(*idx));
+    complete_rzv_pair(pr, rs);
+    return {!blocking, rs.bytes};
+  }
+
+  posted_[r].push_back(std::move(pr));
+  return {!blocking, 0.0};
+}
+
+void Engine::report_deadlock() {
+  std::ostringstream os;
+  os << "SimMPI deadlock: " << (cfg_.nranks - done_count_) << " of "
+     << cfg_.nranks << " ranks blocked.\n";
+  std::size_t n_posted = 0, n_rzv = 0, n_unexpected = 0;
+  for (const auto& b : posted_) n_posted += b.size();
+  for (const auto& b : rzv_sends_) n_rzv += b.size();
+  for (const auto& b : unexpected_) n_unexpected += b.size();
+  os << "  pending posted receives: " << n_posted << "\n";
+  for (const auto& bucket : posted_)
+    for (const auto& p : bucket)
+      os << "    rank " << p.dst << " waiting for (src=" << p.src_filter
+         << ", tag=" << p.tag_filter << ") since t=" << p.t_posted << "\n";
+  os << "  pending rendezvous sends: " << n_rzv << "\n";
+  for (const auto& bucket : rzv_sends_)
+    for (const auto& s : bucket)
+      os << "    rank " << s.src << " -> " << s.dst << " tag " << s.tag
+         << " (" << s.bytes << " B) since t=" << s.t_ready << "\n";
+  os << "  undelivered eager messages: " << n_unexpected << "\n";
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace spechpc::sim

@@ -1,0 +1,223 @@
+// SimMPI: deterministic discrete-event engine for simulated MPI jobs.
+//
+// Each rank of a job is a C++20 coroutine with its own virtual clock.  The
+// engine advances clocks through compute phases (costed by a ComputeModel)
+// and message-passing operations (costed by a NetworkModel), matching sends
+// to receives with eager/rendezvous protocol semantics.  A single engine run
+// simulates one parallel job execution; everything is single-threaded and
+// bit-reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "simmpi/counters.hpp"
+#include "simmpi/models.hpp"
+#include "simmpi/placement.hpp"
+#include "simmpi/task.hpp"
+#include "simmpi/trace.hpp"
+#include "simmpi/work.hpp"
+
+namespace spechpc::sim {
+
+class Comm;
+
+/// MPI point-to-point protocol selection.
+struct ProtocolConfig {
+  /// Messages at or below this size are sent eagerly; larger ones use the
+  /// synchronous rendezvous protocol (Intel MPI default is 64 KiB).
+  double eager_threshold_bytes = 64.0 * 1024.0;
+  /// Ablation switch: treat every message as eager (no rendezvous blocking).
+  bool force_eager = false;
+};
+
+struct EngineConfig {
+  int nranks = 1;
+  Placement placement;  ///< empty -> single_domain(nranks)
+  const ComputeModel* compute = nullptr;  ///< nullptr -> SimpleComputeModel
+  const NetworkModel* network = nullptr;  ///< nullptr -> SimpleNetworkModel
+  ProtocolConfig protocol;
+  bool enable_trace = false;
+};
+
+/// Handle to a nonblocking operation.
+struct Request {
+  std::int64_t id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = INT32_MIN;
+/// Tags at or above this value are reserved for collective implementations.
+inline constexpr int kCollectiveTagBase = 1 << 30;
+
+class Engine {
+ public:
+  using RankFn = std::function<Task<>(Comm&)>;
+
+  explicit Engine(EngineConfig cfg);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `fn` as the program of every rank to completion.
+  void run(const RankFn& fn);
+
+  int nranks() const { return cfg_.nranks; }
+  const Placement& placement() const { return cfg_.placement; }
+  double now(int rank) const { return clock_[static_cast<std::size_t>(rank)]; }
+  /// Job wall-clock time: max rank clock after run().
+  double elapsed() const;
+
+  const RankCounters& counters(int rank) const {
+    return counters_[static_cast<std::size_t>(rank)];
+  }
+  /// Counters accumulated since the rank's begin_measurement() call.
+  RankCounters measured(int rank) const;
+  /// Wall-clock time of the measured region (max end - min begin).
+  double measured_wall() const;
+  /// Sum of measured counters over all ranks.
+  RankCounters measured_total() const;
+
+  const Timeline& timeline() const { return timeline_; }
+
+  // --- internal API used by Comm awaiters (not part of the public surface)
+  struct OpResult {
+    bool inline_complete = true;
+    double received_bytes = 0.0;
+  };
+  OpResult op_send(int rank, int dst, int tag, double bytes,
+                   std::vector<std::byte> payload, bool blocking,
+                   std::int64_t request_id, std::coroutine_handle<> self);
+  OpResult op_recv(int rank, int src, int tag, std::byte* buffer,
+                   std::size_t buffer_bytes, double* out_bytes, bool blocking,
+                   std::int64_t request_id, std::coroutine_handle<> self);
+  OpResult op_wait(int rank, std::int64_t request_id,
+                   std::coroutine_handle<> self);
+  void op_compute(int rank, const KernelWork& work,
+                  std::coroutine_handle<> self);
+  void op_delay(int rank, double seconds, const std::string& label,
+                std::coroutine_handle<> self);
+  std::int64_t make_request(int rank);
+  /// True if the request completed at or before virtual time `t`.
+  bool request_complete_at(std::int64_t id, double t) const;
+
+ private:
+  friend class Comm;
+  friend struct detail::PromiseBase;
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    int rank;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  struct Message {  // in-flight or unexpected eager message
+    int src, dst, tag;
+    double bytes;
+    std::vector<std::byte> payload;
+    double arrival;
+    std::uint64_t seq;
+  };
+
+  struct RzvSend {  // rendezvous send awaiting a matching receive
+    int src, dst, tag;
+    double bytes;
+    std::vector<std::byte> payload;
+    double t_ready;   // sender clock when the send was initiated
+    std::coroutine_handle<> sender;  // null for nonblocking sends
+    std::int64_t request = -1;       // request id for nonblocking sends
+    std::uint64_t seq;
+  };
+
+  struct PostedRecv {
+    int dst;
+    int src_filter, tag_filter;
+    double t_posted;
+    std::coroutine_handle<> receiver;  // null for irecv
+    std::byte* buffer = nullptr;
+    std::size_t buffer_bytes = 0;
+    double* out_bytes = nullptr;  // receives actual message size
+    std::int64_t request = -1;
+    Activity activity = Activity::kRecv;
+    std::uint64_t seq;
+  };
+
+  struct RequestState {
+    int rank = -1;
+    bool complete = false;
+    double completion_time = 0.0;
+    std::coroutine_handle<> waiter;  // set while a wait() is suspended
+    double waiter_t0 = 0.0;
+    Activity waiter_activity = Activity::kWait;
+  };
+
+  // --- scheduling -----------------------------------------------------
+  void schedule(double time, int rank, std::coroutine_handle<> h);
+  void on_rank_done(int rank);
+
+  // Attempts to match a newly deposited eager message / rendezvous send
+  // against posted receives (and vice versa).
+  bool try_match_message(Message& msg);
+  bool try_match_rzv(RzvSend& rs);
+  // Matching queues are bucketed by destination rank so matching stays O(1)
+  // in the job size; indices returned are into the dst's bucket.
+  std::optional<std::size_t> find_unexpected(int dst, int src, int tag);
+  std::optional<std::size_t> find_rzv(int dst, int src, int tag);
+  std::optional<std::size_t> find_posted(int dst, int src, int tag);
+
+  void complete_recv(PostedRecv& pr, double completion, const Message& msg);
+  void complete_rzv_pair(PostedRecv& pr, RzvSend& rs);
+  void complete_request(std::int64_t id, double completion);
+
+  void account(int rank, Activity a, double t0, double t1,
+               const std::string& label);
+  Activity effective_activity(int rank, Activity a) const;
+
+  [[noreturn]] void report_deadlock();
+
+  EngineConfig cfg_;
+  std::unique_ptr<ComputeModel> default_compute_;
+  std::unique_ptr<NetworkModel> default_network_;
+  const ComputeModel* compute_;
+  const NetworkModel* network_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t next_seq_ = 0;
+
+  std::vector<double> clock_;
+  std::vector<RankCounters> counters_;
+  std::vector<RankCounters> snapshot_;
+  std::vector<double> measure_begin_;
+  std::vector<bool> measuring_;
+  std::vector<bool> done_;
+  int done_count_ = 0;
+
+  std::vector<std::vector<Message>> unexpected_;   // bucket per dst rank
+  std::vector<std::vector<RzvSend>> rzv_sends_;    // bucket per dst rank
+  std::vector<std::vector<PostedRecv>> posted_;    // bucket per dst rank
+  std::vector<RequestState> requests_;
+
+  // Per-rank activity override stack (collectives attribute inner p2p time
+  // to the collective's activity).
+  std::vector<std::vector<Activity>> activity_stack_;
+
+  std::vector<std::coroutine_handle<Task<>::promise_type>> roots_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  Timeline timeline_;
+  bool ran_ = false;
+};
+
+}  // namespace spechpc::sim

@@ -1,0 +1,96 @@
+// SimMPI: pluggable cost models.
+//
+// The engine is agnostic of machine details; it asks a ComputeModel how long
+// a compute phase takes and a NetworkModel how messages move.  The machine
+// library provides Roofline/LogGP implementations parameterized with the
+// paper's Table 3 hardware data; the simple models here keep the runtime
+// testable in isolation.
+#pragma once
+
+#include "simmpi/placement.hpp"
+#include "simmpi/work.hpp"
+
+namespace spechpc::sim {
+
+/// Converts KernelWork into virtual time and effective traffic.
+class ComputeModel {
+ public:
+  virtual ~ComputeModel() = default;
+  /// Evaluate `work` executed by `rank` under the given job placement.
+  virtual ComputeOutcome evaluate(int rank, const Placement& placement,
+                                  const KernelWork& work) const = 0;
+};
+
+/// Point-to-point transfer costs for one message.
+struct TransferCost {
+  double sender_busy_s = 0.0;  ///< time the sender CPU is occupied (overhead)
+  double in_flight_s = 0.0;    ///< latency + serialization until full arrival
+};
+
+/// Converts message (src, dst, bytes) into transfer costs.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+  virtual TransferCost transfer(int src, int dst, const Placement& placement,
+                                double bytes) const = 0;
+  /// Protocol handshake latency (rendezvous RTS/CTS control messages).
+  virtual double control_latency(int src, int dst,
+                                 const Placement& placement) const = 0;
+};
+
+/// Fixed-rate compute model: 1 Gflop/s scalar, 8 Gflop/s SIMD, 10 GB/s memory;
+/// phase time is the max of the flop and memory "ceilings" (mini-Roofline).
+class SimpleComputeModel final : public ComputeModel {
+ public:
+  explicit SimpleComputeModel(double scalar_flops_per_s = 1e9,
+                              double simd_flops_per_s = 8e9,
+                              double mem_bytes_per_s = 10e9)
+      : scalar_fs_(scalar_flops_per_s),
+        simd_fs_(simd_flops_per_s),
+        mem_bs_(mem_bytes_per_s) {}
+
+  ComputeOutcome evaluate(int /*rank*/, const Placement& /*placement*/,
+                          const KernelWork& w) const override {
+    double t_flop = w.flops_scalar / scalar_fs_ + w.flops_simd / simd_fs_;
+    double t_mem = w.traffic.mem_bytes / mem_bs_;
+    ComputeOutcome out;
+    out.seconds = t_flop > t_mem ? t_flop : t_mem;
+    out.effective = w.traffic;
+    out.core_utilization = out.seconds > 0.0 ? t_flop / out.seconds : 0.0;
+    return out;
+  }
+
+ private:
+  double scalar_fs_, simd_fs_, mem_bs_;
+};
+
+/// Uniform latency/bandwidth network with cheaper intra-node transfers.
+class SimpleNetworkModel final : public NetworkModel {
+ public:
+  SimpleNetworkModel(double latency_s = 1e-6, double bandwidth_Bps = 10e9,
+                     double intra_latency_s = 3e-7,
+                     double intra_bandwidth_Bps = 30e9)
+      : lat_(latency_s),
+        bw_(bandwidth_Bps),
+        intra_lat_(intra_latency_s),
+        intra_bw_(intra_bandwidth_Bps) {}
+
+  TransferCost transfer(int src, int dst, const Placement& p,
+                        double bytes) const override {
+    const bool intra = p.same_node(src, dst);
+    const double lat = intra ? intra_lat_ : lat_;
+    const double bw = intra ? intra_bw_ : bw_;
+    TransferCost c;
+    c.sender_busy_s = lat / 2.0 + bytes / bw;  // overhead + injection
+    c.in_flight_s = lat + bytes / bw;
+    return c;
+  }
+  double control_latency(int src, int dst, const Placement& p) const override {
+    return p.same_node(src, dst) ? intra_lat_ : lat_;
+  }
+
+ private:
+  double lat_, bw_, intra_lat_, intra_bw_;
+};
+
+}  // namespace spechpc::sim

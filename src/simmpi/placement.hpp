@@ -1,0 +1,70 @@
+// SimMPI: rank-to-hardware placement.
+//
+// Mirrors the block ("compact") pinning the paper applies with likwid-mpirun:
+// consecutive MPI ranks occupy consecutive cores, filling ccNUMA domains,
+// sockets and nodes in order.  The machine layer builds placements from real
+// cluster topologies; tests may construct them directly.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace spechpc::sim {
+
+/// Hardware coordinates of one rank.
+struct RankLocation {
+  int node = 0;    ///< cluster node index
+  int socket = 0;  ///< socket within the cluster (global index)
+  int domain = 0;  ///< ccNUMA domain within the cluster (global index)
+  int core = 0;    ///< core within the cluster (global index)
+};
+
+/// Placement of all ranks of a job.
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(std::vector<RankLocation> locs) : locs_(std::move(locs)) {
+    int max_node = -1, max_domain = -1;
+    for (const auto& l : locs_) {
+      if (l.node > max_node) max_node = l.node;
+      if (l.domain > max_domain) max_domain = l.domain;
+    }
+    nodes_used_ = max_node + 1;
+    domain_count_.assign(static_cast<std::size_t>(max_domain + 1), 0);
+    for (const auto& l : locs_)
+      ++domain_count_[static_cast<std::size_t>(l.domain)];
+  }
+
+  int nranks() const { return static_cast<int>(locs_.size()); }
+  const RankLocation& of(int rank) const {
+    assert(rank >= 0 && rank < nranks());
+    return locs_[static_cast<std::size_t>(rank)];
+  }
+  bool same_node(int a, int b) const { return of(a).node == of(b).node; }
+  bool same_domain(int a, int b) const { return of(a).domain == of(b).domain; }
+
+  /// Number of ranks sharing the given rank's ccNUMA domain (incl. itself).
+  int ranks_in_domain_of(int rank) const {
+    return domain_count_[static_cast<std::size_t>(of(rank).domain)];
+  }
+  /// Number of distinct nodes used by the job.
+  int nodes_used() const { return nodes_used_; }
+  /// Number of distinct ccNUMA domains populated by the job.
+  int domains_used() const { return static_cast<int>(domain_count_.size()); }
+
+  /// Trivial placement: all ranks on one node/domain (for unit tests).
+  static Placement single_domain(int nranks) {
+    std::vector<RankLocation> v(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      v[static_cast<std::size_t>(r)] = RankLocation{0, 0, 0, r};
+    return Placement(std::move(v));
+  }
+
+ private:
+  std::vector<RankLocation> locs_;
+  std::vector<int> domain_count_;
+  int nodes_used_ = 0;
+};
+
+}  // namespace spechpc::sim

@@ -1,0 +1,11 @@
+// SimMPI umbrella header: deterministic discrete-event MPI simulation.
+#pragma once
+
+#include "simmpi/comm.hpp"
+#include "simmpi/counters.hpp"
+#include "simmpi/engine.hpp"
+#include "simmpi/models.hpp"
+#include "simmpi/placement.hpp"
+#include "simmpi/task.hpp"
+#include "simmpi/trace.hpp"
+#include "simmpi/work.hpp"

@@ -1,0 +1,150 @@
+// SimMPI: coroutine task type used by simulated MPI rank programs.
+//
+// A rank program is a coroutine returning sim::Task<>.  Helper subroutines
+// that themselves perform simulated communication return sim::Task<T> and are
+// awaited with `co_await helper(...)`; completion is propagated by symmetric
+// transfer, so arbitrarily deep call chains suspend and resume as a unit when
+// the discrete-event engine blocks or wakes the rank.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace spechpc::sim {
+
+class Engine;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};  // awaiting coroutine, if nested
+  Engine* engine = nullptr;                // set on root tasks only
+  int rank = -1;                           // set on root tasks only
+  std::exception_ptr exception{};
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      if (p.continuation) return p.continuation;
+      if (p.engine) p.notify_engine_done();
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+  void notify_engine_done() noexcept;  // defined in engine.cpp
+};
+
+}  // namespace detail
+
+/// Lazily-started coroutine task.  Root rank tasks are owned and resumed by
+/// the Engine; nested tasks are awaited by their caller.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value = std::forward<U>(v);
+    }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;  // symmetric transfer: start the child now
+  }
+  T await_resume() {
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+    return std::move(handle_.promise().value);
+  }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+  /// Releases ownership (used by the Engine, which destroys root frames).
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+}  // namespace spechpc::sim

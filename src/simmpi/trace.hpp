@@ -1,0 +1,39 @@
+// SimMPI: ITAC-like event timeline.
+//
+// When tracing is enabled, the engine records one interval per rank activity
+// (compute / MPI call), which reproduces the information content of the
+// Intel Trace Analyzer timelines shown in the paper's Fig. 2(g,h) insets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simmpi/counters.hpp"
+
+namespace spechpc::sim {
+
+struct TraceInterval {
+  int rank = 0;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  Activity activity = Activity::kCompute;
+  std::string label;  ///< kernel name or peer info
+  // Resource consumption of the interval (compute phases only): enables
+  // time-resolved bandwidth/Roofline analysis a la ClusterCockpit.
+  double flops = 0.0;
+  double mem_bytes = 0.0;
+};
+
+class Timeline {
+ public:
+  void record(TraceInterval iv) { intervals_.push_back(std::move(iv)); }
+  const std::vector<TraceInterval>& intervals() const { return intervals_; }
+  TraceInterval& back() { return intervals_.back(); }
+  void clear() { intervals_.clear(); }
+  bool empty() const { return intervals_.empty(); }
+
+ private:
+  std::vector<TraceInterval> intervals_;
+};
+
+}  // namespace spechpc::sim

@@ -1,0 +1,66 @@
+// SimMPI: description of a unit of computational work submitted by a rank.
+//
+// Rank programs describe each compute phase in terms of fundamental resource
+// requirements (floating-point work, data traffic per memory-hierarchy level,
+// working-set size).  The pluggable ComputeModel converts this into virtual
+// seconds and *effective* traffic (e.g. after cache-fit reduction), which is
+// what the counter layer records — mirroring how likwid-perfctr measures
+// actual DRAM/L3/L2 traffic rather than nominal algorithmic traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spechpc::sim {
+
+/// Data volumes per memory-hierarchy level, in bytes.
+struct TrafficVolumes {
+  double mem_bytes = 0.0;  ///< DRAM traffic (read + write)
+  double l3_bytes = 0.0;   ///< traffic between L2 and L3
+  double l2_bytes = 0.0;   ///< traffic between L1 and L2
+
+  TrafficVolumes& operator+=(const TrafficVolumes& o) {
+    mem_bytes += o.mem_bytes;
+    l3_bytes += o.l3_bytes;
+    l2_bytes += o.l2_bytes;
+    return *this;
+  }
+  friend TrafficVolumes operator+(TrafficVolumes a, const TrafficVolumes& b) {
+    return a += b;
+  }
+  friend TrafficVolumes operator*(TrafficVolumes a, double s) {
+    a.mem_bytes *= s;
+    a.l3_bytes *= s;
+    a.l2_bytes *= s;
+    return a;
+  }
+};
+
+/// One compute phase of a rank program.
+struct KernelWork {
+  double flops_simd = 0.0;    ///< DP flops executed with SIMD instructions
+  double flops_scalar = 0.0;  ///< DP flops executed with scalar instructions
+  TrafficVolumes traffic;     ///< nominal per-level data volumes
+  double working_set_bytes = 0.0;  ///< per-rank working set touched repeatedly
+  /// Fraction of peak instruction throughput the kernel's instruction mix
+  /// can sustain (dependency chains, divides, gather/scatter); scales the
+  /// in-core flop ceiling.
+  double issue_efficiency = 1.0;
+  /// Number of concurrent streams touched (alignment/TLB-pathology input;
+  /// e.g. the 37 populations of the D2Q37 lbm propagate step).
+  int concurrent_streams = 1;
+  /// Leading array dimension in bytes (alignment-pathology input).
+  std::int64_t leading_dim_bytes = 0;
+  std::string label;  ///< kernel name for traces ("collide", "cg_spmv", ...)
+
+  double total_flops() const { return flops_simd + flops_scalar; }
+};
+
+/// Result of evaluating a KernelWork on a machine model.
+struct ComputeOutcome {
+  double seconds = 0.0;        ///< virtual duration of the phase
+  TrafficVolumes effective;    ///< traffic after cache-fit / pathology effects
+  double core_utilization = 0.0;  ///< fraction of time execution ports busy
+};
+
+}  // namespace spechpc::sim

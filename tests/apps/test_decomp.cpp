@@ -1,0 +1,102 @@
+// Decomposition helpers: factorizations, splits, neighbor topology.
+#include <gtest/gtest.h>
+
+#include "apps/decomp.hpp"
+#include "apps/halo.hpp"
+
+namespace apps = spechpc::apps;
+
+namespace {
+
+TEST(Decomp, SquareGridForComposites) {
+  EXPECT_EQ(apps::choose_grid_2d(36).px, 6);
+  EXPECT_EQ(apps::choose_grid_2d(36).py, 6);
+  EXPECT_EQ(apps::choose_grid_2d(72).px, 8);
+  EXPECT_EQ(apps::choose_grid_2d(72).py, 9);
+}
+
+TEST(Decomp, PrimesDegenerateToChain) {
+  for (int p : {2, 3, 5, 7, 11, 13, 59, 71, 101}) {
+    const auto g = apps::choose_grid_2d(p);
+    EXPECT_EQ(g.px, 1) << p;
+    EXPECT_EQ(g.py, p) << p;
+  }
+}
+
+TEST(Decomp, AspectAwareGridMinimizesPerimeter) {
+  // 4096 x 16384 domain on 72 ranks: best split puts more ranks along y.
+  const auto g = apps::choose_grid_2d(72, 4096, 16384);
+  EXPECT_EQ(g.px * g.py, 72);
+  EXPECT_LT(g.px, g.py);
+  // Check it really is the perimeter minimizer over all factorizations.
+  const double best = 4096.0 / g.px + 16384.0 / g.py;
+  for (int px = 1; px <= 72; ++px) {
+    if (72 % px) continue;
+    EXPECT_GE(4096.0 / px + 16384.0 / (72 / px) + 1e-9, best);
+  }
+}
+
+TEST(Decomp, Grid3dIsNearCubic) {
+  const auto g = apps::choose_grid_3d(64);
+  EXPECT_EQ(g.px * g.py * g.pz, 64);
+  EXPECT_EQ(g.px, 4);
+  EXPECT_EQ(g.py, 4);
+  EXPECT_EQ(g.pz, 4);
+  const auto g2 = apps::choose_grid_3d(7);
+  EXPECT_EQ(g2.px, 1);
+  EXPECT_EQ(g2.py, 1);
+  EXPECT_EQ(g2.pz, 7);
+}
+
+TEST(Decomp, Split1dDistributesRemainder) {
+  // 10 items over 3 parts: 4, 3, 3.
+  const auto r0 = apps::split_1d(10, 3, 0);
+  const auto r1 = apps::split_1d(10, 3, 1);
+  const auto r2 = apps::split_1d(10, 3, 2);
+  EXPECT_EQ(r0.count, 4);
+  EXPECT_EQ(r1.count, 3);
+  EXPECT_EQ(r2.count, 3);
+  EXPECT_EQ(r0.begin, 0);
+  EXPECT_EQ(r1.begin, 4);
+  EXPECT_EQ(r2.begin, 7);
+  EXPECT_EQ(r2.begin + r2.count, 10);
+}
+
+TEST(Decomp, Split1dCoversWholeRangeExactly) {
+  for (int parts : {1, 7, 13, 72}) {
+    std::int64_t covered = 0;
+    for (int i = 0; i < parts; ++i) covered += apps::split_1d(16384, parts, i).count;
+    EXPECT_EQ(covered, 16384);
+  }
+}
+
+TEST(Decomp, Neighbors2dOpenBoundaries) {
+  const apps::Grid2D g{3, 2};  // ranks 0..5, row-major
+  const auto n0 = apps::neighbors_2d(0, g);
+  EXPECT_EQ(n0.left, -1);
+  EXPECT_EQ(n0.right, 1);
+  EXPECT_EQ(n0.down, -1);
+  EXPECT_EQ(n0.up, 3);
+  const auto n4 = apps::neighbors_2d(4, g);
+  EXPECT_EQ(n4.left, 3);
+  EXPECT_EQ(n4.right, 5);
+  EXPECT_EQ(n4.down, 1);
+  EXPECT_EQ(n4.up, -1);
+}
+
+TEST(Decomp, PeriodicNeighborsWrap) {
+  const apps::Grid2D g{3, 2};
+  const auto n0 = apps::periodic_neighbors_2d(0, g);
+  EXPECT_EQ(n0.left, 2);
+  EXPECT_EQ(n0.right, 1);
+  EXPECT_EQ(n0.down, 3);
+  EXPECT_EQ(n0.up, 3);
+}
+
+TEST(Decomp, InvalidArgumentsThrow) {
+  EXPECT_THROW(apps::choose_grid_2d(0), std::invalid_argument);
+  EXPECT_THROW(apps::split_1d(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(apps::split_1d(10, 3, 3), std::invalid_argument);
+}
+
+}  // namespace

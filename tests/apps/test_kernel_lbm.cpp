@@ -1,0 +1,70 @@
+// Real-numerics validation of the lattice-Boltzmann kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/lbm/lbm_kernel.hpp"
+
+namespace lbm = spechpc::apps::lbm;
+
+namespace {
+
+TEST(LbmKernel, MassConservedExactly) {
+  lbm::LbmSolver s(16, 24, 0.8);
+  s.set_uniform(1.0, 0.05, -0.02);
+  const double m0 = s.total_mass();
+  for (int i = 0; i < 50; ++i) s.step();
+  EXPECT_NEAR(s.total_mass(), m0, 1e-10 * m0);
+}
+
+TEST(LbmKernel, MomentumConservedOnPeriodicLattice) {
+  lbm::LbmSolver s(16, 16, 0.9);
+  s.set_uniform(1.0, 0.0, 0.0);
+  s.set_cell(8, 8, 1.2, 0.08, 0.03);  // local disturbance
+  const auto p0 = s.total_momentum();
+  for (int i = 0; i < 40; ++i) s.step();
+  const auto p1 = s.total_momentum();
+  EXPECT_NEAR(p1[0], p0[0], 1e-10);
+  EXPECT_NEAR(p1[1], p0[1], 1e-10);
+}
+
+TEST(LbmKernel, UniformEquilibriumIsStationary) {
+  lbm::LbmSolver s(8, 8, 0.7);
+  s.set_uniform(1.0, 0.04, 0.02);
+  const double rho0 = s.density(3, 3);
+  const auto v0 = s.velocity(3, 3);
+  for (int i = 0; i < 20; ++i) s.step();
+  // A uniform equilibrium is an exact fixed point of collide+propagate.
+  EXPECT_NEAR(s.density(3, 3), rho0, 1e-12);
+  EXPECT_NEAR(s.velocity(3, 3)[0], v0[0], 1e-12);
+  EXPECT_NEAR(s.velocity(3, 3)[1], v0[1], 1e-12);
+}
+
+TEST(LbmKernel, DisturbanceRelaxesTowardUniformity) {
+  lbm::LbmSolver s(16, 16, 0.6);
+  s.set_uniform(1.0, 0.0, 0.0);
+  s.set_cell(4, 4, 1.5, 0.0, 0.0);
+  const double peak0 = s.density(4, 4);
+  for (int i = 0; i < 100; ++i) s.step();
+  double max_dev = 0.0;
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      max_dev = std::max(max_dev, std::abs(s.density(x, y) - 1.0));
+  EXPECT_LT(max_dev, (peak0 - 1.0) * 0.5);  // acoustic pulse spreads & decays
+}
+
+TEST(LbmKernel, PropagateShiftsPopulations) {
+  lbm::LbmSolver s(8, 8, 1e9);  // tau -> infinity: collisions negligible
+  s.set_uniform(1.0, 0.0, 0.0);
+  s.set_cell(2, 2, 2.0, 0.0, 0.0);
+  const double f1_before = s.f(1, 2, 2);  // q=1 moves +x
+  s.step();
+  EXPECT_NEAR(s.f(1, 3, 2), f1_before, 1e-9);
+}
+
+TEST(LbmKernel, RejectsBadParameters) {
+  EXPECT_THROW(lbm::LbmSolver(0, 8, 0.8), std::invalid_argument);
+  EXPECT_THROW(lbm::LbmSolver(8, 8, 0.5), std::invalid_argument);
+}
+
+}  // namespace

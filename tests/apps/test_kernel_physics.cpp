@@ -1,0 +1,227 @@
+// Real-numerics validation of the explicit-physics kernels:
+// cloverleaf (Euler), sph-exa (SPH), weather (FV advection), soma (MC),
+// minisweep (transport sweep).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/cloverleaf/cloverleaf_kernel.hpp"
+#include "apps/minisweep/minisweep_kernel.hpp"
+#include "apps/soma/soma_kernel.hpp"
+#include "apps/sphexa/sphexa_kernel.hpp"
+#include "apps/weather/weather_kernel.hpp"
+
+namespace clover = spechpc::apps::cloverleaf;
+namespace sweep = spechpc::apps::minisweep;
+namespace soma = spechpc::apps::soma;
+namespace sph = spechpc::apps::sphexa;
+namespace weather = spechpc::apps::weather;
+
+namespace {
+
+// -------------------------------------------------------------- cloverleaf
+
+TEST(CloverleafKernel, ConservesMassMomentumEnergy) {
+  clover::EulerSolver s(32, 32, 1.0, 1.0);
+  s.initialize({1.0, 0.0, 0.0, 2.5}, {0.125, 0.0, 0.0, 0.25});
+  const double m0 = s.total_mass();
+  const double e0 = s.total_energy();
+  const auto p0 = s.total_momentum();
+  for (int i = 0; i < 30; ++i) s.step(0.4, 1e-3);
+  EXPECT_NEAR(s.total_mass(), m0, 1e-10 * m0);
+  EXPECT_NEAR(s.total_energy(), e0, 1e-10 * e0);
+  EXPECT_NEAR(s.total_momentum()[0], p0[0], 1e-10);
+  EXPECT_NEAR(s.total_momentum()[1], p0[1], 1e-10);
+}
+
+TEST(CloverleafKernel, ShockExpandsIntoLowPressureRegion) {
+  clover::EulerSolver s(64, 64, 1.0, 1.0);
+  s.initialize({1.0, 0.0, 0.0, 2.5}, {0.125, 0.0, 0.0, 0.25});
+  const double p_far0 = s.pressure(48, 48);
+  for (int i = 0; i < 60; ++i) s.step(0.4, 1e-2);
+  // Pressure wave reached the far region; density there increased.
+  EXPECT_GT(s.pressure(40, 40), p_far0);
+  EXPECT_GT(s.cell(40, 40).rho, 0.125);
+}
+
+TEST(CloverleafKernel, UniformStateIsStationary) {
+  clover::EulerSolver s(16, 16, 1.0, 1.0);
+  s.initialize({1.0, 0.0, 0.0, 2.5}, {1.0, 0.0, 0.0, 2.5});
+  for (int i = 0; i < 10; ++i) s.step(0.5, 1e-2);
+  EXPECT_NEAR(s.cell(7, 7).rho, 1.0, 1e-12);
+  EXPECT_NEAR(s.cell(7, 7).e, 2.5, 1e-12);
+}
+
+TEST(CloverleafKernel, CflLimitsTimestep) {
+  clover::EulerSolver s(16, 16, 1.0, 1.0);
+  s.initialize({1.0, 0.0, 0.0, 2.5}, {0.125, 0.0, 0.0, 0.25});
+  const double dt = s.step(0.4, 1e9);
+  EXPECT_GT(dt, 0.0);
+  EXPECT_LT(dt, 0.1);  // sound speed ~1.18, dx = 1/16 -> dt ~ 0.02
+}
+
+// ------------------------------------------------------------------- sph
+
+TEST(SphKernel, CubicSplineProperties) {
+  const double h = 0.3;
+  EXPECT_GT(sph::SphSystem::kernel_w(0.0, h), 0.0);
+  EXPECT_DOUBLE_EQ(sph::SphSystem::kernel_w(2.0 * h, h), 0.0);
+  EXPECT_GT(sph::SphSystem::kernel_w(0.1 * h, h),
+            sph::SphSystem::kernel_w(0.5 * h, h));
+  EXPECT_LT(sph::SphSystem::kernel_dw(0.5 * h, h), 0.0);  // decreasing
+}
+
+TEST(SphKernel, MomentumConservedExactly) {
+  sph::SphSystem s(sph::SphParams{});
+  // Random-ish blob of particles.
+  for (int i = 0; i < 25; ++i)
+    s.add_particle(0.1 * (i % 5), 0.1 * (i / 5), 0.01 * (i % 3), -0.01 * (i % 2));
+  s.compute_density();
+  const auto p0 = s.momentum();
+  for (int i = 0; i < 20; ++i) s.step(1e-3);
+  const auto p1 = s.momentum();
+  EXPECT_NEAR(p1.first, p0.first, 1e-12);
+  EXPECT_NEAR(p1.second, p0.second, 1e-12);
+}
+
+TEST(SphKernel, DensityHigherInsideBlob) {
+  sph::SphSystem s(sph::SphParams{});
+  for (int i = 0; i < 49; ++i)
+    s.add_particle(0.1 * (i % 7), 0.1 * (i / 7));
+  s.compute_density();
+  EXPECT_GT(s.density(24), s.density(0));  // center vs corner
+}
+
+TEST(SphKernel, PressureBlobExpands) {
+  sph::SphSystem s(sph::SphParams{});
+  for (int i = 0; i < 25; ++i) s.add_particle(0.1 * (i % 5), 0.1 * (i / 5));
+  s.compute_density();
+  auto spread = [&] {
+    double d = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const auto [x, y] = s.position(i);
+      d += (x - 0.2) * (x - 0.2) + (y - 0.2) * (y - 0.2);
+    }
+    return d;
+  };
+  const double d0 = spread();
+  for (int i = 0; i < 30; ++i) s.step(1e-3);
+  EXPECT_GT(spread(), d0);
+}
+
+// ---------------------------------------------------------------- weather
+
+TEST(WeatherKernel, TracerMassConservedUnderHorizontalWind) {
+  weather::AdvectionSolver s(64, 16, 1.0, 0.0);
+  std::vector<double> q(64 * 16, 0.0);
+  for (int z = 4; z < 12; ++z)
+    for (int x = 20; x < 30; ++x) q[static_cast<std::size_t>(z) * 64 + x] = 1.0;
+  s.set_tracer(q);
+  const double m0 = s.total_tracer();
+  for (int i = 0; i < 200; ++i) s.step(0.5);
+  EXPECT_NEAR(s.total_tracer(), m0, 1e-10 * m0);
+}
+
+TEST(WeatherKernel, PulseTranslatesAtWindSpeed) {
+  weather::AdvectionSolver s(128, 4, 1.0, 0.0);
+  std::vector<double> q(128 * 4, 0.0);
+  for (int z = 0; z < 4; ++z) q[static_cast<std::size_t>(z) * 128 + 10] = 1.0;
+  s.set_tracer(q);
+  // CFL=1 upwind is exact translation: one cell per step.
+  for (int i = 0; i < 32; ++i) s.step(1.0);
+  EXPECT_NEAR(s.tracer()[0 * 128 + 42], 1.0, 1e-9);
+  EXPECT_NEAR(s.tracer()[0 * 128 + 10], 0.0, 1e-9);
+}
+
+TEST(WeatherKernel, MaximumPrincipleHolds) {
+  weather::AdvectionSolver s(64, 8, 0.7, 0.0);
+  std::vector<double> q(64 * 8, 0.0);
+  q[8 * 64 / 2 + 30] = 1.0;
+  s.set_tracer(q);
+  for (int i = 0; i < 100; ++i) s.step(0.8);
+  EXPECT_LE(s.max_tracer(), 1.0 + 1e-12);  // upwind is monotone
+}
+
+// ------------------------------------------------------------------- soma
+
+TEST(SomaKernel, BeadCountConservedOnDensityGrid) {
+  soma::SomaParams prm;
+  soma::PolymerSystem s(prm);
+  EXPECT_DOUBLE_EQ(s.total_density(), s.n_beads());
+  for (int i = 0; i < 10; ++i) s.sweep(1.0);
+  EXPECT_DOUBLE_EQ(s.total_density(), s.n_beads());
+}
+
+TEST(SomaKernel, AcceptanceRatioReasonable) {
+  soma::SomaParams prm;
+  soma::PolymerSystem s(prm);
+  double acc = 0.0;
+  for (int i = 0; i < 20; ++i) acc = s.sweep(1.0);
+  EXPECT_GT(acc, 0.1);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(SomaKernel, DeterministicForFixedSeed) {
+  soma::SomaParams prm;
+  prm.seed = 42;
+  soma::PolymerSystem a(prm), b(prm);
+  for (int i = 0; i < 5; ++i) {
+    a.sweep(1.0);
+    b.sweep(1.0);
+  }
+  for (int i = 0; i < a.n_beads(); ++i) {
+    EXPECT_DOUBLE_EQ(a.bead_x(i), b.bead_x(i));
+    EXPECT_DOUBLE_EQ(a.bead_y(i), b.bead_y(i));
+  }
+}
+
+TEST(SomaKernel, BondEnergyStaysBounded) {
+  soma::SomaParams prm;
+  soma::PolymerSystem s(prm);
+  for (int i = 0; i < 50; ++i) s.sweep(2.0);
+  // Metropolis at finite beta keeps bonds from blowing up.
+  EXPECT_LT(s.bond_energy() / prm.n_polymers, 100.0);
+}
+
+// -------------------------------------------------------------- minisweep
+
+TEST(MinisweepKernel, FluxDecaysAlongSweepDirection) {
+  sweep::SweepSolver s(16, 8, 8, 2.0);
+  s.set_inflow(1.0);
+  s.set_source(0.0);
+  const auto psi = s.sweep({0.9, 0.3, 0.3});
+  // Absorption: flux decreases monotonically along x at fixed (y, z).
+  double prev = 1.0;
+  for (int x = 0; x < 16; ++x) {
+    const double v = psi[static_cast<std::size_t>(4) * 8 * 16 + 4 * 16 + x];
+    EXPECT_LT(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+TEST(MinisweepKernel, InfiniteMediumEquilibrium) {
+  // With source q and absorption sigma, deep cells approach psi = q/sigma.
+  sweep::SweepSolver s(40, 10, 10, 0.5);
+  s.set_source(1.0);
+  s.set_inflow(2.0);  // = q/sigma: the exact equilibrium
+  const auto psi = s.sweep({1.0, 1.0, 1.0});
+  EXPECT_NEAR(psi[psi.size() - 1], 2.0, 1e-9);
+}
+
+TEST(MinisweepKernel, ScalarFluxAveragesDirections) {
+  sweep::SweepSolver s(8, 8, 8, 1.0);
+  s.set_inflow(1.0);
+  const std::vector<sweep::Direction> dirs{{1.0, 0.1, 0.1}, {0.1, 1.0, 0.1}};
+  const auto phi = s.scalar_flux(dirs);
+  const auto p0 = s.sweep(dirs[0]);
+  const auto p1 = s.sweep(dirs[1]);
+  EXPECT_NEAR(phi[100], 0.5 * (p0[100] + p1[100]), 1e-12);
+}
+
+TEST(MinisweepKernel, RejectsBadDirections) {
+  sweep::SweepSolver s(4, 4, 4, 1.0);
+  EXPECT_THROW(s.sweep({-1.0, 0.5, 0.5}), std::invalid_argument);
+}
+
+}  // namespace

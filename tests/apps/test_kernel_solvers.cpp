@@ -1,0 +1,172 @@
+// Real-numerics validation of the implicit-solver kernels:
+// tealeaf (CG heat), pot3d (spherical PCG), hpgmgfv (geometric multigrid).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "apps/hpgmg/hpgmg_kernel.hpp"
+#include "apps/pot3d/pot3d_kernel.hpp"
+#include "apps/tealeaf/tealeaf_kernel.hpp"
+
+namespace tealeaf = spechpc::apps::tealeaf;
+namespace pot3d = spechpc::apps::pot3d;
+namespace hpgmg = spechpc::apps::hpgmg;
+
+namespace {
+
+// ---------------------------------------------------------------- tealeaf
+
+TEST(TealeafKernel, OperatorIsSymmetric) {
+  tealeaf::HeatSolver s(12, 9, 1.0, 0.05);
+  const std::size_t n = 12 * 9;
+  std::vector<double> x(n, 0.0), y(n, 0.0), ax, ay;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.3 * static_cast<double>(i));
+    y[i] = std::cos(0.7 * static_cast<double>(i));
+  }
+  s.apply(x, ax);
+  s.apply(y, ay);
+  double xay = 0.0, yax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    xay += x[i] * ay[i];
+    yax += y[i] * ax[i];
+  }
+  EXPECT_NEAR(xay, yax, 1e-10 * std::abs(xay));
+}
+
+TEST(TealeafKernel, CgConvergesAndReportsResidual) {
+  tealeaf::HeatSolver s(24, 24, 1.0, 0.1);
+  std::vector<double> u(24 * 24, 0.0);
+  u[24 * 12 + 12] = 100.0;  // hot spot
+  s.set_field(u);
+  const int iters = s.step(1e-12, 500);
+  EXPECT_GT(iters, 1);
+  EXPECT_LT(iters, 500);
+  EXPECT_LT(s.last_residual(), 1e-10);
+}
+
+TEST(TealeafKernel, HeatDiffusesFromHotSpot) {
+  tealeaf::HeatSolver s(16, 16, 1.0, 0.2);
+  std::vector<double> u(16 * 16, 0.0);
+  u[16 * 8 + 8] = 1.0;
+  s.set_field(u);
+  s.step(1e-12, 500);
+  // Neighbor cells warmed up; peak decreased.
+  EXPECT_GT(s.field()[16 * 8 + 9], 0.0);
+  EXPECT_LT(s.field()[16 * 8 + 8], 1.0);
+}
+
+TEST(TealeafKernel, ImplicitStepIsUnconditionallyStable) {
+  tealeaf::HeatSolver s(12, 12, 1.0, 50.0);  // huge dt
+  std::vector<double> u(12 * 12, 0.0);
+  u[12 * 6 + 6] = 1.0;
+  s.set_field(u);
+  s.step(1e-10, 2000);
+  for (double v : s.field()) {
+    EXPECT_GE(v, -1e-8);
+    EXPECT_LE(v, 1.0 + 1e-8);
+  }
+}
+
+// ------------------------------------------------------------------ pot3d
+
+TEST(Pot3dKernel, OperatorIsSymmetricPositiveDefinite) {
+  pot3d::PotentialSolver s(6, 7, 8);
+  const std::size_t n = s.size();
+  std::vector<double> x(n), y(n), ax, ay;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.13 * static_cast<double>(i) + 0.4);
+    y[i] = std::cos(0.29 * static_cast<double>(i));
+  }
+  s.apply(x, ax);
+  s.apply(y, ay);
+  double xay = 0.0, yax = 0.0, xax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    xay += x[i] * ay[i];
+    yax += y[i] * ax[i];
+    xax += x[i] * ax[i];
+  }
+  EXPECT_NEAR(xay, yax, 1e-9 * std::abs(xay));
+  EXPECT_GT(xax, 0.0);
+}
+
+TEST(Pot3dKernel, PcgSolvesToTolerance) {
+  pot3d::PotentialSolver s(8, 9, 10);
+  std::vector<double> b(s.size(), 0.0), x;
+  b[s.size() / 2] = 1.0;
+  const int iters = s.solve(b, x, 1e-10, 2000);
+  EXPECT_LT(iters, 2000);
+  // Verify A x = b by applying the operator.
+  std::vector<double> ax;
+  s.apply(x, ax);
+  double err = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    err = std::max(err, std::abs(ax[i] - b[i]));
+  EXPECT_LT(err, 1e-8);
+}
+
+TEST(Pot3dKernel, SolutionOfPointSourceDecaysWithDistance) {
+  pot3d::PotentialSolver s(12, 12, 12);
+  std::vector<double> b(s.size(), 0.0), x;
+  const std::size_t center = (6 * 12 + 6) * 12 + 6;
+  b[center] = 1.0;
+  s.solve(b, x, 1e-10, 3000);
+  EXPECT_GT(x[center], x[center + 3]);  // three cells away in r
+  EXPECT_GT(x[center + 3], 0.0);        // positive potential everywhere near
+}
+
+// ----------------------------------------------------------------- hpgmg
+
+TEST(HpgmgKernel, VcycleConvergenceFactorIsGridIndependent) {
+  for (int n : {31, 63}) {
+    hpgmg::MultigridPoisson mg(n);
+    std::vector<double> f(static_cast<std::size_t>(n) * n);
+    for (int y = 0; y < n; ++y)
+      for (int x = 0; x < n; ++x)
+        f[static_cast<std::size_t>(y) * n + x] =
+            std::sin(std::numbers::pi * (x + 1) / (n + 1)) *
+            std::sin(std::numbers::pi * (y + 1) / (n + 1));
+    mg.set_rhs(f);
+    const double r0 = mg.residual_norm();
+    const double r1 = mg.vcycle();
+    const double r2 = mg.vcycle();
+    EXPECT_LT(r1 / r0, 0.25) << "n=" << n;  // textbook MG factor
+    EXPECT_LT(r2 / r1, 0.25) << "n=" << n;
+  }
+}
+
+TEST(HpgmgKernel, SolvesPoissonAgainstAnalyticSolution) {
+  const int n = 63;
+  const double h = 1.0 / (n + 1);
+  hpgmg::MultigridPoisson mg(n);
+  // -Lap(u) = 2*pi^2*sin(pi x)*sin(pi y) has solution sin(pi x)*sin(pi y).
+  std::vector<double> f(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      f[static_cast<std::size_t>(y) * n + x] =
+          2.0 * std::numbers::pi * std::numbers::pi *
+          std::sin(std::numbers::pi * (x + 1) * h) *
+          std::sin(std::numbers::pi * (y + 1) * h);
+  mg.set_rhs(f);
+  const int cycles = mg.solve(1e-9, 30);
+  EXPECT_LT(cycles, 30);
+  double max_err = 0.0;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) {
+      const double exact = std::sin(std::numbers::pi * (x + 1) * h) *
+                           std::sin(std::numbers::pi * (y + 1) * h);
+      max_err = std::max(
+          max_err,
+          std::abs(mg.solution()[static_cast<std::size_t>(y) * n + x] - exact));
+    }
+  EXPECT_LT(max_err, 5e-4);  // O(h^2) discretization error
+}
+
+TEST(HpgmgKernel, RejectsNonNestingGridSizes) {
+  EXPECT_THROW(hpgmg::MultigridPoisson(32), std::invalid_argument);
+  EXPECT_THROW(hpgmg::MultigridPoisson(1), std::invalid_argument);
+}
+
+}  // namespace

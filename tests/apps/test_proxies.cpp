@@ -1,0 +1,117 @@
+// Proxy integration: every benchmark proxy runs through SimMPI at assorted
+// rank counts without deadlock, produces sane counters, and is
+// deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+
+namespace {
+
+struct Case {
+  std::string name;
+  int nranks;
+};
+
+class ProxySweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ProxySweep, RunsAndProducesSaneMetrics) {
+  const auto& [name, nranks] = GetParam();
+  const auto cluster = mach::cluster_a();
+  const auto app = core::make_app(name, core::Workload::kTiny);
+  const auto res = core::run_benchmark(*app, cluster, nranks);
+
+  EXPECT_GT(res.wall_s(), 0.0) << name;
+  EXPECT_GT(res.metrics().flops_total, 0.0) << name;
+  EXPECT_GT(res.metrics().mem_bytes, 0.0) << name;
+  EXPECT_EQ(res.metrics().nranks, nranks);
+  EXPECT_GT(res.power().chip_w,
+            cluster.cpu.idle_power_per_socket_w - 1.0)
+      << name;
+  EXPECT_LE(res.metrics().vectorization_ratio(), 1.0) << name;
+  // Every rank participates in compute.
+  for (int r = 0; r < nranks; ++r)
+    EXPECT_GT(res.engine().measured(r).total_flops(), 0.0)
+        << name << " rank " << r;
+}
+
+TEST_P(ProxySweep, DeterministicAcrossRuns) {
+  const auto& [name, nranks] = GetParam();
+  const auto cluster = mach::cluster_a();
+  const auto app = core::make_app(name, core::Workload::kTiny);
+  const double t1 = core::run_benchmark(*app, cluster, nranks).wall_s();
+  const double t2 = core::run_benchmark(*app, cluster, nranks).wall_s();
+  EXPECT_EQ(t1, t2) << name;
+}
+
+std::vector<Case> sweep_cases() {
+  std::vector<Case> cases;
+  for (const auto& e : core::suite())
+    for (int p : {1, 2, 7, 18, 36})
+      cases.push_back({e.info.name, p});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, ProxySweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      std::string n = param_info.param.name;
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n + "_p" + std::to_string(param_info.param.nranks);
+    });
+
+TEST(ProxyRegistry, SuiteHasNineEntriesInTableOrder) {
+  const auto names = core::app_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names[0], "lbm");
+  EXPECT_EQ(names[1], "soma");
+  EXPECT_EQ(names[2], "tealeaf");
+  EXPECT_EQ(names[3], "cloverleaf");
+  EXPECT_EQ(names[4], "minisweep");
+  EXPECT_EQ(names[5], "pot3d");
+  EXPECT_EQ(names[6], "sph-exa");
+  EXPECT_EQ(names[7], "hpgmgfv");
+  EXPECT_EQ(names[8], "weather");
+  EXPECT_THROW(core::make_app("nonesuch", core::Workload::kTiny),
+               std::invalid_argument);
+}
+
+TEST(ProxyRegistry, MemoryBoundClassificationMatchesPaper) {
+  // Sect. 4.1: {tealeaf, cloverleaf, pot3d, hpgmgfv} memory bound.
+  for (const auto& e : core::suite()) {
+    const bool expect_mb = e.info.name == "tealeaf" ||
+                           e.info.name == "cloverleaf" ||
+                           e.info.name == "pot3d" || e.info.name == "hpgmgfv";
+    EXPECT_EQ(e.info.memory_bound, expect_mb) << e.info.name;
+  }
+}
+
+TEST(ProxyConfigs, SmallWorkloadsAreLargerThanTiny) {
+  namespace apps = spechpc::apps;
+  EXPECT_GT(apps::lbm::LbmConfig::small().nx, apps::lbm::LbmConfig::tiny().nx);
+  EXPECT_GT(apps::soma::SomaConfig::small().n_polymers,
+            apps::soma::SomaConfig::tiny().n_polymers);
+  EXPECT_GT(apps::tealeaf::TealeafConfig::small().nx,
+            apps::tealeaf::TealeafConfig::tiny().nx);
+  EXPECT_GT(apps::cloverleaf::CloverleafConfig::small().nx,
+            apps::cloverleaf::CloverleafConfig::tiny().nx);
+  EXPECT_GT(apps::minisweep::MinisweepConfig::small().ncell_x,
+            apps::minisweep::MinisweepConfig::tiny().ncell_x);
+  EXPECT_GT(apps::pot3d::Pot3dConfig::small().nr,
+            apps::pot3d::Pot3dConfig::tiny().nr);
+  EXPECT_GT(apps::sphexa::SphexaConfig::small().n_particles,
+            apps::sphexa::SphexaConfig::tiny().n_particles);
+  EXPECT_GT(apps::hpgmg::HpgmgConfig::small().fine_cells,
+            apps::hpgmg::HpgmgConfig::tiny().fine_cells);
+  EXPECT_GT(apps::weather::WeatherConfig::small().nx,
+            apps::weather::WeatherConfig::tiny().nx);
+}
+
+}  // namespace

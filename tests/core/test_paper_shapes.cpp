@@ -1,0 +1,154 @@
+// Regression tests pinning the paper's qualitative findings (the claims in
+// EXPERIMENTS.md).  If a calibration change breaks one of the paper's
+// shapes, these fail.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+
+namespace {
+
+std::unique_ptr<core::AppProxy> fast(const char* name,
+                                     core::Workload w = core::Workload::kTiny,
+                                     int steps = 2) {
+  auto app = core::make_app(name, w);
+  app->set_measured_steps(steps);
+  app->set_warmup_steps(1);
+  return app;
+}
+
+TEST(PaperShapes, MemoryBoundCodesSaturateDomainBandwidth) {
+  const auto a = mach::cluster_a();
+  for (const char* name : {"tealeaf", "cloverleaf", "pot3d"}) {
+    const auto r = core::run_benchmark(*fast(name), a, 18);
+    EXPECT_NEAR(r.metrics().mem_bandwidth(), 76.5e9, 3e9) << name;
+    // Saturation: 6 cores already deliver most of the domain's speed.
+    const double t6 = core::run_benchmark(*fast(name), a, 6).seconds_per_step();
+    const double t18 = r.seconds_per_step();
+    EXPECT_LT(t6 / t18, 1.25) << name;
+  }
+}
+
+TEST(PaperShapes, ComputeBoundCodesScaleThroughTheDomain) {
+  const auto a = mach::cluster_a();
+  for (const char* name : {"sph-exa", "soma"}) {
+    const double t6 = core::run_benchmark(*fast(name), a, 6).seconds_per_step();
+    const double t18 =
+        core::run_benchmark(*fast(name), a, 18).seconds_per_step();
+    EXPECT_GT(t6 / t18, 2.4) << name;  // near-ideal 3x
+  }
+}
+
+TEST(PaperShapes, AccelerationFactorsBracketTheClasses) {
+  // Sect. 4.1.2: memory-bound ~1.55-1.7; compute-bound near the 1.2 peak
+  // ratio; weather above everything.
+  const auto a = mach::cluster_a();
+  const auto b = mach::cluster_b();
+  auto factor = [&](const char* name) {
+    return core::run_benchmark(*fast(name), a, 72).seconds_per_step() /
+           core::run_benchmark(*fast(name), b, 104).seconds_per_step();
+  };
+  for (const char* name : {"tealeaf", "cloverleaf", "pot3d", "hpgmgfv"})
+    EXPECT_NEAR(factor(name), 1.6, 0.1) << name;
+  for (const char* name : {"sph-exa", "minisweep", "soma"})
+    EXPECT_NEAR(factor(name), 1.2, 0.12) << name;
+  const double weather = factor("weather");
+  EXPECT_GT(weather, 1.55);  // the largest factor of the suite
+  for (const char* name : {"tealeaf", "sph-exa", "lbm"})
+    EXPECT_GT(weather, factor(name));
+}
+
+TEST(PaperShapes, MinisweepCollapsesAtPrimeCounts) {
+  const auto a = mach::cluster_a();
+  auto app = fast("minisweep");
+  const double t58 = core::run_benchmark(*app, a, 58).seconds_per_step();
+  const auto r59 = core::run_benchmark(*app, a, 59);
+  EXPECT_GT(r59.seconds_per_step() / t58, 2.0);       // >= ~60% drop
+  EXPECT_GT(r59.metrics().mpi_fraction(), 0.75);      // MPI dominates
+}
+
+TEST(PaperShapes, LbmSlowRankAt71) {
+  const auto a = mach::cluster_a();
+  auto app = fast("lbm");
+  const double t71 = core::run_benchmark(*app, a, 71).seconds_per_step();
+  const double t72 = core::run_benchmark(*app, a, 72).seconds_per_step();
+  EXPECT_NEAR(t71 / t72, 1.33, 0.12);  // paper: "about 33% smaller"
+}
+
+TEST(PaperShapes, HotAndCoolCodesOnBothClusters) {
+  for (const auto& cl : {mach::cluster_a(), mach::cluster_b()}) {
+    const auto hot =
+        core::run_benchmark(*fast("sph-exa"), cl, cl.cpu.cores_per_socket);
+    const auto cool =
+        core::run_benchmark(*fast("soma"), cl, cl.cpu.cores_per_socket);
+    EXPECT_GT(hot.power().chip_w / cl.cpu.tdp_per_socket_w, 0.93) << cl.name;
+    EXPECT_LT(cool.power().chip_w, hot.power().chip_w) << cl.name;
+    EXPECT_LT(cool.power().chip_w / cl.cpu.tdp_per_socket_w, 0.90) << cl.name;
+  }
+}
+
+TEST(PaperShapes, DramPowerTracksBandwidthUtilization) {
+  const auto a = mach::cluster_a();
+  const auto mem = core::run_benchmark(*fast("pot3d"), a, 18);
+  const auto cpu = core::run_benchmark(*fast("sph-exa"), a, 18);
+  EXPECT_NEAR(mem.power().dram_w, 16.0, 0.5);   // paper: 16 W saturated
+  EXPECT_LT(cpu.power().dram_w, 11.0);          // paper: ~9.5 W floor
+}
+
+TEST(PaperShapes, SomaAggregateTrafficGrowsWithRanks) {
+  // Sect. 5.1.2: replicated data -> aggregate memory volume ~ rank count.
+  const auto a = mach::cluster_a();
+  auto app = fast("soma", core::Workload::kSmall);
+  const double v1 =
+      core::run_on_nodes(*app, a, 1).metrics().mem_bytes;
+  const double v4 =
+      core::run_on_nodes(*app, a, 4).metrics().mem_bytes;
+  EXPECT_GT(v4 / v1, 1.8);  // strongly rising (exact ratio depends on the
+                            // distributed polymer share)
+}
+
+TEST(PaperShapes, WeatherSuperlinearOnlyOnClusterB) {
+  auto app = fast("weather", core::Workload::kSmall);
+  const auto b = mach::cluster_b();
+  const double tb1 = core::run_on_nodes(*app, b, 1).seconds_per_step();
+  const double tb16 = core::run_on_nodes(*app, b, 16).seconds_per_step();
+  EXPECT_GT(tb1 / tb16 / 16.0, 1.2);  // superlinear on Sapphire Rapids
+  const auto a = mach::cluster_a();
+  const double ta1 = core::run_on_nodes(*app, a, 1).seconds_per_step();
+  const double ta16 = core::run_on_nodes(*app, a, 16).seconds_per_step();
+  EXPECT_LT(ta1 / ta16 / 16.0, tb1 / tb16 / 16.0);  // weaker on Ice Lake
+}
+
+TEST(PaperShapes, BaselinePowerSharesAcrossGenerations) {
+  const auto a = mach::cluster_a();
+  const auto b = mach::cluster_b();
+  const auto sb = mach::sandy_bridge_reference();
+  const double fa = a.cpu.idle_power_per_socket_w / a.cpu.tdp_per_socket_w;
+  const double fb = b.cpu.idle_power_per_socket_w / b.cpu.tdp_per_socket_w;
+  const double fs = sb.cpu.idle_power_per_socket_w / sb.cpu.tdp_per_socket_w;
+  EXPECT_LT(fs, fa);
+  EXPECT_LT(fa, fb);  // the paper's generational trend
+}
+
+TEST(PaperShapes, OsNoiseProducesSpreadButPreservesDeterminism) {
+  const auto a = mach::cluster_a();
+  auto app = fast("pot3d");
+  core::RunOptions o1;
+  o1.os_noise_amplitude = 0.05;
+  o1.os_noise_seed = 1;
+  core::RunOptions o2 = o1;
+  o2.os_noise_seed = 2;
+  const double t_clean = core::run_benchmark(*app, a, 8).seconds_per_step();
+  const double t1 = core::run_benchmark(*app, a, 8, o1).seconds_per_step();
+  const double t1b = core::run_benchmark(*app, a, 8, o1).seconds_per_step();
+  const double t2 = core::run_benchmark(*app, a, 8, o2).seconds_per_step();
+  EXPECT_EQ(t1, t1b);     // same seed -> bit-identical
+  EXPECT_NE(t1, t2);      // different seed -> different sample
+  EXPECT_GT(t1, t_clean); // noise only slows down
+  EXPECT_LT(t1, 1.06 * t_clean);
+}
+
+}  // namespace

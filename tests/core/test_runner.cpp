@@ -1,0 +1,93 @@
+// Experiment-runner API: placements, options plumbing, result wiring.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+
+namespace {
+
+TEST(Runner, NodeCountsAndPlacementsAreConsistent) {
+  const auto a = mach::cluster_a();
+  auto app = core::make_app("tealeaf", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  const auto r1 = core::run_benchmark(*app, a, 36);
+  EXPECT_EQ(r1.metrics().nranks, 36);
+  EXPECT_EQ(r1.metrics().nodes, 1);
+  const auto r2 = core::run_on_nodes(*app, a, 2);
+  EXPECT_EQ(r2.metrics().nranks, 144);
+  EXPECT_EQ(r2.metrics().nodes, 2);
+}
+
+TEST(Runner, TraceOptionControlsTimeline) {
+  const auto a = mach::cluster_a();
+  auto app = core::make_app("weather", core::Workload::kTiny);
+  app->set_measured_steps(1);
+  app->set_warmup_steps(0);
+  const auto off = core::run_benchmark(*app, a, 4);
+  EXPECT_TRUE(off.engine().timeline().empty());
+  core::RunOptions opts;
+  opts.trace = true;
+  const auto on = core::run_benchmark(*app, a, 4, opts);
+  EXPECT_FALSE(on.engine().timeline().empty());
+}
+
+TEST(Runner, ProtocolOptionReachesTheEngine) {
+  const auto a = mach::cluster_a();
+  auto app = core::make_app("minisweep", core::Workload::kTiny);
+  app->set_measured_steps(1);
+  app->set_warmup_steps(0);
+  core::RunOptions eager;
+  eager.protocol.force_eager = true;
+  const double t_rzv = core::run_benchmark(*app, a, 59).seconds_per_step();
+  const double t_eager =
+      core::run_benchmark(*app, a, 59, eager).seconds_per_step();
+  EXPECT_LT(t_eager, t_rzv);
+}
+
+TEST(Runner, RooflineOptionsReachTheModel) {
+  const auto a = mach::cluster_a();
+  auto app = core::make_app("tealeaf", core::Workload::kTiny);
+  app->set_measured_steps(1);
+  app->set_warmup_steps(0);
+  core::RunOptions naive;
+  naive.roofline.naive_linear_bandwidth = true;
+  const double sat = core::run_benchmark(*app, a, 18).seconds_per_step();
+  const double lin =
+      core::run_benchmark(*app, a, 18, naive).seconds_per_step();
+  EXPECT_LT(lin, sat);  // unshared bandwidth -> faster
+}
+
+TEST(Runner, SecondsPerStepNormalizesBySteps) {
+  const auto a = mach::cluster_a();
+  auto app3 = core::make_app("cloverleaf", core::Workload::kTiny);
+  app3->set_measured_steps(3);
+  app3->set_warmup_steps(1);
+  auto app6 = core::make_app("cloverleaf", core::Workload::kTiny);
+  app6->set_measured_steps(6);
+  app6->set_warmup_steps(1);
+  const double t3 = core::run_benchmark(*app3, a, 8).seconds_per_step();
+  const double t6 = core::run_benchmark(*app6, a, 8).seconds_per_step();
+  EXPECT_NEAR(t3, t6, 1e-6 * t3);  // up to per-run constant costs
+}
+
+TEST(Runner, ResultOwnsEngineBeyondTheCall) {
+  const auto a = mach::cluster_a();
+  core::RunResult res = [&] {
+    auto app = core::make_app("soma", core::Workload::kTiny);
+    app->set_measured_steps(1);
+    app->set_warmup_steps(0);
+    core::RunOptions opts;
+    opts.trace = true;
+    return core::run_benchmark(*app, a, 4, opts);
+  }();
+  // The engine and its timeline must outlive the app and the scope above.
+  EXPECT_GT(res.engine().elapsed(), 0.0);
+  EXPECT_FALSE(res.engine().timeline().empty());
+  EXPECT_EQ(res.engine().nranks(), 4);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// DVFS what-if extension: frequency scaling of the machine model.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "machine/machine.hpp"
+
+namespace mach = spechpc::mach;
+namespace core = spechpc::core;
+
+namespace {
+
+TEST(FrequencyScaling, ScalesCoreRatesNotDram) {
+  const auto a = mach::cluster_a();
+  const auto half = mach::scale_frequency(a, 0.5);
+  EXPECT_DOUBLE_EQ(half.cpu.base_clock_hz, 1.2e9);
+  EXPECT_DOUBLE_EQ(half.cpu.l2_bw_per_core_Bps, a.cpu.l2_bw_per_core_Bps / 2);
+  // DRAM is clocked independently of the cores.
+  EXPECT_DOUBLE_EQ(half.cpu.sat_bw_per_domain_Bps,
+                   a.cpu.sat_bw_per_domain_Bps);
+  EXPECT_DOUBLE_EQ(half.cpu.per_core_mem_bw_Bps, a.cpu.per_core_mem_bw_Bps);
+}
+
+TEST(FrequencyScaling, PowerFollowsSuperlinearLaw) {
+  const auto a = mach::cluster_a();
+  const auto up = mach::scale_frequency(a, 1.25);
+  // Dynamic per-core power grows faster than frequency.
+  EXPECT_GT(up.cpu.core_power_busy_simd_w / a.cpu.core_power_busy_simd_w,
+            1.25);
+  EXPECT_GT(up.cpu.idle_power_per_socket_w, a.cpu.idle_power_per_socket_w);
+  // Down-clocking: the baseline's static-leakage share does not scale down
+  // with frequency -- the race-to-idle premise.
+  const auto down = mach::scale_frequency(a, 0.7);
+  EXPECT_GT(down.cpu.idle_power_per_socket_w / a.cpu.idle_power_per_socket_w,
+            0.7);
+  EXPECT_LT(down.cpu.core_power_busy_simd_w / a.cpu.core_power_busy_simd_w,
+            0.7);
+}
+
+TEST(FrequencyScaling, IdentityAtFactorOne) {
+  const auto a = mach::cluster_a();
+  const auto same = mach::scale_frequency(a, 1.0);
+  EXPECT_DOUBLE_EQ(same.cpu.base_clock_hz, a.cpu.base_clock_hz);
+  EXPECT_DOUBLE_EQ(same.cpu.idle_power_per_socket_w,
+                   a.cpu.idle_power_per_socket_w);
+}
+
+TEST(FrequencyScaling, RejectsNonPositiveFactor) {
+  EXPECT_THROW(mach::scale_frequency(mach::cluster_a(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(mach::scale_frequency(mach::cluster_a(), -1.0),
+               std::invalid_argument);
+}
+
+TEST(FrequencyScaling, MemoryBoundCodeBarelySlowsWhenClockedDown) {
+  // The classic DVFS result the paper's race-to-idle analysis builds on:
+  // clocking down hurts compute-bound codes ~linearly but memory-bound
+  // codes barely at all (their bottleneck is DRAM).
+  const auto a = mach::cluster_a();
+  const auto slow = mach::scale_frequency(a, 0.7);
+
+  auto time_of = [](const mach::ClusterSpec& cl, const char* name) {
+    auto app = core::make_app(name, core::Workload::kTiny);
+    app->set_measured_steps(2);
+    app->set_warmup_steps(1);
+    return core::run_benchmark(*app, cl, 18).seconds_per_step();
+  };
+  const double sph_ratio = time_of(slow, "sph-exa") / time_of(a, "sph-exa");
+  const double tea_ratio = time_of(slow, "tealeaf") / time_of(a, "tealeaf");
+  EXPECT_GT(sph_ratio, 1.35);  // ~1/0.7
+  EXPECT_LT(tea_ratio, 1.05);  // bandwidth-bound: frequency-insensitive
+}
+
+TEST(FrequencyScaling, DownclockingPaysOnlyForMemoryBoundCode) {
+  // The classic result (Hager et al. 2016, cited by the paper): clocking
+  // down saves energy for bandwidth-bound code (same runtime, less power),
+  // but not for compute-bound code (runtime stretches 1/f while the
+  // baseline keeps burning).
+  const auto a = mach::cluster_a();
+  const auto slow = mach::scale_frequency(a, 0.7);
+  auto energy_of = [](const mach::ClusterSpec& cl, const char* name) {
+    auto app = core::make_app(name, core::Workload::kTiny);
+    app->set_measured_steps(2);
+    app->set_warmup_steps(1);
+    return core::run_benchmark(*app, cl, 18).power().total_energy_j();
+  };
+  const double tea_ratio =
+      energy_of(slow, "tealeaf") / energy_of(a, "tealeaf");
+  const double sph_ratio =
+      energy_of(slow, "sph-exa") / energy_of(a, "sph-exa");
+  EXPECT_LT(tea_ratio, 0.85);  // memory bound: clear savings
+  EXPECT_GT(sph_ratio, 0.95);  // compute bound: little or negative benefit
+}
+
+}  // namespace

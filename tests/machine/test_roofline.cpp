@@ -1,0 +1,178 @@
+// Roofline model: ceilings, bandwidth saturation, cache-fit reduction,
+// victim-L3 traffic, alignment pathologies, and ablation switches.
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+
+namespace mach = spechpc::mach;
+namespace sim = spechpc::sim;
+
+namespace {
+
+sim::KernelWork memory_streaming(double bytes) {
+  sim::KernelWork w;
+  w.flops_simd = bytes / 8.0;  // low intensity: 1 flop per double
+  w.traffic = {bytes, bytes, bytes};
+  w.working_set_bytes = 1e12;  // never fits in cache
+  w.label = "stream";
+  return w;
+}
+
+sim::KernelWork compute_heavy(double flops) {
+  sim::KernelWork w;
+  w.flops_simd = flops;
+  w.traffic = {flops * 1e-3, flops * 1e-3, flops * 1e-3};
+  w.working_set_bytes = 1e12;
+  w.label = "dgemm-ish";
+  return w;
+}
+
+TEST(Roofline, ComputeBoundHitsPeak) {
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel model(a);
+  auto p = mach::block_placement(a, 1);
+  const auto out = model.evaluate(0, p, compute_heavy(76.8e9));
+  // 76.8 Gflop at 2.4 GHz * 32 flop/cy = 1 second.
+  EXPECT_NEAR(out.seconds, 1.0, 1e-6);
+  EXPECT_NEAR(out.core_utilization, 1.0, 1e-6);
+}
+
+TEST(Roofline, ScalarFlopsAreSlower) {
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel model(a);
+  auto p = mach::block_placement(a, 1);
+  sim::KernelWork w = compute_heavy(9.6e9);
+  const double t_simd = model.evaluate(0, p, w).seconds;
+  w.flops_scalar = w.flops_simd;
+  w.flops_simd = 0.0;
+  const double t_scalar = model.evaluate(0, p, w).seconds;
+  EXPECT_NEAR(t_scalar / t_simd, 8.0, 1e-6);  // 32 vs 4 flops/cycle
+}
+
+TEST(Roofline, SingleCoreGetsSingleCoreBandwidth) {
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel model(a);
+  auto p = mach::block_placement(a, 1);
+  const auto out = model.evaluate(0, p, memory_streaming(14e9));
+  EXPECT_NEAR(out.seconds, 1.0, 1e-3);  // 14 GB at 14 GB/s per-core bw
+}
+
+TEST(Roofline, DomainBandwidthSaturates) {
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel model(a);
+  // 18 ranks on one domain: each gets 76.5/18 GB/s, not 14 GB/s.
+  auto p = mach::block_placement(a, 18);
+  const auto out = model.evaluate(0, p, memory_streaming(1e9));
+  EXPECT_NEAR(out.seconds, 1e9 / (76.5e9 / 18.0), 1e-3);
+  // Aggregate: 18 ranks * 1 GB / t = saturated bandwidth.
+  EXPECT_NEAR(18.0 * 1e9 / out.seconds, 76.5e9, 1e7);
+}
+
+TEST(Roofline, NaiveLinearAblationRemovesSaturation) {
+  const auto a = mach::cluster_a();
+  mach::RooflineOptions opts;
+  opts.naive_linear_bandwidth = true;
+  mach::RooflineComputeModel model(a, opts);
+  auto p = mach::block_placement(a, 18);
+  sim::KernelWork w;  // pure DRAM stream, no cache traffic modeled
+  w.flops_simd = 1e6;
+  w.traffic = {14e9, 0.0, 0.0};
+  w.working_set_bytes = 1e12;
+  const auto out = model.evaluate(0, p, w);
+  EXPECT_NEAR(out.seconds, 1.0, 1e-3);  // full per-core bw despite 18 ranks
+}
+
+TEST(Roofline, CacheFitRemovesMemoryTraffic) {
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel model(a);
+  auto p = mach::block_placement(a, 1);
+  sim::KernelWork w = memory_streaming(1e9);
+  w.working_set_bytes = 1e6;  // 1 MB: fits into L2+L3 share easily
+  const auto out = model.evaluate(0, p, w);
+  EXPECT_LT(out.effective.mem_bytes, 0.05 * 1e9);
+  // Larger-than-cache working set keeps full traffic.
+  w.working_set_bytes = 1e12;
+  EXPECT_NEAR(model.evaluate(0, p, w).effective.mem_bytes, 1e9, 1.0);
+}
+
+TEST(Roofline, CacheFitDependsOnDomainOccupancy) {
+  // Working set per rank ~ L3 share at low occupancy, exceeds it at high.
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel model(a);
+  sim::KernelWork w = memory_streaming(1e9);
+  w.working_set_bytes = 20e6;  // 20 MB vs 27 MB L3 per domain
+  auto p1 = mach::block_placement(a, 1);
+  auto p18 = mach::block_placement(a, 18);
+  const double mem1 = model.evaluate(0, p1, w).effective.mem_bytes;
+  const double mem18 = model.evaluate(0, p18, w).effective.mem_bytes;
+  EXPECT_LT(mem1, mem18);  // exclusive L3 -> most traffic gone
+}
+
+TEST(Roofline, VictimL3SeesMemoryTraffic) {
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel with(a);
+  mach::RooflineOptions opts;
+  opts.model_victim_l3 = false;
+  mach::RooflineComputeModel without(a, opts);
+  auto p = mach::block_placement(a, 1);
+  const auto w = memory_streaming(1e9);
+  EXPECT_NEAR(with.evaluate(0, p, w).effective.l3_bytes, 1.6e9, 1e6);
+  EXPECT_NEAR(without.evaluate(0, p, w).effective.l3_bytes, 1e9, 1e6);
+}
+
+TEST(AlignmentEffect, PageAlignedManyStreamsIsSlow) {
+  const auto eff = mach::alignment_effect(37, 32768);  // 32 KiB rows
+  EXPECT_GT(eff.time_penalty, 1.5);
+  EXPECT_DOUBLE_EQ(eff.l2_traffic_factor, 1.0);  // TLB: slow, no extra traffic
+}
+
+TEST(AlignmentEffect, NearPageAlignedIsModeratelySlow) {
+  const auto eff = mach::alignment_effect(37, 4096 * 3 + 64);
+  EXPECT_NEAR(eff.time_penalty, 1.4, 1e-9);
+}
+
+TEST(AlignmentEffect, SetConflictsCauseExcessL2Traffic) {
+  const auto eff = mach::alignment_effect(37, 4096 + 512);  // 512B periodic
+  EXPECT_GT(eff.l2_traffic_factor, 2.0);
+}
+
+TEST(AlignmentEffect, FewStreamsOrOddStrideIsClean) {
+  EXPECT_DOUBLE_EQ(mach::alignment_effect(5, 32768).time_penalty, 1.0);
+  EXPECT_DOUBLE_EQ(mach::alignment_effect(37, 10928).time_penalty, 1.0);
+  EXPECT_DOUBLE_EQ(mach::alignment_effect(37, 10928).l2_traffic_factor, 1.0);
+}
+
+TEST(Roofline, AlignmentPathologySlowsKernel) {
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel model(a);
+  auto p = mach::block_placement(a, 1);
+  sim::KernelWork w;
+  w.flops_simd = 76.8e9;
+  w.traffic = {1e6, 1e6, 1e6};
+  w.working_set_bytes = 1e12;
+  w.concurrent_streams = 37;
+  w.leading_dim_bytes = 8192;  // page-aligned
+  const double bad = model.evaluate(0, p, w).seconds;
+  w.leading_dim_bytes = 10928;  // clean stride
+  const double good = model.evaluate(0, p, w).seconds;
+  EXPECT_NEAR(bad / good, 1.7, 1e-6);
+}
+
+TEST(Roofline, ClusterBFasterForMemoryBoundByBandwidthRatio) {
+  // Full-domain memory-bound work: B/A per-domain bandwidth favors A
+  // (76.5 vs 60), but B has twice the domains; node-level B/A ~ 1.57.
+  const auto a = mach::cluster_a();
+  const auto b = mach::cluster_b();
+  mach::RooflineComputeModel ma(a), mb(b);
+  auto pa = mach::block_placement(a, 72);
+  auto pb = mach::block_placement(b, 104);
+  // Same node-level job split over ranks.
+  const double total_bytes = 72e9;
+  const double ta =
+      ma.evaluate(0, pa, memory_streaming(total_bytes / 72)).seconds;
+  const double tb =
+      mb.evaluate(0, pb, memory_streaming(total_bytes / 104)).seconds;
+  EXPECT_NEAR(ta / tb, (8.0 * 60.0) / (4.0 * 76.5), 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Hardware specs vs the paper's Table 3 and block-placement semantics.
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+
+namespace mach = spechpc::mach;
+namespace sim = spechpc::sim;
+
+namespace {
+
+TEST(Specs, ClusterAMatchesTable3) {
+  const auto a = mach::cluster_a();
+  EXPECT_EQ(a.cpu.cores_per_node(), 72);
+  EXPECT_EQ(a.cpu.domains_per_node(), 4);
+  EXPECT_EQ(a.cpu.cores_per_domain(), 18);
+  EXPECT_DOUBLE_EQ(a.cpu.base_clock_hz, 2.4e9);
+  EXPECT_DOUBLE_EQ(a.cpu.tdp_per_socket_w, 250.0);
+  EXPECT_NEAR(a.cpu.theor_bw_per_domain_Bps * a.cpu.domains_per_node(),
+              409.6e9, 1e6);
+}
+
+TEST(Specs, ClusterBMatchesTable3) {
+  const auto b = mach::cluster_b();
+  EXPECT_EQ(b.cpu.cores_per_node(), 104);
+  EXPECT_EQ(b.cpu.domains_per_node(), 8);
+  EXPECT_EQ(b.cpu.cores_per_domain(), 13);
+  EXPECT_DOUBLE_EQ(b.cpu.base_clock_hz, 2.0e9);
+  EXPECT_DOUBLE_EQ(b.cpu.tdp_per_socket_w, 350.0);
+  EXPECT_NEAR(b.cpu.theor_bw_per_domain_Bps * b.cpu.domains_per_node(),
+              614.4e9, 1e6);
+}
+
+TEST(Specs, PaperRatiosBOverA) {
+  const auto a = mach::cluster_a();
+  const auto b = mach::cluster_b();
+  // Sect. 4.1.2: peak ratio 1.2, bandwidth ratio 1.5.
+  EXPECT_NEAR(b.cpu.peak_node_flops() / a.cpu.peak_node_flops(), 1.20, 0.01);
+  const double bw_ratio = (b.cpu.theor_bw_per_domain_Bps * 8) /
+                          (a.cpu.theor_bw_per_domain_Bps * 4);
+  EXPECT_NEAR(bw_ratio, 1.5, 0.01);
+  // Footnote 7: ~45% more L3 and 60% more L2 per core on ClusterB.
+  const double l3_per_core_a = a.cpu.l3_per_socket_bytes / 36;
+  const double l3_per_core_b = b.cpu.l3_per_socket_bytes / 52;
+  EXPECT_NEAR(l3_per_core_b / l3_per_core_a, 1.35, 0.15);
+  EXPECT_NEAR(b.cpu.l2_per_core_bytes / a.cpu.l2_per_core_bytes, 1.6, 0.01);
+}
+
+TEST(Specs, BaselinePowerFractionsMatchPaper) {
+  const auto a = mach::cluster_a();
+  const auto b = mach::cluster_b();
+  const auto sb = mach::sandy_bridge_reference();
+  EXPECT_NEAR(a.cpu.idle_power_per_socket_w / a.cpu.tdp_per_socket_w, 0.40,
+              0.03);
+  EXPECT_NEAR(b.cpu.idle_power_per_socket_w / b.cpu.tdp_per_socket_w, 0.50,
+              0.03);
+  EXPECT_LT(sb.cpu.idle_power_per_socket_w / sb.cpu.tdp_per_socket_w, 0.20);
+}
+
+TEST(Topology, BlockPlacementFillsDomainsInOrder) {
+  const auto a = mach::cluster_a();
+  const sim::Placement p = mach::block_placement(a, 40);
+  // First 18 ranks on domain 0, next 18 on domain 1, rest on domain 2.
+  EXPECT_EQ(p.of(0).domain, 0);
+  EXPECT_EQ(p.of(17).domain, 0);
+  EXPECT_EQ(p.of(18).domain, 1);
+  EXPECT_EQ(p.of(35).domain, 1);
+  EXPECT_EQ(p.of(36).domain, 2);
+  EXPECT_EQ(p.of(36).socket, 1);  // second socket starts at core 36
+  EXPECT_EQ(p.of(39).node, 0);
+  EXPECT_EQ(p.domains_used(), 3);
+  EXPECT_EQ(p.ranks_in_domain_of(0), 18);
+  EXPECT_EQ(p.ranks_in_domain_of(39), 4);
+}
+
+TEST(Topology, MultiNodePlacement) {
+  const auto a = mach::cluster_a();
+  const sim::Placement p = mach::block_placement(a, 144);  // 2 full nodes
+  EXPECT_EQ(p.nodes_used(), 2);
+  EXPECT_EQ(p.of(71).node, 0);
+  EXPECT_EQ(p.of(72).node, 1);
+  EXPECT_FALSE(p.same_node(71, 72));
+  EXPECT_TRUE(p.same_node(0, 71));
+}
+
+TEST(Topology, PlacementOnNodesSpreadsEvenly) {
+  const auto b = mach::cluster_b();
+  const sim::Placement p = mach::block_placement_on_nodes(b, 416, 4);
+  EXPECT_EQ(p.nodes_used(), 4);
+  for (int r = 0; r < 416; ++r) EXPECT_EQ(p.of(r).node, r / 104);
+}
+
+TEST(Topology, RejectsOversizedJobs) {
+  const auto a = mach::cluster_a();
+  EXPECT_THROW(mach::block_placement(a, 24 * 72 + 1), std::invalid_argument);
+  EXPECT_THROW(mach::block_placement_on_nodes(a, 73, 1),
+               std::invalid_argument);
+  EXPECT_THROW(mach::block_placement(a, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Perf utilities: metrics collection, run statistics, tables, timelines.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "perf/perf.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+namespace perf = spechpc::perf;
+
+namespace {
+
+TEST(Metrics, CollectAggregatesRun) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 4;
+  sim::Engine eng(cfg);
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    sim::KernelWork w;
+    w.flops_simd = 8e9;
+    w.flops_scalar = 2e9;
+    w.traffic = {1e9, 2e9, 3e9};
+    w.label = "k";
+    co_await c.compute(w);
+    co_await c.barrier();
+  });
+  const auto m = perf::collect(eng);
+  EXPECT_EQ(m.nranks, 4);
+  EXPECT_DOUBLE_EQ(m.flops_total, 4 * 10e9);
+  EXPECT_DOUBLE_EQ(m.flops_simd, 4 * 8e9);
+  EXPECT_NEAR(m.vectorization_ratio(), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(m.mem_bytes, 4e9);
+  EXPECT_DOUBLE_EQ(m.l3_bytes, 8e9);
+  EXPECT_DOUBLE_EQ(m.l2_bytes, 12e9);
+  EXPECT_GT(m.performance(), 0.0);
+  EXPECT_GT(m.performance_simd(), 0.0);
+  EXPECT_LT(m.performance_simd(), m.performance());
+}
+
+TEST(Stats, MinMaxMeanStd) {
+  perf::RunStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::logic_error);
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Tables, AlignedAndCsvOutput) {
+  perf::Table t({"name", "value"});
+  t.add_row({"alpha", perf::Table::num(1.5)});
+  t.add_row({"b", perf::Table::num(2.0)});
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("| alpha |"), std::string::npos);
+  EXPECT_NE(text.str().find("1.5 |"), std::string::npos);
+  EXPECT_NE(csv.str().find("alpha,1.5"), std::string::npos);
+  EXPECT_NE(csv.str().find("b,2"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), std::invalid_argument);
+  EXPECT_THROW(perf::Table({}), std::invalid_argument);
+}
+
+TEST(Tables, NumberFormatting) {
+  EXPECT_EQ(perf::Table::num(1.0), "1");
+  EXPECT_EQ(perf::Table::num(1.25), "1.25");
+  EXPECT_EQ(perf::Table::num(1.2345, 2), "1.23");
+  EXPECT_EQ(perf::Table::num(0.5, 1), "0.5");
+}
+
+TEST(Timeline, ActivityFractions) {
+  sim::Timeline tl;
+  tl.record({0, 0.0, 3.0, sim::Activity::kCompute, "k"});
+  tl.record({0, 3.0, 4.0, sim::Activity::kRecv, "recv"});
+  tl.record({1, 0.0, 2.0, sim::Activity::kBarrier, "b"});
+  const auto all = perf::activity_fractions(tl);
+  EXPECT_NEAR(all.at(sim::Activity::kCompute), 0.5, 1e-12);
+  EXPECT_NEAR(all.at(sim::Activity::kRecv), 1.0 / 6.0, 1e-12);
+  const auto r0 = perf::activity_fractions(tl, 0);
+  EXPECT_NEAR(r0.at(sim::Activity::kCompute), 0.75, 1e-12);
+  EXPECT_NEAR(r0.at(sim::Activity::kRecv), 0.25, 1e-12);
+}
+
+TEST(Timeline, AsciiRenderShowsDominantActivity) {
+  sim::Timeline tl;
+  tl.record({0, 0.0, 1.0, sim::Activity::kCompute, "k"});
+  tl.record({0, 1.0, 2.0, sim::Activity::kRecv, "recv"});
+  tl.record({1, 0.0, 2.0, sim::Activity::kSend, "send"});
+  const std::string s = perf::render_ascii(tl, 2, /*columns=*/10);
+  // Rank 0: first half compute '#', second half recv 'R'; rank 1 all 'S'.
+  EXPECT_NE(s.find("#####RRRRR"), std::string::npos);
+  EXPECT_NE(s.find("SSSSSSSSSS"), std::string::npos);
+}
+
+TEST(Timeline, RankWindowRendering) {
+  sim::Timeline tl;
+  for (int r = 0; r < 8; ++r)
+    tl.record({r, 0.0, 1.0, sim::Activity::kCompute, "k"});
+  const std::string s = perf::render_ascii_ranks(tl, 2, 3, 4);
+  // Exactly two rows (ranks 2 and 3).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+  EXPECT_NE(s.find("r2"), std::string::npos);
+  EXPECT_NE(s.find("r3"), std::string::npos);
+  EXPECT_EQ(s.find("r4"), std::string::npos);
+}
+
+TEST(Timeline, EngineTraceFeedsRenderer) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.enable_trace = true;
+  sim::Engine eng(cfg);
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.delay(1.0, "work");
+      co_await c.send_bytes(1, 0, 8.0);
+    } else {
+      co_await c.recv_bytes(0, 0);
+    }
+  });
+  const auto fr = perf::activity_fractions(eng.timeline(), 1);
+  EXPECT_GT(fr.at(sim::Activity::kRecv), 0.9);  // rank 1 mostly waiting
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Time-resolved monitoring and trace export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "perf/perf.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+namespace perf = spechpc::perf;
+
+namespace {
+
+sim::Timeline two_phase_timeline() {
+  sim::Timeline tl;
+  // Rank 0: 1 s compute-bound phase, then 1 s memory-bound phase.
+  tl.record({0, 0.0, 1.0, sim::Activity::kCompute, "flops", 100e9, 1e9});
+  tl.record({0, 1.0, 2.0, sim::Activity::kCompute, "stream", 1e9, 50e9});
+  // Rank 1 spends the second half in MPI.
+  tl.record({1, 0.0, 1.0, sim::Activity::kCompute, "flops", 100e9, 1e9});
+  tl.record({1, 1.0, 2.0, sim::Activity::kAllreduce, "MPI_Allreduce"});
+  return tl;
+}
+
+TEST(TimeSeries, BucketsPartitionResources) {
+  const auto tl = two_phase_timeline();
+  const auto buckets = perf::time_series(tl, 2);
+  ASSERT_EQ(buckets.size(), 2u);
+  // First second: both ranks at high intensity.
+  EXPECT_NEAR(buckets[0].flops, 200e9, 1e6);
+  EXPECT_NEAR(buckets[0].mem_bytes, 2e9, 1e3);
+  EXPECT_GT(buckets[0].intensity(), 50.0);
+  // Second second: the streaming phase dominates the traffic.
+  EXPECT_NEAR(buckets[1].mem_bytes, 50e9, 1e6);
+  EXPECT_LT(buckets[1].intensity(), 0.1);
+  EXPECT_NEAR(buckets[1].mpi_fraction(), 0.5, 1e-9);
+  EXPECT_NEAR(buckets[0].mpi_fraction(), 0.0, 1e-9);
+}
+
+TEST(TimeSeries, ResourceTotalsConserved) {
+  const auto tl = two_phase_timeline();
+  for (int nb : {1, 2, 3, 7, 16}) {
+    double flops = 0.0, bytes = 0.0;
+    for (const auto& b : perf::time_series(tl, nb)) {
+      flops += b.flops;
+      bytes += b.mem_bytes;
+    }
+    EXPECT_NEAR(flops, 201e9, 1e7) << nb;
+    EXPECT_NEAR(bytes, 52e9, 1e6) << nb;
+  }
+}
+
+TEST(TimeSeries, RooflineTrajectoryMovesWithThePhases) {
+  const auto pts = perf::roofline_trajectory(two_phase_timeline(), 2);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_GT(pts[0].intensity, pts[1].intensity);  // compute -> memory bound
+  EXPECT_GT(pts[0].flop_rate, pts[1].flop_rate);
+}
+
+TEST(TimeSeries, EngineTraceCarriesResources) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 1;
+  cfg.enable_trace = true;
+  sim::Engine eng(std::move(cfg));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    sim::KernelWork w;
+    w.flops_scalar = 2e9;
+    w.traffic = {3e9, 0, 0};
+    w.label = "k";
+    co_await c.compute(w);
+  });
+  const auto& iv = eng.timeline().intervals().front();
+  EXPECT_DOUBLE_EQ(iv.flops, 2e9);
+  EXPECT_DOUBLE_EQ(iv.mem_bytes, 3e9);
+  const auto pts = perf::roofline_trajectory(eng.timeline(), 1);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].intensity, 2.0 / 3.0, 1e-12);
+}
+
+TEST(TimeSeries, RejectsBadBucketCount) {
+  EXPECT_THROW(perf::time_series(sim::Timeline{}, 0), std::invalid_argument);
+}
+
+TEST(TraceExport, CsvHasHeaderAndRows) {
+  const auto tl = two_phase_timeline();
+  std::ostringstream os;
+  perf::export_csv(tl, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("rank,t_begin,t_end,activity,label,flops,mem_bytes"),
+            std::string::npos);
+  EXPECT_NE(s.find("0,0,1,compute,flops,1e+11,1e+09"), std::string::npos);
+  EXPECT_NE(s.find("MPI_Allreduce"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);  // header + 4 rows
+}
+
+TEST(TraceExport, ChromeTraceIsWellFormedIsh) {
+  const auto tl = two_phase_timeline();
+  std::ostringstream os;
+  perf::export_chrome_trace(tl, os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(s.back(), '}');
+  EXPECT_NE(s.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"dur\":1e+06"), std::string::npos);  // 1 s = 1e6 us
+  // Balanced braces/brackets.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(TraceExport, EscapesSpecialCharacters) {
+  sim::Timeline tl;
+  tl.record({0, 0.0, 1.0, sim::Activity::kCompute, "k\"ernel\\x", 1.0, 1.0});
+  std::ostringstream os;
+  perf::export_chrome_trace(tl, os);
+  EXPECT_NE(os.str().find("k\\\"ernel\\\\x"), std::string::npos);
+}
+
+}  // namespace

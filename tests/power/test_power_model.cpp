@@ -1,0 +1,156 @@
+// Power model: baseline dominance, hot vs cool codes, DRAM-bandwidth
+// coupling, socket counting, energy/EDP utilities (Sect. 4.2/4.3).
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+#include "power/power_model.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace mach = spechpc::mach;
+namespace sim = spechpc::sim;
+namespace power = spechpc::power;
+
+namespace {
+
+// Runs `nranks` ranks of pure compute (hot) or pure memory streaming (cool)
+// on ClusterA and returns the power report.
+power::PowerReport run_and_analyze(const mach::ClusterSpec& cluster,
+                                   int nranks, bool hot) {
+  mach::RooflineComputeModel compute(cluster);
+  mach::HdrNetworkModel net(cluster.net);
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  cfg.placement = mach::block_placement(cluster, nranks);
+  cfg.compute = &compute;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    sim::KernelWork w;
+    if (hot) {
+      w.flops_simd = 0.8 * 76.8e9;  // sph-exa-like SIMD mix
+      w.flops_scalar = 0.2 * 76.8e9;
+      w.traffic = {1e6, 1e6, 1e6};
+    } else {
+      w.flops_simd = 1e8;
+      w.traffic = {5e9, 5e9, 5e9};
+    }
+    w.working_set_bytes = 1e12;
+    co_await c.compute(w);
+  });
+  power::PowerModel pm(cluster);
+  return pm.analyze(eng);
+}
+
+TEST(PowerModel, HotCodeApproachesTdp) {
+  const auto a = mach::cluster_a();
+  const auto rep = run_and_analyze(a, 36, /*hot=*/true);  // one full socket
+  EXPECT_EQ(rep.sockets_used, 1);
+  // sph-exa reaches ~98% of the 250 W TDP (Sect. 4.2.1).
+  EXPECT_NEAR(rep.chip_w / a.cpu.tdp_per_socket_w, 0.98, 0.02);
+}
+
+TEST(PowerModel, MemoryBoundCodeIsCooler) {
+  const auto a = mach::cluster_a();
+  const auto hot = run_and_analyze(a, 36, true);
+  const auto cool = run_and_analyze(a, 36, false);
+  EXPECT_LT(cool.chip_w, hot.chip_w);
+  // ... but draws more DRAM power (bandwidth-coupled).
+  EXPECT_GT(cool.dram_w, hot.dram_w);
+}
+
+TEST(PowerModel, DramPowerSaturatesWithBandwidth) {
+  const auto a = mach::cluster_a();
+  // 18 ranks saturate the domain: DRAM power at its per-domain max.
+  const auto rep = run_and_analyze(a, 18, false);
+  EXPECT_EQ(rep.domains_used, 1);
+  EXPECT_NEAR(rep.dram_w, a.cpu.dram_max_power_per_domain_w, 0.5);
+}
+
+TEST(PowerModel, IdleDramFloorForComputeBoundCode) {
+  const auto a = mach::cluster_a();
+  const auto rep = run_and_analyze(a, 18, true);
+  EXPECT_NEAR(rep.dram_w, a.cpu.dram_idle_power_per_domain_w, 0.5);
+}
+
+TEST(PowerModel, SecondSocketAddsItsBaseline) {
+  const auto a = mach::cluster_a();
+  const auto one = run_and_analyze(a, 36, true);
+  const auto two = run_and_analyze(a, 72, true);
+  EXPECT_EQ(two.sockets_used, 2);
+  // Full node ~ 2x the single-socket maximum (Sect. 4.2, Fig. 3(b,d)).
+  EXPECT_NEAR(two.chip_w / one.chip_w, 2.0, 0.02);
+}
+
+TEST(PowerModel, BaselineDominatesOnModernCpus) {
+  const auto a = mach::cluster_a();
+  const auto rep = run_and_analyze(a, 1, true);
+  // A single busy core: nearly all power is the package baseline.
+  EXPECT_GT(a.cpu.idle_power_per_socket_w / rep.chip_w, 0.9);
+}
+
+TEST(PowerModel, MpiWaitingStillBurnsPower) {
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel compute(a);
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.placement = mach::block_placement(a, 2);
+  cfg.compute = &compute;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.delay(1.0, "slow");
+      co_await c.send_bytes(1, 0, 8.0);
+    } else {
+      co_await c.recv_bytes(0, 0);  // spins for ~1 s
+    }
+  });
+  power::PowerModel pm(a);
+  const auto rep = pm.analyze(eng);
+  // Baseline + one stalled-ish core + one spinning core.
+  const double expected = a.cpu.idle_power_per_socket_w +
+                          a.cpu.core_power_stall_w + a.cpu.core_power_mpi_w;
+  EXPECT_NEAR(rep.chip_w, expected, 0.6);
+}
+
+TEST(ZPlot, MinEnergyAndEdpSelection) {
+  std::vector<power::OperatingPoint> pts{
+      {1, 1.0, 100.0}, {2, 1.9, 80.0}, {4, 3.5, 70.0}, {8, 4.0, 90.0}};
+  EXPECT_EQ(power::min_energy_point(pts), 2u);
+  // EDP ~ E/speedup: 100, 42.1, 20.0, 22.5 -> index 2.
+  EXPECT_EQ(power::min_edp_point(pts), 2u);
+}
+
+TEST(ZPlot, RaceToIdleWhenBaselineDominates) {
+  // Synthetic Z-plot from the power model itself: energy of a fixed-size
+  // memory-bound job vs cores on one ClusterA domain. High baseline power
+  // must push the energy minimum to (or next to) the full domain.
+  const auto a = mach::cluster_a();
+  mach::RooflineComputeModel compute(a);
+  std::vector<power::OperatingPoint> pts;
+  for (int cores = 1; cores <= 18; ++cores) {
+    sim::EngineConfig cfg;
+    cfg.nranks = cores;
+    cfg.placement = mach::block_placement(a, cores);
+    cfg.compute = &compute;
+    sim::Engine eng(cfg);
+    eng.run([&](sim::Comm& c) -> sim::Task<> {
+      sim::KernelWork w;
+      w.flops_simd = 1e8;
+      w.traffic = {100e9 / c.size(), 100e9 / c.size(), 100e9 / c.size()};
+      w.working_set_bytes = 1e12;
+      co_await c.compute(w);
+    });
+    power::PowerModel pm(a);
+    const auto rep = pm.analyze(eng);
+    pts.push_back({cores, 1.0 / rep.wall_s, rep.total_energy_j()});
+  }
+  const auto e_min = power::min_energy_point(pts);
+  const auto edp_min = power::min_edp_point(pts);
+  // Race-to-idle: both minima sit at high core counts and nearly coincide.
+  EXPECT_GE(pts[e_min].resources, 5);
+  EXPECT_LE(std::abs(static_cast<int>(e_min) - static_cast<int>(edp_min)), 2);
+  // Energy varies little across the saturated region (Sect. 4.3.1).
+  EXPECT_LT(pts.back().energy_j / pts[e_min].energy_j, 1.15);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Collectives: correctness of reductions/broadcasts for arbitrary rank
+// counts, barrier synchronization semantics, logarithmic cost growth, and
+// activity accounting (time lands in the collective's bucket).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+
+namespace {
+
+class FlatNetwork final : public sim::NetworkModel {
+ public:
+  explicit FlatNetwork(double lat = 1e-6, double bw = 1e9)
+      : lat_(lat), bw_(bw) {}
+  sim::TransferCost transfer(int, int, const sim::Placement&,
+                             double bytes) const override {
+    return {lat_ + bytes / bw_, lat_ + bytes / bw_};
+  }
+  double control_latency(int, int, const sim::Placement&) const override {
+    return lat_;
+  }
+
+ private:
+  double lat_, bw_;
+};
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, AllreduceSumsOverAllRanks) {
+  const int p = GetParam();
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = p;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  std::vector<double> results(static_cast<std::size_t>(p));
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    double v = co_await c.allreduce(static_cast<double>(c.rank() + 1),
+                                    sim::ReduceOp::kSum);
+    results[static_cast<std::size_t>(c.rank())] = v;
+  });
+  const double expect = p * (p + 1) / 2.0;
+  for (double v : results) EXPECT_DOUBLE_EQ(v, expect);
+}
+
+TEST_P(CollectiveSweep, AllreduceMaxMin) {
+  const int p = GetParam();
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = p;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    double mx = co_await c.allreduce(static_cast<double>(c.rank()),
+                                     sim::ReduceOp::kMax);
+    double mn = co_await c.allreduce(static_cast<double>(c.rank()),
+                                     sim::ReduceOp::kMin);
+    EXPECT_DOUBLE_EQ(mx, c.size() - 1.0);
+    EXPECT_DOUBLE_EQ(mn, 0.0);
+  });
+}
+
+TEST_P(CollectiveSweep, BcastDeliversRootVector) {
+  const int p = GetParam();
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = p;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  const int root = p / 2;
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    std::vector<double> data(8, c.rank() == root ? 42.0 : -1.0);
+    co_await c.bcast(std::span<double>(data), root);
+    for (double v : data) EXPECT_DOUBLE_EQ(v, 42.0);
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceAtRootOnly) {
+  const int p = GetParam();
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = p;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  const int root = p - 1;
+  std::vector<double> root_result(1, 0.0);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    std::vector<double> data{1.0};
+    co_await c.reduce(std::span<double>(data), sim::ReduceOp::kSum, root);
+    if (c.rank() == root) root_result[0] = data[0];
+  });
+  EXPECT_DOUBLE_EQ(root_result[0], static_cast<double>(p));
+}
+
+TEST_P(CollectiveSweep, BarrierHoldsBackEarlyRanks) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = p;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) co_await c.delay(1.0, "straggler");
+    co_await c.barrier();
+    EXPECT_GE(c.now(), 1.0);  // nobody leaves before the straggler arrives
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31,
+                                           59, 64, 104));
+
+TEST(CollectiveCost, AllreduceGrowsLogarithmically) {
+  auto time_allreduce = [](int p) {
+    FlatNetwork net(1e-5, 1e9);
+    sim::EngineConfig cfg;
+    cfg.nranks = p;
+    cfg.network = &net;
+    sim::Engine eng(cfg);
+    eng.run([&](sim::Comm& c) -> sim::Task<> {
+      co_await c.allreduce(1.0, sim::ReduceOp::kSum);
+    });
+    return eng.elapsed();
+  };
+  const double t4 = time_allreduce(4);
+  const double t16 = time_allreduce(16);
+  const double t64 = time_allreduce(64);
+  // log2: 2 -> 4 -> 6 rounds of reduce+bcast; ratios well below linear.
+  EXPECT_GT(t16, t4);
+  EXPECT_GT(t64, t16);
+  EXPECT_LT(t64 / t4, 6.0);  // linear growth would be 16x
+}
+
+TEST(CollectiveAccounting, TimeLandsInAllreduceBucket) {
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = 4;
+  cfg.network = &net;
+  cfg.enable_trace = true;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 3) co_await c.delay(0.5, "late");
+    co_await c.allreduce(1.0, sim::ReduceOp::kSum);
+  });
+  // Rank 0 waited for the straggler inside the allreduce.
+  EXPECT_NEAR(eng.counters(0).time(sim::Activity::kAllreduce), 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(eng.counters(0).time(sim::Activity::kRecv), 0.0);
+  EXPECT_EQ(eng.counters(0).collectives, 1);
+  // Trace shows one merged MPI_Allreduce interval for rank 0.
+  int allreduce_ivs = 0;
+  for (const auto& iv : eng.timeline().intervals())
+    if (iv.rank == 0 && iv.activity == sim::Activity::kAllreduce)
+      ++allreduce_ivs;
+  EXPECT_EQ(allreduce_ivs, 1);
+}
+
+TEST(CollectiveAccounting, BarrierCountsOncePerCall) {
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = 8;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    for (int i = 0; i < 3; ++i) co_await c.barrier();
+  });
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(eng.counters(r).collectives, 3);
+}
+
+TEST(CollectiveStress, ManyIterationsStayMatched) {
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = 13;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    double acc = 0.0;
+    for (int it = 0; it < 50; ++it) {
+      acc = co_await c.allreduce(acc + 1.0, sim::ReduceOp::kMax);
+      co_await c.barrier();
+    }
+    EXPECT_DOUBLE_EQ(acc, 50.0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Extended collectives: gather, allgather, modeled alltoall; plus
+// engine-level conservation/causality property tests over random traffic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+
+namespace {
+
+sim::EngineConfig cfg_n(int p) {
+  sim::EngineConfig cfg;
+  cfg.nranks = p;
+  return cfg;
+}
+
+class ExtraCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtraCollectives, GatherCollectsInRankOrder) {
+  const int p = GetParam();
+  sim::Engine eng(cfg_n(p));
+  const int root = p / 3;
+  std::vector<double> collected;
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    std::vector<double> mine{10.0 * c.rank(), 10.0 * c.rank() + 1};
+    std::vector<double> out(static_cast<std::size_t>(2 * p), -1.0);
+    co_await c.gather(std::span<const double>(mine), std::span<double>(out),
+                      root);
+    if (c.rank() == root) collected = out;
+  });
+  ASSERT_EQ(collected.size(), static_cast<std::size_t>(2 * p));
+  for (int r = 0; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(collected[static_cast<std::size_t>(2 * r)], 10.0 * r);
+    EXPECT_DOUBLE_EQ(collected[static_cast<std::size_t>(2 * r + 1)],
+                     10.0 * r + 1);
+  }
+}
+
+TEST_P(ExtraCollectives, AllgatherEveryRankGetsEverything) {
+  const int p = GetParam();
+  sim::Engine eng(cfg_n(p));
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    std::vector<double> mine{static_cast<double>(c.rank())};
+    std::vector<double> out(static_cast<std::size_t>(p), -1.0);
+    co_await c.allgather(std::span<const double>(mine),
+                         std::span<double>(out));
+    for (int r = 0; r < p; ++r)
+      EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(r)], r) << "p=" << p;
+  });
+}
+
+TEST_P(ExtraCollectives, AlltoallExchangesWithEveryPeer) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  sim::Engine eng(cfg_n(p));
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    co_await c.alltoall_bytes(1000.0);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(eng.counters(r).messages_sent, p - 1) << "p=" << p;
+    EXPECT_EQ(eng.counters(r).messages_received, p - 1) << "p=" << p;
+    EXPECT_DOUBLE_EQ(eng.counters(r).bytes_sent, 1000.0 * (p - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ExtraCollectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 27, 64));
+
+// --- engine-wide invariants over pseudo-random traffic --------------------
+
+struct TrafficCase {
+  int nranks;
+  int messages_per_rank;
+  unsigned seed;
+};
+
+class TrafficProperty : public ::testing::TestWithParam<TrafficCase> {};
+
+// xorshift for in-test determinism (engines must not use wall-clock RNG).
+unsigned next_rand(unsigned& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
+TEST_P(TrafficProperty, ConservationAndCausality) {
+  const auto [nranks, messages_per_rank, seed] = GetParam();
+  sim::EngineConfig cfg = cfg_n(nranks);
+  cfg.enable_trace = true;
+  sim::Engine eng(cfg);
+
+  // Every rank sends `messages_per_rank` eager messages to pseudo-random
+  // peers with per-peer tags, then receives everything addressed to it.
+  // A final allreduce of per-peer counts lets ranks know how many to expect.
+  eng.run([&, nranks = nranks, messages_per_rank = messages_per_rank,
+           seed = seed](sim::Comm& c) -> sim::Task<> {
+    unsigned s = seed + 77u * static_cast<unsigned>(c.rank());
+    std::vector<double> sent_to(static_cast<std::size_t>(c.size()), 0.0);
+    for (int m = 0; m < messages_per_rank; ++m) {
+      const int dst = static_cast<int>(next_rand(s) % static_cast<unsigned>(
+                                           c.size()));
+      co_await c.send_bytes(dst, /*tag=*/7, 64.0);
+      sent_to[static_cast<std::size_t>(dst)] += 1.0;
+    }
+    co_await c.allreduce(std::span<double>(sent_to), sim::ReduceOp::kSum);
+    const auto expect =
+        static_cast<int>(sent_to[static_cast<std::size_t>(c.rank())]);
+    for (int m = 0; m < expect; ++m)
+      co_await c.recv_bytes(sim::kAnySource, 7);
+  });
+
+  // Conservation: total bytes sent == total bytes received.
+  double sent = 0.0, received = 0.0;
+  std::int64_t msg_sent = 0, msg_recv = 0;
+  for (int r = 0; r < nranks; ++r) {
+    sent += eng.counters(r).bytes_sent;
+    received += eng.counters(r).bytes_received;
+    msg_sent += eng.counters(r).messages_sent;
+    msg_recv += eng.counters(r).messages_received;
+  }
+  EXPECT_DOUBLE_EQ(sent, received);
+  EXPECT_EQ(msg_sent, msg_recv);
+
+  // Causality / accounting: per-rank accounted time never exceeds its clock,
+  // and trace intervals are well-formed and within the run.
+  for (int r = 0; r < nranks; ++r)
+    EXPECT_LE(eng.counters(r).total_time(), eng.now(r) + 1e-12);
+  for (const auto& iv : eng.timeline().intervals()) {
+    EXPECT_LE(iv.t_begin, iv.t_end);
+    EXPECT_GE(iv.t_begin, 0.0);
+    EXPECT_LE(iv.t_end, eng.elapsed() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTraffic, TrafficProperty,
+    ::testing::Values(TrafficCase{2, 10, 1u}, TrafficCase{5, 20, 2u},
+                      TrafficCase{8, 50, 3u}, TrafficCase{13, 30, 4u},
+                      TrafficCase{32, 20, 5u}, TrafficCase{64, 10, 6u}));
+
+}  // namespace

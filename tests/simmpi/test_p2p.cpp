@@ -1,0 +1,280 @@
+// Point-to-point semantics: eager vs rendezvous, payload integrity,
+// nonblocking requests, wait-time accounting, ANY_SOURCE, deadlock reporting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+
+namespace {
+
+// Network with clean numbers: 1 us latency, 1 GB/s, same intra/inter node.
+class FlatNetwork final : public sim::NetworkModel {
+ public:
+  sim::TransferCost transfer(int, int, const sim::Placement&,
+                             double bytes) const override {
+    return {1e-6 + bytes / 1e9, 1e-6 + bytes / 1e9};
+  }
+  double control_latency(int, int, const sim::Placement&) const override {
+    return 1e-6;
+  }
+};
+
+sim::EngineConfig two_ranks(const sim::NetworkModel* net,
+                            double eager_threshold = 64 * 1024) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.network = net;
+  cfg.protocol.eager_threshold_bytes = eager_threshold;
+  return cfg;
+}
+
+TEST(P2P, EagerPayloadDelivered) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net));
+  std::vector<double> received(4);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+      co_await c.send(1, 7, std::span<const double>(data));
+    } else {
+      co_await c.recv(0, 7, std::span<double>(received));
+    }
+  });
+  EXPECT_EQ(received, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_EQ(eng.counters(0).messages_sent, 1);
+  EXPECT_EQ(eng.counters(1).messages_received, 1);
+  EXPECT_DOUBLE_EQ(eng.counters(1).bytes_received, 32.0);
+}
+
+TEST(P2P, EagerSenderDoesNotBlock) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net));
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.send_bytes(1, 0, 1000.0);
+      // Sender moves on immediately: only its own injection cost elapses.
+      EXPECT_LT(c.now(), 1e-4);
+    } else {
+      co_await c.delay(1.0);  // receiver late
+      co_await c.recv_bytes(0, 0);
+    }
+  });
+  EXPECT_LT(eng.now(0), 1e-4);
+  EXPECT_DOUBLE_EQ(eng.now(1), 1.0);  // message already arrived: no wait
+}
+
+TEST(P2P, RendezvousSenderBlocksUntilRecvPosted) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net, /*eager_threshold=*/100.0));
+  const double bytes = 1e6;  // > threshold -> rendezvous
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.send_bytes(1, 0, bytes);
+      // handshake at t=1.0 (+2 ctl lat) + 1 MB transfer at 1 GB/s ~ 1 ms
+      EXPECT_GT(c.now(), 1.0);
+    } else {
+      co_await c.delay(1.0);
+      co_await c.recv_bytes(0, 0);
+    }
+  });
+  // Sender spent ~1s blocked in MPI_Send.
+  EXPECT_NEAR(eng.counters(0).time(sim::Activity::kSend), 1.0, 0.01);
+  EXPECT_NEAR(eng.now(0), eng.now(1), 1e-12);  // both exit at transfer end
+}
+
+TEST(P2P, ForceEagerAblationUnblocksSender) {
+  FlatNetwork net;
+  sim::EngineConfig cfg = two_ranks(&net, 100.0);
+  cfg.protocol.force_eager = true;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.send_bytes(1, 0, 1e6);
+      EXPECT_LT(c.now(), 0.01);
+    } else {
+      co_await c.delay(1.0);
+      co_await c.recv_bytes(0, 0);
+    }
+  });
+  EXPECT_LT(eng.counters(0).time(sim::Activity::kSend), 0.01);
+}
+
+TEST(P2P, ReceiverWaitTimeAccounted) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net));
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.delay(2.0);  // sender late
+      co_await c.send_bytes(1, 0, 8.0);
+    } else {
+      co_await c.recv_bytes(0, 0);
+    }
+  });
+  EXPECT_NEAR(eng.counters(1).time(sim::Activity::kRecv), 2.0, 0.01);
+  EXPECT_NEAR(eng.now(1), 2.0, 0.01);
+}
+
+TEST(P2P, MessageOrderPreservedSameSrcTag) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net));
+  std::vector<double> first(1), second(1);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      std::vector<double> a{10.0}, b{20.0};
+      co_await c.send(1, 0, std::span<const double>(a));
+      co_await c.send(1, 0, std::span<const double>(b));
+    } else {
+      co_await c.recv(0, 0, std::span<double>(first));
+      co_await c.recv(0, 0, std::span<double>(second));
+    }
+  });
+  EXPECT_DOUBLE_EQ(first[0], 10.0);
+  EXPECT_DOUBLE_EQ(second[0], 20.0);
+}
+
+TEST(P2P, TagsSelectMessages) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net));
+  std::vector<double> got(1);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      std::vector<double> a{1.0}, b{2.0};
+      co_await c.send(1, 5, std::span<const double>(a));
+      co_await c.send(1, 9, std::span<const double>(b));
+    } else {
+      co_await c.recv(0, 9, std::span<double>(got));  // tag 9 first
+      EXPECT_DOUBLE_EQ(got[0], 2.0);
+      co_await c.recv(0, 5, std::span<double>(got));
+      EXPECT_DOUBLE_EQ(got[0], 1.0);
+    }
+  });
+}
+
+TEST(P2P, AnySourceMatches) {
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = 3;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  int received_total = 0;
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 2; ++i) {
+        double b = co_await c.recv_bytes(sim::kAnySource, sim::kAnyTag);
+        received_total += static_cast<int>(b);
+      }
+    } else {
+      co_await c.delay(0.1 * c.rank());
+      co_await c.send_bytes(0, c.rank(), 100.0 * c.rank());
+    }
+  });
+  EXPECT_EQ(received_total, 300);
+}
+
+TEST(P2P, NonblockingOverlapsCompute) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net, /*eager_threshold=*/100.0));
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      // Rendezvous isend does not block even though recv is late.
+      sim::Request r = c.isend_bytes(1, 0, 1e6);
+      co_await c.delay(0.5, "overlap");
+      co_await c.wait(r);
+      EXPECT_GT(c.now(), 1.0);  // wait absorbed the remaining handshake time
+    } else {
+      co_await c.delay(1.0);
+      co_await c.recv_bytes(0, 0);
+    }
+  });
+  // 0.5 s of the blocked period was hidden behind compute.
+  EXPECT_NEAR(eng.counters(0).time(sim::Activity::kWait), 0.5, 0.01);
+}
+
+TEST(P2P, IrecvThenWait) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net));
+  std::vector<double> buf(2);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.delay(0.3);
+      std::vector<double> v{7.0, 8.0};
+      co_await c.send(1, 1, std::span<const double>(v));
+    } else {
+      sim::Request r = c.irecv(0, 1, std::span<double>(buf));
+      co_await c.delay(0.1, "useful");
+      co_await c.wait(r);
+    }
+  });
+  EXPECT_DOUBLE_EQ(buf[0], 7.0);
+  EXPECT_DOUBLE_EQ(buf[1], 8.0);
+  EXPECT_NEAR(eng.counters(1).time(sim::Activity::kWait), 0.2, 0.01);
+}
+
+TEST(P2P, WaitAfterCompletionIsFree) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net));
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.send_bytes(1, 0, 8.0);
+    } else {
+      sim::Request r = c.irecv_bytes(0, 0);
+      co_await c.delay(1.0);
+      co_await c.wait(r);
+      EXPECT_NEAR(c.now(), 1.0, 1e-9);
+    }
+  });
+  EXPECT_LT(eng.counters(1).time(sim::Activity::kWait), 1e-9);
+}
+
+TEST(P2P, SendRecvExchanges) {
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = 4;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    // Ring shift: everyone sendrecvs simultaneously; must not deadlock.
+    const int right = (c.rank() + 1) % c.size();
+    const int left = (c.rank() + c.size() - 1) % c.size();
+    co_await c.sendrecv(right, 0, 1e5, left, 0);
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(eng.counters(r).messages_sent, 1);
+    EXPECT_EQ(eng.counters(r).messages_received, 1);
+  }
+}
+
+TEST(P2P, DeadlockIsReportedNotHung) {
+  FlatNetwork net;
+  sim::Engine eng(two_ranks(&net));
+  EXPECT_THROW(eng.run([](sim::Comm& c) -> sim::Task<> {
+                 co_await c.recv_bytes(1 - c.rank(), 0);  // both recv first
+               }),
+               std::runtime_error);
+}
+
+TEST(P2P, ManyRanksRingPipelines) {
+  FlatNetwork net;
+  sim::EngineConfig cfg;
+  cfg.nranks = 64;
+  cfg.network = &net;
+  sim::Engine eng(cfg);
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    // Open chain: rank 0 seeds; each rank forwards downstream.
+    std::vector<double> v{static_cast<double>(c.rank())};
+    if (c.rank() > 0)
+      co_await c.recv(c.rank() - 1, 0, std::span<double>(v));
+    v[0] += 1.0;
+    if (c.rank() + 1 < c.size())
+      co_await c.send(c.rank() + 1, 0, std::span<const double>(v));
+    if (c.rank() == c.size() - 1) {
+      EXPECT_DOUBLE_EQ(v[0], 64.0);
+    }
+  });
+}
+
+}  // namespace

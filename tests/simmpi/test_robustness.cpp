@@ -1,0 +1,179 @@
+// Failure injection and robustness: bad arguments, throwing models,
+// truncated buffers, pathological protocols, and deadlock diagnostics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+
+namespace {
+
+TEST(Robustness, SendToInvalidRankThrows) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine eng(std::move(cfg));
+  EXPECT_THROW(eng.run([](sim::Comm& c) -> sim::Task<> {
+                 co_await c.send_bytes(5, 0, 8.0);  // rank 5 does not exist
+               }),
+               std::out_of_range);
+}
+
+// A compute model that throws on a specific rank: the engine must surface
+// the exception, not hang or corrupt state.
+class FaultyComputeModel final : public sim::ComputeModel {
+ public:
+  explicit FaultyComputeModel(int faulty_rank) : faulty_(faulty_rank) {}
+  sim::ComputeOutcome evaluate(int rank, const sim::Placement&,
+                               const sim::KernelWork&) const override {
+    if (rank == faulty_)
+      throw std::runtime_error("injected compute-model failure");
+    return {1e-3, {}, 1.0};
+  }
+
+ private:
+  int faulty_;
+};
+
+TEST(Robustness, ThrowingComputeModelPropagates) {
+  FaultyComputeModel model(2);
+  sim::EngineConfig cfg;
+  cfg.nranks = 4;
+  cfg.compute = &model;
+  sim::Engine eng(std::move(cfg));
+  EXPECT_THROW(eng.run([](sim::Comm& c) -> sim::Task<> {
+                 sim::KernelWork w;
+                 w.flops_scalar = 1.0;
+                 co_await c.compute(w);
+               }),
+               std::runtime_error);
+}
+
+TEST(Robustness, RecvBufferTruncationIsSafe) {
+  // A 4-double message received into a 2-double buffer: only the buffer's
+  // capacity is written; the reported size is the full message.
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine eng(std::move(cfg));
+  std::vector<double> small(3, -1.0);
+  double reported = 0.0;
+  eng.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      std::vector<double> big{1, 2, 3, 4};
+      co_await c.send(1, 0, std::span<const double>(big));
+    } else {
+      reported = co_await c.recv(
+          0, 0, std::span<double>(small.data(), 2));  // capacity 2
+    }
+  });
+  EXPECT_DOUBLE_EQ(small[0], 1.0);
+  EXPECT_DOUBLE_EQ(small[1], 2.0);
+  EXPECT_DOUBLE_EQ(small[2], -1.0);  // untouched guard
+  EXPECT_DOUBLE_EQ(reported, 32.0);  // full message size in bytes
+}
+
+TEST(Robustness, DeadlockReportNamesTheBlockedEndpoints) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 3;
+  sim::Engine eng(std::move(cfg));
+  try {
+    eng.run([](sim::Comm& c) -> sim::Task<> {
+      if (c.rank() == 1) co_await c.recv_bytes(2, 77);  // never sent
+    });
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos);
+    EXPECT_NE(msg.find("rank 1"), std::string::npos);
+    EXPECT_NE(msg.find("tag=77"), std::string::npos);
+  }
+}
+
+TEST(Robustness, MismatchedCollectiveSizesDeadlockDeterministically) {
+  // Rank 0 calls barrier, rank 1 does not: the run must end in a reported
+  // deadlock, never a hang.
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine eng(std::move(cfg));
+  EXPECT_THROW(eng.run([](sim::Comm& c) -> sim::Task<> {
+                 if (c.rank() == 0) co_await c.barrier();
+               }),
+               std::runtime_error);
+}
+
+TEST(Robustness, ZeroByteMessagesFlowThroughBothProtocols) {
+  for (bool force_eager : {false, true}) {
+    sim::EngineConfig cfg;
+    cfg.nranks = 2;
+    cfg.protocol.force_eager = force_eager;
+    cfg.protocol.eager_threshold_bytes = -1.0;  // 0-byte still > threshold
+    sim::Engine eng(std::move(cfg));
+    eng.run([](sim::Comm& c) -> sim::Task<> {
+      if (c.rank() == 0)
+        co_await c.send_bytes(1, 0, 0.0);
+      else
+        co_await c.recv_bytes(0, 0);
+    });
+    EXPECT_EQ(eng.counters(1).messages_received, 1);
+  }
+}
+
+TEST(Robustness, ExtremeEagerThresholdsBothWork) {
+  for (double threshold : {0.0, 1e18}) {
+    sim::EngineConfig cfg;
+    cfg.nranks = 4;
+    cfg.protocol.eager_threshold_bytes = threshold;
+    sim::Engine eng(std::move(cfg));
+    eng.run([](sim::Comm& c) -> sim::Task<> {
+      // All-pairs exchange with 1 MB messages under both extremes.
+      for (int peer = 0; peer < c.size(); ++peer) {
+        if (peer == c.rank()) continue;
+        sim::Request s = c.isend_bytes(peer, 3, 1e6);
+        co_await c.recv_bytes(peer, 3);
+        co_await c.wait(s);
+      }
+    });
+    for (int r = 0; r < 4; ++r)
+      EXPECT_EQ(eng.counters(r).messages_received, 3);
+  }
+}
+
+TEST(Robustness, ManySmallMessagesDoNotAccumulateState) {
+  // Stress the matching queues: every message must be consumed.
+  sim::EngineConfig cfg;
+  cfg.nranks = 6;
+  sim::Engine eng(std::move(cfg));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    for (int i = 0; i < 500; ++i) {
+      co_await c.send_bytes(next, i % 7, 16.0);
+      co_await c.recv_bytes(prev, i % 7);
+    }
+  });
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(eng.counters(r).messages_sent, 500);
+    EXPECT_EQ(eng.counters(r).messages_received, 500);
+  }
+}
+
+TEST(Robustness, WaitingOnTheSameRequestTwiceIsIdempotent) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine eng(std::move(cfg));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      co_await c.send_bytes(1, 0, 8.0);
+    } else {
+      sim::Request r = c.irecv_bytes(0, 0);
+      co_await c.wait(r);
+      const double t_after_first = c.now();
+      co_await c.wait(r);  // second wait on a complete request: free
+      EXPECT_DOUBLE_EQ(c.now(), t_after_first);
+    }
+  });
+}
+
+}  // namespace

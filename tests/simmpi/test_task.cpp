@@ -1,0 +1,149 @@
+// Engine/task fundamentals: virtual clocks, compute costing, determinism,
+// nested tasks, exception propagation, measurement snapshots.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+
+namespace {
+
+sim::KernelWork flops_work(double scalar_flops, const char* label = "k") {
+  sim::KernelWork w;
+  w.flops_scalar = scalar_flops;
+  w.label = label;
+  return w;
+}
+
+sim::EngineConfig cfg_n(int nranks, bool trace = false) {
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  cfg.enable_trace = trace;
+  return cfg;
+}
+
+TEST(EngineBasics, SingleRankComputeAdvancesClock) {
+  sim::Engine eng(cfg_n(1));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    co_await c.compute(flops_work(2e9));  // 2 Gflop at 1 Gflop/s scalar
+  });
+  EXPECT_DOUBLE_EQ(eng.elapsed(), 2.0);
+  EXPECT_DOUBLE_EQ(eng.counters(0).flops_scalar, 2e9);
+  EXPECT_DOUBLE_EQ(eng.counters(0).time(sim::Activity::kCompute), 2.0);
+}
+
+TEST(EngineBasics, DelayIsExact) {
+  sim::Engine eng(cfg_n(3));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    co_await c.delay(0.5 * (c.rank() + 1));
+  });
+  EXPECT_DOUBLE_EQ(eng.now(0), 0.5);
+  EXPECT_DOUBLE_EQ(eng.now(1), 1.0);
+  EXPECT_DOUBLE_EQ(eng.now(2), 1.5);
+  EXPECT_DOUBLE_EQ(eng.elapsed(), 1.5);
+}
+
+TEST(EngineBasics, RanksRunIndependently) {
+  sim::Engine eng(cfg_n(4));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    for (int i = 0; i < c.rank() + 1; ++i) co_await c.compute(flops_work(1e9));
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(eng.now(r), r + 1.0);
+}
+
+TEST(EngineBasics, NestedTasksPropagateValues) {
+  sim::Engine eng(cfg_n(1));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    auto helper = [](sim::Comm& cc, double s) -> sim::Task<double> {
+      co_await cc.delay(s);
+      co_return s * 2.0;
+    };
+    double v = co_await helper(c, 0.25);
+    EXPECT_DOUBLE_EQ(v, 0.5);
+    double w = co_await helper(c, 0.25);
+    EXPECT_DOUBLE_EQ(w, 0.5);
+  });
+  EXPECT_DOUBLE_EQ(eng.elapsed(), 0.5);
+}
+
+TEST(EngineBasics, ExceptionInRankPropagates) {
+  sim::Engine eng(cfg_n(2));
+  EXPECT_THROW(eng.run([](sim::Comm& c) -> sim::Task<> {
+                 co_await c.delay(0.1);
+                 if (c.rank() == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+}
+
+TEST(EngineBasics, RunTwiceIsAnError) {
+  sim::Engine eng(cfg_n(1));
+  auto noop = [](sim::Comm&) -> sim::Task<> { co_return; };
+  eng.run(noop);
+  EXPECT_THROW(eng.run(noop), std::logic_error);
+}
+
+TEST(EngineBasics, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Engine eng(cfg_n(8));
+    eng.run([](sim::Comm& c) -> sim::Task<> {
+      for (int it = 0; it < 5; ++it) {
+        co_await c.compute(flops_work(1e8 * (c.rank() + 1)));
+        co_await c.barrier();
+      }
+    });
+    return eng.elapsed();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_EQ(a, b);  // bit-identical
+}
+
+TEST(Measurement, SnapshotsExcludeWarmup) {
+  sim::Engine eng(cfg_n(2));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    co_await c.compute(flops_work(5e9, "warmup"));
+    co_await c.barrier();
+    c.begin_measurement();
+    co_await c.compute(flops_work(1e9, "measured"));
+  });
+  EXPECT_DOUBLE_EQ(eng.measured(0).flops_scalar, 1e9);
+  EXPECT_DOUBLE_EQ(eng.measured(1).flops_scalar, 1e9);
+  EXPECT_NEAR(eng.measured_wall(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(eng.measured_total().flops_scalar, 2e9);
+}
+
+TEST(Measurement, WithoutSnapshotMeasuredEqualsTotal) {
+  sim::Engine eng(cfg_n(1));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    co_await c.compute(flops_work(3e9));
+  });
+  EXPECT_DOUBLE_EQ(eng.measured(0).flops_scalar, 3e9);
+  EXPECT_DOUBLE_EQ(eng.measured_wall(), 3.0);
+}
+
+TEST(Trace, ComputeIntervalsRecorded) {
+  sim::Engine eng(cfg_n(1, true));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    co_await c.compute(flops_work(1e9, "phase_a"));
+    co_await c.compute(flops_work(1e9, "phase_b"));
+  });
+  const auto& ivs = eng.timeline().intervals();
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0].label, "phase_a");
+  EXPECT_DOUBLE_EQ(ivs[0].t_begin, 0.0);
+  EXPECT_DOUBLE_EQ(ivs[0].t_end, 1.0);
+  EXPECT_EQ(ivs[1].label, "phase_b");
+  EXPECT_DOUBLE_EQ(ivs[1].t_end, 2.0);
+}
+
+TEST(EngineConfigValidation, RejectsBadConfigs) {
+  EXPECT_THROW(sim::Engine(cfg_n(0)), std::invalid_argument);
+  sim::EngineConfig cfg;
+  cfg.nranks = 4;
+  cfg.placement = sim::Placement::single_domain(3);
+  EXPECT_THROW(sim::Engine{cfg}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// spechpc_cli: command-line front end of the library for downstream users.
+//
+//   spechpc_cli list
+//   spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]
+//                     [--ranks N | --nodes N] [--steps N] [--eager]
+//   spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]
+//                     [--max-ranks N]
+//   spechpc_cli trace <app> [--cluster A|B] [--ranks N]
+//                     [--chrome out.json] [--csv out.csv]
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spechpc.hpp"
+
+using namespace spechpc;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string app;
+  std::string cluster = "A";
+  std::string workload = "tiny";
+  std::optional<int> ranks;
+  std::optional<int> nodes;
+  int steps = 3;
+  int max_ranks = 0;
+  bool eager = false;
+  std::string chrome_out;
+  std::string csv_out;
+};
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  spechpc_cli list\n"
+         "  spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]\n"
+         "                    [--ranks N | --nodes N] [--steps N] [--eager]\n"
+         "  spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]\n"
+         "                    [--max-ranks N]\n"
+         "  spechpc_cli trace <app> [--cluster A|B] [--ranks N]\n"
+         "                    [--chrome out.json] [--csv out.csv]\n";
+  return 2;
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args a;
+  a.command = argv[1];
+  int i = 2;
+  if (a.command != "list") {
+    if (i >= argc) return std::nullopt;
+    a.app = argv[i++];
+  }
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (flag == "--eager") {
+      a.eager = true;
+    } else if (flag == "--cluster") {
+      if (auto v = next()) a.cluster = *v; else return std::nullopt;
+    } else if (flag == "--workload") {
+      if (auto v = next()) a.workload = *v; else return std::nullopt;
+    } else if (flag == "--ranks") {
+      if (auto v = next()) a.ranks = std::stoi(*v); else return std::nullopt;
+    } else if (flag == "--nodes") {
+      if (auto v = next()) a.nodes = std::stoi(*v); else return std::nullopt;
+    } else if (flag == "--steps") {
+      if (auto v = next()) a.steps = std::stoi(*v); else return std::nullopt;
+    } else if (flag == "--max-ranks") {
+      if (auto v = next()) a.max_ranks = std::stoi(*v); else return std::nullopt;
+    } else if (flag == "--chrome") {
+      if (auto v = next()) a.chrome_out = *v; else return std::nullopt;
+    } else if (flag == "--csv") {
+      if (auto v = next()) a.csv_out = *v; else return std::nullopt;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return std::nullopt;
+    }
+  }
+  return a;
+}
+
+mach::ClusterSpec pick_cluster(const std::string& name) {
+  if (name == "A" || name == "a") return mach::cluster_a();
+  if (name == "B" || name == "b") return mach::cluster_b();
+  throw std::invalid_argument("unknown cluster (use A or B): " + name);
+}
+
+core::Workload pick_workload(const std::string& name) {
+  if (name == "tiny") return core::Workload::kTiny;
+  if (name == "small") return core::Workload::kSmall;
+  throw std::invalid_argument("unknown workload (tiny|small): " + name);
+}
+
+int cmd_list() {
+  perf::Table t({"app", "language", "collective", "class", "domain"});
+  for (const auto& e : core::suite())
+    t.add_row({e.info.name, e.info.language, e.info.collective,
+               e.info.memory_bound ? "memory-bound" : "compute/mixed",
+               e.info.domain});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const Args& a) {
+  const auto cluster = pick_cluster(a.cluster);
+  auto app = core::make_app(a.app, pick_workload(a.workload));
+  app->set_measured_steps(a.steps);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.protocol.force_eager = a.eager;
+
+  core::RunResult r =
+      a.nodes ? core::run_on_nodes(*app, cluster, *a.nodes, opts)
+              : core::run_benchmark(
+                    *app, cluster,
+                    a.ranks.value_or(cluster.cores_per_node()), opts);
+  const auto& m = r.metrics();
+  perf::Table t({"metric", "value"});
+  t.add_row({"ranks", std::to_string(m.nranks)});
+  t.add_row({"nodes", std::to_string(m.nodes)});
+  t.add_row({"time per step [s]", perf::Table::num(r.seconds_per_step(), 5)});
+  t.add_row({"DP performance [Gflop/s]",
+             perf::Table::num(m.performance() / 1e9, 1)});
+  t.add_row({"vectorization [%]",
+             perf::Table::num(100 * m.vectorization_ratio(), 1)});
+  t.add_row({"memory bandwidth [GB/s]",
+             perf::Table::num(m.mem_bandwidth() / 1e9, 1)});
+  t.add_row({"MPI fraction [%]", perf::Table::num(100 * m.mpi_fraction(), 1)});
+  t.add_row({"chip power [W]", perf::Table::num(r.power().chip_w, 1)});
+  t.add_row({"DRAM power [W]", perf::Table::num(r.power().dram_w, 1)});
+  t.add_row({"energy [J]", perf::Table::num(r.power().total_energy_j(), 1)});
+  t.add_row({"EDP [Js]", perf::Table::num(r.power().edp(), 2)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  const auto cluster = pick_cluster(a.cluster);
+  auto app = core::make_app(a.app, pick_workload(a.workload));
+  app->set_measured_steps(a.steps);
+  app->set_warmup_steps(1);
+  const int maxr =
+      a.max_ranks > 0 ? a.max_ranks : cluster.cores_per_node();
+  perf::Table t({"ranks", "t/step [s]", "speedup", "GB/s", "chip W", "J/step"});
+  double t1 = 0.0;
+  for (int p = 1; p <= maxr; ++p) {
+    const auto r = core::run_benchmark(*app, cluster, p);
+    if (p == 1) t1 = r.seconds_per_step();
+    t.add_row({std::to_string(p), perf::Table::num(r.seconds_per_step(), 5),
+               perf::Table::num(t1 / r.seconds_per_step(), 2),
+               perf::Table::num(r.metrics().mem_bandwidth() / 1e9, 1),
+               perf::Table::num(r.power().chip_w, 0),
+               perf::Table::num(
+                   r.power().total_energy_j() / app->measured_steps(), 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_trace(const Args& a) {
+  const auto cluster = pick_cluster(a.cluster);
+  auto app = core::make_app(a.app, pick_workload(a.workload));
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.trace = true;
+  const int ranks = a.ranks.value_or(cluster.cpu.cores_per_domain());
+  const auto r = core::run_benchmark(*app, cluster, ranks, opts);
+
+  if (!a.chrome_out.empty()) {
+    std::ofstream f(a.chrome_out);
+    perf::export_chrome_trace(r.engine().timeline(), f);
+    std::cout << "wrote Chrome trace to " << a.chrome_out << "\n";
+  }
+  if (!a.csv_out.empty()) {
+    std::ofstream f(a.csv_out);
+    perf::export_csv(r.engine().timeline(), f);
+    std::cout << "wrote CSV trace to " << a.csv_out << "\n";
+  }
+  if (a.chrome_out.empty() && a.csv_out.empty())
+    std::cout << perf::render_ascii(r.engine().timeline(),
+                                    std::min(ranks, 24), 100);
+  const auto fr = perf::activity_fractions(r.engine().timeline());
+  perf::Table t({"activity", "share [%]"});
+  for (const auto& [act, share] : fr)
+    t.add_row({std::string(sim::to_string(act)),
+               perf::Table::num(100.0 * share, 1)});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "list") return cmd_list();
+    if (args->command == "run") return cmd_run(*args);
+    if (args->command == "sweep") return cmd_sweep(*args);
+    if (args->command == "trace") return cmd_trace(*args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
