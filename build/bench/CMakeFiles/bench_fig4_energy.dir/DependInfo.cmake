@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_energy.cpp" "bench/CMakeFiles/bench_fig4_energy.dir/bench_fig4_energy.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_energy.dir/bench_fig4_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spechpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/spechpc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/spechpc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/spechpc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/spechpc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spechpc_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

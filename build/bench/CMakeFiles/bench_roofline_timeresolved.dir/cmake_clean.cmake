@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roofline_timeresolved.dir/bench_roofline_timeresolved.cpp.o"
+  "CMakeFiles/bench_roofline_timeresolved.dir/bench_roofline_timeresolved.cpp.o.d"
+  "bench_roofline_timeresolved"
+  "bench_roofline_timeresolved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roofline_timeresolved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_scaling_study.dir/node_scaling_study.cpp.o"
+  "CMakeFiles/node_scaling_study.dir/node_scaling_study.cpp.o.d"
+  "node_scaling_study"
+  "node_scaling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_minisweep.dir/trace_minisweep.cpp.o"
+  "CMakeFiles/trace_minisweep.dir/trace_minisweep.cpp.o.d"
+  "trace_minisweep"
+  "trace_minisweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_minisweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

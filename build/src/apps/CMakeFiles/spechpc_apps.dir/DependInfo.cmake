@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_base.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/app_base.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/app_base.cpp.o.d"
+  "/root/repo/src/apps/cloverleaf/cloverleaf_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/cloverleaf/cloverleaf_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/cloverleaf/cloverleaf_kernel.cpp.o.d"
+  "/root/repo/src/apps/cloverleaf/cloverleaf_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/cloverleaf/cloverleaf_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/cloverleaf/cloverleaf_proxy.cpp.o.d"
+  "/root/repo/src/apps/decomp.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/decomp.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/decomp.cpp.o.d"
+  "/root/repo/src/apps/distributed/distributed_cloverleaf.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/distributed/distributed_cloverleaf.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/distributed/distributed_cloverleaf.cpp.o.d"
+  "/root/repo/src/apps/distributed/distributed_heat.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/distributed/distributed_heat.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/distributed/distributed_heat.cpp.o.d"
+  "/root/repo/src/apps/distributed/distributed_lbm.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/distributed/distributed_lbm.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/distributed/distributed_lbm.cpp.o.d"
+  "/root/repo/src/apps/hpgmg/hpgmg_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/hpgmg/hpgmg_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/hpgmg/hpgmg_kernel.cpp.o.d"
+  "/root/repo/src/apps/hpgmg/hpgmg_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/hpgmg/hpgmg_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/hpgmg/hpgmg_proxy.cpp.o.d"
+  "/root/repo/src/apps/lbm/lbm_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/lbm/lbm_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/lbm/lbm_kernel.cpp.o.d"
+  "/root/repo/src/apps/lbm/lbm_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/lbm/lbm_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/lbm/lbm_proxy.cpp.o.d"
+  "/root/repo/src/apps/minisweep/minisweep_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/minisweep/minisweep_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/minisweep/minisweep_kernel.cpp.o.d"
+  "/root/repo/src/apps/minisweep/minisweep_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/minisweep/minisweep_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/minisweep/minisweep_proxy.cpp.o.d"
+  "/root/repo/src/apps/pot3d/pot3d_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/pot3d/pot3d_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/pot3d/pot3d_kernel.cpp.o.d"
+  "/root/repo/src/apps/pot3d/pot3d_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/pot3d/pot3d_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/pot3d/pot3d_proxy.cpp.o.d"
+  "/root/repo/src/apps/soma/soma_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/soma/soma_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/soma/soma_kernel.cpp.o.d"
+  "/root/repo/src/apps/soma/soma_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/soma/soma_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/soma/soma_proxy.cpp.o.d"
+  "/root/repo/src/apps/sphexa/sphexa_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/sphexa/sphexa_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/sphexa/sphexa_kernel.cpp.o.d"
+  "/root/repo/src/apps/sphexa/sphexa_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/sphexa/sphexa_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/sphexa/sphexa_proxy.cpp.o.d"
+  "/root/repo/src/apps/tealeaf/tealeaf_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/tealeaf/tealeaf_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/tealeaf/tealeaf_kernel.cpp.o.d"
+  "/root/repo/src/apps/tealeaf/tealeaf_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/tealeaf/tealeaf_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/tealeaf/tealeaf_proxy.cpp.o.d"
+  "/root/repo/src/apps/weather/weather_kernel.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/weather/weather_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/weather/weather_kernel.cpp.o.d"
+  "/root/repo/src/apps/weather/weather_proxy.cpp" "src/apps/CMakeFiles/spechpc_apps.dir/weather/weather_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/spechpc_apps.dir/weather/weather_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/spechpc_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spechpc_core.dir/runner.cpp.o"
+  "CMakeFiles/spechpc_core.dir/runner.cpp.o.d"
+  "CMakeFiles/spechpc_core.dir/suite.cpp.o"
+  "CMakeFiles/spechpc_core.dir/suite.cpp.o.d"
+  "libspechpc_core.a"
+  "libspechpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spechpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/roofline.cpp" "src/machine/CMakeFiles/spechpc_machine.dir/roofline.cpp.o" "gcc" "src/machine/CMakeFiles/spechpc_machine.dir/roofline.cpp.o.d"
+  "/root/repo/src/machine/specs.cpp" "src/machine/CMakeFiles/spechpc_machine.dir/specs.cpp.o" "gcc" "src/machine/CMakeFiles/spechpc_machine.dir/specs.cpp.o.d"
+  "/root/repo/src/machine/topology.cpp" "src/machine/CMakeFiles/spechpc_machine.dir/topology.cpp.o" "gcc" "src/machine/CMakeFiles/spechpc_machine.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/spechpc_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spechpc_machine.dir/roofline.cpp.o"
+  "CMakeFiles/spechpc_machine.dir/roofline.cpp.o.d"
+  "CMakeFiles/spechpc_machine.dir/specs.cpp.o"
+  "CMakeFiles/spechpc_machine.dir/specs.cpp.o.d"
+  "CMakeFiles/spechpc_machine.dir/topology.cpp.o"
+  "CMakeFiles/spechpc_machine.dir/topology.cpp.o.d"
+  "libspechpc_machine.a"
+  "libspechpc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spechpc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/tables.cpp" "src/perf/CMakeFiles/spechpc_perf.dir/tables.cpp.o" "gcc" "src/perf/CMakeFiles/spechpc_perf.dir/tables.cpp.o.d"
+  "/root/repo/src/perf/timeline_render.cpp" "src/perf/CMakeFiles/spechpc_perf.dir/timeline_render.cpp.o" "gcc" "src/perf/CMakeFiles/spechpc_perf.dir/timeline_render.cpp.o.d"
+  "/root/repo/src/perf/timeseries.cpp" "src/perf/CMakeFiles/spechpc_perf.dir/timeseries.cpp.o" "gcc" "src/perf/CMakeFiles/spechpc_perf.dir/timeseries.cpp.o.d"
+  "/root/repo/src/perf/trace_export.cpp" "src/perf/CMakeFiles/spechpc_perf.dir/trace_export.cpp.o" "gcc" "src/perf/CMakeFiles/spechpc_perf.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/spechpc_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spechpc_perf.dir/tables.cpp.o"
+  "CMakeFiles/spechpc_perf.dir/tables.cpp.o.d"
+  "CMakeFiles/spechpc_perf.dir/timeline_render.cpp.o"
+  "CMakeFiles/spechpc_perf.dir/timeline_render.cpp.o.d"
+  "CMakeFiles/spechpc_perf.dir/timeseries.cpp.o"
+  "CMakeFiles/spechpc_perf.dir/timeseries.cpp.o.d"
+  "CMakeFiles/spechpc_perf.dir/trace_export.cpp.o"
+  "CMakeFiles/spechpc_perf.dir/trace_export.cpp.o.d"
+  "libspechpc_perf.a"
+  "libspechpc_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spechpc_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

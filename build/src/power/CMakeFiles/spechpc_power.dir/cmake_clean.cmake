@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spechpc_power.dir/power_model.cpp.o"
+  "CMakeFiles/spechpc_power.dir/power_model.cpp.o.d"
+  "libspechpc_power.a"
+  "libspechpc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spechpc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spechpc_simmpi.dir/collectives.cpp.o"
+  "CMakeFiles/spechpc_simmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/spechpc_simmpi.dir/engine.cpp.o"
+  "CMakeFiles/spechpc_simmpi.dir/engine.cpp.o.d"
+  "libspechpc_simmpi.a"
+  "libspechpc_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spechpc_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_decomp.dir/apps/test_decomp.cpp.o"
+  "CMakeFiles/test_apps_decomp.dir/apps/test_decomp.cpp.o.d"
+  "test_apps_decomp"
+  "test_apps_decomp.pdb"
+  "test_apps_decomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

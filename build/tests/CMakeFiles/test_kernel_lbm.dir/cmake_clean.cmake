@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_lbm.dir/apps/test_kernel_lbm.cpp.o"
+  "CMakeFiles/test_kernel_lbm.dir/apps/test_kernel_lbm.cpp.o.d"
+  "test_kernel_lbm"
+  "test_kernel_lbm.pdb"
+  "test_kernel_lbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_physics.dir/apps/test_kernel_physics.cpp.o"
+  "CMakeFiles/test_kernel_physics.dir/apps/test_kernel_physics.cpp.o.d"
+  "test_kernel_physics"
+  "test_kernel_physics.pdb"
+  "test_kernel_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_solvers.dir/apps/test_kernel_solvers.cpp.o"
+  "CMakeFiles/test_kernel_solvers.dir/apps/test_kernel_solvers.cpp.o.d"
+  "test_kernel_solvers"
+  "test_kernel_solvers.pdb"
+  "test_kernel_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

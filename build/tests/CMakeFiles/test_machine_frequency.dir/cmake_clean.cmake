@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_frequency.dir/machine/test_frequency.cpp.o"
+  "CMakeFiles/test_machine_frequency.dir/machine/test_frequency.cpp.o.d"
+  "test_machine_frequency"
+  "test_machine_frequency.pdb"
+  "test_machine_frequency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_roofline.dir/machine/test_roofline.cpp.o"
+  "CMakeFiles/test_machine_roofline.dir/machine/test_roofline.cpp.o.d"
+  "test_machine_roofline"
+  "test_machine_roofline.pdb"
+  "test_machine_roofline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

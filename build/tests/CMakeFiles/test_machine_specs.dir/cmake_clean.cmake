@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_specs.dir/machine/test_specs_topology.cpp.o"
+  "CMakeFiles/test_machine_specs.dir/machine/test_specs_topology.cpp.o.d"
+  "test_machine_specs"
+  "test_machine_specs.pdb"
+  "test_machine_specs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_timeseries.dir/perf/test_timeseries.cpp.o"
+  "CMakeFiles/test_perf_timeseries.dir/perf/test_timeseries.cpp.o.d"
+  "test_perf_timeseries"
+  "test_perf_timeseries.pdb"
+  "test_perf_timeseries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

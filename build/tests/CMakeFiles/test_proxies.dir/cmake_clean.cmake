@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxies.dir/apps/test_proxies.cpp.o"
+  "CMakeFiles/test_proxies.dir/apps/test_proxies.cpp.o.d"
+  "test_proxies"
+  "test_proxies.pdb"
+  "test_proxies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

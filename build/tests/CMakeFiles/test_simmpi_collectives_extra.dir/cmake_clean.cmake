@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_collectives_extra.dir/simmpi/test_collectives_extra.cpp.o"
+  "CMakeFiles/test_simmpi_collectives_extra.dir/simmpi/test_collectives_extra.cpp.o.d"
+  "test_simmpi_collectives_extra"
+  "test_simmpi_collectives_extra.pdb"
+  "test_simmpi_collectives_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_collectives_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

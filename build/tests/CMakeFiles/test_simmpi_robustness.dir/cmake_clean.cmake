@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_robustness.dir/simmpi/test_robustness.cpp.o"
+  "CMakeFiles/test_simmpi_robustness.dir/simmpi/test_robustness.cpp.o.d"
+  "test_simmpi_robustness"
+  "test_simmpi_robustness.pdb"
+  "test_simmpi_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_subcomm.dir/simmpi/test_subcomm.cpp.o"
+  "CMakeFiles/test_simmpi_subcomm.dir/simmpi/test_subcomm.cpp.o.d"
+  "test_simmpi_subcomm"
+  "test_simmpi_subcomm.pdb"
+  "test_simmpi_subcomm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_subcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_task.dir/simmpi/test_task.cpp.o"
+  "CMakeFiles/test_simmpi_task.dir/simmpi/test_task.cpp.o.d"
+  "test_simmpi_task"
+  "test_simmpi_task.pdb"
+  "test_simmpi_task[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

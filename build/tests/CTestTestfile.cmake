@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simmpi_task[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi_p2p[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_specs[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_roofline[1]_include.cmake")
+include("/root/repo/build/tests/test_power_model[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_decomp[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_lbm[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_physics[1]_include.cmake")
+include("/root/repo/build/tests/test_proxies[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi_collectives_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_timeseries[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_frequency[1]_include.cmake")
+include("/root/repo/build/tests/test_core_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi_subcomm[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi_robustness[1]_include.cmake")

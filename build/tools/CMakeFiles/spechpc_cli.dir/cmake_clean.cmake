@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spechpc_cli.dir/spechpc_cli.cpp.o"
+  "CMakeFiles/spechpc_cli.dir/spechpc_cli.cpp.o.d"
+  "spechpc_cli"
+  "spechpc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spechpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
