@@ -1,0 +1,177 @@
+// Raw SimMPI engine throughput at scale.
+//
+// Times the discrete-event core itself (no Roofline/power models in the
+// synthetic patterns): scheduler events per second and point-to-point
+// matches per second at 64 / 512 / 1664 ranks, under
+//   * halo   -- nearest-neighbor exchange, the common tiny-queue regime,
+//   * fanin  -- all ranks flood rank 0, receives posted against the deepest
+//               possible unexpected queue (the regime the per-(src, tag)
+//               index exists for),
+// plus the paper's 1664-rank lbm / minisweep small-workload configurations
+// end to end.  Results print as a table and are written to
+// BENCH_engine.json for machine consumption.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "simmpi/comm.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string pattern;
+  int ranks = 0;
+  double seconds = 0.0;  // best-of-3 host wall-clock
+  std::uint64_t events = 0;
+  std::uint64_t matches = 0;
+
+  double events_per_sec() const { return events / seconds; }
+  double matches_per_sec() const { return matches / seconds; }
+};
+
+/// Runs `make_engine_and_run` three times, keeping counters of the last run
+/// and the best host time.
+Row bench(const std::string& pattern, int ranks,
+          const std::function<void(Row&)>& run_once) {
+  Row best;
+  best.pattern = pattern;
+  best.ranks = ranks;
+  best.seconds = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    Row r;
+    const auto t0 = Clock::now();
+    run_once(r);
+    const auto t1 = Clock::now();
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (r.seconds < best.seconds) {
+      best.seconds = r.seconds;
+      best.events = r.events;
+      best.matches = r.matches;
+    }
+  }
+  return best;
+}
+
+std::uint64_t total_matches(const sim::Engine& e) {
+  std::uint64_t m = 0;
+  for (int r = 0; r < e.nranks(); ++r)
+    m += static_cast<std::uint64_t>(e.counters(r).messages_received);
+  return m;
+}
+
+/// Nearest-neighbor ring exchange: every rank isends to both neighbors and
+/// receives from both, `steps` times.  Queues stay 1-2 entries deep.
+Row bench_halo(int ranks, int steps) {
+  return bench("halo", ranks, [=](Row& out) {
+    sim::EngineConfig cfg;
+    cfg.nranks = ranks;
+    sim::Engine engine(std::move(cfg));
+    engine.run([&](sim::Comm& c) -> sim::Task<> {
+      const int n = c.size();
+      const int left = (c.rank() + n - 1) % n;
+      const int right = (c.rank() + 1) % n;
+      for (int s = 0; s < steps; ++s) {
+        std::vector<sim::Request> reqs;
+        reqs.push_back(c.irecv_bytes(left, s));
+        reqs.push_back(c.irecv_bytes(right, s));
+        reqs.push_back(c.isend_bytes(left, s, 1024.0));
+        reqs.push_back(c.isend_bytes(right, s, 1024.0));
+        co_await c.waitall(std::move(reqs));
+      }
+    });
+    out.events = engine.events_processed();
+    out.matches = total_matches(engine);
+  });
+}
+
+/// Fan-in flood: every rank deposits `per_rank` eager messages at rank 0,
+/// then rank 0 receives them in reverse sender order, so every receive is
+/// matched against a fully loaded unexpected queue ((ranks-1) * per_rank
+/// entries deep).  A linear-scan bucket degrades to O(queue^2) here.
+Row bench_fanin(int ranks, int per_rank) {
+  return bench("fanin", ranks, [=](Row& out) {
+    sim::EngineConfig cfg;
+    cfg.nranks = ranks;
+    sim::Engine engine(std::move(cfg));
+    engine.run([&](sim::Comm& c) -> sim::Task<> {
+      if (c.rank() != 0) {
+        for (int k = 0; k < per_rank; ++k)
+          co_await c.send_bytes(0, c.rank() * per_rank + k, 512.0);
+      } else {
+        // A barrier-ish delay lets every message arrive unexpected first.
+        co_await c.delay(1.0, "drain");
+        for (int src = c.size() - 1; src >= 1; --src)
+          for (int k = per_rank - 1; k >= 0; --k)
+            co_await c.recv_bytes(src, src * per_rank + k);
+      }
+    });
+    out.events = engine.events_processed();
+    out.matches = total_matches(engine);
+  });
+}
+
+/// Full-model 1664-rank proxy run (16 ClusterB nodes): the end-to-end
+/// single-run cost a sweep pays per point.
+Row bench_proxy(const std::string& name) {
+  const auto cl = mach::cluster_b();
+  return bench(name, 16 * cl.cores_per_node(), [&](Row& out) {
+    auto app = core::make_app(name, core::Workload::kSmall);
+    app->set_measured_steps(10);
+    app->set_warmup_steps(2);
+    const auto r = core::run_on_nodes(*app, cl, 16);
+    out.events = r.engine().events_processed();
+    out.matches = total_matches(r.engine());
+  });
+}
+
+void write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream f(path);
+  f << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    f << "    {\"pattern\": \"" << r.pattern << "\", \"ranks\": " << r.ranks
+      << ", \"seconds\": " << r.seconds << ", \"events\": " << r.events
+      << ", \"events_per_sec\": " << r.events_per_sec()
+      << ", \"matches\": " << r.matches
+      << ", \"matches_per_sec\": " << r.matches_per_sec() << "}"
+      << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+  for (int ranks : {64, 512, 1664}) {
+    // Event counts sized so each config runs in fractions of a second; the
+    // fan-in queue is kept several thousand entries deep at every scale.
+    rows.push_back(bench_halo(ranks, std::max(8, 16384 / ranks)));
+    rows.push_back(bench_fanin(ranks, std::max(8, 4096 / ranks * 4)));
+  }
+  rows.push_back(bench_proxy("lbm"));
+  rows.push_back(bench_proxy("minisweep"));
+
+  section("engine throughput (host-side)");
+  perf::Table t({"pattern", "ranks", "host s", "events", "Mevents/s",
+                 "matches", "Mmatches/s"});
+  for (const Row& r : rows)
+    t.add_row({r.pattern, std::to_string(r.ranks),
+               perf::Table::num(r.seconds, 3),
+               std::to_string(r.events),
+               perf::Table::num(r.events_per_sec() / 1e6, 2),
+               std::to_string(r.matches),
+               perf::Table::num(r.matches_per_sec() / 1e6, 2)});
+  t.print(std::cout);
+
+  write_json(rows, "BENCH_engine.json");
+  std::cout << "wrote BENCH_engine.json\n";
+  return 0;
+}

@@ -13,14 +13,25 @@ struct AppSeries {
 };
 
 std::map<std::string, AppSeries> sweep_cluster(const mach::ClusterSpec& cl) {
-  std::map<std::string, AppSeries> out;
-  for (const auto& e : core::suite()) {
-    auto app = make_fast_app(e.info.name, core::Workload::kTiny);
-    AppSeries s;
+  // Every (app, p) point is an independent simulation; fan the grid out over
+  // the sweep pool and reassemble in input order (bit-identical to the
+  // serial loop).  Each worker builds its own app instance.
+  struct Pt {
+    std::string name;
+    int p;
+  };
+  std::vector<Pt> pts;
+  for (const auto& e : core::suite())
     for (int p : node_sweep(cl.cores_per_node()))
-      s.by_p.emplace(p, core::run_benchmark(*app, cl, p));
-    out.emplace(e.info.name, std::move(s));
-  }
+      pts.push_back({e.info.name, p});
+  auto results =
+      sweep_pool().map<core::RunResult>(pts.size(), [&](std::size_t i) {
+        auto app = make_fast_app(pts[i].name, core::Workload::kTiny);
+        return core::run_benchmark(*app, cl, pts[i].p);
+      });
+  std::map<std::string, AppSeries> out;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    out[pts[i].name].by_p.emplace(pts[i].p, std::move(results[i]));
   return out;
 }
 

@@ -36,19 +36,34 @@ struct Point {
 
 using Series = std::map<int, Point>;  // nodes -> point
 
-Series sweep(const std::string& name, const mach::ClusterSpec& cl) {
-  Series s;
-  auto app = make_small_app(name);
-  for (int n : multinode_sweep(cl.max_nodes >= 16 ? 16 : cl.max_nodes)) {
-    const auto r = core::run_on_nodes(*app, cl, n);
+/// Runs the whole (app x cluster x nodes) grid on the sweep pool and
+/// reassembles per-cluster series in input order (bit-identical to the old
+/// nested serial loops).  Each worker builds its own app instance.
+void sweep_all(const mach::ClusterSpec& a, const mach::ClusterSpec& b,
+               std::map<std::string, Series>& da,
+               std::map<std::string, Series>& db) {
+  struct Pt {
+    std::string name;
+    const mach::ClusterSpec* cl;
+    int nodes;
+  };
+  std::vector<Pt> pts;
+  for (const auto& e : core::suite())
+    for (const auto* cl : {&a, &b})
+      for (int n : multinode_sweep(cl->max_nodes >= 16 ? 16 : cl->max_nodes))
+        pts.push_back({e.info.name, cl, n});
+  auto points = sweep_pool().map<Point>(pts.size(), [&](std::size_t i) {
+    auto app = make_small_app(pts[i].name);
+    const auto r = core::run_on_nodes(*app, *pts[i].cl, pts[i].nodes);
     Point pt;
     pt.t_step = r.seconds_per_step();
     pt.bw_per_node = r.metrics().mem_bandwidth_per_node();
     pt.mem_volume = r.metrics().mem_bytes / app->measured_steps();
     pt.mpi_fraction = r.metrics().mpi_fraction();
-    s.emplace(n, pt);
-  }
-  return s;
+    return pt;
+  });
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    (pts[i].cl == &a ? da : db)[pts[i].name].emplace(pts[i].nodes, points[i]);
 }
 
 void print_cluster(const mach::ClusterSpec& cl,
@@ -120,10 +135,7 @@ int main() {
   const auto a = mach::cluster_a();
   const auto b = mach::cluster_b();
   std::map<std::string, Series> da, db;
-  for (const auto& e : core::suite()) {
-    da.emplace(e.info.name, sweep(e.info.name, a));
-    db.emplace(e.info.name, sweep(e.info.name, b));
-  }
+  sweep_all(a, b, da, db);
   print_cluster(a, da);
   print_cluster(b, db);
 

@@ -35,12 +35,23 @@ void cluster_energy(const mach::ClusterSpec& cl) {
   for (const auto& e : core::suite()) header.push_back(e.info.name);
   perf::Table tp(header);
   perf::Table te(header);
+  // Independent (app, nodes) points fan out over the sweep pool; results
+  // are reassembled in input order (bit-identical to the serial loop).
+  struct Pt {
+    std::string name;
+    int nodes;
+  };
+  std::vector<Pt> pts;
+  for (const auto& e : core::suite())
+    for (int n : multinode_sweep(max_nodes)) pts.push_back({e.info.name, n});
+  auto runs = sweep_pool().map<core::RunResult>(
+      pts.size(), [&](std::size_t i) {
+        auto app = make_small_app(pts[i].name);
+        return core::run_on_nodes(*app, cl, pts[i].nodes);
+      });
   std::map<std::string, std::map<int, core::RunResult>> results;
-  for (const auto& e : core::suite()) {
-    auto app = make_small_app(e.info.name);
-    for (int n : multinode_sweep(max_nodes))
-      results[e.info.name].emplace(n, core::run_on_nodes(*app, cl, n));
-  }
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    results[pts[i].name].emplace(pts[i].nodes, std::move(runs[i]));
   for (int n : multinode_sweep(max_nodes)) {
     std::vector<std::string> rp{std::to_string(n)}, re{std::to_string(n)};
     for (const auto& e : core::suite()) {

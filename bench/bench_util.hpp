@@ -11,10 +11,19 @@
 #include <vector>
 
 #include "core/spechpc.hpp"
+#include "core/sweep.hpp"
 
 namespace benchutil {
 
 using namespace spechpc;
+
+/// Worker pool shared by a bench's sweeps.  Sized from SPECHPC_JOBS (default:
+/// one worker per hardware thread); with one worker every point runs inline
+/// on the calling thread, i.e. exactly the old serial loop.
+inline core::SweepRunner& sweep_pool() {
+  static core::SweepRunner pool(core::SweepRunner::default_jobs());
+  return pool;
+}
 
 /// Node-level sweep points used across figure benches (dense enough to show
 /// the fluctuating codes, sparse enough to stay fast).

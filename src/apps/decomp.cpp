@@ -2,53 +2,97 @@
 
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace spechpc::apps {
 
+namespace {
+
+// The proxies recompute their process grid every timestep of every rank, so
+// at scale (1664 ranks x many steps) the O(p) divisor searches dominate the
+// simulation's host time.  The functions are pure, so a per-thread memo
+// table keeps them cheap without affecting determinism (sweep threads each
+// build their own table).
+struct GridKey {
+  std::int64_t a, b, c;
+  bool operator==(const GridKey&) const = default;
+};
+
+struct GridKeyHash {
+  std::size_t operator()(const GridKey& k) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t v : {static_cast<std::uint64_t>(k.a),
+                            static_cast<std::uint64_t>(k.b),
+                            static_cast<std::uint64_t>(k.c)}) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <typename Grid, typename Fn>
+Grid memoized(std::int64_t a, std::int64_t b, std::int64_t c, Fn&& compute) {
+  thread_local std::unordered_map<GridKey, Grid, GridKeyHash> cache;
+  const GridKey key{a, b, c};
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  Grid g = compute();
+  cache.emplace(key, g);
+  return g;
+}
+
+}  // namespace
+
 Grid2D choose_grid_2d(int p) {
   if (p < 1) throw std::invalid_argument("choose_grid_2d: p < 1");
-  Grid2D best{1, p};
-  for (int px = 1; px * px <= p; ++px)
-    if (p % px == 0) best = Grid2D{px, p / px};
-  return best;
+  return memoized<Grid2D>(p, -1, -1, [p] {
+    Grid2D best{1, p};
+    for (int px = 1; px * px <= p; ++px)
+      if (p % px == 0) best = Grid2D{px, p / px};
+    return best;
+  });
 }
 
 Grid2D choose_grid_2d(int p, std::int64_t nx, std::int64_t ny) {
   if (p < 1) throw std::invalid_argument("choose_grid_2d: p < 1");
-  Grid2D best{1, p};
-  double best_perimeter = std::numeric_limits<double>::max();
-  for (int px = 1; px <= p; ++px) {
-    if (p % px != 0) continue;
-    const int py = p / px;
-    const double perimeter = static_cast<double>(nx) / px +
-                             static_cast<double>(ny) / py;
-    if (perimeter < best_perimeter) {
-      best_perimeter = perimeter;
-      best = Grid2D{px, py};
+  return memoized<Grid2D>(p, nx, ny, [=] {
+    Grid2D best{1, p};
+    double best_perimeter = std::numeric_limits<double>::max();
+    for (int px = 1; px <= p; ++px) {
+      if (p % px != 0) continue;
+      const int py = p / px;
+      const double perimeter = static_cast<double>(nx) / px +
+                               static_cast<double>(ny) / py;
+      if (perimeter < best_perimeter) {
+        best_perimeter = perimeter;
+        best = Grid2D{px, py};
+      }
     }
-  }
-  return best;
+    return best;
+  });
 }
 
 Grid3D choose_grid_3d(int p) {
   if (p < 1) throw std::invalid_argument("choose_grid_3d: p < 1");
-  Grid3D best{1, 1, p};
-  double best_score = std::numeric_limits<double>::max();
-  for (int px = 1; px * px * px <= p; ++px) {
-    if (p % px != 0) continue;
-    const int rest = p / px;
-    for (int py = px; py * py <= rest; ++py) {
-      if (rest % py != 0) continue;
-      const int pz = rest / py;
-      // Prefer near-cubic: minimize the surface of a unit-volume brick.
-      const double score = 1.0 / px + 1.0 / py + 1.0 / pz;
-      if (score < best_score) {
-        best_score = score;
-        best = Grid3D{px, py, pz};
+  return memoized<Grid3D>(p, -1, -1, [p] {
+    Grid3D best{1, 1, p};
+    double best_score = std::numeric_limits<double>::max();
+    for (int px = 1; px * px * px <= p; ++px) {
+      if (p % px != 0) continue;
+      const int rest = p / px;
+      for (int py = px; py * py <= rest; ++py) {
+        if (rest % py != 0) continue;
+        const int pz = rest / py;
+        // Prefer near-cubic: minimize the surface of a unit-volume brick.
+        const double score = 1.0 / px + 1.0 / py + 1.0 / pz;
+        if (score < best_score) {
+          best_score = score;
+          best = Grid3D{px, py, pz};
+        }
       }
     }
-  }
-  return best;
+    return best;
+  });
 }
 
 Range split_1d(std::int64_t n, int parts, int idx) {

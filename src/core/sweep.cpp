@@ -1,0 +1,83 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace spechpc::core {
+
+int SweepRunner::default_jobs() {
+  if (const char* env = std::getenv("SPECHPC_JOBS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs < 1 ? default_jobs() : jobs) {
+  if (jobs_ == 1) return;
+  workers_.reserve(static_cast<std::size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void SweepRunner::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [this] {
+      return stop_ || (batch_fn_ && next_index_ < batch_n_);
+    });
+    if (stop_) return;
+    const std::size_t i = next_index_++;
+    const auto* fn = batch_fn_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err) errors_.emplace_back(i, err);
+    if (--pending_ == 0) cv_done_.notify_all();
+  }
+}
+
+void SweepRunner::run_indexed(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ == 1) {  // serial fast path: no locking, exceptions propagate
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (batch_fn_) throw std::logic_error("SweepRunner: concurrent run_indexed");
+  batch_fn_ = &fn;
+  batch_n_ = n;
+  next_index_ = 0;
+  pending_ = n;
+  errors_.clear();
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  batch_fn_ = nullptr;
+  if (!errors_.empty()) {
+    // Rethrow the error the serial loop would have hit first.
+    std::sort(errors_.begin(), errors_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::exception_ptr err = errors_.front().second;
+    errors_.clear();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace spechpc::core

@@ -1,0 +1,73 @@
+// Parallel sweep execution.
+//
+// Experiment sweeps (figure benches, the CLI `sweep` command) evaluate many
+// independent (app, scale) points; each point builds its own models and
+// Engine, so points share no mutable state and can run on worker threads.
+// SweepRunner executes a batch of such points on a fixed-size thread pool
+// and returns the results in input order, which keeps every consumer
+// bit-identical to the serial loop it replaces.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spechpc::core {
+
+/// Fixed-size thread pool for independent simulation points.
+///
+/// `jobs == 1` runs every task inline on the caller's thread (no pool, no
+/// synchronization) -- the default, and the exact serial behavior.  With
+/// `jobs > 1`, tasks run on `jobs` worker threads; results are still
+/// delivered in input order, and the first task exception (by input index)
+/// is rethrown after the batch drains, matching what the serial loop would
+/// have thrown.
+class SweepRunner {
+ public:
+  explicit SweepRunner(int jobs = 1);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Number of workers to use when the user passes `--jobs 0` / "auto":
+  /// the SPECHPC_JOBS environment variable if set, else the hardware
+  /// concurrency (at least 1).
+  static int default_jobs();
+
+  /// Evaluates `fn(i)` for i in [0, n) and returns the results in index
+  /// order.  `fn` must be safe to call concurrently for distinct indices.
+  template <typename T>
+  std::vector<T> map(std::size_t n, const std::function<T(std::size_t)>& fn) {
+    std::vector<T> out(n);
+    run_indexed(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Evaluates `fn(i)` for i in [0, n); like map() without collecting
+  /// values (fn writes its own output slot).
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  int jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;   // workers wait for tasks
+  std::condition_variable cv_done_;   // run_indexed waits for completion
+  const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+  std::size_t batch_n_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t pending_ = 0;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+  bool stop_ = false;
+};
+
+}  // namespace spechpc::core

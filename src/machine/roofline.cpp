@@ -1,9 +1,24 @@
 #include "machine/roofline.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace spechpc::mach {
+
+std::size_t RooflineComputeModel::WorkKeyHash::operator()(
+    const WorkKey& k) const {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  };
+  std::uint64_t h = static_cast<std::uint64_t>(k.n_dom);
+  for (double d : {k.flops_simd, k.flops_scalar, k.mem_bytes, k.l3_bytes,
+                   k.l2_bytes, k.working_set_bytes, k.issue_efficiency})
+    h = mix(h, std::bit_cast<std::uint64_t>(d));
+  h = mix(h, static_cast<std::uint64_t>(k.concurrent_streams));
+  h = mix(h, static_cast<std::uint64_t>(k.leading_dim_bytes));
+  return static_cast<std::size_t>(h);
+}
 
 AlignmentEffect alignment_effect(int concurrent_streams,
                                  std::int64_t leading_dim_bytes) {
@@ -39,6 +54,18 @@ sim::ComputeOutcome RooflineComputeModel::evaluate(
     const sim::KernelWork& w) const {
   const CpuSpec& c = cluster_.cpu;
   const int n_dom = placement.ranks_in_domain_of(rank);
+
+  const WorkKey key{n_dom,
+                    w.flops_simd,
+                    w.flops_scalar,
+                    w.traffic.mem_bytes,
+                    w.traffic.l3_bytes,
+                    w.traffic.l2_bytes,
+                    w.working_set_bytes,
+                    w.issue_efficiency,
+                    w.concurrent_streams,
+                    w.leading_dim_bytes};
+  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
 
   double mem = w.traffic.mem_bytes;
   double l3 = w.traffic.l3_bytes;
@@ -98,6 +125,7 @@ sim::ComputeOutcome RooflineComputeModel::evaluate(
   out.effective = sim::TrafficVolumes{mem, l3, l2};
   out.core_utilization =
       out.seconds > 0.0 ? std::min(1.0, t_flop / out.seconds) : 0.0;
+  memo_.emplace(key, out);
   return out;
 }
 

@@ -12,6 +12,9 @@
 //     thrash the TLB / L1 sets -- the paper's lbm fluctuations).
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "machine/specs.hpp"
 #include "simmpi/models.hpp"
 
@@ -39,6 +42,8 @@ struct AlignmentEffect {
 AlignmentEffect alignment_effect(int concurrent_streams,
                                  std::int64_t leading_dim_bytes);
 
+/// Not thread-safe: each Engine run (and each SweepRunner worker) builds its
+/// own model instance, so the memoization cache below needs no locking.
 class RooflineComputeModel final : public sim::ComputeModel {
  public:
   explicit RooflineComputeModel(ClusterSpec cluster, RooflineOptions opts = {});
@@ -55,8 +60,26 @@ class RooflineComputeModel final : public sim::ComputeModel {
   static constexpr double kVictimL3Factor = 0.6;
 
  private:
+  // The proxies re-issue identical compute phases for thousands of
+  // (rank, step) combinations per run; the outcome only depends on the
+  // KernelWork numbers and how many ranks share the rank's ccNUMA domain,
+  // so one evaluation per distinct descriptor suffices.
+  struct WorkKey {
+    int n_dom;
+    double flops_simd, flops_scalar;
+    double mem_bytes, l3_bytes, l2_bytes;
+    double working_set_bytes, issue_efficiency;
+    int concurrent_streams;
+    std::int64_t leading_dim_bytes;
+    bool operator==(const WorkKey&) const = default;
+  };
+  struct WorkKeyHash {
+    std::size_t operator()(const WorkKey& k) const;
+  };
+
   ClusterSpec cluster_;
   RooflineOptions opts_;
+  mutable std::unordered_map<WorkKey, sim::ComputeOutcome, WorkKeyHash> memo_;
 };
 
 }  // namespace spechpc::mach

@@ -41,9 +41,9 @@ Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   measuring_.assign(n, false);
   done_.assign(n, false);
   activity_stack_.assign(n, {});
-  unexpected_.assign(n, {});
-  rzv_sends_.assign(n, {});
-  posted_.assign(n, {});
+  unexpected_.resize(n);
+  rzv_sends_.resize(n);
+  posted_.resize(n);
 }
 
 Engine::~Engine() {
@@ -77,6 +77,7 @@ void Engine::run(const RankFn& fn) {
   while (!events_.empty() && done_count_ < cfg_.nranks) {
     Event ev = events_.top();
     events_.pop();
+    ++events_processed_;
     auto r = static_cast<std::size_t>(ev.rank);
     clock_[r] = std::max(clock_[r], ev.time);
     ev.handle.resume();
@@ -98,15 +99,14 @@ RankCounters Engine::measured(int rank) const {
 }
 
 double Engine::measured_wall() const {
-  double begin = 0.0;
-  bool any = false;
+  // Earliest begin_measurement() time over the measuring ranks; empty when
+  // no rank ever started a measured region (then the whole run counts).
+  std::optional<double> begin;
   for (std::size_t r = 0; r < measuring_.size(); ++r) {
-    if (measuring_[r]) {
-      begin = any ? std::min(begin, measure_begin_[r]) : measure_begin_[r];
-      any = true;
-    }
+    if (!measuring_[r]) continue;
+    begin = begin ? std::min(*begin, measure_begin_[r]) : measure_begin_[r];
   }
-  return elapsed() - (any ? begin : 0.0);
+  return elapsed() - begin.value_or(0.0);
 }
 
 RankCounters Engine::measured_total() const {
@@ -126,13 +126,15 @@ Activity Engine::effective_activity(int rank, Activity a) const {
 }
 
 void Engine::account(int rank, Activity a, double t0, double t1,
-                     const std::string& label) {
+                     std::string_view label) {
   Activity eff = effective_activity(rank, a);
   counters_[static_cast<std::size_t>(rank)]
       .time_in[static_cast<std::size_t>(eff)] += (t1 - t0);
+  // Label strings are only materialized on the (off-by-default) trace path;
+  // with tracing disabled this function never allocates.
   if (cfg_.enable_trace && t1 > t0 &&
       activity_stack_[static_cast<std::size_t>(rank)].empty())
-    timeline_.record(TraceInterval{rank, t0, t1, eff, label});
+    timeline_.record(TraceInterval{rank, t0, t1, eff, std::string(label)});
 }
 
 // ---------------------------------------------------------------------------
@@ -160,7 +162,7 @@ void Engine::op_compute(int rank, const KernelWork& work,
   schedule(t0 + out.seconds, rank, self);
 }
 
-void Engine::op_delay(int rank, double seconds, const std::string& label,
+void Engine::op_delay(int rank, double seconds, std::string_view label,
                       std::coroutine_handle<> self) {
   const auto r = static_cast<std::size_t>(rank);
   const double t0 = clock_[r];
@@ -209,37 +211,6 @@ Engine::OpResult Engine::op_wait(int rank, std::int64_t request_id,
   rs.waiter_t0 = t0;
   rs.waiter_activity = Activity::kWait;
   return {false, 0.0};
-}
-
-std::optional<std::size_t> Engine::find_unexpected(int dst, int src, int tag) {
-  const auto& bucket = unexpected_[static_cast<std::size_t>(dst)];
-  for (std::size_t i = 0; i < bucket.size(); ++i) {
-    const auto& m = bucket[i];
-    if ((src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag))
-      return i;
-  }
-  return std::nullopt;
-}
-
-std::optional<std::size_t> Engine::find_rzv(int dst, int src, int tag) {
-  const auto& bucket = rzv_sends_[static_cast<std::size_t>(dst)];
-  for (std::size_t i = 0; i < bucket.size(); ++i) {
-    const auto& m = bucket[i];
-    if ((src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag))
-      return i;
-  }
-  return std::nullopt;
-}
-
-std::optional<std::size_t> Engine::find_posted(int dst, int src, int tag) {
-  const auto& bucket = posted_[static_cast<std::size_t>(dst)];
-  for (std::size_t i = 0; i < bucket.size(); ++i) {
-    const auto& p = bucket[i];
-    if ((p.src_filter == kAnySource || p.src_filter == src) &&
-        (p.tag_filter == kAnyTag || p.tag_filter == tag))
-      return i;
-  }
-  return std::nullopt;
 }
 
 void Engine::complete_recv(PostedRecv& pr, double completion,
@@ -292,23 +263,17 @@ void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
 }
 
 bool Engine::try_match_message(Message& msg) {
-  auto idx = find_posted(msg.dst, msg.src, msg.tag);
-  if (!idx) return false;
-  auto& bucket = posted_[static_cast<std::size_t>(msg.dst)];
-  PostedRecv pr = std::move(bucket[*idx]);
-  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(*idx));
-  const double completion = std::max(pr.t_posted, msg.arrival);
-  complete_recv(pr, completion, msg);
+  auto pr = posted_[static_cast<std::size_t>(msg.dst)].match(msg.src, msg.tag);
+  if (!pr) return false;
+  const double completion = std::max(pr->t_posted, msg.arrival);
+  complete_recv(*pr, completion, msg);
   return true;
 }
 
 bool Engine::try_match_rzv(RzvSend& rs) {
-  auto idx = find_posted(rs.dst, rs.src, rs.tag);
-  if (!idx) return false;
-  auto& bucket = posted_[static_cast<std::size_t>(rs.dst)];
-  PostedRecv pr = std::move(bucket[*idx]);
-  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(*idx));
-  complete_rzv_pair(pr, rs);
+  auto pr = posted_[static_cast<std::size_t>(rs.dst)].match(rs.src, rs.tag);
+  if (!pr) return false;
+  complete_rzv_pair(*pr, rs);
   return true;
 }
 
@@ -335,7 +300,7 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
               std::move(payload), t0 + cost.in_flight_s,
               next_seq_++};
     if (!try_match_message(m))
-      unexpected_[static_cast<std::size_t>(dst)].push_back(std::move(m));
+      unexpected_[static_cast<std::size_t>(dst)].push(std::move(m));
     if (request_id >= 0) complete_request(request_id, clock_[r]);
     return {true, 0.0};
   }
@@ -353,7 +318,7 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
              request_id,
              next_seq_++};
   if (try_match_rzv(rs)) return {!blocking, 0.0};
-  rzv_sends_[static_cast<std::size_t>(dst)].push_back(std::move(rs));
+  rzv_sends_[static_cast<std::size_t>(dst)].push(std::move(rs));
   return {!blocking, 0.0};
 }
 
@@ -364,16 +329,13 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
   const auto r = static_cast<std::size_t>(rank);
   const double t0 = clock_[r];
 
-  if (auto idx = find_unexpected(rank, src, tag)) {
-    auto& bucket = unexpected_[r];
-    Message m = std::move(bucket[*idx]);
-    bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(*idx));
-    const double tc = std::max(t0, m.arrival);
-    if (buffer && !m.payload.empty())
-      std::memcpy(buffer, m.payload.data(),
-                  std::min(buffer_bytes, m.payload.size()));
-    if (out_bytes) *out_bytes = m.bytes;
-    counters_[r].bytes_received += m.bytes;
+  if (auto m = unexpected_[r].take(src, tag)) {
+    const double tc = std::max(t0, m->arrival);
+    if (buffer && !m->payload.empty())
+      std::memcpy(buffer, m->payload.data(),
+                  std::min(buffer_bytes, m->payload.size()));
+    if (out_bytes) *out_bytes = m->bytes;
+    counters_[r].bytes_received += m->bytes;
     ++counters_[r].messages_received;
     if (blocking) {
       account(rank, Activity::kRecv, t0, tc, "recv");
@@ -381,7 +343,7 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
     } else {
       complete_request(request_id, tc);
     }
-    return {true, m.bytes};
+    return {true, m->bytes};
   }
 
   PostedRecv pr{rank,
@@ -396,15 +358,12 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
                 effective_activity(rank, Activity::kRecv),
                 next_seq_++};
 
-  if (auto idx = find_rzv(rank, src, tag)) {
-    auto& bucket = rzv_sends_[r];
-    RzvSend rs = std::move(bucket[*idx]);
-    bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(*idx));
-    complete_rzv_pair(pr, rs);
-    return {!blocking, rs.bytes};
+  if (auto rs = rzv_sends_[r].take(src, tag)) {
+    complete_rzv_pair(pr, *rs);
+    return {!blocking, rs->bytes};
   }
 
-  posted_[r].push_back(std::move(pr));
+  posted_[r].push(std::move(pr));
   return {!blocking, 0.0};
 }
 
@@ -416,16 +375,28 @@ void Engine::report_deadlock() {
   for (const auto& b : posted_) n_posted += b.size();
   for (const auto& b : rzv_sends_) n_rzv += b.size();
   for (const auto& b : unexpected_) n_unexpected += b.size();
+  // Collect and sort by posting/send order so the report is deterministic
+  // (hash-map iteration order is not).
   os << "  pending posted receives: " << n_posted << "\n";
-  for (const auto& bucket : posted_)
-    for (const auto& p : bucket)
-      os << "    rank " << p.dst << " waiting for (src=" << p.src_filter
-         << ", tag=" << p.tag_filter << ") since t=" << p.t_posted << "\n";
+  std::vector<const PostedRecv*> pending_recvs;
+  for (const auto& idx : posted_)
+    idx.for_each([&](const PostedRecv& p) { pending_recvs.push_back(&p); });
+  std::sort(pending_recvs.begin(), pending_recvs.end(),
+            [](const PostedRecv* a, const PostedRecv* b) {
+              return a->seq < b->seq;
+            });
+  for (const auto* p : pending_recvs)
+    os << "    rank " << p->dst << " waiting for (src=" << p->src_filter
+       << ", tag=" << p->tag_filter << ") since t=" << p->t_posted << "\n";
   os << "  pending rendezvous sends: " << n_rzv << "\n";
-  for (const auto& bucket : rzv_sends_)
-    for (const auto& s : bucket)
-      os << "    rank " << s.src << " -> " << s.dst << " tag " << s.tag
-         << " (" << s.bytes << " B) since t=" << s.t_ready << "\n";
+  std::vector<const RzvSend*> pending_sends;
+  for (const auto& idx : rzv_sends_)
+    idx.for_each([&](const RzvSend& s) { pending_sends.push_back(&s); });
+  std::sort(pending_sends.begin(), pending_sends.end(),
+            [](const RzvSend* a, const RzvSend* b) { return a->seq < b->seq; });
+  for (const auto* s : pending_sends)
+    os << "    rank " << s->src << " -> " << s->dst << " tag " << s->tag
+       << " (" << s->bytes << " B) since t=" << s->t_ready << "\n";
   os << "  undelivered eager messages: " << n_unexpected << "\n";
   throw std::runtime_error(os.str());
 }

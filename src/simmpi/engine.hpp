@@ -16,6 +16,7 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "simmpi/counters.hpp"
@@ -75,6 +76,8 @@ class Engine {
   double now(int rank) const { return clock_[static_cast<std::size_t>(rank)]; }
   /// Job wall-clock time: max rank clock after run().
   double elapsed() const;
+  /// Scheduler events processed by run() (host-side throughput metric).
+  std::uint64_t events_processed() const { return events_processed_; }
 
   const RankCounters& counters(int rank) const {
     return counters_[static_cast<std::size_t>(rank)];
@@ -103,7 +106,7 @@ class Engine {
                    std::coroutine_handle<> self);
   void op_compute(int rank, const KernelWork& work,
                   std::coroutine_handle<> self);
-  void op_delay(int rank, double seconds, const std::string& label,
+  void op_delay(int rank, double seconds, std::string_view label,
                 std::coroutine_handle<> self);
   std::int64_t make_request(int rank);
   /// True if the request completed at or before virtual time `t`.
@@ -164,6 +167,302 @@ class Engine {
     Activity waiter_activity = Activity::kWait;
   };
 
+  // --- matching structures ---------------------------------------------
+  //
+  // Messages and sends always carry a concrete (src, tag); posted receives
+  // may use kAnySource / kAnyTag wildcards.  Everything is indexed per
+  // destination rank and, within a destination, per packed (src, tag) key,
+  // so the common exact-match case is a hash probe plus an O(1) FIFO pop.
+  // Wildcards fall back to a min-seq scan over the dense slot pool, which
+  // preserves MPI's non-overtaking arrival-order semantics: sequence numbers
+  // are globally monotonic, so "earliest matching entry" is well defined and
+  // independent of hash-table layout.
+  //
+  // The index is a custom open-addressing table (not std::unordered_map):
+  // drained FIFOs keep their slot and reuse its capacity, so steady-state
+  // traffic performs no allocation at all — the per-message node mallocs of
+  // a node-based map dominate the match cost otherwise.
+
+  /// Pack a concrete (src, tag) into one hash key.
+  static std::uint64_t match_key(int src, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  /// FIFO over a vector with a moving head: O(1) amortized push/pop and no
+  /// per-node allocation in steady state (capacity is reused after drain).
+  template <typename T>
+  struct Fifo {
+    std::vector<T> items;
+    std::size_t head = 0;
+    bool empty() const { return head == items.size(); }
+    const T& front() const { return items[head]; }
+    T& front() { return items[head]; }
+    void push(T&& v) {
+      if (head >= 32 && head * 2 >= items.size()) {
+        items.erase(items.begin(),
+                    items.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      items.push_back(std::move(v));
+    }
+    T pop() {
+      T v = std::move(items[head]);
+      if (++head == items.size()) {
+        items.clear();
+        head = 0;
+      }
+      return v;
+    }
+  };
+
+  /// Open-addressed map from packed (src, tag) keys to FIFOs pooled in a
+  /// dense slot vector.  Slots are never removed; a drained FIFO keeps its
+  /// storage for the next message with the same key.
+  template <typename T>
+  struct KeyedFifos {
+    static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+    struct Slot {
+      std::uint64_t key;
+      Fifo<T> fifo;
+    };
+    std::vector<Slot> slots;           // one per distinct key seen
+    std::vector<std::uint32_t> table;  // power-of-two open addressing
+
+    static std::size_t mix(std::uint64_t key) {
+      key ^= key >> 33;
+      key *= 0xff51afd7ed558ccdull;
+      key ^= key >> 33;
+      return static_cast<std::size_t>(key);
+    }
+    void rehash(std::size_t cap) {
+      table.assign(cap, kNoSlot);
+      const std::size_t mask = cap - 1;
+      for (std::uint32_t s = 0; s < slots.size(); ++s) {
+        std::size_t i = mix(slots[s].key) & mask;
+        while (table[i] != kNoSlot) i = (i + 1) & mask;
+        table[i] = s;
+      }
+    }
+    /// FIFO for `key`, creating its slot on first use.
+    Fifo<T>& fifo_for(std::uint64_t key) {
+      if (slots.size() * 4 >= table.size() * 3)
+        rehash(table.empty() ? 16 : table.size() * 2);
+      const std::size_t mask = table.size() - 1;
+      std::size_t i = mix(key) & mask;
+      while (table[i] != kNoSlot) {
+        if (slots[table[i]].key == key) return slots[table[i]].fifo;
+        i = (i + 1) & mask;
+      }
+      table[i] = static_cast<std::uint32_t>(slots.size());
+      slots.push_back(Slot{key, {}});
+      return slots.back().fifo;
+    }
+    /// FIFO for `key` if present and non-empty, else nullptr.
+    Fifo<T>* lookup(std::uint64_t key) {
+      if (table.empty()) return nullptr;
+      const std::size_t mask = table.size() - 1;
+      std::size_t i = mix(key) & mask;
+      while (table[i] != kNoSlot) {
+        if (slots[table[i]].key == key) {
+          Fifo<T>& f = slots[table[i]].fifo;
+          return f.empty() ? nullptr : &f;
+        }
+        i = (i + 1) & mask;
+      }
+      return nullptr;
+    }
+  };
+
+  /// Queues shorter than this stay in a flat arrival-ordered vector: real
+  /// proxy traffic keeps 1-2 entries pending per destination, where one
+  /// cache-resident scan beats any hash probe.  Deeper queues (fan-in
+  /// pile-ups) promote to the keyed index once and stay indexed, bounding
+  /// every later operation at O(1) instead of O(queue depth).
+  static constexpr std::size_t kIndexThreshold = 48;
+
+  // The engine keeps one index per destination rank, so the un-promoted
+  // header must stay small: at 1664 ranks the three index arrays are walked
+  // with a scattered per-destination access pattern, and fat headers turn
+  // every matching op into extra cache-line traffic.  The keyed part
+  // therefore lives behind a pointer allocated on first promotion only.
+
+  /// Per-destination index of entries with concrete (src, tag): unexpected
+  /// eager messages and pending rendezvous sends.
+  template <typename T>
+  struct MsgIndex {
+    struct Promoted {
+      KeyedFifos<T> keyed;
+      std::size_t count = 0;
+    };
+    std::vector<T> small;  // arrival order; used until first promotion
+    std::unique_ptr<Promoted> promoted;
+
+    std::size_t size() const {
+      return promoted ? promoted->count : small.size();
+    }
+    void push(T&& v) {
+      if (!promoted) {
+        if (small.size() < kIndexThreshold) {
+          small.push_back(std::move(v));
+          return;
+        }
+        promote();
+      }
+      ++promoted->count;
+      promoted->keyed.fifo_for(match_key(v.src, v.tag)).push(std::move(v));
+    }
+    /// Removes and returns the earliest-arrived entry matching the (possibly
+    /// wildcard) receive filters, or nullopt.
+    std::optional<T> take(int src, int tag) {
+      if (!promoted) {
+        for (auto it = small.begin(); it != small.end(); ++it) {
+          if ((src != kAnySource && it->src != src) ||
+              (tag != kAnyTag && it->tag != tag))
+            continue;
+          T v = std::move(*it);
+          small.erase(it);  // bounded by kIndexThreshold
+          return v;
+        }
+        return std::nullopt;
+      }
+      if (promoted->count == 0) return std::nullopt;
+      Fifo<T>* q = nullptr;
+      if (src != kAnySource && tag != kAnyTag) {
+        q = promoted->keyed.lookup(match_key(src, tag));
+      } else {
+        // Wildcard: min front seq among matching keys.  Sequence numbers are
+        // globally monotonic, so this is deterministic regardless of table
+        // layout and equals "earliest arrival".
+        for (auto& slot : promoted->keyed.slots) {
+          if (slot.fifo.empty()) continue;
+          const T& f = slot.fifo.front();
+          if ((src != kAnySource && f.src != src) ||
+              (tag != kAnyTag && f.tag != tag))
+            continue;
+          if (!q || f.seq < q->front().seq) q = &slot.fifo;
+        }
+      }
+      if (!q) return std::nullopt;
+      --promoted->count;
+      return q->pop();
+    }
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (const auto& e : small) fn(e);
+      if (!promoted) return;
+      for (const auto& slot : promoted->keyed.slots)
+        for (std::size_t i = slot.fifo.head; i < slot.fifo.items.size(); ++i)
+          fn(slot.fifo.items[i]);
+    }
+
+   private:
+    void promote() {
+      promoted = std::make_unique<Promoted>();
+      promoted->count = small.size();
+      for (T& e : small)  // arrival order preserves per-key FIFO order
+        promoted->keyed.fifo_for(match_key(e.src, e.tag)).push(std::move(e));
+      small.clear();
+      small.shrink_to_fit();
+    }
+  };
+
+  /// Per-destination index of posted receives.  Short queues live in one
+  /// posting-ordered vector; deep queues promote to per-(src, tag) FIFOs
+  /// plus a posting-ordered fallback list for receives with any wildcard
+  /// filter.  A message matches the earliest posted receive accepting it,
+  /// decided by sequence number across both classes.
+  struct PostedIndex {
+    struct Promoted {
+      KeyedFifos<PostedRecv> exact;
+      std::vector<PostedRecv> wild;  // posting order; erased on match
+      std::size_t count = 0;
+    };
+    std::vector<PostedRecv> small;  // posting order; until first promotion
+    std::unique_ptr<Promoted> promoted;
+
+    std::size_t size() const {
+      return promoted ? promoted->count : small.size();
+    }
+    void push(PostedRecv&& pr) {
+      if (!promoted) {
+        if (small.size() < kIndexThreshold) {
+          small.push_back(std::move(pr));
+          return;
+        }
+        promote();
+      }
+      ++promoted->count;
+      push_indexed(std::move(pr));
+    }
+    /// Removes and returns the earliest posted receive matching a concrete
+    /// (src, tag), or nullopt.
+    std::optional<PostedRecv> match(int src, int tag) {
+      if (!promoted) {
+        for (auto it = small.begin(); it != small.end(); ++it) {
+          if ((it->src_filter != kAnySource && it->src_filter != src) ||
+              (it->tag_filter != kAnyTag && it->tag_filter != tag))
+            continue;
+          PostedRecv pr = std::move(*it);
+          small.erase(it);  // bounded by kIndexThreshold
+          return pr;
+        }
+        return std::nullopt;
+      }
+      if (promoted->count == 0) return std::nullopt;
+      Fifo<PostedRecv>* ex = promoted->exact.lookup(match_key(src, tag));
+      auto& wild = promoted->wild;
+      std::size_t wi = wild.size();
+      for (std::size_t i = 0; i < wild.size(); ++i) {
+        const PostedRecv& p = wild[i];
+        if ((p.src_filter == kAnySource || p.src_filter == src) &&
+            (p.tag_filter == kAnyTag || p.tag_filter == tag)) {
+          wi = i;
+          break;  // posting order == seq order: first match is earliest
+        }
+      }
+      if (ex && (wi == wild.size() || ex->front().seq < wild[wi].seq)) {
+        --promoted->count;
+        return ex->pop();
+      }
+      if (wi < wild.size()) {
+        PostedRecv pr = std::move(wild[wi]);
+        wild.erase(wild.begin() + static_cast<std::ptrdiff_t>(wi));
+        --promoted->count;
+        return pr;
+      }
+      return std::nullopt;
+    }
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (const auto& p : small) fn(p);
+      if (!promoted) return;
+      for (const auto& slot : promoted->exact.slots)
+        for (std::size_t i = slot.fifo.head; i < slot.fifo.items.size(); ++i)
+          fn(slot.fifo.items[i]);
+      for (const auto& p : promoted->wild) fn(p);
+    }
+
+   private:
+    void push_indexed(PostedRecv&& pr) {
+      if (pr.src_filter == kAnySource || pr.tag_filter == kAnyTag)
+        promoted->wild.push_back(std::move(pr));
+      else
+        promoted->exact.fifo_for(match_key(pr.src_filter, pr.tag_filter))
+            .push(std::move(pr));
+    }
+    void promote() {
+      auto p = std::make_unique<Promoted>();
+      p->count = small.size();
+      promoted = std::move(p);
+      for (PostedRecv& pr : small)  // posting order preserved per class
+        push_indexed(std::move(pr));
+      small.clear();
+      small.shrink_to_fit();
+    }
+  };
+
   // --- scheduling -----------------------------------------------------
   void schedule(double time, int rank, std::coroutine_handle<> h);
   void on_rank_done(int rank);
@@ -172,18 +471,13 @@ class Engine {
   // against posted receives (and vice versa).
   bool try_match_message(Message& msg);
   bool try_match_rzv(RzvSend& rs);
-  // Matching queues are bucketed by destination rank so matching stays O(1)
-  // in the job size; indices returned are into the dst's bucket.
-  std::optional<std::size_t> find_unexpected(int dst, int src, int tag);
-  std::optional<std::size_t> find_rzv(int dst, int src, int tag);
-  std::optional<std::size_t> find_posted(int dst, int src, int tag);
 
   void complete_recv(PostedRecv& pr, double completion, const Message& msg);
   void complete_rzv_pair(PostedRecv& pr, RzvSend& rs);
   void complete_request(std::int64_t id, double completion);
 
   void account(int rank, Activity a, double t0, double t1,
-               const std::string& label);
+               std::string_view label);
   Activity effective_activity(int rank, Activity a) const;
 
   [[noreturn]] void report_deadlock();
@@ -196,6 +490,7 @@ class Engine {
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
 
   std::vector<double> clock_;
   std::vector<RankCounters> counters_;
@@ -205,9 +500,9 @@ class Engine {
   std::vector<bool> done_;
   int done_count_ = 0;
 
-  std::vector<std::vector<Message>> unexpected_;   // bucket per dst rank
-  std::vector<std::vector<RzvSend>> rzv_sends_;    // bucket per dst rank
-  std::vector<std::vector<PostedRecv>> posted_;    // bucket per dst rank
+  std::vector<MsgIndex<Message>> unexpected_;  // index per dst rank
+  std::vector<MsgIndex<RzvSend>> rzv_sends_;   // index per dst rank
+  std::vector<PostedIndex> posted_;            // index per dst rank
   std::vector<RequestState> requests_;
 
   // Per-rank activity override stack (collectives attribute inner p2p time

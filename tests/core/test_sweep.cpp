@@ -1,0 +1,124 @@
+// SweepRunner: input-order determinism across worker counts, inline serial
+// fast path, exception propagation, and bit-identical full-model sweeps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/spechpc.hpp"
+#include "core/sweep.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+
+namespace {
+
+TEST(SweepRunner, MapReturnsResultsInInputOrder) {
+  for (int jobs : {1, 2, 4, 8}) {
+    core::SweepRunner pool(jobs);
+    const auto out =
+        pool.map<int>(100, [](std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 100u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], static_cast<int>(i * i)) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, SerialRunsInline) {
+  // jobs == 1 must execute on the calling thread (no pool handoff).
+  core::SweepRunner pool(1);
+  const auto caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.run_indexed(8, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(SweepRunner, EveryIndexRunsExactlyOnce) {
+  for (int jobs : {2, 4}) {
+    core::SweepRunner pool(jobs);
+    std::vector<std::atomic<int>> hits(257);
+    pool.run_indexed(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, FirstExceptionByIndexIsRethrown) {
+  for (int jobs : {1, 4}) {
+    core::SweepRunner pool(jobs);
+    try {
+      pool.run_indexed(32, [](std::size_t i) {
+        if (i == 7) throw std::runtime_error("boom-7");
+        if (i == 23) throw std::runtime_error("boom-23");
+      });
+      FAIL() << "expected an exception, jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      // The serial loop would have hit index 7 first; the pool must agree
+      // regardless of which worker finished first.
+      EXPECT_STREQ(e.what(), "boom-7") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SweepRunner, PoolIsReusableAcrossBatches) {
+  core::SweepRunner pool(3);
+  for (int round = 0; round < 5; ++round) {
+    const auto out = pool.map<int>(
+        17, [&](std::size_t i) { return round * 100 + static_cast<int>(i); });
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], round * 100 + static_cast<int>(i));
+  }
+}
+
+// Serialized fingerprint of one simulation point; any nondeterminism in
+// parallel sweeps (shared state, reordered results) changes it.
+struct Fingerprint {
+  double wall = 0.0;
+  double energy = 0.0;
+  double bytes = 0.0;
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run_point(std::string_view app_name, int nodes) {
+  auto app = core::make_app(app_name, core::Workload::kSmall);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  const auto r = core::run_on_nodes(*app, mach::cluster_a(), nodes);
+  return {r.wall_s(), r.power().total_energy_j(), r.metrics().bytes_sent};
+}
+
+TEST(SweepRunner, FullModelSweepIsBitIdenticalAcrossJobCounts) {
+  // Every suite app x 4 node counts, exactly the shape the figure benches
+  // fan out.  The parallel results must be BIT-identical to serial.
+  const auto apps = core::app_names();
+  ASSERT_GE(apps.size(), 9u);
+  const std::vector<int> nodes{1, 2, 3, 4};
+
+  std::vector<std::pair<std::string_view, int>> grid;
+  for (const auto& a : apps)
+    for (int n : nodes) grid.emplace_back(a, n);
+
+  core::SweepRunner serial(1);
+  const auto want = serial.map<Fingerprint>(grid.size(), [&](std::size_t i) {
+    return run_point(grid[i].first, grid[i].second);
+  });
+
+  for (int jobs : {2, 4, 8}) {
+    core::SweepRunner pool(jobs);
+    const auto got = pool.map<Fingerprint>(grid.size(), [&](std::size_t i) {
+      return run_point(grid[i].first, grid[i].second);
+    });
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got[i], want[i])
+          << "jobs=" << jobs << " app=" << grid[i].first
+          << " nodes=" << grid[i].second;
+  }
+}
+
+}  // namespace

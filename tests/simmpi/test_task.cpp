@@ -114,6 +114,38 @@ TEST(Measurement, SnapshotsExcludeWarmup) {
   EXPECT_DOUBLE_EQ(eng.measured_total().flops_scalar, 2e9);
 }
 
+TEST(Measurement, StaggeredBeginsUseEarliestMeasuringRank) {
+  // Ranks enter their measured region at different times (1s, 2s, 3s); the
+  // measured wall clock spans from the EARLIEST begin to the end of the run,
+  // including a rank whose region legitimately begins at t = 0.
+  sim::Engine eng(cfg_n(3));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    co_await c.delay(static_cast<double>(c.rank()));
+    c.begin_measurement();
+    co_await c.compute(flops_work(2e9));
+  });
+  // Begins at t = 0, 1, 2; run ends at max(rank + 2) = 4.
+  EXPECT_DOUBLE_EQ(eng.measured_wall(), 4.0);
+}
+
+TEST(Measurement, BeginAtTimeZeroCountsAsMeasuring) {
+  // A rank that calls begin_measurement() immediately (begin time 0.0) must
+  // anchor the measured window at t = 0, not be mistaken for "never began".
+  sim::Engine eng(cfg_n(2));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      c.begin_measurement();  // at virtual time 0.0
+      co_await c.compute(flops_work(1e9));
+    } else {
+      co_await c.delay(5.0);
+      c.begin_measurement();
+      co_await c.compute(flops_work(1e9));
+    }
+  });
+  // Earliest begin is 0.0 (rank 0), run ends at 6.0.
+  EXPECT_DOUBLE_EQ(eng.measured_wall(), 6.0);
+}
+
 TEST(Measurement, WithoutSnapshotMeasuredEqualsTotal) {
   sim::Engine eng(cfg_n(1));
   eng.run([](sim::Comm& c) -> sim::Task<> {

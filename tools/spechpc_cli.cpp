@@ -4,7 +4,7 @@
 //   spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]
 //                     [--ranks N | --nodes N] [--steps N] [--eager]
 //   spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]
-//                     [--max-ranks N]
+//                     [--max-ranks N] [--jobs N]
 //   spechpc_cli trace <app> [--cluster A|B] [--ranks N]
 //                     [--chrome out.json] [--csv out.csv]
 #include <cstring>
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/spechpc.hpp"
+#include "core/sweep.hpp"
 
 using namespace spechpc;
 
@@ -29,6 +30,7 @@ struct Args {
   std::optional<int> nodes;
   int steps = 3;
   int max_ranks = 0;
+  int jobs = 1;  // sweep workers; 0 = auto (SPECHPC_JOBS or all cores)
   bool eager = false;
   std::string chrome_out;
   std::string csv_out;
@@ -41,7 +43,7 @@ int usage() {
          "  spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]\n"
          "                    [--ranks N | --nodes N] [--steps N] [--eager]\n"
          "  spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]\n"
-         "                    [--max-ranks N]\n"
+         "                    [--max-ranks N] [--jobs N]\n"
          "  spechpc_cli trace <app> [--cluster A|B] [--ranks N]\n"
          "                    [--chrome out.json] [--csv out.csv]\n";
   return 2;
@@ -76,6 +78,8 @@ std::optional<Args> parse(int argc, char** argv) {
       if (auto v = next()) a.steps = std::stoi(*v); else return std::nullopt;
     } else if (flag == "--max-ranks") {
       if (auto v = next()) a.max_ranks = std::stoi(*v); else return std::nullopt;
+    } else if (flag == "--jobs") {
+      if (auto v = next()) a.jobs = std::stoi(*v); else return std::nullopt;
     } else if (flag == "--chrome") {
       if (auto v = next()) a.chrome_out = *v; else return std::nullopt;
     } else if (flag == "--csv") {
@@ -145,22 +149,28 @@ int cmd_run(const Args& a) {
 
 int cmd_sweep(const Args& a) {
   const auto cluster = pick_cluster(a.cluster);
-  auto app = core::make_app(a.app, pick_workload(a.workload));
-  app->set_measured_steps(a.steps);
-  app->set_warmup_steps(1);
   const int maxr =
       a.max_ranks > 0 ? a.max_ranks : cluster.cores_per_node();
+  // Sweep points are independent simulations; run them on a worker pool
+  // (--jobs N, 0 = auto) and print in rank order.  Each worker builds its
+  // own app instance, so --jobs never changes the numbers.
+  core::SweepRunner pool(a.jobs);
+  auto results = pool.map<core::RunResult>(
+      static_cast<std::size_t>(maxr), [&](std::size_t i) {
+        auto app = core::make_app(a.app, pick_workload(a.workload));
+        app->set_measured_steps(a.steps);
+        app->set_warmup_steps(1);
+        return core::run_benchmark(*app, cluster, static_cast<int>(i) + 1);
+      });
   perf::Table t({"ranks", "t/step [s]", "speedup", "GB/s", "chip W", "J/step"});
-  double t1 = 0.0;
+  const double t1 = results.front().seconds_per_step();
   for (int p = 1; p <= maxr; ++p) {
-    const auto r = core::run_benchmark(*app, cluster, p);
-    if (p == 1) t1 = r.seconds_per_step();
+    const auto& r = results[static_cast<std::size_t>(p - 1)];
     t.add_row({std::to_string(p), perf::Table::num(r.seconds_per_step(), 5),
                perf::Table::num(t1 / r.seconds_per_step(), 2),
                perf::Table::num(r.metrics().mem_bandwidth() / 1e9, 1),
                perf::Table::num(r.power().chip_w, 0),
-               perf::Table::num(
-                   r.power().total_energy_j() / app->measured_steps(), 1)});
+               perf::Table::num(r.power().total_energy_j() / a.steps, 1)});
   }
   t.print(std::cout);
   return 0;
