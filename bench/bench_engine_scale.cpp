@@ -31,6 +31,7 @@ struct Row {
   double seconds = 0.0;  // best-of-3 host wall-clock
   std::uint64_t events = 0;
   std::uint64_t matches = 0;
+  sim::EngineStats stats;  // introspection of the last run
 
   double events_per_sec() const { return events / seconds; }
   double matches_per_sec() const { return matches / seconds; }
@@ -54,6 +55,7 @@ Row bench(const std::string& pattern, int ranks,
       best.seconds = r.seconds;
       best.events = r.events;
       best.matches = r.matches;
+      best.stats = r.stats;
     }
   }
   return best;
@@ -88,6 +90,7 @@ Row bench_halo(int ranks, int steps) {
     });
     out.events = engine.events_processed();
     out.matches = total_matches(engine);
+    out.stats = engine.stats();
   });
 }
 
@@ -114,6 +117,7 @@ Row bench_fanin(int ranks, int per_rank) {
     });
     out.events = engine.events_processed();
     out.matches = total_matches(engine);
+    out.stats = engine.stats();
   });
 }
 
@@ -128,6 +132,7 @@ Row bench_proxy(const std::string& name) {
     const auto r = core::run_on_nodes(*app, cl, 16);
     out.events = r.engine().events_processed();
     out.matches = total_matches(r.engine());
+    out.stats = r.engine().stats();
   });
 }
 
@@ -140,7 +145,12 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
       << ", \"seconds\": " << r.seconds << ", \"events\": " << r.events
       << ", \"events_per_sec\": " << r.events_per_sec()
       << ", \"matches\": " << r.matches
-      << ", \"matches_per_sec\": " << r.matches_per_sec() << "}"
+      << ", \"matches_per_sec\": " << r.matches_per_sec()
+      << ", \"index_promotions\": " << r.stats.index_promotions
+      << ", \"unexpected_hwm\": " << r.stats.unexpected_hwm
+      << ", \"posted_hwm\": " << r.stats.posted_hwm
+      << ", \"flat_matches\": " << r.stats.flat_matches
+      << ", \"hash_matches\": " << r.stats.hash_matches << "}"
       << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   f << "  ]\n}\n";
@@ -161,14 +171,22 @@ int main() {
 
   section("engine throughput (host-side)");
   perf::Table t({"pattern", "ranks", "host s", "events", "Mevents/s",
-                 "matches", "Mmatches/s"});
-  for (const Row& r : rows)
+                 "matches", "Mmatches/s", "uq hwm", "promoted", "hash %"});
+  for (const Row& r : rows) {
+    const double total =
+        static_cast<double>(r.stats.flat_matches + r.stats.hash_matches);
     t.add_row({r.pattern, std::to_string(r.ranks),
                perf::Table::num(r.seconds, 3),
                std::to_string(r.events),
                perf::Table::num(r.events_per_sec() / 1e6, 2),
                std::to_string(r.matches),
-               perf::Table::num(r.matches_per_sec() / 1e6, 2)});
+               perf::Table::num(r.matches_per_sec() / 1e6, 2),
+               std::to_string(r.stats.unexpected_hwm),
+               std::to_string(r.stats.index_promotions),
+               perf::Table::num(
+                   total > 0.0 ? 100.0 * r.stats.hash_matches / total : 0.0,
+                   1)});
+  }
   t.print(std::cout);
 
   write_json(rows, "BENCH_engine.json");

@@ -2,6 +2,7 @@
 
 #include "apps/decomp.hpp"
 #include "apps/halo.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::cloverleaf {
 
@@ -40,25 +41,34 @@ sim::Task<> CloverleafProxy::step(sim::Comm& comm, int /*iter*/) const {
   // Lagrangian step + advective remap, modeled as two half-step sweeps with
   // a halo update between them (CloverLeaf's update_halo cadence).
   for (int half = 0; half < 2; ++half) {
-    sim::KernelWork w;
-    w.label = half == 0 ? "lagrangian_step" : "advection_remap";
-    w.flops_simd = 0.5 * cells * kFlopsPerCellStep * kSimdFraction;
-    w.flops_scalar = 0.5 * cells * kFlopsPerCellStep * (1.0 - kSimdFraction);
-    w.issue_efficiency = 0.7;
-    w.traffic.mem_bytes = 0.5 * cells * kBytesPerCellStep;
-    w.traffic.l3_bytes = 0.5 * cells * kBytesPerCellStep;
-    w.traffic.l2_bytes = 0.5 * cells * kBytesPerCellStep * 1.15;
-    w.working_set_bytes = cells * kBytesPerCellStep;  // all field arrays
-    w.concurrent_streams = 8;
-    co_await comm.compute(w);
-
-    co_await exchange_halo_2d(
-        comm, nb, static_cast<double>(ry.count) * 8.0 * kHaloFields * 2,
-        static_cast<double>(rx.count) * 8.0 * kHaloFields * 2, half * 8);
+    const char* kernel = half == 0 ? "lagrangian_step" : "advection_remap";
+    {
+      SPECHPC_REGION(comm, kernel);
+      sim::KernelWork w;
+      w.label = kernel;
+      w.flops_simd = 0.5 * cells * kFlopsPerCellStep * kSimdFraction;
+      w.flops_scalar = 0.5 * cells * kFlopsPerCellStep * (1.0 - kSimdFraction);
+      w.issue_efficiency = 0.7;
+      w.traffic.mem_bytes = 0.5 * cells * kBytesPerCellStep;
+      w.traffic.l3_bytes = 0.5 * cells * kBytesPerCellStep;
+      w.traffic.l2_bytes = 0.5 * cells * kBytesPerCellStep * 1.15;
+      w.working_set_bytes = cells * kBytesPerCellStep;  // all field arrays
+      w.concurrent_streams = 8;
+      co_await comm.compute(w);
+    }
+    {
+      SPECHPC_REGION(comm, "halo");
+      co_await exchange_halo_2d(
+          comm, nb, static_cast<double>(ry.count) * 8.0 * kHaloFields * 2,
+          static_cast<double>(rx.count) * 8.0 * kHaloFields * 2, half * 8);
+    }
   }
 
   // CFL timestep control: one global min-reduction per step.
-  co_await comm.allreduce(1.0, sim::ReduceOp::kMin);
+  {
+    SPECHPC_REGION(comm, "cfl_reduce");
+    co_await comm.allreduce(1.0, sim::ReduceOp::kMin);
+  }
 }
 
 }  // namespace spechpc::apps::cloverleaf

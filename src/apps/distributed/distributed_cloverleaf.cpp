@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "apps/decomp.hpp"
+#include "perf/region.hpp"
 #include "simmpi/engine.hpp"
 
 namespace spechpc::apps::cloverleaf {
@@ -136,11 +137,17 @@ sim::Task<> DistributedEuler::run(sim::Comm& comm, int steps,
 
   for (int step = 0; step < steps; ++step) {
     // Global CFL wave speed: exact max-allreduce (bit-identical to serial).
-    const double a =
-        co_await comm.allreduce(local_wave_speed(), sim::ReduceOp::kMax);
+    double a;
+    {
+      SPECHPC_REGION(comm, "cfl_reduce");
+      a = co_await comm.allreduce(local_wave_speed(), sim::ReduceOp::kMax);
+    }
     const double dt = std::min(max_dt, cfl * std::min(dx_, dy_) / a);
 
-    co_await exchange_state_ghosts(comm, s, u);
+    {
+      SPECHPC_REGION(comm, "halo");
+      co_await exchange_state_ghosts(comm, s, u);
+    }
 
     auto lf = [&](const State& l, const State& r, const Flux& fl,
                   const Flux& fr) -> Flux {
@@ -175,6 +182,7 @@ sim::Task<> DistributedEuler::run(sim::Comm& comm, int steps,
   }
 
   // Gather densities to rank 0 (all ranks participate).
+  SPECHPC_REGION(comm, "gather");
   std::vector<double> mine(static_cast<std::size_t>(s.rows) * nx_);
   for (std::int64_t j = 1; j <= s.rows; ++j)
     for (std::int64_t i = 0; i < s.nx; ++i)

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "apps/decomp.hpp"
+#include "perf/region.hpp"
 #include "simmpi/engine.hpp"
 
 namespace spechpc::apps::tealeaf {
@@ -126,6 +127,7 @@ sim::Task<int> DistributedHeatSolver::step(sim::Comm& comm,
 
   int it = 0;
   for (; it < max_iters && rr > stop; ++it) {
+    SPECHPC_REGION(comm, "cg_iteration");
     co_await exchange_ghosts(comm, s, p);
     apply_local(s, coef_, p, ap);
     const double pap =
@@ -147,6 +149,7 @@ sim::Task<int> DistributedHeatSolver::step(sim::Comm& comm,
 
   // Gather the interior rows to rank 0 (all ranks participate).
   {
+    SPECHPC_REGION(comm, "gather");
     std::vector<double> mine(static_cast<std::size_t>(s.rows) * nx_);
     for (std::int64_t j = 0; j < s.rows; ++j)
       for (std::int64_t i = 0; i < s.nx; ++i)

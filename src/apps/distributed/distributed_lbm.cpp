@@ -4,6 +4,7 @@
 
 #include "apps/decomp.hpp"
 #include "apps/lbm/d2q9.hpp"
+#include "perf/region.hpp"
 #include "simmpi/engine.hpp"
 
 namespace spechpc::apps::lbm {
@@ -150,7 +151,10 @@ sim::Task<> DistributedLbm::run(sim::Comm& comm, int steps, double rho,
   const double omega = 1.0 / tau_;
   for (int step = 0; step < steps; ++step) {
     collide(s, omega, f);
-    co_await exchange_ghosts(comm, s, f);
+    {
+      SPECHPC_REGION(comm, "halo");
+      co_await exchange_ghosts(comm, s, f);
+    }
     propagate(s, f, tmp);
     for (int q = 0; q < kQ; ++q)
       f[static_cast<std::size_t>(q)].swap(tmp[static_cast<std::size_t>(q)]);
@@ -158,6 +162,7 @@ sim::Task<> DistributedLbm::run(sim::Comm& comm, int steps, double rho,
 
   {
     // Gather per-rank density rows to rank 0 (all ranks participate).
+    SPECHPC_REGION(comm, "gather");
     std::vector<double> mine(static_cast<std::size_t>(s.rows) * nx_, 0.0);
     for (std::int64_t j = 1; j <= s.rows; ++j)
       for (std::int64_t i = 0; i < s.nx; ++i) {

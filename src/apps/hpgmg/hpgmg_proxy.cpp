@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "apps/decomp.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::hpgmg {
 
@@ -48,33 +49,41 @@ sim::Task<> HpgmgProxy::step(sim::Comm& comm, int /*iter*/) const {
     for (int l = 0; l < levels; ++l) {
       const int level = pass == 0 ? l : levels - 1 - l;
       const double cells = local_fine / std::pow(8.0, level);
-      sim::KernelWork w;
-      w.label = "smooth_l" + std::to_string(level);
-      w.flops_simd =
-          cells * kFlopsPerCellSweep * kSmoothSweeps * kSimdFraction;
-      w.flops_scalar =
-          cells * kFlopsPerCellSweep * kSmoothSweeps * (1.0 - kSimdFraction);
-      w.issue_efficiency = 0.7;
-      const double sweep_bytes = cells * kBytesPerCellSweep * kSmoothSweeps;
-      w.traffic.mem_bytes = sweep_bytes;
-      w.traffic.l3_bytes = sweep_bytes;
-      w.traffic.l2_bytes = sweep_bytes * 1.2;
-      w.working_set_bytes = cells * 9.0;  // box-wise smoother reuse
-      w.concurrent_streams = 5;
-      co_await comm.compute(w);
-
-      // Face halo per smoothing sweep: shrinks by 4x per level.
-      const double face =
-          std::cbrt(cells) * std::cbrt(cells) * 8.0 * kSmoothSweeps;
-      const int tag = pass * 64 + level * 2;
-      if (left >= 0)
-        co_await comm.sendrecv(left, tag, face, left, tag + 1);
-      if (right >= 0)
-        co_await comm.sendrecv(right, tag + 1, face, right, tag);
+      {
+        SPECHPC_REGION(comm, "smooth");
+        sim::KernelWork w;
+        w.label = "smooth_l" + std::to_string(level);
+        w.flops_simd =
+            cells * kFlopsPerCellSweep * kSmoothSweeps * kSimdFraction;
+        w.flops_scalar =
+            cells * kFlopsPerCellSweep * kSmoothSweeps * (1.0 - kSimdFraction);
+        w.issue_efficiency = 0.7;
+        const double sweep_bytes = cells * kBytesPerCellSweep * kSmoothSweeps;
+        w.traffic.mem_bytes = sweep_bytes;
+        w.traffic.l3_bytes = sweep_bytes;
+        w.traffic.l2_bytes = sweep_bytes * 1.2;
+        w.working_set_bytes = cells * 9.0;  // box-wise smoother reuse
+        w.concurrent_streams = 5;
+        co_await comm.compute(w);
+      }
+      {
+        // Face halo per smoothing sweep: shrinks by 4x per level.
+        SPECHPC_REGION(comm, "level_halo");
+        const double face =
+            std::cbrt(cells) * std::cbrt(cells) * 8.0 * kSmoothSweeps;
+        const int tag = pass * 64 + level * 2;
+        if (left >= 0)
+          co_await comm.sendrecv(left, tag, face, left, tag + 1);
+        if (right >= 0)
+          co_await comm.sendrecv(right, tag + 1, face, right, tag);
+      }
     }
   }
-  // Residual norm for the convergence check.
-  co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+  {
+    // Residual norm for the convergence check.
+    SPECHPC_REGION(comm, "residual_norm");
+    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+  }
 }
 
 }  // namespace spechpc::apps::hpgmg

@@ -2,6 +2,7 @@
 
 #include "apps/decomp.hpp"
 #include "apps/halo.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::lbm {
 
@@ -46,44 +47,58 @@ sim::Task<> LbmProxy::step(sim::Comm& comm, int /*iter*/) const {
   const Range ry{c.y * ceil_rows, my_rows};
   const double sites = static_cast<double>(rx.count) * ry.count;
 
-  // --- propagate: sparse population movement, memory bound, 37 streams.
-  sim::KernelWork prop;
-  prop.label = "propagate";
-  prop.flops_simd = sites * 74.0;  // address arithmetic only
-  prop.traffic.mem_bytes = sites * kBytesPerSite;
-  prop.traffic.l3_bytes = sites * kBytesPerSite;
-  prop.traffic.l2_bytes = sites * kBytesPerSite * 1.3;
-  prop.working_set_bytes = sites * kPopulations * 8.0 * 2.0;
-  prop.concurrent_streams = kPopulations;
-  prop.leading_dim_bytes = rx.count * 8;
-  co_await comm.compute(prop);
+  const double working_set = sites * kPopulations * 8.0 * 2.0;
 
-  // --- collide: ~6600 flop per site update, high intensity, well
-  // vectorized, limited by instruction mix rather than memory.
-  sim::KernelWork col;
-  col.label = "collide";
-  col.flops_simd = sites * kFlopsPerSite * kSimdFraction;
-  col.flops_scalar = sites * kFlopsPerSite * (1.0 - kSimdFraction);
-  col.issue_efficiency = ragged ? 0.35 / 1.7 : 0.35;
-  col.traffic.mem_bytes = sites * kBytesPerSite;
-  col.traffic.l3_bytes = sites * kBytesPerSite;
-  col.traffic.l2_bytes = sites * kBytesPerSite * 1.1;
-  col.working_set_bytes = prop.working_set_bytes;
-  col.concurrent_streams = kPopulations;
-  col.leading_dim_bytes = rx.count * 8;
-  co_await comm.compute(col);
+  {
+    // --- propagate: sparse population movement, memory bound, 37 streams.
+    SPECHPC_REGION(comm, "propagate");
+    sim::KernelWork prop;
+    prop.label = "propagate";
+    prop.flops_simd = sites * 74.0;  // address arithmetic only
+    prop.traffic.mem_bytes = sites * kBytesPerSite;
+    prop.traffic.l3_bytes = sites * kBytesPerSite;
+    prop.traffic.l2_bytes = sites * kBytesPerSite * 1.3;
+    prop.working_set_bytes = working_set;
+    prop.concurrent_streams = kPopulations;
+    prop.leading_dim_bytes = rx.count * 8;
+    co_await comm.compute(prop);
+  }
 
-  // --- halo exchange: 3-deep population faces with the four periodic
-  // neighbors (a third of the populations cross each face).
-  const Neighbors2D nb = periodic_neighbors_2d(comm.rank(), g);
-  const double bytes_x = static_cast<double>(ry.count) * kHaloWidth * 8.0 *
-                         (kPopulations / 3.0);
-  const double bytes_y = static_cast<double>(rx.count) * kHaloWidth * 8.0 *
-                         (kPopulations / 3.0);
-  co_await exchange_halo_2d(comm, nb, bytes_x, bytes_y);
+  {
+    // --- collide: ~6600 flop per site update, high intensity, well
+    // vectorized, limited by instruction mix rather than memory.
+    SPECHPC_REGION(comm, "collide");
+    sim::KernelWork col;
+    col.label = "collide";
+    col.flops_simd = sites * kFlopsPerSite * kSimdFraction;
+    col.flops_scalar = sites * kFlopsPerSite * (1.0 - kSimdFraction);
+    col.issue_efficiency = ragged ? 0.35 / 1.7 : 0.35;
+    col.traffic.mem_bytes = sites * kBytesPerSite;
+    col.traffic.l3_bytes = sites * kBytesPerSite;
+    col.traffic.l2_bytes = sites * kBytesPerSite * 1.1;
+    col.working_set_bytes = working_set;
+    col.concurrent_streams = kPopulations;
+    col.leading_dim_bytes = rx.count * 8;
+    co_await comm.compute(col);
+  }
+
+  {
+    // --- halo exchange: 3-deep population faces with the four periodic
+    // neighbors (a third of the populations cross each face).
+    SPECHPC_REGION(comm, "halo");
+    const Neighbors2D nb = periodic_neighbors_2d(comm.rank(), g);
+    const double bytes_x = static_cast<double>(ry.count) * kHaloWidth * 8.0 *
+                           (kPopulations / 3.0);
+    const double bytes_y = static_cast<double>(rx.count) * kHaloWidth * 8.0 *
+                           (kPopulations / 3.0);
+    co_await exchange_halo_2d(comm, nb, bytes_x, bytes_y);
+  }
 
   // --- global barrier each iteration (Table 1; Sect. 5: "could be avoided").
-  if (!cfg_.skip_barrier) co_await comm.barrier();
+  if (!cfg_.skip_barrier) {
+    SPECHPC_REGION(comm, "barrier");
+    co_await comm.barrier();
+  }
 }
 
 }  // namespace spechpc::apps::lbm

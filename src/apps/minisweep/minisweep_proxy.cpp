@@ -1,6 +1,7 @@
 #include "apps/minisweep/minisweep_proxy.hpp"
 
 #include "apps/decomp.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::minisweep {
 
@@ -60,6 +61,9 @@ sim::Task<> MinisweepProxy::step(sim::Comm& comm, int /*iter*/) const {
   w.concurrent_streams = 6;
 
   for (int dir = 0; dir < cfg_.octant_pairs; ++dir) {
+    // Nested regions: the per-octant wavefront contains the upwind/downwind
+    // face traffic ("sweep_comm") and the per-block kernel ("sweep_block").
+    SPECHPC_REGION(comm, "octant");
     const bool forward = (dir % 2) == 0;
     // Downstream/upstream neighbors in the sweep direction; open boundaries
     // (no wraparound).
@@ -79,12 +83,18 @@ sim::Task<> MinisweepProxy::step(sim::Comm& comm, int /*iter*/) const {
       // (Sect. 4.1.5).  Only ranks without a downstream neighbor can post
       // their receive right away; everyone else blocks until the chain
       // ripples back from the open boundary.
-      if (down_y >= 0) co_await comm.send_bytes(down_y, tag, face_y_bytes);
-      if (down_z >= 0)
-        co_await comm.send_bytes(down_z, tag + 50, face_z_bytes);
-      if (up_y >= 0) co_await comm.recv_bytes(up_y, tag);
-      if (up_z >= 0) co_await comm.recv_bytes(up_z, tag + 50);
-      co_await comm.compute(w);
+      {
+        SPECHPC_REGION(comm, "sweep_comm");
+        if (down_y >= 0) co_await comm.send_bytes(down_y, tag, face_y_bytes);
+        if (down_z >= 0)
+          co_await comm.send_bytes(down_z, tag + 50, face_z_bytes);
+        if (up_y >= 0) co_await comm.recv_bytes(up_y, tag);
+        if (up_z >= 0) co_await comm.recv_bytes(up_z, tag + 50);
+      }
+      {
+        SPECHPC_REGION(comm, "sweep_block");
+        co_await comm.compute(w);
+      }
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "apps/decomp.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::pot3d {
 
@@ -69,29 +70,36 @@ sim::Task<> Pot3dProxy::step(sim::Comm& comm, int /*iter*/) const {
   }
 
   for (int it = 0; it < cfg_.cg_iters_per_step; ++it) {
-    sim::KernelWork w;
-    w.label = "pcg_iteration";
-    w.flops_simd = cells * kFlopsPerCellIter * kSimdFraction;
-    w.flops_scalar = cells * kFlopsPerCellIter * (1.0 - kSimdFraction);
-    w.issue_efficiency = 0.8;
-    w.traffic.mem_bytes = cells * kBytesPerCellIter;
-    w.traffic.l3_bytes = cells * kBytesPerCellIter;
-    w.traffic.l2_bytes = cells * kBytesPerCellIter * 1.2;
-    w.working_set_bytes = cells * 8.0 * kHotArrays;
-    w.concurrent_streams = 7;
-    co_await comm.compute(w);
-
-    // Halo of the search direction over all six faces.
-    std::vector<sim::Request> reqs;
-    for (const Face& f : faces)
-      reqs.push_back(comm.irecv_bytes(f.peer, f.recv_tag));
-    for (const Face& f : faces)
-      reqs.push_back(comm.isend_bytes(f.peer, f.send_tag, f.bytes));
-    co_await comm.waitall(std::move(reqs));
-
-    // pAp and r.z dot products.
-    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
-    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+    {
+      SPECHPC_REGION(comm, "pcg_spmv");
+      sim::KernelWork w;
+      w.label = "pcg_iteration";
+      w.flops_simd = cells * kFlopsPerCellIter * kSimdFraction;
+      w.flops_scalar = cells * kFlopsPerCellIter * (1.0 - kSimdFraction);
+      w.issue_efficiency = 0.8;
+      w.traffic.mem_bytes = cells * kBytesPerCellIter;
+      w.traffic.l3_bytes = cells * kBytesPerCellIter;
+      w.traffic.l2_bytes = cells * kBytesPerCellIter * 1.2;
+      w.working_set_bytes = cells * 8.0 * kHotArrays;
+      w.concurrent_streams = 7;
+      co_await comm.compute(w);
+    }
+    {
+      // Halo of the search direction over all six faces.
+      SPECHPC_REGION(comm, "halo");
+      std::vector<sim::Request> reqs;
+      for (const Face& f : faces)
+        reqs.push_back(comm.irecv_bytes(f.peer, f.recv_tag));
+      for (const Face& f : faces)
+        reqs.push_back(comm.isend_bytes(f.peer, f.send_tag, f.bytes));
+      co_await comm.waitall(std::move(reqs));
+    }
+    {
+      // pAp and r.z dot products.
+      SPECHPC_REGION(comm, "pcg_dot");
+      co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+      co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include "apps/soma/soma_proxy.hpp"
 
 #include "apps/decomp.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::soma {
 
@@ -31,34 +32,43 @@ sim::Task<> SomaProxy::step(sim::Comm& comm, int /*iter*/) const {
   const double beads = static_cast<double>(mine.count) *
                        cfg_.beads_per_polymer;
 
-  // Monte-Carlo moves over this rank's polymers: scalar-dominated.
-  sim::KernelWork mc;
-  mc.label = "mc_sweep";
-  mc.flops_simd = beads * kFlopsPerBeadMove * kSimdFraction;
-  mc.flops_scalar = beads * kFlopsPerBeadMove * (1.0 - kSimdFraction);
-  mc.issue_efficiency = 0.45;  // RNG + branchy acceptance logic
-  mc.traffic.mem_bytes = beads * kBytesPerBead;
-  mc.traffic.l3_bytes = beads * kBytesPerBead * 1.4;
-  mc.traffic.l2_bytes = beads * kBytesPerBead * 2.0;
-  mc.working_set_bytes = beads * 32.0;
-  mc.concurrent_streams = 4;
-  co_await comm.compute(mc);
+  {
+    // Monte-Carlo moves over this rank's polymers: scalar-dominated.
+    SPECHPC_REGION(comm, "mc_sweep");
+    sim::KernelWork mc;
+    mc.label = "mc_sweep";
+    mc.flops_simd = beads * kFlopsPerBeadMove * kSimdFraction;
+    mc.flops_scalar = beads * kFlopsPerBeadMove * (1.0 - kSimdFraction);
+    mc.issue_efficiency = 0.45;  // RNG + branchy acceptance logic
+    mc.traffic.mem_bytes = beads * kBytesPerBead;
+    mc.traffic.l3_bytes = beads * kBytesPerBead * 1.4;
+    mc.traffic.l2_bytes = beads * kBytesPerBead * 2.0;
+    mc.working_set_bytes = beads * 32.0;
+    mc.concurrent_streams = 4;
+    co_await comm.compute(mc);
+  }
 
-  // Density-field update over the rank's *full replica*: this traffic does
-  // not shrink with more ranks (-> aggregate volume grows linearly with p).
-  sim::KernelWork scan;
-  scan.label = "field_update";
-  scan.flops_simd = cfg_.field_bytes / 8.0 * 0.1;
-  scan.flops_scalar = cfg_.field_bytes / 8.0 * 2.0;
-  scan.traffic.mem_bytes = cfg_.field_bytes * kFieldPasses;
-  scan.traffic.l3_bytes = cfg_.field_bytes * kFieldPasses;
-  scan.traffic.l2_bytes = cfg_.field_bytes * kFieldPasses * 1.1;
-  scan.working_set_bytes = cfg_.field_bytes;
-  scan.concurrent_streams = 3;
-  co_await comm.compute(scan);
+  {
+    // Density-field update over the rank's *full replica*: this traffic does
+    // not shrink with more ranks (-> aggregate volume grows linearly with p).
+    SPECHPC_REGION(comm, "field_update");
+    sim::KernelWork scan;
+    scan.label = "field_update";
+    scan.flops_simd = cfg_.field_bytes / 8.0 * 0.1;
+    scan.flops_scalar = cfg_.field_bytes / 8.0 * 2.0;
+    scan.traffic.mem_bytes = cfg_.field_bytes * kFieldPasses;
+    scan.traffic.l3_bytes = cfg_.field_bytes * kFieldPasses;
+    scan.traffic.l2_bytes = cfg_.field_bytes * kFieldPasses * 1.1;
+    scan.working_set_bytes = cfg_.field_bytes;
+    scan.concurrent_streams = 3;
+    co_await comm.compute(scan);
+  }
 
-  // Combine replicas: the big reduction that dominates soma's MPI time.
-  co_await comm.allreduce_bytes(cfg_.field_bytes);
+  {
+    // Combine replicas: the big reduction that dominates soma's MPI time.
+    SPECHPC_REGION(comm, "field_reduce");
+    co_await comm.allreduce_bytes(cfg_.field_bytes);
+  }
 }
 
 }  // namespace spechpc::apps::soma

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "apps/decomp.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::sphexa {
 
@@ -41,12 +42,17 @@ sim::Task<> SphexaProxy::step(sim::Comm& comm, int /*iter*/) const {
   const int right = comm.rank() + 1 < p ? comm.rank() + 1 : -1;
 
   for (int pass = 0; pass < 2; ++pass) {  // density pass, then force pass
-    // Blocking pairwise halo exchange (the original's pattern).
-    const int tag = pass * 4;
-    if (left >= 0) co_await comm.sendrecv(left, tag, halo_bytes, left, tag + 1);
-    if (right >= 0)
-      co_await comm.sendrecv(right, tag + 1, halo_bytes, right, tag);
+    {
+      // Blocking pairwise halo exchange (the original's pattern).
+      SPECHPC_REGION(comm, "halo");
+      const int tag = pass * 4;
+      if (left >= 0)
+        co_await comm.sendrecv(left, tag, halo_bytes, left, tag + 1);
+      if (right >= 0)
+        co_await comm.sendrecv(right, tag + 1, halo_bytes, right, tag);
+    }
 
+    SPECHPC_REGION(comm, pass == 0 ? "density" : "momentum_energy");
     sim::KernelWork w;
     w.label = pass == 0 ? "density" : "momentum_energy";
     w.flops_simd = 0.5 * local * kFlopsPerParticle * kSimdFraction;
@@ -60,12 +66,15 @@ sim::Task<> SphexaProxy::step(sim::Comm& comm, int /*iter*/) const {
     co_await comm.compute(w);
   }
 
-  // Global octree synchronization: replicated tree metadata.
-  co_await comm.allreduce_bytes(static_cast<double>(cfg_.n_particles) *
-                                kOctreeBytesPerParticle);
-  // Timestep and energy reductions.
-  co_await comm.allreduce(1.0, sim::ReduceOp::kMin);
-  co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+  {
+    SPECHPC_REGION(comm, "tree_sync");
+    // Global octree synchronization: replicated tree metadata.
+    co_await comm.allreduce_bytes(static_cast<double>(cfg_.n_particles) *
+                                  kOctreeBytesPerParticle);
+    // Timestep and energy reductions.
+    co_await comm.allreduce(1.0, sim::ReduceOp::kMin);
+    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+  }
 }
 
 }  // namespace spechpc::apps::sphexa

@@ -2,6 +2,7 @@
 
 #include "apps/decomp.hpp"
 #include "apps/halo.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::tealeaf {
 
@@ -38,26 +39,33 @@ sim::Task<> TealeafProxy::step(sim::Comm& comm, int /*iter*/) const {
   const Neighbors2D nb = neighbors_2d(comm.rank(), g);
 
   for (int it = 0; it < cfg_.cg_iters_per_step; ++it) {
-    // SpMV + vector updates: memory bound.
-    sim::KernelWork w;
-    w.label = "cg_iteration";
-    w.flops_simd = cells * kFlopsPerCellIter * kSimdFraction;
-    w.flops_scalar = cells * kFlopsPerCellIter * (1.0 - kSimdFraction);
-    w.issue_efficiency = 0.8;
-    w.traffic.mem_bytes = cells * kBytesPerCellIter;
-    w.traffic.l3_bytes = cells * kBytesPerCellIter;
-    w.traffic.l2_bytes = cells * kBytesPerCellIter * 1.2;
-    w.working_set_bytes = cells * 8.0 * kArraysInWorkingSet;
-    w.concurrent_streams = kArraysInWorkingSet;
-    co_await comm.compute(w);
-
-    // 1-deep halo of the search direction.
-    co_await exchange_halo_2d(comm, nb, static_cast<double>(ry.count) * 8.0,
-                              static_cast<double>(rx.count) * 8.0);
-
-    // Two dot products per CG iteration (pAp and rr).
-    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
-    co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+    {
+      // SpMV + vector updates: memory bound.
+      SPECHPC_REGION(comm, "cg_spmv");
+      sim::KernelWork w;
+      w.label = "cg_iteration";
+      w.flops_simd = cells * kFlopsPerCellIter * kSimdFraction;
+      w.flops_scalar = cells * kFlopsPerCellIter * (1.0 - kSimdFraction);
+      w.issue_efficiency = 0.8;
+      w.traffic.mem_bytes = cells * kBytesPerCellIter;
+      w.traffic.l3_bytes = cells * kBytesPerCellIter;
+      w.traffic.l2_bytes = cells * kBytesPerCellIter * 1.2;
+      w.working_set_bytes = cells * 8.0 * kArraysInWorkingSet;
+      w.concurrent_streams = kArraysInWorkingSet;
+      co_await comm.compute(w);
+    }
+    {
+      // 1-deep halo of the search direction.
+      SPECHPC_REGION(comm, "halo");
+      co_await exchange_halo_2d(comm, nb, static_cast<double>(ry.count) * 8.0,
+                                static_cast<double>(rx.count) * 8.0);
+    }
+    {
+      // Two dot products per CG iteration (pAp and rr).
+      SPECHPC_REGION(comm, "cg_dot");
+      co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+      co_await comm.allreduce(1.0, sim::ReduceOp::kSum);
+    }
   }
 }
 

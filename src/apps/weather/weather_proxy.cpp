@@ -1,6 +1,7 @@
 #include "apps/weather/weather_proxy.hpp"
 
 #include "apps/decomp.hpp"
+#include "perf/region.hpp"
 
 namespace spechpc::apps::weather {
 
@@ -39,19 +40,23 @@ sim::Task<> WeatherProxy::step(sim::Comm& comm, int /*iter*/) const {
   // Dominant FV step: a mix of memory-bound flux sweeps and poorly
   // vectorized physics whose hot state rides in the caches when the local
   // domain is small enough (Sect. 5.1.1, Case A).
-  sim::KernelWork w;
-  w.label = "fv_step";
-  w.flops_simd = cells * kFlopsPerCell * kSimdFraction;
-  w.flops_scalar = cells * kFlopsPerCell * (1.0 - kSimdFraction);
-  w.issue_efficiency = 0.6;
-  w.traffic.mem_bytes = cells * kBytesPerCell;
-  w.traffic.l3_bytes = cells * kBytesPerCell * 1.1;
-  w.traffic.l2_bytes = cells * kBytesPerCell * 1.3;
-  w.working_set_bytes = hot_ws;
-  w.concurrent_streams = 10;
-  co_await comm.compute(w);
+  {
+    SPECHPC_REGION(comm, "fv_step");
+    sim::KernelWork w;
+    w.label = "fv_step";
+    w.flops_simd = cells * kFlopsPerCell * kSimdFraction;
+    w.flops_scalar = cells * kFlopsPerCell * (1.0 - kSimdFraction);
+    w.issue_efficiency = 0.6;
+    w.traffic.mem_bytes = cells * kBytesPerCell;
+    w.traffic.l3_bytes = cells * kBytesPerCell * 1.1;
+    w.traffic.l2_bytes = cells * kBytesPerCell * 1.3;
+    w.working_set_bytes = hot_ws;
+    w.concurrent_streams = 10;
+    co_await comm.compute(w);
+  }
 
   // Column halos with the two x-neighbors (periodic), 2 cells deep.
+  SPECHPC_REGION(comm, "halo");
   const double halo_bytes =
       static_cast<double>(cfg_.nz) * kHaloWidth * kFields * 8.0;
   const int left = (comm.rank() + p - 1) % p;

@@ -23,6 +23,7 @@ RunResult run_benchmark(const apps::AppProxy& app,
   cfg.network = res.network_.get();
   cfg.protocol = opts.protocol;
   cfg.enable_trace = opts.trace;
+  cfg.enable_regions = opts.regions;
   res.engine_ = std::make_unique<sim::Engine>(std::move(cfg));
 
   res.engine_->run(
@@ -48,6 +49,32 @@ RunResult run_on_nodes(const apps::AppProxy& app,
   return run_benchmark(
       app, cluster, mach::block_placement_on_nodes(cluster, nranks, nodes),
       opts);
+}
+
+perf::RunReport build_report(const RunResult& result,
+                             const mach::ClusterSpec& cluster,
+                             std::string app_name, std::string workload) {
+  const sim::Engine& engine = result.engine();
+  perf::RunReport rep;
+  rep.app = std::move(app_name);
+  rep.workload = std::move(workload);
+  rep.nranks = engine.nranks();
+  rep.nodes = engine.placement().nodes_used();
+  rep.steps = result.steps();
+  rep.cluster = cluster.name;
+  rep.peak_node_flops = cluster.cpu.peak_node_flops();
+  rep.sat_bw_per_node_Bps = cluster.cpu.sat_bw_per_node_Bps();
+  rep.cores_per_node = cluster.cores_per_node();
+  rep.metrics = result.metrics();
+  rep.power = result.power();
+  rep.engine_stats = engine.stats();
+  rep.ranks.reserve(static_cast<std::size_t>(engine.nranks()));
+  for (int r = 0; r < engine.nranks(); ++r)
+    rep.ranks.push_back(engine.measured(r));
+  if (engine.regions_enabled()) rep.regions = perf::region_rows(engine);
+  if (!engine.timeline().intervals().empty())
+    rep.series = perf::time_series(engine.timeline(), 32);
+  return rep;
 }
 
 }  // namespace spechpc::core

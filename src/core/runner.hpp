@@ -7,6 +7,7 @@
 #include "apps/app_base.hpp"
 #include "machine/machine.hpp"
 #include "perf/metrics.hpp"
+#include "perf/report.hpp"
 #include "power/power_model.hpp"
 #include "simmpi/engine.hpp"
 
@@ -14,6 +15,9 @@ namespace spechpc::core {
 
 struct RunOptions {
   bool trace = false;
+  /// Enable likwid-style region profiling (perf/region.hpp markers).
+  /// Pure observation: simulated results are bit-identical either way.
+  bool regions = false;
   mach::RooflineOptions roofline;
   sim::ProtocolConfig protocol;
   /// OS-noise amplitude (max relative per-phase slowdown); 0 = noiseless.
@@ -30,6 +34,7 @@ class RunResult {
   const perf::JobMetrics& metrics() const { return metrics_; }
   const power::PowerReport& power() const { return power_; }
   double wall_s() const { return metrics_.wall_s; }
+  int steps() const { return steps_; }
   /// Wall time per modeled application step.
   double seconds_per_step() const { return metrics_.wall_s / steps_; }
 
@@ -60,5 +65,12 @@ RunResult run_benchmark(const apps::AppProxy& app,
 RunResult run_on_nodes(const apps::AppProxy& app,
                        const mach::ClusterSpec& cluster, int nodes,
                        const RunOptions& opts = {});
+
+/// Assembles the schema-versioned RunReport artifact from a finished run.
+/// Regions and time-series sections are filled only if the run enabled them
+/// (RunOptions::regions / RunOptions::trace).
+perf::RunReport build_report(const RunResult& result,
+                             const mach::ClusterSpec& cluster,
+                             std::string app_name, std::string workload);
 
 }  // namespace spechpc::core

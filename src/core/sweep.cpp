@@ -1,8 +1,18 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+
+namespace {
+
+double elapsed_s(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 namespace spechpc::core {
 
@@ -41,14 +51,18 @@ void SweepRunner::worker_loop() {
     const std::size_t i = next_index_++;
     const auto* fn = batch_fn_;
     lock.unlock();
+    const auto t0 = std::chrono::steady_clock::now();
     std::exception_ptr err;
     try {
       (*fn)(i);
     } catch (...) {
       err = std::current_exception();
     }
+    const double dt = elapsed_s(t0);
     lock.lock();
     if (err) errors_.emplace_back(i, err);
+    ++completed_;
+    if (progress_ && !err) progress_(i, completed_, batch_n_, dt);
     if (--pending_ == 0) cv_done_.notify_all();
   }
 }
@@ -57,7 +71,11 @@ void SweepRunner::run_indexed(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (jobs_ == 1) {  // serial fast path: no locking, exceptions propagate
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn(i);
+      if (progress_) progress_(i, i + 1, n, elapsed_s(t0));
+    }
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
@@ -66,6 +84,7 @@ void SweepRunner::run_indexed(std::size_t n,
   batch_n_ = n;
   next_index_ = 0;
   pending_ = n;
+  completed_ = 0;
   errors_.clear();
   cv_work_.notify_all();
   cv_done_.wait(lock, [this] { return pending_ == 0; });

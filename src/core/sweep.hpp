@@ -53,6 +53,16 @@ class SweepRunner {
   /// values (fn writes its own output slot).
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Per-job completion hook for progress/timing lines: called once per
+  /// finished task with (index, completed count so far, batch size, host
+  /// seconds the task took).  With jobs > 1 the callback runs under the
+  /// pool mutex, so invocations never interleave; keep it cheap.  Pass an
+  /// empty function to disable (the default).
+  using ProgressFn =
+      std::function<void(std::size_t index, std::size_t completed,
+                         std::size_t total, double host_seconds)>;
+  void set_progress(ProgressFn fn) { progress_ = std::move(fn); }
+
  private:
   void worker_loop();
 
@@ -66,6 +76,8 @@ class SweepRunner {
   std::size_t batch_n_ = 0;
   std::size_t next_index_ = 0;
   std::size_t pending_ = 0;
+  std::size_t completed_ = 0;
+  ProgressFn progress_;
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
   bool stop_ = false;
 };

@@ -2,6 +2,8 @@
 #pragma once
 
 #include "perf/metrics.hpp"
+#include "perf/region.hpp"
+#include "perf/report.hpp"
 #include "perf/stats.hpp"
 #include "perf/tables.hpp"
 #include "perf/timeline_render.hpp"

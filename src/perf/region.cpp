@@ -1,0 +1,73 @@
+#include "perf/region.hpp"
+
+#include <algorithm>
+
+namespace spechpc::perf {
+
+std::vector<RegionRow> region_rows(const sim::Engine& engine) {
+  std::vector<RegionRow> rows;
+  const int n_regions = engine.region_count();
+  rows.reserve(static_cast<std::size_t>(n_regions));
+  for (int id = 0; id < n_regions; ++id) {
+    const sim::RegionNode& node = engine.region_node(id);
+    RegionRow row;
+    row.id = id;
+    row.name = node.name;
+    row.depth = node.depth;
+    row.path = node.name;
+    for (int p = node.parent; p > 0; p = engine.region_node(p).parent)
+      row.path = engine.region_node(p).name + "/" + row.path;
+    for (int r = 0; r < engine.nranks(); ++r) {
+      const sim::RankCounters& c = engine.region_counters(id, r);
+      row.visits += engine.region_visits(id, r);
+      row.time_s += c.total_time();
+      row.compute_s += c.time(sim::Activity::kCompute);
+      row.mpi_s += c.mpi_time();
+      row.flops += c.total_flops();
+      row.flops_simd += c.flops_simd;
+      row.traffic += c.traffic;
+      row.bytes_sent += c.bytes_sent;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Table region_table(const sim::Engine& engine) {
+  Table t({"region", "visits", "time_s", "mpi_%", "gflops", "mem_GB/s",
+           "flop/byte"});
+  std::vector<RegionRow> rows = region_rows(engine);
+  // Named regions first (engine order = first-entry order), root last.
+  std::stable_partition(rows.begin(), rows.end(),
+                        [](const RegionRow& r) { return r.id != 0; });
+  for (const RegionRow& r : rows) {
+    std::string label(static_cast<std::size_t>(
+                          std::max(0, r.depth - 1)) * 2, ' ');
+    label += r.id == 0 ? r.name : r.path;
+    t.add_row({std::move(label), std::to_string(r.visits),
+               Table::num(r.time_s, 4), Table::num(100.0 * r.mpi_fraction(), 1),
+               Table::num(r.flop_rate() / 1e9, 2),
+               Table::num(r.mem_bandwidth() / 1e9, 2),
+               Table::num(r.intensity(), 3)});
+  }
+  return t;
+}
+
+std::vector<RegionRooflinePoint> region_roofline(
+    const sim::Engine& engine, const mach::ClusterSpec& cluster, int nodes) {
+  const double peak_flops = cluster.cpu.peak_node_flops() * nodes;
+  const double mem_bw = cluster.cpu.sat_bw_per_node_Bps() * nodes;
+  std::vector<RegionRooflinePoint> points;
+  for (const RegionRow& r : region_rows(engine)) {
+    if (r.id == 0 || r.flops <= 0.0) continue;
+    RegionRooflinePoint p;
+    p.path = r.path;
+    p.intensity = r.intensity();
+    p.flop_rate = r.flop_rate();
+    p.attainable = std::min(peak_flops, mem_bw * p.intensity);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace spechpc::perf

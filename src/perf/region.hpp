@@ -1,0 +1,121 @@
+// Likwid-marker-style region profiling.
+//
+// The paper instruments each proxy app's kernels with LIKWID_MARKER_START /
+// LIKWID_MARKER_STOP so likwid-perfctr attributes MEM/L3/L2 traffic and flop
+// counts to named code regions.  This module is the SimMPI equivalent:
+//
+//   sim::Task<> rank_main(sim::Comm& comm) {
+//     for (int step = 0; step < n; ++step) {
+//       { SPECHPC_REGION(comm, "collide"); co_await comm.compute(collide); }
+//       { SPECHPC_REGION(comm, "halo");    co_await exchange_halo(comm); }
+//     }
+//   }
+//
+// Regions nest: a guard opened inside another guard becomes a child node in
+// the engine's (parent, name) region tree, and counter deltas are attributed
+// exclusively to the innermost open region (Engine::region_begin).  When
+// EngineConfig::enable_regions is false every marker is a no-op branch and
+// simulated results are bit-identical to an uninstrumented run.
+//
+// The guard below is header-only on purpose: app targets link only against
+// spechpc_simmpi, so instrumenting an app must not create a link dependency
+// on the perf library.  The aggregation helpers (region_rows, region_table,
+// region_roofline) live in region.cpp and need spechpc::perf.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "machine/specs.hpp"
+#include "perf/tables.hpp"
+#include "simmpi/comm.hpp"
+
+namespace spechpc::perf {
+
+/// Scoped region marker: begins a named region on construction, ends it on
+/// destruction.  Prefer the SPECHPC_REGION macro.
+class [[nodiscard]] RegionGuard {
+ public:
+  RegionGuard(sim::Comm& comm, std::string_view name) : comm_(&comm) {
+    comm.region_begin(name);
+  }
+  ~RegionGuard() { comm_->region_end(); }
+
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  sim::Comm* comm_;
+};
+
+// Two-level expansion so __LINE__ is stringized into a unique identifier.
+#define SPECHPC_REGION_CONCAT2(a, b) a##b
+#define SPECHPC_REGION_CONCAT(a, b) SPECHPC_REGION_CONCAT2(a, b)
+
+/// Opens a named region for the rest of the enclosing scope.
+#define SPECHPC_REGION(comm, name)                                     \
+  ::spechpc::perf::RegionGuard SPECHPC_REGION_CONCAT(spechpc_region_, \
+                                                     __LINE__)(comm, name)
+
+// --- aggregation (region.cpp; requires linking spechpc::perf) --------------
+
+/// One region of a finished run, aggregated over all ranks.
+struct RegionRow {
+  int id = 0;               ///< engine region-node id
+  std::string name;         ///< region name (leaf of the path)
+  std::string path;         ///< "/"-joined names from the root, e.g. "cg/spmv"
+  int depth = 0;            ///< nesting depth (0 = root "(untracked)")
+  std::int64_t visits = 0;  ///< region entries summed over ranks
+
+  // Exclusive totals, summed over ranks (children not included).
+  double time_s = 0.0;     ///< rank-seconds inside the region
+  double compute_s = 0.0;  ///< rank-seconds of that in compute
+  double mpi_s = 0.0;      ///< rank-seconds of that inside MPI
+  double flops = 0.0;
+  double flops_simd = 0.0;
+  sim::TrafficVolumes traffic;
+  double bytes_sent = 0.0;
+
+  /// Arithmetic intensity [flop/byte] of the region's DRAM traffic.
+  double intensity() const {
+    return traffic.mem_bytes > 0.0 ? flops / traffic.mem_bytes : 0.0;
+  }
+  /// Flop rate over rank-seconds spent computing in the region.
+  double flop_rate() const { return compute_s > 0.0 ? flops / compute_s : 0.0; }
+  double mem_bandwidth() const {
+    return compute_s > 0.0 ? traffic.mem_bytes / compute_s : 0.0;
+  }
+  double mpi_fraction() const {
+    return time_s > 0.0 ? mpi_s / time_s : 0.0;
+  }
+};
+
+/// All regions of a finished run (engine must have enable_regions), in
+/// engine id order: node 0 is the implicit "(untracked)" root.  The per-rank
+/// sum over all rows equals the rank's whole-run counters exactly.
+std::vector<RegionRow> region_rows(const sim::Engine& engine);
+
+/// Region table for terminal output (one row per region, root last).
+Table region_table(const sim::Engine& engine);
+
+/// One named region placed in the Roofline plane of a machine.
+struct RegionRooflinePoint {
+  std::string path;
+  double intensity = 0.0;       ///< flop/byte
+  double flop_rate = 0.0;       ///< achieved flop/s (per compute-second)
+  double attainable = 0.0;      ///< Roofline ceiling at this intensity
+  /// Fraction of the attainable performance achieved (<= ~1).
+  double efficiency() const {
+    return attainable > 0.0 ? flop_rate / attainable : 0.0;
+  }
+};
+
+/// Places each region with compute work on the node-scaled Roofline of
+/// `cluster` (memory ceiling = saturated DRAM bandwidth of `nodes` nodes,
+/// flop ceiling = SIMD peak of `nodes` nodes).
+std::vector<RegionRooflinePoint> region_roofline(const sim::Engine& engine,
+                                                 const mach::ClusterSpec& cluster,
+                                                 int nodes);
+
+}  // namespace spechpc::perf

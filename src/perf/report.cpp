@@ -1,0 +1,375 @@
+#include "perf/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace spechpc::perf {
+
+namespace {
+
+// --- emission --------------------------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+/// Tiny streaming emitter: tracks whether a comma is due in the innermost
+/// open object/array.  Key order is fixed by emission order, which keeps the
+/// artifact diffable across runs.
+class Json {
+ public:
+  std::string take() { return std::move(out_); }
+
+  Json& begin_obj() { return open('{'); }
+  Json& end_obj() { return close('}'); }
+  Json& begin_arr() { return open('['); }
+  Json& end_arr() { return close(']'); }
+
+  Json& key(std::string_view k) {
+    comma();
+    append_escaped(out_, k);
+    out_ += ':';
+    fresh_ = true;
+    return *this;
+  }
+  Json& value(double v) { return raw(fmt(v)); }
+  Json& value(std::int64_t v) { return raw(std::to_string(v)); }
+  Json& value(int v) { return raw(std::to_string(v)); }
+  Json& value(std::uint64_t v) { return raw(std::to_string(v)); }
+  Json& value(std::string_view v) {
+    comma();
+    append_escaped(out_, v);
+    fresh_ = false;
+    return *this;
+  }
+  template <typename T>
+  Json& kv(std::string_view k, T v) {
+    return key(k).value(v);
+  }
+
+ private:
+  Json& open(char c) {
+    comma();
+    out_ += c;
+    fresh_ = true;
+    return *this;
+  }
+  Json& close(char c) {
+    out_ += c;
+    fresh_ = false;
+    return *this;
+  }
+  Json& raw(const std::string& s) {
+    comma();
+    out_ += s;
+    fresh_ = false;
+    return *this;
+  }
+  void comma() {
+    if (!fresh_ && !out_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+void emit_counters(Json& j, const sim::RankCounters& c) {
+  j.begin_obj()
+      .kv("flops_simd", c.flops_simd)
+      .kv("flops_scalar", c.flops_scalar)
+      .kv("port_busy_seconds", c.port_busy_seconds)
+      .kv("mem_bytes", c.traffic.mem_bytes)
+      .kv("l3_bytes", c.traffic.l3_bytes)
+      .kv("l2_bytes", c.traffic.l2_bytes)
+      .kv("bytes_sent", c.bytes_sent)
+      .kv("bytes_received", c.bytes_received)
+      .kv("messages_sent", c.messages_sent)
+      .kv("messages_received", c.messages_received)
+      .kv("collectives", c.collectives);
+  j.key("time_in").begin_obj();
+  for (std::size_t a = 0; a < c.time_in.size(); ++a)
+    j.kv(sim::to_string(static_cast<sim::Activity>(a)), c.time_in[a]);
+  j.end_obj().end_obj();
+}
+
+}  // namespace
+
+std::string to_json(const RunReport& r) {
+  Json j;
+  j.begin_obj().kv("schema_version", kRunReportSchemaVersion);
+
+  j.key("workload")
+      .begin_obj()
+      .kv("app", std::string_view(r.app))
+      .kv("workload", std::string_view(r.workload))
+      .kv("nranks", r.nranks)
+      .kv("nodes", r.nodes)
+      .kv("steps", r.steps)
+      .end_obj();
+
+  j.key("machine")
+      .begin_obj()
+      .kv("cluster", std::string_view(r.cluster))
+      .kv("peak_node_flops", r.peak_node_flops)
+      .kv("sat_bw_per_node_Bps", r.sat_bw_per_node_Bps)
+      .kv("cores_per_node", r.cores_per_node)
+      .end_obj();
+
+  const perf::JobMetrics& m = r.metrics;
+  j.key("metrics")
+      .begin_obj()
+      .kv("wall_s", m.wall_s)
+      .kv("performance_flops", m.performance())
+      .kv("performance_simd_flops", m.performance_simd())
+      .kv("vectorization_ratio", m.vectorization_ratio())
+      .kv("flops_total", m.flops_total)
+      .kv("mem_bytes", m.mem_bytes)
+      .kv("l3_bytes", m.l3_bytes)
+      .kv("l2_bytes", m.l2_bytes)
+      .kv("mem_bandwidth_Bps", m.mem_bandwidth())
+      .kv("bytes_sent", m.bytes_sent)
+      .kv("messages", m.messages)
+      .kv("compute_time_avg_s", m.compute_time_avg)
+      .kv("mpi_time_avg_s", m.mpi_time_avg)
+      .kv("mpi_fraction", m.mpi_fraction())
+      .end_obj();
+
+  const power::PowerReport& p = r.power;
+  j.key("energy")
+      .begin_obj()
+      .kv("chip_w", p.chip_w)
+      .kv("dram_w", p.dram_w)
+      .kv("total_w", p.total_w())
+      .kv("chip_energy_j", p.chip_energy_j())
+      .kv("dram_energy_j", p.dram_energy_j())
+      .kv("total_energy_j", p.total_energy_j())
+      .kv("edp_js", p.edp())
+      .kv("sockets_used", p.sockets_used)
+      .kv("domains_used", p.domains_used)
+      .end_obj();
+
+  const sim::EngineStats& e = r.engine_stats;
+  j.key("engine_stats")
+      .begin_obj()
+      .kv("events_processed", e.events_processed)
+      .kv("unexpected_hwm", e.unexpected_hwm)
+      .kv("posted_hwm", e.posted_hwm)
+      .kv("rzv_hwm", e.rzv_hwm)
+      .kv("flat_matches", e.flat_matches)
+      .kv("hash_matches", e.hash_matches)
+      .kv("wildcard_matches", e.wildcard_matches)
+      .kv("index_promotions", e.index_promotions)
+      .kv("rendezvous_stall_s", e.rendezvous_stall_s)
+      .end_obj();
+
+  j.key("ranks").begin_arr();
+  for (const sim::RankCounters& c : r.ranks) emit_counters(j, c);
+  j.end_arr();
+
+  j.key("regions").begin_arr();
+  for (const RegionRow& reg : r.regions) {
+    j.begin_obj()
+        .kv("path", std::string_view(reg.path))
+        .kv("name", std::string_view(reg.name))
+        .kv("depth", reg.depth)
+        .kv("visits", reg.visits)
+        .kv("time_s", reg.time_s)
+        .kv("compute_s", reg.compute_s)
+        .kv("mpi_s", reg.mpi_s)
+        .kv("flops", reg.flops)
+        .kv("flops_simd", reg.flops_simd)
+        .kv("mem_bytes", reg.traffic.mem_bytes)
+        .kv("l3_bytes", reg.traffic.l3_bytes)
+        .kv("l2_bytes", reg.traffic.l2_bytes)
+        .kv("bytes_sent", reg.bytes_sent)
+        .kv("intensity", reg.intensity())
+        .kv("flop_rate", reg.flop_rate())
+        .end_obj();
+  }
+  j.end_arr();
+
+  j.key("series").begin_arr();
+  for (const TimeBucket& b : r.series) {
+    j.begin_obj()
+        .kv("t_begin", b.t_begin)
+        .kv("t_end", b.t_end)
+        .kv("flops", b.flops)
+        .kv("mem_bytes", b.mem_bytes)
+        .kv("compute_seconds", b.compute_seconds)
+        .kv("mpi_seconds", b.mpi_seconds)
+        .end_obj();
+  }
+  j.end_arr();
+
+  j.end_obj();
+  return j.take();
+}
+
+void write_json(const RunReport& report, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open report file: " + path);
+  os << to_json(report) << "\n";
+  if (!os) throw std::runtime_error("failed writing report file: " + path);
+}
+
+// --- validation ------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent JSON syntax checker.  No DOM is built; `depth` guards
+/// against stack exhaustion on pathological input.
+class Checker {
+ public:
+  explicit Checker(std::string_view s) : s_(s) {}
+
+  bool run(std::string* error) {
+    bool ok = value(0) && (skip_ws(), pos_ == s_.size());
+    if (!ok && error) {
+      std::ostringstream os;
+      os << "invalid JSON at offset " << pos_
+         << (err_.empty() ? "" : ": " + err_);
+      *error = os.str();
+    }
+    return ok;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+  bool string() {
+    if (s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        ++pos_;  // accept any escape (we only emit simple ones)
+      }
+    }
+    return fail("unterminated string");
+  }
+  bool number() {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start || fail("expected number");
+  }
+  bool value(int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    switch (s_[pos_]) {
+      case '{': return composite(depth, '}', true);
+      case '[': return composite(depth, ']', false);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool composite(int depth, char close, bool is_obj) {
+    ++pos_;  // consume the opener
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == close) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (is_obj) {
+        skip_ws();
+        if (!string()) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+        ++pos_;
+      }
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated container");
+      if (s_[pos_] == close) {
+        ++pos_;
+        return true;
+      }
+      if (s_[pos_] != ',') return fail("expected ',' or close");
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool is_valid_json(std::string_view text, std::string* error) {
+  return Checker(text).run(error);
+}
+
+const std::vector<std::string>& run_report_required_keys() {
+  static const std::vector<std::string> keys = {
+      "schema_version", "workload", "machine",      "metrics",
+      "energy",         "ranks",    "engine_stats", "regions"};
+  return keys;
+}
+
+bool validate_run_report_json(std::string_view text, std::string* error) {
+  if (!is_valid_json(text, error)) return false;
+  for (const std::string& k : run_report_required_keys()) {
+    if (text.find("\"" + k + "\"") == std::string_view::npos) {
+      if (error) *error = "missing required key: " + k;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spechpc::perf

@@ -1,0 +1,77 @@
+// Schema-versioned machine-readable run artifact (the "RunReport").
+//
+// The paper's energy/performance claims rest on archivable measurement
+// artifacts (likwid-perfctr region files, ITAC traces, ClusterCockpit time
+// series).  This module is our equivalent: one JSON document per run that
+// bundles the machine spec, workload descriptor, whole-run and per-rank
+// counters, the region table, engine introspection stats, time-series
+// buckets, and the power/energy model output.  `spechpc_cli run --report`
+// writes it; downstream tooling (CI validation, plotting) parses it.
+//
+// The format is hand-emitted JSON (the repo carries no JSON dependency); a
+// minimal recursive-descent validator below lets tests assert both syntactic
+// validity and the presence of required keys without external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "machine/specs.hpp"
+#include "perf/metrics.hpp"
+#include "perf/region.hpp"
+#include "perf/timeseries.hpp"
+#include "power/power_model.hpp"
+#include "simmpi/engine.hpp"
+
+namespace spechpc::perf {
+
+/// Bump when the JSON layout changes incompatibly.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Everything serialized into one run's JSON artifact.
+struct RunReport {
+  // Workload descriptor.
+  std::string app;       ///< benchmark name ("lbm", ...)
+  std::string workload;  ///< "tiny" / "small"
+  int nranks = 0;
+  int nodes = 0;
+  int steps = 0;  ///< measured timesteps
+
+  // Machine.
+  std::string cluster;  ///< cluster name ("ClusterA", ...)
+  double peak_node_flops = 0.0;
+  double sat_bw_per_node_Bps = 0.0;
+  int cores_per_node = 0;
+
+  perf::JobMetrics metrics;             ///< whole-run aggregates
+  power::PowerReport power;             ///< power/energy model output
+  sim::EngineStats engine_stats;        ///< queue/index introspection
+  std::vector<sim::RankCounters> ranks;  ///< measured per-rank counters
+  std::vector<RegionRow> regions;       ///< empty unless regions enabled
+  std::vector<TimeBucket> series;       ///< empty unless traced
+};
+
+/// Serializes `report` as a self-contained JSON object (schema_version on
+/// top; stable key order; numbers via max_digits10 round-trip formatting).
+std::string to_json(const RunReport& report);
+
+/// Writes to_json(report) to `path`; throws std::runtime_error on I/O error.
+void write_json(const RunReport& report, const std::string& path);
+
+/// Minimal JSON syntax check (objects/arrays/strings/numbers/bools/null,
+/// no duplicate-key or unicode-escape validation).  On failure returns false
+/// and, if `error` is non-null, stores a short description.
+bool is_valid_json(std::string_view text, std::string* error = nullptr);
+
+/// Required top-level keys of a version-1 RunReport document.
+const std::vector<std::string>& run_report_required_keys();
+
+/// Full artifact validation: syntactic JSON and every required top-level key
+/// present (by quoted-key search at any depth -- sufficient for our own,
+/// non-adversarial documents).
+bool validate_run_report_json(std::string_view text,
+                              std::string* error = nullptr);
+
+}  // namespace spechpc::perf

@@ -10,6 +10,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "simmpi/engine.hpp"
@@ -203,6 +204,14 @@ class Comm {
 
   /// Snapshots this rank's counters/clock; call right after a warmup barrier.
   void begin_measurement();
+
+  /// Likwid-marker-style region boundaries (see Engine::region_begin).  No-ops
+  /// unless EngineConfig::enable_regions; prefer the SPECHPC_REGION guard in
+  /// perf/region.hpp over calling these directly.
+  void region_begin(std::string_view name) {
+    engine_->region_begin(grank_, name);
+  }
+  void region_end() noexcept { engine_->region_end(grank_); }
 
  private:
   friend class Engine;

@@ -86,9 +86,7 @@ struct RankCounters {
     a.flops_simd -= b.flops_simd;
     a.flops_scalar -= b.flops_scalar;
     a.port_busy_seconds -= b.port_busy_seconds;
-    a.traffic.mem_bytes -= b.traffic.mem_bytes;
-    a.traffic.l3_bytes -= b.traffic.l3_bytes;
-    a.traffic.l2_bytes -= b.traffic.l2_bytes;
+    a.traffic -= b.traffic;
     a.bytes_sent -= b.bytes_sent;
     a.bytes_received -= b.bytes_received;
     a.messages_sent -= b.messages_sent;

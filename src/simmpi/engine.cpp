@@ -44,6 +44,13 @@ Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   unexpected_.resize(n);
   rzv_sends_.resize(n);
   posted_.resize(n);
+  if (cfg_.enable_regions) {
+    region_nodes_.push_back(RegionNode{"(untracked)", -1, 0});
+    region_stack_.assign(n, std::vector<int>{0});
+    region_window_.assign(n, RankCounters{});
+    region_accum_.emplace_back(n, RankCounters{});
+    region_visits_.emplace_back(n, 1);  // every rank starts inside the root
+  }
 }
 
 Engine::~Engine() {
@@ -82,9 +89,75 @@ void Engine::run(const RankFn& fn) {
     clock_[r] = std::max(clock_[r], ev.time);
     ev.handle.resume();
   }
+  if (cfg_.enable_regions)  // credit each rank's tail to its open region
+    for (int r = 0; r < cfg_.nranks; ++r) flush_region_window(r);
   for (auto h : roots_)
     if (h.promise().exception) std::rethrow_exception(h.promise().exception);
   if (done_count_ < cfg_.nranks) report_deadlock();
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.events_processed = events_processed_;
+  s.rendezvous_stall_s = rzv_stall_s_;
+  auto fold = [&s](const IndexStats& is, std::size_t& hwm, bool promoted) {
+    hwm = std::max(hwm, is.hwm);
+    s.flat_matches += is.flat;
+    s.hash_matches += is.hash;
+    s.wildcard_matches += is.wild;
+    if (promoted) ++s.index_promotions;
+  };
+  for (const auto& b : unexpected_)
+    fold(b.stats, s.unexpected_hwm, b.promoted != nullptr);
+  for (const auto& b : rzv_sends_)
+    fold(b.stats, s.rzv_hwm, b.promoted != nullptr);
+  for (const auto& b : posted_)
+    fold(b.stats, s.posted_hwm, b.promoted != nullptr);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Region profiling
+
+int Engine::region_child(int parent, std::string_view name) {
+  const auto it = region_lookup_.find(std::make_pair(parent, name));
+  if (it != region_lookup_.end()) return it->second;
+  const int id = static_cast<int>(region_nodes_.size());
+  region_nodes_.push_back(RegionNode{
+      std::string(name), parent,
+      region_nodes_[static_cast<std::size_t>(parent)].depth + 1});
+  region_lookup_.emplace(std::make_pair(parent, std::string(name)), id);
+  const auto n = static_cast<std::size_t>(cfg_.nranks);
+  region_accum_.emplace_back(n, RankCounters{});
+  region_visits_.emplace_back(n, 0);
+  return id;
+}
+
+void Engine::flush_region_window(int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  const int top = region_stack_[r].back();
+  region_accum_[static_cast<std::size_t>(top)][r] +=
+      counters_[r] - region_window_[r];
+  region_window_[r] = counters_[r];
+}
+
+void Engine::region_begin(int rank, std::string_view name) {
+  if (!cfg_.enable_regions) return;
+  const auto r = static_cast<std::size_t>(rank);
+  flush_region_window(rank);
+  const int id = region_child(region_stack_[r].back(), name);
+  region_stack_[r].push_back(id);
+  ++region_visits_[static_cast<std::size_t>(id)][r];
+}
+
+void Engine::region_end(int rank) noexcept {
+  if (!cfg_.enable_regions) return;
+  const auto r = static_cast<std::size_t>(rank);
+  // Tolerate an unbalanced end (e.g. a guard unwinding through an engine
+  // teardown): the root region is never popped.
+  if (region_stack_[r].size() <= 1) return;
+  flush_region_window(rank);
+  region_stack_[r].pop_back();
 }
 
 double Engine::elapsed() const {
@@ -237,6 +310,7 @@ void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
   const TransferCost cost =
       network_->transfer(rs.src, rs.dst, cfg_.placement, rs.bytes);
   const double tc = handshake + cost.in_flight_s;
+  rzv_stall_s_ += tc - rs.t_ready;  // sender blocked from ready to drain
 
   // Receiver side.
   if (pr.buffer && !rs.payload.empty())

@@ -8,15 +8,18 @@
 // bit-reproducible.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "simmpi/counters.hpp"
@@ -46,6 +49,39 @@ struct EngineConfig {
   const NetworkModel* network = nullptr;  ///< nullptr -> SimpleNetworkModel
   ProtocolConfig protocol;
   bool enable_trace = false;
+  /// Likwid-marker-style region profiling (Comm::region_begin/end).  Off by
+  /// default: the disabled path is a single branch per marker call and the
+  /// simulated results are bit-identical either way (profiling is passive).
+  bool enable_regions = false;
+};
+
+/// Introspection counters of one engine run: makes the matching fast path
+/// (flat scan vs promoted per-(src, tag) hash index) measurable instead of
+/// inferred.  All match counts are mutually exclusive and sum to the number
+/// of successful matches initiated from that side.
+struct EngineStats {
+  std::uint64_t events_processed = 0;
+  // Queue high-water marks: deepest per-destination queue seen anywhere.
+  std::size_t unexpected_hwm = 0;  ///< unexpected eager messages
+  std::size_t posted_hwm = 0;      ///< posted receives
+  std::size_t rzv_hwm = 0;         ///< pending rendezvous sends
+  // Match-path breakdown over all three index families.
+  std::uint64_t flat_matches = 0;  ///< satisfied by the un-promoted flat scan
+  std::uint64_t hash_matches = 0;  ///< satisfied by a keyed-FIFO probe
+  std::uint64_t wildcard_matches = 0;  ///< involved a wildcard src/tag filter
+  /// Flat-vector -> keyed-index promotions (once per index that ever grows
+  /// past the threshold; > 0 means the PR-1 fan-in path actually engaged).
+  std::uint64_t index_promotions = 0;
+  /// Total seconds rendezvous senders spent blocked between initiating a
+  /// send and the pipe draining (the minisweep serialization mechanism).
+  double rendezvous_stall_s = 0.0;
+};
+
+/// Per-region identity: one node of the (parent, name) region call tree.
+struct RegionNode {
+  std::string name;
+  int parent = -1;  ///< index of the enclosing region; -1 only for the root
+  int depth = 0;    ///< root = 0
 };
 
 /// Handle to a nonblocking operation.
@@ -81,6 +117,35 @@ class Engine {
 
   const RankCounters& counters(int rank) const {
     return counters_[static_cast<std::size_t>(rank)];
+  }
+  /// Aggregated introspection counters (valid during and after run()).
+  EngineStats stats() const;
+
+  // --- region profiling (likwid-marker style; see perf/region.hpp) --------
+  //
+  // Regions partition each rank's counters exclusively: every counter delta
+  // is attributed to the innermost region open *when the engine records it*
+  // (completion-time attribution, exactly like reading hardware counters at
+  // marker boundaries), and whatever runs outside any marker lands in the
+  // implicit root region 0.  Summing all regions of a rank therefore
+  // reproduces counters(rank) identically.
+  bool regions_enabled() const { return cfg_.enable_regions; }
+  void region_begin(int rank, std::string_view name);
+  void region_end(int rank) noexcept;
+  /// Number of region nodes (>= 1 when enabled: node 0 is the root).
+  int region_count() const { return static_cast<int>(region_nodes_.size()); }
+  const RegionNode& region_node(int id) const {
+    return region_nodes_[static_cast<std::size_t>(id)];
+  }
+  /// Counters attributed to region `id` on `rank` (exclusive of children).
+  const RankCounters& region_counters(int id, int rank) const {
+    return region_accum_[static_cast<std::size_t>(id)]
+                        [static_cast<std::size_t>(rank)];
+  }
+  /// Times region `id` was entered on `rank`.
+  std::int64_t region_visits(int id, int rank) const {
+    return region_visits_[static_cast<std::size_t>(id)]
+                         [static_cast<std::size_t>(rank)];
   }
   /// Counters accumulated since the rank's begin_measurement() call.
   RankCounters measured(int rank) const;
@@ -290,6 +355,13 @@ class Engine {
 
   /// Per-destination index of entries with concrete (src, tag): unexpected
   /// eager messages and pending rendezvous sends.
+  /// Per-index introspection counters (cheap increments on the existing
+  /// paths; aggregated across destinations by Engine::stats()).
+  struct IndexStats {
+    std::size_t hwm = 0;  ///< deepest queue ever seen
+    std::uint64_t flat = 0, hash = 0, wild = 0;  ///< successful matches
+  };
+
   template <typename T>
   struct MsgIndex {
     struct Promoted {
@@ -298,6 +370,7 @@ class Engine {
     };
     std::vector<T> small;  // arrival order; used until first promotion
     std::unique_ptr<Promoted> promoted;
+    IndexStats stats;
 
     std::size_t size() const {
       return promoted ? promoted->count : small.size();
@@ -306,16 +379,19 @@ class Engine {
       if (!promoted) {
         if (small.size() < kIndexThreshold) {
           small.push_back(std::move(v));
+          stats.hwm = std::max(stats.hwm, small.size());
           return;
         }
         promote();
       }
       ++promoted->count;
+      stats.hwm = std::max(stats.hwm, promoted->count);
       promoted->keyed.fifo_for(match_key(v.src, v.tag)).push(std::move(v));
     }
     /// Removes and returns the earliest-arrived entry matching the (possibly
     /// wildcard) receive filters, or nullopt.
     std::optional<T> take(int src, int tag) {
+      const bool wildcard = src == kAnySource || tag == kAnyTag;
       if (!promoted) {
         for (auto it = small.begin(); it != small.end(); ++it) {
           if ((src != kAnySource && it->src != src) ||
@@ -323,13 +399,14 @@ class Engine {
             continue;
           T v = std::move(*it);
           small.erase(it);  // bounded by kIndexThreshold
+          ++(wildcard ? stats.wild : stats.flat);
           return v;
         }
         return std::nullopt;
       }
       if (promoted->count == 0) return std::nullopt;
       Fifo<T>* q = nullptr;
-      if (src != kAnySource && tag != kAnyTag) {
+      if (!wildcard) {
         q = promoted->keyed.lookup(match_key(src, tag));
       } else {
         // Wildcard: min front seq among matching keys.  Sequence numbers are
@@ -346,6 +423,7 @@ class Engine {
       }
       if (!q) return std::nullopt;
       --promoted->count;
+      ++(wildcard ? stats.wild : stats.hash);
       return q->pop();
     }
     template <typename Fn>
@@ -381,6 +459,7 @@ class Engine {
     };
     std::vector<PostedRecv> small;  // posting order; until first promotion
     std::unique_ptr<Promoted> promoted;
+    IndexStats stats;
 
     std::size_t size() const {
       return promoted ? promoted->count : small.size();
@@ -389,11 +468,13 @@ class Engine {
       if (!promoted) {
         if (small.size() < kIndexThreshold) {
           small.push_back(std::move(pr));
+          stats.hwm = std::max(stats.hwm, small.size());
           return;
         }
         promote();
       }
       ++promoted->count;
+      stats.hwm = std::max(stats.hwm, promoted->count);
       push_indexed(std::move(pr));
     }
     /// Removes and returns the earliest posted receive matching a concrete
@@ -406,6 +487,9 @@ class Engine {
             continue;
           PostedRecv pr = std::move(*it);
           small.erase(it);  // bounded by kIndexThreshold
+          const bool wildcard = pr.src_filter == kAnySource ||
+                                pr.tag_filter == kAnyTag;
+          ++(wildcard ? stats.wild : stats.flat);
           return pr;
         }
         return std::nullopt;
@@ -424,12 +508,14 @@ class Engine {
       }
       if (ex && (wi == wild.size() || ex->front().seq < wild[wi].seq)) {
         --promoted->count;
+        ++stats.hash;
         return ex->pop();
       }
       if (wi < wild.size()) {
         PostedRecv pr = std::move(wild[wi]);
         wild.erase(wild.begin() + static_cast<std::ptrdiff_t>(wi));
         --promoted->count;
+        ++stats.wild;
         return pr;
       }
       return std::nullopt;
@@ -480,6 +566,11 @@ class Engine {
                std::string_view label);
   Activity effective_activity(int rank, Activity a) const;
 
+  // Closes the current attribution window of `rank`: credits everything the
+  // counters accumulated since the last flush to the innermost open region.
+  void flush_region_window(int rank);
+  int region_child(int parent, std::string_view name);
+
   [[noreturn]] void report_deadlock();
 
   EngineConfig cfg_;
@@ -508,6 +599,26 @@ class Engine {
   // Per-rank activity override stack (collectives attribute inner p2p time
   // to the collective's activity).
   std::vector<std::vector<Activity>> activity_stack_;
+
+  // --- region profiling state (allocated only when enable_regions) -------
+  std::vector<RegionNode> region_nodes_;  // node 0 = root "(untracked)"
+  /// (parent, name) -> node id; transparent comparator so lookups take a
+  /// string_view without materializing a std::string.
+  struct RegionKeyLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+  std::map<std::pair<int, std::string>, int, RegionKeyLess> region_lookup_;
+  std::vector<std::vector<int>> region_stack_;     // per rank; starts {0}
+  std::vector<RankCounters> region_window_;        // per rank window snapshot
+  std::vector<std::vector<RankCounters>> region_accum_;  // [node][rank]
+  std::vector<std::vector<std::int64_t>> region_visits_;  // [node][rank]
+
+  double rzv_stall_s_ = 0.0;
 
   std::vector<std::coroutine_handle<Task<>::promise_type>> roots_;
   std::vector<std::unique_ptr<Comm>> comms_;

@@ -25,8 +25,19 @@ struct TrafficVolumes {
     l2_bytes += o.l2_bytes;
     return *this;
   }
+  /// Element-wise difference; keeps snapshot subtraction (warmup windows,
+  /// region profiling) in one place so a new traffic field cannot be missed.
+  TrafficVolumes& operator-=(const TrafficVolumes& o) {
+    mem_bytes -= o.mem_bytes;
+    l3_bytes -= o.l3_bytes;
+    l2_bytes -= o.l2_bytes;
+    return *this;
+  }
   friend TrafficVolumes operator+(TrafficVolumes a, const TrafficVolumes& b) {
     return a += b;
+  }
+  friend TrafficVolumes operator-(TrafficVolumes a, const TrafficVolumes& b) {
+    return a -= b;
   }
   friend TrafficVolumes operator*(TrafficVolumes a, double s) {
     a.mem_bytes *= s;

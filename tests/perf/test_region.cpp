@@ -1,0 +1,145 @@
+// Likwid-style region profiling: exclusive attribution, conservation
+// against the whole-run counters, nesting, and bit-identity when disabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "perf/region.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+namespace sim = spechpc::sim;
+
+namespace {
+
+core::RunResult run_app(const std::string& name, int nranks, bool regions,
+                        int steps = 2) {
+  auto app = core::make_app(name, core::Workload::kTiny);
+  app->set_measured_steps(steps);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.regions = regions;
+  return core::run_benchmark(*app, mach::cluster_a(), nranks, opts);
+}
+
+void expect_rel(double got, double want, const char* what) {
+  EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, std::abs(want))) << what;
+}
+
+// The per-rank sum over all regions (including the "(untracked)" root) must
+// reproduce the rank's whole-run counters: region windows partition the run.
+void check_conservation(const std::string& name, int nranks) {
+  const auto res = run_app(name, nranks, true);
+  const auto& e = res.engine();
+  ASSERT_TRUE(e.regions_enabled());
+  ASSERT_GE(e.region_count(), 3) << name;  // root + >= 2 named regions
+  for (int rank = 0; rank < nranks; ++rank) {
+    sim::RankCounters sum;
+    for (int id = 0; id < e.region_count(); ++id)
+      sum += e.region_counters(id, rank);
+    const auto& whole = e.counters(rank);
+    expect_rel(sum.total_flops(), whole.total_flops(), "flops");
+    expect_rel(sum.traffic.mem_bytes, whole.traffic.mem_bytes, "mem_bytes");
+    expect_rel(sum.total_time(), whole.total_time(), "time");
+    expect_rel(sum.bytes_sent, whole.bytes_sent, "bytes_sent");
+    EXPECT_EQ(sum.messages_received, whole.messages_received) << rank;
+    EXPECT_EQ(sum.collectives, whole.collectives) << rank;
+  }
+}
+
+TEST(Region, TealeafCountersAreConserved) { check_conservation("tealeaf", 8); }
+
+TEST(Region, LbmCountersAreConserved) { check_conservation("lbm", 8); }
+
+TEST(Region, EverySuiteAppEmitsAtLeastTwoNamedRegions) {
+  for (const auto& entry : core::suite()) {
+    const auto res = run_app(std::string(entry.info.name), 8, true, 1);
+    // Node 0 is the implicit root, so >= 3 nodes means >= 2 named regions.
+    EXPECT_GE(res.engine().region_count(), 3) << entry.info.name;
+    for (int id = 1; id < res.engine().region_count(); ++id) {
+      std::int64_t visits = 0;
+      for (int r = 0; r < 8; ++r)
+        visits += res.engine().region_visits(id, r);
+      EXPECT_GT(visits, 0) << entry.info.name << " region "
+                           << res.engine().region_node(id).name;
+    }
+  }
+}
+
+TEST(Region, ProfilingIsBitIdenticalToUninstrumentedRuns) {
+  for (const char* name : {"lbm", "minisweep"}) {
+    const auto off = run_app(name, 8, false);
+    const auto on = run_app(name, 8, true);
+    EXPECT_EQ(off.wall_s(), on.wall_s()) << name;
+    for (int r = 0; r < 8; ++r) {
+      EXPECT_EQ(off.engine().counters(r).total_flops(),
+                on.engine().counters(r).total_flops())
+          << name << " rank " << r;
+      EXPECT_EQ(off.engine().counters(r).total_time(),
+                on.engine().counters(r).total_time())
+          << name << " rank " << r;
+    }
+  }
+}
+
+TEST(Region, NestedGuardsFormSlashJoinedPaths) {
+  // minisweep opens sweep_comm / sweep_block inside each octant region.
+  const auto res = run_app("minisweep", 8, true, 1);
+  const auto rows = perf::region_rows(res.engine());
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.front().id, 0);
+  EXPECT_EQ(rows.front().name, "(untracked)");
+  EXPECT_EQ(rows.front().depth, 0);
+  bool found_nested = false;
+  for (const auto& row : rows)
+    if (row.depth >= 2) {
+      found_nested = true;
+      EXPECT_NE(row.path.find('/'), std::string::npos) << row.path;
+      EXPECT_NE(row.path.find(row.name), std::string::npos) << row.path;
+    }
+  EXPECT_TRUE(found_nested);
+}
+
+TEST(Region, RowsAggregateWhatTheEngineMeasured) {
+  const int nranks = 8;
+  const auto res = run_app("tealeaf", nranks, true);
+  const auto rows = perf::region_rows(res.engine());
+  double flops = 0.0, time_s = 0.0;
+  for (const auto& row : rows) {
+    flops += row.flops;
+    time_s += row.time_s;
+    EXPECT_GE(row.mpi_fraction(), 0.0) << row.path;
+    EXPECT_LE(row.mpi_fraction(), 1.0 + 1e-12) << row.path;
+  }
+  double want_flops = 0.0, want_time = 0.0;
+  for (int r = 0; r < nranks; ++r) {
+    want_flops += res.engine().counters(r).total_flops();
+    want_time += res.engine().counters(r).total_time();
+  }
+  expect_rel(flops, want_flops, "summed flops");
+  expect_rel(time_s, want_time, "summed time");
+}
+
+TEST(Region, RooflinePlacementIsBounded) {
+  const auto res = run_app("tealeaf", 8, true);
+  const auto pts = perf::region_roofline(res.engine(), mach::cluster_a(), 1);
+  ASSERT_FALSE(pts.empty());
+  for (const auto& p : pts) {
+    EXPECT_GT(p.attainable, 0.0) << p.path;
+    EXPECT_GT(p.flop_rate, 0.0) << p.path;
+    // The compute model never beats the machine's own ceiling.
+    EXPECT_LE(p.efficiency(), 1.0 + 1e-9) << p.path;
+  }
+}
+
+TEST(Region, DisabledEngineIgnoresMarkers) {
+  const auto res = run_app("tealeaf", 4, false);
+  EXPECT_FALSE(res.engine().regions_enabled());
+  EXPECT_EQ(res.engine().region_count(), 0);  // no tree is ever built
+}
+
+}  // namespace

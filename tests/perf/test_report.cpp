@@ -1,0 +1,88 @@
+// RunReport artifact: JSON emission, syntax checking, schema validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "perf/report.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+
+namespace {
+
+perf::RunReport sample_report() {
+  auto app = core::make_app("tealeaf", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.regions = true;
+  opts.trace = true;
+  const auto res = core::run_benchmark(*app, mach::cluster_a(), 8, opts);
+  return core::build_report(res, mach::cluster_a(), "tealeaf", "tiny");
+}
+
+TEST(Report, EmitsValidJsonWithEveryRequiredKey) {
+  const std::string text = perf::to_json(sample_report());
+  std::string err;
+  EXPECT_TRUE(perf::is_valid_json(text, &err)) << err;
+  EXPECT_TRUE(perf::validate_run_report_json(text, &err)) << err;
+  for (const auto& key : perf::run_report_required_keys())
+    EXPECT_NE(text.find("\"" + key + "\""), std::string::npos) << key;
+}
+
+TEST(Report, CarriesWorkloadRegionsAndEngineStats) {
+  const auto rep = sample_report();
+  EXPECT_EQ(rep.app, "tealeaf");
+  EXPECT_EQ(rep.workload, "tiny");
+  EXPECT_EQ(rep.nranks, 8);
+  EXPECT_EQ(static_cast<int>(rep.ranks.size()), 8);
+  EXPECT_GE(rep.regions.size(), 3u);  // root + >= 2 named regions
+  EXPECT_FALSE(rep.series.empty());
+  EXPECT_GT(rep.engine_stats.events_processed, 0u);
+  const std::string text = perf::to_json(rep);
+  EXPECT_NE(text.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(text.find("cg_spmv"), std::string::npos);
+}
+
+TEST(Report, ValidatorRejectsDocumentsMissingRequiredKeys) {
+  std::string err;
+  EXPECT_TRUE(perf::is_valid_json("{\"schema_version\": 1}", &err)) << err;
+  EXPECT_FALSE(perf::validate_run_report_json("{\"schema_version\": 1}", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Report, SyntaxCheckerAcceptsWellFormedJson) {
+  for (const char* good :
+       {"{}", "[]", "null", "true", "-12.5e-3",
+        "{\"a\": [1, 2.5, \"x\\n\", false, null], \"b\": {\"c\": []}}"}) {
+    std::string err;
+    EXPECT_TRUE(perf::is_valid_json(good, &err)) << good << ": " << err;
+  }
+}
+
+TEST(Report, SyntaxCheckerRejectsMalformedJson) {
+  for (const char* bad : {"", "{", "{\"a\":}", "[1,]", "{} trailing", "nan",
+                          "{'a': 1}", "{\"a\" 1}", "[1 2]"}) {
+    EXPECT_FALSE(perf::is_valid_json(bad)) << bad;
+  }
+}
+
+TEST(Report, WriteJsonRoundTripsThroughDisk) {
+  const std::string path = "report_roundtrip_test.json";
+  perf::write_json(sample_report(), path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  std::string err;
+  EXPECT_TRUE(perf::validate_run_report_json(buf.str(), &err)) << err;
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Timeline invariants and trace-export formats: per-rank intervals are
+// well-ordered, activity fractions partition time, and the Chrome trace is
+// syntactically valid JSON with one track per rank.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "perf/perf.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+namespace sim = spechpc::sim;
+
+namespace {
+
+constexpr int kRanks = 8;
+
+const sim::Timeline& traced_tealeaf() {
+  static const core::RunResult res = [] {
+    auto app = core::make_app("tealeaf", core::Workload::kTiny);
+    app->set_measured_steps(2);
+    app->set_warmup_steps(1);
+    core::RunOptions opts;
+    opts.trace = true;
+    return core::run_benchmark(*app, mach::cluster_a(), kRanks, opts);
+  }();
+  return res.engine().timeline();
+}
+
+TEST(TraceInvariants, PerRankIntervalsAreOrderedAndDisjoint) {
+  const auto& tl = traced_tealeaf();
+  ASSERT_FALSE(tl.empty());
+  std::map<int, double> last_end;
+  for (const auto& iv : tl.intervals()) {
+    EXPECT_GE(iv.t_end, iv.t_begin) << iv.label;
+    auto [it, fresh] = last_end.try_emplace(iv.rank, iv.t_begin);
+    if (!fresh) {
+      EXPECT_GE(iv.t_begin, it->second - 1e-12)
+          << "rank " << iv.rank << " overlaps at " << iv.label;
+    }
+    it->second = iv.t_end;
+  }
+  EXPECT_EQ(static_cast<int>(last_end.size()), kRanks);
+}
+
+TEST(TraceInvariants, ActivityFractionsSumToOne) {
+  const auto& tl = traced_tealeaf();
+  double total = 0.0;
+  for (const auto& [activity, fraction] : perf::activity_fractions(tl)) {
+    EXPECT_GE(fraction, 0.0) << sim::to_string(activity);
+    total += fraction;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Per-rank breakdowns partition that rank's time as well.
+  for (int r = 0; r < kRanks; ++r) {
+    double rank_total = 0.0;
+    for (const auto& [activity, fraction] : perf::activity_fractions(tl, r))
+      rank_total += fraction;
+    EXPECT_NEAR(rank_total, 1.0, 1e-9) << "rank " << r;
+  }
+}
+
+TEST(TraceInvariants, ChromeTraceIsValidJsonWithOneTrackPerRank) {
+  std::ostringstream os;
+  perf::export_chrome_trace(traced_tealeaf(), os);
+  const std::string text = os.str();
+  std::string err;
+  EXPECT_TRUE(perf::is_valid_json(text, &err)) << err;
+  std::set<std::string> tids;
+  for (std::size_t pos = text.find("\"tid\":"); pos != std::string::npos;
+       pos = text.find("\"tid\":", pos + 1)) {
+    const std::size_t begin = pos + 6;
+    tids.insert(text.substr(begin, text.find_first_of(",}", begin) - begin));
+  }
+  EXPECT_EQ(static_cast<int>(tids.size()), kRanks);
+}
+
+TEST(TraceInvariants, CsvExportHasOneLinePerInterval) {
+  const auto& tl = traced_tealeaf();
+  std::ostringstream os;
+  perf::export_csv(tl, os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, tl.intervals().size() + 1);  // header + one per interval
+  EXPECT_EQ(os.str().rfind("rank,t_begin,t_end,", 0), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Engine introspection: queue high-water marks, flat-vs-hash match paths,
+// index promotions, wildcard accounting, and rendezvous stall time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+
+namespace {
+
+// Every rank floods rank 0 with small eager messages; rank 0 drains them in
+// reverse order, so the unexpected queue grows far past the flat->hash
+// promotion threshold before the first match.
+sim::EngineStats fanin_stats(int nranks, int per_rank) {
+  sim::EngineConfig cfg;
+  cfg.nranks = nranks;
+  sim::Engine engine(std::move(cfg));
+  engine.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() != 0) {
+      for (int k = 0; k < per_rank; ++k)
+        co_await c.send_bytes(0, c.rank() * per_rank + k, 256.0);
+    } else {
+      co_await c.delay(1.0, "drain");
+      for (int src = c.size() - 1; src >= 1; --src)
+        for (int k = per_rank - 1; k >= 0; --k)
+          co_await c.recv_bytes(src, src * per_rank + k);
+    }
+  });
+  return engine.stats();
+}
+
+TEST(EngineStats, FanInPromotesTheUnexpectedIndex) {
+  // 15 senders x 8 messages = 120 unexpected entries at rank 0.
+  const auto s = fanin_stats(16, 8);
+  EXPECT_GT(s.index_promotions, 0u);
+  EXPECT_GE(s.unexpected_hwm, 49u);  // deeper than the promotion threshold
+  EXPECT_GT(s.hash_matches, 0u);
+  EXPECT_GT(s.events_processed, 0u);
+}
+
+TEST(EngineStats, SmallRunsStayOnTheFlatPath) {
+  const auto s = fanin_stats(4, 2);  // 6 entries: never promotes
+  EXPECT_EQ(s.index_promotions, 0u);
+  EXPECT_EQ(s.hash_matches, 0u);
+  EXPECT_GT(s.flat_matches, 0u);
+  EXPECT_LE(s.unexpected_hwm, 48u);
+}
+
+TEST(EngineStats, PostedReceiveHighWaterMarkIsTracked) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine engine(std::move(cfg));
+  constexpr int kMsgs = 60;
+  engine.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0) {
+      std::vector<sim::Request> reqs;
+      for (int k = 0; k < kMsgs; ++k) reqs.push_back(c.irecv_bytes(1, k));
+      co_await c.waitall(std::move(reqs));
+    } else {
+      co_await c.delay(0.5, "post-window");
+      for (int k = 0; k < kMsgs; ++k) co_await c.send_bytes(0, k, 128.0);
+    }
+  });
+  const auto s = engine.stats();
+  EXPECT_GE(s.posted_hwm, 49u);
+  EXPECT_GT(s.index_promotions, 0u);
+}
+
+TEST(EngineStats, WildcardMatchesAreCounted) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine engine(std::move(cfg));
+  engine.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 1) {
+      co_await c.send_bytes(0, 7, 64.0);
+    } else {
+      co_await c.recv_bytes(sim::kAnySource, 7);
+    }
+  });
+  const auto s = engine.stats();
+  EXPECT_GE(s.wildcard_matches, 1u);
+}
+
+TEST(EngineStats, RendezvousStallTimeIsAccounted) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine engine(std::move(cfg));
+  engine.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 1) {
+      // Well past the eager threshold: the sender must block until the
+      // receiver posts.
+      co_await c.send_bytes(0, 3, 8.0 * 1024.0 * 1024.0);
+    } else {
+      co_await c.delay(0.25, "late-post");
+      co_await c.recv_bytes(1, 3);
+    }
+  });
+  const auto s = engine.stats();
+  EXPECT_GT(s.rendezvous_stall_s, 0.0);
+  EXPECT_GT(s.rzv_hwm, 0u);
+}
+
+TEST(EngineStats, ForcedEagerRemovesRendezvousStalls) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.protocol.force_eager = true;
+  sim::Engine engine(std::move(cfg));
+  engine.run([&](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 1) {
+      co_await c.send_bytes(0, 3, 8.0 * 1024.0 * 1024.0);
+    } else {
+      co_await c.delay(0.25, "late-post");
+      co_await c.recv_bytes(1, 3);
+    }
+  });
+  EXPECT_EQ(engine.stats().rendezvous_stall_s, 0.0);
+}
+
+}  // namespace

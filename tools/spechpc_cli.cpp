@@ -3,10 +3,12 @@
 //   spechpc_cli list
 //   spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]
 //                     [--ranks N | --nodes N] [--steps N] [--eager]
+//                     [--regions] [--report out.json]
 //   spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]
-//                     [--max-ranks N] [--jobs N]
+//                     [--max-ranks N] [--jobs N] [--progress]
+//                     [--report out.json]
 //   spechpc_cli trace <app> [--cluster A|B] [--ranks N]
-//                     [--chrome out.json] [--csv out.csv]
+//                     [--format ascii|csv|chrome] [--out FILE]
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,8 +34,13 @@ struct Args {
   int max_ranks = 0;
   int jobs = 1;  // sweep workers; 0 = auto (SPECHPC_JOBS or all cores)
   bool eager = false;
-  std::string chrome_out;
-  std::string csv_out;
+  bool regions = false;
+  bool progress = false;
+  std::string report_out;
+  std::string format = "ascii";  // trace: ascii|csv|chrome
+  std::string trace_out;
+  std::string chrome_out;  // legacy spelling of --format chrome --out FILE
+  std::string csv_out;     // legacy spelling of --format csv --out FILE
 };
 
 int usage() {
@@ -42,10 +49,12 @@ int usage() {
          "  spechpc_cli list\n"
          "  spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]\n"
          "                    [--ranks N | --nodes N] [--steps N] [--eager]\n"
+         "                    [--regions] [--report out.json]\n"
          "  spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]\n"
-         "                    [--max-ranks N] [--jobs N]\n"
+         "                    [--max-ranks N] [--jobs N] [--progress]\n"
+         "                    [--report out.json]\n"
          "  spechpc_cli trace <app> [--cluster A|B] [--ranks N]\n"
-         "                    [--chrome out.json] [--csv out.csv]\n";
+         "                    [--format ascii|csv|chrome] [--out FILE]\n";
   return 2;
 }
 
@@ -66,6 +75,16 @@ std::optional<Args> parse(int argc, char** argv) {
     };
     if (flag == "--eager") {
       a.eager = true;
+    } else if (flag == "--regions") {
+      a.regions = true;
+    } else if (flag == "--progress") {
+      a.progress = true;
+    } else if (flag == "--report") {
+      if (auto v = next()) a.report_out = *v; else return std::nullopt;
+    } else if (flag == "--format") {
+      if (auto v = next()) a.format = *v; else return std::nullopt;
+    } else if (flag == "--out") {
+      if (auto v = next()) a.trace_out = *v; else return std::nullopt;
     } else if (flag == "--cluster") {
       if (auto v = next()) a.cluster = *v; else return std::nullopt;
     } else if (flag == "--workload") {
@@ -121,6 +140,10 @@ int cmd_run(const Args& a) {
   app->set_warmup_steps(1);
   core::RunOptions opts;
   opts.protocol.force_eager = a.eager;
+  // A report should carry the region table and time series, so --report
+  // implies both collectors (they do not perturb the simulated results).
+  opts.regions = a.regions || !a.report_out.empty();
+  opts.trace = !a.report_out.empty();
 
   core::RunResult r =
       a.nodes ? core::run_on_nodes(*app, cluster, *a.nodes, opts)
@@ -144,6 +167,16 @@ int cmd_run(const Args& a) {
   t.add_row({"energy [J]", perf::Table::num(r.power().total_energy_j(), 1)});
   t.add_row({"EDP [Js]", perf::Table::num(r.power().edp(), 2)});
   t.print(std::cout);
+
+  if (opts.regions) {
+    std::cout << "\nregions (likwid-style, exclusive attribution):\n";
+    perf::region_table(r.engine()).print(std::cout);
+  }
+  if (!a.report_out.empty()) {
+    perf::write_json(core::build_report(r, cluster, a.app, a.workload),
+                     a.report_out);
+    std::cout << "wrote run report to " << a.report_out << "\n";
+  }
   return 0;
 }
 
@@ -155,12 +188,22 @@ int cmd_sweep(const Args& a) {
   // (--jobs N, 0 = auto) and print in rank order.  Each worker builds its
   // own app instance, so --jobs never changes the numbers.
   core::SweepRunner pool(a.jobs);
+  if (a.progress)
+    pool.set_progress([&](std::size_t i, std::size_t done, std::size_t total,
+                          double host_s) {
+      // Stderr keeps the stdout table machine-parseable.
+      std::cerr << "[" << done << "/" << total << "] " << a.app << " ranks="
+                << i + 1 << " took " << perf::Table::num(host_s, 3) << "s\n";
+    });
+  core::RunOptions opts;
+  opts.regions = !a.report_out.empty();  // per-point region tables in report
   auto results = pool.map<core::RunResult>(
       static_cast<std::size_t>(maxr), [&](std::size_t i) {
         auto app = core::make_app(a.app, pick_workload(a.workload));
         app->set_measured_steps(a.steps);
         app->set_warmup_steps(1);
-        return core::run_benchmark(*app, cluster, static_cast<int>(i) + 1);
+        return core::run_benchmark(*app, cluster, static_cast<int>(i) + 1,
+                                   opts);
       });
   perf::Table t({"ranks", "t/step [s]", "speedup", "GB/s", "chip W", "J/step"});
   const double t1 = results.front().seconds_per_step();
@@ -173,6 +216,24 @@ int cmd_sweep(const Args& a) {
                perf::Table::num(r.power().total_energy_j() / a.steps, 1)});
   }
   t.print(std::cout);
+
+  if (!a.report_out.empty()) {
+    // Sweep artifact: one RunReport document per point, wrapped in an array
+    // under the same schema version.
+    std::string json = "{\"schema_version\":" +
+                       std::to_string(perf::kRunReportSchemaVersion) +
+                       ",\"points\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) json += ',';
+      json += perf::to_json(
+          core::build_report(results[i], cluster, a.app, a.workload));
+    }
+    json += "]}";
+    std::ofstream f(a.report_out);
+    if (!f) throw std::runtime_error("cannot open " + a.report_out);
+    f << json << "\n";
+    std::cout << "wrote sweep report to " << a.report_out << "\n";
+  }
   return 0;
 }
 
@@ -186,25 +247,47 @@ int cmd_trace(const Args& a) {
   const int ranks = a.ranks.value_or(cluster.cpu.cores_per_domain());
   const auto r = core::run_benchmark(*app, cluster, ranks, opts);
 
+  // --format FMT [--out FILE] is the primary interface; the legacy
+  // --chrome/--csv flags remain as spellings of the same thing.
+  std::string format = a.format;
+  std::string out = a.trace_out;
   if (!a.chrome_out.empty()) {
-    std::ofstream f(a.chrome_out);
-    perf::export_chrome_trace(r.engine().timeline(), f);
-    std::cout << "wrote Chrome trace to " << a.chrome_out << "\n";
+    format = "chrome";
+    out = a.chrome_out;
+  } else if (!a.csv_out.empty()) {
+    format = "csv";
+    out = a.csv_out;
   }
-  if (!a.csv_out.empty()) {
-    std::ofstream f(a.csv_out);
-    perf::export_csv(r.engine().timeline(), f);
-    std::cout << "wrote CSV trace to " << a.csv_out << "\n";
-  }
-  if (a.chrome_out.empty() && a.csv_out.empty())
+
+  if (format == "chrome" || format == "csv") {
+    std::ostream* os = &std::cout;
+    std::ofstream f;
+    if (!out.empty()) {
+      f.open(out);
+      if (!f) throw std::runtime_error("cannot open " + out);
+      os = &f;
+    }
+    if (format == "chrome")
+      perf::export_chrome_trace(r.engine().timeline(), *os);
+    else
+      perf::export_csv(r.engine().timeline(), *os);
+    if (!out.empty())
+      std::cout << "wrote " << format << " trace to " << out << "\n";
+  } else if (format == "ascii") {
     std::cout << perf::render_ascii(r.engine().timeline(),
                                     std::min(ranks, 24), 100);
-  const auto fr = perf::activity_fractions(r.engine().timeline());
-  perf::Table t({"activity", "share [%]"});
-  for (const auto& [act, share] : fr)
-    t.add_row({std::string(sim::to_string(act)),
-               perf::Table::num(100.0 * share, 1)});
-  t.print(std::cout);
+  } else {
+    throw std::invalid_argument("unknown trace format (ascii|csv|chrome): " +
+                                format);
+  }
+  if (format == "ascii" || !out.empty()) {
+    const auto fr = perf::activity_fractions(r.engine().timeline());
+    perf::Table t({"activity", "share [%]"});
+    for (const auto& [act, share] : fr)
+      t.add_row({std::string(sim::to_string(act)),
+                 perf::Table::num(100.0 * share, 1)});
+    t.print(std::cout);
+  }
   return 0;
 }
 
