@@ -1,0 +1,105 @@
+// Resilience study: what do faults cost on the modeled clusters?
+//
+//   1. straggler amplitude sweep -- one slow rank drags the whole BSP step,
+//      so wall time tracks the slowdown factor almost linearly
+//   2. checkpoint interval x crash sweep -- frequent checkpoints pay steady
+//      snapshot overhead, sparse ones pay more recomputation per rollback;
+//      the best interval sits in between
+//   3. degraded-link sweep -- latency/bandwidth derating on one edge
+//
+// All runs are deterministic: the same plan replays the same degraded run.
+#include "bench_util.hpp"
+#include "resilience/resilience.hpp"
+
+using namespace benchutil;
+namespace res = spechpc::resilience;
+
+namespace {
+
+constexpr int kRanks = 16;
+const char* kApps[] = {"lbm", "tealeaf", "cloverleaf"};
+
+double wall(std::string_view name, const core::RunOptions& opts,
+            const res::FaultPlan* plan, int steps = 8) {
+  auto app = make_fast_app(name, core::Workload::kTiny, steps, 1);
+  if (plan) app->set_fault_plan(plan);
+  return core::run_benchmark(*app, mach::cluster_a(), kRanks, opts).wall_s();
+}
+
+}  // namespace
+
+int main() {
+  section("Straggler amplitude sweep (one slow rank, 16 ranks, ClusterA)");
+  expectation(
+      "bulk-synchronous steps complete at the pace of the slowest rank, so "
+      "one straggler at slowdown f costs close to f on the whole run");
+  {
+    perf::Table t({"app", "clean [s]", "f=1.5", "f=2", "f=4"});
+    for (const char* name : kApps) {
+      const double clean = wall(name, {}, nullptr);
+      std::vector<std::string> row = {name, perf::Table::num(clean, 3)};
+      for (double f : {1.5, 2.0, 4.0}) {
+        res::FaultPlan plan;
+        plan.stragglers.push_back({kRanks / 2, 0.0, res::kForever, f});
+        core::RunOptions opts;
+        opts.faults = &plan;
+        row.push_back(perf::Table::num(wall(name, opts, nullptr) / clean, 2) +
+                      "x");
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  section("Checkpoint interval under a rank crash (16 ranks, 8 steps)");
+  expectation(
+      "overhead is U-shaped in the interval: tight intervals snapshot too "
+      "often, loose ones recompute too much after the rollback");
+  {
+    perf::Table t({"app", "clean [s]", "k=1", "k=2", "k=4", "k=8"});
+    for (const char* name : kApps) {
+      const double clean = wall(name, {}, nullptr);
+      std::vector<std::string> row = {name, perf::Table::num(clean, 3)};
+      for (int k : {1, 2, 4, 8}) {
+        res::FaultPlan plan;
+        plan.crashes.push_back({kRanks / 2, clean * 0.4});
+        plan.checkpoint.interval_steps = k;
+        plan.checkpoint.state_bytes_per_rank = 64.0 * 1024 * 1024;
+        plan.checkpoint.restart_delay_s = 1e-3;
+        core::RunOptions opts;
+        opts.faults = &plan;
+        row.push_back(perf::Table::num(wall(name, opts, &plan) / clean, 2) +
+                      "x");
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  section("Degraded link (one edge, latency x20 / bandwidth /10)");
+  expectation(
+      "halo-exchange codes feel a degraded edge in proportion to how much "
+      "of the step is communication; compute-bound phases hide it");
+  {
+    perf::Table t({"app", "clean [s]", "degraded [s]", "ratio"});
+    for (const char* name : kApps) {
+      core::RunOptions base;
+      base.protocol.force_eager = true;
+      const double clean = wall(name, base, nullptr);
+      res::FaultPlan plan;
+      res::LinkFault lf;
+      lf.src = 0;
+      lf.dst = 1;
+      lf.latency_factor = 20.0;
+      lf.bandwidth_factor = 0.1;
+      plan.links.push_back(lf);
+      core::RunOptions opts = base;
+      opts.faults = &plan;
+      const double bad = wall(name, opts, nullptr);
+      t.add_row({name, perf::Table::num(clean, 3), perf::Table::num(bad, 3),
+                 perf::Table::num(bad / clean, 2)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

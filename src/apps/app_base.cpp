@@ -1,5 +1,7 @@
 #include "apps/app_base.hpp"
 
+#include "resilience/checkpoint.hpp"
+
 namespace spechpc::apps {
 
 sim::Task<> AppProxy::setup(sim::Comm&) const { co_return; }
@@ -11,6 +13,26 @@ sim::Task<> AppProxy::rank_main(sim::Comm& comm) const {
   for (int it = 0; it < warmup_steps(); ++it) co_await step(comm, it);
   co_await comm.barrier();
   comm.begin_measurement();
+  if (fault_plan_ && fault_plan_->checkpoint.enabled()) {
+    // Checkpoint/restart-protected measured loop.  Proxies are cost-replay
+    // programs with no mutable numerical state, so "restoring a snapshot"
+    // is just re-executing the rolled-back steps; the protocol still pays
+    // the full snapshot/restore/detection costs.
+    resilience::CheckpointProtocol cp(*fault_plan_);
+    int it = 0;
+    while (it < measured_steps()) {
+      const resilience::StepAction act = co_await cp.begin_step(comm, it);
+      if (act.rollback) {
+        it = act.iter;
+        continue;
+      }
+      co_await step(comm, warmup_steps() + it);
+      ++it;
+    }
+    co_return;
+  }
+  // Fault-free path: kept byte-for-byte equivalent to the pre-resilience
+  // loop so healthy runs stay bit-identical.
   for (int it = 0; it < measured_steps(); ++it)
     co_await step(comm, warmup_steps() + it);
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "resilience/fault_plan.hpp"
 #include "simmpi/comm.hpp"
 
 namespace spechpc::apps {
@@ -48,6 +49,15 @@ class AppProxy {
   void set_measured_steps(int n) { measured_steps_ = n; }
   void set_warmup_steps(int n) { warmup_steps_ = n; }
 
+  /// Attaches a fault plan: when it has a checkpoint section, rank_main
+  /// wraps the measured loop in the coordinated checkpoint/restart protocol
+  /// (proxies replay costs, so rollback simply re-executes the lost steps).
+  /// `plan` must outlive the proxy run; nullptr (default) detaches.
+  void set_fault_plan(const resilience::FaultPlan* plan) {
+    fault_plan_ = plan;
+  }
+  const resilience::FaultPlan* fault_plan() const { return fault_plan_; }
+
   /// Complete rank program: pass to Engine::run.
   sim::Task<> rank_main(sim::Comm& comm) const;
 
@@ -60,6 +70,7 @@ class AppProxy {
  private:
   int measured_steps_ = 8;
   int warmup_steps_ = 2;
+  const resilience::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace spechpc::apps

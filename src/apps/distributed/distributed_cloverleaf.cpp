@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "apps/decomp.hpp"
 #include "perf/region.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/injector.hpp"
 #include "simmpi/engine.hpp"
 
 namespace spechpc::apps::cloverleaf {
@@ -91,7 +94,8 @@ DistributedEuler::DistributedEuler(int nx, int ny, double lx, double ly,
 sim::Task<> DistributedEuler::run(sim::Comm& comm, int steps,
                                   const State& inner, const State& outer,
                                   double cfl, double max_dt,
-                                  std::vector<double>* density_out) const {
+                                  std::vector<double>* density_out,
+                                  const resilience::FaultPlan* faults) const {
   if (comm.size() > ny_)
     throw std::invalid_argument("DistributedEuler: more ranks than rows");
   const Range ry = split_1d(ny_, comm.size(), comm.rank());
@@ -135,7 +139,20 @@ sim::Task<> DistributedEuler::run(sim::Comm& comm, int steps,
     return {st.my, st.mx * v, st.my * v + p, (st.e + p) * v};
   };
 
-  for (int step = 0; step < steps; ++step) {
+  std::optional<resilience::CheckpointProtocol> cp;
+  std::vector<State> snapshot;  // conserved state at the last checkpoint
+  if (faults && faults->checkpoint.enabled()) cp.emplace(*faults);
+  int step = 0;
+  while (step < steps) {
+    if (cp) {
+      const resilience::StepAction act = co_await cp->begin_step(comm, step);
+      if (act.checkpoint) snapshot = u;
+      if (act.rollback) {
+        u = snapshot;
+        step = act.iter;
+        continue;
+      }
+    }
     // Global CFL wave speed: exact max-allreduce (bit-identical to serial).
     double a;
     {
@@ -179,6 +196,7 @@ sim::Task<> DistributedEuler::run(sim::Comm& comm, int steps,
       }
     }
     u.swap(un);
+    ++step;
   }
 
   // Gather densities to rank 0 (all ranks participate).
@@ -206,17 +224,21 @@ sim::Task<> DistributedEuler::run(sim::Comm& comm, int steps,
   }
 }
 
-std::vector<double> DistributedEuler::simulate(int nranks, int steps,
-                                               const State& inner,
-                                               const State& outer, double cfl,
-                                               double max_dt) const {
+std::vector<double> DistributedEuler::simulate(
+    int nranks, int steps, const State& inner, const State& outer, double cfl,
+    double max_dt, const resilience::FaultPlan* faults) const {
   std::vector<double> density;
+  std::optional<resilience::PlanFaultInjector> inj;
   sim::EngineConfig cfg;
   cfg.nranks = nranks;
+  if (faults && !faults->empty()) {
+    inj.emplace(*faults);
+    cfg.faults = &*inj;
+  }
   sim::Engine eng(std::move(cfg));
   eng.run([&](sim::Comm& comm) -> sim::Task<> {
     return run(comm, steps, inner, outer, cfl, max_dt,
-               comm.rank() == 0 ? &density : nullptr);
+               comm.rank() == 0 ? &density : nullptr, faults);
   });
   return density;
 }

@@ -13,6 +13,10 @@
 #include "apps/cloverleaf/cloverleaf_kernel.hpp"
 #include "simmpi/comm.hpp"
 
+namespace spechpc::resilience {
+struct FaultPlan;
+}
+
 namespace spechpc::apps::cloverleaf {
 
 class DistributedEuler {
@@ -21,15 +25,22 @@ class DistributedEuler {
   DistributedEuler(int nx, int ny, double lx, double ly, double gamma = 1.4);
 
   /// Rank program: initializes the two-state problem, advances `steps`
-  /// CFL-limited steps, gathers the global density field to rank 0.
+  /// CFL-limited steps, gathers the global density field to rank 0.  When
+  /// `faults` carries a checkpoint section, the step loop runs under the
+  /// coordinated checkpoint/restart protocol (the conserved state is
+  /// snapshotted; dt is recomputed from it), so the gathered field stays
+  /// bit-identical through transient rank crashes.
   sim::Task<> run(sim::Comm& comm, int steps, const State& inner,
                   const State& outer, double cfl, double max_dt,
-                  std::vector<double>* density_out) const;
+                  std::vector<double>* density_out,
+                  const resilience::FaultPlan* faults = nullptr) const;
 
-  /// Convenience wrapper on a fresh engine.
+  /// Convenience wrapper on a fresh engine.  A non-null `faults` also arms
+  /// the engine-side injector.
   std::vector<double> simulate(int nranks, int steps, const State& inner,
-                               const State& outer, double cfl,
-                               double max_dt) const;
+                               const State& outer, double cfl, double max_dt,
+                               const resilience::FaultPlan* faults
+                               = nullptr) const;
 
   int nx() const { return nx_; }
   int ny() const { return ny_; }

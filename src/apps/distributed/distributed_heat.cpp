@@ -1,10 +1,13 @@
 #include "apps/distributed/distributed_heat.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "apps/decomp.hpp"
 #include "perf/region.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/injector.hpp"
 #include "simmpi/engine.hpp"
 
 namespace spechpc::apps::tealeaf {
@@ -89,10 +92,9 @@ DistributedHeatSolver::DistributedHeatSolver(int nx, int ny, double kappa,
     throw std::invalid_argument("DistributedHeatSolver: bad parameters");
 }
 
-sim::Task<int> DistributedHeatSolver::step(sim::Comm& comm,
-                                           const std::vector<double>& u0,
-                                           std::vector<double>* out,
-                                           double tol, int max_iters) const {
+sim::Task<int> DistributedHeatSolver::step(
+    sim::Comm& comm, const std::vector<double>& u0, std::vector<double>* out,
+    double tol, int max_iters, const resilience::FaultPlan* faults) const {
   if (u0.size() != static_cast<std::size_t>(nx_) * ny_)
     throw std::invalid_argument("DistributedHeatSolver: field size mismatch");
   if (comm.size() > ny_)
@@ -125,8 +127,30 @@ sim::Task<int> DistributedHeatSolver::step(sim::Comm& comm,
   double rr = co_await comm.allreduce(local_dot(s, r, r), sim::ReduceOp::kSum);
   const double stop = tol * tol;
 
+  std::optional<resilience::CheckpointProtocol> cp;
+  std::vector<double> ckpt_x, ckpt_r, ckpt_p;
+  double ckpt_rr = rr;
+  if (faults && faults->checkpoint.enabled()) cp.emplace(*faults);
+
   int it = 0;
-  for (; it < max_iters && rr > stop; ++it) {
+  while (it < max_iters && rr > stop) {
+    if (cp) {
+      const resilience::StepAction act = co_await cp->begin_step(comm, it);
+      if (act.checkpoint) {
+        ckpt_x = x;
+        ckpt_r = r;
+        ckpt_p = p;
+        ckpt_rr = rr;
+      }
+      if (act.rollback) {
+        x = ckpt_x;
+        r = ckpt_r;
+        p = ckpt_p;
+        rr = ckpt_rr;
+        it = act.iter;
+        continue;
+      }
+    }
     SPECHPC_REGION(comm, "cg_iteration");
     co_await exchange_ghosts(comm, s, p);
     apply_local(s, coef_, p, ap);
@@ -145,6 +169,7 @@ sim::Task<int> DistributedHeatSolver::step(sim::Comm& comm,
     for (std::int64_t j = 1; j <= s.rows; ++j)
       for (std::int64_t i = 0; i < s.nx; ++i)
         p[s.idx(i, j)] = r[s.idx(i, j)] + beta * p[s.idx(i, j)];
+    ++it;
   }
 
   // Gather the interior rows to rank 0 (all ranks participate).
@@ -177,15 +202,20 @@ sim::Task<int> DistributedHeatSolver::step(sim::Comm& comm,
 }
 
 DistributedHeatSolver::Result DistributedHeatSolver::solve(
-    int nranks, const std::vector<double>& u0, double tol,
-    int max_iters) const {
+    int nranks, const std::vector<double>& u0, double tol, int max_iters,
+    const resilience::FaultPlan* faults) const {
   Result res;
+  std::optional<resilience::PlanFaultInjector> inj;
   sim::EngineConfig cfg;
   cfg.nranks = nranks;
+  if (faults && !faults->empty()) {
+    inj.emplace(*faults);
+    cfg.faults = &*inj;
+  }
   sim::Engine eng(std::move(cfg));
   eng.run([&](sim::Comm& comm) -> sim::Task<> {
     std::vector<double>* out = comm.rank() == 0 ? &res.field : nullptr;
-    const int it = co_await step(comm, u0, out, tol, max_iters);
+    const int it = co_await step(comm, u0, out, tol, max_iters, faults);
     if (comm.rank() == 0) res.iterations = it;
   });
   return res;

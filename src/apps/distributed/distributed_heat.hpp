@@ -12,6 +12,10 @@
 
 #include "simmpi/comm.hpp"
 
+namespace spechpc::resilience {
+struct FaultPlan;
+}
+
 namespace spechpc::apps::tealeaf {
 
 class DistributedHeatSolver {
@@ -23,18 +27,24 @@ class DistributedHeatSolver {
   /// from the global field `u0` (replicated input for simplicity); each rank
   /// works on its slab.  On rank 0, `out` receives the gathered global
   /// solution.  Returns CG iterations used.
+  /// When `faults` carries a checkpoint section, the CG loop runs under the
+  /// coordinated checkpoint/restart protocol (x, r, p and the residual
+  /// norm are snapshotted), so the solve completes bit-identically through
+  /// transient rank crashes.
   sim::Task<int> step(sim::Comm& comm, const std::vector<double>& u0,
-                      std::vector<double>* out, double tol,
-                      int max_iters) const;
+                      std::vector<double>* out, double tol, int max_iters,
+                      const resilience::FaultPlan* faults = nullptr) const;
 
   /// Convenience: runs the distributed solve on a fresh engine with
-  /// `nranks` ranks and returns (solution, iterations).
+  /// `nranks` ranks and returns (solution, iterations).  A non-null
+  /// `faults` also arms the engine-side injector.
   struct Result {
     std::vector<double> field;
     int iterations = 0;
   };
   Result solve(int nranks, const std::vector<double>& u0, double tol,
-               int max_iters) const;
+               int max_iters,
+               const resilience::FaultPlan* faults = nullptr) const;
 
   int nx() const { return nx_; }
   int ny() const { return ny_; }

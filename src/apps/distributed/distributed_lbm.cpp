@@ -1,10 +1,13 @@
 #include "apps/distributed/distributed_lbm.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "apps/decomp.hpp"
 #include "apps/lbm/d2q9.hpp"
 #include "perf/region.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/injector.hpp"
 #include "simmpi/engine.hpp"
 
 namespace spechpc::apps::lbm {
@@ -126,7 +129,8 @@ DistributedLbm::DistributedLbm(int nx, int ny, double tau)
 
 sim::Task<> DistributedLbm::run(sim::Comm& comm, int steps, double rho,
                                 double ux, double uy, int bump_x, int bump_y,
-                                std::vector<double>* out) const {
+                                std::vector<double>* out,
+                                const resilience::FaultPlan* faults) const {
   if (comm.size() > ny_)
     throw std::invalid_argument("DistributedLbm: more ranks than rows");
   const Range ry = split_1d(ny_, comm.size(), comm.rank());
@@ -149,7 +153,20 @@ sim::Task<> DistributedLbm::run(sim::Comm& comm, int steps, double rho,
     }
 
   const double omega = 1.0 / tau_;
-  for (int step = 0; step < steps; ++step) {
+  std::optional<resilience::CheckpointProtocol> cp;
+  Field snapshot;  // populations at the last checkpoint
+  if (faults && faults->checkpoint.enabled()) cp.emplace(*faults);
+  int step = 0;
+  while (step < steps) {
+    if (cp) {
+      const resilience::StepAction act = co_await cp->begin_step(comm, step);
+      if (act.checkpoint) snapshot = f;
+      if (act.rollback) {
+        f = snapshot;
+        step = act.iter;
+        continue;
+      }
+    }
     collide(s, omega, f);
     {
       SPECHPC_REGION(comm, "halo");
@@ -158,6 +175,7 @@ sim::Task<> DistributedLbm::run(sim::Comm& comm, int steps, double rho,
     propagate(s, f, tmp);
     for (int q = 0; q < kQ; ++q)
       f[static_cast<std::size_t>(q)].swap(tmp[static_cast<std::size_t>(q)]);
+    ++step;
   }
 
   {
@@ -191,16 +209,21 @@ sim::Task<> DistributedLbm::run(sim::Comm& comm, int steps, double rho,
   }
 }
 
-std::vector<double> DistributedLbm::simulate(int nranks, int steps, double rho,
-                                             double ux, double uy, int bump_x,
-                                             int bump_y) const {
+std::vector<double> DistributedLbm::simulate(
+    int nranks, int steps, double rho, double ux, double uy, int bump_x,
+    int bump_y, const resilience::FaultPlan* faults) const {
   std::vector<double> density;
+  std::optional<resilience::PlanFaultInjector> inj;
   sim::EngineConfig cfg;
   cfg.nranks = nranks;
+  if (faults && !faults->empty()) {
+    inj.emplace(*faults);
+    cfg.faults = &*inj;
+  }
   sim::Engine eng(std::move(cfg));
   eng.run([&](sim::Comm& comm) -> sim::Task<> {
     return run(comm, steps, rho, ux, uy, bump_x, bump_y,
-               comm.rank() == 0 ? &density : nullptr);
+               comm.rank() == 0 ? &density : nullptr, faults);
   });
   return density;
 }

@@ -14,6 +14,10 @@
 #include "apps/lbm/lbm_kernel.hpp"
 #include "simmpi/comm.hpp"
 
+namespace spechpc::resilience {
+struct FaultPlan;
+}
+
 namespace spechpc::apps::lbm {
 
 class DistributedLbm {
@@ -24,13 +28,21 @@ class DistributedLbm {
   /// Rank program: initializes every cell to the equilibrium of
   /// (rho, ux, uy) plus a density bump at (bump_x, bump_y), runs `steps`
   /// timesteps, and gathers the global density field to rank 0 into `out`.
+  /// When `faults` carries a checkpoint section, the timestep loop runs
+  /// under the coordinated checkpoint/restart protocol: the populations are
+  /// snapshotted periodically and restored after a (transient) rank crash,
+  /// so the gathered field is bit-identical to a fault-free run.
   sim::Task<> run(sim::Comm& comm, int steps, double rho, double ux,
-                  double uy, int bump_x, int bump_y,
-                  std::vector<double>* out) const;
+                  double uy, int bump_x, int bump_y, std::vector<double>* out,
+                  const resilience::FaultPlan* faults = nullptr) const;
 
   /// Convenience: execute on a fresh engine; returns rank-0's density field.
+  /// A non-null `faults` also arms the engine-side injector (message drops,
+  /// duplicates, hard crashes).
   std::vector<double> simulate(int nranks, int steps, double rho, double ux,
-                               double uy, int bump_x, int bump_y) const;
+                               double uy, int bump_x, int bump_y,
+                               const resilience::FaultPlan* faults
+                               = nullptr) const;
 
   int nx() const { return nx_; }
   int ny() const { return ny_; }

@@ -15,15 +15,39 @@ RunResult run_benchmark(const apps::AppProxy& app,
     res.noisy_ = std::make_unique<mach::NoisyComputeModel>(
         res.compute_.get(), opts.os_noise_amplitude, opts.os_noise_seed);
 
+  // Fault-plan decorators stack on top of the noise decorator; each layer is
+  // only instantiated when the plan actually uses it, so fault-free runs go
+  // through the exact same model objects as before.
+  const sim::ComputeModel* compute =
+      res.noisy_ ? static_cast<const sim::ComputeModel*>(res.noisy_.get())
+                 : res.compute_.get();
+  const sim::NetworkModel* network = res.network_.get();
+  const bool faulty = opts.faults && !opts.faults->empty();
+  if (faulty) {
+    res.injector_ =
+        std::make_unique<resilience::PlanFaultInjector>(*opts.faults);
+    if (opts.faults->has_stragglers()) {
+      res.straggler_ = std::make_unique<resilience::StragglerComputeModel>(
+          compute, opts.faults);
+      compute = res.straggler_.get();
+    }
+    if (opts.faults->has_link_faults()) {
+      res.degraded_ = std::make_unique<resilience::DegradedNetworkModel>(
+          network, opts.faults);
+      network = res.degraded_.get();
+    }
+  }
+
   sim::EngineConfig cfg;
   cfg.nranks = placement.nranks();
   cfg.placement = std::move(placement);
-  cfg.compute = res.noisy_ ? static_cast<const sim::ComputeModel*>(res.noisy_.get())
-                           : res.compute_.get();
-  cfg.network = res.network_.get();
+  cfg.compute = compute;
+  cfg.network = network;
   cfg.protocol = opts.protocol;
   cfg.enable_trace = opts.trace;
   cfg.enable_regions = opts.regions;
+  if (faulty) cfg.faults = res.injector_.get();
+  cfg.watchdog = opts.watchdog;
   res.engine_ = std::make_unique<sim::Engine>(std::move(cfg));
 
   res.engine_->run(
@@ -74,6 +98,11 @@ perf::RunReport build_report(const RunResult& result,
   if (engine.regions_enabled()) rep.regions = perf::region_rows(engine);
   if (!engine.timeline().intervals().empty())
     rep.series = perf::time_series(engine.timeline(), 32);
+  if (engine.faults_enabled()) {
+    rep.resilience.enabled = true;
+    rep.resilience.log = engine.resilience_log();
+    if (engine.stall()) rep.resilience.stall = *engine.stall();
+  }
   return rep;
 }
 

@@ -9,6 +9,7 @@
 #include "perf/metrics.hpp"
 #include "perf/report.hpp"
 #include "power/power_model.hpp"
+#include "resilience/resilience.hpp"
 #include "simmpi/engine.hpp"
 
 namespace spechpc::core {
@@ -25,6 +26,14 @@ struct RunOptions {
   /// the paper reports them.
   double os_noise_amplitude = 0.0;
   std::uint64_t os_noise_seed = 0;
+  /// Optional fault plan (must outlive the run): arms the engine-side
+  /// injector and wraps the cost models in plan-driven straggler/link
+  /// decorators.  Callers that want checkpoint/restart must also attach the
+  /// plan to the app (AppProxy::set_fault_plan) before running.  nullptr or
+  /// an empty plan leaves the run bit-identical to a fault-free one.
+  const resilience::FaultPlan* faults = nullptr;
+  /// Progress-stall policy (throw vs. record a structured diagnosis).
+  sim::WatchdogConfig watchdog;
 };
 
 /// One finished run: owns the engine (for timeline access) and the models.
@@ -45,6 +54,9 @@ class RunResult {
   std::unique_ptr<mach::RooflineComputeModel> compute_;
   std::unique_ptr<mach::NoisyComputeModel> noisy_;
   std::unique_ptr<mach::HdrNetworkModel> network_;
+  std::unique_ptr<resilience::PlanFaultInjector> injector_;
+  std::unique_ptr<resilience::StragglerComputeModel> straggler_;
+  std::unique_ptr<resilience::DegradedNetworkModel> degraded_;
   std::unique_ptr<sim::Engine> engine_;
   perf::JobMetrics metrics_;
   power::PowerReport power_;

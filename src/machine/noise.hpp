@@ -6,8 +6,16 @@
 // seed-reproducible multiplicative jitter, so repeated simulations with
 // different seeds reproduce the statistical spread of real runs while each
 // individual run stays bit-reproducible.
+//
+// The noise is a pure function of (seed, rank, phase start time): the model
+// holds no mutable state, so one instance can be shared across SweepRunner
+// worker threads and parallel sweeps stay bit-identical to serial.  The
+// phase start time is the engine's per-rank virtual clock, which identifies
+// the phase deterministically (it plays the role of a per-rank phase index
+// without requiring the model to count calls).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "simmpi/models.hpp"
@@ -24,16 +32,25 @@ class NoisyComputeModel final : public sim::ComputeModel {
 
   sim::ComputeOutcome evaluate(int rank, const sim::Placement& placement,
                                const sim::KernelWork& work) const override {
-    sim::ComputeOutcome out = inner_->evaluate(rank, placement, work);
-    out.seconds *= 1.0 + amplitude_ * sample(rank);
+    return evaluate_at(rank, placement, work, 0.0);
+  }
+
+  sim::ComputeOutcome evaluate_at(int rank, const sim::Placement& placement,
+                                  const sim::KernelWork& work,
+                                  double now) const override {
+    sim::ComputeOutcome out =
+        inner_->evaluate_at(rank, placement, work, now);
+    out.seconds *= 1.0 + amplitude_ * sample(rank, now);
     return out;
   }
 
  private:
-  // splitmix64-style hash of (seed, rank, per-rank call counter) -> [0, 1).
-  double sample(int rank) const {
-    std::uint64_t x = seed_ + 0x9e3779b97f4a7c15ull * (counter_++) +
-                      0xbf58476d1ce4e5b9ull * static_cast<std::uint64_t>(rank + 1);
+  // splitmix64-style hash of (seed, rank, phase start time) -> [0, 1).
+  double sample(int rank, double now) const {
+    std::uint64_t x = seed_ +
+                      0x9e3779b97f4a7c15ull * std::bit_cast<std::uint64_t>(now) +
+                      0xbf58476d1ce4e5b9ull *
+                          static_cast<std::uint64_t>(rank + 1);
     x ^= x >> 30;
     x *= 0xbf58476d1ce4e5b9ull;
     x ^= x >> 27;
@@ -45,7 +62,6 @@ class NoisyComputeModel final : public sim::ComputeModel {
   const sim::ComputeModel* inner_;
   double amplitude_;
   std::uint64_t seed_;
-  mutable std::uint64_t counter_ = 0;
 };
 
 }  // namespace spechpc::mach

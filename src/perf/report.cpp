@@ -76,6 +76,10 @@ class Json {
   Json& kv(std::string_view k, T v) {
     return key(k).value(v);
   }
+  /// Embeds `json` verbatim; the caller guarantees it is a valid document
+  /// (used for the canonical fault-plan echo).
+  Json& raw_json(const std::string& json) { return raw(json); }
+  Json& null() { return raw("null"); }
 
  private:
   Json& open(char c) {
@@ -191,7 +195,85 @@ std::string to_json(const RunReport& r) {
       .kv("wildcard_matches", e.wildcard_matches)
       .kv("index_promotions", e.index_promotions)
       .kv("rendezvous_stall_s", e.rendezvous_stall_s)
+      .kv("messages_dropped", e.messages_dropped)
+      .kv("retransmissions", e.retransmissions)
+      .kv("messages_lost", e.messages_lost)
+      .kv("duplicates", e.duplicates)
+      .kv("crashed_ranks", e.crashed_ranks)
+      .kv("stalled_ranks", e.stalled_ranks)
       .end_obj();
+
+  if (r.resilience.enabled) {
+    const sim::ResilienceLog& log = r.resilience.log;
+    j.key("resilience").begin_obj();
+    if (!r.resilience.plan_json.empty())
+      j.key("plan").raw_json(r.resilience.plan_json);
+    j.key("counters")
+        .begin_obj()
+        .kv("messages_dropped", log.messages_dropped)
+        .kv("retransmissions", log.retransmissions)
+        .kv("messages_lost", log.messages_lost)
+        .kv("duplicates", log.duplicates)
+        .kv("crashed_ranks", log.crashed_ranks)
+        .kv("checkpoints", log.checkpoints)
+        .kv("rollbacks", log.rollbacks)
+        .kv("checkpoint_s", log.checkpoint_s)
+        .kv("restart_s", log.restart_s)
+        .kv("recompute_s", log.recompute_s)
+        .end_obj();
+    j.key("events").begin_arr();
+    for (const sim::FaultEvent& ev : log.events) {
+      j.begin_obj()
+          .kv("t", ev.time)
+          .kv("kind", std::string_view(sim::to_string(ev.kind)))
+          .kv("rank", ev.rank)
+          .kv("src", ev.src)
+          .kv("dst", ev.dst)
+          .kv("tag", ev.tag)
+          .kv("bytes", ev.bytes)
+          .kv("attempt", ev.attempt)
+          .end_obj();
+    }
+    j.end_arr();
+    j.key("stall");
+    if (r.resilience.stall) {
+      const sim::StallDiagnosis& d = *r.resilience.stall;
+      j.begin_obj()
+          .kv("nranks", d.nranks)
+          .kv("blocked_ranks", d.blocked_ranks);
+      j.key("crashed").begin_arr();
+      for (int c : d.crashed) j.value(c);
+      j.end_arr();
+      j.key("blocked_recvs").begin_arr();
+      for (const sim::StallDiagnosis::BlockedRecv& br : d.recvs) {
+        j.begin_obj()
+            .kv("rank", br.rank)
+            .kv("src", br.src_filter)
+            .kv("tag", br.tag_filter)
+            .kv("since", br.since)
+            .end_obj();
+      }
+      j.end_arr();
+      j.key("blocked_rzv_sends").begin_arr();
+      for (const sim::StallDiagnosis::BlockedSend& bs : d.sends) {
+        j.begin_obj()
+            .kv("src", bs.src)
+            .kv("dst", bs.dst)
+            .kv("tag", bs.tag)
+            .kv("bytes", bs.bytes)
+            .kv("since", bs.since)
+            .end_obj();
+      }
+      j.end_arr();
+      j.kv("undelivered_eager",
+           static_cast<std::uint64_t>(d.undelivered_eager))
+          .kv("lost_messages", d.lost_messages)
+          .end_obj();
+    } else {
+      j.null();
+    }
+    j.end_obj();
+  }
 
   j.key("ranks").begin_arr();
   for (const sim::RankCounters& c : r.ranks) emit_counters(j, c);

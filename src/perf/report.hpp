@@ -14,6 +14,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +30,21 @@ namespace spechpc::perf {
 
 /// Bump when the JSON layout changes incompatibly.
 inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Degraded-run accounting: everything the fault-injection subsystem did to
+/// the run.  Only serialized when `enabled` (i.e. a fault plan was armed),
+/// so fault-free artifacts are unchanged.
+struct ResilienceSection {
+  bool enabled = false;
+  /// Canonical JSON echo of the fault plan (resilience::FaultPlan::to_json),
+  /// embedded verbatim for a self-contained, auditable artifact.  Empty =
+  /// omitted.
+  std::string plan_json;
+  sim::ResilienceLog log;  ///< fault events + retransmission/ckpt counters
+  /// Present when the watchdog diagnosed a progress stall instead of
+  /// throwing (WatchdogConfig::OnStall::kDiagnose).
+  std::optional<sim::StallDiagnosis> stall;
+};
 
 /// Everything serialized into one run's JSON artifact.
 struct RunReport {
@@ -51,6 +67,7 @@ struct RunReport {
   std::vector<sim::RankCounters> ranks;  ///< measured per-rank counters
   std::vector<RegionRow> regions;       ///< empty unless regions enabled
   std::vector<TimeBucket> series;       ///< empty unless traced
+  ResilienceSection resilience;         ///< serialized only when enabled
 };
 
 /// Serializes `report` as a self-contained JSON object (schema_version on

@@ -1,0 +1,109 @@
+#include "resilience/checkpoint.hpp"
+
+#include "simmpi/engine.hpp"
+#include "simmpi/work.hpp"
+
+namespace spechpc::resilience {
+
+namespace {
+
+/// Snapshot I/O cost: the live state is read and the checkpoint copy
+/// written (restore is the mirror image), i.e. 2x the state volume in
+/// memory traffic.
+sim::KernelWork state_copy_work(double state_bytes, const char* label) {
+  sim::KernelWork w;
+  w.traffic.mem_bytes = 2.0 * state_bytes;
+  w.label = label;
+  return w;
+}
+
+}  // namespace
+
+CheckpointProtocol::CheckpointProtocol(const FaultPlan& plan)
+    : plan_(&plan), crash_cursor_(-1.0) {}
+
+sim::Task<StepAction> CheckpointProtocol::begin_step(sim::Comm& comm,
+                                                     int iter) {
+  StepAction act;
+  act.iter = iter;
+  const CheckpointConfig& cfg = plan_->checkpoint;
+  if (!cfg.enabled()) co_return act;
+  sim::Engine& eng = comm.engine();
+
+  // Initial checkpoint: before anything can fail, establish a rollback
+  // target (its snapshot doubles as the restore state if a crash fires on
+  // the very first heartbeat, which is why callers must handle
+  // act.checkpoint before act.rollback).
+  if (!have_ckpt_) {
+    const double t0 = comm.now();
+    co_await comm.compute(state_copy_work(cfg.state_bytes_per_rank,
+                                          "ckpt_write"));
+    co_await comm.barrier();
+    have_ckpt_ = true;
+    last_ckpt_iter_ = iter;
+    last_ckpt_time_ = comm.now();
+    ++checkpoints_;
+    act.checkpoint = true;
+    if (comm.rank() == 0) {
+      eng.note_checkpoint(comm.now() - t0);
+      eng.record_fault_event(sim::FaultEvent{
+          comm.now(), sim::FaultKind::kCheckpoint, comm.world_rank(), -1, -1,
+          0, cfg.state_bytes_per_rank, iter});
+    }
+  }
+
+  // Failure detection heartbeat: every rank contributes "did my crash fire
+  // since the last heartbeat"; the max-allreduce spreads the alarm.  Crash
+  // times come from the plan, so detection is deterministic.
+  const double now = comm.now();
+  const double tc = plan_->next_crash_after(comm.world_rank(), crash_cursor_);
+  const bool mine_fired = tc <= now;
+  const double alarm =
+      co_await comm.allreduce(mine_fired ? 1.0 : 0.0, sim::ReduceOp::kMax);
+  if (alarm > 0.0) {
+    if (mine_fired) {
+      crash_cursor_ = tc;  // each crash event fires exactly once
+      eng.record_fault_event(sim::FaultEvent{
+          tc, sim::FaultKind::kCrash, comm.world_rank(), -1, -1, 0, 0.0,
+          iter});
+    }
+    const double t0 = comm.now();
+    if (cfg.restart_delay_s > 0.0)
+      co_await comm.delay(cfg.restart_delay_s, "ckpt_restart");
+    co_await comm.compute(state_copy_work(cfg.state_bytes_per_rank,
+                                          "ckpt_restore"));
+    ++rollbacks_;
+    act.rollback = true;
+    act.iter = last_ckpt_iter_;
+    if (comm.rank() == 0) {
+      // Restart = detection stall + restore; recompute = wall time since
+      // the checkpoint we fall back to (that work is executed again).
+      eng.note_rollback(comm.now() - t0, t0 - last_ckpt_time_);
+      eng.record_fault_event(sim::FaultEvent{
+          comm.now(), sim::FaultKind::kRollback, comm.world_rank(), -1, -1,
+          0, cfg.state_bytes_per_rank, last_ckpt_iter_});
+    }
+    co_return act;
+  }
+
+  // Periodic checkpoint.
+  if (iter - last_ckpt_iter_ >= cfg.interval_steps) {
+    const double t0 = comm.now();
+    co_await comm.compute(state_copy_work(cfg.state_bytes_per_rank,
+                                          "ckpt_write"));
+    co_await comm.barrier();
+    last_ckpt_iter_ = iter;
+    last_ckpt_time_ = comm.now();
+    ++checkpoints_;
+    act.checkpoint = true;
+    if (comm.rank() == 0) {
+      eng.note_checkpoint(comm.now() - t0);
+      eng.record_fault_event(sim::FaultEvent{
+          comm.now(), sim::FaultKind::kCheckpoint, comm.world_rank(), -1, -1,
+          0, cfg.state_bytes_per_rank, iter});
+    }
+  }
+  co_return act;
+}
+
+}  // namespace spechpc::resilience

@@ -1,0 +1,77 @@
+// Resilience: coordinated checkpoint/restart protocol.
+//
+// A lightweight in-simulation BSP checkpoint protocol for iterative solvers.
+// Each rank constructs one CheckpointProtocol inside its coroutine and calls
+// begin_step() at the top of every iteration:
+//
+//   resilience::CheckpointProtocol cp(plan);
+//   int it = 0;
+//   while (it < steps) {
+//     StepAction act = co_await cp.begin_step(comm, it);
+//     if (act.checkpoint) take_snapshot();   // BEFORE the rollback check:
+//     if (act.rollback) {                    // both can be set on the very
+//       restore_snapshot();                  // first iteration, where the
+//       it = act.iter;                       // initial snapshot doubles as
+//       continue;                            // the rollback target
+//     }
+//     ... execute iteration `it` ...
+//     ++it;
+//   }
+//
+// begin_step does three things, all collectively and deterministically:
+//  1. Failure detection: an allreduce(max) of per-rank "my crash fired"
+//     flags — the standard BSP heartbeat, whose cost is the collective
+//     itself.  Crash times come from the plan; each crash fires once.
+//  2. Rollback: when any rank crashed, every rank pays the restart delay,
+//     reloads the last snapshot (modeled as memory traffic), and resumes
+//     from the checkpointed iteration; the caller re-executes the lost
+//     iterations (recompute-from-checkpoint recovery).
+//  3. Periodic checkpoint: every interval_steps iterations (and at iteration
+//     0, so a rollback target always exists) the state is written out
+//     (memory traffic) and committed with a barrier.
+//
+// Recovery statistics are recorded into the engine's ResilienceLog by rank 0
+// (the protocol is coordinated, so rank 0's times are representative).
+#pragma once
+
+#include "resilience/fault_plan.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/task.hpp"
+
+namespace spechpc::resilience {
+
+/// What the caller must do with this iteration.
+struct StepAction {
+  bool rollback = false;    ///< restore the last snapshot, jump to `iter`
+  bool checkpoint = false;  ///< snapshot the state before executing `iter`
+  int iter = 0;             ///< iteration to execute now
+};
+
+class CheckpointProtocol {
+ public:
+  /// `plan` must outlive the protocol.  A plan without a checkpoint section
+  /// turns begin_step into a no-op (no detection, no checkpoints), keeping
+  /// fault-free runs bit-identical to undecorated ones.  Note: the protocol
+  /// only recovers *transient* crashes (plan.hard_crashes == false); a
+  /// hard-crashed rank is silenced by the engine and cannot participate in
+  /// the detection collective, so such runs end in a stall diagnosis.
+  explicit CheckpointProtocol(const FaultPlan& plan);
+
+  /// Collective; call at the top of every iteration with the iteration the
+  /// caller is about to execute.
+  sim::Task<StepAction> begin_step(sim::Comm& comm, int iter);
+
+  int checkpoints_taken() const { return checkpoints_; }
+  int rollbacks() const { return rollbacks_; }
+
+ private:
+  const FaultPlan* plan_;
+  double crash_cursor_;  ///< crashes at or before this time are consumed
+  int last_ckpt_iter_ = 0;
+  double last_ckpt_time_ = 0.0;
+  bool have_ckpt_ = false;
+  int checkpoints_ = 0;
+  int rollbacks_ = 0;
+};
+
+}  // namespace spechpc::resilience

@@ -1,0 +1,100 @@
+// Resilience: plan-driven decorator cost models.
+//
+// Generalizes mach::NoisyComputeModel's decorator pattern to scripted,
+// time-windowed degradation: StragglerComputeModel multiplies compute time
+// inside a plan's straggler windows, DegradedNetworkModel scales LogGP-style
+// latency and bandwidth inside link-fault windows.  Both are stateless pure
+// functions of (plan, inputs) and forward to the wrapped model outside any
+// active window, so a run with an empty plan is bit-identical to an
+// undecorated run.
+#pragma once
+
+#include "resilience/fault_plan.hpp"
+#include "simmpi/models.hpp"
+
+namespace spechpc::resilience {
+
+/// Slows compute phases of straggler ranks by the plan's window factor.
+class StragglerComputeModel final : public sim::ComputeModel {
+ public:
+  /// `inner` and `plan` must outlive the model.
+  StragglerComputeModel(const sim::ComputeModel* inner, const FaultPlan* plan)
+      : inner_(inner), plan_(plan) {}
+
+  sim::ComputeOutcome evaluate(int rank, const sim::Placement& placement,
+                               const sim::KernelWork& work) const override {
+    return evaluate_at(rank, placement, work, 0.0);
+  }
+
+  sim::ComputeOutcome evaluate_at(int rank, const sim::Placement& placement,
+                                  const sim::KernelWork& work,
+                                  double now) const override {
+    sim::ComputeOutcome out = inner_->evaluate_at(rank, placement, work, now);
+    const double f = plan_->straggler_factor(rank, now);
+    if (f > 1.0) {
+      // The work is unchanged but takes f times longer: the core runs at
+      // 1/f of its healthy utilization (interference steals cycles), so
+      // port-busy accounting stays consistent.
+      out.seconds *= f;
+      out.core_utilization /= f;
+    }
+    return out;
+  }
+
+ private:
+  const sim::ComputeModel* inner_;
+  const FaultPlan* plan_;
+};
+
+/// Scales latency and bandwidth of degraded links per the plan's windows.
+class DegradedNetworkModel final : public sim::NetworkModel {
+ public:
+  /// `inner` and `plan` must outlive the model.
+  DegradedNetworkModel(const sim::NetworkModel* inner, const FaultPlan* plan)
+      : inner_(inner), plan_(plan) {}
+
+  sim::TransferCost transfer(int src, int dst, const sim::Placement& p,
+                             double bytes) const override {
+    return transfer_at(src, dst, p, bytes, 0.0);
+  }
+
+  sim::TransferCost transfer_at(int src, int dst, const sim::Placement& p,
+                                double bytes, double now) const override {
+    double lf = 1.0, ibf = 1.0;
+    plan_->link_factors(src, dst, now, &lf, &ibf);
+    if (lf == 1.0 && ibf == 1.0)
+      return inner_->transfer_at(src, dst, p, bytes, now);
+    // Decompose the inner cost into its latency part (a zero-byte transfer)
+    // and its serialization part, then scale each with its own factor.  This
+    // works for any inner model with affine cost in `bytes` (Hockney/LogGP).
+    const sim::TransferCost lat = inner_->transfer_at(src, dst, p, 0.0, now);
+    const sim::TransferCost full =
+        inner_->transfer_at(src, dst, p, bytes, now);
+    sim::TransferCost c;
+    // Sender overhead is CPU work, unaffected by wire latency; injection
+    // time stretches with the degraded bandwidth.
+    c.sender_busy_s = lat.sender_busy_s +
+                      (full.sender_busy_s - lat.sender_busy_s) * ibf;
+    c.in_flight_s =
+        lat.in_flight_s * lf + (full.in_flight_s - lat.in_flight_s) * ibf;
+    return c;
+  }
+
+  double control_latency(int src, int dst,
+                         const sim::Placement& p) const override {
+    return control_latency_at(src, dst, p, 0.0);
+  }
+
+  double control_latency_at(int src, int dst, const sim::Placement& p,
+                            double now) const override {
+    double lf = 1.0, ibf = 1.0;
+    plan_->link_factors(src, dst, now, &lf, &ibf);
+    return inner_->control_latency_at(src, dst, p, now) * lf;
+  }
+
+ private:
+  const sim::NetworkModel* inner_;
+  const FaultPlan* plan_;
+};
+
+}  // namespace spechpc::resilience

@@ -1,0 +1,496 @@
+#include "resilience/fault_plan.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace spechpc::resilience {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM parser.
+//
+// The perf library ships only a validator (it never needs the values); plans
+// do need values, so this is the one place in the codebase that materializes
+// a JSON document.  It is deliberately small: objects, arrays, numbers,
+// strings, bools, null, a depth limit, and precise error positions.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  // std::map keeps error messages and to_json round-trips deterministic.
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("fault plan JSON: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.string = string();
+      return v;
+    }
+    if (consume("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume("null")) return {};
+    return number();
+  }
+
+  JsonValue object(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      if (!v.object.emplace(std::move(key), value(depth + 1)).second)
+        fail("duplicate object key");
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // Plans are ASCII configuration data; encode BMP code points as
+          // UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// --- schema helpers --------------------------------------------------------
+
+[[noreturn]] void plan_error(const std::string& what) {
+  throw std::runtime_error("fault plan: " + what);
+}
+
+double get_number(const JsonValue& obj, const std::string& key, double dflt,
+                  const char* ctx) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) return dflt;
+  if (it->second.type != JsonValue::Type::kNumber)
+    plan_error(std::string(ctx) + "." + key + " must be a number");
+  return it->second.number;
+}
+
+int get_int(const JsonValue& obj, const std::string& key, int dflt,
+            const char* ctx) {
+  const double d = get_number(obj, key, dflt, ctx);
+  if (d != std::floor(d) || d < -2147483648.0 || d > 2147483647.0)
+    plan_error(std::string(ctx) + "." + key + " must be an integer");
+  return static_cast<int>(d);
+}
+
+bool get_bool(const JsonValue& obj, const std::string& key, bool dflt,
+              const char* ctx) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) return dflt;
+  if (it->second.type != JsonValue::Type::kBool)
+    plan_error(std::string(ctx) + "." + key + " must be a boolean");
+  return it->second.boolean;
+}
+
+void check_keys(const JsonValue& obj,
+                std::initializer_list<std::string_view> allowed,
+                const char* ctx) {
+  for (const auto& kv : obj.object) {
+    bool ok = false;
+    for (const auto a : allowed) ok = ok || kv.first == a;
+    if (!ok) plan_error(std::string("unknown key '") + kv.first + "' in " +
+                        ctx);
+  }
+}
+
+const JsonValue* get_array(const JsonValue& obj, const std::string& key,
+                           const char* ctx) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) return nullptr;
+  if (it->second.type != JsonValue::Type::kArray)
+    plan_error(std::string(ctx) + "." + key + " must be an array");
+  return &it->second;
+}
+
+/// Compact float formatting matching the report emitter ("null" never
+/// appears: plans reject non-finite values on input).
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+
+double FaultPlan::straggler_factor(int rank, double t) const {
+  double f = 1.0;
+  for (const auto& w : stragglers)
+    if ((w.rank == kAny || w.rank == rank) && t >= w.t_begin && t < w.t_end)
+      f *= w.slowdown;
+  return f;
+}
+
+void FaultPlan::link_factors(int src, int dst, double t,
+                             double* latency_factor,
+                             double* inv_bandwidth_factor) const {
+  double lf = 1.0, ibf = 1.0;
+  for (const auto& l : links) {
+    if (l.src != kAny && l.src != src) continue;
+    if (l.dst != kAny && l.dst != dst) continue;
+    if (t < l.t_begin || t >= l.t_end) continue;
+    lf *= l.latency_factor;
+    ibf /= l.bandwidth_factor;
+  }
+  *latency_factor = lf;
+  *inv_bandwidth_factor = ibf;
+}
+
+double FaultPlan::next_crash_after(int rank, double t) const {
+  double best = kForever;
+  for (const auto& c : crashes)
+    if (c.rank == rank && c.time > t && c.time < best) best = c.time;
+  return best;
+}
+
+FaultPlan FaultPlan::parse(std::string_view json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.type != JsonValue::Type::kObject)
+    plan_error("document must be an object");
+  check_keys(root,
+             {"seed", "hard_crashes", "stragglers", "links", "messages",
+              "crashes", "checkpoint"},
+             "plan");
+  FaultPlan p;
+  const double seed = get_number(root, "seed", 0.0, "plan");
+  if (seed < 0.0 || seed != std::floor(seed))
+    plan_error("plan.seed must be a non-negative integer");
+  p.seed = static_cast<std::uint64_t>(seed);
+  p.hard_crashes = get_bool(root, "hard_crashes", false, "plan");
+
+  if (const JsonValue* a = get_array(root, "stragglers", "plan")) {
+    for (const JsonValue& e : a->array) {
+      if (e.type != JsonValue::Type::kObject)
+        plan_error("stragglers entries must be objects");
+      check_keys(e, {"rank", "t_begin", "t_end", "slowdown"}, "stragglers");
+      StragglerWindow w;
+      w.rank = get_int(e, "rank", kAny, "stragglers");
+      w.t_begin = get_number(e, "t_begin", 0.0, "stragglers");
+      w.t_end = get_number(e, "t_end", kForever, "stragglers");
+      w.slowdown = get_number(e, "slowdown", 1.0, "stragglers");
+      if (w.rank < kAny) plan_error("stragglers.rank must be >= -1");
+      if (w.slowdown < 1.0) plan_error("stragglers.slowdown must be >= 1");
+      if (w.t_end < w.t_begin || w.t_begin < 0.0)
+        plan_error("stragglers window must satisfy 0 <= t_begin <= t_end");
+      p.stragglers.push_back(w);
+    }
+  }
+  if (const JsonValue* a = get_array(root, "links", "plan")) {
+    for (const JsonValue& e : a->array) {
+      if (e.type != JsonValue::Type::kObject)
+        plan_error("links entries must be objects");
+      check_keys(e,
+                 {"src", "dst", "t_begin", "t_end", "latency_factor",
+                  "bandwidth_factor"},
+                 "links");
+      LinkFault l;
+      l.src = get_int(e, "src", kAny, "links");
+      l.dst = get_int(e, "dst", kAny, "links");
+      l.t_begin = get_number(e, "t_begin", 0.0, "links");
+      l.t_end = get_number(e, "t_end", kForever, "links");
+      l.latency_factor = get_number(e, "latency_factor", 1.0, "links");
+      l.bandwidth_factor = get_number(e, "bandwidth_factor", 1.0, "links");
+      if (l.src < kAny || l.dst < kAny)
+        plan_error("links.src/dst must be >= -1");
+      if (l.latency_factor <= 0.0 || l.bandwidth_factor <= 0.0)
+        plan_error("links factors must be > 0");
+      if (l.t_end < l.t_begin || l.t_begin < 0.0)
+        plan_error("links window must satisfy 0 <= t_begin <= t_end");
+      p.links.push_back(l);
+    }
+  }
+  if (const JsonValue* a = get_array(root, "messages", "plan")) {
+    for (const JsonValue& e : a->array) {
+      if (e.type != JsonValue::Type::kObject)
+        plan_error("messages entries must be objects");
+      check_keys(e, {"src", "dst", "tag", "drop_prob", "duplicate_prob"},
+                 "messages");
+      MessageFaultRule m;
+      m.src = get_int(e, "src", kAny, "messages");
+      m.dst = get_int(e, "dst", kAny, "messages");
+      m.tag = get_int(e, "tag", kAny, "messages");
+      m.drop_prob = get_number(e, "drop_prob", 0.0, "messages");
+      m.duplicate_prob = get_number(e, "duplicate_prob", 0.0, "messages");
+      if (m.src < kAny || m.dst < kAny)
+        plan_error("messages.src/dst must be >= -1");
+      if (m.drop_prob < 0.0 || m.drop_prob > 1.0 || m.duplicate_prob < 0.0 ||
+          m.duplicate_prob > 1.0)
+        plan_error("messages probabilities must be in [0, 1]");
+      p.messages.push_back(m);
+    }
+  }
+  if (const JsonValue* a = get_array(root, "crashes", "plan")) {
+    for (const JsonValue& e : a->array) {
+      if (e.type != JsonValue::Type::kObject)
+        plan_error("crashes entries must be objects");
+      check_keys(e, {"rank", "time"}, "crashes");
+      CrashEvent c;
+      c.rank = get_int(e, "rank", -1, "crashes");
+      c.time = get_number(e, "time", 0.0, "crashes");
+      if (c.rank < 0) plan_error("crashes.rank must be >= 0");
+      if (c.time < 0.0) plan_error("crashes.time must be >= 0");
+      p.crashes.push_back(c);
+    }
+  }
+  if (const auto it = root.object.find("checkpoint");
+      it != root.object.end()) {
+    const JsonValue& c = it->second;
+    if (c.type != JsonValue::Type::kObject)
+      plan_error("checkpoint must be an object");
+    check_keys(c, {"interval_steps", "state_bytes_per_rank",
+                   "restart_delay_s"},
+               "checkpoint");
+    p.checkpoint.interval_steps =
+        get_int(c, "interval_steps", 0, "checkpoint");
+    p.checkpoint.state_bytes_per_rank =
+        get_number(c, "state_bytes_per_rank", 0.0, "checkpoint");
+    p.checkpoint.restart_delay_s =
+        get_number(c, "restart_delay_s", 0.0, "checkpoint");
+    if (p.checkpoint.interval_steps < 0)
+      plan_error("checkpoint.interval_steps must be >= 0");
+    if (p.checkpoint.state_bytes_per_rank < 0.0 ||
+        p.checkpoint.restart_delay_s < 0.0)
+      plan_error("checkpoint costs must be >= 0");
+  }
+  if (p.has_crashes() && !p.hard_crashes && !p.checkpoint.enabled())
+    plan_error(
+        "crashes without hard_crashes require a checkpoint section "
+        "(transient crashes are consumed by the checkpoint protocol)");
+  return p;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) plan_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    return parse(ss.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " (in " + path + ")");
+  }
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream os;
+  os << "{\"seed\": " << seed
+     << ", \"hard_crashes\": " << (hard_crashes ? "true" : "false");
+  // An infinite t_end (window open forever) is the parse-time default and is
+  // omitted on output: JSON has no Infinity literal and parse() rejects
+  // non-finite numbers.
+  os << ", \"stragglers\": [";
+  for (std::size_t i = 0; i < stragglers.size(); ++i) {
+    const auto& w = stragglers[i];
+    os << (i ? ", " : "") << "{\"rank\": " << w.rank
+       << ", \"t_begin\": " << fmt(w.t_begin);
+    if (std::isfinite(w.t_end)) os << ", \"t_end\": " << fmt(w.t_end);
+    os << ", \"slowdown\": " << fmt(w.slowdown) << "}";
+  }
+  os << "], \"links\": [";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const auto& l = links[i];
+    os << (i ? ", " : "") << "{\"src\": " << l.src << ", \"dst\": " << l.dst
+       << ", \"t_begin\": " << fmt(l.t_begin);
+    if (std::isfinite(l.t_end)) os << ", \"t_end\": " << fmt(l.t_end);
+    os << ", \"latency_factor\": " << fmt(l.latency_factor)
+       << ", \"bandwidth_factor\": " << fmt(l.bandwidth_factor) << "}";
+  }
+  os << "], \"messages\": [";
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const auto& m = messages[i];
+    os << (i ? ", " : "") << "{\"src\": " << m.src << ", \"dst\": " << m.dst
+       << ", \"tag\": " << m.tag << ", \"drop_prob\": " << fmt(m.drop_prob)
+       << ", \"duplicate_prob\": " << fmt(m.duplicate_prob) << "}";
+  }
+  os << "], \"crashes\": [";
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const auto& c = crashes[i];
+    os << (i ? ", " : "") << "{\"rank\": " << c.rank << ", \"time\": "
+       << fmt(c.time) << "}";
+  }
+  os << "], \"checkpoint\": {\"interval_steps\": " << checkpoint.interval_steps
+     << ", \"state_bytes_per_rank\": " << fmt(checkpoint.state_bytes_per_rank)
+     << ", \"restart_delay_s\": " << fmt(checkpoint.restart_delay_s) << "}}";
+  return os.str();
+}
+
+}  // namespace spechpc::resilience

@@ -1,0 +1,106 @@
+// Resilience: deterministic fault plans.
+//
+// A FaultPlan is the declarative description of everything that goes wrong
+// in a run: straggler ranks (multiplicative compute slowdown windows),
+// degraded links (LogGP latency/bandwidth scaling windows), probabilistic
+// message drop/duplication on (src, dst, tag) edges, rank-crash-at-time
+// events, and the checkpoint/restart protocol parameters used to survive
+// the crashes.  Plans are parsed from a small JSON spec (see parse()) and
+// are pure data: combined with a seed they reproduce the exact same fault
+// sequence on every run, which is what makes degraded runs auditable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spechpc::resilience {
+
+inline constexpr double kForever = std::numeric_limits<double>::infinity();
+/// Wildcard for rank / tag fields of matching rules.
+inline constexpr int kAny = -1;
+
+/// Rank `rank` computes `slowdown`x slower inside [t_begin, t_end).
+struct StragglerWindow {
+  int rank = kAny;
+  double t_begin = 0.0;
+  double t_end = kForever;
+  double slowdown = 1.0;
+};
+
+/// Messages src -> dst (world ranks; kAny matches all) pay `latency_factor`x
+/// latency and 1/`bandwidth_factor` bandwidth inside [t_begin, t_end).
+/// Flapping links are expressed as several disjoint windows.
+struct LinkFault {
+  int src = kAny, dst = kAny;
+  double t_begin = 0.0;
+  double t_end = kForever;
+  double latency_factor = 1.0;
+  double bandwidth_factor = 1.0;  ///< < 1 degrades; must be > 0
+};
+
+/// Probabilistic per-delivery-attempt faults on a (src, dst, tag) edge.
+/// The first matching rule wins (rules are ordered).
+struct MessageFaultRule {
+  int src = kAny, dst = kAny, tag = kAny;
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+};
+
+struct CrashEvent {
+  int rank = 0;
+  double time = 0.0;
+};
+
+/// Coordinated checkpoint/restart protocol parameters (see checkpoint.hpp).
+struct CheckpointConfig {
+  int interval_steps = 0;  ///< checkpoint every N measured steps; 0 = off
+  double state_bytes_per_rank = 0.0;  ///< snapshot volume (memory traffic)
+  double restart_delay_s = 0.0;  ///< detection + respawn stall per rollback
+  bool enabled() const { return interval_steps > 0; }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// true: crashed ranks fall silent in the engine (fail-stop); false:
+  /// crashes are transient and consumed by the checkpoint protocol only.
+  bool hard_crashes = false;
+  std::vector<StragglerWindow> stragglers;
+  std::vector<LinkFault> links;
+  std::vector<MessageFaultRule> messages;
+  std::vector<CrashEvent> crashes;
+  CheckpointConfig checkpoint;
+
+  bool empty() const {
+    return stragglers.empty() && links.empty() && messages.empty() &&
+           crashes.empty() && !checkpoint.enabled();
+  }
+  bool has_stragglers() const { return !stragglers.empty(); }
+  bool has_link_faults() const { return !links.empty(); }
+  bool has_message_faults() const { return !messages.empty(); }
+  bool has_crashes() const { return !crashes.empty(); }
+
+  /// Product of the slowdowns of all straggler windows active for `rank`
+  /// at time `t` (>= 1.0; 1.0 when healthy).
+  double straggler_factor(int rank, double t) const;
+  /// Combined latency factor and inverse bandwidth factor of all link-fault
+  /// windows active on src -> dst at time `t` (1.0 / 1.0 when healthy).
+  void link_factors(int src, int dst, double t, double* latency_factor,
+                    double* inv_bandwidth_factor) const;
+  /// Earliest crash of `rank` strictly after `t`; resilience::kForever if
+  /// none.
+  double next_crash_after(int rank, double t) const;
+
+  /// Parses and validates a JSON plan.  Unknown keys are rejected, as are
+  /// out-of-range probabilities/factors.  Throws std::runtime_error with a
+  /// message naming the offending key.
+  static FaultPlan parse(std::string_view json);
+  /// parse() of the contents of `path`; errors mention the path.
+  static FaultPlan load(const std::string& path);
+  /// Canonical JSON serialization (parse(to_json()) round-trips).
+  std::string to_json() const;
+};
+
+}  // namespace spechpc::resilience

@@ -1,0 +1,71 @@
+// Resilience: plan-driven engine fault injector.
+//
+// Implements sim::FaultInjector on top of a FaultPlan.  Every decision is a
+// pure hash of (plan seed, message seq, delivery attempt, rule index), so a
+// run with the same plan and program reproduces the exact same drops and
+// duplicates; the injector holds no mutable state and may be shared across
+// SweepRunner worker threads.
+#pragma once
+
+#include <cstdint>
+
+#include "resilience/fault_plan.hpp"
+#include "simmpi/faults.hpp"
+
+namespace spechpc::resilience {
+
+class PlanFaultInjector final : public sim::FaultInjector {
+ public:
+  /// `plan` must outlive the injector.
+  explicit PlanFaultInjector(const FaultPlan& plan) : plan_(&plan) {}
+
+  sim::FaultDecision on_message(int src, int dst, int tag, double /*bytes*/,
+                                std::uint64_t seq,
+                                int attempt) const override {
+    sim::FaultDecision d;
+    for (std::size_t i = 0; i < plan_->messages.size(); ++i) {
+      const MessageFaultRule& r = plan_->messages[i];
+      if (r.src != kAny && r.src != src) continue;
+      if (r.dst != kAny && r.dst != dst) continue;
+      if (r.tag != kAny && r.tag != tag) continue;
+      // First matching rule wins (rules are ordered in the plan).
+      d.drop = unit_hash(seq, attempt, i, 0x64726f70ull) < r.drop_prob;
+      d.duplicate =
+          unit_hash(seq, attempt, i, 0x64757065ull) < r.duplicate_prob;
+      break;
+    }
+    return d;
+  }
+
+  double next_crash_after(int rank, double t) const override {
+    return plan_->next_crash_after(rank, t);
+  }
+
+  bool hard_crashes() const override {
+    return plan_->hard_crashes && plan_->has_crashes();
+  }
+
+  const FaultPlan& plan() const { return *plan_; }
+
+ private:
+  /// splitmix64-style hash of (seed, seq, attempt, rule, salt) -> [0, 1).
+  double unit_hash(std::uint64_t seq, int attempt, std::size_t rule,
+                   std::uint64_t salt) const {
+    std::uint64_t x = plan_->seed + salt +
+                      0x9e3779b97f4a7c15ull * (seq + 1) +
+                      0xbf58476d1ce4e5b9ull *
+                          (static_cast<std::uint64_t>(attempt) + 1) +
+                      0x94d049bb133111ebull *
+                          (static_cast<std::uint64_t>(rule) + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) / 9007199254740992.0;
+  }
+
+  const FaultPlan* plan_;
+};
+
+}  // namespace spechpc::resilience

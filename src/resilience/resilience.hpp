@@ -1,0 +1,8 @@
+// Resilience umbrella header: deterministic fault plans, plan-driven
+// injection/degradation models, and coordinated checkpoint/restart.
+#pragma once
+
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_models.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/injector.hpp"

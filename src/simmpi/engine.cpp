@@ -70,6 +70,15 @@ void Engine::on_rank_done(int rank) {
 void Engine::run(const RankFn& fn) {
   if (ran_) throw std::logic_error("Engine::run may only be called once");
   ran_ = true;
+  const bool hard_crash_mode = cfg_.faults && cfg_.faults->hard_crashes();
+  if (hard_crash_mode) {
+    const auto n = static_cast<std::size_t>(cfg_.nranks);
+    crashed_.assign(n, 0);
+    crash_time_.assign(n, kNoCrash);
+    for (int r = 0; r < cfg_.nranks; ++r)
+      crash_time_[static_cast<std::size_t>(r)] =
+          cfg_.faults->next_crash_after(r, -kNoCrash);
+  }
   comms_.reserve(static_cast<std::size_t>(cfg_.nranks));
   roots_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
@@ -81,11 +90,31 @@ void Engine::run(const RankFn& fn) {
     roots_.push_back(h);
     schedule(0.0, r, h);
   }
-  while (!events_.empty() && done_count_ < cfg_.nranks) {
+  while (!events_.empty() && done_count_ + crashed_count_ < cfg_.nranks) {
     Event ev = events_.top();
     events_.pop();
     ++events_processed_;
+    if (ev.deliver >= 0) {  // internal retransmission, no coroutine attached
+      process_retransmit(static_cast<std::size_t>(ev.deliver), ev.time);
+      continue;
+    }
     auto r = static_cast<std::size_t>(ev.rank);
+    if (hard_crash_mode) {
+      if (crashed_[r]) continue;  // stray wakeup of a dead rank
+      if (ev.time >= crash_time_[r]) {
+        // The rank falls silent at its crash time: it is never resumed
+        // again.  Messages it already injected stay in flight; peers that
+        // depend on it block and surface in the stall diagnosis unless an
+        // application-level recovery protocol routes around the loss.
+        crashed_[r] = 1;
+        ++crashed_count_;
+        ++res_log_.crashed_ranks;
+        clock_[r] = std::max(clock_[r], crash_time_[r]);
+        res_log_.events.push_back(FaultEvent{
+            crash_time_[r], FaultKind::kCrash, ev.rank, -1, -1, 0, 0.0, 0});
+        continue;
+      }
+    }
     clock_[r] = std::max(clock_[r], ev.time);
     ev.handle.resume();
   }
@@ -93,13 +122,19 @@ void Engine::run(const RankFn& fn) {
     for (int r = 0; r < cfg_.nranks; ++r) flush_region_window(r);
   for (auto h : roots_)
     if (h.promise().exception) std::rethrow_exception(h.promise().exception);
-  if (done_count_ < cfg_.nranks) report_deadlock();
+  if (done_count_ < cfg_.nranks) handle_stall();
 }
 
 EngineStats Engine::stats() const {
   EngineStats s;
   s.events_processed = events_processed_;
   s.rendezvous_stall_s = rzv_stall_s_;
+  s.messages_dropped = res_log_.messages_dropped;
+  s.retransmissions = res_log_.retransmissions;
+  s.messages_lost = res_log_.messages_lost;
+  s.duplicates = res_log_.duplicates;
+  s.crashed_ranks = res_log_.crashed_ranks;
+  s.stalled_ranks = stall_ ? stall_->blocked_ranks : 0;
   auto fold = [&s](const IndexStats& is, std::size_t& hwm, bool promoted) {
     hwm = std::max(hwm, is.hwm);
     s.flat_matches += is.flat;
@@ -217,7 +252,7 @@ void Engine::op_compute(int rank, const KernelWork& work,
                         std::coroutine_handle<> self) {
   const auto r = static_cast<std::size_t>(rank);
   const double t0 = clock_[r];
-  ComputeOutcome out = compute_->evaluate(rank, cfg_.placement, work);
+  ComputeOutcome out = compute_->evaluate_at(rank, cfg_.placement, work, t0);
   counters_[r].flops_simd += work.flops_simd;
   counters_[r].flops_scalar += work.flops_scalar;
   counters_[r].port_busy_seconds += out.seconds * out.core_utilization;
@@ -304,11 +339,12 @@ void Engine::complete_recv(PostedRecv& pr, double completion,
 }
 
 void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
-  const double ctl = network_->control_latency(rs.src, rs.dst, cfg_.placement);
+  const double ctl =
+      network_->control_latency_at(rs.src, rs.dst, cfg_.placement, rs.t_ready);
   const double rts_arrival = rs.t_ready + ctl;
   const double handshake = std::max(pr.t_posted, rts_arrival) + ctl;
-  const TransferCost cost =
-      network_->transfer(rs.src, rs.dst, cfg_.placement, rs.bytes);
+  const TransferCost cost = network_->transfer_at(
+      rs.src, rs.dst, cfg_.placement, rs.bytes, handshake);
   const double tc = handshake + cost.in_flight_s;
   rzv_stall_s_ += tc - rs.t_ready;  // sender blocked from ready to drain
 
@@ -366,15 +402,16 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
                      bytes <= cfg_.protocol.eager_threshold_bytes;
   if (eager) {
     const TransferCost cost =
-        network_->transfer(rank, dst, cfg_.placement, bytes);
+        network_->transfer_at(rank, dst, cfg_.placement, bytes, t0);
     clock_[r] = t0 + cost.sender_busy_s;
     account(rank, Activity::kSend, t0, clock_[r], "send");
     Message m{rank,    dst,
               tag,     bytes,
               std::move(payload), t0 + cost.in_flight_s,
               next_seq_++};
-    if (!try_match_message(m))
-      unexpected_[static_cast<std::size_t>(dst)].push(std::move(m));
+    deliver_or_retry(std::move(m), 0);
+    // The sender hands the buffer to the NIC and proceeds either way: it has
+    // no way to observe a drop (that is the receiver-side watchdog's job).
     if (request_id >= 0) complete_request(request_id, clock_[r]);
     return {true, 0.0};
   }
@@ -441,38 +478,151 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
   return {!blocking, 0.0};
 }
 
-void Engine::report_deadlock() {
-  std::ostringstream os;
-  os << "SimMPI deadlock: " << (cfg_.nranks - done_count_) << " of "
-     << cfg_.nranks << " ranks blocked.\n";
-  std::size_t n_posted = 0, n_rzv = 0, n_unexpected = 0;
-  for (const auto& b : posted_) n_posted += b.size();
-  for (const auto& b : rzv_sends_) n_rzv += b.size();
-  for (const auto& b : unexpected_) n_unexpected += b.size();
+// ---------------------------------------------------------------------------
+// Fault injection and watchdog
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kRetransmit: return "retransmit";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kLost: return "lost";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kCheckpoint: return "checkpoint";
+    case FaultKind::kRollback: return "rollback";
+  }
+  return "unknown";
+}
+
+void Engine::deliver_or_retry(Message&& m, int attempt) {
+  if (cfg_.faults) {
+    const FaultDecision d =
+        cfg_.faults->on_message(m.src, m.dst, m.tag, m.bytes, m.seq, attempt);
+    if (d.duplicate && !d.drop) {
+      // Real transports deduplicate by sequence number at the receiver: the
+      // copy is generated and discarded, so it is observable in the log but
+      // does not perturb matching or timing.
+      ++res_log_.duplicates;
+      res_log_.events.push_back(FaultEvent{m.arrival, FaultKind::kDuplicate,
+                                           -1, m.src, m.dst, m.tag, m.bytes,
+                                           attempt});
+    }
+    if (d.drop) {
+      ++res_log_.messages_dropped;
+      res_log_.events.push_back(FaultEvent{m.arrival, FaultKind::kDrop, -1,
+                                           m.src, m.dst, m.tag, m.bytes,
+                                           attempt});
+      if (attempt < cfg_.watchdog.max_retries) {
+        const double not_before = m.arrival;
+        schedule_retransmit(std::move(m), attempt + 1, not_before);
+      } else {
+        ++res_log_.messages_lost;
+        res_log_.events.push_back(FaultEvent{m.arrival, FaultKind::kLost, -1,
+                                             m.src, m.dst, m.tag, m.bytes,
+                                             attempt});
+      }
+      return;
+    }
+  }
+  if (!try_match_message(m))
+    unexpected_[static_cast<std::size_t>(m.dst)].push(std::move(m));
+}
+
+void Engine::schedule_retransmit(Message&& m, int next_attempt,
+                                 double not_before) {
+  // Exponential backoff: attempt k re-arrives rto * 2^(k-1) after the
+  // previous arrival would have completed (the retransmission itself is
+  // NIC-level, so the sender CPU pays nothing extra).
+  const double backoff =
+      cfg_.watchdog.retransmit_timeout_s *
+      static_cast<double>(1ull << std::min(next_attempt - 1, 30));
+  const int dst = m.dst;
+  std::size_t slot;
+  if (!free_delivery_slots_.empty()) {
+    slot = free_delivery_slots_.back();
+    free_delivery_slots_.pop_back();
+    pending_deliveries_[slot] = PendingDelivery{std::move(m), next_attempt};
+  } else {
+    slot = pending_deliveries_.size();
+    pending_deliveries_.push_back(PendingDelivery{std::move(m), next_attempt});
+  }
+  events_.push(Event{not_before + backoff, next_seq_++, dst, {},
+                     static_cast<std::int32_t>(slot)});
+}
+
+void Engine::process_retransmit(std::size_t slot, double now) {
+  PendingDelivery pd = std::move(pending_deliveries_[slot]);
+  free_delivery_slots_.push_back(slot);
+  ++res_log_.retransmissions;
+  pd.msg.arrival = now;
+  // The original seq is kept: wildcard matching orders by send program
+  // order, and a retransmitted copy still precedes later sends logically.
+  res_log_.events.push_back(FaultEvent{now, FaultKind::kRetransmit, -1,
+                                       pd.msg.src, pd.msg.dst, pd.msg.tag,
+                                       pd.msg.bytes, pd.attempt});
+  deliver_or_retry(std::move(pd.msg), pd.attempt);
+}
+
+StallDiagnosis Engine::build_stall_diagnosis() const {
+  StallDiagnosis d;
+  d.nranks = cfg_.nranks;
+  d.blocked_ranks = cfg_.nranks - done_count_ - crashed_count_;
+  for (std::size_t r = 0; r < crashed_.size(); ++r)
+    if (crashed_[r]) d.crashed.push_back(static_cast<int>(r));
   // Collect and sort by posting/send order so the report is deterministic
   // (hash-map iteration order is not).
-  os << "  pending posted receives: " << n_posted << "\n";
-  std::vector<const PostedRecv*> pending_recvs;
+  std::vector<std::pair<std::uint64_t, StallDiagnosis::BlockedRecv>> recvs;
   for (const auto& idx : posted_)
-    idx.for_each([&](const PostedRecv& p) { pending_recvs.push_back(&p); });
-  std::sort(pending_recvs.begin(), pending_recvs.end(),
-            [](const PostedRecv* a, const PostedRecv* b) {
-              return a->seq < b->seq;
-            });
-  for (const auto* p : pending_recvs)
-    os << "    rank " << p->dst << " waiting for (src=" << p->src_filter
-       << ", tag=" << p->tag_filter << ") since t=" << p->t_posted << "\n";
-  os << "  pending rendezvous sends: " << n_rzv << "\n";
-  std::vector<const RzvSend*> pending_sends;
+    idx.for_each([&](const PostedRecv& p) {
+      recvs.emplace_back(p.seq, StallDiagnosis::BlockedRecv{
+                                    p.dst, p.src_filter, p.tag_filter,
+                                    p.t_posted});
+    });
+  std::sort(recvs.begin(), recvs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& pr : recvs) d.recvs.push_back(pr.second);
+  std::vector<std::pair<std::uint64_t, StallDiagnosis::BlockedSend>> sends;
   for (const auto& idx : rzv_sends_)
-    idx.for_each([&](const RzvSend& s) { pending_sends.push_back(&s); });
-  std::sort(pending_sends.begin(), pending_sends.end(),
-            [](const RzvSend* a, const RzvSend* b) { return a->seq < b->seq; });
-  for (const auto* s : pending_sends)
-    os << "    rank " << s->src << " -> " << s->dst << " tag " << s->tag
-       << " (" << s->bytes << " B) since t=" << s->t_ready << "\n";
-  os << "  undelivered eager messages: " << n_unexpected << "\n";
-  throw std::runtime_error(os.str());
+    idx.for_each([&](const RzvSend& s) {
+      sends.emplace_back(s.seq, StallDiagnosis::BlockedSend{
+                                    s.src, s.dst, s.tag, s.bytes, s.t_ready});
+    });
+  std::sort(sends.begin(), sends.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& ps : sends) d.sends.push_back(ps.second);
+  for (const auto& b : unexpected_) d.undelivered_eager += b.size();
+  d.lost_messages = res_log_.messages_lost;
+  return d;
+}
+
+void Engine::handle_stall() {
+  StallDiagnosis d = build_stall_diagnosis();
+  if (cfg_.watchdog.on_stall == WatchdogConfig::OnStall::kThrow)
+    throw std::runtime_error(d.to_string());
+  stall_ = std::move(d);
+}
+
+std::string StallDiagnosis::to_string() const {
+  std::ostringstream os;
+  os << "SimMPI deadlock: " << blocked_ranks << " of " << nranks
+     << " ranks blocked.\n";
+  if (!crashed.empty()) {
+    os << "  crashed ranks:";
+    for (int r : crashed) os << ' ' << r;
+    os << "\n";
+  }
+  os << "  pending posted receives: " << recvs.size() << "\n";
+  for (const auto& p : recvs)
+    os << "    rank " << p.rank << " waiting for (src=" << p.src_filter
+       << ", tag=" << p.tag_filter << ") since t=" << p.since << "\n";
+  os << "  pending rendezvous sends: " << sends.size() << "\n";
+  for (const auto& s : sends)
+    os << "    rank " << s.src << " -> " << s.dst << " tag " << s.tag << " ("
+       << s.bytes << " B) since t=" << s.since << "\n";
+  os << "  undelivered eager messages: " << undelivered_eager << "\n";
+  if (lost_messages > 0)
+    os << "  messages lost after retries: " << lost_messages << "\n";
+  return os.str();
 }
 
 }  // namespace spechpc::sim

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "simmpi/counters.hpp"
+#include "simmpi/faults.hpp"
 #include "simmpi/models.hpp"
 #include "simmpi/placement.hpp"
 #include "simmpi/task.hpp"
@@ -48,6 +49,12 @@ struct EngineConfig {
   const ComputeModel* compute = nullptr;  ///< nullptr -> SimpleComputeModel
   const NetworkModel* network = nullptr;  ///< nullptr -> SimpleNetworkModel
   ProtocolConfig protocol;
+  /// Optional fault oracle (see simmpi/faults.hpp); nullptr = healthy run.
+  /// Must outlive the engine and be const-pure (shared across sweep threads).
+  const FaultInjector* faults = nullptr;
+  /// Retransmission and stall policy; only consulted when faults are active
+  /// or the run stops making progress.
+  WatchdogConfig watchdog;
   bool enable_trace = false;
   /// Likwid-marker-style region profiling (Comm::region_begin/end).  Off by
   /// default: the disabled path is a single branch per marker call and the
@@ -75,6 +82,16 @@ struct EngineStats {
   /// Total seconds rendezvous senders spent blocked between initiating a
   /// send and the pipe draining (the minisweep serialization mechanism).
   double rendezvous_stall_s = 0.0;
+  // Fault-injection counters (mirrors of the ResilienceLog; all zero on
+  // healthy runs).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t duplicates = 0;
+  int crashed_ranks = 0;
+  /// Ranks neither finished nor crashed when the run stopped (> 0 only
+  /// after a diagnosed stall under WatchdogConfig::OnStall::kDiagnose).
+  int stalled_ranks = 0;
 };
 
 /// Per-region identity: one node of the (parent, name) region call tree.
@@ -120,6 +137,29 @@ class Engine {
   }
   /// Aggregated introspection counters (valid during and after run()).
   EngineStats stats() const;
+
+  // --- resilience (see simmpi/faults.hpp) ---------------------------------
+  bool faults_enabled() const { return cfg_.faults != nullptr; }
+  /// Fault/recovery bookkeeping of this run (empty on healthy runs).
+  const ResilienceLog& resilience_log() const { return res_log_; }
+  /// Appends a protocol-level event (checkpoint/restart layers use this to
+  /// make their actions visible in the same audit trail as engine faults).
+  void record_fault_event(const FaultEvent& e) { res_log_.events.push_back(e); }
+  void note_checkpoint(double seconds) {
+    ++res_log_.checkpoints;
+    res_log_.checkpoint_s += seconds;
+  }
+  void note_rollback(double restart_s, double recompute_s) {
+    ++res_log_.rollbacks;
+    res_log_.restart_s += restart_s;
+    res_log_.recompute_s += recompute_s;
+  }
+  /// Structured stall diagnosis, set only when the run stopped without all
+  /// ranks finishing under OnStall::kDiagnose; nullptr otherwise.
+  const StallDiagnosis* stall() const { return stall_ ? &*stall_ : nullptr; }
+  bool rank_crashed(int rank) const {
+    return !crashed_.empty() && crashed_[static_cast<std::size_t>(rank)] != 0;
+  }
 
   // --- region profiling (likwid-marker style; see perf/region.hpp) --------
   //
@@ -186,6 +226,9 @@ class Engine {
     std::uint64_t seq;
     int rank;
     std::coroutine_handle<> handle;
+    /// >= 0: internal retransmission event -- `handle` is null and the value
+    /// indexes pending_deliveries_; -1: ordinary coroutine resume.
+    std::int32_t deliver = -1;
     bool operator>(const Event& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
@@ -566,12 +609,21 @@ class Engine {
                std::string_view label);
   Activity effective_activity(int rank, Activity a) const;
 
+  // --- fault injection / watchdog ---------------------------------------
+  /// Deposits `m` at the receiver or, if the injector drops it, arranges a
+  /// retransmission (or declares it lost).  `attempt` 0 = first delivery.
+  void deliver_or_retry(Message&& m, int attempt);
+  void schedule_retransmit(Message&& m, int next_attempt, double not_before);
+  void process_retransmit(std::size_t slot, double now);
+  StallDiagnosis build_stall_diagnosis() const;
+  /// Stall reaction per cfg_.watchdog (throw or record); called at run()
+  /// exit when not all ranks finished.
+  void handle_stall();
+
   // Closes the current attribution window of `rank`: credits everything the
   // counters accumulated since the last flush to the innermost open region.
   void flush_region_window(int rank);
   int region_child(int parent, std::string_view name);
-
-  [[noreturn]] void report_deadlock();
 
   EngineConfig cfg_;
   std::unique_ptr<ComputeModel> default_compute_;
@@ -595,6 +647,19 @@ class Engine {
   std::vector<MsgIndex<RzvSend>> rzv_sends_;   // index per dst rank
   std::vector<PostedIndex> posted_;            // index per dst rank
   std::vector<RequestState> requests_;
+
+  // --- fault-injection state (only populated when cfg_.faults) -----------
+  struct PendingDelivery {  // dropped eager message awaiting retransmission
+    Message msg;
+    int attempt = 0;  // attempt number of the *next* delivery
+  };
+  std::vector<PendingDelivery> pending_deliveries_;
+  std::vector<std::size_t> free_delivery_slots_;
+  std::vector<char> crashed_;        // per rank; hard-crash mode only
+  std::vector<double> crash_time_;   // per rank; kNoCrash when healthy
+  int crashed_count_ = 0;
+  ResilienceLog res_log_;
+  std::optional<StallDiagnosis> stall_;
 
   // Per-rank activity override stack (collectives attribute inner p2p time
   // to the collective's activity).

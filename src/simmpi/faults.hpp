@@ -1,0 +1,150 @@
+// SimMPI: fault-injection and resilience hooks.
+//
+// The engine stays agnostic of *why* faults happen; it consults an optional
+// FaultInjector for per-message drop/duplicate decisions and per-rank crash
+// times, and records everything it does about them in a ResilienceLog.  The
+// injector must be a pure function of its construction-time state (seed,
+// plan): the engine may be shared across SweepRunner worker threads, so any
+// mutable member would be both a data race and a determinism bug.
+//
+// Scope notes:
+//  - Faults apply to the eager path only.  Rendezvous transfers model the
+//    synchronous large-message protocol whose RTS/CTS control channel is
+//    assumed reliable; use ProtocolConfig::force_eager to subject every
+//    message to injection.
+//  - Duplicates are delivered-once: real MPI layers deduplicate by sequence
+//    number at the receiver, so a duplicate costs bookkeeping (it is counted
+//    and logged) but does not perturb matching or timing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace spechpc::sim {
+
+/// Sentinel returned by FaultInjector::next_crash_after when the rank never
+/// crashes.
+inline constexpr double kNoCrash = std::numeric_limits<double>::infinity();
+
+/// Per-delivery-attempt injection decision.
+struct FaultDecision {
+  bool drop = false;       ///< message does not arrive on this attempt
+  bool duplicate = false;  ///< a redundant copy is generated (logged only)
+};
+
+/// Engine-facing fault oracle.  All methods must be const-pure: the same
+/// arguments always produce the same answer (seed-reproducibility) and calls
+/// may come from concurrent engines sharing one injector.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Decision for delivery attempt `attempt` (0 = original transmission) of
+  /// the eager message `seq` from `src` to `dst`.
+  virtual FaultDecision on_message(int /*src*/, int /*dst*/, int /*tag*/,
+                                   double /*bytes*/, std::uint64_t /*seq*/,
+                                   int /*attempt*/) const {
+    return {};
+  }
+
+  /// Earliest crash time of `rank` strictly after virtual time `t`
+  /// (kNoCrash if none).
+  virtual double next_crash_after(int /*rank*/, double /*t*/) const {
+    return kNoCrash;
+  }
+
+  /// True if crashes are fatal to the rank process (the engine stops
+  /// resuming it).  False means crashes are transient: the engine ignores
+  /// them and an application-level protocol (checkpoint/restart) consumes
+  /// next_crash_after itself.
+  virtual bool hard_crashes() const { return false; }
+};
+
+/// What happened, when.  The engine appends p2p-level events; the
+/// checkpoint/restart protocol appends recovery-level events through
+/// Engine::record_fault_event.
+enum class FaultKind : std::uint8_t {
+  kDrop,        ///< eager message dropped on some delivery attempt
+  kRetransmit,  ///< bounded-backoff re-delivery attempt made
+  kDuplicate,   ///< redundant copy generated (deduplicated at receiver)
+  kLost,        ///< retries exhausted; message permanently lost
+  kCrash,       ///< rank crashed (hard: silenced; transient: protocol-visible)
+  kCheckpoint,  ///< coordinated checkpoint committed
+  kRollback,    ///< rollback to last checkpoint after a detected crash
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kDrop;
+  int rank = -1;  ///< crashed rank / reporting rank; -1 for message events
+  int src = -1, dst = -1, tag = 0;  ///< message identity; -1/-1/0 otherwise
+  double bytes = 0.0;
+  int attempt = 0;  ///< delivery attempt, or protocol iteration number
+};
+
+/// Aggregated resilience bookkeeping of one engine run.
+struct ResilienceLog {
+  std::vector<FaultEvent> events;
+  std::uint64_t messages_dropped = 0;  ///< drop decisions (any attempt)
+  std::uint64_t retransmissions = 0;   ///< re-delivery attempts made
+  std::uint64_t messages_lost = 0;     ///< dropped with retries exhausted
+  std::uint64_t duplicates = 0;        ///< redundant copies generated
+  int crashed_ranks = 0;               ///< hard-crashed ranks
+  // Checkpoint/restart protocol accounting (Engine::note_checkpoint /
+  // note_rollback; coordinated protocol, so rank-0 representative times).
+  int checkpoints = 0;
+  int rollbacks = 0;
+  double checkpoint_s = 0.0;  ///< time spent committing checkpoints
+  double restart_s = 0.0;     ///< detection + restore stalls after crashes
+  double recompute_s = 0.0;   ///< re-executed work since the last checkpoint
+};
+
+/// Structured answer to "why did the run stop making progress": which ranks
+/// are blocked on which match keys, who crashed, and what was lost.  Replaces
+/// the old throw-only deadlock report; to_string() reproduces its text.
+struct StallDiagnosis {
+  struct BlockedRecv {
+    int rank = -1;
+    int src_filter = -1;  ///< kAnySource for wildcard
+    int tag_filter = 0;   ///< kAnyTag for wildcard
+    double since = 0.0;
+  };
+  struct BlockedSend {  // rendezvous sends with no matching receive
+    int src = -1, dst = -1, tag = 0;
+    double bytes = 0.0;
+    double since = 0.0;
+  };
+  int nranks = 0;
+  int blocked_ranks = 0;  ///< neither finished nor crashed
+  std::vector<int> crashed;
+  std::vector<BlockedRecv> recvs;
+  std::vector<BlockedSend> sends;
+  std::size_t undelivered_eager = 0;
+  std::uint64_t lost_messages = 0;
+  /// Human-readable report (the legacy "SimMPI deadlock: ..." format plus
+  /// crash/loss lines when applicable).
+  std::string to_string() const;
+};
+
+/// Engine watchdog policy: what to do about dropped messages and stalls.
+struct WatchdogConfig {
+  /// Reaction when ranks stop making progress before finishing.
+  enum class OnStall : std::uint8_t {
+    kThrow,     ///< throw std::runtime_error(diagnosis.to_string()) [default]
+    kDiagnose,  ///< record the diagnosis (Engine::stall()) and return
+  };
+  OnStall on_stall = OnStall::kThrow;
+  /// Re-delivery attempts for a dropped eager message before it is declared
+  /// lost.  0 disables retransmission entirely.
+  int max_retries = 3;
+  /// Base retransmission timeout; attempt k waits rto * 2^(k-1) after the
+  /// previous (dropped) arrival would have completed.
+  double retransmit_timeout_s = 1e-4;
+};
+
+}  // namespace spechpc::sim

@@ -19,6 +19,16 @@ class ComputeModel {
   /// Evaluate `work` executed by `rank` under the given job placement.
   virtual ComputeOutcome evaluate(int rank, const Placement& placement,
                                   const KernelWork& work) const = 0;
+  /// Time-aware variant: `now` is the rank's virtual clock when the phase
+  /// starts.  Decorators that vary with virtual time (OS noise, straggler
+  /// windows) override this; the engine only ever calls this form, and the
+  /// default forwards to the time-free evaluate(), so plain models behave
+  /// bit-identically with or without the hook.
+  virtual ComputeOutcome evaluate_at(int rank, const Placement& placement,
+                                     const KernelWork& work,
+                                     double /*now*/) const {
+    return evaluate(rank, placement, work);
+  }
 };
 
 /// Point-to-point transfer costs for one message.
@@ -36,6 +46,20 @@ class NetworkModel {
   /// Protocol handshake latency (rendezvous RTS/CTS control messages).
   virtual double control_latency(int src, int dst,
                                  const Placement& placement) const = 0;
+  /// Time-aware variants (cf. ComputeModel::evaluate_at): `now` is the
+  /// virtual time the transfer / handshake is initiated.  Degraded-link
+  /// decorators with time windows override these; the defaults forward to
+  /// the time-free forms, so existing models are unaffected.
+  virtual TransferCost transfer_at(int src, int dst,
+                                   const Placement& placement, double bytes,
+                                   double /*now*/) const {
+    return transfer(src, dst, placement, bytes);
+  }
+  virtual double control_latency_at(int src, int dst,
+                                    const Placement& placement,
+                                    double /*now*/) const {
+    return control_latency(src, dst, placement);
+  }
 };
 
 /// Fixed-rate compute model: 1 Gflop/s scalar, 8 Gflop/s SIMD, 10 GB/s memory;

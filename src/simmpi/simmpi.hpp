@@ -4,6 +4,7 @@
 #include "simmpi/comm.hpp"
 #include "simmpi/counters.hpp"
 #include "simmpi/engine.hpp"
+#include "simmpi/faults.hpp"
 #include "simmpi/models.hpp"
 #include "simmpi/placement.hpp"
 #include "simmpi/task.hpp"

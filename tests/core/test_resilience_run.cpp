@@ -1,0 +1,161 @@
+// Resilience through the full stack: run_benchmark with a fault plan arms
+// the injector and decorator models, degraded runs are reproducible, the
+// RunReport carries the degraded-run section, and -- the key invariant --
+// a fault-free run with resilience plumbing enabled stays bit-identical to
+// a plain run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/spechpc.hpp"
+#include "resilience/resilience.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+namespace res = spechpc::resilience;
+namespace sim = spechpc::sim;
+
+namespace {
+
+core::RunResult run_lbm(const core::RunOptions& opts,
+                        const res::FaultPlan* app_plan = nullptr) {
+  auto app = core::make_app("lbm", core::Workload::kTiny);
+  app->set_measured_steps(4);
+  app->set_warmup_steps(1);
+  if (app_plan) app->set_fault_plan(app_plan);
+  return core::run_benchmark(*app, mach::cluster_a(), 4, opts);
+}
+
+TEST(ResilienceRun, EmptyPlanIsBitIdenticalToNoPlan) {
+  const core::RunResult plain = run_lbm({});
+  res::FaultPlan empty;
+  core::RunOptions opts;
+  opts.faults = &empty;  // non-null but empty: no decorators, no injector
+  const core::RunResult guarded = run_lbm(opts);
+  EXPECT_EQ(plain.wall_s(), guarded.wall_s());
+  EXPECT_EQ(plain.metrics().bytes_sent, guarded.metrics().bytes_sent);
+}
+
+TEST(ResilienceRun, MessageOnlyPlanWithoutDropsIsBitIdenticalToo) {
+  // Armed injector (faults_enabled() true) whose rules never fire: the
+  // engine takes the fault-aware code paths yet must reproduce the plain
+  // run exactly.
+  const core::RunResult plain = run_lbm({});
+  const res::FaultPlan plan =
+      res::FaultPlan::parse(R"({"messages": [{"drop_prob": 0.0}]})");
+  core::RunOptions opts;
+  opts.faults = &plan;
+  const core::RunResult guarded = run_lbm(opts);
+  EXPECT_TRUE(guarded.engine().faults_enabled());
+  EXPECT_EQ(plain.wall_s(), guarded.wall_s());
+}
+
+TEST(ResilienceRun, StragglerWindowSlowsTheRunDown) {
+  const core::RunResult plain = run_lbm({});
+  const res::FaultPlan plan = res::FaultPlan::parse(
+      R"({"stragglers": [{"rank": 1, "slowdown": 4.0}]})");
+  core::RunOptions opts;
+  opts.faults = &plan;
+  const core::RunResult slow = run_lbm(opts);
+  EXPECT_GT(slow.wall_s(), plain.wall_s() * 1.5);
+}
+
+TEST(ResilienceRun, DegradedLinkSlowsCommunication) {
+  core::RunOptions base;
+  base.protocol.force_eager = true;
+  const core::RunResult plain = run_lbm(base);
+  const res::FaultPlan plan = res::FaultPlan::parse(R"({
+    "links": [{"latency_factor": 200.0, "bandwidth_factor": 0.01}]
+  })");
+  core::RunOptions opts = base;
+  opts.faults = &plan;
+  const core::RunResult degraded = run_lbm(opts);
+  EXPECT_GT(degraded.wall_s(), plain.wall_s());
+}
+
+TEST(ResilienceRun, DroppedMessagesAreRetransmittedAndCounted) {
+  const res::FaultPlan plan =
+      res::FaultPlan::parse(R"({"messages": [{"drop_prob": 0.4}]})");
+  core::RunOptions opts;
+  opts.protocol.force_eager = true;  // subject every message to injection
+  opts.faults = &plan;
+  // With enough retries no message is ever lost (p = 0.4^13 per message),
+  // so the run completes on the default throw-on-stall policy.
+  opts.watchdog.max_retries = 12;
+  const core::RunResult r = run_lbm(opts);
+  const sim::EngineStats st = r.engine().stats();
+  EXPECT_GT(st.messages_dropped, 0u);
+  EXPECT_GT(st.retransmissions, 0u);
+  EXPECT_EQ(st.messages_lost, 0u);
+  EXPECT_EQ(r.engine().stall(), nullptr);
+}
+
+TEST(ResilienceRun, CrashWithCheckpointCompletesAndReportsRecovery) {
+  const res::FaultPlan plan = res::FaultPlan::parse(R"({
+    "crashes": [{"rank": 2, "time": 1e-9}],
+    "checkpoint": {"interval_steps": 2, "state_bytes_per_rank": 1e6,
+                   "restart_delay_s": 1e-3}
+  })");
+  core::RunOptions opts;
+  opts.faults = &plan;
+  const core::RunResult r = run_lbm(opts, &plan);
+  const sim::ResilienceLog& log = r.engine().resilience_log();
+  EXPECT_GE(log.checkpoints, 1);
+  EXPECT_GE(log.rollbacks, 1);
+  EXPECT_GT(log.restart_s, 0.0);
+  EXPECT_EQ(r.engine().stall(), nullptr);
+
+  // Bit-identical replay of the whole degraded run.
+  const core::RunResult again = run_lbm(opts, &plan);
+  EXPECT_EQ(r.wall_s(), again.wall_s());
+  EXPECT_EQ(again.engine().resilience_log().events.size(),
+            log.events.size());
+}
+
+TEST(ResilienceRun, ReportCarriesTheResilienceSectionOnlyWhenFaulted) {
+  const core::RunResult plain = run_lbm({});
+  const std::string healthy = perf::to_json(
+      core::build_report(plain, mach::cluster_a(), "lbm", "tiny"));
+  EXPECT_TRUE(perf::validate_run_report_json(healthy));
+  EXPECT_EQ(healthy.find("\"resilience\""), std::string::npos);
+
+  const res::FaultPlan plan = res::FaultPlan::parse(R"({
+    "crashes": [{"rank": 1, "time": 1e-9}],
+    "checkpoint": {"interval_steps": 2, "state_bytes_per_rank": 1e6,
+                   "restart_delay_s": 1e-3}
+  })");
+  core::RunOptions opts;
+  opts.faults = &plan;
+  const core::RunResult faulted = run_lbm(opts, &plan);
+  perf::RunReport rep =
+      core::build_report(faulted, mach::cluster_a(), "lbm", "tiny");
+  rep.resilience.plan_json = plan.to_json();
+  const std::string degraded = perf::to_json(rep);
+  EXPECT_TRUE(perf::validate_run_report_json(degraded));
+  EXPECT_NE(degraded.find("\"resilience\""), std::string::npos);
+  EXPECT_NE(degraded.find("\"rollback\""), std::string::npos);
+  EXPECT_NE(degraded.find("\"plan\""), std::string::npos);
+}
+
+TEST(ResilienceRun, WatchdogDiagnosisReachesTheReport) {
+  // Hard crash without a checkpoint protocol: the run cannot finish; with
+  // the diagnose policy it must return and the report must say why.
+  const res::FaultPlan plan = res::FaultPlan::parse(R"({
+    "hard_crashes": true,
+    "crashes": [{"rank": 3, "time": 1e-9}]
+  })");
+  core::RunOptions opts;
+  opts.faults = &plan;
+  opts.watchdog.on_stall = sim::WatchdogConfig::OnStall::kDiagnose;
+  const core::RunResult r = run_lbm(opts);
+  ASSERT_NE(r.engine().stall(), nullptr);
+  EXPECT_EQ(r.engine().stats().crashed_ranks, 1);
+  const std::string json = perf::to_json(
+      core::build_report(r, mach::cluster_a(), "lbm", "tiny"));
+  EXPECT_TRUE(perf::validate_run_report_json(json));
+  EXPECT_NE(json.find("\"stall\""), std::string::npos);
+  EXPECT_NE(json.find("\"blocked_recvs\""), std::string::npos);
+}
+
+}  // namespace

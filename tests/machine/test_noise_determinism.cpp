@@ -1,0 +1,95 @@
+// NoisyComputeModel determinism: the sampler is a pure function of
+// (seed, rank, phase time), holds no mutable state, and therefore produces
+// bit-identical results when one model instance is shared across parallel
+// sweep workers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/spechpc.hpp"
+#include "core/sweep.hpp"
+#include "machine/noise.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace sim = spechpc::sim;
+
+namespace {
+
+TEST(NoiseDeterminism, SampleIsAPureFunctionOfRankAndPhase) {
+  const auto cluster = mach::cluster_a();
+  const mach::RooflineComputeModel inner(cluster, {});
+  const mach::NoisyComputeModel noisy(&inner, 0.1, 42);
+  const sim::Placement p = mach::block_placement(cluster, 4);
+  sim::KernelWork w;
+  w.flops_scalar = 1e6;
+  w.traffic.mem_bytes = 1e6;
+
+  // Same (rank, now): identical outcome on every call, in any order.
+  const auto a = noisy.evaluate_at(1, p, w, 0.125);
+  const auto b = noisy.evaluate_at(2, p, w, 0.5);
+  const auto a2 = noisy.evaluate_at(1, p, w, 0.125);
+  EXPECT_EQ(a.seconds, a2.seconds);
+  EXPECT_NE(a.seconds, b.seconds);  // rank and phase decorrelate the noise
+
+  // Noise never speeds work up and respects the amplitude bound.
+  const auto clean = inner.evaluate_at(1, p, w, 0.125);
+  EXPECT_GE(a.seconds, clean.seconds);
+  EXPECT_LE(a.seconds, clean.seconds * 1.1 + 1e-15);
+}
+
+TEST(NoiseDeterminism, DistinctSeedsAndRanksDecorrelate) {
+  const auto cluster = mach::cluster_a();
+  const mach::RooflineComputeModel inner(cluster, {});
+  const sim::Placement p = mach::block_placement(cluster, 8);
+  sim::KernelWork w;
+  w.flops_scalar = 1e6;
+  const mach::NoisyComputeModel n1(&inner, 0.2, 1);
+  const mach::NoisyComputeModel n2(&inner, 0.2, 2);
+  EXPECT_NE(n1.evaluate_at(0, p, w, 0.25).seconds,
+            n2.evaluate_at(0, p, w, 0.25).seconds);
+  EXPECT_NE(n1.evaluate_at(3, p, w, 0.25).seconds,
+            n1.evaluate_at(4, p, w, 0.25).seconds);
+}
+
+TEST(NoiseDeterminism, ParallelNoisySweepsAreBitIdenticalToSerial) {
+  // The regression this guards: the old sampler advanced a mutable counter
+  // per call, so engine-internal evaluation order (and worker interleaving)
+  // changed the noise stream.  The hash sampler must give every job the
+  // same answer no matter how many workers run the sweep.
+  auto run_point = [](std::size_t ranks) {
+    auto app = core::make_app("tealeaf", core::Workload::kTiny);
+    app->set_measured_steps(2);
+    app->set_warmup_steps(1);
+    core::RunOptions opts;
+    opts.os_noise_amplitude = 0.05;
+    opts.os_noise_seed = 7;
+    return core::run_benchmark(*app, mach::cluster_a(),
+                               static_cast<int>(ranks) + 1, opts)
+        .wall_s();
+  };
+  core::SweepRunner serial(1);
+  const std::vector<double> want = serial.map<double>(8, run_point);
+  for (int jobs : {2, 4}) {
+    core::SweepRunner pool(jobs);
+    const std::vector<double> got = pool.map<double>(8, run_point);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got[i], want[i]) << "jobs=" << jobs << " point=" << i;
+  }
+}
+
+TEST(NoiseDeterminism, RepeatedNoisyRunsAreBitIdentical) {
+  auto once = [] {
+    auto app = core::make_app("lbm", core::Workload::kTiny);
+    app->set_measured_steps(2);
+    app->set_warmup_steps(1);
+    core::RunOptions opts;
+    opts.os_noise_amplitude = 0.1;
+    opts.os_noise_seed = 3;
+    return core::run_benchmark(*app, mach::cluster_a(), 4, opts).wall_s();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Fuzz-ish robustness of the RunReport emitter and validator: truncated
+// documents, malformed syntax, non-finite numbers, hostile strings, and deep
+// nesting must be handled without crashes or undefined behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "perf/report.hpp"
+
+namespace perf = spechpc::perf;
+
+namespace {
+
+perf::RunReport small_report() {
+  perf::RunReport r;
+  r.app = "lbm";
+  r.workload = "tiny";
+  r.nranks = 2;
+  r.nodes = 1;
+  r.steps = 3;
+  r.cluster = "ClusterA";
+  r.ranks.resize(2);
+  return r;
+}
+
+TEST(ReportFuzz, EveryTruncationOfARealReportIsRejectedWithoutCrashing) {
+  const std::string doc = perf::to_json(small_report());
+  ASSERT_TRUE(perf::is_valid_json(doc));
+  // A proper prefix of a JSON object is never a complete document (the
+  // closing brace is the last byte); the checker must say so, not crash.
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    std::string err;
+    EXPECT_FALSE(perf::is_valid_json(doc.substr(0, len), &err))
+        << "accepted truncation at " << len;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(ReportFuzz, MalformedDocumentsAreRejected) {
+  const char* bad[] = {
+      "",        "{",         "}",          "[1,]",       "{\"a\":}",
+      "nul",     "tru",       "falsey",     "{\"a\" 1}",  "[1 2]",
+      "\"open",  "{\"a\":1,}", "[],[]",     "{\"a\":1}}", "nan",
+      "Infinity"};
+  for (const char* doc : bad) {
+    std::string err;
+    EXPECT_FALSE(perf::is_valid_json(doc, &err)) << "accepted: " << doc;
+  }
+}
+
+TEST(ReportFuzz, DeepNestingIsRejectedNotOverflowed) {
+  // Far beyond the checker's depth bound: must fail cleanly, not smash the
+  // stack (ASan/UBSan builds verify the "cleanly" part).
+  const std::string deep_arrays(10000, '[');
+  EXPECT_FALSE(perf::is_valid_json(deep_arrays));
+  std::string deep_objects;
+  for (int i = 0; i < 5000; ++i) deep_objects += "{\"k\":";
+  EXPECT_FALSE(perf::is_valid_json(deep_objects));
+}
+
+TEST(ReportFuzz, NonFiniteNumbersAreEmittedAsNull) {
+  perf::RunReport r = small_report();
+  r.metrics.wall_s = std::numeric_limits<double>::quiet_NaN();
+  r.peak_node_flops = std::numeric_limits<double>::infinity();
+  r.sat_bw_per_node_Bps = -std::numeric_limits<double>::infinity();
+  const std::string doc = perf::to_json(r);
+  // JSON has no NaN/Inf: the emitter must not produce invalid tokens.
+  EXPECT_TRUE(perf::is_valid_json(doc)) << doc;
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_s\":null"), std::string::npos);
+}
+
+TEST(ReportFuzz, HostileStringsSurviveEveryEscapePath) {
+  perf::RunReport r = small_report();
+  r.app = "quote\" backslash\\ newline\n tab\t bell\x07 del\x1f";
+  r.workload = std::string("embedded\0nul", 12);
+  r.cluster = "ascii-only";
+  const std::string doc = perf::to_json(r);
+  EXPECT_TRUE(perf::is_valid_json(doc)) << doc;
+  // Control characters must leave as \uXXXX escapes, never raw bytes.
+  EXPECT_EQ(doc.find('\x07'), std::string::npos);
+  EXPECT_NE(doc.find("\\u0007"), std::string::npos);
+  EXPECT_NE(doc.find("\\u0000"), std::string::npos);
+  EXPECT_NE(doc.find("\\n"), std::string::npos);
+  EXPECT_NE(doc.find("\\\""), std::string::npos);
+}
+
+TEST(ReportFuzz, ValidatorRequiresEveryTopLevelKey) {
+  const std::string doc = perf::to_json(small_report());
+  ASSERT_TRUE(perf::validate_run_report_json(doc));
+  for (const std::string& key : perf::run_report_required_keys()) {
+    // Knock the key out by renaming every quoted occurrence (some keys, like
+    // "workload", double as a field name); validation must name the casualty.
+    std::string broken = doc;
+    const std::string quoted = "\"" + key + "\"";
+    std::size_t at = broken.find(quoted);
+    ASSERT_NE(at, std::string::npos) << key;
+    for (; at != std::string::npos; at = broken.find(quoted, at))
+      broken[at + 1] = 'X';
+    std::string err;
+    EXPECT_FALSE(perf::validate_run_report_json(broken, &err)) << key;
+    EXPECT_NE(err.find(key), std::string::npos) << err;
+  }
+}
+
+TEST(ReportFuzz, ResilienceSectionRoundTripsThroughTheValidator) {
+  perf::RunReport r = small_report();
+  r.resilience.enabled = true;
+  r.resilience.plan_json = "{\"seed\": 3}";
+  r.resilience.log.messages_dropped = 2;
+  r.resilience.log.events.push_back(
+      {0.5, spechpc::sim::FaultKind::kDrop, -1, 0, 1, 9, 64.0, 0});
+  spechpc::sim::StallDiagnosis d;
+  d.nranks = 2;
+  d.blocked_ranks = 1;
+  d.recvs.push_back({1, 0, 8, 0.25});
+  d.lost_messages = 1;
+  r.resilience.stall = d;
+  const std::string doc = perf::to_json(r);
+  EXPECT_TRUE(perf::validate_run_report_json(doc)) << doc;
+  EXPECT_NE(doc.find("\"resilience\""), std::string::npos);
+  EXPECT_NE(doc.find("\"drop\""), std::string::npos);
+  EXPECT_NE(doc.find("\"blocked_recvs\""), std::string::npos);
+}
+
+TEST(ReportFuzz, ValidatorErrorsCarryAnOffset) {
+  std::string err;
+  EXPECT_FALSE(perf::is_valid_json("{\"a\": 1,, }", &err));
+  EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+}  // namespace

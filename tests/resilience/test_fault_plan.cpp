@@ -1,0 +1,176 @@
+// FaultPlan parsing, validation, canonical round-trip, and the determinism
+// of the plan-driven injector.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "resilience/resilience.hpp"
+
+namespace res = spechpc::resilience;
+namespace sim = spechpc::sim;
+
+namespace {
+
+const char* kFullPlan = R"({
+  "seed": 7,
+  "hard_crashes": false,
+  "stragglers": [
+    {"rank": 2, "t_begin": 0.0, "t_end": 1.0, "slowdown": 3.0},
+    {"rank": 2, "t_begin": 0.5, "t_end": 2.0, "slowdown": 2.0}
+  ],
+  "links": [
+    {"src": 0, "dst": 1, "t_begin": 0.0, "t_end": 1.0,
+     "latency_factor": 10.0, "bandwidth_factor": 0.5}
+  ],
+  "messages": [
+    {"src": 0, "dst": 1, "tag": 5, "drop_prob": 1.0},
+    {"drop_prob": 0.0, "duplicate_prob": 1.0}
+  ],
+  "crashes": [{"rank": 1, "time": 0.25}],
+  "checkpoint": {"interval_steps": 4, "state_bytes_per_rank": 1e6,
+                 "restart_delay_s": 0.01}
+})";
+
+TEST(FaultPlan, ParsesEverySection) {
+  const res::FaultPlan p = res::FaultPlan::parse(kFullPlan);
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_FALSE(p.hard_crashes);
+  ASSERT_EQ(p.stragglers.size(), 2u);
+  EXPECT_EQ(p.stragglers[0].rank, 2);
+  EXPECT_DOUBLE_EQ(p.stragglers[0].slowdown, 3.0);
+  ASSERT_EQ(p.links.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.links[0].latency_factor, 10.0);
+  ASSERT_EQ(p.messages.size(), 2u);
+  EXPECT_EQ(p.messages[1].src, res::kAny);
+  ASSERT_EQ(p.crashes.size(), 1u);
+  EXPECT_TRUE(p.checkpoint.enabled());
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(FaultPlan, EmptyDocumentIsEmptyPlan) {
+  const res::FaultPlan p = res::FaultPlan::parse("{}");
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.straggler_factor(0, 0.0), 1.0);
+  EXPECT_EQ(p.next_crash_after(0, -1.0), res::kForever);
+}
+
+TEST(FaultPlan, CanonicalJsonRoundTrips) {
+  const res::FaultPlan p = res::FaultPlan::parse(kFullPlan);
+  const std::string canonical = p.to_json();
+  const res::FaultPlan q = res::FaultPlan::parse(canonical);
+  // Same canonical form means same plan (fields are plain data).
+  EXPECT_EQ(canonical, q.to_json());
+  EXPECT_EQ(q.stragglers.size(), p.stragglers.size());
+  EXPECT_EQ(q.messages.size(), p.messages.size());
+}
+
+TEST(FaultPlan, OpenEndedWindowRoundTrips) {
+  // t_end defaults to forever; the canonical form must preserve that even
+  // though JSON cannot represent infinity.
+  const res::FaultPlan p = res::FaultPlan::parse(
+      R"({"stragglers": [{"rank": 0, "slowdown": 2.0}]})");
+  EXPECT_EQ(p.stragglers[0].t_end, res::kForever);
+  const res::FaultPlan q = res::FaultPlan::parse(p.to_json());
+  EXPECT_EQ(q.stragglers[0].t_end, res::kForever);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  // (input, reason) pairs; every one must throw with a useful message.
+  const char* bad[] = {
+      "",                                         // empty
+      "{",                                        // truncated
+      "{} trailing",                              // trailing document
+      R"({"sneed": 1})",                          // unknown key
+      R"({"seed": 1, "seed": 2})",                // duplicate key
+      R"({"seed": -1})",                          // negative seed
+      R"({"stragglers": [{"slowdown": 0.5}]})",   // slowdown < 1
+      R"({"stragglers": [{"slowdown": 2.0, "t_begin": 2.0, "t_end": 1.0}]})",
+      R"({"links": [{"bandwidth_factor": 0.0}]})",  // factor must be > 0
+      R"({"messages": [{"drop_prob": 1.5}]})",      // prob out of range
+      R"({"crashes": [{"rank": -2, "time": 0.0}]})",
+      R"({"crashes": [{"rank": 0, "time": 1.0}]})",  // no ckpt, not hard
+      R"({"checkpoint": {"interval_steps": -3}})",
+      R"({"seed": 1e400})",                       // non-finite number
+  };
+  for (const char* doc : bad)
+    EXPECT_THROW(res::FaultPlan::parse(doc), std::runtime_error)
+        << "accepted: " << doc;
+}
+
+TEST(FaultPlan, RejectsDeeplyNestedInput) {
+  std::string deep(100, '[');
+  EXPECT_THROW(res::FaultPlan::parse(deep), std::runtime_error);
+}
+
+TEST(FaultPlan, StragglerWindowsCompose) {
+  const res::FaultPlan p = res::FaultPlan::parse(kFullPlan);
+  EXPECT_DOUBLE_EQ(p.straggler_factor(2, 0.25), 3.0);  // first window only
+  EXPECT_DOUBLE_EQ(p.straggler_factor(2, 0.75), 6.0);  // overlap: product
+  EXPECT_DOUBLE_EQ(p.straggler_factor(2, 1.5), 2.0);   // second window only
+  EXPECT_DOUBLE_EQ(p.straggler_factor(2, 3.0), 1.0);   // past both
+  EXPECT_DOUBLE_EQ(p.straggler_factor(0, 0.25), 1.0);  // healthy rank
+}
+
+TEST(FaultPlan, LinkFactorsApplyInsideWindowOnly) {
+  const res::FaultPlan p = res::FaultPlan::parse(kFullPlan);
+  double lf = 0.0, ibf = 0.0;
+  p.link_factors(0, 1, 0.5, &lf, &ibf);
+  EXPECT_DOUBLE_EQ(lf, 10.0);
+  EXPECT_DOUBLE_EQ(ibf, 2.0);  // bandwidth_factor 0.5 -> 2x serialization
+  p.link_factors(0, 1, 2.0, &lf, &ibf);  // window over
+  EXPECT_DOUBLE_EQ(lf, 1.0);
+  EXPECT_DOUBLE_EQ(ibf, 1.0);
+  p.link_factors(1, 0, 0.5, &lf, &ibf);  // direction not covered
+  EXPECT_DOUBLE_EQ(lf, 1.0);
+}
+
+TEST(FaultPlan, NextCrashAfterIsStrictlyAfter) {
+  const res::FaultPlan p = res::FaultPlan::parse(kFullPlan);
+  EXPECT_DOUBLE_EQ(p.next_crash_after(1, 0.0), 0.25);
+  EXPECT_EQ(p.next_crash_after(1, 0.25), res::kForever);  // strict
+  EXPECT_EQ(p.next_crash_after(0, 0.0), res::kForever);
+}
+
+TEST(PlanFaultInjector, DecisionsAreDeterministicAndRuleOrdered) {
+  const res::FaultPlan p = res::FaultPlan::parse(kFullPlan);
+  const res::PlanFaultInjector inj(p);
+  // First rule (drop_prob 1) wins for (0, 1, tag 5) on every attempt.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const sim::FaultDecision d = inj.on_message(0, 1, 5, 64.0, 9, attempt);
+    EXPECT_TRUE(d.drop);
+    const sim::FaultDecision again = inj.on_message(0, 1, 5, 64.0, 9, attempt);
+    EXPECT_EQ(d.drop, again.drop);
+    EXPECT_EQ(d.duplicate, again.duplicate);
+  }
+  // Catch-all second rule duplicates (prob 1) but never drops.
+  const sim::FaultDecision d = inj.on_message(3, 2, 0, 64.0, 11, 0);
+  EXPECT_FALSE(d.drop);
+  EXPECT_TRUE(d.duplicate);
+  // Transient crashes: the engine-facing hard_crashes() must be false.
+  EXPECT_FALSE(inj.hard_crashes());
+}
+
+TEST(PlanFaultInjector, ProbabilitiesAreRoughlyCalibrated) {
+  const res::FaultPlan p =
+      res::FaultPlan::parse(R"({"messages": [{"drop_prob": 0.3}]})");
+  const res::PlanFaultInjector inj(p);
+  int drops = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i)
+    drops += inj.on_message(0, 1, 0, 8.0, static_cast<std::uint64_t>(i), 0)
+                 .drop;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.3, 0.05);
+}
+
+TEST(FaultPlan, LoadReportsThePath) {
+  try {
+    res::FaultPlan::load("/nonexistent/plan.json");
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/plan.json"),
+              std::string::npos);
+  }
+}
+
+}  // namespace

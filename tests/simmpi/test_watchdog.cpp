@@ -1,0 +1,211 @@
+// Engine watchdog and fault hooks: structured stall diagnosis instead of an
+// abort, retransmission of dropped eager messages with bounded backoff, and
+// fail-stop hard crashes.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "simmpi/simmpi.hpp"
+
+namespace sim = spechpc::sim;
+
+namespace {
+
+// Drops the first delivery attempt of every eager message.
+class DropFirstAttempt final : public sim::FaultInjector {
+ public:
+  sim::FaultDecision on_message(int, int, int, double, std::uint64_t,
+                                int attempt) const override {
+    return {attempt == 0, false};
+  }
+};
+
+// Drops every delivery attempt: the message is eventually declared lost.
+class DropAlways final : public sim::FaultInjector {
+ public:
+  sim::FaultDecision on_message(int, int, int, double, std::uint64_t,
+                                int) const override {
+    return {true, false};
+  }
+};
+
+// Rank `victim` fail-stops at `when`.
+class CrashOne final : public sim::FaultInjector {
+ public:
+  CrashOne(int victim, double when) : victim_(victim), when_(when) {}
+  double next_crash_after(int rank, double t) const override {
+    return (rank == victim_ && t < when_) ? when_ : sim::kNoCrash;
+  }
+  bool hard_crashes() const override { return true; }
+
+ private:
+  int victim_;
+  double when_;
+};
+
+TEST(Watchdog, TagMismatchIsDiagnosedWithMatchKeysInsteadOfAborting) {
+  // Rank 0 sends tag 7, rank 1 waits for tag 8: a real matching bug.  Under
+  // OnStall::kDiagnose the engine must return normally and name the blocked
+  // endpoint and its match key instead of throwing (let alone std::abort).
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.watchdog.on_stall = sim::WatchdogConfig::OnStall::kDiagnose;
+  sim::Engine eng(std::move(cfg));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0)
+      co_await c.send_bytes(1, 7, 8.0);
+    else
+      co_await c.recv_bytes(0, 8);
+  });
+  const sim::StallDiagnosis* d = eng.stall();
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->nranks, 2);
+  EXPECT_EQ(d->blocked_ranks, 1);
+  ASSERT_EQ(d->recvs.size(), 1u);
+  EXPECT_EQ(d->recvs[0].rank, 1);
+  EXPECT_EQ(d->recvs[0].src_filter, 0);
+  EXPECT_EQ(d->recvs[0].tag_filter, 8);
+  EXPECT_EQ(d->undelivered_eager, 1u);  // the tag-7 message nobody wants
+  EXPECT_EQ(eng.stats().stalled_ranks, 1);
+  // The human-readable form carries the same keys.
+  const std::string text = d->to_string();
+  EXPECT_NE(text.find("rank 1"), std::string::npos);
+  EXPECT_NE(text.find("tag=8"), std::string::npos);
+}
+
+TEST(Watchdog, DefaultPolicyStillThrowsTheLegacyReport) {
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine eng(std::move(cfg));
+  try {
+    eng.run([](sim::Comm& c) -> sim::Task<> {
+      if (c.rank() == 1) co_await c.recv_bytes(0, 8);
+    });
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos);
+    EXPECT_NE(msg.find("rank 1"), std::string::npos);
+    EXPECT_NE(msg.find("tag=8"), std::string::npos);
+  }
+}
+
+TEST(Watchdog, DroppedMessageIsRetransmittedAndRunCompletes) {
+  DropFirstAttempt faults;
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.faults = &faults;
+  sim::Engine eng(std::move(cfg));
+  double t_clean = 0.0;
+  {
+    sim::EngineConfig ref;
+    ref.nranks = 2;
+    sim::Engine clean(std::move(ref));
+    clean.run([](sim::Comm& c) -> sim::Task<> {
+      if (c.rank() == 0)
+        co_await c.send_bytes(1, 0, 8.0);
+      else
+        co_await c.recv_bytes(0, 0);
+    });
+    t_clean = clean.now(1);
+  }
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0)
+      co_await c.send_bytes(1, 0, 8.0);
+    else
+      co_await c.recv_bytes(0, 0);
+  });
+  const sim::EngineStats st = eng.stats();
+  EXPECT_EQ(st.messages_dropped, 1u);
+  EXPECT_EQ(st.retransmissions, 1u);
+  EXPECT_EQ(st.messages_lost, 0u);
+  EXPECT_EQ(eng.counters(1).messages_received, 1);
+  // The retry costs real virtual time (backoff), it is not free.
+  EXPECT_GT(eng.now(1), t_clean);
+  EXPECT_EQ(eng.stall(), nullptr);
+}
+
+TEST(Watchdog, RetriesExhaustedMeansLostAndDiagnosed) {
+  DropAlways faults;
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.faults = &faults;
+  cfg.watchdog.max_retries = 2;
+  cfg.watchdog.on_stall = sim::WatchdogConfig::OnStall::kDiagnose;
+  sim::Engine eng(std::move(cfg));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0)
+      co_await c.send_bytes(1, 0, 8.0);
+    else
+      co_await c.recv_bytes(0, 0);
+  });
+  const sim::EngineStats st = eng.stats();
+  EXPECT_EQ(st.messages_dropped, 3u);  // original + 2 retries, all dropped
+  EXPECT_EQ(st.retransmissions, 2u);
+  EXPECT_EQ(st.messages_lost, 1u);
+  const sim::StallDiagnosis* d = eng.stall();
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->lost_messages, 1u);
+  EXPECT_EQ(d->blocked_ranks, 1);
+  EXPECT_NE(d->to_string().find("lost"), std::string::npos);
+}
+
+TEST(Watchdog, HardCrashSilencesTheRankAndNamesItInTheDiagnosis) {
+  CrashOne faults(1, 1e-9);
+  sim::EngineConfig cfg;
+  cfg.nranks = 3;
+  cfg.faults = &faults;
+  cfg.watchdog.on_stall = sim::WatchdogConfig::OnStall::kDiagnose;
+  sim::Engine eng(std::move(cfg));
+  eng.run([](sim::Comm& c) -> sim::Task<> { co_await c.barrier(); });
+  EXPECT_EQ(eng.stats().crashed_ranks, 1);
+  const sim::StallDiagnosis* d = eng.stall();
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->crashed.size(), 1u);
+  EXPECT_EQ(d->crashed[0], 1);
+  EXPECT_NE(d->to_string().find("crashed"), std::string::npos);
+}
+
+TEST(Watchdog, FaultedRunsAreDeterministicallyReplayable) {
+  auto run_once = [] {
+    DropFirstAttempt faults;
+    sim::EngineConfig cfg;
+    cfg.nranks = 4;
+    cfg.faults = &faults;
+    sim::Engine eng(std::move(cfg));
+    eng.run([](sim::Comm& c) -> sim::Task<> {
+      const int next = (c.rank() + 1) % c.size();
+      const int prev = (c.rank() + c.size() - 1) % c.size();
+      for (int i = 0; i < 20; ++i) {
+        co_await c.send_bytes(next, i, 64.0);
+        co_await c.recv_bytes(prev, i);
+      }
+    });
+    return std::pair{eng.now(0), eng.resilience_log().events.size()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);  // bit-identical virtual time
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Watchdog, ZeroRetriesDisablesRetransmission) {
+  DropAlways faults;
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.faults = &faults;
+  cfg.watchdog.max_retries = 0;
+  cfg.watchdog.on_stall = sim::WatchdogConfig::OnStall::kDiagnose;
+  sim::Engine eng(std::move(cfg));
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 0)
+      co_await c.send_bytes(1, 0, 8.0);
+    else
+      co_await c.recv_bytes(0, 0);
+  });
+  EXPECT_EQ(eng.stats().retransmissions, 0u);
+  EXPECT_EQ(eng.stats().messages_lost, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+# CLI error-path contract: bad invocations must fail with a clear message on
+# stderr and a nonzero exit code, never a crash or a silent success.
+# Invoked as:
+#   cmake -DCLI=<path-to-spechpc_cli> -DTMPDIR=<scratch> -P cli_errors.cmake
+
+function(expect_failure expect_status expect_stderr)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT status EQUAL ${expect_status})
+    message(FATAL_ERROR
+      "spechpc_cli ${ARGN}: expected exit ${expect_status}, got '${status}'\n"
+      "stderr: ${err}")
+  endif()
+  if(NOT err MATCHES "${expect_stderr}")
+    message(FATAL_ERROR
+      "spechpc_cli ${ARGN}: stderr does not mention '${expect_stderr}'\n"
+      "stderr: ${err}")
+  endif()
+endfunction()
+
+# Unknown flag.
+expect_failure(2 "unknown flag: --frobnicate" run lbm --frobnicate)
+# Flag missing its value.
+expect_failure(2 "--report requires a value" run lbm --report)
+# Non-integer values (including trailing garbage).
+expect_failure(2 "--ranks expects an integer, got 'many'" run lbm --ranks many)
+expect_failure(2 "--ranks expects an integer, got '8x'" run lbm --ranks 8x)
+expect_failure(2 "--watchdog expects throw|diagnose" run lbm --watchdog panic)
+# Missing positional app.
+expect_failure(2 "requires an <app> argument" run)
+# Unknown app / cluster / workload surface as clean runtime errors.
+expect_failure(1 "error:" run no-such-app)
+expect_failure(1 "unknown cluster" run lbm --cluster Z --ranks 2 --steps 1)
+# Unwritable report path fails before the simulation runs.
+expect_failure(1 "cannot open report file"
+  run lbm --ranks 2 --steps 1 --report /nonexistent-dir/report.json)
+# Unreadable fault plan.
+expect_failure(1 "no-such-plan.json"
+  run lbm --ranks 2 --steps 1 --faults ${TMPDIR}/no-such-plan.json)
+
+# Malformed fault plan: parse error names the offending key.
+file(WRITE ${TMPDIR}/bad_plan.json "{\"sneed\": 1}")
+expect_failure(1 "sneed" run lbm --ranks 2 --steps 1
+  --faults ${TMPDIR}/bad_plan.json)
+
+# Sanity: a healthy invocation still succeeds (guards against the checks
+# above being trivially satisfied by a broken binary).
+execute_process(
+  COMMAND ${CLI} run lbm --ranks 2 --steps 1
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "healthy run failed (${status}): ${err}")
+endif()
+
+message(STATUS "cli_errors: all error paths behaved")

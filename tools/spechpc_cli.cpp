@@ -4,11 +4,13 @@
 //   spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]
 //                     [--ranks N | --nodes N] [--steps N] [--eager]
 //                     [--regions] [--report out.json]
+//                     [--faults plan.json] [--watchdog throw|diagnose]
 //   spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]
 //                     [--max-ranks N] [--jobs N] [--progress]
 //                     [--report out.json]
 //   spechpc_cli trace <app> [--cluster A|B] [--ranks N]
 //                     [--format ascii|csv|chrome] [--out FILE]
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -18,6 +20,7 @@
 
 #include "core/spechpc.hpp"
 #include "core/sweep.hpp"
+#include "resilience/resilience.hpp"
 
 using namespace spechpc;
 
@@ -41,6 +44,8 @@ struct Args {
   std::string trace_out;
   std::string chrome_out;  // legacy spelling of --format chrome --out FILE
   std::string csv_out;     // legacy spelling of --format csv --out FILE
+  std::string faults_path;  // run: fault-plan JSON
+  std::string watchdog;     // run: throw|diagnose (default depends on plan)
 };
 
 int usage() {
@@ -50,6 +55,7 @@ int usage() {
          "  spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]\n"
          "                    [--ranks N | --nodes N] [--steps N] [--eager]\n"
          "                    [--regions] [--report out.json]\n"
+         "                    [--faults plan.json] [--watchdog throw|diagnose]\n"
          "  spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]\n"
          "                    [--max-ranks N] [--jobs N] [--progress]\n"
          "                    [--report out.json]\n"
@@ -58,20 +64,53 @@ int usage() {
   return 2;
 }
 
+/// Strict argument parser: unknown flags, flags missing their value, and
+/// non-integer values all produce a clear one-line error on stderr and a
+/// nullopt (the caller exits with the usage text and status 2).  No standard
+/// exceptions can escape from here.
 std::optional<Args> parse(int argc, char** argv) {
-  if (argc < 2) return std::nullopt;
+  if (argc < 2) {
+    std::cerr << "error: missing command\n";
+    return std::nullopt;
+  }
   Args a;
   a.command = argv[1];
   int i = 2;
   if (a.command != "list") {
-    if (i >= argc) return std::nullopt;
+    if (i >= argc || std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "error: command '" << a.command
+                << "' requires an <app> argument\n";
+      return std::nullopt;
+    }
     a.app = argv[i++];
   }
-  for (; i < argc; ++i) {
+  bool ok = true;
+  for (; i < argc && ok; ++i) {
     const std::string flag = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
+    // Value of a flag; reports a missing value once and poisons the parse.
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: flag " << flag << " requires a value\n";
+        ok = false;
+        return {};
+      }
       return std::string(argv[++i]);
+    };
+    // Integer value; rejects trailing garbage ("8x"), empty and non-numeric.
+    auto next_int = [&]() -> int {
+      const std::string v = next();
+      if (!ok) return 0;
+      int out = 0;
+      const char* b = v.data();
+      const char* e = v.data() + v.size();
+      const auto [p, ec] = std::from_chars(b, e, out);
+      if (ec != std::errc() || p != e) {
+        std::cerr << "error: flag " << flag << " expects an integer, got '"
+                  << v << "'\n";
+        ok = false;
+        return 0;
+      }
+      return out;
     };
     if (flag == "--eager") {
       a.eager = true;
@@ -80,35 +119,55 @@ std::optional<Args> parse(int argc, char** argv) {
     } else if (flag == "--progress") {
       a.progress = true;
     } else if (flag == "--report") {
-      if (auto v = next()) a.report_out = *v; else return std::nullopt;
+      a.report_out = next();
     } else if (flag == "--format") {
-      if (auto v = next()) a.format = *v; else return std::nullopt;
+      a.format = next();
     } else if (flag == "--out") {
-      if (auto v = next()) a.trace_out = *v; else return std::nullopt;
+      a.trace_out = next();
     } else if (flag == "--cluster") {
-      if (auto v = next()) a.cluster = *v; else return std::nullopt;
+      a.cluster = next();
     } else if (flag == "--workload") {
-      if (auto v = next()) a.workload = *v; else return std::nullopt;
+      a.workload = next();
+    } else if (flag == "--faults") {
+      a.faults_path = next();
+    } else if (flag == "--watchdog") {
+      a.watchdog = next();
+      if (ok && a.watchdog != "throw" && a.watchdog != "diagnose") {
+        std::cerr << "error: flag --watchdog expects throw|diagnose, got '"
+                  << a.watchdog << "'\n";
+        ok = false;
+      }
     } else if (flag == "--ranks") {
-      if (auto v = next()) a.ranks = std::stoi(*v); else return std::nullopt;
+      a.ranks = next_int();
     } else if (flag == "--nodes") {
-      if (auto v = next()) a.nodes = std::stoi(*v); else return std::nullopt;
+      a.nodes = next_int();
     } else if (flag == "--steps") {
-      if (auto v = next()) a.steps = std::stoi(*v); else return std::nullopt;
+      a.steps = next_int();
     } else if (flag == "--max-ranks") {
-      if (auto v = next()) a.max_ranks = std::stoi(*v); else return std::nullopt;
+      a.max_ranks = next_int();
     } else if (flag == "--jobs") {
-      if (auto v = next()) a.jobs = std::stoi(*v); else return std::nullopt;
+      a.jobs = next_int();
     } else if (flag == "--chrome") {
-      if (auto v = next()) a.chrome_out = *v; else return std::nullopt;
+      a.chrome_out = next();
     } else if (flag == "--csv") {
-      if (auto v = next()) a.csv_out = *v; else return std::nullopt;
+      a.csv_out = next();
     } else {
-      std::cerr << "unknown flag: " << flag << "\n";
+      std::cerr << "error: unknown flag: " << flag << "\n";
       return std::nullopt;
     }
   }
+  if (!ok) return std::nullopt;
   return a;
+}
+
+/// Fails fast (before the simulation runs) when the report path cannot be
+/// written; append mode neither truncates an existing artifact nor leaves
+/// one behind with partial content.
+void check_report_writable(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream probe(path, std::ios::app);
+  if (!probe)
+    throw std::runtime_error("cannot open report file for writing: " + path);
 }
 
 mach::ClusterSpec pick_cluster(const std::string& name) {
@@ -134,6 +193,7 @@ int cmd_list() {
 }
 
 int cmd_run(const Args& a) {
+  check_report_writable(a.report_out);
   const auto cluster = pick_cluster(a.cluster);
   auto app = core::make_app(a.app, pick_workload(a.workload));
   app->set_measured_steps(a.steps);
@@ -144,6 +204,21 @@ int cmd_run(const Args& a) {
   // implies both collectors (they do not perturb the simulated results).
   opts.regions = a.regions || !a.report_out.empty();
   opts.trace = !a.report_out.empty();
+
+  std::optional<resilience::FaultPlan> plan;
+  if (!a.faults_path.empty()) {
+    plan = resilience::FaultPlan::load(a.faults_path);
+    opts.faults = &*plan;
+    app->set_fault_plan(&*plan);
+  }
+  // Default stall policy: fault runs diagnose (the report is the product),
+  // healthy runs keep the legacy throw-on-deadlock behavior.
+  opts.watchdog.on_stall = a.watchdog.empty()
+                               ? (plan ? sim::WatchdogConfig::OnStall::kDiagnose
+                                       : sim::WatchdogConfig::OnStall::kThrow)
+                               : (a.watchdog == "diagnose"
+                                      ? sim::WatchdogConfig::OnStall::kDiagnose
+                                      : sim::WatchdogConfig::OnStall::kThrow);
 
   core::RunResult r =
       a.nodes ? core::run_on_nodes(*app, cluster, *a.nodes, opts)
@@ -172,15 +247,40 @@ int cmd_run(const Args& a) {
     std::cout << "\nregions (likwid-style, exclusive attribution):\n";
     perf::region_table(r.engine()).print(std::cout);
   }
+  if (plan) {
+    const sim::ResilienceLog& log = r.engine().resilience_log();
+    perf::Table rt({"resilience", "value"});
+    rt.add_row({"fault events", std::to_string(log.events.size())});
+    rt.add_row({"messages dropped", std::to_string(log.messages_dropped)});
+    rt.add_row({"retransmissions", std::to_string(log.retransmissions)});
+    rt.add_row({"messages lost", std::to_string(log.messages_lost)});
+    rt.add_row({"duplicates", std::to_string(log.duplicates)});
+    rt.add_row({"crashed ranks", std::to_string(log.crashed_ranks)});
+    rt.add_row({"checkpoints", std::to_string(log.checkpoints)});
+    rt.add_row({"rollbacks", std::to_string(log.rollbacks)});
+    rt.add_row({"checkpoint time [s]", perf::Table::num(log.checkpoint_s, 5)});
+    rt.add_row({"restart time [s]", perf::Table::num(log.restart_s, 5)});
+    rt.add_row({"recompute time [s]", perf::Table::num(log.recompute_s, 5)});
+    std::cout << "\n";
+    rt.print(std::cout);
+  }
   if (!a.report_out.empty()) {
-    perf::write_json(core::build_report(r, cluster, a.app, a.workload),
-                     a.report_out);
+    perf::RunReport rep = core::build_report(r, cluster, a.app, a.workload);
+    if (plan) rep.resilience.plan_json = plan->to_json();
+    perf::write_json(rep, a.report_out);
     std::cout << "wrote run report to " << a.report_out << "\n";
+  }
+  if (r.engine().stall()) {
+    // Degraded run that could not finish: the artifact above records the
+    // structured diagnosis; mirror it on stderr and signal the caller.
+    std::cerr << r.engine().stall()->to_string();
+    return 3;
   }
   return 0;
 }
 
 int cmd_sweep(const Args& a) {
+  check_report_writable(a.report_out);
   const auto cluster = pick_cluster(a.cluster);
   const int maxr =
       a.max_ranks > 0 ? a.max_ranks : cluster.cores_per_node();
