@@ -1,6 +1,8 @@
 // Figure 4: Z-plots (energy vs speedup, cores as parameter), total energy vs
-// processes, and the Sect. 4.3.1 energy/EDP-minimum analysis.
+// processes, and the Sect. 4.3.1 energy/EDP-minimum analysis, plus the
+// outlook's DVFS what-if (frequency-scaled Z-plot curves).
 #include "bench_util.hpp"
+#include "core/zplot.hpp"
 
 using namespace benchutil;
 
@@ -66,6 +68,32 @@ void total_energy(const mach::ClusterSpec& cl) {
   t.print(std::cout);
 }
 
+void zplot_dvfs(const mach::ClusterSpec& cl) {
+  section("Outlook (" + cl.name +
+          "): frequency-scaled Z-plot on one ccNUMA domain");
+  expectation(
+      "memory-bound codes lose little speed but save chip power at reduced "
+      "clock, shifting their minimum-energy point to lower frequency; "
+      "compute-bound codes prefer the nominal clock (race-to-idle)");
+  perf::Table t({"app", "f", "E(min) [J/step]", "p at Emin", "p at EDPmin"});
+  for (const std::string_view name : {"lbm", "sph-exa"}) {
+    core::ZplotOptions opts;
+    opts.max_cores = cl.cpu.cores_per_domain();
+    opts.frequency_factors = {0.7, 0.85, 1.0};
+    opts.jobs = sweep_pool().jobs();
+    const core::ZplotResult z = core::zplot_sweep(name, cl, opts);
+    for (const core::ZplotCurve& curve : z.curves) {
+      if (curve.min_energy == power::npos) continue;
+      t.add_row({std::string(name),
+                 perf::Table::num(curve.frequency_factor, 2),
+                 perf::Table::num(curve.points[curve.min_energy].energy_j, 1),
+                 std::to_string(curve.points[curve.min_energy].resources),
+                 std::to_string(curve.points[curve.min_edp].resources)});
+    }
+  }
+  t.print(std::cout);
+}
+
 }  // namespace
 
 int main() {
@@ -73,5 +101,7 @@ int main() {
   zplot(mach::cluster_b());
   total_energy(mach::cluster_a());
   total_energy(mach::cluster_b());
+  zplot_dvfs(mach::cluster_a());
+  zplot_dvfs(mach::cluster_b());
   return 0;
 }

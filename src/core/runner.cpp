@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include "machine/topology.hpp"
+#include "power/energy_timeline.hpp"
 
 namespace spechpc::core {
 
@@ -96,8 +97,14 @@ perf::RunReport build_report(const RunResult& result,
   for (int r = 0; r < engine.nranks(); ++r)
     rep.ranks.push_back(engine.measured(r));
   if (engine.regions_enabled()) rep.regions = perf::region_rows(engine);
-  if (!engine.timeline().intervals().empty())
+  if (!engine.timeline().intervals().empty()) {
     rep.series = perf::time_series(engine.timeline(), 32);
+    const power::PowerModel model(cluster);
+    rep.energy_timeline = power::analyze_timeline(model, engine, 32);
+    if (engine.regions_enabled())
+      rep.region_energy =
+          power::attribute_region_energy(model, engine, rep.energy_timeline);
+  }
   if (engine.faults_enabled()) {
     rep.resilience.enabled = true;
     rep.resilience.log = engine.resilience_log();

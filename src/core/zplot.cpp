@@ -1,0 +1,126 @@
+#include "core/zplot.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/sweep.hpp"
+#include "perf/report.hpp"
+
+namespace spechpc::core {
+
+ZplotResult zplot_sweep(std::string_view app_name,
+                        const mach::ClusterSpec& cluster,
+                        const ZplotOptions& opts) {
+  ZplotResult out;
+  out.app = std::string(app_name);
+  out.cluster = cluster.name;
+  out.workload = apps::to_string(opts.workload);
+
+  std::vector<int> cores = opts.core_counts;
+  if (cores.empty()) {
+    const int max_cores =
+        opts.max_cores > 0 ? opts.max_cores : cluster.cores_per_node();
+    for (int c = 1; c <= max_cores; ++c) cores.push_back(c);
+  }
+  std::vector<double> factors = opts.frequency_factors;
+  if (factors.empty()) factors.push_back(1.0);
+
+  // Flatten (factor, cores) so one pool batch covers the whole grid; every
+  // point builds its own app and models, so points are independent.
+  struct Point {
+    double seconds_per_step = 0.0;
+    double energy_per_step_j = 0.0;
+  };
+  const std::size_t per_curve = cores.size();
+  SweepRunner pool(opts.jobs > 0 ? opts.jobs : SweepRunner::default_jobs());
+  const std::vector<Point> raw = pool.map<Point>(
+      factors.size() * per_curve, [&](std::size_t i) {
+        const double f = factors[i / per_curve];
+        const int nranks = cores[i % per_curve];
+        const mach::ClusterSpec scaled =
+            f == 1.0 ? cluster : mach::scale_frequency(cluster, f);
+        auto app = make_app(out.app, opts.workload);
+        app->set_measured_steps(opts.measured_steps);
+        app->set_warmup_steps(opts.warmup_steps);
+        const RunResult r = run_benchmark(*app, scaled, nranks);
+        return Point{r.seconds_per_step(),
+                     r.power().total_energy_j() / r.steps()};
+      });
+
+  std::size_t base_curve = 0;
+  for (std::size_t i = 0; i < factors.size(); ++i)
+    if (factors[i] == 1.0) {
+      base_curve = i;
+      break;
+    }
+  out.baseline_seconds_per_step = raw[base_curve * per_curve].seconds_per_step;
+
+  out.curves.reserve(factors.size());
+  for (std::size_t f = 0; f < factors.size(); ++f) {
+    ZplotCurve curve;
+    curve.frequency_factor = factors[f];
+    curve.points.reserve(per_curve);
+    for (std::size_t c = 0; c < per_curve; ++c) {
+      const Point& pt = raw[f * per_curve + c];
+      power::OperatingPoint op;
+      op.resources = cores[c];
+      op.speedup = pt.seconds_per_step > 0.0
+                       ? out.baseline_seconds_per_step / pt.seconds_per_step
+                       : 0.0;
+      op.energy_j = pt.energy_per_step_j;
+      curve.points.push_back(op);
+    }
+    curve.min_energy = power::min_energy_point(curve.points);
+    curve.min_edp = power::min_edp_point(curve.points);
+    out.curves.push_back(std::move(curve));
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::int64_t index_or_minus1(std::size_t i) {
+  return i == power::npos ? -1 : static_cast<std::int64_t>(i);
+}
+
+}  // namespace
+
+std::string to_json(const ZplotResult& r) {
+  // App/cluster/workload names come from our own registries (no escaping
+  // needed); numbers use the same max_digits10 round-trip format as the
+  // RunReport emitter.
+  std::ostringstream os;
+  os << "{\"schema_version\":" << perf::kRunReportSchemaVersion
+     << ",\"zplot\":{\"app\":\"" << r.app << "\",\"cluster\":\"" << r.cluster
+     << "\",\"workload\":\"" << r.workload
+     << "\",\"baseline_seconds_per_step\":"
+     << fmt(r.baseline_seconds_per_step) << ",\"curves\":[";
+  for (std::size_t f = 0; f < r.curves.size(); ++f) {
+    const ZplotCurve& curve = r.curves[f];
+    if (f) os << ",";
+    os << "{\"frequency_factor\":" << fmt(curve.frequency_factor)
+       << ",\"points\":[";
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      const power::OperatingPoint& p = curve.points[i];
+      if (i) os << ",";
+      os << "{\"cores\":" << p.resources << ",\"speedup\":" << fmt(p.speedup)
+         << ",\"energy_j\":" << fmt(p.energy_j) << ",\"edp\":" << fmt(p.edp())
+         << "}";
+    }
+    os << "],\"min_energy\":" << index_or_minus1(curve.min_energy)
+       << ",\"min_edp\":" << index_or_minus1(curve.min_edp) << "}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+}  // namespace spechpc::core

@@ -1,0 +1,65 @@
+// Z-plot sweeps: energy vs performance over operating points (Sect. 4.3).
+//
+// The paper's Fig. 4 plots per-step energy against performance while the
+// core count walks up one node ("Z plot"); the outlook adds frequency as a
+// second knob.  This module runs that two-dimensional sweep — cores on each
+// curve, one curve per DVFS factor (mach::scale_frequency) — on the shared
+// thread pool and marks the minimum-energy and minimum-EDP operating points
+// of every curve.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "power/power_model.hpp"
+
+namespace spechpc::core {
+
+struct ZplotOptions {
+  Workload workload = Workload::kTiny;
+  /// Modeled steps per point (kept low: a sweep runs many simulations).
+  int measured_steps = 3;
+  int warmup_steps = 1;
+  /// Highest core count on each curve; 0 = one full node.
+  int max_cores = 0;
+  /// Explicit core counts (overrides max_cores when non-empty).
+  std::vector<int> core_counts;
+  /// One Z-plot curve per clock-scaling factor (1.0 = nominal).
+  std::vector<double> frequency_factors = {1.0};
+  /// Worker threads; 0 = SweepRunner::default_jobs().
+  int jobs = 1;
+};
+
+/// One energy-vs-performance curve at a fixed clock factor.
+struct ZplotCurve {
+  double frequency_factor = 1.0;
+  std::vector<power::OperatingPoint> points;  ///< one per core count
+  std::size_t min_energy = power::npos;  ///< index into points
+  std::size_t min_edp = power::npos;     ///< index into points
+};
+
+struct ZplotResult {
+  std::string app;
+  std::string cluster;
+  std::string workload;
+  /// Reference delay: seconds/step of the fewest-cores point at nominal
+  /// frequency (first curve if no factor equals 1.0); speedups are relative
+  /// to it across all curves, so curves are comparable.
+  double baseline_seconds_per_step = 0.0;
+  std::vector<ZplotCurve> curves;
+};
+
+/// Runs the (frequency x cores) sweep for one benchmark on `cluster`.
+ZplotResult zplot_sweep(std::string_view app_name,
+                        const mach::ClusterSpec& cluster,
+                        const ZplotOptions& opts = {});
+
+/// Serializes the sweep as a self-contained, schema-versioned JSON document
+/// ({"schema_version":N,"zplot":{...}}; perf::validate_zplot_json checks it).
+/// min_energy/min_edp are emitted as -1 when the curve has no points.
+std::string to_json(const ZplotResult& result);
+
+}  // namespace spechpc::core

@@ -6,6 +6,8 @@
 // fat-trees, so no topology contention is modeled (documented substitution).
 #pragma once
 
+#include <algorithm>
+
 #include "machine/specs.hpp"
 #include "simmpi/models.hpp"
 
@@ -22,7 +24,13 @@ class HdrNetworkModel final : public sim::NetworkModel {
     const double bw = intra ? spec_.intra_bw_Bps : spec_.link_bw_Bps;
     sim::TransferCost c;
     c.sender_busy_s = spec_.sender_overhead_s + bytes / bw;
-    c.in_flight_s = lat + bytes / bw;
+    // LogGP semantics: the wire latency L runs concurrently with the send
+    // overhead o, but a message cannot be fully delivered before its sender
+    // has finished injecting it (arrival >= o + bytes/bw).  With L < o a
+    // plain "L + bytes/bw" would let the receiver observe the message while
+    // the sender is still busy; max(L, o) restores causality and is exactly
+    // L for the shipped HDR100 specs (L > o on both transports).
+    c.in_flight_s = std::max(lat, spec_.sender_overhead_s) + bytes / bw;
     return c;
   }
 

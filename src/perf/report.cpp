@@ -113,6 +113,7 @@ void emit_counters(Json& j, const sim::RankCounters& c) {
       .kv("flops_simd", c.flops_simd)
       .kv("flops_scalar", c.flops_scalar)
       .kv("port_busy_seconds", c.port_busy_seconds)
+      .kv("busy_simd_seconds", c.busy_simd_seconds)
       .kv("mem_bytes", c.traffic.mem_bytes)
       .kv("l3_bytes", c.traffic.l3_bytes)
       .kv("l2_bytes", c.traffic.l2_bytes)
@@ -314,6 +315,45 @@ std::string to_json(const RunReport& r) {
   }
   j.end_arr();
 
+  const power::EnergyTimeline& tl = r.energy_timeline;
+  j.key("energy_timeline")
+      .begin_obj()
+      .kv("window_begin_s", tl.window_begin)
+      .kv("window_end_s", tl.window_end)
+      .kv("sockets_used", tl.sockets_used)
+      .kv("domains_used", tl.domains_used)
+      .kv("chip_baseline_j", tl.chip_baseline_j)
+      .kv("chip_dynamic_j", tl.chip_dynamic_j)
+      .kv("dram_idle_j", tl.dram_idle_j)
+      .kv("dram_dynamic_j", tl.dram_dynamic_j)
+      .kv("chip_energy_j", tl.chip_energy_j())
+      .kv("dram_energy_j", tl.dram_energy_j())
+      .kv("total_energy_j", tl.total_energy_j());
+  j.key("samples").begin_arr();
+  for (const power::PowerSample& s : tl.samples) {
+    j.begin_obj()
+        .kv("t_begin", s.t_begin)
+        .kv("t_end", s.t_end)
+        .kv("chip_w", s.chip_w)
+        .kv("dram_w", s.dram_w)
+        .end_obj();
+  }
+  j.end_arr().end_obj();
+
+  j.key("region_energy").begin_arr();
+  for (const power::RegionEnergy& re : r.region_energy) {
+    j.begin_obj()
+        .kv("path", std::string_view(re.path))
+        .kv("time_s", re.time_s)
+        .kv("mem_bytes", re.mem_bytes)
+        .kv("chip_dynamic_j", re.chip_dynamic_j)
+        .kv("chip_baseline_j", re.chip_baseline_j)
+        .kv("dram_j", re.dram_j)
+        .kv("total_j", re.total_j())
+        .end_obj();
+  }
+  j.end_arr();
+
   j.end_obj();
   return j.take();
 }
@@ -436,22 +476,81 @@ bool is_valid_json(std::string_view text, std::string* error) {
   return Checker(text).run(error);
 }
 
-const std::vector<std::string>& run_report_required_keys() {
-  static const std::vector<std::string> keys = {
-      "schema_version", "workload", "machine",      "metrics",
-      "energy",         "ranks",    "engine_stats", "regions"};
-  return keys;
-}
+namespace {
 
-bool validate_run_report_json(std::string_view text, std::string* error) {
-  if (!is_valid_json(text, error)) return false;
-  for (const std::string& k : run_report_required_keys()) {
+bool has_required_keys(std::string_view text,
+                       const std::vector<std::string>& keys,
+                       std::string* error) {
+  for (const std::string& k : keys) {
     if (text.find("\"" + k + "\"") == std::string_view::npos) {
       if (error) *error = "missing required key: " + k;
       return false;
     }
   }
   return true;
+}
+
+/// Checks that the document's "schema_version" value equals `expected`
+/// (first occurrence; our emitters put it first in the top-level object).
+bool check_schema_version(std::string_view text, int expected,
+                          std::string* error) {
+  const std::string key = "\"schema_version\"";
+  std::size_t pos = text.find(key);
+  if (pos == std::string_view::npos) {
+    if (error) *error = "missing required key: schema_version";
+    return false;
+  }
+  pos += key.size();
+  while (pos < text.size() &&
+         (std::isspace(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == ':'))
+    ++pos;
+  int got = 0;
+  bool any = false;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    got = got * 10 + (text[pos++] - '0');
+    any = true;
+  }
+  if (!any || got != expected) {
+    if (error)
+      *error = "unsupported schema_version (want " +
+               std::to_string(expected) + ")";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string>& run_report_required_keys() {
+  static const std::vector<std::string> keys = {
+      "schema_version", "workload",       "machine",
+      "metrics",        "energy",         "ranks",
+      "engine_stats",   "regions",        "energy_timeline",
+      "region_energy"};
+  return keys;
+}
+
+bool validate_run_report_json(std::string_view text, std::string* error) {
+  if (!is_valid_json(text, error)) return false;
+  if (!check_schema_version(text, kRunReportSchemaVersion, error)) return false;
+  return has_required_keys(text, run_report_required_keys(), error);
+}
+
+const std::vector<std::string>& zplot_required_keys() {
+  static const std::vector<std::string> keys = {
+      "schema_version", "zplot",      "app",
+      "cluster",        "workload",   "baseline_seconds_per_step",
+      "curves",         "frequency_factor", "points",
+      "min_energy",     "min_edp"};
+  return keys;
+}
+
+bool validate_zplot_json(std::string_view text, std::string* error) {
+  if (!is_valid_json(text, error)) return false;
+  if (!check_schema_version(text, kRunReportSchemaVersion, error)) return false;
+  return has_required_keys(text, zplot_required_keys(), error);
 }
 
 }  // namespace spechpc::perf

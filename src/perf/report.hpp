@@ -23,13 +23,17 @@
 #include "perf/metrics.hpp"
 #include "perf/region.hpp"
 #include "perf/timeseries.hpp"
+#include "power/energy_timeline.hpp"
 #include "power/power_model.hpp"
 #include "simmpi/engine.hpp"
 
 namespace spechpc::perf {
 
 /// Bump when the JSON layout changes incompatibly.
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v2: adds the always-present `energy_timeline` and `region_energy`
+/// sections (time-resolved power model; empty samples/rows on untraced
+/// runs) and per-rank `busy_simd_seconds` counters.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// Degraded-run accounting: everything the fault-injection subsystem did to
 /// the run.  Only serialized when `enabled` (i.e. a fault plan was armed),
@@ -67,6 +71,10 @@ struct RunReport {
   std::vector<sim::RankCounters> ranks;  ///< measured per-rank counters
   std::vector<RegionRow> regions;       ///< empty unless regions enabled
   std::vector<TimeBucket> series;       ///< empty unless traced
+  /// Time-resolved power evaluation (empty samples unless traced).
+  power::EnergyTimeline energy_timeline;
+  /// Per-region energy attribution (empty unless traced with regions).
+  std::vector<power::RegionEnergy> region_energy;
   ResilienceSection resilience;         ///< serialized only when enabled
 };
 
@@ -82,13 +90,21 @@ void write_json(const RunReport& report, const std::string& path);
 /// and, if `error` is non-null, stores a short description.
 bool is_valid_json(std::string_view text, std::string* error = nullptr);
 
-/// Required top-level keys of a version-1 RunReport document.
+/// Required top-level keys of a current-version RunReport document.
 const std::vector<std::string>& run_report_required_keys();
 
-/// Full artifact validation: syntactic JSON and every required top-level key
+/// Full artifact validation: syntactic JSON, every required top-level key
 /// present (by quoted-key search at any depth -- sufficient for our own,
-/// non-adversarial documents).
+/// non-adversarial documents), and a schema_version matching
+/// kRunReportSchemaVersion (older documents lack the energy sections and
+/// are rejected).
 bool validate_run_report_json(std::string_view text,
                               std::string* error = nullptr);
+
+/// Required keys of a Z-plot sweep document (core::to_json(ZplotResult)).
+const std::vector<std::string>& zplot_required_keys();
+
+/// Validates a Z-plot sweep artifact (syntax + required keys + version).
+bool validate_zplot_json(std::string_view text, std::string* error = nullptr);
 
 }  // namespace spechpc::perf

@@ -22,14 +22,17 @@ void write_escaped(std::ostream& os, const std::string& s) {
 }  // namespace
 
 void export_csv(const sim::Timeline& timeline, std::ostream& os) {
-  os << "rank,t_begin,t_end,activity,label,flops,mem_bytes\n";
+  os << "rank,t_begin,t_end,activity,label,flops,mem_bytes,busy_seconds,"
+        "region\n";
   for (const auto& iv : timeline.intervals())
     os << iv.rank << ',' << iv.t_begin << ',' << iv.t_end << ','
        << sim::to_string(iv.activity) << ',' << iv.label << ',' << iv.flops
-       << ',' << iv.mem_bytes << '\n';
+       << ',' << iv.mem_bytes << ',' << iv.busy_seconds << ',' << iv.region
+       << '\n';
 }
 
-void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os) {
+void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os,
+                         const power::EnergyTimeline* power) {
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const auto& iv : timeline.intervals()) {
@@ -43,6 +46,17 @@ void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os) {
        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << iv.rank
        << ",\"ts\":" << iv.t_begin * 1e6
        << ",\"dur\":" << (iv.t_end - iv.t_begin) * 1e6 << "}";
+  }
+  if (power) {
+    // Counter tracks carry no tid: Perfetto keys them by (pid, name).  One
+    // event per sample bucket at the bucket's start time.
+    for (const power::PowerSample& s : power->samples) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"power\",\"ph\":\"C\",\"pid\":0,\"ts\":"
+         << s.t_begin * 1e6 << ",\"args\":{\"chip_w\":" << s.chip_w
+         << ",\"dram_w\":" << s.dram_w << "}}";
+    }
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
 }

@@ -4,15 +4,21 @@
 
 #include <iosfwd>
 
+#include "power/energy_timeline.hpp"
 #include "simmpi/trace.hpp"
 
 namespace spechpc::perf {
 
-/// One row per interval: rank,begin,end,activity,label,flops,mem_bytes.
+/// One row per interval:
+/// rank,begin,end,activity,label,flops,mem_bytes,busy_seconds,region.
 void export_csv(const sim::Timeline& timeline, std::ostream& os);
 
 /// Chrome trace-event format: complete ("X") events, one track per rank
-/// (pid 0, tid = rank), microsecond timestamps.
-void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os);
+/// (pid 0, tid = rank), microsecond timestamps.  When `power` is non-null,
+/// its samples are additionally emitted as counter ("C") events — chip_w
+/// and dram_w tracks Perfetto renders as a power-over-time graph above the
+/// rank timelines.
+void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os,
+                         const power::EnergyTimeline* power = nullptr);
 
 }  // namespace spechpc::perf

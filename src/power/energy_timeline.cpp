@@ -1,0 +1,190 @@
+#include "power/energy_timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "simmpi/trace.hpp"
+
+namespace spechpc::power {
+
+namespace {
+
+/// Dynamic chip energy of one traced interval: the busy/stall split of a
+/// compute interval, or the spin-wait draw of an MPI call.  This is the
+/// integrand whose run-total PowerModel::analyze computes from counters.
+double chip_dynamic_energy(const mach::CpuSpec& cpu,
+                           const sim::TraceInterval& iv) {
+  const double len = iv.t_end - iv.t_begin;
+  if (iv.activity != sim::Activity::kCompute)
+    return len * cpu.core_power_mpi_w;
+  const double busy = std::min(iv.busy_seconds, len);
+  const double busy_simd = std::min(iv.busy_simd_seconds, busy);
+  return busy * cpu.core_power_busy_scalar_w +
+         busy_simd *
+             (cpu.core_power_busy_simd_w - cpu.core_power_busy_scalar_w) +
+         (len - busy) * cpu.core_power_stall_w;
+}
+
+/// True when the interval lies in the rank's measured window.  Counter
+/// snapshots are taken between ops, so no interval straddles the boundary:
+/// this filter selects exactly the intervals behind Engine::measured.
+bool in_window(const sim::Engine& engine, const sim::TraceInterval& iv) {
+  return iv.t_begin >= engine.measure_begin(iv.rank);
+}
+
+/// Adds `energy` spread uniformly over [t0, t1] to the chip or DRAM power
+/// of the overlapped sample buckets.
+void deposit(std::vector<PowerSample>& samples, double window_begin,
+             double bucket_s, double t0, double t1, double energy,
+             double PowerSample::* field) {
+  if (t1 <= t0 || energy == 0.0 || samples.empty()) return;
+  const double rate = energy / (t1 - t0);
+  const auto n = samples.size();
+  auto first = static_cast<std::size_t>(
+      std::clamp((t0 - window_begin) / bucket_s, 0.0,
+                 static_cast<double>(n - 1)));
+  for (std::size_t i = first; i < n; ++i) {
+    PowerSample& s = samples[i];
+    if (s.t_begin >= t1) break;
+    const double overlap = std::min(t1, s.t_end) - std::max(t0, s.t_begin);
+    if (overlap > 0.0)
+      s.*field += rate * overlap / (s.t_end - s.t_begin);
+  }
+}
+
+}  // namespace
+
+EnergyTimeline analyze_timeline(const PowerModel& model,
+                                const sim::Engine& engine, int samples) {
+  const mach::CpuSpec& cpu = model.cluster().cpu;
+  const sim::Placement& p = engine.placement();
+
+  EnergyTimeline tl;
+  const double wall = engine.measured_wall();
+  if (wall <= 0.0) return tl;
+  tl.window_end = engine.elapsed();
+  tl.window_begin = tl.window_end - wall;
+
+  // Populated-package census: identical to the averaged model, which counts
+  // every rank's socket and ccNUMA domain whether or not it moved bytes.
+  std::map<int, bool> sockets;
+  std::map<int, bool> domains;
+  for (int r = 0; r < engine.nranks(); ++r) {
+    sockets[p.of(r).socket] = true;
+    domains[p.of(r).domain] = true;
+  }
+  tl.sockets_used = static_cast<int>(sockets.size());
+  tl.domains_used = static_cast<int>(domains.size());
+  tl.chip_baseline_j = tl.sockets_used * cpu.idle_power_per_socket_w * wall;
+  tl.dram_idle_j = tl.domains_used * cpu.dram_idle_power_per_domain_w * wall;
+
+  const int n_samples = std::max(1, samples);
+  const double bucket_s = wall / n_samples;
+  tl.samples.resize(static_cast<std::size_t>(n_samples));
+  for (int i = 0; i < n_samples; ++i) {
+    PowerSample& s = tl.samples[static_cast<std::size_t>(i)];
+    s.t_begin = tl.window_begin + i * bucket_s;
+    s.t_end = i + 1 == n_samples ? tl.window_end
+                                 : tl.window_begin + (i + 1) * bucket_s;
+    s.chip_w = tl.sockets_used * cpu.idle_power_per_socket_w;
+    s.dram_w = tl.domains_used * cpu.dram_idle_power_per_domain_w;
+  }
+
+  // Chip dynamic energy: one exact contribution per traced interval.
+  // DRAM bandwidth events: per domain, a compute interval turns a constant
+  // byte rate on at t_begin and off at t_end.
+  std::map<int, std::vector<std::pair<double, double>>> bw_events;
+  for (const sim::TraceInterval& iv : engine.timeline().intervals()) {
+    if (!in_window(engine, iv)) continue;
+    const double e = chip_dynamic_energy(cpu, iv);
+    tl.chip_dynamic_j += e;
+    deposit(tl.samples, tl.window_begin, bucket_s, iv.t_begin, iv.t_end, e,
+            &PowerSample::chip_w);
+    if (iv.mem_bytes > 0.0 && iv.t_end > iv.t_begin) {
+      const double rate = iv.mem_bytes / (iv.t_end - iv.t_begin);
+      auto& ev = bw_events[p.of(iv.rank).domain];
+      ev.emplace_back(iv.t_begin, rate);
+      ev.emplace_back(iv.t_end, -rate);
+    }
+  }
+
+  // DRAM dynamic energy: sweep each domain's piecewise-constant aggregate
+  // bandwidth and integrate the saturating utilization model.  When the
+  // instantaneous bandwidth never clips at saturation (the default roofline
+  // compute model shares the domain bandwidth, so it cannot), the integral
+  // equals the averaged model's min(1, avg_bw/sat) term exactly.
+  const double dyn_range_w =
+      cpu.dram_max_power_per_domain_w - cpu.dram_idle_power_per_domain_w;
+  for (auto& [domain, events] : bw_events) {
+    std::sort(events.begin(), events.end());
+    double rate = 0.0;
+    double t_prev = tl.window_begin;
+    for (std::size_t i = 0; i < events.size();) {
+      const double t = events[i].first;
+      if (t > t_prev && rate > 0.0) {
+        const double util = std::min(1.0, rate / cpu.sat_bw_per_domain_Bps);
+        const double e = util * dyn_range_w * (t - t_prev);
+        tl.dram_dynamic_j += e;
+        deposit(tl.samples, tl.window_begin, bucket_s, t_prev, t, e,
+                &PowerSample::dram_w);
+      }
+      // Fold all events at the same instant before the next segment.
+      while (i < events.size() && events[i].first == t) rate += events[i++].second;
+      t_prev = t;
+    }
+  }
+  return tl;
+}
+
+std::vector<RegionEnergy> attribute_region_energy(
+    const PowerModel& model, const sim::Engine& engine,
+    const EnergyTimeline& timeline) {
+  const mach::CpuSpec& cpu = model.cluster().cpu;
+  const int n_regions = std::max(1, engine.region_count());
+  std::vector<RegionEnergy> rows(static_cast<std::size_t>(n_regions));
+  for (int id = 0; id < n_regions; ++id) {
+    RegionEnergy& row = rows[static_cast<std::size_t>(id)];
+    row.id = id;
+    if (engine.regions_enabled()) {
+      const sim::RegionNode& node = engine.region_node(id);
+      row.path = node.name;
+      for (int q = node.parent; q > 0; q = engine.region_node(q).parent)
+        row.path = engine.region_node(q).name + "/" + row.path;
+    } else {
+      row.path = "(untracked)";
+    }
+  }
+
+  // Exact per-interval attribution of the dynamic chip term; accounted time
+  // and DRAM bytes collected as the apportioning bases for the rest.
+  double time_total = 0.0;
+  double bytes_total = 0.0;
+  for (const sim::TraceInterval& iv : engine.timeline().intervals()) {
+    if (iv.t_begin < engine.measure_begin(iv.rank)) continue;
+    const int id = iv.region >= 0 && iv.region < n_regions ? iv.region : 0;
+    RegionEnergy& row = rows[static_cast<std::size_t>(id)];
+    row.chip_dynamic_j += chip_dynamic_energy(cpu, iv);
+    row.time_s += iv.t_end - iv.t_begin;
+    row.mem_bytes += iv.mem_bytes;
+    time_total += iv.t_end - iv.t_begin;
+    bytes_total += iv.mem_bytes;
+  }
+
+  // Baseline chip power and idle DRAM power belong to the populated
+  // packages, not to code: split them by accounted time share.  Dynamic
+  // DRAM energy follows the traffic that caused it.
+  for (RegionEnergy& row : rows) {
+    const double time_share =
+        time_total > 0.0 ? row.time_s / time_total : (row.id == 0 ? 1.0 : 0.0);
+    const double bytes_share =
+        bytes_total > 0.0 ? row.mem_bytes / bytes_total
+                          : (row.id == 0 ? 1.0 : 0.0);
+    row.chip_baseline_j = timeline.chip_baseline_j * time_share;
+    row.dram_j = timeline.dram_idle_j * time_share +
+                 timeline.dram_dynamic_j * bytes_share;
+  }
+  return rows;
+}
+
+}  // namespace spechpc::power

@@ -1,0 +1,97 @@
+// Time-resolved evaluation of the RAPL-like power model.
+//
+// power_model.hpp evaluates chip and DRAM power from *run-averaged* activity
+// fractions.  This module evaluates the same structural model over each
+// rank's activity timeline instead: every traced interval (compute with its
+// port-busy/SIMD split, or an MPI call) contributes its own energy, and the
+// instantaneous per-ccNUMA-domain memory bandwidth drives the DRAM term.
+// Because the engine's intervals tile each rank's accounted time exactly and
+// the per-kernel SIMD weighting is additive, the integrated energy agrees
+// with PowerModel::analyze to floating-point roundoff on fault-free runs —
+// which is the consistency check the tests pin at 1e-9 relative.
+//
+// The same interval walk yields per-region energy attribution (each interval
+// carries the innermost region open when it was accounted, i.e. the same
+// completion-time attribution rule the region counters use): dynamic chip
+// energy is exact per interval, while baseline/idle energy — which belongs
+// to the package, not to any code line — is apportioned by accounted time
+// share and dynamic DRAM energy by memory-traffic share, so the per-region
+// energies sum to the run total by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/power_model.hpp"
+
+namespace spechpc::power {
+
+/// Average power over one sample bucket of the measured window.
+struct PowerSample {
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  double chip_w = 0.0;  ///< PKG power incl. baseline of populated sockets
+  double dram_w = 0.0;  ///< DRAM power incl. idle of populated domains
+
+  double total_w() const { return chip_w + dram_w; }
+};
+
+/// Time-resolved power/energy of the measured window of a finished run.
+struct EnergyTimeline {
+  double window_begin = 0.0;  ///< earliest begin_measurement (0 if none)
+  double window_end = 0.0;    ///< job end (Engine::elapsed)
+  int sockets_used = 0;
+  int domains_used = 0;
+
+  // Energy split: baseline/idle terms scale with wall time and populated
+  // packages only; dynamic terms integrate the per-interval activity.
+  double chip_baseline_j = 0.0;
+  double chip_dynamic_j = 0.0;
+  double dram_idle_j = 0.0;
+  double dram_dynamic_j = 0.0;
+
+  /// Power timeseries (uniform buckets over the window; Fig. 3-style).
+  std::vector<PowerSample> samples;
+
+  double wall_s() const { return window_end - window_begin; }
+  double chip_energy_j() const { return chip_baseline_j + chip_dynamic_j; }
+  double dram_energy_j() const { return dram_idle_j + dram_dynamic_j; }
+  double total_energy_j() const { return chip_energy_j() + dram_energy_j(); }
+  double avg_total_w() const {
+    return wall_s() > 0.0 ? total_energy_j() / wall_s() : 0.0;
+  }
+};
+
+/// Evaluates the power model over the engine's trace timeline (the engine
+/// must have run with EngineConfig::enable_trace).  Only intervals inside
+/// each rank's measured window contribute, mirroring Engine::measured.
+/// `samples` uniform buckets of the window are rendered into the timeseries
+/// (clamped to >= 1); energy totals are integrated exactly regardless of
+/// the sample resolution.
+EnergyTimeline analyze_timeline(const PowerModel& model,
+                                const sim::Engine& engine, int samples = 64);
+
+/// Energy attributed to one profiling region (exclusive, like the region
+/// counters themselves).
+struct RegionEnergy {
+  int id = 0;         ///< engine region-node id (0 = root "(untracked)")
+  std::string path;   ///< "/"-joined region path
+  double time_s = 0.0;     ///< accounted rank-seconds inside the region
+  double mem_bytes = 0.0;  ///< DRAM traffic attributed to the region
+  double chip_dynamic_j = 0.0;   ///< exact per-interval dynamic chip energy
+  double chip_baseline_j = 0.0;  ///< baseline share (by accounted time)
+  double dram_j = 0.0;           ///< idle share (by time) + dynamic (by bytes)
+
+  double total_j() const {
+    return chip_dynamic_j + chip_baseline_j + dram_j;
+  }
+};
+
+/// Splits `timeline`'s energy across the engine's profiling regions.  The
+/// rows sum to timeline.total_energy_j() exactly (the apportioning shares
+/// sum to one).  Without enable_regions a single root row is returned.
+std::vector<RegionEnergy> attribute_region_energy(
+    const PowerModel& model, const sim::Engine& engine,
+    const EnergyTimeline& timeline);
+
+}  // namespace spechpc::power

@@ -23,17 +23,18 @@ PowerReport PowerModel::analyze(const sim::Engine& engine) const {
     const double t_stall = t_compute - t_busy;
     const double t_mpi = m.mpi_time();
     // Wide SIMD execution draws measurably more power than a scalar
-    // instruction mix (the paper's hot sph-exa vs cool soma contrast).
-    const double total_flops = m.total_flops();
-    const double simd_frac =
-        total_flops > 0.0 ? m.flops_simd / total_flops : 0.0;
-    const double busy_w =
-        cpu.core_power_busy_scalar_w +
-        simd_frac *
-            (cpu.core_power_busy_simd_w - cpu.core_power_busy_scalar_w);
+    // instruction mix (the paper's hot sph-exa vs cool soma contrast).  The
+    // SIMD share of the busy time is accumulated per kernel by the engine
+    // (busy_simd_seconds); weighting busy time per kernel instead of by a
+    // run-level flop ratio is what makes this average agree exactly with the
+    // time-resolved integration in energy_timeline.cpp.
+    const double t_busy_simd = std::min(m.busy_simd_seconds, t_busy);
     // Time after a rank's last event (or before measurement) draws only
     // baseline power; active fractions are normalized by the wall time.
-    dynamic_w += (t_busy * busy_w + t_stall * cpu.core_power_stall_w +
+    dynamic_w += (t_busy * cpu.core_power_busy_scalar_w +
+                  t_busy_simd * (cpu.core_power_busy_simd_w -
+                                 cpu.core_power_busy_scalar_w) +
+                  t_stall * cpu.core_power_stall_w +
                   t_mpi * cpu.core_power_mpi_w) /
                  rep.wall_s;
     const auto& loc = p.of(r);
@@ -56,6 +57,7 @@ PowerReport PowerModel::analyze(const sim::Engine& engine) const {
 }
 
 std::size_t min_energy_point(const std::vector<OperatingPoint>& pts) {
+  if (pts.empty()) return npos;
   std::size_t best = 0;
   for (std::size_t i = 1; i < pts.size(); ++i)
     if (pts[i].energy_j < pts[best].energy_j) best = i;
@@ -63,6 +65,7 @@ std::size_t min_energy_point(const std::vector<OperatingPoint>& pts) {
 }
 
 std::size_t min_edp_point(const std::vector<OperatingPoint>& pts) {
+  if (pts.empty()) return npos;
   std::size_t best = 0;
   for (std::size_t i = 1; i < pts.size(); ++i)
     if (pts[i].edp() < pts[best].edp()) best = i;

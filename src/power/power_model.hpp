@@ -8,6 +8,8 @@
 // evaluates exactly that model over a finished SimMPI run.
 #pragma once
 
+#include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "machine/specs.hpp"
@@ -52,14 +54,24 @@ struct OperatingPoint {
   double speedup = 0.0;
   double energy_j = 0.0;
 
+  /// Proportional to E*T for fixed baseline time.  A degenerate point with
+  /// speedup <= 0 has no defined delay and must never win the EDP minimum,
+  /// so it costs +inf (not 0, which would always win).
   double edp() const {
-    return speedup > 0.0 ? energy_j / speedup : 0.0;
-  }  ///< proportional to E*T for fixed baseline time
+    return speedup > 0.0 ? energy_j / speedup
+                         : std::numeric_limits<double>::infinity();
+  }
 };
 
-/// Index of the minimum-energy point.
+/// Returned by min_energy_point / min_edp_point for an empty input.
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// Index of the minimum-energy point (npos if `pts` is empty).
 std::size_t min_energy_point(const std::vector<OperatingPoint>& pts);
-/// Index of the minimum-EDP point (slope through origin in the Z-plot).
+/// Index of the minimum-EDP point, i.e. the smallest slope through the
+/// origin in the Z-plot (npos if `pts` is empty).  Points with
+/// speedup <= 0 cost infinite EDP and are only returned when no point has a
+/// positive speedup.
 std::size_t min_edp_point(const std::vector<OperatingPoint>& pts);
 
 }  // namespace spechpc::power

@@ -51,9 +51,14 @@ struct Comm::ActivityScope {
     ++e->counters_[static_cast<std::size_t>(rank)].collectives;
     if (e->cfg_.enable_trace) {
       const double t1 = e->now(rank);
-      if (t1 > t0)
-        e->timeline_.record(TraceInterval{rank, t0, t1, activity,
-                                          std::string(to_string(activity))});
+      if (t1 > t0) {
+        TraceInterval iv{rank, t0, t1, activity,
+                         std::string(to_string(activity))};
+        if (e->cfg_.enable_regions)
+          iv.region =
+              e->region_stack_[static_cast<std::size_t>(rank)].back();
+        e->timeline_.record(std::move(iv));
+      }
     }
   }
 };

@@ -49,6 +49,11 @@ struct RankCounters {
   /// Seconds the core's execution ports were busy (vs stalled on data);
   /// input to the chip power model.
   double port_busy_seconds = 0.0;
+  /// Portion of port_busy_seconds spent on SIMD work (busy time weighted by
+  /// each kernel's SIMD flop share).  Keeping the weighting per kernel makes
+  /// the run-averaged power model agree exactly with a per-interval timeline
+  /// integration, which a run-level flops_simd/total_flops ratio cannot.
+  double busy_simd_seconds = 0.0;
   TrafficVolumes traffic;  ///< effective (measured-like) data volumes
   double bytes_sent = 0.0;
   double bytes_received = 0.0;
@@ -72,6 +77,7 @@ struct RankCounters {
     flops_simd += o.flops_simd;
     flops_scalar += o.flops_scalar;
     port_busy_seconds += o.port_busy_seconds;
+    busy_simd_seconds += o.busy_simd_seconds;
     traffic += o.traffic;
     bytes_sent += o.bytes_sent;
     bytes_received += o.bytes_received;
@@ -86,6 +92,7 @@ struct RankCounters {
     a.flops_simd -= b.flops_simd;
     a.flops_scalar -= b.flops_scalar;
     a.port_busy_seconds -= b.port_busy_seconds;
+    a.busy_simd_seconds -= b.busy_simd_seconds;
     a.traffic -= b.traffic;
     a.bytes_sent -= b.bytes_sent;
     a.bytes_received -= b.bytes_received;

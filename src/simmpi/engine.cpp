@@ -235,14 +235,24 @@ Activity Engine::effective_activity(int rank, Activity a) const {
 
 void Engine::account(int rank, Activity a, double t0, double t1,
                      std::string_view label) {
+  const auto r = static_cast<std::size_t>(rank);
+  // Hard-crash mode: a rank frozen at its crash time stops burning active
+  // power there, even though ops issued before the crash pre-accounted past
+  // it (op_compute) or complete after it (a peer's message finishing this
+  // rank's posted receive).  Clamping here keeps every time/trace entry, and
+  // hence the power model, inside the rank's lifetime; simulated timing and
+  // message delivery are untouched.
+  if (!crash_time_.empty() && t1 > crash_time_[r])
+    t1 = std::max(t0, crash_time_[r]);
   Activity eff = effective_activity(rank, a);
-  counters_[static_cast<std::size_t>(rank)]
-      .time_in[static_cast<std::size_t>(eff)] += (t1 - t0);
+  counters_[r].time_in[static_cast<std::size_t>(eff)] += (t1 - t0);
   // Label strings are only materialized on the (off-by-default) trace path;
   // with tracing disabled this function never allocates.
-  if (cfg_.enable_trace && t1 > t0 &&
-      activity_stack_[static_cast<std::size_t>(rank)].empty())
-    timeline_.record(TraceInterval{rank, t0, t1, eff, std::string(label)});
+  if (cfg_.enable_trace && t1 > t0 && activity_stack_[r].empty()) {
+    TraceInterval iv{rank, t0, t1, eff, std::string(label)};
+    if (cfg_.enable_regions) iv.region = region_stack_[r].back();
+    timeline_.record(std::move(iv));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -253,18 +263,36 @@ void Engine::op_compute(int rank, const KernelWork& work,
   const auto r = static_cast<std::size_t>(rank);
   const double t0 = clock_[r];
   ComputeOutcome out = compute_->evaluate_at(rank, cfg_.placement, work, t0);
-  counters_[r].flops_simd += work.flops_simd;
-  counters_[r].flops_scalar += work.flops_scalar;
-  counters_[r].port_busy_seconds += out.seconds * out.core_utilization;
-  counters_[r].traffic += out.effective;
+  // Hard-crash mode: work issued before the crash but extending past it never
+  // executes; scale the resource counters by the surviving fraction so the
+  // dead rank's flops/traffic/busy time end at the crash, matching the time
+  // clamp in account().  Event timing is untouched (the crash fires when the
+  // completion event is processed).
+  double f = 1.0;
+  if (!crash_time_.empty() && out.seconds > 0.0 &&
+      t0 + out.seconds > crash_time_[r])
+    f = std::clamp((crash_time_[r] - t0) / out.seconds, 0.0, 1.0);
+  const double busy = f * out.seconds * out.core_utilization;
+  const double total_flops = work.total_flops();
+  const double busy_simd =
+      total_flops > 0.0 ? busy * (work.flops_simd / total_flops) : 0.0;
+  counters_[r].flops_simd += f * work.flops_simd;
+  counters_[r].flops_scalar += f * work.flops_scalar;
+  counters_[r].port_busy_seconds += busy;
+  counters_[r].busy_simd_seconds += busy_simd;
+  counters_[r].traffic.mem_bytes += f * out.effective.mem_bytes;
+  counters_[r].traffic.l3_bytes += f * out.effective.l3_bytes;
+  counters_[r].traffic.l2_bytes += f * out.effective.l2_bytes;
   account(rank, Activity::kCompute, t0, t0 + out.seconds, work.label);
-  if (cfg_.enable_trace && out.seconds > 0.0 &&
+  if (cfg_.enable_trace && f * out.seconds > 0.0 &&
       activity_stack_[r].empty() && !timeline_.empty()) {
     // account() just recorded the interval; attach its resource data.
     auto& iv = timeline_.back();
     if (iv.rank == rank && iv.t_begin == t0) {
-      iv.flops = work.total_flops();
-      iv.mem_bytes = out.effective.mem_bytes;
+      iv.flops = f * total_flops;
+      iv.mem_bytes = f * out.effective.mem_bytes;
+      iv.busy_seconds = busy;
+      iv.busy_simd_seconds = busy_simd;
     }
   }
   schedule(t0 + out.seconds, rank, self);

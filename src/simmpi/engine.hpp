@@ -160,6 +160,13 @@ class Engine {
   bool rank_crashed(int rank) const {
     return !crashed_.empty() && crashed_[static_cast<std::size_t>(rank)] != 0;
   }
+  /// Predetermined hard-crash time of `rank`; kNoCrash when the rank stays
+  /// healthy or the run is not in hard-crash mode.  Accounting is clamped at
+  /// this time: a dead core draws only baseline power afterwards.
+  double crash_time(int rank) const {
+    return crash_time_.empty() ? kNoCrash
+                               : crash_time_[static_cast<std::size_t>(rank)];
+  }
 
   // --- region profiling (likwid-marker style; see perf/region.hpp) --------
   //
@@ -189,6 +196,18 @@ class Engine {
   }
   /// Counters accumulated since the rank's begin_measurement() call.
   RankCounters measured(int rank) const;
+  /// True once the rank called begin_measurement().
+  bool is_measuring(int rank) const {
+    return measuring_[static_cast<std::size_t>(rank)];
+  }
+  /// Virtual time of the rank's begin_measurement() call (0 if it never
+  /// measured).  Timeline intervals with t_begin >= this value are exactly
+  /// the ones whose counters are in measured(rank): every counter delta is
+  /// recorded between ops, so no interval straddles the snapshot.
+  double measure_begin(int rank) const {
+    const auto r = static_cast<std::size_t>(rank);
+    return measuring_[r] ? measure_begin_[r] : 0.0;
+  }
   /// Wall-clock time of the measured region (max end - min begin).
   double measured_wall() const;
   /// Sum of measured counters over all ranks.

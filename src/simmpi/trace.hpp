@@ -22,6 +22,14 @@ struct TraceInterval {
   // time-resolved bandwidth/Roofline analysis a la ClusterCockpit.
   double flops = 0.0;
   double mem_bytes = 0.0;
+  // Power-relevant split of a compute interval: seconds the execution ports
+  // were busy (<= t_end - t_begin; the rest is memory stall) and the
+  // SIMD-weighted share of that busy time.  Zero for MPI intervals.
+  double busy_seconds = 0.0;
+  double busy_simd_seconds = 0.0;
+  /// Innermost region open when the interval was accounted (0 = root /
+  /// regions disabled); lets the energy timeline attribute per-region.
+  int region = 0;
 };
 
 class Timeline {

@@ -1,0 +1,98 @@
+// Z-plot sweeps: structure, min-point selection under frequency scaling,
+// race-to-idle on the baseline-dominated cluster, and the JSON artifact.
+#include <gtest/gtest.h>
+
+#include "core/zplot.hpp"
+#include "machine/machine.hpp"
+#include "perf/report.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+namespace power = spechpc::power;
+
+namespace {
+
+TEST(Zplot, MinPointSelectionUnderFrequencyScaling) {
+  const auto cluster = mach::cluster_a();
+  core::ZplotOptions opts;
+  opts.core_counts = {1, 2, 4, 9};
+  opts.frequency_factors = {0.7, 1.0};
+  opts.measured_steps = 2;
+  const auto z = core::zplot_sweep("lbm", cluster, opts);
+  EXPECT_EQ(z.app, "lbm");
+  EXPECT_EQ(z.cluster, cluster.name);
+  EXPECT_GT(z.baseline_seconds_per_step, 0.0);
+  ASSERT_EQ(z.curves.size(), 2u);
+  for (const core::ZplotCurve& curve : z.curves) {
+    ASSERT_EQ(curve.points.size(), 4u);
+    ASSERT_LT(curve.min_energy, curve.points.size());
+    ASSERT_LT(curve.min_edp, curve.points.size());
+    for (const power::OperatingPoint& p : curve.points) {
+      EXPECT_GT(p.speedup, 0.0);
+      EXPECT_GT(p.energy_j, 0.0);
+      // The marked minima really are the curve's minima.
+      EXPECT_LE(curve.points[curve.min_energy].energy_j, p.energy_j);
+      EXPECT_LE(curve.points[curve.min_edp].edp(), p.edp());
+    }
+  }
+  // Speedups are relative to 1 core at nominal clock: that point is 1.0
+  // exactly, and no down-clocked run can beat its own nominal twin.
+  EXPECT_DOUBLE_EQ(z.curves[1].points[0].speedup, 1.0);
+  EXPECT_LE(z.curves[0].points[0].speedup, 1.0);
+  // Down-clocking lowers chip power: the slow curve's 1-core run must not
+  // consume more energy per step than the nominal one at equal work only if
+  // it also finishes nearly as fast; just require the curves to differ.
+  EXPECT_NE(z.curves[0].points[0].energy_j, z.curves[1].points[0].energy_j);
+}
+
+TEST(Zplot, RaceToIdleOnBaselineDominatedCluster) {
+  // High baseline power pushes the energy minimum toward high core counts
+  // (Sect. 4.3.1) -- reproduced by the full sweep pipeline.
+  const auto cluster = mach::cluster_a();
+  core::ZplotOptions opts;
+  opts.core_counts = {1, 2, 4, 6, 9, 12, 18};
+  opts.measured_steps = 2;
+  opts.jobs = 0;  // auto: this is the largest sweep in the test suite
+  const auto z = core::zplot_sweep("lbm", cluster, opts);
+  ASSERT_EQ(z.curves.size(), 1u);
+  const core::ZplotCurve& curve = z.curves.front();
+  ASSERT_LT(curve.min_energy, curve.points.size());
+  EXPECT_GE(curve.points[curve.min_energy].resources, 6);
+  // Minimum-energy and minimum-EDP points nearly coincide.
+  EXPECT_LE(std::abs(static_cast<int>(curve.min_energy) -
+                     static_cast<int>(curve.min_edp)),
+            2);
+}
+
+TEST(Zplot, JsonArtifactValidates) {
+  const auto cluster = mach::cluster_b();
+  core::ZplotOptions opts;
+  opts.core_counts = {1, 2};
+  opts.frequency_factors = {0.85, 1.0};
+  opts.measured_steps = 2;
+  const auto z = core::zplot_sweep("tealeaf", cluster, opts);
+  const std::string text = core::to_json(z);
+  std::string err;
+  EXPECT_TRUE(perf::is_valid_json(text, &err)) << err;
+  EXPECT_TRUE(perf::validate_zplot_json(text, &err)) << err;
+  for (const auto& key : perf::zplot_required_keys())
+    EXPECT_NE(text.find("\"" + key + "\""), std::string::npos) << key;
+  // Index sentinels are in-range (never the -1 "no points" marker here).
+  EXPECT_EQ(text.find("\"min_energy\":-1"), std::string::npos);
+}
+
+TEST(Zplot, EmptyCurveJsonUsesMinusOneSentinels) {
+  core::ZplotResult z;
+  z.app = "lbm";
+  z.cluster = "ClusterA";
+  z.workload = "tiny";
+  z.curves.push_back({1.0, {}, power::npos, power::npos});
+  const std::string text = core::to_json(z);
+  std::string err;
+  EXPECT_TRUE(perf::is_valid_json(text, &err)) << err;
+  EXPECT_NE(text.find("\"min_energy\":-1"), std::string::npos);
+  EXPECT_NE(text.find("\"min_edp\":-1"), std::string::npos);
+}
+
+}  // namespace

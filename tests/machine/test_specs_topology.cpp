@@ -56,6 +56,47 @@ TEST(Specs, BaselinePowerFractionsMatchPaper) {
   EXPECT_LT(sb.cpu.idle_power_per_socket_w / sb.cpu.tdp_per_socket_w, 0.20);
 }
 
+TEST(Network, LogGpDeliveryNeverPrecedesSenderInjection) {
+  // With a per-message CPU overhead larger than the wire latency, a plain
+  // "L + bytes/bw" arrival would have the receiver see the message while the
+  // sender is still injecting it.  The model must keep arrival >= o + n/bw.
+  const auto a = mach::cluster_a();
+  mach::InterconnectSpec slow_cpu = a.net;
+  slow_cpu.sender_overhead_s = 5e-6;  // > both latencies
+  ASSERT_GT(slow_cpu.sender_overhead_s, slow_cpu.intra_latency_s);
+  ASSERT_GT(slow_cpu.sender_overhead_s, slow_cpu.inter_latency_s);
+  const mach::HdrNetworkModel net(slow_cpu);
+  const double bytes = 4096.0;
+
+  const sim::Placement intra = mach::block_placement(a, 2);
+  const auto ci = net.transfer(0, 1, intra, bytes);
+  EXPECT_GE(ci.in_flight_s, ci.sender_busy_s);
+  EXPECT_DOUBLE_EQ(ci.in_flight_s,
+                   slow_cpu.sender_overhead_s + bytes / slow_cpu.intra_bw_Bps);
+
+  const sim::Placement inter = mach::block_placement(a, 73);
+  const auto cx = net.transfer(0, 72, inter, bytes);
+  EXPECT_GE(cx.in_flight_s, cx.sender_busy_s);
+  EXPECT_DOUBLE_EQ(cx.in_flight_s,
+                   slow_cpu.sender_overhead_s + bytes / slow_cpu.link_bw_Bps);
+}
+
+TEST(Network, ShippedHdrSpecsKeepPlainLatencyTerm) {
+  // On the shipped HDR100 specs L > o, so the causality clamp is exactly the
+  // old L + n/bw cost -- pinned so spec edits that flip this get noticed.
+  for (const auto& cl : {mach::cluster_a(), mach::cluster_b()}) {
+    ASSERT_GT(cl.net.intra_latency_s, cl.net.sender_overhead_s) << cl.name;
+    ASSERT_GT(cl.net.inter_latency_s, cl.net.sender_overhead_s) << cl.name;
+    const mach::HdrNetworkModel net(cl.net);
+    const sim::Placement p = mach::block_placement(cl, 2);
+    const double bytes = 65536.0;
+    const auto c = net.transfer(0, 1, p, bytes);
+    EXPECT_DOUBLE_EQ(c.in_flight_s,
+                     cl.net.intra_latency_s + bytes / cl.net.intra_bw_Bps)
+        << cl.name;
+  }
+}
+
 TEST(Topology, BlockPlacementFillsDomainsInOrder) {
   const auto a = mach::cluster_a();
   const sim::Placement p = mach::block_placement(a, 40);

@@ -8,6 +8,7 @@
 
 #include "core/runner.hpp"
 #include "core/suite.hpp"
+#include "core/zplot.hpp"
 #include "perf/report.hpp"
 
 namespace core = spechpc::core;
@@ -55,6 +56,51 @@ TEST(Report, ValidatorRejectsDocumentsMissingRequiredKeys) {
   EXPECT_TRUE(perf::is_valid_json("{\"schema_version\": 1}", &err)) << err;
   EXPECT_FALSE(perf::validate_run_report_json("{\"schema_version\": 1}", &err));
   EXPECT_FALSE(err.empty());
+}
+
+TEST(Report, SchemaV2CarriesEnergyTimelineAndRegionEnergy) {
+  const auto rep = sample_report();
+  ASSERT_EQ(perf::kRunReportSchemaVersion, 2);
+  // build_report populated the new sections (trace + regions were on).
+  EXPECT_GT(rep.energy_timeline.wall_s(), 0.0);
+  EXPECT_GT(rep.energy_timeline.total_energy_j(), 0.0);
+  EXPECT_FALSE(rep.energy_timeline.samples.empty());
+  EXPECT_GE(rep.region_energy.size(), 3u);
+  double sum_j = 0.0;
+  for (const auto& row : rep.region_energy) sum_j += row.total_j();
+  EXPECT_NEAR(sum_j, rep.energy_timeline.total_energy_j(),
+              1e-9 * rep.energy_timeline.total_energy_j());
+  const std::string text = perf::to_json(rep);
+  EXPECT_NE(text.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"energy_timeline\""), std::string::npos);
+  EXPECT_NE(text.find("\"region_energy\""), std::string::npos);
+  EXPECT_NE(text.find("\"busy_simd_seconds\""), std::string::npos);
+}
+
+TEST(Report, ValidatorRejectsPreviousSchemaVersion) {
+  // A v1-shaped document: right version tag for the old schema, none of the
+  // v2 energy sections.  Both properties must make the validator say no.
+  std::string v1 = perf::to_json(sample_report());
+  const auto pos = v1.find("\"schema_version\":2");
+  ASSERT_NE(pos, std::string::npos);
+  v1.replace(pos, 18, "\"schema_version\":1");
+  std::string err;
+  EXPECT_TRUE(perf::is_valid_json(v1, &err)) << err;
+  EXPECT_FALSE(perf::validate_run_report_json(v1, &err));
+  EXPECT_NE(err.find("schema_version"), std::string::npos) << err;
+}
+
+TEST(Report, ZplotValidatorChecksShapeAndVersion) {
+  core::ZplotOptions opts;
+  opts.core_counts = {1, 2};
+  opts.measured_steps = 2;
+  const auto z = core::zplot_sweep("lbm", mach::cluster_a(), opts);
+  const std::string text = core::to_json(z);
+  std::string err;
+  EXPECT_TRUE(perf::validate_zplot_json(text, &err)) << err;
+  // A run report is not a Z-plot artifact and vice versa.
+  EXPECT_FALSE(perf::validate_zplot_json(perf::to_json(sample_report())));
+  EXPECT_FALSE(perf::validate_run_report_json(text));
 }
 
 TEST(Report, SyntaxCheckerAcceptsWellFormedJson) {

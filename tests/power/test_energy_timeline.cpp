@@ -1,0 +1,223 @@
+// Time-resolved power model: consistency with the run-averaged model across
+// the whole suite, sample integration, per-region energy attribution, and
+// crashed-rank accounting (a dead core draws only baseline power).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "machine/machine.hpp"
+#include "power/energy_timeline.hpp"
+#include "resilience/fault_plan.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace power = spechpc::power;
+namespace sim = spechpc::sim;
+
+namespace {
+
+/// Relative agreement within 1e-9 (the acceptance bound on fault-free runs).
+void expect_rel_near(double a, double b, const std::string& what) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  EXPECT_NEAR(a, b, 1e-9 * scale) << what << ": " << a << " vs " << b;
+}
+
+void check_consistency(const core::RunResult& r,
+                       const mach::ClusterSpec& cluster,
+                       const std::string& what) {
+  const power::PowerModel model(cluster);
+  const power::PowerReport& avg = r.power();
+  const power::EnergyTimeline tl =
+      power::analyze_timeline(model, r.engine(), 48);
+
+  // The integrated timeline reproduces the averaged model exactly.
+  expect_rel_near(tl.chip_energy_j(), avg.chip_energy_j(), what + " chip");
+  expect_rel_near(tl.dram_energy_j(), avg.dram_energy_j(), what + " dram");
+  expect_rel_near(tl.total_energy_j(), avg.total_energy_j(), what + " total");
+  EXPECT_EQ(tl.sockets_used, avg.sockets_used) << what;
+  EXPECT_EQ(tl.domains_used, avg.domains_used) << what;
+  expect_rel_near(tl.wall_s(), avg.wall_s, what + " wall");
+
+  // The rendered sample buckets integrate back to the same energies.
+  double chip_j = 0.0, dram_j = 0.0;
+  for (const power::PowerSample& s : tl.samples) {
+    EXPECT_GT(s.t_end, s.t_begin);
+    chip_j += s.chip_w * (s.t_end - s.t_begin);
+    dram_j += s.dram_w * (s.t_end - s.t_begin);
+  }
+  expect_rel_near(chip_j, tl.chip_energy_j(), what + " chip samples");
+  expect_rel_near(dram_j, tl.dram_energy_j(), what + " dram samples");
+
+  // Per-region energies sum to the run total by construction.
+  const auto rows = power::attribute_region_energy(model, r.engine(), tl);
+  double sum_j = 0.0, sum_dynamic_j = 0.0;
+  for (const power::RegionEnergy& row : rows) {
+    sum_j += row.total_j();
+    sum_dynamic_j += row.chip_dynamic_j;
+  }
+  expect_rel_near(sum_j, tl.total_energy_j(), what + " region sum");
+  expect_rel_near(sum_dynamic_j, tl.chip_dynamic_j, what + " region dynamic");
+}
+
+TEST(EnergyTimeline, MatchesAveragedModelAcrossSuite) {
+  const auto cluster = mach::cluster_a();
+  for (const auto& entry : core::suite()) {
+    auto app = entry.make(core::Workload::kTiny);
+    app->set_measured_steps(2);
+    app->set_warmup_steps(1);
+    core::RunOptions opts;
+    opts.trace = true;
+    opts.regions = true;
+    const auto r = core::run_benchmark(*app, cluster, 8, opts);
+    check_consistency(r, cluster, entry.info.name);
+  }
+}
+
+TEST(EnergyTimeline, MatchesAveragedModelOnClusterB) {
+  const auto cluster = mach::cluster_b();
+  auto app = core::make_app("lbm", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.trace = true;
+  opts.regions = true;
+  const auto r = core::run_benchmark(*app, cluster, 13, opts);
+  check_consistency(r, cluster, "lbm@B");
+}
+
+TEST(EnergyTimeline, ChipPlusDramEqualsTotal) {
+  const auto cluster = mach::cluster_a();
+  auto app = core::make_app("tealeaf", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.trace = true;
+  const auto r = core::run_benchmark(*app, cluster, 4, opts);
+  const power::PowerReport& avg = r.power();
+  expect_rel_near(avg.chip_energy_j() + avg.dram_energy_j(),
+                  avg.total_energy_j(), "averaged split");
+  const power::EnergyTimeline tl =
+      power::analyze_timeline(power::PowerModel(cluster), r.engine(), 16);
+  expect_rel_near(tl.chip_energy_j() + tl.dram_energy_j(),
+                  tl.total_energy_j(), "timeline split");
+}
+
+TEST(EnergyTimeline, RegionAttributionFollowsTheWork) {
+  const auto cluster = mach::cluster_a();
+  auto app = core::make_app("tealeaf", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.trace = true;
+  opts.regions = true;
+  const auto r = core::run_benchmark(*app, cluster, 8, opts);
+  const power::PowerModel model(cluster);
+  const auto tl = power::analyze_timeline(model, r.engine(), 16);
+  const auto rows = power::attribute_region_energy(model, r.engine(), tl);
+  // Root plus the app's named regions, each with some attributed energy.
+  ASSERT_GE(rows.size(), 3u);
+  bool named_with_energy = false;
+  for (const auto& row : rows) {
+    EXPECT_GE(row.total_j(), 0.0) << row.path;
+    if (row.id != 0 && row.total_j() > 0.0) named_with_energy = true;
+  }
+  EXPECT_TRUE(named_with_energy);
+}
+
+TEST(EnergyTimeline, EmptyWithoutMeasuredWindow) {
+  const power::EnergyTimeline tl;  // default: no window
+  EXPECT_EQ(tl.wall_s(), 0.0);
+  EXPECT_EQ(tl.total_energy_j(), 0.0);
+  EXPECT_TRUE(tl.samples.empty());
+  EXPECT_EQ(tl.avg_total_w(), 0.0);
+}
+
+// --- crashed-rank accounting ------------------------------------------------
+
+/// Injector that hard-crashes one rank at a fixed time.
+struct CrashOneRank final : sim::FaultInjector {
+  int victim;
+  double when;
+  CrashOneRank(int r, double t) : victim(r), when(t) {}
+  double next_crash_after(int rank, double t) const override {
+    return (rank == victim && when > t) ? when : sim::kNoCrash;
+  }
+  bool hard_crashes() const override { return true; }
+};
+
+TEST(EnergyTimeline, CrashedRankDrawsOnlyBaselineAfterCrash) {
+  // Two ranks each issue one 1.0 s pure-scalar kernel (SimpleComputeModel:
+  // 1e9 scalar flops at 1 Gflop/s, fully port-busy).  Rank 1 dies at 0.4 s;
+  // its core must account 0.4 busy seconds, not 1.0.
+  const auto cluster = mach::cluster_a();
+  sim::SimpleComputeModel compute;
+  const CrashOneRank faults(1, 0.4);
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.placement = mach::block_placement(cluster, 2);
+  cfg.compute = &compute;
+  cfg.faults = &faults;
+  cfg.enable_trace = true;
+  // A hard crash with no recovery protocol ends in a diagnosed stall, not an
+  // exception: the power accounting of the degraded run is what we test.
+  cfg.watchdog.on_stall = sim::WatchdogConfig::OnStall::kDiagnose;
+  sim::Engine eng(cfg);
+  eng.run([](sim::Comm& c) -> sim::Task<> {
+    sim::KernelWork w;
+    w.flops_scalar = 1e9;
+    co_await c.compute(w);
+  });
+  ASSERT_TRUE(eng.rank_crashed(1));
+  ASSERT_FALSE(eng.rank_crashed(0));
+  EXPECT_DOUBLE_EQ(eng.crash_time(1), 0.4);
+  EXPECT_DOUBLE_EQ(eng.crash_time(0), sim::kNoCrash);
+
+  // Counters: the dead rank's compute interval is clamped at the crash.
+  EXPECT_DOUBLE_EQ(eng.counters(0).port_busy_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(eng.counters(1).port_busy_seconds, 0.4);
+  EXPECT_DOUBLE_EQ(eng.counters(1).time(sim::Activity::kCompute), 0.4);
+  EXPECT_DOUBLE_EQ(eng.counters(1).flops_scalar, 0.4e9);
+
+  // Analytic chip energy: one populated socket's baseline over the 1.0 s
+  // wall plus 1.0 + 0.4 busy-scalar core-seconds.  Before the fix the dead
+  // rank accounted the full kernel (idle + 2.0 * scalar).
+  const power::PowerModel model(cluster);
+  const power::PowerReport rep = model.analyze(eng);
+  const double expected = cluster.cpu.idle_power_per_socket_w * 1.0 +
+                          1.4 * cluster.cpu.core_power_busy_scalar_w;
+  expect_rel_near(rep.chip_energy_j(), expected, "crash chip energy");
+
+  // The timeline integration agrees on this compute-only crash run too.
+  const power::EnergyTimeline tl = power::analyze_timeline(model, eng, 8);
+  expect_rel_near(tl.chip_energy_j(), expected, "crash timeline energy");
+}
+
+TEST(EnergyTimeline, CheckpointRecoveryRunStaysConsistent) {
+  // Transient crash consumed by the checkpoint/restart protocol: no rank is
+  // frozen, the lost steps are re-executed, and the timeline-vs-averaged
+  // agreement must hold like on any fault-free run.
+  const auto cluster = mach::cluster_a();
+  // Crash early: the first checkpoint-protocol heartbeat detects it and
+  // rolls back, independent of the app's virtual-time scale.
+  const auto plan = spechpc::resilience::FaultPlan::parse(R"({
+    "crashes": [{"rank": 1, "time": 1e-9}],
+    "checkpoint": {"interval_steps": 2, "state_bytes_per_rank": 65536,
+                   "restart_delay_s": 1e-4}
+  })");
+  auto app = core::make_app("tealeaf", core::Workload::kTiny);
+  app->set_measured_steps(4);
+  app->set_warmup_steps(1);
+  app->set_fault_plan(&plan);
+  core::RunOptions opts;
+  opts.trace = true;
+  opts.regions = true;
+  opts.faults = &plan;
+  const auto r = core::run_benchmark(*app, cluster, 4, opts);
+  EXPECT_GT(r.engine().resilience_log().rollbacks, 0);
+  check_consistency(r, cluster, "checkpoint recovery");
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 // coupling, socket counting, energy/EDP utilities (Sect. 4.2/4.3).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "machine/machine.hpp"
 #include "power/power_model.hpp"
 #include "simmpi/simmpi.hpp"
@@ -118,6 +120,22 @@ TEST(ZPlot, MinEnergyAndEdpSelection) {
   EXPECT_EQ(power::min_energy_point(pts), 2u);
   // EDP ~ E/speedup: 100, 42.1, 20.0, 22.5 -> index 2.
   EXPECT_EQ(power::min_edp_point(pts), 2u);
+}
+
+TEST(ZPlot, EmptyInputReturnsNpos) {
+  const std::vector<power::OperatingPoint> none;
+  EXPECT_EQ(power::min_energy_point(none), power::npos);
+  EXPECT_EQ(power::min_edp_point(none), power::npos);
+}
+
+TEST(ZPlot, ZeroSpeedupPointHasInfiniteEdpAndNeverWins) {
+  // A failed/timed-out operating point (speedup 0) must not report EDP 0 and
+  // steal the minimum from every real point.
+  std::vector<power::OperatingPoint> pts{{1, 0.0, 50.0}, {2, 1.0, 100.0}};
+  EXPECT_TRUE(std::isinf(pts[0].edp()));
+  EXPECT_EQ(power::min_edp_point(pts), 1u);
+  // Energy selection is unaffected: the broken point may still be cheapest.
+  EXPECT_EQ(power::min_energy_point(pts), 0u);
 }
 
 TEST(ZPlot, RaceToIdleWhenBaselineDominates) {

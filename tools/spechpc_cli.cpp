@@ -8,6 +8,9 @@
 //   spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]
 //                     [--max-ranks N] [--jobs N] [--progress]
 //                     [--report out.json]
+//   spechpc_cli zplot <app> [--cluster A|B] [--workload tiny|small]
+//                     [--max-ranks N] [--steps N] [--jobs N]
+//                     [--freq f1,f2,...] [--report out.json]
 //   spechpc_cli trace <app> [--cluster A|B] [--ranks N]
 //                     [--format ascii|csv|chrome] [--out FILE]
 #include <charconv>
@@ -20,6 +23,8 @@
 
 #include "core/spechpc.hpp"
 #include "core/sweep.hpp"
+#include "core/zplot.hpp"
+#include "power/energy_timeline.hpp"
 #include "resilience/resilience.hpp"
 
 using namespace spechpc;
@@ -46,6 +51,7 @@ struct Args {
   std::string csv_out;     // legacy spelling of --format csv --out FILE
   std::string faults_path;  // run: fault-plan JSON
   std::string watchdog;     // run: throw|diagnose (default depends on plan)
+  std::vector<double> freqs;  // zplot: clock-scaling factors (1.0 = nominal)
 };
 
 int usage() {
@@ -59,6 +65,9 @@ int usage() {
          "  spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]\n"
          "                    [--max-ranks N] [--jobs N] [--progress]\n"
          "                    [--report out.json]\n"
+         "  spechpc_cli zplot <app> [--cluster A|B] [--workload tiny|small]\n"
+         "                    [--max-ranks N] [--steps N] [--jobs N]\n"
+         "                    [--freq f1,f2,...] [--report out.json]\n"
          "  spechpc_cli trace <app> [--cluster A|B] [--ranks N]\n"
          "                    [--format ascii|csv|chrome] [--out FILE]\n";
   return 2;
@@ -147,6 +156,28 @@ std::optional<Args> parse(int argc, char** argv) {
       a.max_ranks = next_int();
     } else if (flag == "--jobs") {
       a.jobs = next_int();
+    } else if (flag == "--freq") {
+      // Comma-separated clock factors, e.g. "0.7,0.85,1.0".
+      const std::string v = next();
+      if (!ok) return std::nullopt;
+      std::size_t start = 0;
+      while (ok && start <= v.size()) {
+        std::size_t comma = v.find(',', start);
+        if (comma == std::string::npos) comma = v.size();
+        const char* b = v.data() + start;
+        const char* e = v.data() + comma;
+        double f = 0.0;
+        const auto [p, ec] = std::from_chars(b, e, f);
+        if (ec != std::errc() || p != e || f <= 0.0) {
+          std::cerr << "error: flag --freq expects positive numbers "
+                       "(comma-separated), got '"
+                    << v << "'\n";
+          ok = false;
+          break;
+        }
+        a.freqs.push_back(f);
+        start = comma + 1;
+      }
     } else if (flag == "--chrome") {
       a.chrome_out = next();
     } else if (flag == "--csv") {
@@ -337,6 +368,43 @@ int cmd_sweep(const Args& a) {
   return 0;
 }
 
+int cmd_zplot(const Args& a) {
+  check_report_writable(a.report_out);
+  const auto cluster = pick_cluster(a.cluster);
+  core::ZplotOptions opts;
+  opts.workload = pick_workload(a.workload);
+  opts.measured_steps = a.steps;
+  opts.max_cores = a.max_ranks;
+  opts.jobs = a.jobs;
+  if (!a.freqs.empty()) opts.frequency_factors = a.freqs;
+  const core::ZplotResult z = core::zplot_sweep(a.app, cluster, opts);
+
+  for (const core::ZplotCurve& curve : z.curves) {
+    std::cout << "clock factor " << perf::Table::num(curve.frequency_factor, 2)
+              << ":\n";
+    perf::Table t({"cores", "speedup", "J/step", "EDP", ""});
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      const power::OperatingPoint& p = curve.points[i];
+      std::string mark;
+      if (i == curve.min_energy) mark += " <- min energy";
+      if (i == curve.min_edp) mark += " <- min EDP";
+      t.add_row({std::to_string(p.resources), perf::Table::num(p.speedup, 2),
+                 perf::Table::num(p.energy_j, 1), perf::Table::num(p.edp(), 1),
+                 mark});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!a.report_out.empty()) {
+    const std::string json = core::to_json(z);
+    std::ofstream f(a.report_out);
+    if (!f) throw std::runtime_error("cannot open " + a.report_out);
+    f << json << "\n";
+    std::cout << "wrote zplot report to " << a.report_out << "\n";
+  }
+  return 0;
+}
+
 int cmd_trace(const Args& a) {
   const auto cluster = pick_cluster(a.cluster);
   auto app = core::make_app(a.app, pick_workload(a.workload));
@@ -367,10 +435,15 @@ int cmd_trace(const Args& a) {
       if (!f) throw std::runtime_error("cannot open " + out);
       os = &f;
     }
-    if (format == "chrome")
-      perf::export_chrome_trace(r.engine().timeline(), *os);
-    else
+    if (format == "chrome") {
+      // Ship the power timeseries as Perfetto counter tracks alongside the
+      // rank timelines.
+      const power::EnergyTimeline tl =
+          power::analyze_timeline(power::PowerModel(cluster), r.engine(), 64);
+      perf::export_chrome_trace(r.engine().timeline(), *os, &tl);
+    } else {
       perf::export_csv(r.engine().timeline(), *os);
+    }
     if (!out.empty())
       std::cout << "wrote " << format << " trace to " << out << "\n";
   } else if (format == "ascii") {
@@ -400,6 +473,7 @@ int main(int argc, char** argv) {
     if (args->command == "list") return cmd_list();
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "sweep") return cmd_sweep(*args);
+    if (args->command == "zplot") return cmd_zplot(*args);
     if (args->command == "trace") return cmd_trace(*args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
