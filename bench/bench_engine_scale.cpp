@@ -8,8 +8,16 @@
 //               possible unexpected queue (the regime the per-(src, tag)
 //               index exists for),
 // plus the paper's 1664-rank lbm / minisweep small-workload configurations
-// end to end.  Results print as a table and are written to
-// BENCH_engine.json for machine consumption.
+// end to end.
+//
+// The partitioned engine adds two axes:
+//   * threads  -- worker threads driving the node partitions (results are
+//                 bit-identical across the sweep; only host time may move),
+//   * scale    -- 10k- and 100k-rank multi-node halo configurations that
+//                 exercise the windowed scheduler and the per-partition
+//                 arenas far beyond the paper's 1664-rank jobs.
+// Results print as a table and are written to BENCH_engine.json for machine
+// consumption, including the per-partition event-queue high-water mark.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -28,24 +36,32 @@ using Clock = std::chrono::steady_clock;
 struct Row {
   std::string pattern;
   int ranks = 0;
-  double seconds = 0.0;  // best-of-3 host wall-clock
+  int nodes = 1;
+  int threads = 1;
+  double seconds = 0.0;  // best-of-N host wall-clock
   std::uint64_t events = 0;
   std::uint64_t matches = 0;
   sim::EngineStats stats;  // introspection of the last run
 
   double events_per_sec() const { return events / seconds; }
   double matches_per_sec() const { return matches / seconds; }
+  /// Peak event-queue depth over all partitions (the arena sizing metric).
+  std::size_t queue_hwm() const {
+    std::size_t hwm = 0;
+    for (const auto& p : stats.partitions) hwm = std::max(hwm, p.event_queue_hwm);
+    return hwm;
+  }
 };
 
-/// Runs `make_engine_and_run` three times, keeping counters of the last run
-/// and the best host time.
+/// Runs `run_once` `reps` times, keeping counters of the last run and the
+/// best host time.
 Row bench(const std::string& pattern, int ranks,
-          const std::function<void(Row&)>& run_once) {
+          const std::function<void(Row&)>& run_once, int reps = 3) {
   Row best;
   best.pattern = pattern;
   best.ranks = ranks;
   best.seconds = 1e30;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < reps; ++rep) {
     Row r;
     const auto t0 = Clock::now();
     run_once(r);
@@ -53,6 +69,8 @@ Row bench(const std::string& pattern, int ranks,
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
     if (r.seconds < best.seconds) {
       best.seconds = r.seconds;
+      best.nodes = r.nodes;
+      best.threads = r.threads;
       best.events = r.events;
       best.matches = r.matches;
       best.stats = r.stats;
@@ -68,30 +86,52 @@ std::uint64_t total_matches(const sim::Engine& e) {
   return m;
 }
 
+/// Block placement over `nodes` synthetic nodes (one ccNUMA domain each):
+/// enough structure for the engine to partition on, no cluster spec needed.
+sim::Placement spread_placement(int ranks, int nodes) {
+  const int per_node = (ranks + nodes - 1) / nodes;
+  std::vector<sim::RankLocation> locs(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const int node = r / per_node;
+    locs[static_cast<std::size_t>(r)] = sim::RankLocation{node, node, node, r};
+  }
+  return sim::Placement(std::move(locs));
+}
+
 /// Nearest-neighbor ring exchange: every rank isends to both neighbors and
-/// receives from both, `steps` times.  Queues stay 1-2 entries deep.
-Row bench_halo(int ranks, int steps) {
-  return bench("halo", ranks, [=](Row& out) {
-    sim::EngineConfig cfg;
-    cfg.nranks = ranks;
-    sim::Engine engine(std::move(cfg));
-    engine.run([&](sim::Comm& c) -> sim::Task<> {
-      const int n = c.size();
-      const int left = (c.rank() + n - 1) % n;
-      const int right = (c.rank() + 1) % n;
-      for (int s = 0; s < steps; ++s) {
-        std::vector<sim::Request> reqs;
-        reqs.push_back(c.irecv_bytes(left, s));
-        reqs.push_back(c.irecv_bytes(right, s));
-        reqs.push_back(c.isend_bytes(left, s, 1024.0));
-        reqs.push_back(c.isend_bytes(right, s, 1024.0));
-        co_await c.waitall(std::move(reqs));
-      }
-    });
-    out.events = engine.events_processed();
-    out.matches = total_matches(engine);
-    out.stats = engine.stats();
-  });
+/// receives from both, `steps` times.  Queues stay 1-2 entries deep.  With
+/// `nodes` > 1 the ring crosses partition boundaries at every node seam and
+/// the run goes through the windowed scheduler.
+Row bench_halo(int ranks, int steps, int nodes = 1, int threads = 1,
+               int reps = 3) {
+  return bench(
+      "halo", ranks,
+      [=](Row& out) {
+        sim::EngineConfig cfg;
+        cfg.nranks = ranks;
+        if (nodes > 1) cfg.placement = spread_placement(ranks, nodes);
+        cfg.threads = threads;
+        sim::Engine engine(std::move(cfg));
+        engine.run([&](sim::Comm& c) -> sim::Task<> {
+          const int n = c.size();
+          const int left = (c.rank() + n - 1) % n;
+          const int right = (c.rank() + 1) % n;
+          for (int s = 0; s < steps; ++s) {
+            std::vector<sim::Request> reqs;
+            reqs.push_back(c.irecv_bytes(left, s));
+            reqs.push_back(c.irecv_bytes(right, s));
+            reqs.push_back(c.isend_bytes(left, s, 1024.0));
+            reqs.push_back(c.isend_bytes(right, s, 1024.0));
+            co_await c.waitall(std::move(reqs));
+          }
+        });
+        out.nodes = nodes;
+        out.threads = threads;
+        out.events = engine.events_processed();
+        out.matches = total_matches(engine);
+        out.stats = engine.stats();
+      },
+      reps);
 }
 
 /// Fan-in flood: every rank deposits `per_rank` eager messages at rank 0,
@@ -123,13 +163,17 @@ Row bench_fanin(int ranks, int per_rank) {
 
 /// Full-model 1664-rank proxy run (16 ClusterB nodes): the end-to-end
 /// single-run cost a sweep pays per point.
-Row bench_proxy(const std::string& name) {
+Row bench_proxy(const std::string& name, int threads = 1) {
   const auto cl = mach::cluster_b();
-  return bench(name, 16 * cl.cores_per_node(), [&](Row& out) {
+  return bench(name, 16 * cl.cores_per_node(), [&, threads](Row& out) {
     auto app = core::make_app(name, core::Workload::kSmall);
     app->set_measured_steps(10);
     app->set_warmup_steps(2);
-    const auto r = core::run_on_nodes(*app, cl, 16);
+    core::RunOptions opts;
+    opts.engine_threads = threads;
+    const auto r = core::run_on_nodes(*app, cl, 16, opts);
+    out.nodes = 16;
+    out.threads = threads;
     out.events = r.engine().events_processed();
     out.matches = total_matches(r.engine());
     out.stats = r.engine().stats();
@@ -142,10 +186,13 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     f << "    {\"pattern\": \"" << r.pattern << "\", \"ranks\": " << r.ranks
+      << ", \"nodes\": " << r.nodes << ", \"threads\": " << r.threads
+      << ", \"partitions\": " << r.stats.partition_count
       << ", \"seconds\": " << r.seconds << ", \"events\": " << r.events
       << ", \"events_per_sec\": " << r.events_per_sec()
       << ", \"matches\": " << r.matches
       << ", \"matches_per_sec\": " << r.matches_per_sec()
+      << ", \"queue_hwm\": " << r.queue_hwm()
       << ", \"index_promotions\": " << r.stats.index_promotions
       << ", \"unexpected_hwm\": " << r.stats.unexpected_hwm
       << ", \"posted_hwm\": " << r.stats.posted_hwm
@@ -166,21 +213,37 @@ int main() {
     rows.push_back(bench_halo(ranks, std::max(8, 16384 / ranks)));
     rows.push_back(bench_fanin(ranks, std::max(8, 4096 / ranks * 4)));
   }
+
+  // Thread sweep over the paper's 1664-rank / 16-node shape: same simulated
+  // results at every point, host time is the quantity under test.
+  for (int threads : {1, 2, 4, 8})
+    rows.push_back(bench_halo(1664, 16, 16, threads));
+
+  // Beyond-paper scale: 10k and 100k ranks over 128 / 1000 node partitions.
+  // Single rep -- at this size the run is long enough to be self-averaging.
+  rows.push_back(bench_halo(10240, 8, 128, 4, 1));
+  rows.push_back(bench_halo(100000, 2, 1000, 4, 1));
+
   rows.push_back(bench_proxy("lbm"));
+  rows.push_back(bench_proxy("lbm", 8));
   rows.push_back(bench_proxy("minisweep"));
 
   section("engine throughput (host-side)");
-  perf::Table t({"pattern", "ranks", "host s", "events", "Mevents/s",
-                 "matches", "Mmatches/s", "uq hwm", "promoted", "hash %"});
+  perf::Table t({"pattern", "ranks", "nodes", "thr", "parts", "host s",
+                 "events", "Mevents/s", "matches", "Mmatches/s", "q hwm",
+                 "uq hwm", "promoted", "hash %"});
   for (const Row& r : rows) {
     const double total =
         static_cast<double>(r.stats.flat_matches + r.stats.hash_matches);
-    t.add_row({r.pattern, std::to_string(r.ranks),
+    t.add_row({r.pattern, std::to_string(r.ranks), std::to_string(r.nodes),
+               std::to_string(r.threads),
+               std::to_string(r.stats.partition_count),
                perf::Table::num(r.seconds, 3),
                std::to_string(r.events),
                perf::Table::num(r.events_per_sec() / 1e6, 2),
                std::to_string(r.matches),
                perf::Table::num(r.matches_per_sec() / 1e6, 2),
+               std::to_string(r.queue_hwm()),
                std::to_string(r.stats.unexpected_hwm),
                std::to_string(r.stats.index_promotions),
                perf::Table::num(

@@ -49,6 +49,7 @@ RunResult run_benchmark(const apps::AppProxy& app,
   cfg.enable_regions = opts.regions;
   if (faulty) cfg.faults = res.injector_.get();
   cfg.watchdog = opts.watchdog;
+  cfg.threads = opts.engine_threads;
   res.engine_ = std::make_unique<sim::Engine>(std::move(cfg));
 
   res.engine_->run(

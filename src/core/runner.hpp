@@ -34,6 +34,10 @@ struct RunOptions {
   const resilience::FaultPlan* faults = nullptr;
   /// Progress-stall policy (throw vs. record a structured diagnosis).
   sim::WatchdogConfig watchdog;
+  /// Worker threads for the partitioned engine (clamped to the partition
+  /// count).  Results are bit-identical for every value; 1 keeps the run
+  /// single-threaded.
+  int engine_threads = 1;
 };
 
 /// One finished run: owns the engine (for timeline access) and the models.

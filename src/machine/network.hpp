@@ -40,6 +40,14 @@ class HdrNetworkModel final : public sim::NetworkModel {
                                  : spec_.inter_latency_s;
   }
 
+  double cross_node_lookahead(const sim::Placement&) const override {
+    // Every cross-node interaction pays at least the inter-node wire latency
+    // L: transfers arrive after max(L, o) + bytes/bw >= L, and the
+    // rendezvous handshake pays the control latency L per leg.  L is
+    // therefore a safe conservative window for the parallel engine.
+    return spec_.inter_latency_s;
+  }
+
   const InterconnectSpec& spec() const { return spec_; }
 
  private:

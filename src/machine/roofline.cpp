@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 
 namespace spechpc::mach {
 
@@ -65,7 +67,10 @@ sim::ComputeOutcome RooflineComputeModel::evaluate(
                     w.issue_efficiency,
                     w.concurrent_streams,
                     w.leading_dim_bytes};
-  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  {
+    std::shared_lock lock(memo_mutex_);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  }
 
   double mem = w.traffic.mem_bytes;
   double l3 = w.traffic.l3_bytes;
@@ -125,7 +130,10 @@ sim::ComputeOutcome RooflineComputeModel::evaluate(
   out.effective = sim::TrafficVolumes{mem, l3, l2};
   out.core_utilization =
       out.seconds > 0.0 ? std::min(1.0, t_flop / out.seconds) : 0.0;
-  memo_.emplace(key, out);
+  {
+    std::unique_lock lock(memo_mutex_);
+    memo_.emplace(key, out);
+  }
   return out;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "machine/specs.hpp"
@@ -42,8 +43,10 @@ struct AlignmentEffect {
 AlignmentEffect alignment_effect(int concurrent_streams,
                                  std::int64_t leading_dim_bytes);
 
-/// Not thread-safe: each Engine run (and each SweepRunner worker) builds its
-/// own model instance, so the memoization cache below needs no locking.
+/// Thread-safe: the partitioned engine shares one model instance across its
+/// partition workers, so the memoization cache is guarded by a read-mostly
+/// lock.  The outcome is a pure function of the key, which makes racing
+/// inserts of the same key benign (both compute identical values).
 class RooflineComputeModel final : public sim::ComputeModel {
  public:
   explicit RooflineComputeModel(ClusterSpec cluster, RooflineOptions opts = {});
@@ -79,6 +82,7 @@ class RooflineComputeModel final : public sim::ComputeModel {
 
   ClusterSpec cluster_;
   RooflineOptions opts_;
+  mutable std::shared_mutex memo_mutex_;
   mutable std::unordered_map<WorkKey, sim::ComputeOutcome, WorkKeyHash> memo_;
 };
 

@@ -202,7 +202,22 @@ std::string to_json(const RunReport& r) {
       .kv("duplicates", e.duplicates)
       .kv("crashed_ranks", e.crashed_ranks)
       .kv("stalled_ranks", e.stalled_ranks)
-      .end_obj();
+      .kv("partition_count", e.partition_count)
+      .kv("lookahead_s", e.lookahead_s);
+  j.key("partitions").begin_arr();
+  for (const sim::PartitionStats& ps : e.partitions) {
+    j.begin_obj()
+        .kv("id", ps.id)
+        .kv("nranks", ps.nranks)
+        .kv("events_processed", ps.events_processed)
+        .kv("horizon_syncs", ps.horizon_syncs)
+        .kv("cross_messages_sent", ps.cross_messages_sent)
+        .kv("cross_messages_ingested", ps.cross_messages_ingested)
+        .kv("event_queue_hwm", ps.event_queue_hwm)
+        .end_obj();
+  }
+  j.end_arr();
+  j.end_obj();
 
   if (r.resilience.enabled) {
     const sim::ResilienceLog& log = r.resilience.log;

@@ -42,8 +42,10 @@ void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os,
     write_escaped(os, iv.label.empty()
                           ? std::string(sim::to_string(iv.activity))
                           : iv.label);
+    // One Chrome "process" per engine partition: Perfetto then groups the
+    // rank tracks by the node-partition that executed them.
     os << "\",\"cat\":\"" << sim::to_string(iv.activity)
-       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << iv.rank
+       << "\",\"ph\":\"X\",\"pid\":" << iv.partition << ",\"tid\":" << iv.rank
        << ",\"ts\":" << iv.t_begin * 1e6
        << ",\"dur\":" << (iv.t_end - iv.t_begin) * 1e6 << "}";
   }

@@ -45,7 +45,7 @@ sim::Task<StepAction> CheckpointProtocol::begin_step(sim::Comm& comm,
     ++checkpoints_;
     act.checkpoint = true;
     if (comm.rank() == 0) {
-      eng.note_checkpoint(comm.now() - t0);
+      eng.note_checkpoint(comm.world_rank(), comm.now() - t0);
       eng.record_fault_event(sim::FaultEvent{
           comm.now(), sim::FaultKind::kCheckpoint, comm.world_rank(), -1, -1,
           0, cfg.state_bytes_per_rank, iter});
@@ -78,7 +78,8 @@ sim::Task<StepAction> CheckpointProtocol::begin_step(sim::Comm& comm,
     if (comm.rank() == 0) {
       // Restart = detection stall + restore; recompute = wall time since
       // the checkpoint we fall back to (that work is executed again).
-      eng.note_rollback(comm.now() - t0, t0 - last_ckpt_time_);
+      eng.note_rollback(comm.world_rank(), comm.now() - t0,
+                        t0 - last_ckpt_time_);
       eng.record_fault_event(sim::FaultEvent{
           comm.now(), sim::FaultKind::kRollback, comm.world_rank(), -1, -1,
           0, cfg.state_bytes_per_rank, last_ckpt_iter_});
@@ -97,7 +98,7 @@ sim::Task<StepAction> CheckpointProtocol::begin_step(sim::Comm& comm,
     ++checkpoints_;
     act.checkpoint = true;
     if (comm.rank() == 0) {
-      eng.note_checkpoint(comm.now() - t0);
+      eng.note_checkpoint(comm.world_rank(), comm.now() - t0);
       eng.record_fault_event(sim::FaultEvent{
           comm.now(), sim::FaultKind::kCheckpoint, comm.world_rank(), -1, -1,
           0, cfg.state_bytes_per_rank, iter});

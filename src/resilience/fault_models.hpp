@@ -92,6 +92,18 @@ class DegradedNetworkModel final : public sim::NetworkModel {
     return inner_->control_latency_at(src, dst, p, now) * lf;
   }
 
+  double cross_node_lookahead(const sim::Placement& p) const override {
+    // A latency factor < 1 SPEEDS UP the degraded link, shrinking the inner
+    // model's latency floor.  The worst case over all virtual times is every
+    // speed-up window active at once (overlapping windows multiply), so the
+    // floor scales by the product of min(1, factor) over all rules; factors
+    // > 1 only ever raise latency and never tighten the bound.
+    double worst = 1.0;
+    for (const LinkFault& rule : plan_->links)
+      if (rule.latency_factor < 1.0) worst *= rule.latency_factor;
+    return inner_->cross_node_lookahead(p) * worst;
+  }
+
  private:
   const sim::NetworkModel* inner_;
   const FaultPlan* plan_;

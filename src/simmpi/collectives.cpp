@@ -57,7 +57,7 @@ struct Comm::ActivityScope {
         if (e->cfg_.enable_regions)
           iv.region =
               e->region_stack_[static_cast<std::size_t>(rank)].back();
-        e->timeline_.record(std::move(iv));
+        e->record_interval(rank, std::move(iv));
       }
     }
   }

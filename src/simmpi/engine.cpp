@@ -1,9 +1,14 @@
 #include "simmpi/engine.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstring>
+#include <limits>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <tuple>
 
 #include "simmpi/comm.hpp"
 
@@ -15,8 +20,47 @@ void PromiseBase::notify_engine_done() noexcept { engine->on_rank_done(rank); }
 
 }  // namespace detail
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Reusable two-phase barrier: the last arriver runs a completion step under
+/// the barrier's lock (the single-threaded window-boundary bookkeeping),
+/// then releases everyone into the next phase.  A hand-rolled mutex/condvar
+/// barrier instead of std::barrier so the completion step can be a capturing
+/// callable chosen per arrival and exceptions in it stay on the arriving
+/// thread.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(int parties) : parties_(parties) {}
+
+  template <typename Fn>
+  void arrive_and_wait(Fn&& completion) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::uint64_t phase = phase_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      completion();
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return phase_ != phase; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t phase_ = 0;
+};
+
+}  // namespace
+
 Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.nranks < 1) throw std::invalid_argument("Engine: nranks < 1");
+  if (cfg_.threads < 1) throw std::invalid_argument("Engine: threads < 1");
   if (cfg_.placement.nranks() == 0)
     cfg_.placement = Placement::single_domain(cfg_.nranks);
   if (cfg_.placement.nranks() != cfg_.nranks)
@@ -33,23 +77,80 @@ Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   } else {
     network_ = cfg_.network;
   }
+
+  // Partitioning is a pure function of the placement: one partition per
+  // occupied node, numbered in rank order, so results never depend on the
+  // thread count.  Without a positive lookahead (or with everything on one
+  // node) there is no conservative window to exploit and the job runs the
+  // single-queue serial loop.
   const auto n = static_cast<std::size_t>(cfg_.nranks);
+  partition_of_rank_.assign(n, 0);
+  rank_local_idx_.assign(n, 0);
+  lookahead_ = network_->cross_node_lookahead(cfg_.placement);
+  if (lookahead_ > 0.0 && cfg_.placement.nodes_used() > 1) {
+    std::vector<int> node_to_partition(
+        static_cast<std::size_t>(cfg_.placement.nodes_used()), -1);
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      const auto node =
+          static_cast<std::size_t>(cfg_.placement.of(r).node);
+      int& pid = node_to_partition[node];
+      if (pid < 0) {
+        pid = static_cast<int>(partitions_.size());
+        partitions_.emplace_back();
+        partitions_.back().id = pid;
+      }
+      partition_of_rank_[static_cast<std::size_t>(r)] = pid;
+      rank_local_idx_[static_cast<std::size_t>(r)] =
+          static_cast<int>(partitions_[static_cast<std::size_t>(pid)]
+                               .ranks.size());
+      partitions_[static_cast<std::size_t>(pid)].ranks.push_back(r);
+    }
+  }
+  if (partitions_.empty()) {
+    partitions_.resize(1);
+    partitions_[0].ranks.resize(n);
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      partitions_[0].ranks[static_cast<std::size_t>(r)] = r;
+      rank_local_idx_[static_cast<std::size_t>(r)] = r;
+    }
+  }
+  const std::size_t P = partitions_.size();
+  if (P > 1) {
+    for (auto& p : partitions_) {
+      p.out_exec.resize(P);
+      p.out_wake[0].resize(P);
+      p.out_wake[1].resize(P);
+    }
+    cross_nsrc_ = std::vector<std::atomic<std::uint32_t>>(P);
+    cross_src_.assign(P * P, 0);
+    for (int parity = 0; parity < 2; ++parity) {
+      wake_nsrc_[parity] = std::vector<std::atomic<std::uint32_t>>(P);
+      wake_src_[parity].assign(P * P, 0);
+    }
+  } else {
+    lookahead_ = 0.0;  // serial run: no window ever opens
+  }
+
   clock_.assign(n, 0.0);
   counters_.assign(n, RankCounters{});
   snapshot_.assign(n, RankCounters{});
   measure_begin_.assign(n, 0.0);
-  measuring_.assign(n, false);
-  done_.assign(n, false);
+  measuring_.assign(n, 0);
+  done_.assign(n, 0);
   activity_stack_.assign(n, {});
   unexpected_.resize(n);
   rzv_sends_.resize(n);
   posted_.resize(n);
+  requests_.resize(n);
   if (cfg_.enable_regions) {
-    region_nodes_.push_back(RegionNode{"(untracked)", -1, 0});
     region_stack_.assign(n, std::vector<int>{0});
     region_window_.assign(n, RankCounters{});
-    region_accum_.emplace_back(n, RankCounters{});
-    region_visits_.emplace_back(n, 1);  // every rank starts inside the root
+    for (auto& p : partitions_) {
+      p.region_nodes.push_back(RegionNode{"(untracked)", -1, 0});
+      p.region_accum.emplace_back(p.ranks.size(), RankCounters{});
+      // every rank starts inside the root
+      p.region_visits.emplace_back(p.ranks.size(), 1);
+    }
   }
 }
 
@@ -59,19 +160,21 @@ Engine::~Engine() {
 }
 
 void Engine::schedule(double time, int rank, std::coroutine_handle<> h) {
-  events_.push(Event{time, next_seq_++, rank, h});
+  Partition& p = partition_of_rank(rank);
+  p.events.push(Event{time, p.next_seq++, rank, h});
+  p.event_hwm = std::max(p.event_hwm, p.events.size());
 }
 
 void Engine::on_rank_done(int rank) {
-  done_[static_cast<std::size_t>(rank)] = true;
-  ++done_count_;
+  done_[static_cast<std::size_t>(rank)] = 1;
+  ++partition_of_rank(rank).done_count;
 }
 
 void Engine::run(const RankFn& fn) {
   if (ran_) throw std::logic_error("Engine::run may only be called once");
   ran_ = true;
-  const bool hard_crash_mode = cfg_.faults && cfg_.faults->hard_crashes();
-  if (hard_crash_mode) {
+  hard_crash_mode_ = cfg_.faults && cfg_.faults->hard_crashes();
+  if (hard_crash_mode_) {
     const auto n = static_cast<std::size_t>(cfg_.nranks);
     crashed_.assign(n, 0);
     crash_time_.assign(n, kNoCrash);
@@ -90,16 +193,35 @@ void Engine::run(const RankFn& fn) {
     roots_.push_back(h);
     schedule(0.0, r, h);
   }
-  while (!events_.empty() && done_count_ + crashed_count_ < cfg_.nranks) {
-    Event ev = events_.top();
-    events_.pop();
-    ++events_processed_;
+  if (partitions_.size() == 1)
+    run_serial();
+  else
+    run_windowed();
+  if (cfg_.enable_regions)  // credit each rank's tail to its open region
+    for (int r = 0; r < cfg_.nranks; ++r) flush_region_window(r);
+  merge_partitions();
+  for (auto h : roots_)
+    if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+  int done_total = 0;
+  for (const auto& p : partitions_) done_total += p.done_count;
+  if (done_total < cfg_.nranks) handle_stall();
+}
+
+// ---------------------------------------------------------------------------
+// Serial path: one partition, the classic single-queue loop.
+
+void Engine::run_serial() {
+  Partition& p = partitions_[0];
+  while (!p.events.empty() &&
+         p.done_count + p.crashed_count < cfg_.nranks) {
+    Event ev = p.events.pop();
+    ++p.events_processed;
     if (ev.deliver >= 0) {  // internal retransmission, no coroutine attached
-      process_retransmit(static_cast<std::size_t>(ev.deliver), ev.time);
+      process_retransmit(p, static_cast<std::size_t>(ev.deliver), ev.time);
       continue;
     }
-    auto r = static_cast<std::size_t>(ev.rank);
-    if (hard_crash_mode) {
+    const auto r = static_cast<std::size_t>(ev.rank);
+    if (hard_crash_mode_) {
       if (crashed_[r]) continue;  // stray wakeup of a dead rank
       if (ev.time >= crash_time_[r]) {
         // The rank falls silent at its crash time: it is never resumed
@@ -107,10 +229,10 @@ void Engine::run(const RankFn& fn) {
         // depend on it block and surface in the stall diagnosis unless an
         // application-level recovery protocol routes around the loss.
         crashed_[r] = 1;
-        ++crashed_count_;
-        ++res_log_.crashed_ranks;
+        ++p.crashed_count;
+        ++p.res_log.crashed_ranks;
         clock_[r] = std::max(clock_[r], crash_time_[r]);
-        res_log_.events.push_back(FaultEvent{
+        p.res_log.events.push_back(FaultEvent{
             crash_time_[r], FaultKind::kCrash, ev.rank, -1, -1, 0, 0.0, 0});
         continue;
       }
@@ -118,23 +240,384 @@ void Engine::run(const RankFn& fn) {
     clock_[r] = std::max(clock_[r], ev.time);
     ev.handle.resume();
   }
-  if (cfg_.enable_regions)  // credit each rank's tail to its open region
-    for (int r = 0; r < cfg_.nranks; ++r) flush_region_window(r);
-  for (auto h : roots_)
-    if (h.promise().exception) std::rethrow_exception(h.promise().exception);
-  if (done_count_ < cfg_.nranks) handle_stall();
+}
+
+// ---------------------------------------------------------------------------
+// Windowed path: conservative synchronization over >= 2 partitions.
+//
+// Every iteration has two phases separated by barriers:
+//   exec:   each partition pops and runs its events with time < horizon_
+//           (cross-partition sends go into mailboxes, never peer state);
+//   ingest: each partition drains the mailboxes addressed to it, in a
+//           deterministic (time, source partition, kind, index) order.
+// The boundary bookkeeping (compute_window) runs single-threaded as the
+// second barrier's completion step.  The schedule -- which events run in
+// which window -- depends only on partition state, so any worker count
+// executes the identical simulation.
+
+void Engine::run_windowed() {
+  compute_window();
+  const int P = partition_count();
+  const int T = std::clamp(cfg_.threads, 1, P);
+  if (T == 1) {
+    while (!stop_) {
+      for (auto& p : partitions_) exec_window(p, horizon_);
+      for (auto& p : partitions_) ingest(p);
+      compute_window();
+    }
+    return;
+  }
+  std::vector<std::exception_ptr> exc(static_cast<std::size_t>(T));
+  PhaseBarrier barrier(T);
+  auto worker = [&](int w) {
+    // Workers leave the loop only via stop_, which compute_window sets
+    // uniformly for everyone (including on abort) -- an early unilateral
+    // break would strand the other workers in the barrier.
+    while (!stop_) {
+      if (!aborted_.load(std::memory_order_relaxed)) {
+        try {
+          for (int pi = w; pi < P; pi += T)
+            exec_window(partitions_[static_cast<std::size_t>(pi)], horizon_);
+        } catch (...) {
+          exc[static_cast<std::size_t>(w)] = std::current_exception();
+          aborted_.store(true, std::memory_order_relaxed);
+        }
+      }
+      barrier.arrive_and_wait([] {});
+      if (!aborted_.load(std::memory_order_relaxed)) {
+        try {
+          for (int pi = w; pi < P; pi += T)
+            ingest(partitions_[static_cast<std::size_t>(pi)]);
+        } catch (...) {
+          exc[static_cast<std::size_t>(w)] = std::current_exception();
+          aborted_.store(true, std::memory_order_relaxed);
+        }
+      }
+      barrier.arrive_and_wait([this] { compute_window(); });
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(T - 1));
+  for (int w = 1; w < T; ++w) pool.emplace_back(worker, w);
+  worker(0);
+  for (auto& t : pool) t.join();
+  for (auto& e : exc)
+    if (e) std::rethrow_exception(e);
+}
+
+void Engine::exec_window(Partition& p, double horizon) {
+  while (!p.events.empty() && p.events.top().time < horizon) {
+    Event ev = p.events.pop();
+    ++p.events_processed;
+    if (ev.deliver >= 0) {
+      process_retransmit(p, static_cast<std::size_t>(ev.deliver), ev.time);
+      continue;
+    }
+    const auto r = static_cast<std::size_t>(ev.rank);
+    if (hard_crash_mode_) {
+      if (crashed_[r]) continue;
+      if (ev.time >= crash_time_[r]) {
+        crashed_[r] = 1;
+        ++p.crashed_count;
+        ++p.res_log.crashed_ranks;
+        clock_[r] = std::max(clock_[r], crash_time_[r]);
+        p.res_log.events.push_back(FaultEvent{
+            crash_time_[r], FaultKind::kCrash, ev.rank, -1, -1, 0, 0.0, 0});
+        continue;
+      }
+    }
+    clock_[r] = std::max(clock_[r], ev.time);
+    ev.handle.resume();
+  }
+  ++p.horizon_syncs;
+}
+
+void Engine::emit_cross(Partition& from, int dst_partition, CrossMsg&& cm) {
+  const std::size_t P = partitions_.size();
+  const auto dq = static_cast<std::size_t>(dst_partition);
+  ++from.cross_sent;
+  // Wakes may be emitted while the destination's exec boxes are being read
+  // (ingest-phase rendezvous completions), so they use parity-double-
+  // buffered boxes: writers fill the current parity, readers drain the
+  // previous one.  The first-touch registration makes the reader's scan
+  // O(active source partitions) instead of O(P).
+  if (cm.kind == CrossMsg::Kind::kWake) {
+    auto& box = from.out_wake[wake_parity_][dq];
+    if (box.empty()) {
+      const std::uint32_t slot =
+          wake_nsrc_[wake_parity_][dq].fetch_add(1, std::memory_order_relaxed);
+      wake_src_[wake_parity_][dq * P + slot] =
+          static_cast<std::uint32_t>(from.id);
+    }
+    box.push_back(std::move(cm));
+  } else {
+    auto& box = from.out_exec[dq];
+    if (box.empty()) {
+      const std::uint32_t slot =
+          cross_nsrc_[dq].fetch_add(1, std::memory_order_relaxed);
+      cross_src_[dq * P + slot] = static_cast<std::uint32_t>(from.id);
+    }
+    box.push_back(std::move(cm));
+  }
+}
+
+void Engine::ingest(Partition& q) {
+  // Emission exec-time order reproduces the serial engine's sequencing: the
+  // serial loop assigns message sequence numbers at send-execution time, and
+  // within one window each partition's sends are emitted in its own exec
+  // order (ties across partitions break by partition id, which under block
+  // placement equals rank-block order).
+  struct InRef {
+    double time;
+    int src_partition;
+    int kind;  // 0 = exec-phase box, 1 = wake box from the previous window
+    std::uint32_t idx;
+  };
+  const std::size_t P = partitions_.size();
+  const auto qi = static_cast<std::size_t>(q.id);
+  const int read_parity = wake_parity_ ^ 1;
+  const std::uint32_t n_exec =
+      cross_nsrc_[qi].load(std::memory_order_relaxed);
+  const std::uint32_t n_wake =
+      wake_nsrc_[read_parity][qi].load(std::memory_order_relaxed);
+  if (n_exec == 0 && n_wake == 0) return;
+  std::vector<InRef> refs;
+  for (std::uint32_t i = 0; i < n_exec; ++i) {
+    const auto sp = static_cast<int>(cross_src_[qi * P + i]);
+    const auto& box = partitions_[static_cast<std::size_t>(sp)].out_exec[qi];
+    for (std::uint32_t k = 0; k < box.size(); ++k)
+      refs.push_back(InRef{box[k].time, sp, 0, k});
+  }
+  for (std::uint32_t i = 0; i < n_wake; ++i) {
+    const auto sp = static_cast<int>(wake_src_[read_parity][qi * P + i]);
+    const auto& box =
+        partitions_[static_cast<std::size_t>(sp)].out_wake[read_parity][qi];
+    for (std::uint32_t k = 0; k < box.size(); ++k)
+      refs.push_back(InRef{box[k].time, sp, 1, k});
+  }
+  std::sort(refs.begin(), refs.end(), [](const InRef& a, const InRef& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.src_partition != b.src_partition)
+      return a.src_partition < b.src_partition;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.idx < b.idx;
+  });
+  for (const InRef& ref : refs) {
+    auto& src = partitions_[static_cast<std::size_t>(ref.src_partition)];
+    CrossMsg& cm = ref.kind == 0 ? src.out_exec[qi][ref.idx]
+                                 : src.out_wake[read_parity][qi][ref.idx];
+    ++q.cross_ingested;
+    switch (cm.kind) {
+      case CrossMsg::Kind::kEagerMsg: {
+        Message m = std::move(cm.msg);
+        m.seq = q.next_seq++;  // receiver-side arrival order
+        deliver_or_retry(std::move(m), 0);
+        break;
+      }
+      case CrossMsg::Kind::kRzvSend: {
+        RzvSend rs = std::move(cm.rzv);
+        rs.seq = q.next_seq++;
+        if (!try_match_rzv(rs))
+          rzv_sends_[static_cast<std::size_t>(rs.dst)].push(std::move(rs));
+        break;
+      }
+      case CrossMsg::Kind::kWake: {
+        // Sender-side completion of a cross-partition rendezvous: account
+        // and resume (or complete the request) in the sender's partition.
+        if (cm.wake_handle) {
+          account(cm.wake_rank, Activity::kSend, cm.wake_t_ready, cm.wake_tc,
+                  "send");
+          schedule(cm.wake_tc, cm.wake_rank, cm.wake_handle);
+        } else if (cm.wake_request >= 0) {
+          complete_request(cm.wake_request, cm.wake_tc);
+        }
+        break;
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < n_exec; ++i)
+    partitions_[cross_src_[qi * P + i]].out_exec[qi].clear();
+  cross_nsrc_[qi].store(0, std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n_wake; ++i)
+    partitions_[wake_src_[read_parity][qi * P + i]]
+        .out_wake[read_parity][qi]
+        .clear();
+  wake_nsrc_[read_parity][qi].store(0, std::memory_order_relaxed);
+}
+
+void Engine::compute_window() {
+  if (aborted_.load(std::memory_order_relaxed)) {
+    stop_ = true;
+    return;
+  }
+  double gvt = kInf;
+  int finished = 0;
+  for (const auto& p : partitions_) {
+    if (!p.events.empty()) gvt = std::min(gvt, p.events.top().time);
+    finished += p.done_count + p.crashed_count;
+  }
+  // Wakes written this window (current parity) are still undelivered: even
+  // with every event heap empty the run is not quiescent until they land.
+  bool any_wake = false;
+  const auto& wn = wake_nsrc_[wake_parity_];
+  for (std::size_t i = 0; i < wn.size() && !any_wake; ++i)
+    any_wake = wn[i].load(std::memory_order_relaxed) != 0;
+  if (finished >= cfg_.nranks || (gvt == kInf && !any_wake))
+    stop_ = true;  // all ranks resolved, or global quiescence (stall)
+  else
+    stop_ = false;
+  horizon_ = gvt + lookahead_;
+  wake_parity_ ^= 1;
+}
+
+void Engine::merge_partitions() {
+  // Conservation: every cross-partition deposit is either ingested or still
+  // sitting in a mailbox (sends left undelivered when the run stopped early
+  // at a window boundary).  Anything else is an engine bug.
+  std::uint64_t sent = 0, ingested = 0, residual = 0;
+  for (const auto& p : partitions_) {
+    sent += p.cross_sent;
+    ingested += p.cross_ingested;
+    for (const auto& box : p.out_exec) residual += box.size();
+    for (int parity = 0; parity < 2; ++parity)
+      for (const auto& box : p.out_wake[parity]) residual += box.size();
+  }
+  if (sent != ingested + residual)
+    throw std::logic_error(
+        "Engine: cross-partition message conservation violated");
+
+  const std::size_t P = partitions_.size();
+  if (P == 1) {
+    // Serial run: adopt partition 0's results wholesale (local rank indices
+    // equal world ranks, region/timeline ids need no remapping, and the
+    // resilience log keeps its exact append order).
+    Partition& p = partitions_[0];
+    res_log_ = std::move(p.res_log);
+    p.res_log = ResilienceLog{};
+    timeline_ = std::move(p.timeline);
+    p.timeline = Timeline{};
+    if (cfg_.enable_regions) {
+      region_nodes_ = std::move(p.region_nodes);
+      region_accum_ = std::move(p.region_accum);
+      region_visits_ = std::move(p.region_visits);
+    }
+    return;
+  }
+
+  // Graft the per-partition region forests into one tree.  Partitions are
+  // visited in id order and nodes in creation order (parents precede
+  // children), so the merged ids are deterministic.
+  std::vector<std::vector<int>> region_map(P);
+  if (cfg_.enable_regions) {
+    const auto n = static_cast<std::size_t>(cfg_.nranks);
+    region_nodes_.push_back(RegionNode{"(untracked)", -1, 0});
+    region_accum_.emplace_back(n, RankCounters{});
+    region_visits_.emplace_back(n, 0);
+    std::map<std::pair<int, std::string>, int, RegionKeyLess> lookup;
+    for (std::size_t pi = 0; pi < P; ++pi) {
+      Partition& p = partitions_[pi];
+      auto& map = region_map[pi];
+      map.assign(p.region_nodes.size(), 0);
+      for (std::size_t i = 1; i < p.region_nodes.size(); ++i) {
+        const RegionNode& node = p.region_nodes[i];
+        const int gparent = map[static_cast<std::size_t>(node.parent)];
+        const auto it = lookup.find(std::make_pair(gparent, node.name));
+        int gid;
+        if (it != lookup.end()) {
+          gid = it->second;
+        } else {
+          gid = static_cast<int>(region_nodes_.size());
+          region_nodes_.push_back(RegionNode{
+              node.name, gparent,
+              region_nodes_[static_cast<std::size_t>(gparent)].depth + 1});
+          region_accum_.emplace_back(n, RankCounters{});
+          region_visits_.emplace_back(n, 0);
+          lookup.emplace(std::make_pair(gparent, node.name), gid);
+        }
+        map[i] = gid;
+      }
+      for (std::size_t i = 0; i < p.region_nodes.size(); ++i) {
+        const auto gi = static_cast<std::size_t>(map[i]);
+        for (std::size_t li = 0; li < p.ranks.size(); ++li) {
+          const auto wr = static_cast<std::size_t>(p.ranks[li]);
+          region_accum_[gi][wr] += p.region_accum[i][li];
+          region_visits_[gi][wr] += p.region_visits[i][li];
+        }
+      }
+    }
+  }
+
+  // Timeline: concatenate in partition order, remapping region ids into the
+  // merged tree (each interval already carries its partition id).
+  for (std::size_t pi = 0; pi < P; ++pi) {
+    Partition& p = partitions_[pi];
+    for (TraceInterval iv : p.timeline.intervals()) {
+      if (cfg_.enable_regions)
+        iv.region = region_map[pi][static_cast<std::size_t>(iv.region)];
+      timeline_.record(std::move(iv));
+    }
+    p.timeline = Timeline{};
+  }
+
+  // Resilience log: sum the counters and time-sort the merged event list
+  // (stable on partition order, so equal-time events stay deterministic).
+  for (auto& p : partitions_) {
+    res_log_.messages_dropped += p.res_log.messages_dropped;
+    res_log_.retransmissions += p.res_log.retransmissions;
+    res_log_.messages_lost += p.res_log.messages_lost;
+    res_log_.duplicates += p.res_log.duplicates;
+    res_log_.crashed_ranks += p.res_log.crashed_ranks;
+    res_log_.checkpoints += p.res_log.checkpoints;
+    res_log_.rollbacks += p.res_log.rollbacks;
+    res_log_.checkpoint_s += p.res_log.checkpoint_s;
+    res_log_.restart_s += p.res_log.restart_s;
+    res_log_.recompute_s += p.res_log.recompute_s;
+    res_log_.events.insert(res_log_.events.end(),
+                           std::make_move_iterator(p.res_log.events.begin()),
+                           std::make_move_iterator(p.res_log.events.end()));
+    p.res_log = ResilienceLog{};
+  }
+  std::stable_sort(
+      res_log_.events.begin(), res_log_.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+}
+
+std::uint64_t Engine::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.events_processed;
+  return total;
 }
 
 EngineStats Engine::stats() const {
   EngineStats s;
-  s.events_processed = events_processed_;
-  s.rendezvous_stall_s = rzv_stall_s_;
-  s.messages_dropped = res_log_.messages_dropped;
-  s.retransmissions = res_log_.retransmissions;
-  s.messages_lost = res_log_.messages_lost;
-  s.duplicates = res_log_.duplicates;
-  s.crashed_ranks = res_log_.crashed_ranks;
+  s.partition_count = partition_count();
+  s.lookahead_s = lookahead_;
   s.stalled_ranks = stall_ ? stall_->blocked_ranks : 0;
+  // Fault counters live in the partitions until merge_partitions() moves
+  // them into res_log_ (and zeroes the partition logs), so summing both
+  // sides is correct mid-run and post-run alike.
+  auto add_log = [&s](const ResilienceLog& log) {
+    s.messages_dropped += log.messages_dropped;
+    s.retransmissions += log.retransmissions;
+    s.messages_lost += log.messages_lost;
+    s.duplicates += log.duplicates;
+    s.crashed_ranks += log.crashed_ranks;
+  };
+  add_log(res_log_);
+  for (const auto& p : partitions_) {
+    s.events_processed += p.events_processed;
+    s.rendezvous_stall_s += p.rzv_stall_s;
+    add_log(p.res_log);
+    PartitionStats ps;
+    ps.id = p.id;
+    ps.nranks = static_cast<int>(p.ranks.size());
+    ps.events_processed = p.events_processed;
+    ps.horizon_syncs = p.horizon_syncs;
+    ps.cross_messages_sent = p.cross_sent;
+    ps.cross_messages_ingested = p.cross_ingested;
+    ps.event_queue_hwm = p.event_hwm;
+    s.partitions.push_back(ps);
+  }
   auto fold = [&s](const IndexStats& is, std::size_t& hwm, bool promoted) {
     hwm = std::max(hwm, is.hwm);
     s.flat_matches += is.flat;
@@ -154,35 +637,37 @@ EngineStats Engine::stats() const {
 // ---------------------------------------------------------------------------
 // Region profiling
 
-int Engine::region_child(int parent, std::string_view name) {
-  const auto it = region_lookup_.find(std::make_pair(parent, name));
-  if (it != region_lookup_.end()) return it->second;
-  const int id = static_cast<int>(region_nodes_.size());
-  region_nodes_.push_back(RegionNode{
+int Engine::region_child(Partition& p, int parent, std::string_view name) {
+  const auto it = p.region_lookup.find(std::make_pair(parent, name));
+  if (it != p.region_lookup.end()) return it->second;
+  const int id = static_cast<int>(p.region_nodes.size());
+  p.region_nodes.push_back(RegionNode{
       std::string(name), parent,
-      region_nodes_[static_cast<std::size_t>(parent)].depth + 1});
-  region_lookup_.emplace(std::make_pair(parent, std::string(name)), id);
-  const auto n = static_cast<std::size_t>(cfg_.nranks);
-  region_accum_.emplace_back(n, RankCounters{});
-  region_visits_.emplace_back(n, 0);
+      p.region_nodes[static_cast<std::size_t>(parent)].depth + 1});
+  p.region_lookup.emplace(std::make_pair(parent, std::string(name)), id);
+  p.region_accum.emplace_back(p.ranks.size(), RankCounters{});
+  p.region_visits.emplace_back(p.ranks.size(), 0);
   return id;
 }
 
 void Engine::flush_region_window(int rank) {
+  Partition& p = partition_of_rank(rank);
   const auto r = static_cast<std::size_t>(rank);
-  const int top = region_stack_[r].back();
-  region_accum_[static_cast<std::size_t>(top)][r] +=
-      counters_[r] - region_window_[r];
+  const auto li = static_cast<std::size_t>(rank_local_idx_[r]);
+  const auto top = static_cast<std::size_t>(region_stack_[r].back());
+  p.region_accum[top][li] += counters_[r] - region_window_[r];
   region_window_[r] = counters_[r];
 }
 
 void Engine::region_begin(int rank, std::string_view name) {
   if (!cfg_.enable_regions) return;
+  Partition& p = partition_of_rank(rank);
   const auto r = static_cast<std::size_t>(rank);
   flush_region_window(rank);
-  const int id = region_child(region_stack_[r].back(), name);
+  const int id = region_child(p, region_stack_[r].back(), name);
   region_stack_[r].push_back(id);
-  ++region_visits_[static_cast<std::size_t>(id)][r];
+  ++p.region_visits[static_cast<std::size_t>(id)]
+                   [static_cast<std::size_t>(rank_local_idx_[r])];
 }
 
 void Engine::region_end(int rank) noexcept {
@@ -251,8 +736,16 @@ void Engine::account(int rank, Activity a, double t0, double t1,
   if (cfg_.enable_trace && t1 > t0 && activity_stack_[r].empty()) {
     TraceInterval iv{rank, t0, t1, eff, std::string(label)};
     if (cfg_.enable_regions) iv.region = region_stack_[r].back();
-    timeline_.record(std::move(iv));
+    Partition& p = partition_of_rank(rank);
+    iv.partition = p.id;
+    p.timeline.record(std::move(iv));
   }
+}
+
+void Engine::record_interval(int rank, TraceInterval iv) {
+  Partition& p = partition_of_rank(rank);
+  iv.partition = p.id;
+  p.timeline.record(std::move(iv));
 }
 
 // ---------------------------------------------------------------------------
@@ -284,10 +777,11 @@ void Engine::op_compute(int rank, const KernelWork& work,
   counters_[r].traffic.l3_bytes += f * out.effective.l3_bytes;
   counters_[r].traffic.l2_bytes += f * out.effective.l2_bytes;
   account(rank, Activity::kCompute, t0, t0 + out.seconds, work.label);
+  Partition& p = partition_of_rank(rank);
   if (cfg_.enable_trace && f * out.seconds > 0.0 &&
-      activity_stack_[r].empty() && !timeline_.empty()) {
+      activity_stack_[r].empty() && !p.timeline.empty()) {
     // account() just recorded the interval; attach its resource data.
-    auto& iv = timeline_.back();
+    auto& iv = p.timeline.back();
     if (iv.rank == rank && iv.t_begin == t0) {
       iv.flops = f * total_flops;
       iv.mem_bytes = f * out.effective.mem_bytes;
@@ -310,18 +804,22 @@ void Engine::op_delay(int rank, double seconds, std::string_view label,
 // Point-to-point
 
 bool Engine::request_complete_at(std::int64_t id, double t) const {
-  const auto& rs = requests_[static_cast<std::size_t>(id)];
+  const auto& rs = requests_[static_cast<std::size_t>(id >> 32)]
+                            [static_cast<std::size_t>(id & 0xffffffff)];
   return rs.complete && rs.completion_time <= t;
 }
 
 std::int64_t Engine::make_request(int rank) {
-  requests_.push_back(RequestState{rank, false, 0.0, nullptr, 0.0,
-                                   Activity::kWait});
-  return static_cast<std::int64_t>(requests_.size() - 1);
+  auto& v = requests_[static_cast<std::size_t>(rank)];
+  v.push_back(
+      RequestState{rank, false, 0.0, nullptr, 0.0, Activity::kWait});
+  return (static_cast<std::int64_t>(rank) << 32) |
+         static_cast<std::int64_t>(v.size() - 1);
 }
 
 void Engine::complete_request(std::int64_t id, double completion) {
-  auto& rs = requests_[static_cast<std::size_t>(id)];
+  auto& rs = requests_[static_cast<std::size_t>(id >> 32)]
+                      [static_cast<std::size_t>(id & 0xffffffff)];
   rs.complete = true;
   rs.completion_time = completion;
   if (rs.waiter) {
@@ -335,7 +833,8 @@ void Engine::complete_request(std::int64_t id, double completion) {
 Engine::OpResult Engine::op_wait(int rank, std::int64_t request_id,
                                  std::coroutine_handle<> self) {
   const auto r = static_cast<std::size_t>(rank);
-  auto& rs = requests_[static_cast<std::size_t>(request_id)];
+  auto& rs = requests_[static_cast<std::size_t>(request_id >> 32)]
+                      [static_cast<std::size_t>(request_id & 0xffffffff)];
   const double t0 = clock_[r];
   if (rs.complete) {
     const double tc = std::max(t0, rs.completion_time);
@@ -374,9 +873,12 @@ void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
   const TransferCost cost = network_->transfer_at(
       rs.src, rs.dst, cfg_.placement, rs.bytes, handshake);
   const double tc = handshake + cost.in_flight_s;
-  rzv_stall_s_ += tc - rs.t_ready;  // sender blocked from ready to drain
+  // Runs in the receiver's partition; the stall is attributed there so the
+  // accumulation order is deterministic.
+  Partition& dp = partition_of_rank(pr.dst);
+  dp.rzv_stall_s += tc - rs.t_ready;  // sender blocked from ready to drain
 
-  // Receiver side.
+  // Receiver side (always local to the caller).
   if (pr.buffer && !rs.payload.empty())
     std::memcpy(pr.buffer, rs.payload.data(),
                 std::min(pr.buffer_bytes, rs.payload.size()));
@@ -391,12 +893,28 @@ void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
     complete_request(pr.request, tc);
   }
 
-  // Sender side: unblocks when the pipe drains.
-  if (rs.sender) {
-    account(rs.src, Activity::kSend, rs.t_ready, tc, "send");
-    schedule(tc, rs.src, rs.sender);
-  } else if (rs.request >= 0) {
-    complete_request(rs.request, tc);
+  // Sender side: unblocks when the pipe drains.  A cross-partition sender is
+  // woken through its own partition's mailbox; tc >= the next window start
+  // (both latency legs are at least the lookahead), so the wake never lands
+  // in the sender's past.
+  const int sp = partition_of_rank_[static_cast<std::size_t>(rs.src)];
+  if (sp == dp.id) {
+    if (rs.sender) {
+      account(rs.src, Activity::kSend, rs.t_ready, tc, "send");
+      schedule(tc, rs.src, rs.sender);
+    } else if (rs.request >= 0) {
+      complete_request(rs.request, tc);
+    }
+  } else if (rs.sender || rs.request >= 0) {
+    CrossMsg cm;
+    cm.kind = CrossMsg::Kind::kWake;
+    cm.time = tc;
+    cm.wake_rank = rs.src;
+    cm.wake_t_ready = rs.t_ready;
+    cm.wake_tc = tc;
+    cm.wake_handle = rs.sender;
+    cm.wake_request = rs.request;
+    emit_cross(dp, sp, std::move(cm));
   }
 }
 
@@ -425,6 +943,8 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
   const double t0 = clock_[r];
   counters_[r].bytes_sent += bytes;
   ++counters_[r].messages_sent;
+  Partition& p = partition_of_rank(rank);
+  const int dst_p = partition_of_rank_[static_cast<std::size_t>(dst)];
 
   const bool eager = cfg_.protocol.force_eager ||
                      bytes <= cfg_.protocol.eager_threshold_bytes;
@@ -433,11 +953,24 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
         network_->transfer_at(rank, dst, cfg_.placement, bytes, t0);
     clock_[r] = t0 + cost.sender_busy_s;
     account(rank, Activity::kSend, t0, clock_[r], "send");
-    Message m{rank,    dst,
-              tag,     bytes,
-              std::move(payload), t0 + cost.in_flight_s,
-              next_seq_++};
-    deliver_or_retry(std::move(m), 0);
+    if (dst_p == p.id) {
+      Message m{rank,    dst,
+                tag,     bytes,
+                std::move(payload), t0 + cost.in_flight_s,
+                p.next_seq++};
+      deliver_or_retry(std::move(m), 0);
+    } else {
+      // Cross-partition: deposited now, visible to the receiver at the next
+      // window boundary; the receiver assigns the arrival sequence number.
+      CrossMsg cm;
+      cm.kind = CrossMsg::Kind::kEagerMsg;
+      cm.time = t0;
+      cm.msg = Message{rank,    dst,
+                       tag,     bytes,
+                       std::move(payload), t0 + cost.in_flight_s,
+                       0};
+      emit_cross(p, dst_p, std::move(cm));
+    }
     // The sender hands the buffer to the NIC and proceeds either way: it has
     // no way to observe a drop (that is the receiver-side watchdog's job).
     if (request_id >= 0) complete_request(request_id, clock_[r]);
@@ -455,7 +988,16 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
              t0,
              blocking ? self : std::coroutine_handle<>{},
              request_id,
-             next_seq_++};
+             0};
+  if (dst_p != p.id) {
+    CrossMsg cm;
+    cm.kind = CrossMsg::Kind::kRzvSend;
+    cm.time = t0;
+    cm.rzv = std::move(rs);
+    emit_cross(p, dst_p, std::move(cm));
+    return {!blocking, 0.0};
+  }
+  rs.seq = p.next_seq++;
   if (try_match_rzv(rs)) return {!blocking, 0.0};
   rzv_sends_[static_cast<std::size_t>(dst)].push(std::move(rs));
   return {!blocking, 0.0};
@@ -467,6 +1009,7 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
                                  std::coroutine_handle<> self) {
   const auto r = static_cast<std::size_t>(rank);
   const double t0 = clock_[r];
+  Partition& p = partition_of_rank(rank);
 
   if (auto m = unexpected_[r].take(src, tag)) {
     const double tc = std::max(t0, m->arrival);
@@ -495,7 +1038,7 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
                 out_bytes,
                 request_id,
                 effective_activity(rank, Activity::kRecv),
-                next_seq_++};
+                p.next_seq++};
 
   if (auto rs = rzv_sends_[r].take(src, tag)) {
     complete_rzv_pair(pr, *rs);
@@ -522,7 +1065,26 @@ const char* to_string(FaultKind k) {
   return "unknown";
 }
 
+void Engine::record_fault_event(const FaultEvent& e) {
+  Partition& p = e.rank >= 0 ? partition_of_rank(e.rank) : partitions_[0];
+  p.res_log.events.push_back(e);
+}
+
+void Engine::note_checkpoint(int rank, double seconds) {
+  Partition& p = rank >= 0 ? partition_of_rank(rank) : partitions_[0];
+  ++p.res_log.checkpoints;
+  p.res_log.checkpoint_s += seconds;
+}
+
+void Engine::note_rollback(int rank, double restart_s, double recompute_s) {
+  Partition& p = rank >= 0 ? partition_of_rank(rank) : partitions_[0];
+  ++p.res_log.rollbacks;
+  p.res_log.restart_s += restart_s;
+  p.res_log.recompute_s += recompute_s;
+}
+
 void Engine::deliver_or_retry(Message&& m, int attempt) {
+  Partition& p = partition_of_rank(m.dst);
   if (cfg_.faults) {
     const FaultDecision d =
         cfg_.faults->on_message(m.src, m.dst, m.tag, m.bytes, m.seq, attempt);
@@ -530,24 +1092,24 @@ void Engine::deliver_or_retry(Message&& m, int attempt) {
       // Real transports deduplicate by sequence number at the receiver: the
       // copy is generated and discarded, so it is observable in the log but
       // does not perturb matching or timing.
-      ++res_log_.duplicates;
-      res_log_.events.push_back(FaultEvent{m.arrival, FaultKind::kDuplicate,
-                                           -1, m.src, m.dst, m.tag, m.bytes,
-                                           attempt});
+      ++p.res_log.duplicates;
+      p.res_log.events.push_back(FaultEvent{m.arrival, FaultKind::kDuplicate,
+                                            -1, m.src, m.dst, m.tag, m.bytes,
+                                            attempt});
     }
     if (d.drop) {
-      ++res_log_.messages_dropped;
-      res_log_.events.push_back(FaultEvent{m.arrival, FaultKind::kDrop, -1,
-                                           m.src, m.dst, m.tag, m.bytes,
-                                           attempt});
+      ++p.res_log.messages_dropped;
+      p.res_log.events.push_back(FaultEvent{m.arrival, FaultKind::kDrop, -1,
+                                            m.src, m.dst, m.tag, m.bytes,
+                                            attempt});
       if (attempt < cfg_.watchdog.max_retries) {
         const double not_before = m.arrival;
         schedule_retransmit(std::move(m), attempt + 1, not_before);
       } else {
-        ++res_log_.messages_lost;
-        res_log_.events.push_back(FaultEvent{m.arrival, FaultKind::kLost, -1,
-                                             m.src, m.dst, m.tag, m.bytes,
-                                             attempt});
+        ++p.res_log.messages_lost;
+        p.res_log.events.push_back(FaultEvent{m.arrival, FaultKind::kLost, -1,
+                                              m.src, m.dst, m.tag, m.bytes,
+                                              attempt});
       }
       return;
     }
@@ -565,59 +1127,77 @@ void Engine::schedule_retransmit(Message&& m, int next_attempt,
       cfg_.watchdog.retransmit_timeout_s *
       static_cast<double>(1ull << std::min(next_attempt - 1, 30));
   const int dst = m.dst;
+  Partition& p = partition_of_rank(dst);
   std::size_t slot;
-  if (!free_delivery_slots_.empty()) {
-    slot = free_delivery_slots_.back();
-    free_delivery_slots_.pop_back();
-    pending_deliveries_[slot] = PendingDelivery{std::move(m), next_attempt};
+  if (!p.free_delivery_slots.empty()) {
+    slot = p.free_delivery_slots.back();
+    p.free_delivery_slots.pop_back();
+    p.pending_deliveries[slot] = PendingDelivery{std::move(m), next_attempt};
   } else {
-    slot = pending_deliveries_.size();
-    pending_deliveries_.push_back(PendingDelivery{std::move(m), next_attempt});
+    slot = p.pending_deliveries.size();
+    p.pending_deliveries.push_back(
+        PendingDelivery{std::move(m), next_attempt});
   }
-  events_.push(Event{not_before + backoff, next_seq_++, dst, {},
-                     static_cast<std::int32_t>(slot)});
+  p.events.push(Event{not_before + backoff, p.next_seq++, dst, {},
+                      static_cast<std::int32_t>(slot)});
+  p.event_hwm = std::max(p.event_hwm, p.events.size());
 }
 
-void Engine::process_retransmit(std::size_t slot, double now) {
-  PendingDelivery pd = std::move(pending_deliveries_[slot]);
-  free_delivery_slots_.push_back(slot);
-  ++res_log_.retransmissions;
+void Engine::process_retransmit(Partition& p, std::size_t slot, double now) {
+  PendingDelivery pd = std::move(p.pending_deliveries[slot]);
+  p.free_delivery_slots.push_back(slot);
+  ++p.res_log.retransmissions;
   pd.msg.arrival = now;
   // The original seq is kept: wildcard matching orders by send program
   // order, and a retransmitted copy still precedes later sends logically.
-  res_log_.events.push_back(FaultEvent{now, FaultKind::kRetransmit, -1,
-                                       pd.msg.src, pd.msg.dst, pd.msg.tag,
-                                       pd.msg.bytes, pd.attempt});
+  p.res_log.events.push_back(FaultEvent{now, FaultKind::kRetransmit, -1,
+                                        pd.msg.src, pd.msg.dst, pd.msg.tag,
+                                        pd.msg.bytes, pd.attempt});
   deliver_or_retry(std::move(pd.msg), pd.attempt);
 }
 
 StallDiagnosis Engine::build_stall_diagnosis() const {
   StallDiagnosis d;
   d.nranks = cfg_.nranks;
-  d.blocked_ranks = cfg_.nranks - done_count_ - crashed_count_;
+  int done_total = 0, crashed_total = 0;
+  for (const auto& p : partitions_) {
+    done_total += p.done_count;
+    crashed_total += p.crashed_count;
+  }
+  d.blocked_ranks = cfg_.nranks - done_total - crashed_total;
   for (std::size_t r = 0; r < crashed_.size(); ++r)
     if (crashed_[r]) d.crashed.push_back(static_cast<int>(r));
   // Collect and sort by posting/send order so the report is deterministic
-  // (hash-map iteration order is not).
-  std::vector<std::pair<std::uint64_t, StallDiagnosis::BlockedRecv>> recvs;
+  // (hash-map iteration order is not).  Sequence numbers are per partition,
+  // so the rank breaks cross-partition ties.
+  std::vector<std::tuple<std::uint64_t, int, StallDiagnosis::BlockedRecv>>
+      recvs;
   for (const auto& idx : posted_)
     idx.for_each([&](const PostedRecv& p) {
-      recvs.emplace_back(p.seq, StallDiagnosis::BlockedRecv{
-                                    p.dst, p.src_filter, p.tag_filter,
-                                    p.t_posted});
+      recvs.emplace_back(p.seq, p.dst,
+                         StallDiagnosis::BlockedRecv{
+                             p.dst, p.src_filter, p.tag_filter, p.t_posted});
     });
   std::sort(recvs.begin(), recvs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (auto& pr : recvs) d.recvs.push_back(pr.second);
-  std::vector<std::pair<std::uint64_t, StallDiagnosis::BlockedSend>> sends;
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  for (auto& pr : recvs) d.recvs.push_back(std::get<2>(pr));
+  std::vector<std::tuple<std::uint64_t, int, StallDiagnosis::BlockedSend>>
+      sends;
   for (const auto& idx : rzv_sends_)
     idx.for_each([&](const RzvSend& s) {
-      sends.emplace_back(s.seq, StallDiagnosis::BlockedSend{
-                                    s.src, s.dst, s.tag, s.bytes, s.t_ready});
+      sends.emplace_back(s.seq, s.src,
+                         StallDiagnosis::BlockedSend{s.src, s.dst, s.tag,
+                                                     s.bytes, s.t_ready});
     });
   std::sort(sends.begin(), sends.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (auto& ps : sends) d.sends.push_back(ps.second);
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  for (auto& ps : sends) d.sends.push_back(std::get<2>(ps));
   for (const auto& b : unexpected_) d.undelivered_eager += b.size();
   d.lost_messages = res_log_.messages_lost;
   return d;

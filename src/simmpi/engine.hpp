@@ -3,12 +3,22 @@
 // Each rank of a job is a C++20 coroutine with its own virtual clock.  The
 // engine advances clocks through compute phases (costed by a ComputeModel)
 // and message-passing operations (costed by a NetworkModel), matching sends
-// to receives with eager/rendezvous protocol semantics.  A single engine run
-// simulates one parallel job execution; everything is single-threaded and
-// bit-reproducible.
+// to receives with eager/rendezvous protocol semantics.
+//
+// Execution is partitioned: ranks sharing a cluster node form one partition
+// (intra-node events never cross partitions), and partitions advance
+// independently through conservative synchronization windows whose width is
+// the network's cross-node latency floor (NetworkModel::cross_node_lookahead).
+// Cross-partition sends travel through per-partition-pair mailboxes that are
+// drained at window boundaries.  Partition count and assignment depend only
+// on the placement -- never on the thread count -- so a run's results are
+// identical whether the partitions execute on 1 or N worker threads.  Jobs
+// that occupy a single node (or use a network model without a latency floor)
+// run the exact single-queue serial loop and stay bit-identical to it.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -16,7 +26,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -26,6 +35,7 @@
 #include "simmpi/faults.hpp"
 #include "simmpi/models.hpp"
 #include "simmpi/placement.hpp"
+#include "simmpi/queues.hpp"
 #include "simmpi/task.hpp"
 #include "simmpi/trace.hpp"
 #include "simmpi/work.hpp"
@@ -60,6 +70,24 @@ struct EngineConfig {
   /// default: the disabled path is a single branch per marker call and the
   /// simulated results are bit-identical either way (profiling is passive).
   bool enable_regions = false;
+  /// Worker threads executing partitions.  Results are independent of this
+  /// value: partitioning is derived from the placement, and the windowed
+  /// schedule is the same however partitions are spread over workers.
+  /// Clamped to the partition count; single-partition jobs always run the
+  /// serial loop.
+  int threads = 1;
+};
+
+/// Per-partition introspection of one engine run (one entry per partition in
+/// EngineStats::partitions; a single-node job has exactly one).
+struct PartitionStats {
+  int id = 0;
+  int nranks = 0;  ///< ranks owned by this partition
+  std::uint64_t events_processed = 0;
+  std::uint64_t horizon_syncs = 0;  ///< synchronization windows executed
+  std::uint64_t cross_messages_sent = 0;      ///< deposited into mailboxes
+  std::uint64_t cross_messages_ingested = 0;  ///< drained from mailboxes
+  std::size_t event_queue_hwm = 0;  ///< deepest event heap ever seen
 };
 
 /// Introspection counters of one engine run: makes the matching fast path
@@ -92,6 +120,11 @@ struct EngineStats {
   /// Ranks neither finished nor crashed when the run stopped (> 0 only
   /// after a diagnosed stall under WatchdogConfig::OnStall::kDiagnose).
   int stalled_ranks = 0;
+  // Parallel-engine introspection: how the run was partitioned and how the
+  // partitions behaved.  partition_count == 1 means the serial loop ran.
+  int partition_count = 1;
+  double lookahead_s = 0.0;  ///< conservative window width (0 when serial)
+  std::vector<PartitionStats> partitions;
 };
 
 /// Per-region identity: one node of the (parent, name) region call tree.
@@ -130,30 +163,36 @@ class Engine {
   /// Job wall-clock time: max rank clock after run().
   double elapsed() const;
   /// Scheduler events processed by run() (host-side throughput metric).
-  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t events_processed() const;
+
+  /// Number of rank partitions (1 = serial run; otherwise one per node).
+  int partition_count() const { return static_cast<int>(partitions_.size()); }
+  /// Partition owning `rank`.
+  int partition_of(int rank) const {
+    return partition_of_rank_[static_cast<std::size_t>(rank)];
+  }
+  /// Conservative synchronization window width (0 when running serially).
+  double lookahead() const { return lookahead_; }
 
   const RankCounters& counters(int rank) const {
     return counters_[static_cast<std::size_t>(rank)];
   }
-  /// Aggregated introspection counters (valid during and after run()).
+  /// Aggregated introspection counters (valid after run(); during run() only
+  /// from the engine's own thread of control).
   EngineStats stats() const;
 
   // --- resilience (see simmpi/faults.hpp) ---------------------------------
   bool faults_enabled() const { return cfg_.faults != nullptr; }
-  /// Fault/recovery bookkeeping of this run (empty on healthy runs).
+  /// Fault/recovery bookkeeping of this run (empty on healthy runs; merged
+  /// across partitions when run() returns).
   const ResilienceLog& resilience_log() const { return res_log_; }
   /// Appends a protocol-level event (checkpoint/restart layers use this to
   /// make their actions visible in the same audit trail as engine faults).
-  void record_fault_event(const FaultEvent& e) { res_log_.events.push_back(e); }
-  void note_checkpoint(double seconds) {
-    ++res_log_.checkpoints;
-    res_log_.checkpoint_s += seconds;
-  }
-  void note_rollback(double restart_s, double recompute_s) {
-    ++res_log_.rollbacks;
-    res_log_.restart_s += restart_s;
-    res_log_.recompute_s += recompute_s;
-  }
+  /// Routed to the partition owning e.rank; events with no rank land in
+  /// partition 0 (only safe from single-partition runs).
+  void record_fault_event(const FaultEvent& e);
+  void note_checkpoint(int rank, double seconds);
+  void note_rollback(int rank, double restart_s, double recompute_s);
   /// Structured stall diagnosis, set only when the run stopped without all
   /// ranks finishing under OnStall::kDiagnose; nullptr otherwise.
   const StallDiagnosis* stall() const { return stall_ ? &*stall_ : nullptr; }
@@ -175,7 +214,9 @@ class Engine {
   // (completion-time attribution, exactly like reading hardware counters at
   // marker boundaries), and whatever runs outside any marker lands in the
   // implicit root region 0.  Summing all regions of a rank therefore
-  // reproduces counters(rank) identically.
+  // reproduces counters(rank) identically.  During the run each partition
+  // grows its own region forest; run() grafts them into one tree, so the
+  // accessors below are valid once run() returns.
   bool regions_enabled() const { return cfg_.enable_regions; }
   void region_begin(int rank, std::string_view name);
   void region_end(int rank) noexcept;
@@ -198,7 +239,7 @@ class Engine {
   RankCounters measured(int rank) const;
   /// True once the rank called begin_measurement().
   bool is_measuring(int rank) const {
-    return measuring_[static_cast<std::size_t>(rank)];
+    return measuring_[static_cast<std::size_t>(rank)] != 0;
   }
   /// Virtual time of the rank's begin_measurement() call (0 if it never
   /// measured).  Timeline intervals with t_begin >= this value are exactly
@@ -213,6 +254,7 @@ class Engine {
   /// Sum of measured counters over all ranks.
   RankCounters measured_total() const;
 
+  /// Merged event timeline (partition order; valid once run() returns).
   const Timeline& timeline() const { return timeline_; }
 
   // --- internal API used by Comm awaiters (not part of the public surface)
@@ -246,11 +288,13 @@ class Engine {
     int rank;
     std::coroutine_handle<> handle;
     /// >= 0: internal retransmission event -- `handle` is null and the value
-    /// indexes pending_deliveries_; -1: ordinary coroutine resume.
+    /// indexes the partition's pending_deliveries; -1: ordinary resume.
     std::int32_t deliver = -1;
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+    /// Strict total order (seqs are unique within a partition): the event
+    /// heap's pop sequence is independent of its internal layout.
+    bool operator<(const Event& o) const {
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
     }
   };
 
@@ -302,13 +346,12 @@ class Engine {
   // so the common exact-match case is a hash probe plus an O(1) FIFO pop.
   // Wildcards fall back to a min-seq scan over the dense slot pool, which
   // preserves MPI's non-overtaking arrival-order semantics: sequence numbers
-  // are globally monotonic, so "earliest matching entry" is well defined and
-  // independent of hash-table layout.
+  // are monotonic per destination partition, so "earliest matching entry" is
+  // well defined and independent of hash-table layout.
   //
-  // The index is a custom open-addressing table (not std::unordered_map):
-  // drained FIFOs keep their slot and reuse its capacity, so steady-state
-  // traffic performs no allocation at all — the per-message node mallocs of
-  // a node-based map dominate the match cost otherwise.
+  // The flat-queue primitives (MovingHeadFifo, KeyedFifos, FlatHeap) live in
+  // simmpi/queues.hpp; drained FIFOs keep their slot and reuse its capacity,
+  // so steady-state traffic performs no allocation at all.
 
   /// Pack a concrete (src, tag) into one hash key.
   static std::uint64_t match_key(int src, int tag) {
@@ -317,90 +360,8 @@ class Engine {
            static_cast<std::uint32_t>(tag);
   }
 
-  /// FIFO over a vector with a moving head: O(1) amortized push/pop and no
-  /// per-node allocation in steady state (capacity is reused after drain).
   template <typename T>
-  struct Fifo {
-    std::vector<T> items;
-    std::size_t head = 0;
-    bool empty() const { return head == items.size(); }
-    const T& front() const { return items[head]; }
-    T& front() { return items[head]; }
-    void push(T&& v) {
-      if (head >= 32 && head * 2 >= items.size()) {
-        items.erase(items.begin(),
-                    items.begin() + static_cast<std::ptrdiff_t>(head));
-        head = 0;
-      }
-      items.push_back(std::move(v));
-    }
-    T pop() {
-      T v = std::move(items[head]);
-      if (++head == items.size()) {
-        items.clear();
-        head = 0;
-      }
-      return v;
-    }
-  };
-
-  /// Open-addressed map from packed (src, tag) keys to FIFOs pooled in a
-  /// dense slot vector.  Slots are never removed; a drained FIFO keeps its
-  /// storage for the next message with the same key.
-  template <typename T>
-  struct KeyedFifos {
-    static constexpr std::uint32_t kNoSlot = UINT32_MAX;
-    struct Slot {
-      std::uint64_t key;
-      Fifo<T> fifo;
-    };
-    std::vector<Slot> slots;           // one per distinct key seen
-    std::vector<std::uint32_t> table;  // power-of-two open addressing
-
-    static std::size_t mix(std::uint64_t key) {
-      key ^= key >> 33;
-      key *= 0xff51afd7ed558ccdull;
-      key ^= key >> 33;
-      return static_cast<std::size_t>(key);
-    }
-    void rehash(std::size_t cap) {
-      table.assign(cap, kNoSlot);
-      const std::size_t mask = cap - 1;
-      for (std::uint32_t s = 0; s < slots.size(); ++s) {
-        std::size_t i = mix(slots[s].key) & mask;
-        while (table[i] != kNoSlot) i = (i + 1) & mask;
-        table[i] = s;
-      }
-    }
-    /// FIFO for `key`, creating its slot on first use.
-    Fifo<T>& fifo_for(std::uint64_t key) {
-      if (slots.size() * 4 >= table.size() * 3)
-        rehash(table.empty() ? 16 : table.size() * 2);
-      const std::size_t mask = table.size() - 1;
-      std::size_t i = mix(key) & mask;
-      while (table[i] != kNoSlot) {
-        if (slots[table[i]].key == key) return slots[table[i]].fifo;
-        i = (i + 1) & mask;
-      }
-      table[i] = static_cast<std::uint32_t>(slots.size());
-      slots.push_back(Slot{key, {}});
-      return slots.back().fifo;
-    }
-    /// FIFO for `key` if present and non-empty, else nullptr.
-    Fifo<T>* lookup(std::uint64_t key) {
-      if (table.empty()) return nullptr;
-      const std::size_t mask = table.size() - 1;
-      std::size_t i = mix(key) & mask;
-      while (table[i] != kNoSlot) {
-        if (slots[table[i]].key == key) {
-          Fifo<T>& f = slots[table[i]].fifo;
-          return f.empty() ? nullptr : &f;
-        }
-        i = (i + 1) & mask;
-      }
-      return nullptr;
-    }
-  };
+  using Fifo = MovingHeadFifo<T>;
 
   /// Queues shorter than this stay in a flat arrival-ordered vector: real
   /// proxy traffic keeps 1-2 entries pending per destination, where one
@@ -472,8 +433,8 @@ class Engine {
         q = promoted->keyed.lookup(match_key(src, tag));
       } else {
         // Wildcard: min front seq among matching keys.  Sequence numbers are
-        // globally monotonic, so this is deterministic regardless of table
-        // layout and equals "earliest arrival".
+        // monotonic per destination, so this is deterministic regardless of
+        // table layout and equals "earliest arrival".
         for (auto& slot : promoted->keyed.slots) {
           if (slot.fifo.empty()) continue;
           const T& f = slot.fifo.front();
@@ -611,9 +572,123 @@ class Engine {
     }
   };
 
+  // --- cross-partition mailboxes ----------------------------------------
+  //
+  // A partition may not touch another partition's state directly.  Anything
+  // with a remote effect is deposited into a mailbox owned by the *sending*
+  // partition and drained by the receiving partition at the next window
+  // boundary.  Three kinds exist:
+  //  - kEagerMsg: an eager message; the receiver assigns its sequence number
+  //    at ingest, so arrival order (and hence matching) is deterministic.
+  //  - kRzvSend: a rendezvous announcement (the RTS); matched against posted
+  //    receives at ingest exactly like a locally initiated one.
+  //  - kWake: the sender-side completion of a cross-partition rendezvous
+  //    pair, shipped back so the sender's partition does its own accounting
+  //    and resume.
+  struct CrossMsg {
+    enum class Kind : std::uint8_t { kEagerMsg, kRzvSend, kWake };
+    Kind kind = Kind::kEagerMsg;
+    /// Emission time (sender's virtual clock): the primary ingest-order key.
+    /// For kEagerMsg/kRzvSend this is the send-initiation time, which equals
+    /// the order the serial engine would have sequenced them in.
+    double time = 0.0;
+    Message msg{};  // kEagerMsg
+    RzvSend rzv{};  // kRzvSend
+    // kWake payload: completion of rzv at virtual time wake_tc.
+    int wake_rank = -1;
+    double wake_t_ready = 0.0;
+    double wake_tc = 0.0;
+    std::coroutine_handle<> wake_handle{};
+    std::int64_t wake_request = -1;
+  };
+
+  struct PendingDelivery {  // dropped eager message awaiting retransmission
+    Message msg;
+    int attempt = 0;  // attempt number of the *next* delivery
+  };
+
+  /// (parent, name) -> node id; transparent comparator so lookups take a
+  /// string_view without materializing a std::string.
+  struct RegionKeyLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+
+  /// One rank partition (= one cluster node).  Everything here is touched
+  /// only by the worker currently executing the partition; synchronization
+  /// happens exclusively at window-boundary barriers.
+  struct Partition {
+    int id = 0;
+    std::vector<int> ranks;  // world ranks, ascending
+
+    /// Event arena: flat 4-ary heap over plain Event values -- no per-event
+    /// allocation, pop order strictly (time, seq).
+    FlatHeap<Event> events;
+    /// Shared by events, messages and posted receives, exactly like the old
+    /// global counter (single-partition runs reproduce it verbatim).
+    std::uint64_t next_seq = 0;
+    std::uint64_t events_processed = 0;
+    std::uint64_t horizon_syncs = 0;
+    std::uint64_t cross_sent = 0;
+    std::uint64_t cross_ingested = 0;
+    std::size_t event_hwm = 0;
+    int done_count = 0;
+    int crashed_count = 0;
+    double rzv_stall_s = 0.0;
+
+    /// Mailboxes by destination partition.  out_exec is filled during the
+    /// execution phase and drained at the following boundary; out_wake is
+    /// filled *during* ingest (rendezvous completions discovered while
+    /// draining) and double-buffered by window parity so the write side
+    /// never races the read side.
+    std::vector<std::vector<CrossMsg>> out_exec;
+    std::vector<std::vector<CrossMsg>> out_wake[2];
+
+    // Fault machinery: retransmission slots referenced by Event::deliver.
+    std::vector<PendingDelivery> pending_deliveries;
+    std::vector<std::size_t> free_delivery_slots;
+    ResilienceLog res_log;
+
+    Timeline timeline;
+
+    // Partition-local region forest (node ids local; accumulators indexed by
+    // [local node][local rank index]).  Grafted into one tree by run().
+    std::vector<RegionNode> region_nodes;
+    std::map<std::pair<int, std::string>, int, RegionKeyLess> region_lookup;
+    std::vector<std::vector<RankCounters>> region_accum;
+    std::vector<std::vector<std::int64_t>> region_visits;
+  };
+
+  Partition& partition_of_rank(int rank) {
+    return partitions_[static_cast<std::size_t>(
+        partition_of_rank_[static_cast<std::size_t>(rank)])];
+  }
+
   // --- scheduling -----------------------------------------------------
   void schedule(double time, int rank, std::coroutine_handle<> h);
   void on_rank_done(int rank);
+
+  /// Exact replica of the original single-queue loop, on partition 0.
+  void run_serial();
+  /// Conservative windowed loop over >= 2 partitions (1..N worker threads).
+  void run_windowed();
+  /// Pops and executes every event of `p` with time < horizon.
+  void exec_window(Partition& p, double horizon);
+  /// Drains all mailboxes addressed to `p` in deterministic order.
+  void ingest(Partition& p);
+  /// Deposits a cross-partition message from `from` (registers the mailbox
+  /// with the destination's reader list on first touch per phase).
+  void emit_cross(Partition& from, int dst_partition, CrossMsg&& cm);
+  /// Window-boundary bookkeeping: next horizon, termination, wake parity.
+  /// Runs single-threaded (barrier completion step).
+  void compute_window();
+  /// Post-run: conservation check, resilience-log / region-forest / timeline
+  /// merges across partitions.
+  void merge_partitions();
 
   // Attempts to match a newly deposited eager message / rendezvous send
   // against posted receives (and vice versa).
@@ -627,13 +702,17 @@ class Engine {
   void account(int rank, Activity a, double t0, double t1,
                std::string_view label);
   Activity effective_activity(int rank, Activity a) const;
+  /// Appends a fully built interval to the owning partition's timeline
+  /// (stamps the partition id; used by collectives' ActivityScope).
+  void record_interval(int rank, TraceInterval iv);
 
   // --- fault injection / watchdog ---------------------------------------
   /// Deposits `m` at the receiver or, if the injector drops it, arranges a
   /// retransmission (or declares it lost).  `attempt` 0 = first delivery.
+  /// Must run in the partition owning m.dst.
   void deliver_or_retry(Message&& m, int attempt);
   void schedule_retransmit(Message&& m, int next_attempt, double not_before);
-  void process_retransmit(std::size_t slot, double now);
+  void process_retransmit(Partition& p, std::size_t slot, double now);
   StallDiagnosis build_stall_diagnosis() const;
   /// Stall reaction per cfg_.watchdog (throw or record); called at run()
   /// exit when not all ranks finished.
@@ -642,7 +721,7 @@ class Engine {
   // Closes the current attribution window of `rank`: credits everything the
   // counters accumulated since the last flush to the innermost open region.
   void flush_region_window(int rank);
-  int region_child(int parent, std::string_view name);
+  int region_child(Partition& p, int parent, std::string_view name);
 
   EngineConfig cfg_;
   std::unique_ptr<ComputeModel> default_compute_;
@@ -650,34 +729,32 @@ class Engine {
   const ComputeModel* compute_;
   const NetworkModel* network_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t events_processed_ = 0;
+  double lookahead_ = 0.0;
+  std::vector<Partition> partitions_;
+  std::vector<int> partition_of_rank_;  // rank -> partition id
+  std::vector<int> rank_local_idx_;     // rank -> index in partition ranks
 
   std::vector<double> clock_;
   std::vector<RankCounters> counters_;
   std::vector<RankCounters> snapshot_;
   std::vector<double> measure_begin_;
-  std::vector<bool> measuring_;
-  std::vector<bool> done_;
-  int done_count_ = 0;
+  // Per-rank flags as bytes, not vector<bool>: each rank's flag is a
+  // distinct memory location, so owner-partition writes never race.
+  std::vector<char> measuring_;
+  std::vector<char> done_;
 
   std::vector<MsgIndex<Message>> unexpected_;  // index per dst rank
   std::vector<MsgIndex<RzvSend>> rzv_sends_;   // index per dst rank
   std::vector<PostedIndex> posted_;            // index per dst rank
-  std::vector<RequestState> requests_;
+  /// Nonblocking-op state per owning rank; a request id packs
+  /// (rank << 32 | slot) so all request traffic stays partition-local.
+  std::vector<std::vector<RequestState>> requests_;
 
   // --- fault-injection state (only populated when cfg_.faults) -----------
-  struct PendingDelivery {  // dropped eager message awaiting retransmission
-    Message msg;
-    int attempt = 0;  // attempt number of the *next* delivery
-  };
-  std::vector<PendingDelivery> pending_deliveries_;
-  std::vector<std::size_t> free_delivery_slots_;
+  bool hard_crash_mode_ = false;
   std::vector<char> crashed_;        // per rank; hard-crash mode only
   std::vector<double> crash_time_;   // per rank; kNoCrash when healthy
-  int crashed_count_ = 0;
-  ResilienceLog res_log_;
+  ResilienceLog res_log_;            // merged by run()
   std::optional<StallDiagnosis> stall_;
 
   // Per-rank activity override stack (collectives attribute inner p2p time
@@ -685,28 +762,34 @@ class Engine {
   std::vector<std::vector<Activity>> activity_stack_;
 
   // --- region profiling state (allocated only when enable_regions) -------
-  std::vector<RegionNode> region_nodes_;  // node 0 = root "(untracked)"
-  /// (parent, name) -> node id; transparent comparator so lookups take a
-  /// string_view without materializing a std::string.
-  struct RegionKeyLess {
-    using is_transparent = void;
-    template <typename A, typename B>
-    bool operator()(const A& a, const B& b) const {
-      if (a.first != b.first) return a.first < b.first;
-      return std::string_view(a.second) < std::string_view(b.second);
-    }
-  };
-  std::map<std::pair<int, std::string>, int, RegionKeyLess> region_lookup_;
+  // Per-rank runtime state; node ids refer to the owning partition's forest.
   std::vector<std::vector<int>> region_stack_;     // per rank; starts {0}
   std::vector<RankCounters> region_window_;        // per rank window snapshot
-  std::vector<std::vector<RankCounters>> region_accum_;  // [node][rank]
+  // Merged forest, filled by run(): node 0 = root "(untracked)".
+  std::vector<RegionNode> region_nodes_;
+  std::vector<std::vector<RankCounters>> region_accum_;   // [node][rank]
   std::vector<std::vector<std::int64_t>> region_visits_;  // [node][rank]
 
-  double rzv_stall_s_ = 0.0;
+  // --- windowed-run shared control ---------------------------------------
+  // horizon_/stop_/wake_parity_ are written only inside the window-boundary
+  // completion step (single-threaded, under the barrier's lock) and read by
+  // workers after the barrier releases them.
+  double horizon_ = 0.0;
+  bool stop_ = false;
+  int wake_parity_ = 0;
+  std::atomic<bool> aborted_{false};
+  /// Reader lists: which source partitions deposited into mailboxes of
+  /// destination q this phase (slot q*P+i).  Writers register with an atomic
+  /// counter on first touch; readers drain after the phase barrier, so scans
+  /// cost O(active pairs), not O(P^2).
+  std::vector<std::atomic<std::uint32_t>> cross_nsrc_;
+  std::vector<std::uint32_t> cross_src_;
+  std::vector<std::atomic<std::uint32_t>> wake_nsrc_[2];
+  std::vector<std::uint32_t> wake_src_[2];
 
   std::vector<std::coroutine_handle<Task<>::promise_type>> roots_;
   std::vector<std::unique_ptr<Comm>> comms_;
-  Timeline timeline_;
+  Timeline timeline_;  // merged by run()
   bool ran_ = false;
 };
 

@@ -60,6 +60,18 @@ class NetworkModel {
                                     double /*now*/) const {
     return control_latency(src, dst, placement);
   }
+  /// Conservative lower bound on the delay of ANY cross-node interaction a
+  /// rank can initiate: no message, control packet, or completion emitted by
+  /// a rank on one node may affect a rank on another node sooner than this
+  /// many simulated seconds later, at any virtual time.  The parallel engine
+  /// uses it as the synchronization-window width (LogGP floor: max(L, o)
+  /// bounds transfers from below, and the rendezvous handshake pays the
+  /// control latency L twice, so L alone is a valid global floor).  The
+  /// default -- no guaranteed floor -- disables partitioned execution, which
+  /// keeps models that never considered the question correct.
+  virtual double cross_node_lookahead(const Placement& /*placement*/) const {
+    return 0.0;
+  }
 };
 
 /// Fixed-rate compute model: 1 Gflop/s scalar, 8 Gflop/s SIMD, 10 GB/s memory;
@@ -111,6 +123,11 @@ class SimpleNetworkModel final : public NetworkModel {
   }
   double control_latency(int src, int dst, const Placement& p) const override {
     return p.same_node(src, dst) ? intra_lat_ : lat_;
+  }
+  double cross_node_lookahead(const Placement&) const override {
+    // Inter-node latency enters both the in-flight time and the control
+    // path, so lat_ bounds every cross-node interaction.
+    return lat_;
   }
 
  private:

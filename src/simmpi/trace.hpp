@@ -30,6 +30,9 @@ struct TraceInterval {
   /// Innermost region open when the interval was accounted (0 = root /
   /// regions disabled); lets the energy timeline attribute per-region.
   int region = 0;
+  /// Engine partition (= cluster node group) that executed the interval;
+  /// 0 on serial runs.  The Chrome trace export groups tracks by it.
+  int partition = 0;
 };
 
 class Timeline {

@@ -1,0 +1,96 @@
+// Bit-identity of the partitioned engine through the full stack: for every
+// proxy app on both clusters, a two-node run produces byte-identical
+// RunReport JSON whatever the worker-thread count -- including a
+// crash/recovery fault-plan run.  The RunReport carries every simulated
+// quantity (metrics, power, per-rank counters, regions, time series, energy
+// timeline, resilience log), so byte equality of the artifact is the
+// strongest end-to-end determinism statement the repo can make.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "core/spechpc.hpp"
+#include "machine/topology.hpp"
+#include "resilience/resilience.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+namespace res = spechpc::resilience;
+
+namespace {
+
+/// One small but fully instrumented two-node run -> canonical report JSON.
+std::string report_json(const std::string& app_name,
+                        const mach::ClusterSpec& cluster, int threads,
+                        const res::FaultPlan* plan = nullptr) {
+  auto app = core::make_app(app_name, core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.trace = true;    // exercise timeline + energy-series merging
+  opts.regions = true;  // and the cross-partition region-forest graft
+  opts.engine_threads = threads;
+  if (plan) {
+    opts.faults = plan;
+    app->set_fault_plan(plan);
+    opts.watchdog.on_stall = spechpc::sim::WatchdogConfig::OnStall::kDiagnose;
+  }
+  const core::RunResult r = core::run_benchmark(
+      *app, cluster, mach::block_placement_on_nodes(cluster, 16, 2), opts);
+  perf::RunReport rep =
+      core::build_report(r, cluster, app_name, "tiny");
+  if (plan) rep.resilience.plan_json = plan->to_json();
+  return perf::to_json(rep);
+}
+
+class ParallelIdentity : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(ParallelIdentity, ReportBytesIdenticalAcrossThreadsOnBothClusters) {
+  const std::string app(GetParam());
+  for (const auto& cluster : {mach::cluster_a(), mach::cluster_b()}) {
+    const std::string ref = report_json(app, cluster, 1);
+    // Two nodes -> two partitions; the report must not depend on how many
+    // workers drove them.
+    EXPECT_NE(ref.find("\"partition_count\":2"), std::string::npos)
+        << app << " on " << cluster.name << " did not partition";
+    for (int threads : {2, 4, 8}) {
+      const std::string got = report_json(app, cluster, threads);
+      ASSERT_EQ(ref, got) << app << " on " << cluster.name << " diverged at "
+                          << threads << " threads";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProxies, ParallelIdentity,
+                         ::testing::ValuesIn(core::app_names()),
+                         [](const auto& info) {
+                           std::string name(info.param);
+                           for (char& c : name)  // "sph-exa" -> "sph_exa"
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST(ParallelIdentityFaults, CrashRecoveryRunIsThreadCountInvariant) {
+  // Transient crash + checkpoint/rollback on a two-node lbm run: the
+  // resilience log, degraded metrics, and fault events must all survive the
+  // partition merge byte-identically at every thread count.
+  const res::FaultPlan plan = res::FaultPlan::parse(R"({
+    "crashes": [{"rank": 2, "time": 1e-9}],
+    "checkpoint": {"interval_steps": 2, "state_bytes_per_rank": 65536,
+                   "restart_delay_s": 1e-4}
+  })");
+  const std::string ref = report_json("lbm", mach::cluster_a(), 1, &plan);
+  EXPECT_NE(ref.find("\"rollbacks\":"), std::string::npos);
+  for (int threads : {2, 4, 8}) {
+    const std::string got =
+        report_json("lbm", mach::cluster_a(), threads, &plan);
+    ASSERT_EQ(ref, got) << "fault-plan run diverged at " << threads
+                        << " threads";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Flat queue primitives (simmpi/queues.hpp): FIFO semantics, the memory
+// retention bound of MovingHeadFifo's two-sided compaction, KeyedFifos
+// open addressing across rehashes, and FlatHeap's strict-total-order pop
+// sequence (the property that makes it a bit-identical drop-in for the
+// engine's former std::priority_queue).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "simmpi/queues.hpp"
+
+namespace sim = spechpc::sim;
+
+namespace {
+
+using Fifo = sim::MovingHeadFifo<int>;
+
+TEST(MovingHeadFifo, FifoOrderAgainstDequeReference) {
+  Fifo f;
+  std::deque<int> ref;
+  std::mt19937 rng(7);
+  int next = 0;
+  for (int step = 0; step < 100000; ++step) {
+    if (ref.empty() || rng() % 3 != 0) {
+      f.push(next + 0);
+      ref.push_back(next++);
+    } else {
+      ASSERT_EQ(f.front(), ref.front());
+      ASSERT_EQ(f.pop(), ref.front());
+      ref.pop_front();
+    }
+    ASSERT_EQ(f.size(), ref.size());
+    ASSERT_EQ(f.empty(), ref.empty());
+  }
+}
+
+TEST(MovingHeadFifo, DrainWithoutPushesReleasesMemoryWhileDraining) {
+  // The fan-in regime: a deep pile-up is drained with no interleaved pushes.
+  // Pop-side compaction must keep the retained buffer proportional to the
+  // *live* entries, not pinned at the high-water mark until empty.
+  constexpr int kDepth = 100000;
+  Fifo f;
+  for (int i = 0; i < kDepth; ++i) f.push(i + 0);
+  ASSERT_EQ(f.items.size(), static_cast<std::size_t>(kDepth));
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_EQ(f.pop(), i);
+    // Bounded-RSS invariant: consumed prefix never exceeds the live suffix
+    // by more than the compaction hysteresis, so the backing vector holds
+    // at most ~2x the live entries (+ the constant threshold).
+    ASSERT_LE(f.head, f.size() + Fifo::kCompactMin)
+        << "retained prefix unbounded at pop " << i;
+    ASSERT_LE(f.items.size(), 2 * f.size() + 2 * Fifo::kCompactMin)
+        << "backing vector pinned at high-water mark at pop " << i;
+  }
+  EXPECT_TRUE(f.empty());
+  // A one-off pile-up beyond the idle threshold returns its capacity.
+  EXPECT_LE(f.items.capacity(), Fifo::kIdleCapacity);
+}
+
+TEST(MovingHeadFifo, SmallIdleBufferKeepsCapacityForReuse) {
+  Fifo f;
+  for (int i = 0; i < 100; ++i) f.push(i + 0);
+  const std::size_t cap_full = f.items.capacity();
+  for (int i = 0; i < 100; ++i) f.pop();
+  EXPECT_TRUE(f.empty());
+  // Under the idle threshold the buffer is kept: steady-state traffic must
+  // not re-allocate every window.
+  EXPECT_EQ(f.items.capacity(), cap_full);
+}
+
+TEST(KeyedFifos, ManyKeysSurviveRehashAndKeepFifoOrder) {
+  sim::KeyedFifos<std::uint64_t> kf;
+  constexpr std::uint64_t kKeys = 300;  // several rehash generations
+  constexpr std::uint64_t kPerKey = 17;
+  for (std::uint64_t v = 0; v < kKeys * kPerKey; ++v)
+    kf.fifo_for((v % kKeys) << 20).push(v + 0);
+  ASSERT_EQ(kf.slots.size(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    auto* f = kf.lookup(k << 20);
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(f->size(), kPerKey);
+    std::uint64_t expect = k;
+    while (!f->empty()) {
+      EXPECT_EQ(f->pop(), expect);
+      expect += kKeys;
+    }
+  }
+  // Drained FIFOs stay registered but lookup() hides them.
+  EXPECT_EQ(kf.lookup(0), nullptr);
+  EXPECT_EQ(kf.lookup(std::uint64_t{999} << 20), nullptr);  // never inserted
+}
+
+struct Ev {
+  double time;
+  std::uint64_t seq;
+  bool operator<(const Ev& o) const {
+    return time != o.time ? time < o.time : seq < o.seq;
+  }
+  bool operator>(const Ev& o) const { return o < *this; }
+};
+
+TEST(FlatHeap, PopSequenceMatchesPriorityQueueOnTiedTimes) {
+  // Heavy time collisions force the (time, seq) tie-break to decide: the
+  // 4-ary flat heap must pop in exactly the order the engine's former
+  // std::priority_queue (min-heap via greater<>) produced.
+  std::mt19937 rng(42);
+  sim::FlatHeap<Ev> flat;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> ref;
+  std::uint64_t seq = 0;
+  for (int step = 0; step < 50000; ++step) {
+    if (ref.empty() || rng() % 5 < 3) {
+      Ev e{static_cast<double>(rng() % 64), seq++};
+      flat.push(Ev{e});
+      ref.push(e);
+    } else {
+      const Ev want = ref.top();
+      ref.pop();
+      const Ev got = flat.pop();
+      ASSERT_EQ(got.time, want.time);
+      ASSERT_EQ(got.seq, want.seq);
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    const Ev want = ref.top();
+    ref.pop();
+    const Ev got = flat.pop();
+    ASSERT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(flat.empty());
+}
+
+}  // namespace

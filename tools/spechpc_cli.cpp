@@ -11,7 +11,7 @@
 //   spechpc_cli zplot <app> [--cluster A|B] [--workload tiny|small]
 //                     [--max-ranks N] [--steps N] [--jobs N]
 //                     [--freq f1,f2,...] [--report out.json]
-//   spechpc_cli trace <app> [--cluster A|B] [--ranks N]
+//   spechpc_cli trace <app> [--cluster A|B] [--ranks N | --nodes N]
 //                     [--format ascii|csv|chrome] [--out FILE]
 #include <charconv>
 #include <cstring>
@@ -41,6 +41,7 @@ struct Args {
   int steps = 3;
   int max_ranks = 0;
   int jobs = 1;  // sweep workers; 0 = auto (SPECHPC_JOBS or all cores)
+  int engine_threads = 1;  // run: partitioned-engine worker threads
   bool eager = false;
   bool regions = false;
   bool progress = false;
@@ -62,13 +63,14 @@ int usage() {
          "                    [--ranks N | --nodes N] [--steps N] [--eager]\n"
          "                    [--regions] [--report out.json]\n"
          "                    [--faults plan.json] [--watchdog throw|diagnose]\n"
+         "                    [--engine-threads N]\n"
          "  spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]\n"
          "                    [--max-ranks N] [--jobs N] [--progress]\n"
          "                    [--report out.json]\n"
          "  spechpc_cli zplot <app> [--cluster A|B] [--workload tiny|small]\n"
          "                    [--max-ranks N] [--steps N] [--jobs N]\n"
          "                    [--freq f1,f2,...] [--report out.json]\n"
-         "  spechpc_cli trace <app> [--cluster A|B] [--ranks N]\n"
+         "  spechpc_cli trace <app> [--cluster A|B] [--ranks N | --nodes N]\n"
          "                    [--format ascii|csv|chrome] [--out FILE]\n";
   return 2;
 }
@@ -156,6 +158,13 @@ std::optional<Args> parse(int argc, char** argv) {
       a.max_ranks = next_int();
     } else if (flag == "--jobs") {
       a.jobs = next_int();
+    } else if (flag == "--engine-threads") {
+      a.engine_threads = next_int();
+      if (ok && a.engine_threads < 1) {
+        std::cerr << "error: flag --engine-threads expects N >= 1, got "
+                  << a.engine_threads << "\n";
+        ok = false;
+      }
     } else if (flag == "--freq") {
       // Comma-separated clock factors, e.g. "0.7,0.85,1.0".
       const std::string v = next();
@@ -235,6 +244,7 @@ int cmd_run(const Args& a) {
   // implies both collectors (they do not perturb the simulated results).
   opts.regions = a.regions || !a.report_out.empty();
   opts.trace = !a.report_out.empty();
+  opts.engine_threads = a.engine_threads;
 
   std::optional<resilience::FaultPlan> plan;
   if (!a.faults_path.empty()) {
@@ -413,7 +423,9 @@ int cmd_trace(const Args& a) {
   core::RunOptions opts;
   opts.trace = true;
   const int ranks = a.ranks.value_or(cluster.cpu.cores_per_domain());
-  const auto r = core::run_benchmark(*app, cluster, ranks, opts);
+  const auto r = a.nodes
+                     ? core::run_on_nodes(*app, cluster, *a.nodes, opts)
+                     : core::run_benchmark(*app, cluster, ranks, opts);
 
   // --format FMT [--out FILE] is the primary interface; the legacy
   // --chrome/--csv flags remain as spellings of the same thing.
