@@ -21,10 +21,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <functional>
 
 #include "bench_util.hpp"
+#include "perf/critpath.hpp"
+#include "perf/waitstate.hpp"
 #include "simmpi/comm.hpp"
 
 using namespace benchutil;
@@ -161,26 +164,46 @@ Row bench_fanin(int ranks, int per_rank) {
   });
 }
 
+/// Optimizer sink for the analysis results (their cost is the quantity
+/// under test; the values must not be dead-code-eliminated).
+volatile double g_analysis_sink = 0.0;
+
 /// Full-model 1664-rank proxy run (16 ClusterB nodes): the end-to-end
-/// single-run cost a sweep pays per point.
-Row bench_proxy(const std::string& name, int threads = 1) {
+/// single-run cost a sweep pays per point.  With `analyze` the run retains
+/// the event graph and the timed region additionally includes wait-state
+/// extraction and the critical-path walk, so (analyzed - base) / base is
+/// the full observability overhead.
+Row bench_proxy(const std::string& name, int threads = 1,
+                bool analyze = false) {
   const auto cl = mach::cluster_b();
-  return bench(name, 16 * cl.cores_per_node(), [&, threads](Row& out) {
-    auto app = core::make_app(name, core::Workload::kSmall);
-    app->set_measured_steps(10);
-    app->set_warmup_steps(2);
-    core::RunOptions opts;
-    opts.engine_threads = threads;
-    const auto r = core::run_on_nodes(*app, cl, 16, opts);
-    out.nodes = 16;
-    out.threads = threads;
-    out.events = r.engine().events_processed();
-    out.matches = total_matches(r.engine());
-    out.stats = r.engine().stats();
-  });
+  return bench(analyze ? name + "+analyze" : name, 16 * cl.cores_per_node(),
+               [&, threads, analyze](Row& out) {
+                 auto app = core::make_app(name, core::Workload::kSmall);
+                 app->set_measured_steps(10);
+                 app->set_warmup_steps(2);
+                 core::RunOptions opts;
+                 opts.engine_threads = threads;
+                 opts.analyze = analyze;
+                 const auto r = core::run_on_nodes(*app, cl, 16, opts);
+                 if (analyze) {
+                   const auto ws = perf::wait_state_rows(r.engine());
+                   const auto cp = perf::analyze_critical_path(
+                       r.engine().event_graph(), r.engine().nranks(),
+                       r.engine().elapsed());
+                   g_analysis_sink = g_analysis_sink + cp.length_s +
+                                     perf::wait_state_conservation_error(ws);
+                 }
+                 out.nodes = 16;
+                 out.threads = threads;
+                 out.events = r.engine().events_processed();
+                 out.matches = total_matches(r.engine());
+                 out.stats = r.engine().stats();
+               });
 }
 
-void write_json(const std::vector<Row>& rows, const std::string& path) {
+void write_json(const std::vector<Row>& rows,
+                const std::vector<std::pair<Row, Row>>& overhead,
+                const std::string& path) {
   std::ofstream f(path);
   f << "{\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -200,12 +223,31 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
       << ", \"hash_matches\": " << r.stats.hash_matches << "}"
       << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  f << "  ]\n}\n";
+  f << "  ]";
+  if (!overhead.empty()) {
+    f << ",\n  \"analysis_overhead\": [\n";
+    for (std::size_t i = 0; i < overhead.size(); ++i) {
+      const auto& [base, analyzed] = overhead[i];
+      f << "    {\"app\": \"" << base.pattern << "\", \"ranks\": "
+        << base.ranks << ", \"base_seconds\": " << base.seconds
+        << ", \"analyzed_seconds\": " << analyzed.seconds
+        << ", \"overhead_pct\": "
+        << 100.0 * (analyzed.seconds - base.seconds) / base.seconds << "}"
+        << (i + 1 < overhead.size() ? "," : "") << "\n";
+    }
+    f << "  ]";
+  }
+  f << "\n}\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --analyze appends the observability-overhead comparison (graph
+  // retention + wait-state/critical-path analysis vs. the plain run).
+  bool with_analysis = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--analyze") == 0) with_analysis = true;
   std::vector<Row> rows;
   for (int ranks : {64, 512, 1664}) {
     // Event counts sized so each config runs in fractions of a second; the
@@ -227,6 +269,18 @@ int main() {
   rows.push_back(bench_proxy("lbm"));
   rows.push_back(bench_proxy("lbm", 8));
   rows.push_back(bench_proxy("minisweep"));
+
+  std::vector<std::pair<Row, Row>> overhead;  // (base, analyzed)
+  if (with_analysis) {
+    // Paper-scale 1664-rank runs with the full analysis pipeline in the
+    // timed region; the engineering target is < 10% wall overhead.
+    for (const char* name : {"lbm", "minisweep"}) {
+      const Row base = bench_proxy(name);
+      const Row analyzed = bench_proxy(name, 1, true);
+      rows.push_back(analyzed);
+      overhead.emplace_back(base, analyzed);
+    }
+  }
 
   section("engine throughput (host-side)");
   perf::Table t({"pattern", "ranks", "nodes", "thr", "parts", "host s",
@@ -252,7 +306,19 @@ int main() {
   }
   t.print(std::cout);
 
-  write_json(rows, "BENCH_engine.json");
+  if (!overhead.empty()) {
+    section("analysis overhead at 1664 ranks (--analyze; target < 10%)");
+    perf::Table ot({"app", "base s", "analyzed s", "overhead %"});
+    for (const auto& [base, analyzed] : overhead)
+      ot.add_row({base.pattern, perf::Table::num(base.seconds, 3),
+                  perf::Table::num(analyzed.seconds, 3),
+                  perf::Table::num(
+                      100.0 * (analyzed.seconds - base.seconds) / base.seconds,
+                      1)});
+    ot.print(std::cout);
+  }
+
+  write_json(rows, overhead, "BENCH_engine.json");
   std::cout << "wrote BENCH_engine.json\n";
   return 0;
 }

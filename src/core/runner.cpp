@@ -50,6 +50,8 @@ RunResult run_benchmark(const apps::AppProxy& app,
   if (faulty) cfg.faults = res.injector_.get();
   cfg.watchdog = opts.watchdog;
   cfg.threads = opts.engine_threads;
+  cfg.enable_graph = opts.analyze;
+  cfg.profile_host = opts.profile_host;
   res.engine_ = std::make_unique<sim::Engine>(std::move(cfg));
 
   res.engine_->run(
@@ -105,6 +107,27 @@ perf::RunReport build_report(const RunResult& result,
     if (engine.regions_enabled())
       rep.region_energy =
           power::attribute_region_energy(model, engine, rep.energy_timeline);
+  }
+  rep.wait_states = perf::wait_state_rows(engine);
+  if (engine.graph_enabled()) {
+    rep.critical_path = perf::analyze_critical_path(
+        engine.event_graph(), engine.nranks(), engine.elapsed());
+    // The engine owns region ids; resolve them to paths (and, when the run
+    // was traced with regions, to an energy-on-critical-path estimate that
+    // scales the region's attributed energy by its path share).
+    for (perf::CritRegionRow& row : rep.critical_path.by_region) {
+      row.path = engine.regions_enabled() ? "(untracked)" : "(all)";
+      for (const perf::RegionRow& reg : rep.regions)
+        if (reg.id == row.region) {
+          row.path = reg.path;
+          break;
+        }
+      for (const power::RegionEnergy& re : rep.region_energy)
+        if (re.path == row.path && re.time_s > 0.0) {
+          row.energy_j = re.total_j() / re.time_s * row.cp_s;
+          break;
+        }
+    }
   }
   if (engine.faults_enabled()) {
     rep.resilience.enabled = true;

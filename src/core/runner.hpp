@@ -38,6 +38,14 @@ struct RunOptions {
   /// count).  Results are bit-identical for every value; 1 keeps the run
   /// single-threaded.
   int engine_threads = 1;
+  /// Retain the per-rank event graph (EngineConfig::enable_graph) so
+  /// build_report can run wait-state/critical-path analysis.  Observation
+  /// only: simulated results are bit-identical either way.
+  bool analyze = false;
+  /// Measure host wall-clock inside the engine (EngineConfig::profile_host).
+  /// The resulting *_wall_s fields are non-deterministic and therefore
+  /// excluded from identity comparisons; everything else stays bit-exact.
+  bool profile_host = false;
 };
 
 /// One finished run: owns the engine (for timeline access) and the models.

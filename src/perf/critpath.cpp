@@ -1,0 +1,304 @@
+#include "perf/critpath.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace spechpc::perf {
+
+namespace {
+
+/// Chronological critical-path segments from the backward walk (which built
+/// them newest-first).
+void finalize_segments(CriticalPath& cp) {
+  std::reverse(cp.segments.begin(), cp.segments.end());
+  for (const CritSegment& s : cp.segments) {
+    cp.by_rank[static_cast<std::size_t>(s.rank)].cp_s += s.seconds();
+    cp.fault_s += s.fault_s;
+  }
+}
+
+}  // namespace
+
+CriticalPath analyze_critical_path(const std::vector<sim::GraphEvent>& graph,
+                                   int nranks, double makespan) {
+  CriticalPath cp;
+  cp.computed = true;
+  cp.makespan_s = makespan;
+  cp.by_rank.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    cp.by_rank[static_cast<std::size_t>(r)].rank = r;
+    cp.by_rank[static_cast<std::size_t>(r)].slack_s = makespan;
+  }
+  if (graph.empty() || nranks <= 0) return cp;
+
+  // Per-rank event lists ordered by (t1, t0); the engine guarantees each
+  // rank's events arrive in program order, so a stable sort keeps equal
+  // keys deterministic under any partitioning.  The end time rides along
+  // with each index so the hot passes below (merge refill, walk skip) read
+  // 16-byte rank-local entries instead of chasing 64-byte events.
+  struct Ev {
+    double t1;
+    std::uint32_t idx;
+  };
+  std::vector<std::vector<Ev>> byrank(static_cast<std::size_t>(nranks));
+  for (std::uint32_t i = 0; i < graph.size(); ++i) {
+    const sim::GraphEvent& e = graph[i];
+    if (e.rank >= 0 && e.rank < nranks)
+      byrank[static_cast<std::size_t>(e.rank)].push_back(Ev{e.t1, i});
+  }
+  const auto rank_order = [&graph](const Ev& a, const Ev& b) {
+    if (a.t1 != b.t1) return a.t1 < b.t1;
+    return graph[a.idx].t0 < graph[b.idx].t0;
+  };
+  for (auto& idx : byrank)  // program order already satisfies (t1, t0)
+    if (!std::is_sorted(idx.begin(), idx.end(), rank_order))
+      std::stable_sort(idx.begin(), idx.end(), rank_order);
+
+  // ---- backward walk ----------------------------------------------------
+  // Start at the rank whose last event ends the run; follow remotely-bound
+  // blocking intervals across ranks and local progress otherwise.  Every
+  // examined event is consumed (per-rank cursors only move down), so the
+  // walk terminates after at most |graph| + #gaps iterations.
+  int rank = -1;
+  double last = -std::numeric_limits<double>::infinity();
+  for (int r = 0; r < nranks; ++r) {
+    const auto& idx = byrank[static_cast<std::size_t>(r)];
+    if (idx.empty()) continue;
+    if (idx.back().t1 > last) {
+      last = idx.back().t1;
+      rank = r;
+    }
+  }
+  if (rank < 0) return cp;
+
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    cursor[static_cast<std::size_t>(r)] =
+        byrank[static_cast<std::size_t>(r)].size();
+
+  auto attribute = [&cp](int r, double a, double b, const sim::GraphEvent* ev,
+                         bool idle) {
+    if (b <= a) return;
+    CritSegment s;
+    s.rank = r;
+    s.t_begin = a;
+    s.t_end = b;
+    s.idle = idle;
+    if (ev) {
+      s.activity = ev->activity;
+      s.cls = ev->cls;
+      s.region = ev->region;
+      s.fault_s = std::min(ev->fault_s, b - a);
+    }
+    cp.segments.push_back(s);
+  };
+
+  double t = makespan;
+  while (t > 0.0) {
+    ++cp.steps;
+    const auto ri = static_cast<std::size_t>(rank);
+    const auto& idx = byrank[ri];
+    std::size_t& c = cursor[ri];
+    while (c > 0 && idx[c - 1].t1 > t) --c;  // skip off-path events
+    if (c == 0) {
+      // No recorded event before t on this rank: it sat unblocked (e.g. it
+      // started the run here).  Attribute the head as idle and stop.
+      attribute(rank, 0.0, t, nullptr, true);
+      t = 0.0;
+      break;
+    }
+    const sim::GraphEvent& ev = graph[idx[c - 1].idx];
+    if (ev.t1 < t) {
+      // Gap between recorded events: the rank was runnable but idle.
+      attribute(rank, ev.t1, t, nullptr, true);
+      t = ev.t1;
+      continue;  // re-examine ev at the gap's lower edge
+    }
+    --c;  // ev ends exactly at t: consume it
+    const bool remote = ev.origin_rank >= 0 && ev.origin_rank < nranks &&
+                        ev.origin_margin < 0.0 && ev.origin_time < t;
+    if (remote) {
+      // The interval was bound by the origin rank's action: charge the whole
+      // dependence span here (waiting class), continue at the origin.
+      attribute(rank, ev.origin_time, t, &ev, false);
+      t = ev.origin_time;
+      rank = ev.origin_rank;
+    } else {
+      attribute(rank, ev.t0, t, &ev, false);
+      t = ev.t0;
+    }
+  }
+  // Telescoping: each iteration moved t down to the next segment boundary,
+  // so the extracted length is exactly the walked distance (== makespan
+  // whenever the walk reached 0, which it does on every complete run).
+  cp.length_s = makespan - t;
+  finalize_segments(cp);
+
+  // ---- CPM total float ---------------------------------------------------
+  // Backward pass over every event, latest-ending first.  An event's float
+  // is the least over (a) its same-rank successor's float plus whatever
+  // slack that successor's remote binding can absorb, and (b) the floats of
+  // remote events it released, plus those dependences' spare margins.
+  // The global (t1 desc, rank asc, reverse-program-order) order is a k-way
+  // merge of the per-rank lists traversed backward: O(n log k) with a heap
+  // of one 16-byte cursor per rank, instead of an O(n log n) sort over the
+  // whole graph (the sort dominated the analysis at paper scale).
+  struct Cur {
+    double t1;
+    std::int32_t rank;
+    std::uint32_t pos;
+  };
+  const auto cur_less = [](const Cur& a, const Cur& b) {
+    if (a.t1 != b.t1) return a.t1 < b.t1;  // max-heap: largest t1 on top
+    return a.rank > b.rank;                // ties: smallest rank first
+  };
+  std::vector<Cur> heap;
+  heap.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const auto& idx = byrank[static_cast<std::size_t>(r)];
+    if (!idx.empty())
+      heap.push_back(
+          Cur{idx.back().t1, r, static_cast<std::uint32_t>(idx.size() - 1)});
+  }
+  std::make_heap(heap.begin(), heap.end(), cur_less);
+  std::vector<std::uint32_t> order;
+  order.reserve(graph.size());
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cur_less);
+    Cur c = heap.back();
+    heap.pop_back();
+    const auto& idx = byrank[static_cast<std::size_t>(c.rank)];
+    order.push_back(idx[c.pos].idx);
+    if (c.pos > 0) {
+      --c.pos;
+      c.t1 = idx[c.pos].t1;
+      heap.push_back(c);
+      std::push_heap(heap.begin(), heap.end(), cur_less);
+    }
+  }
+  std::vector<double> flt(graph.size(), 0.0);
+  constexpr double kNoSucc = -1.0;
+  std::vector<double> succ_float(static_cast<std::size_t>(nranks), kNoSucc);
+  std::vector<double> succ_absorb(static_cast<std::size_t>(nranks), 0.0);
+  // Cross-rank constraints waiting for the origin-rank event that completes
+  // at or before the release time: a max-heap by release time per rank
+  // (consumption folds with min, so pop order inside a batch is free --
+  // node-based maps cost an allocation per edge here).
+  struct Pend {
+    double time;
+    double slack;
+  };
+  const auto pend_less = [](const Pend& a, const Pend& b) {
+    return a.time < b.time;
+  };
+  std::vector<std::vector<Pend>> pending(static_cast<std::size_t>(nranks));
+  for (const std::uint32_t i : order) {
+    const sim::GraphEvent& e = graph[i];
+    const auto ri = static_cast<std::size_t>(e.rank);
+    double f = succ_float[ri] == kNoSucc ? makespan - e.t1
+                                         : succ_float[ri] + succ_absorb[ri];
+    auto& pend = pending[ri];
+    while (!pend.empty() && pend.front().time >= e.t1) {
+      f = std::min(f, pend.front().slack);
+      std::pop_heap(pend.begin(), pend.end(), pend_less);
+      pend.pop_back();
+    }
+    flt[i] = std::max(0.0, f);
+    if (e.origin_rank >= 0 && e.origin_rank < nranks) {
+      auto& opend = pending[static_cast<std::size_t>(e.origin_rank)];
+      opend.push_back(
+          Pend{e.origin_time, flt[i] + std::max(0.0, e.origin_margin)});
+      std::push_heap(opend.begin(), opend.end(), pend_less);
+    }
+    succ_float[ri] = flt[i];
+    succ_absorb[ri] =
+        e.origin_rank >= 0 ? std::max(0.0, -e.origin_margin) : 0.0;
+  }
+  for (std::uint32_t i = 0; i < graph.size(); ++i) {
+    auto& row = cp.by_rank[static_cast<std::size_t>(graph[i].rank)];
+    row.slack_s = std::min(row.slack_s, flt[i]);
+  }
+
+  // ---- per-region aggregation -------------------------------------------
+  // Region ids are small dense ints; flat arrays keep this pass at one
+  // streaming read per event (a map lookup per event dominated the whole
+  // analysis at 1664 ranks).
+  int max_region = 0;
+  for (const sim::GraphEvent& e : graph) max_region = std::max(max_region, e.region);
+  std::vector<double> region_slack(static_cast<std::size_t>(max_region) + 1,
+                                   makespan);
+  std::vector<double> region_cp(region_slack.size(), 0.0);
+  std::vector<char> region_seen(region_slack.size(), 0);
+  for (std::uint32_t i = 0; i < graph.size(); ++i) {
+    const auto rid = static_cast<std::size_t>(std::max(0, graph[i].region));
+    region_seen[rid] = 1;
+    region_slack[rid] = std::min(region_slack[rid], flt[i]);
+  }
+  for (const CritSegment& s : cp.segments) {
+    const auto rid = static_cast<std::size_t>(std::max(0, s.region));
+    region_seen[rid] = 1;
+    region_cp[rid] += s.seconds();
+  }
+  for (std::size_t rid = 0; rid < region_seen.size(); ++rid) {
+    if (!region_seen[rid]) continue;
+    CritRegionRow row;
+    row.region = static_cast<int>(rid);
+    row.slack_s = region_slack[rid];
+    row.cp_s = region_cp[rid];
+    cp.by_region.push_back(row);
+  }
+  return cp;
+}
+
+Table critical_path_class_table(const CriticalPath& cp) {
+  // Aggregate path seconds by what the bound rank was doing.
+  double compute = 0.0, idle = 0.0, fault = 0.0;
+  std::map<sim::WaitClass, double> waits;
+  for (const CritSegment& s : cp.segments) {
+    if (s.idle) {
+      idle += s.seconds();
+    } else if (s.activity == sim::Activity::kCompute) {
+      compute += s.seconds();
+    } else {
+      waits[s.cls] += s.seconds() - s.fault_s;
+      fault += s.fault_s;
+    }
+  }
+  Table t({"path component", "seconds", "share%"});
+  const double len = cp.length_s > 0.0 ? cp.length_s : 1.0;
+  auto emit = [&t, len](const char* name, double v) {
+    if (v <= 0.0) return;
+    t.add_row({name, Table::num(v, 6), Table::num(100.0 * v / len, 1)});
+  };
+  emit("compute", compute);
+  for (const auto& [cls, v] : waits) emit(sim::to_string(cls), v);
+  emit("fault_stall", fault);
+  emit("idle", idle);
+  t.add_row({"total", Table::num(cp.length_s, 6), "100"});
+  return t;
+}
+
+Table critical_path_rank_table(const CriticalPath& cp,
+                               std::size_t max_ranks) {
+  // Ranks by path share, descending; slack shows how far off the path the
+  // others are.
+  std::vector<CritRankRow> rows = cp.by_rank;
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const CritRankRow& a, const CritRankRow& b) {
+                     if (a.cp_s != b.cp_s) return a.cp_s > b.cp_s;
+                     return a.slack_s < b.slack_s;
+                   });
+  Table t({"rank", "cp[s]", "cp%", "slack[s]"});
+  const double len = cp.length_s > 0.0 ? cp.length_s : 1.0;
+  const std::size_t shown = std::min(rows.size(), max_ranks);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const CritRankRow& r = rows[i];
+    t.add_row({std::to_string(r.rank), Table::num(r.cp_s, 6),
+               Table::num(100.0 * r.cp_s / len, 1), Table::num(r.slack_s, 6)});
+  }
+  if (rows.size() > shown) t.add_row({"...", "", "", ""});
+  return t;
+}
+
+}  // namespace spechpc::perf

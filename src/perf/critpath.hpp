@@ -1,0 +1,80 @@
+// Exact critical-path extraction and slack analysis over the retained event
+// graph (EngineConfig::enable_graph; see simmpi/waitgraph.hpp).
+//
+// The walk starts at the event that ends the run and moves backwards: a
+// remotely-bound blocking interval (origin_margin < 0) jumps to the rank
+// whose action released it; everything else follows the rank's own earlier
+// events.  Attributed segments telescope, so the extracted length equals the
+// simulated makespan *exactly* (bitwise) -- there is no sampling and no
+// model, every dependence edge was recorded when it resolved.
+//
+// Slack is computed CPM-style as total float: how much each event could
+// slide without moving the makespan, propagated backwards through both
+// program-order and cross-rank dependence edges.  A rank's / region's slack
+// is the minimum float over its events; ranks on the critical path have
+// slack 0 by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/tables.hpp"
+#include "simmpi/waitgraph.hpp"
+
+namespace spechpc::perf {
+
+/// One attributed span of the critical path (chronological order).
+struct CritSegment {
+  int rank = -1;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  sim::Activity activity = sim::Activity::kCompute;
+  sim::WaitClass cls = sim::WaitClass::kNone;
+  double fault_s = 0.0;  ///< fault-stall seconds inside the span
+  int region = 0;        ///< region-node id (0 when regions were off)
+  bool idle = false;     ///< gap with no recorded event (rank sat unblocked)
+  double seconds() const { return t_end - t_begin; }
+};
+
+struct CritRankRow {
+  int rank = 0;
+  double cp_s = 0.0;     ///< seconds of the critical path attributed here
+  double slack_s = 0.0;  ///< min total float over the rank's events
+};
+
+struct CritRegionRow {
+  int region = 0;
+  std::string path;      ///< filled by the caller (engine owns the names)
+  double cp_s = 0.0;
+  double slack_s = 0.0;
+  double energy_j = 0.0;  ///< optional energy-on-critical-path estimate
+};
+
+struct CriticalPath {
+  bool computed = false;   ///< false when the run did not retain the graph
+  double makespan_s = 0.0;
+  /// Sum of attributed spans.  Telescoping makes this equal makespan_s
+  /// exactly; kept separate so tests can assert the identity.
+  double length_s = 0.0;
+  std::uint64_t steps = 0;     ///< backward-walk iterations
+  double fault_s = 0.0;        ///< fault-stall seconds on the path
+  std::vector<CritSegment> segments;     ///< chronological
+  std::vector<CritRankRow> by_rank;      ///< all ranks, ascending
+  std::vector<CritRegionRow> by_region;  ///< regions touched by any event
+};
+
+/// Walks the retained graph backwards from `makespan` (the engine's
+/// elapsed()) and computes per-rank/per-region slack.  `nranks` sizes the
+/// by_rank table; ranks with no graph events get cp 0 / slack makespan.
+/// Deterministic: depends only on per-rank event order, which the engine
+/// guarantees is program order under any partitioning or thread count.
+CriticalPath analyze_critical_path(const std::vector<sim::GraphEvent>& graph,
+                                   int nranks, double makespan);
+
+/// Per-class + per-rank summary tables of an extracted path.
+Table critical_path_class_table(const CriticalPath& cp);
+Table critical_path_rank_table(const CriticalPath& cp,
+                               std::size_t max_ranks = 16);
+
+}  // namespace spechpc::perf

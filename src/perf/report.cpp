@@ -1,5 +1,6 @@
 #include "perf/report.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -66,6 +67,9 @@ class Json {
   Json& value(std::int64_t v) { return raw(std::to_string(v)); }
   Json& value(int v) { return raw(std::to_string(v)); }
   Json& value(std::uint64_t v) { return raw(std::to_string(v)); }
+  Json& value(bool v) { return raw(v ? "true" : "false"); }
+  // Without this, a string literal would bind to the bool overload.
+  Json& value(const char* v) { return value(std::string_view(v)); }
   Json& value(std::string_view v) {
     comma();
     append_escaped(out_, v);
@@ -214,6 +218,95 @@ std::string to_json(const RunReport& r) {
         .kv("cross_messages_sent", ps.cross_messages_sent)
         .kv("cross_messages_ingested", ps.cross_messages_ingested)
         .kv("event_queue_hwm", ps.event_queue_hwm)
+        .end_obj();
+  }
+  j.end_arr();
+  j.end_obj();
+
+  // --- schema v3: wait states, critical path, partition profile ----------
+  // All three are emitted unconditionally (the validator requires every
+  // top-level key); critical_path carries {"computed":false} when the run
+  // did not retain the event graph.
+  j.key("wait_states").begin_arr();
+  for (const WaitStateRow& w : r.wait_states) {
+    j.begin_obj()
+        .kv("rank", w.rank)
+        .kv("late_sender_s", w.late_sender_s)
+        .kv("late_receiver_s", w.late_receiver_s)
+        .kv("collective_s", w.collective_s)
+        .kv("fault_stall_s", w.fault_stall_s)
+        .kv("mpi_s", w.mpi_s)
+        .end_obj();
+  }
+  j.end_arr();
+
+  const CriticalPath& cp = r.critical_path;
+  j.key("critical_path")
+      .begin_obj()
+      .kv("computed", cp.computed)
+      .kv("makespan_s", cp.makespan_s)
+      .kv("length_s", cp.length_s)
+      .kv("steps", cp.steps)
+      .kv("fault_stall_s", cp.fault_s);
+  j.key("by_rank").begin_arr();
+  for (const CritRankRow& row : cp.by_rank) {
+    j.begin_obj()
+        .kv("rank", row.rank)
+        .kv("cp_s", row.cp_s)
+        .kv("slack_s", row.slack_s)
+        .end_obj();
+  }
+  j.end_arr();
+  j.key("by_region").begin_arr();
+  for (const CritRegionRow& row : cp.by_region) {
+    j.begin_obj()
+        .kv("path", std::string_view(row.path))
+        .kv("cp_s", row.cp_s)
+        .kv("slack_s", row.slack_s)
+        .kv("energy_j", row.energy_j)
+        .end_obj();
+  }
+  j.end_arr();
+  // Segment dumps are bounded so a long run cannot balloon the artifact;
+  // segments_total records how many the walk actually produced.
+  constexpr std::size_t kMaxSegments = 10000;
+  j.kv("segments_total", static_cast<std::uint64_t>(cp.segments.size()));
+  j.key("segments").begin_arr();
+  const std::size_t nseg = std::min(cp.segments.size(), kMaxSegments);
+  for (std::size_t i = 0; i < nseg; ++i) {
+    const CritSegment& s = cp.segments[i];
+    j.begin_obj()
+        .kv("rank", s.rank)
+        .kv("t_begin", s.t_begin)
+        .kv("t_end", s.t_end)
+        .kv("activity", sim::to_string(s.activity))
+        .kv("class", s.idle ? "idle" : sim::to_string(s.cls))
+        .kv("fault_s", s.fault_s)
+        .end_obj();
+  }
+  j.end_arr();
+  j.end_obj();
+
+  j.key("partition_profile")
+      .begin_obj()
+      .kv("lookahead_s", e.lookahead_s)
+      .kv("host_profiled", e.host_profiled)
+      .kv("barrier_wait_s", e.barrier_wait_s);
+  j.key("partitions").begin_arr();
+  for (const sim::PartitionStats& ps : e.partitions) {
+    j.begin_obj()
+        .kv("id", ps.id)
+        .kv("nranks", ps.nranks)
+        .kv("events_processed", ps.events_processed)
+        .kv("horizon_syncs", ps.horizon_syncs)
+        .kv("empty_windows", ps.empty_windows)
+        .kv("cross_messages_sent", ps.cross_messages_sent)
+        .kv("cross_messages_ingested", ps.cross_messages_ingested)
+        .kv("cross_bytes_ingested", ps.cross_bytes_ingested)
+        .kv("event_queue_hwm", static_cast<std::uint64_t>(ps.event_queue_hwm))
+        .kv("rendezvous_stall_s", ps.rendezvous_stall_s)
+        .kv("exec_wall_s", ps.exec_wall_s)
+        .kv("ingest_wall_s", ps.ingest_wall_s)
         .end_obj();
   }
   j.end_arr();
@@ -543,7 +636,8 @@ const std::vector<std::string>& run_report_required_keys() {
       "schema_version", "workload",       "machine",
       "metrics",        "energy",         "ranks",
       "engine_stats",   "regions",        "energy_timeline",
-      "region_energy"};
+      "region_energy",  "wait_states",    "critical_path",
+      "partition_profile"};
   return keys;
 }
 

@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "machine/specs.hpp"
+#include "perf/critpath.hpp"
 #include "perf/metrics.hpp"
 #include "perf/region.hpp"
 #include "perf/timeseries.hpp"
+#include "perf/waitstate.hpp"
 #include "power/energy_timeline.hpp"
 #include "power/power_model.hpp"
 #include "simmpi/engine.hpp"
@@ -33,7 +35,11 @@ namespace spechpc::perf {
 /// v2: adds the always-present `energy_timeline` and `region_energy`
 /// sections (time-resolved power model; empty samples/rows on untraced
 /// runs) and per-rank `busy_simd_seconds` counters.
-inline constexpr int kRunReportSchemaVersion = 2;
+/// v3: adds the always-present `wait_states` (per-rank MPI-time
+/// classification), `critical_path` ({"computed":false} unless the run
+/// retained the event graph) and `partition_profile` (parallel-engine
+/// self-profiling) sections.
+inline constexpr int kRunReportSchemaVersion = 3;
 
 /// Degraded-run accounting: everything the fault-injection subsystem did to
 /// the run.  Only serialized when `enabled` (i.e. a fault plan was armed),
@@ -75,6 +81,12 @@ struct RunReport {
   power::EnergyTimeline energy_timeline;
   /// Per-region energy attribution (empty unless traced with regions).
   std::vector<power::RegionEnergy> region_energy;
+  /// Per-rank wait-state classification (always emitted; the accumulators
+  /// ride the normal accounting path).
+  std::vector<WaitStateRow> wait_states;
+  /// Exact critical path + slack ({"computed":false} unless the run retained
+  /// the event graph via RunOptions::analyze).
+  CriticalPath critical_path;
   ResilienceSection resilience;         ///< serialized only when enabled
 };
 

@@ -1,6 +1,9 @@
 #include "perf/trace_export.hpp"
 
+#include <map>
 #include <ostream>
+#include <set>
+#include <utility>
 
 namespace spechpc::perf {
 
@@ -32,9 +35,31 @@ void export_csv(const sim::Timeline& timeline, std::ostream& os) {
 }
 
 void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os,
-                         const power::EnergyTimeline* power) {
+                         const power::EnergyTimeline* power,
+                         const CriticalPath* critpath) {
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Name every partition "process" and rank "thread" up front; without the
+  // metadata records Perfetto labels the tracks with bare pid/tid numbers.
+  std::set<int> pids;
+  std::map<int, int> rank_pid;  // rank -> owning partition
+  for (const auto& iv : timeline.intervals()) {
+    pids.insert(iv.partition);
+    rank_pid.emplace(iv.rank, iv.partition);
+  }
+  for (int pid : pids) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"partition " << pid << "\"}}";
+  }
+  for (const auto& [rank, pid] : rank_pid) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << rank << ",\"args\":{\"name\":\"rank " << rank
+       << "\"}}";
+  }
   for (const auto& iv : timeline.intervals()) {
     if (!first) os << ',';
     first = false;
@@ -58,6 +83,33 @@ void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os,
       os << "{\"name\":\"power\",\"ph\":\"C\",\"pid\":0,\"ts\":"
          << s.t_begin * 1e6 << ",\"args\":{\"chip_w\":" << s.chip_w
          << ",\"dram_w\":" << s.dram_w << "}}";
+    }
+  }
+  if (critpath && critpath->computed) {
+    // Flow arrows along the critical path: one start/finish pair wherever
+    // consecutive (chronological) segments hand the path to another rank.
+    // Perfetto draws these as arrows between the rank tracks ("bp":"e"
+    // attaches the finish to the enclosing slice at that timestamp).
+    int flow_id = 0;
+    for (std::size_t i = 1; i < critpath->segments.size(); ++i) {
+      const CritSegment& prev = critpath->segments[i - 1];
+      const CritSegment& cur = critpath->segments[i];
+      if (cur.rank == prev.rank) continue;
+      auto pid_of = [&rank_pid](int rank) {
+        auto it = rank_pid.find(rank);
+        return it == rank_pid.end() ? 0 : it->second;
+      };
+      const double ts = cur.t_begin * 1e6;
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"critical path\",\"cat\":\"critpath\",\"ph\":\"s\","
+         << "\"id\":" << flow_id << ",\"pid\":" << pid_of(prev.rank)
+         << ",\"tid\":" << prev.rank << ",\"ts\":" << ts << "},"
+         << "{\"name\":\"critical path\",\"cat\":\"critpath\",\"ph\":\"f\","
+         << "\"bp\":\"e\",\"id\":" << flow_id << ",\"pid\":"
+         << pid_of(cur.rank) << ",\"tid\":" << cur.rank << ",\"ts\":" << ts
+         << "}";
+      ++flow_id;
     }
   }
   os << "],\"displayTimeUnit\":\"ms\"}";

@@ -4,6 +4,7 @@
 
 #include <iosfwd>
 
+#include "perf/critpath.hpp"
 #include "power/energy_timeline.hpp"
 #include "simmpi/trace.hpp"
 
@@ -14,11 +15,16 @@ namespace spechpc::perf {
 void export_csv(const sim::Timeline& timeline, std::ostream& os);
 
 /// Chrome trace-event format: complete ("X") events, one track per rank
-/// (pid 0, tid = rank), microsecond timestamps.  When `power` is non-null,
-/// its samples are additionally emitted as counter ("C") events — chip_w
-/// and dram_w tracks Perfetto renders as a power-over-time graph above the
-/// rank timelines.
+/// (pid = partition, tid = rank), microsecond timestamps, plus metadata
+/// ("M") records naming every partition process and rank thread so Perfetto
+/// shows "partition N" / "rank R" instead of bare numbers.  When `power` is
+/// non-null, its samples are additionally emitted as counter ("C") events —
+/// chip_w and dram_w tracks Perfetto renders as a power-over-time graph
+/// above the rank timelines.  When `critpath` is non-null (a computed
+/// CriticalPath from the same run), flow ("s"/"f") events draw arrows along
+/// the critical path wherever it hops between ranks.
 void export_chrome_trace(const sim::Timeline& timeline, std::ostream& os,
-                         const power::EnergyTimeline* power = nullptr);
+                         const power::EnergyTimeline* power = nullptr,
+                         const CriticalPath* critpath = nullptr);
 
 }  // namespace spechpc::perf

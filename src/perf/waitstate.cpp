@@ -1,0 +1,62 @@
+#include "perf/waitstate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spechpc::perf {
+
+std::vector<WaitStateRow> wait_state_rows(const sim::Engine& engine) {
+  std::vector<WaitStateRow> rows;
+  rows.reserve(static_cast<std::size_t>(engine.nranks()));
+  for (int r = 0; r < engine.nranks(); ++r) {
+    const sim::WaitStateSeconds& w = engine.wait_states(r);
+    WaitStateRow row;
+    row.rank = r;
+    row.late_sender_s = w.late_sender_s;
+    row.late_receiver_s = w.late_receiver_s;
+    row.collective_s = w.collective_s;
+    row.fault_stall_s = w.fault_stall_s;
+    row.mpi_s = engine.counters(r).mpi_time();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double wait_state_conservation_error(const std::vector<WaitStateRow>& rows) {
+  double worst = 0.0;
+  for (const WaitStateRow& r : rows)
+    worst = std::max(worst, std::abs(r.sum() - r.mpi_s) /
+                                std::max(1.0, std::abs(r.mpi_s)));
+  return worst;
+}
+
+Table wait_state_table(const std::vector<WaitStateRow>& rows,
+                       std::size_t max_ranks) {
+  Table t({"rank", "late_send[s]", "late_recv[s]", "collective[s]",
+           "fault[s]", "mpi[s]", "share%"});
+  WaitStateRow total;
+  for (const WaitStateRow& r : rows) {
+    total.late_sender_s += r.late_sender_s;
+    total.late_receiver_s += r.late_receiver_s;
+    total.collective_s += r.collective_s;
+    total.fault_stall_s += r.fault_stall_s;
+    total.mpi_s += r.mpi_s;
+  }
+  // share% = this rank's slice of all MPI seconds in the job.
+  auto emit = [&t, &total](const std::string& name, const WaitStateRow& r) {
+    t.add_row({name, Table::num(r.late_sender_s, 6),
+               Table::num(r.late_receiver_s, 6), Table::num(r.collective_s, 6),
+               Table::num(r.fault_stall_s, 6), Table::num(r.mpi_s, 6),
+               total.mpi_s > 0.0 ? Table::num(100.0 * r.mpi_s / total.mpi_s, 1)
+                                 : "-"});
+  };
+  const std::size_t shown = std::min(rows.size(), max_ranks);
+  for (std::size_t i = 0; i < shown; ++i)
+    emit(std::to_string(rows[i].rank), rows[i]);
+  if (rows.size() > shown)
+    t.add_row({"...", "", "", "", "", "", ""});
+  emit("total", total);
+  return t;
+}
+
+}  // namespace spechpc::perf

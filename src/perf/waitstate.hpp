@@ -1,0 +1,41 @@
+// Wait-state profile of one engine run: the per-rank Scalasca-style
+// breakdown of MPI time into late-sender / late-receiver / collective /
+// fault-stall seconds (classified by the engine at accounting time; see
+// simmpi/waitgraph.hpp for the taxonomy and its conservation guarantee).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "perf/tables.hpp"
+#include "simmpi/engine.hpp"
+
+namespace spechpc::perf {
+
+/// One rank's wait-state classification plus its booked MPI total.
+struct WaitStateRow {
+  int rank = 0;
+  double late_sender_s = 0.0;
+  double late_receiver_s = 0.0;
+  double collective_s = 0.0;
+  double fault_stall_s = 0.0;
+  double mpi_s = 0.0;  ///< Counters::mpi_time() of the same rank (whole run)
+  double sum() const {
+    return late_sender_s + late_receiver_s + collective_s + fault_stall_s;
+  }
+};
+
+/// Per-rank wait-state rows of a completed run (always available: the
+/// classification rides the normal accounting path).
+std::vector<WaitStateRow> wait_state_rows(const sim::Engine& engine);
+
+/// Largest |sum(classes) - mpi_s| over the rows, relative to max(1, mpi_s):
+/// the conservation defect (0 up to FP regrouping; tests gate it at 1e-9).
+double wait_state_conservation_error(const std::vector<WaitStateRow>& rows);
+
+/// Aligned summary table: per-rank class seconds and shares.  `max_ranks`
+/// bounds the row count (a trailing "..." row marks elision); totals last.
+Table wait_state_table(const std::vector<WaitStateRow>& rows,
+                       std::size_t max_ranks = 16);
+
+}  // namespace spechpc::perf

@@ -1,6 +1,7 @@
 #include "simmpi/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <limits>
@@ -23,6 +24,12 @@ void PromiseBase::notify_engine_done() noexcept { engine->on_rank_done(rank); }
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Host seconds since `t0` (profile_host instrumentation only).
+double host_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 /// Reusable two-phase barrier: the last arriver runs a completion step under
 /// the barrier's lock (the single-threaded window-boundary bookkeeping),
@@ -133,6 +140,8 @@ Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
 
   clock_.assign(n, 0.0);
   counters_.assign(n, RankCounters{});
+  wait_.assign(n, WaitStateSeconds{});
+  if (cfg_.enable_graph) graph_last_.assign(n, kNoGraphEvent);
   snapshot_.assign(n, RankCounters{});
   measure_begin_.assign(n, 0.0);
   measuring_.assign(n, 0);
@@ -173,6 +182,23 @@ void Engine::on_rank_done(int rank) {
 void Engine::run(const RankFn& fn) {
   if (ran_) throw std::logic_error("Engine::run may only be called once");
   ran_ = true;
+  // Per-run counters start from zero even though run() is single-shot today:
+  // stats() must never report residue from a previous (possibly aborted)
+  // attempt if the one-shot guard is ever relaxed.  The rendezvous-stall
+  // seconds in particular used to survive here.
+  for (auto& p : partitions_) {
+    p.events_processed = 0;
+    p.horizon_syncs = 0;
+    p.empty_windows = 0;
+    p.cross_sent = 0;
+    p.cross_ingested = 0;
+    p.cross_bytes_in = 0.0;
+    p.event_hwm = 0;
+    p.rzv_stall_s = 0.0;
+    p.exec_wall_s = 0.0;
+    p.ingest_wall_s = 0.0;
+  }
+  barrier_wait_s_ = 0.0;
   hard_crash_mode_ = cfg_.faults && cfg_.faults->hard_crashes();
   if (hard_crash_mode_) {
     const auto n = static_cast<std::size_t>(cfg_.nranks);
@@ -212,6 +238,8 @@ void Engine::run(const RankFn& fn) {
 
 void Engine::run_serial() {
   Partition& p = partitions_[0];
+  std::chrono::steady_clock::time_point w0;
+  if (cfg_.profile_host) w0 = std::chrono::steady_clock::now();
   while (!p.events.empty() &&
          p.done_count + p.crashed_count < cfg_.nranks) {
     Event ev = p.events.pop();
@@ -240,6 +268,7 @@ void Engine::run_serial() {
     clock_[r] = std::max(clock_[r], ev.time);
     ev.handle.resume();
   }
+  if (cfg_.profile_host) p.exec_wall_s += host_seconds_since(w0);
 }
 
 // ---------------------------------------------------------------------------
@@ -268,7 +297,19 @@ void Engine::run_windowed() {
     return;
   }
   std::vector<std::exception_ptr> exc(static_cast<std::size_t>(T));
+  // Per-worker barrier-wait accumulators (profile_host); summed after join so
+  // workers never share a cache line mid-run.
+  std::vector<double> barrier_wait(static_cast<std::size_t>(T), 0.0);
   PhaseBarrier barrier(T);
+  auto timed_arrive = [&](int w, auto&& completion) {
+    if (!cfg_.profile_host) {
+      barrier.arrive_and_wait(completion);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    barrier.arrive_and_wait(completion);
+    barrier_wait[static_cast<std::size_t>(w)] += host_seconds_since(t0);
+  };
   auto worker = [&](int w) {
     // Workers leave the loop only via stop_, which compute_window sets
     // uniformly for everyone (including on abort) -- an early unilateral
@@ -283,7 +324,7 @@ void Engine::run_windowed() {
           aborted_.store(true, std::memory_order_relaxed);
         }
       }
-      barrier.arrive_and_wait([] {});
+      timed_arrive(w, [] {});
       if (!aborted_.load(std::memory_order_relaxed)) {
         try {
           for (int pi = w; pi < P; pi += T)
@@ -293,7 +334,7 @@ void Engine::run_windowed() {
           aborted_.store(true, std::memory_order_relaxed);
         }
       }
-      barrier.arrive_and_wait([this] { compute_window(); });
+      timed_arrive(w, [this] { compute_window(); });
     }
   };
   std::vector<std::thread> pool;
@@ -301,14 +342,19 @@ void Engine::run_windowed() {
   for (int w = 1; w < T; ++w) pool.emplace_back(worker, w);
   worker(0);
   for (auto& t : pool) t.join();
+  for (double b : barrier_wait) barrier_wait_s_ += b;
   for (auto& e : exc)
     if (e) std::rethrow_exception(e);
 }
 
 void Engine::exec_window(Partition& p, double horizon) {
+  std::chrono::steady_clock::time_point w0;
+  if (cfg_.profile_host) w0 = std::chrono::steady_clock::now();
+  std::uint64_t popped = 0;
   while (!p.events.empty() && p.events.top().time < horizon) {
     Event ev = p.events.pop();
     ++p.events_processed;
+    ++popped;
     if (ev.deliver >= 0) {
       process_retransmit(p, static_cast<std::size_t>(ev.deliver), ev.time);
       continue;
@@ -330,6 +376,8 @@ void Engine::exec_window(Partition& p, double horizon) {
     ev.handle.resume();
   }
   ++p.horizon_syncs;
+  if (popped == 0) ++p.empty_windows;  // pure lookahead-horizon stall
+  if (cfg_.profile_host) p.exec_wall_s += host_seconds_since(w0);
 }
 
 void Engine::emit_cross(Partition& from, int dst_partition, CrossMsg&& cm) {
@@ -381,6 +429,8 @@ void Engine::ingest(Partition& q) {
   const std::uint32_t n_wake =
       wake_nsrc_[read_parity][qi].load(std::memory_order_relaxed);
   if (n_exec == 0 && n_wake == 0) return;
+  std::chrono::steady_clock::time_point w0;
+  if (cfg_.profile_host) w0 = std::chrono::steady_clock::now();
   std::vector<InRef> refs;
   for (std::uint32_t i = 0; i < n_exec; ++i) {
     const auto sp = static_cast<int>(cross_src_[qi * P + i]);
@@ -411,12 +461,14 @@ void Engine::ingest(Partition& q) {
       case CrossMsg::Kind::kEagerMsg: {
         Message m = std::move(cm.msg);
         m.seq = q.next_seq++;  // receiver-side arrival order
+        q.cross_bytes_in += m.bytes;
         deliver_or_retry(std::move(m), 0);
         break;
       }
       case CrossMsg::Kind::kRzvSend: {
         RzvSend rs = std::move(cm.rzv);
         rs.seq = q.next_seq++;
+        q.cross_bytes_in += rs.bytes;
         if (!try_match_rzv(rs))
           rzv_sends_[static_cast<std::size_t>(rs.dst)].push(std::move(rs));
         break;
@@ -424,12 +476,19 @@ void Engine::ingest(Partition& q) {
       case CrossMsg::Kind::kWake: {
         // Sender-side completion of a cross-partition rendezvous: account
         // and resume (or complete the request) in the sender's partition.
+        // The shipped dependence context reproduces what the same-partition
+        // path in complete_rzv_pair would have classified locally.
+        WaitCtx wc;
+        wc.cls = WaitClass::kLateReceiver;
+        wc.origin_rank = cm.wake_dep_rank;
+        wc.origin_time = cm.wake_dep_time;
+        wc.origin_margin = cm.wake_dep_margin;
         if (cm.wake_handle) {
           account(cm.wake_rank, Activity::kSend, cm.wake_t_ready, cm.wake_tc,
-                  "send");
+                  "send", wc);
           schedule(cm.wake_tc, cm.wake_rank, cm.wake_handle);
         } else if (cm.wake_request >= 0) {
-          complete_request(cm.wake_request, cm.wake_tc);
+          complete_request(cm.wake_request, cm.wake_tc, wc);
         }
         break;
       }
@@ -443,6 +502,7 @@ void Engine::ingest(Partition& q) {
         .out_wake[read_parity][qi]
         .clear();
   wake_nsrc_[read_parity][qi].store(0, std::memory_order_relaxed);
+  if (cfg_.profile_host) q.ingest_wall_s += host_seconds_since(w0);
 }
 
 void Engine::compute_window() {
@@ -496,6 +556,8 @@ void Engine::merge_partitions() {
     p.res_log = ResilienceLog{};
     timeline_ = std::move(p.timeline);
     p.timeline = Timeline{};
+    graph_ = std::move(p.graph);
+    p.graph = {};
     if (cfg_.enable_regions) {
       region_nodes_ = std::move(p.region_nodes);
       region_accum_ = std::move(p.region_accum);
@@ -559,6 +621,33 @@ void Engine::merge_partitions() {
     p.timeline = Timeline{};
   }
 
+  // Event graph: same partition-order concatenation and region remap.  The
+  // per-rank subsequences come out in each rank's program order -- all a
+  // rank's events live in one partition and were appended as it progressed
+  // -- which is the only ordering the critical-path analysis relies on.
+  if (cfg_.enable_graph) {
+    if (P == 1 && !cfg_.enable_regions) {
+      graph_ = std::move(partitions_[0].graph);
+      partitions_[0].graph = {};
+    } else {
+      std::size_t total = 0;
+      for (const auto& p : partitions_) total += p.graph.size();
+      graph_.reserve(total);
+      for (std::size_t pi = 0; pi < P; ++pi) {
+        Partition& p = partitions_[pi];
+        if (cfg_.enable_regions) {
+          for (GraphEvent ge : p.graph) {
+            ge.region = region_map[pi][static_cast<std::size_t>(ge.region)];
+            graph_.push_back(ge);
+          }
+        } else {
+          graph_.insert(graph_.end(), p.graph.begin(), p.graph.end());
+        }
+        p.graph = {};
+      }
+    }
+  }
+
   // Resilience log: sum the counters and time-sort the merged event list
   // (stable on partition order, so equal-time events stay deterministic).
   for (auto& p : partitions_) {
@@ -593,6 +682,8 @@ EngineStats Engine::stats() const {
   s.partition_count = partition_count();
   s.lookahead_s = lookahead_;
   s.stalled_ranks = stall_ ? stall_->blocked_ranks : 0;
+  s.host_profiled = cfg_.profile_host;
+  s.barrier_wait_s = barrier_wait_s_;
   // Fault counters live in the partitions until merge_partitions() moves
   // them into res_log_ (and zeroes the partition logs), so summing both
   // sides is correct mid-run and post-run alike.
@@ -613,9 +704,14 @@ EngineStats Engine::stats() const {
     ps.nranks = static_cast<int>(p.ranks.size());
     ps.events_processed = p.events_processed;
     ps.horizon_syncs = p.horizon_syncs;
+    ps.empty_windows = p.empty_windows;
     ps.cross_messages_sent = p.cross_sent;
     ps.cross_messages_ingested = p.cross_ingested;
+    ps.cross_bytes_ingested = p.cross_bytes_in;
     ps.event_queue_hwm = p.event_hwm;
+    ps.rendezvous_stall_s = p.rzv_stall_s;
+    ps.exec_wall_s = p.exec_wall_s;
+    ps.ingest_wall_s = p.ingest_wall_s;
     s.partitions.push_back(ps);
   }
   auto fold = [&s](const IndexStats& is, std::size_t& hwm, bool promoted) {
@@ -719,7 +815,7 @@ Activity Engine::effective_activity(int rank, Activity a) const {
 }
 
 void Engine::account(int rank, Activity a, double t0, double t1,
-                     std::string_view label) {
+                     std::string_view label, const WaitCtx& ctx) {
   const auto r = static_cast<std::size_t>(rank);
   // Hard-crash mode: a rank frozen at its crash time stops burning active
   // power there, even though ops issued before the crash pre-accounted past
@@ -731,6 +827,73 @@ void Engine::account(int rank, Activity a, double t0, double t1,
     t1 = std::max(t0, crash_time_[r]);
   Activity eff = effective_activity(rank, a);
   counters_[r].time_in[static_cast<std::size_t>(eff)] += (t1 - t0);
+  // Wait-state classification: every MPI second of [t0, t1] lands in exactly
+  // one of the four buckets (see simmpi/waitgraph.hpp).  Booking it here, in
+  // the sole writer of time_in, makes the conservation property structural.
+  WaitClass cls = WaitClass::kNone;
+  double fault_s = 0.0;
+  if (eff != Activity::kCompute) {
+    const double dt = t1 - t0;
+    if (ctx.ideal_t1 >= 0.0)  // retransmission delay past the ideal arrival
+      fault_s = std::clamp(t1 - std::max(t0, ctx.ideal_t1), 0.0, dt);
+    const bool collective =
+        eff == Activity::kAllreduce || eff == Activity::kReduce ||
+        eff == Activity::kBcast || eff == Activity::kBarrier;
+    if (collective)
+      cls = WaitClass::kCollective;
+    else if (ctx.cls != WaitClass::kNone)
+      cls = ctx.cls;
+    else  // local protocol cost with no dependence context
+      cls = a == Activity::kSend ? WaitClass::kLateReceiver
+                                 : WaitClass::kLateSender;
+    WaitStateSeconds& w = wait_[r];
+    w.fault_stall_s += fault_s;
+    const double rest = dt - fault_s;
+    switch (cls) {
+      case WaitClass::kLateReceiver: w.late_receiver_s += rest; break;
+      case WaitClass::kCollective: w.collective_s += rest; break;
+      default: w.late_sender_s += rest; break;
+    }
+  }
+  if (cfg_.enable_graph && (t1 > t0 || ctx.origin_rank >= 0)) {
+    // Recorded inside collectives too (unlike the trace suppression below):
+    // the inner p2p completions carry the dependence edges the critical-path
+    // walk follows through fan-in trees.
+    GraphEvent ge;
+    ge.rank = rank;
+    ge.t0 = t0;
+    ge.t1 = t1;
+    ge.activity = eff;
+    ge.cls = cls;
+    ge.fault_s = fault_s;
+    if (cfg_.enable_regions) ge.region = region_stack_[r].back();
+    ge.origin_rank = ctx.origin_rank;
+    ge.origin_time = ctx.origin_time;
+    ge.origin_margin = ctx.origin_margin;
+    std::vector<GraphEvent>& g = partition_of_rank(rank).graph;
+    // Coalesce adjacent slices of one op (protocol floor + wait phase of a
+    // send, say): a single op contributes at most one dependence edge, so
+    // merging slices that agree on class/activity/region and carry at most
+    // one origin between them loses nothing the walk or the float pass
+    // reads, and shrinks halo-exchange graphs ~3x.
+    GraphEvent* prev = graph_last_[r] != kNoGraphEvent
+                           ? &g[graph_last_[r]]
+                           : nullptr;
+    if (prev && prev->t1 == ge.t0 && prev->activity == ge.activity &&
+        prev->cls == ge.cls && prev->region == ge.region &&
+        !(prev->origin_rank >= 0 && ge.origin_rank >= 0)) {
+      prev->t1 = ge.t1;
+      prev->fault_s += ge.fault_s;
+      if (ge.origin_rank >= 0) {
+        prev->origin_rank = ge.origin_rank;
+        prev->origin_time = ge.origin_time;
+        prev->origin_margin = ge.origin_margin;
+      }
+    } else {
+      graph_last_[r] = static_cast<std::uint32_t>(g.size());
+      g.push_back(ge);
+    }
+  }
   // Label strings are only materialized on the (off-by-default) trace path;
   // with tracing disabled this function never allocates.
   if (cfg_.enable_trace && t1 > t0 && activity_stack_[r].empty()) {
@@ -817,14 +980,27 @@ std::int64_t Engine::make_request(int rank) {
          static_cast<std::int64_t>(v.size() - 1);
 }
 
-void Engine::complete_request(std::int64_t id, double completion) {
+void Engine::complete_request(std::int64_t id, double completion,
+                              const WaitCtx& ctx) {
   auto& rs = requests_[static_cast<std::size_t>(id >> 32)]
                       [static_cast<std::size_t>(id & 0xffffffff)];
   rs.complete = true;
   rs.completion_time = completion;
+  // Store the dependence context for the wait that observes this completion
+  // (either below, if one is already suspended, or later in op_wait).
+  rs.ideal_completion = ctx.ideal_t1 >= 0.0 ? ctx.ideal_t1 : completion;
+  rs.dep_rank = ctx.origin_rank;
+  rs.dep_time = ctx.origin_time;
   if (rs.waiter) {
     const double tc = std::max(rs.waiter_t0, completion);
-    account(rs.rank, rs.waiter_activity, rs.waiter_t0, tc, "wait");
+    WaitCtx wc;
+    wc.ideal_t1 = std::max(rs.waiter_t0, rs.ideal_completion);
+    wc.cls = rs.origin_op == Activity::kSend ? WaitClass::kLateReceiver
+                                             : WaitClass::kLateSender;
+    wc.origin_rank = rs.dep_rank;
+    wc.origin_time = rs.dep_time;
+    wc.origin_margin = rs.waiter_t0 - completion;
+    account(rs.rank, rs.waiter_activity, rs.waiter_t0, tc, "wait", wc);
     schedule(tc, rs.rank, rs.waiter);
     rs.waiter = nullptr;
   }
@@ -838,7 +1014,14 @@ Engine::OpResult Engine::op_wait(int rank, std::int64_t request_id,
   const double t0 = clock_[r];
   if (rs.complete) {
     const double tc = std::max(t0, rs.completion_time);
-    account(rank, Activity::kWait, t0, tc, "wait");
+    WaitCtx wc;
+    wc.ideal_t1 = std::max(t0, rs.ideal_completion);
+    wc.cls = rs.origin_op == Activity::kSend ? WaitClass::kLateReceiver
+                                             : WaitClass::kLateSender;
+    wc.origin_rank = rs.dep_rank;
+    wc.origin_time = rs.dep_time;
+    wc.origin_margin = t0 - rs.completion_time;
+    account(rank, Activity::kWait, t0, tc, "wait", wc);
     clock_[r] = tc;
     return {true, 0.0};
   }
@@ -857,11 +1040,19 @@ void Engine::complete_recv(PostedRecv& pr, double completion,
   auto d = static_cast<std::size_t>(pr.dst);
   counters_[d].bytes_received += msg.bytes;
   ++counters_[d].messages_received;
+  // Late sender: the receive was ready at t_posted, the payload released it
+  // at `arrival` (ideal arrival0 when retransmissions delayed it).
+  WaitCtx wc;
+  wc.ideal_t1 = std::max(pr.t_posted, msg.arrival0);
+  wc.cls = WaitClass::kLateSender;
+  wc.origin_rank = msg.src;
+  wc.origin_time = msg.t_sent;
+  wc.origin_margin = pr.t_posted - msg.arrival;
   if (pr.receiver) {
-    account(pr.dst, pr.activity, pr.t_posted, completion, "recv");
+    account(pr.dst, pr.activity, pr.t_posted, completion, "recv", wc);
     schedule(completion, pr.dst, pr.receiver);
   } else if (pr.request >= 0) {
-    complete_request(pr.request, completion);
+    complete_request(pr.request, completion, wc);
   }
 }
 
@@ -886,12 +1077,28 @@ void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
   auto d = static_cast<std::size_t>(pr.dst);
   counters_[d].bytes_received += rs.bytes;
   ++counters_[d].messages_received;
+  // Receiver: blocked from t_posted until the pipe drains; the RTS arrival
+  // is the remote release (positive margin = the receiver posted late and
+  // the RTS sat waiting for it).
+  WaitCtx wr;
+  wr.cls = WaitClass::kLateSender;
+  wr.origin_rank = rs.src;
+  wr.origin_time = rs.t_ready;
+  wr.origin_margin = pr.t_posted - rts_arrival;
   if (pr.receiver) {
-    account(pr.dst, pr.activity, pr.t_posted, tc, "recv");
+    account(pr.dst, pr.activity, pr.t_posted, tc, "recv", wr);
     schedule(tc, pr.dst, pr.receiver);
   } else if (pr.request >= 0) {
-    complete_request(pr.request, tc);
+    complete_request(pr.request, tc, wr);
   }
+
+  // Sender: blocked from t_ready; a late-posted receive (t_posted past the
+  // RTS arrival) is the remote release -- classic late receiver.
+  WaitCtx ws;
+  ws.cls = WaitClass::kLateReceiver;
+  ws.origin_rank = pr.dst;
+  ws.origin_time = pr.t_posted;
+  ws.origin_margin = rts_arrival - pr.t_posted;
 
   // Sender side: unblocks when the pipe drains.  A cross-partition sender is
   // woken through its own partition's mailbox; tc >= the next window start
@@ -900,10 +1107,10 @@ void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
   const int sp = partition_of_rank_[static_cast<std::size_t>(rs.src)];
   if (sp == dp.id) {
     if (rs.sender) {
-      account(rs.src, Activity::kSend, rs.t_ready, tc, "send");
+      account(rs.src, Activity::kSend, rs.t_ready, tc, "send", ws);
       schedule(tc, rs.src, rs.sender);
     } else if (rs.request >= 0) {
-      complete_request(rs.request, tc);
+      complete_request(rs.request, tc, ws);
     }
   } else if (rs.sender || rs.request >= 0) {
     CrossMsg cm;
@@ -914,6 +1121,9 @@ void Engine::complete_rzv_pair(PostedRecv& pr, RzvSend& rs) {
     cm.wake_tc = tc;
     cm.wake_handle = rs.sender;
     cm.wake_request = rs.request;
+    cm.wake_dep_rank = ws.origin_rank;
+    cm.wake_dep_time = ws.origin_time;
+    cm.wake_dep_margin = ws.origin_margin;
     emit_cross(dp, sp, std::move(cm));
   }
 }
@@ -945,6 +1155,9 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
   ++counters_[r].messages_sent;
   Partition& p = partition_of_rank(rank);
   const int dst_p = partition_of_rank_[static_cast<std::size_t>(dst)];
+  if (request_id >= 0)
+    requests_[r][static_cast<std::size_t>(request_id & 0xffffffff)]
+        .origin_op = Activity::kSend;
 
   const bool eager = cfg_.protocol.force_eager ||
                      bytes <= cfg_.protocol.eager_threshold_bytes;
@@ -952,12 +1165,15 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
     const TransferCost cost =
         network_->transfer_at(rank, dst, cfg_.placement, bytes, t0);
     clock_[r] = t0 + cost.sender_busy_s;
-    account(rank, Activity::kSend, t0, clock_[r], "send");
+    // Injection overhead: send-side protocol floor, no dependence.
+    account(rank, Activity::kSend, t0, clock_[r], "send",
+            WaitCtx{-1.0, WaitClass::kLateReceiver, -1, 0.0, 0.0});
+    const double arrival = t0 + cost.in_flight_s;
     if (dst_p == p.id) {
       Message m{rank,    dst,
                 tag,     bytes,
-                std::move(payload), t0 + cost.in_flight_s,
-                p.next_seq++};
+                std::move(payload), arrival,
+                p.next_seq++, arrival, t0};
       deliver_or_retry(std::move(m), 0);
     } else {
       // Cross-partition: deposited now, visible to the receiver at the next
@@ -967,8 +1183,8 @@ Engine::OpResult Engine::op_send(int rank, int dst, int tag, double bytes,
       cm.time = t0;
       cm.msg = Message{rank,    dst,
                        tag,     bytes,
-                       std::move(payload), t0 + cost.in_flight_s,
-                       0};
+                       std::move(payload), arrival,
+                       0, arrival, t0};
       emit_cross(p, dst_p, std::move(cm));
     }
     // The sender hands the buffer to the NIC and proceeds either way: it has
@@ -1010,6 +1226,9 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
   const auto r = static_cast<std::size_t>(rank);
   const double t0 = clock_[r];
   Partition& p = partition_of_rank(rank);
+  if (request_id >= 0)
+    requests_[r][static_cast<std::size_t>(request_id & 0xffffffff)]
+        .origin_op = Activity::kRecv;
 
   if (auto m = unexpected_[r].take(src, tag)) {
     const double tc = std::max(t0, m->arrival);
@@ -1019,11 +1238,17 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
     if (out_bytes) *out_bytes = m->bytes;
     counters_[r].bytes_received += m->bytes;
     ++counters_[r].messages_received;
+    WaitCtx wc;
+    wc.ideal_t1 = std::max(t0, m->arrival0);
+    wc.cls = WaitClass::kLateSender;
+    wc.origin_rank = m->src;
+    wc.origin_time = m->t_sent;
+    wc.origin_margin = t0 - m->arrival;
     if (blocking) {
-      account(rank, Activity::kRecv, t0, tc, "recv");
+      account(rank, Activity::kRecv, t0, tc, "recv", wc);
       clock_[r] = tc;
     } else {
-      complete_request(request_id, tc);
+      complete_request(request_id, tc, wc);
     }
     return {true, m->bytes};
   }
@@ -1051,6 +1276,17 @@ Engine::OpResult Engine::op_recv(int rank, int src, int tag, std::byte* buffer,
 
 // ---------------------------------------------------------------------------
 // Fault injection and watchdog
+
+const char* to_string(WaitClass c) {
+  switch (c) {
+    case WaitClass::kNone: return "none";
+    case WaitClass::kLateSender: return "late_sender";
+    case WaitClass::kLateReceiver: return "late_receiver";
+    case WaitClass::kCollective: return "collective";
+    case WaitClass::kFaultStall: return "fault_stall";
+  }
+  return "unknown";
+}
 
 const char* to_string(FaultKind k) {
   switch (k) {

@@ -33,6 +33,7 @@
 
 #include "simmpi/counters.hpp"
 #include "simmpi/faults.hpp"
+#include "simmpi/waitgraph.hpp"
 #include "simmpi/models.hpp"
 #include "simmpi/placement.hpp"
 #include "simmpi/queues.hpp"
@@ -70,6 +71,16 @@ struct EngineConfig {
   /// default: the disabled path is a single branch per marker call and the
   /// simulated results are bit-identical either way (profiling is passive).
   bool enable_regions = false;
+  /// Retain the dependence-annotated event graph (one GraphEvent per booked
+  /// interval; see simmpi/waitgraph.hpp).  Off by default: retention costs
+  /// memory proportional to the event count.  The simulated results are
+  /// bit-identical either way -- the graph is a passive recording.
+  bool enable_graph = false;
+  /// Measure host wall-clock spent in partition execution / mailbox ingest /
+  /// barrier waits (std::chrono, NOT virtual time).  Off by default so the
+  /// reported stats stay deterministic: when off every *_wall_s field is
+  /// exactly 0.0 whatever the thread count or machine.
+  bool profile_host = false;
   /// Worker threads executing partitions.  Results are independent of this
   /// value: partitioning is derived from the placement, and the windowed
   /// schedule is the same however partitions are spread over workers.
@@ -85,9 +96,20 @@ struct PartitionStats {
   int nranks = 0;  ///< ranks owned by this partition
   std::uint64_t events_processed = 0;
   std::uint64_t horizon_syncs = 0;  ///< synchronization windows executed
+  /// Windows in which the partition popped no event at all (pure
+  /// lookahead-horizon stalls: the partition spun waiting for remote
+  /// progress).  empty_windows / horizon_syncs is the stall ratio.
+  std::uint64_t empty_windows = 0;
   std::uint64_t cross_messages_sent = 0;      ///< deposited into mailboxes
   std::uint64_t cross_messages_ingested = 0;  ///< drained from mailboxes
+  double cross_bytes_ingested = 0.0;  ///< payload volume drained [bytes]
   std::size_t event_queue_hwm = 0;  ///< deepest event heap ever seen
+  /// Rendezvous-stall seconds booked by this partition's ranks (virtual s).
+  double rendezvous_stall_s = 0.0;
+  // Host wall-clock self-profiling (EngineConfig::profile_host; exactly 0.0
+  // when off -- these are the only non-deterministic fields in the stats).
+  double exec_wall_s = 0.0;    ///< host seconds inside exec_window()
+  double ingest_wall_s = 0.0;  ///< host seconds draining mailboxes
 };
 
 /// Introspection counters of one engine run: makes the matching fast path
@@ -124,6 +146,12 @@ struct EngineStats {
   // partitions behaved.  partition_count == 1 means the serial loop ran.
   int partition_count = 1;
   double lookahead_s = 0.0;  ///< conservative window width (0 when serial)
+  /// True when EngineConfig::profile_host was set: the *_wall_s fields below
+  /// and in PartitionStats carry real host measurements (otherwise 0.0).
+  bool host_profiled = false;
+  /// Host seconds workers spent blocked at window-boundary barriers, summed
+  /// over workers (profile_host only; 0.0 on serial runs).
+  double barrier_wait_s = 0.0;
   std::vector<PartitionStats> partitions;
 };
 
@@ -257,6 +285,22 @@ class Engine {
   /// Merged event timeline (partition order; valid once run() returns).
   const Timeline& timeline() const { return timeline_; }
 
+  // --- wait-state classification / event graph (simmpi/waitgraph.hpp) -----
+  //
+  // Wait-state accumulators are always on (they ride the existing account()
+  // path at the cost of a few adds); the event graph is retained only under
+  // EngineConfig::enable_graph.
+  /// Per-rank wait-class seconds; total() == counters(rank).mpi_time() for
+  /// every rank, by construction (account() is the only writer of both).
+  const WaitStateSeconds& wait_states(int rank) const {
+    return wait_[static_cast<std::size_t>(rank)];
+  }
+  bool graph_enabled() const { return cfg_.enable_graph; }
+  /// Retained event graph, merged in partition order (valid after run();
+  /// empty unless enable_graph).  Per-rank subsequences are in that rank's
+  /// program order whatever the partitioning.
+  const std::vector<GraphEvent>& event_graph() const { return graph_; }
+
   // --- internal API used by Comm awaiters (not part of the public surface)
   struct OpResult {
     bool inline_complete = true;
@@ -304,6 +348,11 @@ class Engine {
     std::vector<std::byte> payload;
     double arrival;
     std::uint64_t seq;
+    /// Fault-free arrival time: retransmissions push `arrival` forward but
+    /// leave this untouched, so arrival - arrival0 is the injected delay
+    /// that wait-state classification books as kFaultStall.
+    double arrival0 = 0.0;
+    double t_sent = 0.0;  ///< sender clock at send initiation (graph edge)
   };
 
   struct RzvSend {  // rendezvous send awaiting a matching receive
@@ -336,6 +385,14 @@ class Engine {
     std::coroutine_handle<> waiter;  // set while a wait() is suspended
     double waiter_t0 = 0.0;
     Activity waiter_activity = Activity::kWait;
+    /// Operation that created the request (kSend/kRecv): decides whether a
+    /// later wait classifies as late-receiver or late-sender.
+    Activity origin_op = Activity::kWait;
+    // Dependence context captured at completion, consumed when the wait on
+    // this request is accounted (see WaitCtx for the semantics).
+    double ideal_completion = 0.0;
+    int dep_rank = -1;
+    double dep_time = 0.0;
   };
 
   // --- matching structures ---------------------------------------------
@@ -600,6 +657,12 @@ class Engine {
     double wake_tc = 0.0;
     std::coroutine_handle<> wake_handle{};
     std::int64_t wake_request = -1;
+    // Dependence context of the sender-side completion (the receiver's post
+    // that released the pair), shipped along so the sender's partition can
+    // classify and graph-record its stall like a local one.
+    int wake_dep_rank = -1;
+    double wake_dep_time = 0.0;
+    double wake_dep_margin = 0.0;
   };
 
   struct PendingDelivery {  // dropped eager message awaiting retransmission
@@ -633,12 +696,17 @@ class Engine {
     std::uint64_t next_seq = 0;
     std::uint64_t events_processed = 0;
     std::uint64_t horizon_syncs = 0;
+    std::uint64_t empty_windows = 0;
     std::uint64_t cross_sent = 0;
     std::uint64_t cross_ingested = 0;
+    double cross_bytes_in = 0.0;
     std::size_t event_hwm = 0;
     int done_count = 0;
     int crashed_count = 0;
     double rzv_stall_s = 0.0;
+    // Host wall-clock self-profiling (cfg_.profile_host only).
+    double exec_wall_s = 0.0;
+    double ingest_wall_s = 0.0;
 
     /// Mailboxes by destination partition.  out_exec is filled during the
     /// execution phase and drained at the following boundary; out_wake is
@@ -654,6 +722,9 @@ class Engine {
     ResilienceLog res_log;
 
     Timeline timeline;
+    /// Retained event graph (cfg_.enable_graph only; region ids local until
+    /// merge_partitions() remaps them alongside the timeline).
+    std::vector<GraphEvent> graph;
 
     // Partition-local region forest (node ids local; accumulators indexed by
     // [local node][local rank index]).  Grafted into one tree by run().
@@ -697,10 +768,16 @@ class Engine {
 
   void complete_recv(PostedRecv& pr, double completion, const Message& msg);
   void complete_rzv_pair(PostedRecv& pr, RzvSend& rs);
-  void complete_request(std::int64_t id, double completion);
+  /// `ctx` captures the dependence that completed the request; it is stored
+  /// on the RequestState and re-emitted when the wait is accounted.
+  void complete_request(std::int64_t id, double completion,
+                        const WaitCtx& ctx = {});
 
+  /// Books [t0, t1] of `a` on `rank`: counters, wait-state classification,
+  /// optional trace interval and graph event.  `ctx` carries the dependence
+  /// / fault context of blocking intervals (defaulted for local ones).
   void account(int rank, Activity a, double t0, double t1,
-               std::string_view label);
+               std::string_view label, const WaitCtx& ctx = {});
   Activity effective_activity(int rank, Activity a) const;
   /// Appends a fully built interval to the owning partition's timeline
   /// (stamps the partition id; used by collectives' ActivityScope).
@@ -736,6 +813,14 @@ class Engine {
 
   std::vector<double> clock_;
   std::vector<RankCounters> counters_;
+  std::vector<WaitStateSeconds> wait_;  // per rank; written by account() only
+  std::vector<GraphEvent> graph_;       // merged by run() (enable_graph)
+  // Per-rank index of the rank's newest event in its partition's graph, used
+  // to coalesce adjacent slices of one op (a rank lives on one partition, so
+  // each slot is only ever touched by that partition's worker thread).
+  static constexpr std::uint32_t kNoGraphEvent = 0xffffffffu;
+  std::vector<std::uint32_t> graph_last_;
+  double barrier_wait_s_ = 0.0;         // profile_host; summed over workers
   std::vector<RankCounters> snapshot_;
   std::vector<double> measure_begin_;
   // Per-rank flags as bytes, not vector<bool>: each rank's flag is a

@@ -1,0 +1,96 @@
+// SimMPI: wait-state classification and event-graph retention types.
+//
+// Every second a rank spends inside MPI is classified, Scalasca-style, into
+// exactly one of four wait classes at the moment Engine::account() books it:
+//
+//   kLateSender    -- receive-side blocking: the matching send started (or
+//                     its data arrived) later than the receive was ready.
+//   kLateReceiver  -- send-side blocking: rendezvous sender stalled for the
+//                     receive to be posted, plus the eager sender's own
+//                     injection overhead.
+//   kCollective    -- time inside a collective (fan-in/fan-out imbalance
+//                     plus the collective's own cost floor).
+//   kFaultStall    -- the portion of a blocking interval attributable to
+//                     drop/retransmission delay (PR 3 fault machinery): the
+//                     gap between when the payload *would* have arrived
+//                     fault-free and when it actually did.
+//
+// Unlike trace-based tools we do not subtract an idealized protocol cost:
+// the classes partition *all* MPI seconds (protocol floor included), so per
+// rank the four buckets sum to Counters::mpi_time() exactly -- conservation
+// is by construction, not by calibration.
+//
+// When EngineConfig::enable_graph is set, account() additionally retains one
+// GraphEvent per booked interval, annotated with the cross-rank dependence
+// that released it (origin rank/time) and a signed margin saying whether the
+// interval was bound by that dependence or by local progress.  The retained
+// graph is what perf/critpath.* walks backwards to extract the exact
+// critical path.
+#pragma once
+
+#include <cstdint>
+
+#include "simmpi/counters.hpp"
+
+namespace spechpc::sim {
+
+/// Why a rank was inside MPI (see file comment for the taxonomy).
+enum class WaitClass : std::uint8_t {
+  kNone = 0,       ///< not a wait (compute; graph bookkeeping only)
+  kLateSender,     ///< receive blocked on a not-yet-arrived message
+  kLateReceiver,   ///< send blocked on a not-yet-posted receive
+  kCollective,     ///< collective fan-in/fan-out imbalance
+  kFaultStall,     ///< retransmission delay after injected drops
+};
+
+const char* to_string(WaitClass c);
+
+/// Per-rank wait-class accumulators [s].  Engine::account() is the only
+/// writer, so total() == Counters::mpi_time() for the same rank.
+struct WaitStateSeconds {
+  double late_sender_s = 0.0;
+  double late_receiver_s = 0.0;
+  double collective_s = 0.0;
+  double fault_stall_s = 0.0;
+  double total() const {
+    return late_sender_s + late_receiver_s + collective_s + fault_stall_s;
+  }
+};
+
+/// Cross-rank dependence context for one account() interval.  All fields
+/// are optional; the zero-initialized default means "no dependence, no
+/// fault delay" and leaves classification to the activity-derived fallback.
+struct WaitCtx {
+  /// Fault-free completion time of the interval (virtual s); the portion of
+  /// [t0, t1] past max(t0, ideal_t1) is booked as kFaultStall.  < 0 = none.
+  double ideal_t1 = -1.0;
+  /// Wait class; kNone derives it from the activity (send -> late receiver,
+  /// everything else -> late sender; collectives always win).
+  WaitClass cls = WaitClass::kNone;
+  /// Rank whose action released this interval (-1: purely local).
+  int origin_rank = -1;
+  /// Virtual time at which the origin rank took that action (e.g. when the
+  /// matching send started, or when the late receive was posted).
+  double origin_time = 0.0;
+  /// Signed slack of the dependence: local-ready time minus remote-release
+  /// time.  Negative means the interval was *bound* by the remote edge (the
+  /// critical-path walk jumps to origin_rank); >= 0 means the dependence
+  /// had `origin_margin` seconds to spare and local progress was binding.
+  double origin_margin = 0.0;
+};
+
+/// One retained interval of the completed event graph (enable_graph only).
+struct GraphEvent {
+  int rank = -1;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  Activity activity = Activity::kCompute;  ///< effective (outermost) activity
+  WaitClass cls = WaitClass::kNone;
+  double fault_s = 0.0;  ///< kFaultStall portion of [t0, t1]
+  int region = 0;        ///< region-node id (global after partition merge)
+  int origin_rank = -1;  ///< WaitCtx::origin_rank
+  double origin_time = 0.0;
+  double origin_margin = 0.0;
+};
+
+}  // namespace spechpc::sim

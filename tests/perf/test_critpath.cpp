@@ -1,0 +1,186 @@
+// Critical-path extraction over the retained event graph: the telescoped
+// path length equals the simulated makespan exactly (bitwise) on fault-free
+// runs of every proxy app, slack is non-negative with the path itself at
+// zero, fault-induced stalls surface on the path and in the wait classes,
+// and the Chrome export carries the new metadata + flow records.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/spechpc.hpp"
+#include "machine/topology.hpp"
+#include "perf/trace_export.hpp"
+#include "perf/waitstate.hpp"
+#include "resilience/resilience.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+namespace res = spechpc::resilience;
+namespace sim = spechpc::sim;
+
+namespace {
+
+core::RunResult analyzed_run(const std::string& app_name,
+                             const mach::ClusterSpec& cluster,
+                             const core::RunOptions& base = {}) {
+  auto app = core::make_app(app_name, core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts = base;
+  opts.analyze = true;
+  return core::run_benchmark(
+      *app, cluster, mach::block_placement_on_nodes(cluster, 16, 2), opts);
+}
+
+perf::CriticalPath path_of(const core::RunResult& r) {
+  return perf::analyze_critical_path(r.engine().event_graph(),
+                                     r.engine().nranks(),
+                                     r.engine().elapsed());
+}
+
+class CritPathExact : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(CritPathExact, LengthEqualsMakespanBitwise) {
+  const std::string app(GetParam());
+  const core::RunResult r = analyzed_run(app, mach::cluster_a());
+  const perf::CriticalPath cp = path_of(r);
+  ASSERT_TRUE(cp.computed);
+  // Telescoping: every walk step moves t to the next boundary, so the sum
+  // of attributed spans is exactly the walked distance.  EXPECT_EQ, not
+  // NEAR: there is no model error to absorb.
+  EXPECT_EQ(cp.length_s, cp.makespan_s) << app;
+  EXPECT_EQ(cp.makespan_s, r.engine().elapsed()) << app;
+  EXPECT_GT(cp.steps, 0u);
+  EXPECT_EQ(cp.fault_s, 0.0) << app << ": fault stall on a fault-free run";
+
+  // Segments are chronological, contiguous, and sum to the length.
+  double covered = 0.0;
+  for (std::size_t i = 0; i < cp.segments.size(); ++i) {
+    const perf::CritSegment& s = cp.segments[i];
+    EXPECT_LT(s.t_begin, s.t_end) << app << " seg " << i;
+    if (i > 0)
+      EXPECT_EQ(cp.segments[i - 1].t_end, s.t_begin) << app << " seg " << i;
+    covered += s.seconds();
+  }
+  EXPECT_NEAR(covered, cp.length_s, 1e-12 * std::max(1.0, cp.length_s));
+
+  // Slack: non-negative everywhere; ranks carrying the path sit at zero.
+  double min_path_slack = cp.makespan_s;
+  double max_cp = 0.0;
+  int busiest = -1;
+  for (const perf::CritRankRow& row : cp.by_rank) {
+    EXPECT_GE(row.slack_s, 0.0) << app << " rank " << row.rank;
+    if (row.cp_s > max_cp) {
+      max_cp = row.cp_s;
+      busiest = row.rank;
+    }
+    if (row.cp_s > 0.0) min_path_slack = std::min(min_path_slack, row.slack_s);
+  }
+  ASSERT_GE(busiest, 0) << app;
+  EXPECT_EQ(min_path_slack, 0.0) << app;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProxies, CritPathExact,
+                         ::testing::ValuesIn(core::app_names()),
+                         [](const auto& info) {
+                           std::string name(info.param);
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST(CritPathMicro, TwoRankLateSenderScenario) {
+  // Rank 1 computes 1 s then sends; rank 0 posts its receive immediately
+  // and absorbs the whole second as a late-sender wait.  The critical path
+  // must run through rank 1's compute, and rank 0's wait must carry a
+  // negative-margin dependence on rank 1.
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  cfg.enable_graph = true;
+  sim::Engine engine(std::move(cfg));
+  engine.run([](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 1) {
+      co_await c.delay(1.0, "produce");
+      co_await c.send_bytes(0, 7, 1024.0);
+    } else {
+      co_await c.recv_bytes(1, 7);
+    }
+  });
+  const sim::WaitStateSeconds& w0 = engine.wait_states(0);
+  EXPECT_GT(w0.late_sender_s, 0.9);
+  EXPECT_NEAR(w0.total(), engine.counters(0).mpi_time(), 1e-12);
+  const perf::CriticalPath cp = perf::analyze_critical_path(
+      engine.event_graph(), 2, engine.elapsed());
+  EXPECT_EQ(cp.length_s, cp.makespan_s);
+  // Rank 1's compute dominates the path; rank 0 contributes at most the
+  // final delivery hop.
+  ASSERT_EQ(cp.by_rank.size(), 2u);
+  EXPECT_GT(cp.by_rank[1].cp_s, 0.9);
+  EXPECT_EQ(cp.by_rank[1].slack_s, 0.0);
+  EXPECT_LT(cp.by_rank[0].cp_s, 0.1);
+}
+
+TEST(CritPathFaults, MessageDropsSurfaceAsFaultStall) {
+  // Forced retransmissions delay deliveries past their ideal arrival; the
+  // classifier books the added seconds as fault_stall without breaking
+  // conservation, and the path records them.
+  const res::FaultPlan plan = res::FaultPlan::parse(R"({
+    "seed": 7,
+    "messages": [{"drop_prob": 0.12}]
+  })");
+  core::RunOptions base;
+  base.faults = &plan;
+  base.watchdog.on_stall = sim::WatchdogConfig::OnStall::kDiagnose;
+  const core::RunResult r = analyzed_run("lbm", mach::cluster_a(), base);
+  ASSERT_GT(r.engine().stats().retransmissions, 0u);
+  const auto rows = perf::wait_state_rows(r.engine());
+  double fault_total = 0.0;
+  for (const perf::WaitStateRow& row : rows) {
+    fault_total += row.fault_stall_s;
+    EXPECT_NEAR(row.sum(), row.mpi_s,
+                1e-9 * std::max(1.0, std::abs(row.mpi_s)))
+        << "rank " << row.rank;
+  }
+  EXPECT_GT(fault_total, 0.0);
+  const perf::CriticalPath cp = path_of(r);
+  EXPECT_EQ(cp.length_s, cp.makespan_s);
+}
+
+TEST(ChromeTrace, EmitsMetadataAndCriticalPathFlows) {
+  auto app = core::make_app("lbm", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.trace = true;
+  opts.analyze = true;
+  const auto cluster = mach::cluster_a();
+  const core::RunResult r = core::run_benchmark(
+      *app, cluster, mach::block_placement_on_nodes(cluster, 16, 2), opts);
+  const perf::CriticalPath cp = path_of(r);
+  std::ostringstream os;
+  perf::export_chrome_trace(r.engine().timeline(), os, nullptr, &cp);
+  const std::string out = os.str();
+  // Satellite fix: partitions and ranks are named, not bare pid/tid numbers.
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("partition 0"), std::string::npos);
+  EXPECT_NE(out.find("partition 1"), std::string::npos);
+  EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(out.find("rank 0"), std::string::npos);
+  // Flow arrows appear wherever the path hops ranks (16-rank halo runs
+  // always hop at least once).
+  bool hops = false;
+  for (std::size_t i = 1; i < cp.segments.size(); ++i)
+    hops |= cp.segments[i].rank != cp.segments[i - 1].rank;
+  ASSERT_TRUE(hops);
+  EXPECT_NE(out.find("\"cat\":\"critpath\",\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(out.find("\"cat\":\"critpath\",\"ph\":\"f\""), std::string::npos);
+  std::string err;
+  EXPECT_TRUE(perf::is_valid_json(out, &err)) << err;
+}
+
+}  // namespace

@@ -60,7 +60,7 @@ TEST(Report, ValidatorRejectsDocumentsMissingRequiredKeys) {
 
 TEST(Report, SchemaV2CarriesEnergyTimelineAndRegionEnergy) {
   const auto rep = sample_report();
-  ASSERT_EQ(perf::kRunReportSchemaVersion, 2);
+  ASSERT_EQ(perf::kRunReportSchemaVersion, 3);
   // build_report populated the new sections (trace + regions were on).
   EXPECT_GT(rep.energy_timeline.wall_s(), 0.0);
   EXPECT_GT(rep.energy_timeline.total_energy_j(), 0.0);
@@ -71,19 +71,53 @@ TEST(Report, SchemaV2CarriesEnergyTimelineAndRegionEnergy) {
   EXPECT_NEAR(sum_j, rep.energy_timeline.total_energy_j(),
               1e-9 * rep.energy_timeline.total_energy_j());
   const std::string text = perf::to_json(rep);
-  EXPECT_NE(text.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(text.find("\"energy_timeline\""), std::string::npos);
   EXPECT_NE(text.find("\"region_energy\""), std::string::npos);
   EXPECT_NE(text.find("\"busy_simd_seconds\""), std::string::npos);
 }
 
+TEST(Report, SchemaV3CarriesWaitStatesAndCriticalPath) {
+  auto app = core::make_app("tealeaf", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.regions = true;
+  opts.trace = true;
+  opts.analyze = true;
+  const auto res = core::run_benchmark(*app, mach::cluster_a(), 8, opts);
+  const auto rep = core::build_report(res, mach::cluster_a(), "tealeaf",
+                                      "tiny");
+  ASSERT_EQ(rep.wait_states.size(), 8u);
+  ASSERT_TRUE(rep.critical_path.computed);
+  EXPECT_EQ(rep.critical_path.length_s, rep.critical_path.makespan_s);
+  // Region ids were resolved to the engine's region paths.
+  for (const auto& row : rep.critical_path.by_region)
+    EXPECT_FALSE(row.path.empty());
+  const std::string text = perf::to_json(rep);
+  std::string err;
+  EXPECT_TRUE(perf::validate_run_report_json(text, &err)) << err;
+  EXPECT_NE(text.find("\"wait_states\""), std::string::npos);
+  EXPECT_NE(text.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(text.find("\"computed\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"partition_profile\""), std::string::npos);
+  EXPECT_NE(text.find("\"segments_total\""), std::string::npos);
+
+  // Without --analyze the sections are still present (the validator demands
+  // every key) but critical_path says so explicitly.
+  const std::string plain = perf::to_json(sample_report());
+  EXPECT_TRUE(perf::validate_run_report_json(plain, &err)) << err;
+  EXPECT_NE(plain.find("\"computed\":false"), std::string::npos);
+  EXPECT_NE(plain.find("\"wait_states\""), std::string::npos);
+}
+
 TEST(Report, ValidatorRejectsPreviousSchemaVersion) {
-  // A v1-shaped document: right version tag for the old schema, none of the
-  // v2 energy sections.  Both properties must make the validator say no.
+  // A document tagged with the previous schema version must be rejected on
+  // the version check alone, whatever sections it carries.
   std::string v1 = perf::to_json(sample_report());
-  const auto pos = v1.find("\"schema_version\":2");
+  const auto pos = v1.find("\"schema_version\":3");
   ASSERT_NE(pos, std::string::npos);
-  v1.replace(pos, 18, "\"schema_version\":1");
+  v1.replace(pos, 18, "\"schema_version\":2");
   std::string err;
   EXPECT_TRUE(perf::is_valid_json(v1, &err)) << err;
   EXPECT_FALSE(perf::validate_run_report_json(v1, &err));

@@ -1,0 +1,195 @@
+// Wait-state classification invariants (Scalasca-style, see
+// simmpi/waitgraph.hpp): per rank the four class accumulators partition the
+// rank's MPI seconds exactly, on every proxy app and both clusters, and the
+// analysis output is identical whether the serial reference loop or the
+// partitioned parallel engine executed the run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/spechpc.hpp"
+#include "machine/topology.hpp"
+#include "perf/waitstate.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+namespace sim = spechpc::sim;
+
+namespace {
+
+core::RunResult analyzed_run(const std::string& app_name,
+                             const mach::ClusterSpec& cluster) {
+  auto app = core::make_app(app_name, core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.analyze = true;
+  return core::run_benchmark(
+      *app, cluster, mach::block_placement_on_nodes(cluster, 16, 2), opts);
+}
+
+class WaitStateConservation
+    : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(WaitStateConservation, ClassesPartitionMpiTimeOnBothClusters) {
+  const std::string app(GetParam());
+  for (const auto& cluster : {mach::cluster_a(), mach::cluster_b()}) {
+    const core::RunResult r = analyzed_run(app, cluster);
+    const auto rows = perf::wait_state_rows(r.engine());
+    ASSERT_EQ(rows.size(), 16u);
+    double mpi_total = 0.0;
+    for (const perf::WaitStateRow& row : rows) {
+      // Conservation by construction: the classifier lives inside the sole
+      // writer of time_in, so the defect is pure floating-point noise.
+      EXPECT_NEAR(row.sum(), row.mpi_s,
+                  1e-9 * std::max(1.0, std::abs(row.mpi_s)))
+          << app << " on " << cluster.name << " rank " << row.rank;
+      EXPECT_GE(row.late_sender_s, 0.0);
+      EXPECT_GE(row.late_receiver_s, 0.0);
+      EXPECT_GE(row.collective_s, 0.0);
+      EXPECT_EQ(row.fault_stall_s, 0.0);  // fault-free run
+      mpi_total += row.mpi_s;
+    }
+    EXPECT_GT(mpi_total, 0.0) << app << " on " << cluster.name
+                              << " ran without any MPI time";
+    EXPECT_LE(perf::wait_state_conservation_error(rows), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProxies, WaitStateConservation,
+                         ::testing::ValuesIn(core::app_names()),
+                         [](const auto& info) {
+                           std::string name(info.param);
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+// --- serial vs parallel engine -------------------------------------------
+
+/// Forwards the cluster's real network costs but reports no lookahead
+/// floor, which makes the engine fall back to the serial seed loop on any
+/// placement.  Same placement + same costs -> same virtual results; only
+/// the scheduler differs.
+class SerialReferenceNet final : public sim::NetworkModel {
+ public:
+  explicit SerialReferenceNet(const sim::NetworkModel* inner)
+      : inner_(inner) {}
+  sim::TransferCost transfer(int src, int dst, const sim::Placement& p,
+                             double bytes) const override {
+    return inner_->transfer(src, dst, p, bytes);
+  }
+  double control_latency(int src, int dst,
+                         const sim::Placement& p) const override {
+    return inner_->control_latency(src, dst, p);
+  }
+  // cross_node_lookahead() stays the base default: 0 (no partitioning).
+
+ private:
+  const sim::NetworkModel* inner_;
+};
+
+struct AnalysisSnapshot {
+  int partition_count = 0;
+  double elapsed = 0.0;
+  std::vector<perf::WaitStateRow> waits;
+  std::vector<sim::GraphEvent> graph;
+};
+
+AnalysisSnapshot engine_run(const std::string& app_name,
+                            const mach::ClusterSpec& cluster,
+                            bool serial_reference) {
+  auto app = core::make_app(app_name, core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  const mach::RooflineComputeModel compute(cluster);
+  const mach::HdrNetworkModel network(cluster.net);
+  const SerialReferenceNet serial_net(&network);
+  sim::EngineConfig cfg;
+  cfg.placement = mach::block_placement_on_nodes(cluster, 16, 2);
+  cfg.nranks = cfg.placement.nranks();
+  cfg.compute = &compute;
+  cfg.network = serial_reference
+                    ? static_cast<const sim::NetworkModel*>(&serial_net)
+                    : &network;
+  cfg.enable_graph = true;
+  sim::Engine engine(std::move(cfg));
+  engine.run(
+      [&](sim::Comm& c) -> sim::Task<> { return app->rank_main(c); });
+  AnalysisSnapshot snap;
+  snap.partition_count = engine.stats().partition_count;
+  snap.elapsed = engine.elapsed();
+  snap.waits = perf::wait_state_rows(engine);
+  snap.graph = engine.event_graph();
+  return snap;
+}
+
+TEST(WaitStateEngineIdentity, SerialAndParallelEnginesClassifyIdentically) {
+  for (const char* app : {"lbm", "minisweep", "pot3d"}) {
+    const AnalysisSnapshot serial = engine_run(app, mach::cluster_a(), true);
+    const AnalysisSnapshot parallel =
+        engine_run(app, mach::cluster_a(), false);
+    ASSERT_EQ(serial.partition_count, 1) << app;
+    ASSERT_EQ(parallel.partition_count, 2) << app;
+    ASSERT_EQ(serial.elapsed, parallel.elapsed) << app;
+    // Bit-identical per-rank classification...
+    ASSERT_EQ(serial.waits.size(), parallel.waits.size());
+    for (std::size_t r = 0; r < serial.waits.size(); ++r) {
+      EXPECT_EQ(serial.waits[r].late_sender_s, parallel.waits[r].late_sender_s)
+          << app << " rank " << r;
+      EXPECT_EQ(serial.waits[r].late_receiver_s,
+                parallel.waits[r].late_receiver_s)
+          << app << " rank " << r;
+      EXPECT_EQ(serial.waits[r].collective_s, parallel.waits[r].collective_s)
+          << app << " rank " << r;
+      EXPECT_EQ(serial.waits[r].mpi_s, parallel.waits[r].mpi_s)
+          << app << " rank " << r;
+    }
+    // ...and bit-identical critical-path analysis (the global event-graph
+    // order differs across partitionings; the analysis must not).
+    const perf::CriticalPath a =
+        perf::analyze_critical_path(serial.graph, 16, serial.elapsed);
+    const perf::CriticalPath b =
+        perf::analyze_critical_path(parallel.graph, 16, parallel.elapsed);
+    ASSERT_EQ(a.segments.size(), b.segments.size()) << app;
+    for (std::size_t i = 0; i < a.segments.size(); ++i) {
+      EXPECT_EQ(a.segments[i].rank, b.segments[i].rank) << app << " seg " << i;
+      EXPECT_EQ(a.segments[i].t_begin, b.segments[i].t_begin)
+          << app << " seg " << i;
+      EXPECT_EQ(a.segments[i].t_end, b.segments[i].t_end)
+          << app << " seg " << i;
+    }
+    ASSERT_EQ(a.by_rank.size(), b.by_rank.size());
+    for (std::size_t r = 0; r < a.by_rank.size(); ++r) {
+      EXPECT_EQ(a.by_rank[r].cp_s, b.by_rank[r].cp_s) << app << " rank " << r;
+      EXPECT_EQ(a.by_rank[r].slack_s, b.by_rank[r].slack_s)
+          << app << " rank " << r;
+    }
+  }
+}
+
+TEST(WaitStateTable, RendersTotalsAndCapsRows) {
+  std::vector<perf::WaitStateRow> rows;
+  for (int r = 0; r < 20; ++r) {
+    perf::WaitStateRow row;
+    row.rank = r;
+    row.late_sender_s = 0.25;
+    row.collective_s = 0.75;
+    row.mpi_s = 1.0;
+    rows.push_back(row);
+  }
+  std::ostringstream os;
+  perf::wait_state_table(rows, 4).print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("late_send[s]"), std::string::npos);
+  EXPECT_NE(out.find("..."), std::string::npos);
+  EXPECT_NE(out.find("total"), std::string::npos);
+  EXPECT_EQ(perf::wait_state_conservation_error(rows), 0.0);
+}
+
+}  // namespace

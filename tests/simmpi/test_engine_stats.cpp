@@ -2,6 +2,7 @@
 // index promotions, wildcard accounting, and rendezvous stall time.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "simmpi/simmpi.hpp"
@@ -100,6 +101,56 @@ TEST(EngineStats, RendezvousStallTimeIsAccounted) {
   const auto s = engine.stats();
   EXPECT_GT(s.rendezvous_stall_s, 0.0);
   EXPECT_GT(s.rzv_hwm, 0u);
+}
+
+TEST(EngineStats, StatsSurviveARejectedSecondRun) {
+  // Regression: the per-run counter reset used to run before (or not at
+  // all around) the one-shot guard, so a rejected second run() could zero
+  // rendezvous_stall_s and friends out of an already-reported engine.
+  sim::EngineConfig cfg;
+  cfg.nranks = 2;
+  sim::Engine engine(std::move(cfg));
+  auto program = [](sim::Comm& c) -> sim::Task<> {
+    if (c.rank() == 1) {
+      co_await c.send_bytes(0, 3, 8.0 * 1024.0 * 1024.0);
+    } else {
+      co_await c.delay(0.25, "late-post");
+      co_await c.recv_bytes(1, 3);
+    }
+  };
+  engine.run(program);
+  const auto before = engine.stats();
+  ASSERT_GT(before.rendezvous_stall_s, 0.0);
+  EXPECT_THROW(engine.run(program), std::logic_error);
+  const auto after = engine.stats();
+  EXPECT_EQ(after.rendezvous_stall_s, before.rendezvous_stall_s);
+  EXPECT_EQ(after.events_processed, before.events_processed);
+  ASSERT_EQ(after.partitions.size(), before.partitions.size());
+  for (std::size_t p = 0; p < before.partitions.size(); ++p) {
+    EXPECT_EQ(after.partitions[p].events_processed,
+              before.partitions[p].events_processed);
+    EXPECT_EQ(after.partitions[p].rendezvous_stall_s,
+              before.partitions[p].rendezvous_stall_s);
+  }
+}
+
+TEST(EngineStats, HostProfilingOffKeepsWallFieldsExactlyZero) {
+  // Determinism contract: without EngineConfig::profile_host every host
+  // wall-clock field is exactly 0.0 (they feed byte-identity comparisons).
+  sim::EngineConfig cfg;
+  cfg.nranks = 4;
+  sim::Engine engine(std::move(cfg));
+  engine.run([](sim::Comm& c) -> sim::Task<> {
+    co_await c.delay(0.01, "work");
+    co_await c.barrier();
+  });
+  const auto s = engine.stats();
+  EXPECT_FALSE(s.host_profiled);
+  EXPECT_EQ(s.barrier_wait_s, 0.0);
+  for (const sim::PartitionStats& p : s.partitions) {
+    EXPECT_EQ(p.exec_wall_s, 0.0);
+    EXPECT_EQ(p.ingest_wall_s, 0.0);
+  }
 }
 
 TEST(EngineStats, ForcedEagerRemovesRendezvousStalls) {

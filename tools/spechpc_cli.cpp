@@ -52,6 +52,7 @@ struct Args {
   std::string csv_out;     // legacy spelling of --format csv --out FILE
   std::string faults_path;  // run: fault-plan JSON
   std::string watchdog;     // run: throw|diagnose (default depends on plan)
+  std::string analyze;      // run: waits|critpath|all
   std::vector<double> freqs;  // zplot: clock-scaling factors (1.0 = nominal)
 };
 
@@ -63,7 +64,7 @@ int usage() {
          "                    [--ranks N | --nodes N] [--steps N] [--eager]\n"
          "                    [--regions] [--report out.json]\n"
          "                    [--faults plan.json] [--watchdog throw|diagnose]\n"
-         "                    [--engine-threads N]\n"
+         "                    [--engine-threads N] [--analyze waits|critpath|all]\n"
          "  spechpc_cli sweep <app> [--cluster A|B] [--workload tiny|small]\n"
          "                    [--max-ranks N] [--jobs N] [--progress]\n"
          "                    [--report out.json]\n"
@@ -146,6 +147,14 @@ std::optional<Args> parse(int argc, char** argv) {
       if (ok && a.watchdog != "throw" && a.watchdog != "diagnose") {
         std::cerr << "error: flag --watchdog expects throw|diagnose, got '"
                   << a.watchdog << "'\n";
+        ok = false;
+      }
+    } else if (flag == "--analyze") {
+      a.analyze = next();
+      if (ok && a.analyze != "waits" && a.analyze != "critpath" &&
+          a.analyze != "all") {
+        std::cerr << "error: flag --analyze expects waits|critpath|all, got '"
+                  << a.analyze << "'\n";
         ok = false;
       }
     } else if (flag == "--ranks") {
@@ -245,6 +254,11 @@ int cmd_run(const Args& a) {
   opts.regions = a.regions || !a.report_out.empty();
   opts.trace = !a.report_out.empty();
   opts.engine_threads = a.engine_threads;
+  // --analyze waits classifies from the always-on accumulators; critpath/all
+  // additionally retain the event graph.  Host self-profiling rides along so
+  // the partition-profile table carries real wall-clock numbers.
+  opts.analyze = a.analyze == "critpath" || a.analyze == "all";
+  opts.profile_host = !a.analyze.empty();
 
   std::optional<resilience::FaultPlan> plan;
   if (!a.faults_path.empty()) {
@@ -304,6 +318,46 @@ int cmd_run(const Args& a) {
     rt.add_row({"recompute time [s]", perf::Table::num(log.recompute_s, 5)});
     std::cout << "\n";
     rt.print(std::cout);
+  }
+  if (!a.analyze.empty()) {
+    if (a.analyze == "waits" || a.analyze == "all") {
+      std::cout << "\nwait states (per-rank MPI-time classification):\n";
+      perf::wait_state_table(perf::wait_state_rows(r.engine()))
+          .print(std::cout);
+    }
+    if (a.analyze == "critpath" || a.analyze == "all") {
+      const perf::CriticalPath cp = perf::analyze_critical_path(
+          r.engine().event_graph(), r.engine().nranks(), r.engine().elapsed());
+      std::cout << "\ncritical path (makespan "
+                << perf::Table::num(cp.makespan_s, 6) << " s, length "
+                << perf::Table::num(cp.length_s, 6) << " s, "
+                << cp.segments.size() << " segments, " << cp.steps
+                << " walk steps):\n";
+      perf::critical_path_class_table(cp).print(std::cout);
+      std::cout << "\n";
+      perf::critical_path_rank_table(cp).print(std::cout);
+    }
+    const sim::EngineStats& es = r.engine().stats();
+    if (es.partition_count > 1) {
+      std::cout << "\npartition profile (lookahead "
+                << perf::Table::num(es.lookahead_s * 1e6, 3)
+                << " us, barrier wait "
+                << perf::Table::num(es.barrier_wait_s, 3) << " s host):\n";
+      perf::Table pt({"partition", "ranks", "events", "windows",
+                      "empty win", "ingested msgs", "ingested MB",
+                      "rzv stall[s]", "exec[s]", "ingest[s]"});
+      for (const sim::PartitionStats& ps : es.partitions)
+        pt.add_row({std::to_string(ps.id), std::to_string(ps.nranks),
+                    std::to_string(ps.events_processed),
+                    std::to_string(ps.horizon_syncs),
+                    std::to_string(ps.empty_windows),
+                    std::to_string(ps.cross_messages_ingested),
+                    perf::Table::num(ps.cross_bytes_ingested / 1e6, 2),
+                    perf::Table::num(ps.rendezvous_stall_s, 5),
+                    perf::Table::num(ps.exec_wall_s, 3),
+                    perf::Table::num(ps.ingest_wall_s, 3)});
+      pt.print(std::cout);
+    }
   }
   if (!a.report_out.empty()) {
     perf::RunReport rep = core::build_report(r, cluster, a.app, a.workload);
@@ -422,6 +476,9 @@ int cmd_trace(const Args& a) {
   app->set_warmup_steps(1);
   core::RunOptions opts;
   opts.trace = true;
+  // Trace runs are small; always retain the event graph so the Chrome
+  // export can overlay the critical path as flow arrows.
+  opts.analyze = true;
   const int ranks = a.ranks.value_or(cluster.cpu.cores_per_domain());
   const auto r = a.nodes
                      ? core::run_on_nodes(*app, cluster, *a.nodes, opts)
@@ -452,7 +509,9 @@ int cmd_trace(const Args& a) {
       // rank timelines.
       const power::EnergyTimeline tl =
           power::analyze_timeline(power::PowerModel(cluster), r.engine(), 64);
-      perf::export_chrome_trace(r.engine().timeline(), *os, &tl);
+      const perf::CriticalPath cp = perf::analyze_critical_path(
+          r.engine().event_graph(), r.engine().nranks(), r.engine().elapsed());
+      perf::export_chrome_trace(r.engine().timeline(), *os, &tl, &cp);
     } else {
       perf::export_csv(r.engine().timeline(), *os);
     }
