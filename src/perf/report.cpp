@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace spechpc::perf {
 
 namespace {
@@ -581,6 +583,15 @@ class Checker {
 }  // namespace
 
 bool is_valid_json(std::string_view text, std::string* error) {
+  // Same hard input cap as the DOM parser (util::parse_json): a validator
+  // that walks an unbounded document is itself a denial-of-service surface.
+  if (text.size() > util::kMaxJsonBytes) {
+    if (error)
+      *error = "document exceeds the " +
+               std::to_string(util::kMaxJsonBytes) + "-byte limit (got " +
+               std::to_string(text.size()) + " bytes)";
+    return false;
+  }
   return Checker(text).run(error);
 }
 

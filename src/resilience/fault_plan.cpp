@@ -1,282 +1,58 @@
 #include "resilience/fault_plan.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace spechpc::resilience {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON DOM parser.
-//
-// The perf library ships only a validator (it never needs the values); plans
-// do need values, so this is the one place in the codebase that materializes
-// a JSON document.  It is deliberately small: objects, arrays, numbers,
-// strings, bools, null, a depth limit, and precise error positions.
+// The JSON DOM/parsing layer lives in util/json.* (shared with the service
+// request parser): one hardened implementation enforces the input-size and
+// nesting-depth limits and produces "fault plan JSON: ... at offset N"
+// errors.  This file only keeps the plan schema.
 
 namespace {
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  // std::map keeps error messages and to_json round-trips deterministic.
-  std::map<std::string, JsonValue> object;
-  std::vector<JsonValue> array;
-};
+using util::JsonValue;
 
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value(0);
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
-  }
-
- private:
-  static constexpr int kMaxDepth = 32;
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("fault plan JSON: " + what + " at offset " +
-                             std::to_string(pos_));
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r'))
-      ++pos_;
-  }
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of document");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  bool consume(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  JsonValue value(int depth) {
-    if (depth > kMaxDepth) fail("nesting too deep");
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object(depth);
-    if (c == '[') return array(depth);
-    if (c == '"') {
-      JsonValue v;
-      v.type = JsonValue::Type::kString;
-      v.string = string();
-      return v;
-    }
-    if (consume("true")) {
-      JsonValue v;
-      v.type = JsonValue::Type::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume("false")) {
-      JsonValue v;
-      v.type = JsonValue::Type::kBool;
-      return v;
-    }
-    if (consume("null")) return {};
-    return number();
-  }
-
-  JsonValue object(int depth) {
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      if (!v.object.emplace(std::move(key), value(depth + 1)).second)
-        fail("duplicate object key");
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array(int depth) {
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value(depth + 1));
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20)
-        fail("unescaped control character in string");
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else
-              fail("bad \\u escape digit");
-          }
-          // Plans are ASCII configuration data; encode BMP code points as
-          // UTF-8 without surrogate-pair handling.
-          if (code < 0x80) {
-            out.push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
-          break;
-        }
-        default: fail("unknown escape character");
-      }
-    }
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
-      pos_ = start;
-      fail("malformed number '" + token + "'");
-    }
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = d;
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-// --- schema helpers --------------------------------------------------------
+/// Schema reader throwing "fault plan: ..." errors (the historical prefix).
+const util::SchemaReader& reader() {
+  static const util::SchemaReader r("fault plan");
+  return r;
+}
 
 [[noreturn]] void plan_error(const std::string& what) {
-  throw std::runtime_error("fault plan: " + what);
+  reader().error(what);
 }
 
 double get_number(const JsonValue& obj, const std::string& key, double dflt,
                   const char* ctx) {
-  const auto it = obj.object.find(key);
-  if (it == obj.object.end()) return dflt;
-  if (it->second.type != JsonValue::Type::kNumber)
-    plan_error(std::string(ctx) + "." + key + " must be a number");
-  return it->second.number;
+  return reader().number(obj, key, dflt, ctx);
 }
 
 int get_int(const JsonValue& obj, const std::string& key, int dflt,
             const char* ctx) {
-  const double d = get_number(obj, key, dflt, ctx);
-  if (d != std::floor(d) || d < -2147483648.0 || d > 2147483647.0)
-    plan_error(std::string(ctx) + "." + key + " must be an integer");
-  return static_cast<int>(d);
+  return reader().integer(obj, key, dflt, ctx);
 }
 
 bool get_bool(const JsonValue& obj, const std::string& key, bool dflt,
               const char* ctx) {
-  const auto it = obj.object.find(key);
-  if (it == obj.object.end()) return dflt;
-  if (it->second.type != JsonValue::Type::kBool)
-    plan_error(std::string(ctx) + "." + key + " must be a boolean");
-  return it->second.boolean;
+  return reader().boolean(obj, key, dflt, ctx);
 }
 
 void check_keys(const JsonValue& obj,
                 std::initializer_list<std::string_view> allowed,
                 const char* ctx) {
-  for (const auto& kv : obj.object) {
-    bool ok = false;
-    for (const auto a : allowed) ok = ok || kv.first == a;
-    if (!ok) plan_error(std::string("unknown key '") + kv.first + "' in " +
-                        ctx);
-  }
+  reader().check_keys(obj, allowed, ctx);
 }
 
 const JsonValue* get_array(const JsonValue& obj, const std::string& key,
                            const char* ctx) {
-  const auto it = obj.object.find(key);
-  if (it == obj.object.end()) return nullptr;
-  if (it->second.type != JsonValue::Type::kArray)
-    plan_error(std::string(ctx) + "." + key + " must be an array");
-  return &it->second;
+  return reader().array(obj, key, ctx);
 }
 
 /// Compact float formatting matching the report emitter ("null" never
@@ -323,7 +99,7 @@ double FaultPlan::next_crash_after(int rank, double t) const {
 }
 
 FaultPlan FaultPlan::parse(std::string_view json) {
-  const JsonValue root = JsonParser(json).parse();
+  const JsonValue root = util::parse_json(json, "fault plan JSON");
   if (root.type != JsonValue::Type::kObject)
     plan_error("document must be an object");
   check_keys(root,

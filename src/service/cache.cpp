@@ -1,0 +1,186 @@
+#include "service/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/fsio.hpp"
+#include "util/hash.hpp"
+
+namespace spechpc::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "spechpc-cache";
+constexpr int kFormatVersion = 1;
+constexpr const char* kEntrySuffix = ".rr";
+
+/// "spechpc-cache 1 <sha256-hex> <payload-bytes>\n<payload>"
+std::string encode_entry(const std::string& value) {
+  std::string out = kMagic;
+  out += ' ';
+  out += std::to_string(kFormatVersion);
+  out += ' ';
+  out += util::sha256_hex(value);
+  out += ' ';
+  out += std::to_string(value.size());
+  out += '\n';
+  out += value;
+  return out;
+}
+
+/// Decodes and verifies an entry file; nullopt on any mismatch (magic,
+/// version, length, checksum).
+std::optional<std::string> decode_entry(const std::string& raw) {
+  const std::size_t nl = raw.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  const std::string header = raw.substr(0, nl);
+  // header = "spechpc-cache 1 <64-hex> <digits>"
+  unsigned long long version = 0, length = 0;
+  char hex[80] = {0};
+  char magic[32] = {0};
+  if (std::sscanf(header.c_str(), "%31s %llu %79s %llu", magic, &version,
+                  hex, &length) != 4)
+    return std::nullopt;
+  if (std::string(magic) != kMagic ||
+      version != static_cast<unsigned long long>(kFormatVersion))
+    return std::nullopt;
+  if (std::string_view(hex).size() != 64) return std::nullopt;
+  const std::string payload = raw.substr(nl + 1);
+  if (payload.size() != length) return std::nullopt;
+  if (util::sha256_hex(payload) != hex) return std::nullopt;
+  return payload;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.memory_entries == 0) cfg_.memory_entries = 1;
+  if (cfg_.dir.empty()) return;
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);
+  // Startup sweep: temp files are torn writes of a previous process (crash
+  // mid-write); under the atomic-rename protocol they are garbage by
+  // definition.  Final-name entries are NOT validated here -- reads verify
+  // lazily, which keeps restart O(#tmp files) instead of O(cache bytes).
+  for (const auto& de : fs::directory_iterator(cfg_.dir, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.rfind(util::kTmpPrefix, 0) == 0) {
+      std::error_code rm_ec;
+      fs::remove(de.path(), rm_ec);
+      if (!rm_ec) ++stats_.tmp_swept;
+    }
+  }
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return cfg_.dir + "/" + key + kEntrySuffix;
+}
+
+void ResultCache::put_memory_locked(const std::string& key,
+                                    const std::string& value) {
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->value = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, value});
+  index_[key] = lru_.begin();
+  while (lru_.size() > cfg_.memory_entries) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::optional<std::string> ResultCache::read_disk_locked(
+    const std::string& key) {
+  if (cfg_.dir.empty()) return std::nullopt;
+  const std::string path = entry_path(key);
+  std::optional<std::string> raw = util::read_file(path);
+  if (!raw) return std::nullopt;
+  std::optional<std::string> payload = decode_entry(*raw);
+  if (!payload) {
+    // Verification failed: the entry is torn or bit-rotted.  Move it aside
+    // (never delete evidence, never serve it) and let the caller recompute;
+    // the next put() rewrites the final name atomically.
+    std::error_code ec;
+    fs::rename(path, path + ".corrupt", ec);
+    if (ec) fs::remove(path, ec);
+    ++stats_.corrupt_quarantined;
+    return std::nullopt;
+  }
+  return payload;
+}
+
+std::optional<std::string> ResultCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.memory_hits;
+    return it->second->value;
+  }
+  if (std::optional<std::string> payload = read_disk_locked(key)) {
+    put_memory_locked(key, *payload);
+    ++stats_.disk_hits;
+    return payload;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+  put_memory_locked(key, value);
+  if (cfg_.dir.empty()) return;
+  try {
+    util::atomic_write_file(entry_path(key), encode_entry(value));
+  } catch (const std::exception&) {
+    ++disk_write_errors_;  // degrade to memory-only, never take the run down
+  }
+}
+
+void ResultCache::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cfg_.dir.empty()) return;
+  std::error_code ec;
+  std::uint64_t entries = 0;
+  for (const auto& de : fs::directory_iterator(cfg_.dir, ec))
+    if (de.path().extension() == kEntrySuffix) ++entries;
+  std::string idx = "{\"advisory\":true,\"entries\":" +
+                    std::to_string(entries) +
+                    ",\"puts\":" + std::to_string(stats_.puts) +
+                    ",\"memory_hits\":" + std::to_string(stats_.memory_hits) +
+                    ",\"disk_hits\":" + std::to_string(stats_.disk_hits) +
+                    ",\"misses\":" + std::to_string(stats_.misses) +
+                    ",\"corrupt_quarantined\":" +
+                    std::to_string(stats_.corrupt_quarantined) + "}\n";
+  try {
+    util::atomic_write_file(cfg_.dir + "/index.json", idx);
+  } catch (const std::exception&) {
+    ++disk_write_errors_;
+  }
+  util::fsync_dir(cfg_.dir);
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ResultCache::memory_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::vector<std::string> ResultCache::memory_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e.key);
+  return out;
+}
+
+}  // namespace spechpc::service

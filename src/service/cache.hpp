@@ -1,0 +1,105 @@
+// Content-addressed result cache: in-memory LRU over a crash-safe disk tier.
+//
+// Keys are SHA-256 content addresses (service::cache_key), values are report
+// JSON documents.  The two tiers have different jobs:
+//
+//   * The in-memory LRU bounds hot-path latency: a bounded list+map, most
+//     recent at the front, evicting beyond `memory_entries` (disk copies
+//     survive eviction).
+//   * The disk tier is the durability story.  One file per key, written via
+//     write-temp + fsync + atomic-rename (util::atomic_write_file), with a
+//     self-describing header carrying the payload's SHA-256 and length.
+//     Every read re-verifies both; an entry that fails verification is
+//     quarantined (renamed to "<name>.corrupt") and reported as a miss so
+//     the caller recomputes.  A kill -9 at any instant therefore leaves the
+//     cache serving only complete, checksum-clean entries: torn writes can
+//     only exist under temp names, which readers never open and startup
+//     sweeps away.
+//
+// The directory IS the index -- recovery never trusts a side file.  flush()
+// additionally snapshots an informational index.json (entry count, stats)
+// for operators; it is advisory only.
+//
+// Thread safety: all public methods are safe to call concurrently (one
+// internal mutex; the disk tier piggybacks on it, which is fine at service
+// request granularity where simulation cost dominates).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spechpc::service {
+
+struct CacheConfig {
+  /// Disk tier directory; empty = memory-only cache.  Created (one level)
+  /// if missing.
+  std::string dir;
+  /// In-memory LRU capacity in entries (>= 1).
+  std::size_t memory_entries = 128;
+};
+
+struct CacheStats {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;  ///< disk read, verified, promoted to memory
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t evictions = 0;  ///< memory-tier LRU evictions
+  /// Disk entries that failed header/length/checksum verification and were
+  /// renamed aside.  Served-corrupt is impossible by construction; this
+  /// counts detections.
+  std::uint64_t corrupt_quarantined = 0;
+  /// Orphaned temp files removed by the startup sweep (torn writes of a
+  /// previous, killed process).
+  std::uint64_t tmp_swept = 0;
+
+  std::uint64_t hits() const { return memory_hits + disk_hits; }
+  std::uint64_t lookups() const { return hits() + misses; }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig cfg);
+
+  /// Returns the cached document, or nullopt (miss or quarantined entry).
+  std::optional<std::string> get(const std::string& key);
+  /// Inserts/overwrites an entry in both tiers.  Disk IO errors (disk full,
+  /// permissions) are swallowed after counting: a cache must degrade to
+  /// memory-only, not take the service down.
+  void put(const std::string& key, const std::string& value);
+
+  /// Durability hint on drain: fsyncs the cache directory and snapshots the
+  /// advisory index.json.  Recovery works without it (the directory is the
+  /// index); this just makes completed renames durable across power loss.
+  void flush();
+
+  CacheStats stats() const;
+  /// Number of entries currently resident in the memory tier.
+  std::size_t memory_size() const;
+  /// Memory-tier keys, most recently used first (test introspection).
+  std::vector<std::string> memory_keys() const;
+  const std::string& dir() const { return cfg_.dir; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  std::string entry_path(const std::string& key) const;
+  void put_memory_locked(const std::string& key, const std::string& value);
+  std::optional<std::string> read_disk_locked(const std::string& key);
+
+  CacheConfig cfg_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+  std::uint64_t disk_write_errors_ = 0;
+};
+
+}  // namespace spechpc::service

@@ -1,0 +1,98 @@
+#include "service/execute.hpp"
+
+#include <optional>
+
+#include "core/runner.hpp"
+#include "core/suite.hpp"
+#include "core/sweep.hpp"
+#include "machine/specs.hpp"
+#include "perf/report.hpp"
+
+namespace spechpc::service {
+
+namespace {
+
+mach::ClusterSpec pick_cluster(const std::string& name) {
+  // parse_request validated the name; default defensively to A.
+  return name == "B" ? mach::cluster_b() : mach::cluster_a();
+}
+
+core::Workload pick_workload(const std::string& name) {
+  return name == "small" ? core::Workload::kSmall : core::Workload::kTiny;
+}
+
+std::string execute_run(const SimRequest& req,
+                        const std::atomic<bool>* cancel) {
+  const mach::ClusterSpec cluster = pick_cluster(req.cluster);
+  auto app = core::make_app(req.app, pick_workload(req.workload));
+  app->set_measured_steps(req.steps);
+  app->set_warmup_steps(1);
+
+  core::RunOptions opts;
+  opts.protocol.force_eager = req.eager;
+  // The response is the report, so the collectors are always on (they do not
+  // perturb the simulated results) -- same contract as the CLI's --report.
+  opts.regions = true;
+  opts.trace = true;
+  opts.analyze = req.analyze;
+  opts.profile_host = false;  // host wall-clock would break byte-identity
+  opts.engine_threads = req.engine_threads;
+  opts.watchdog.cancel = cancel;
+
+  std::optional<resilience::FaultPlan> plan;
+  if (!req.fault_plan_json.empty()) {
+    plan = resilience::FaultPlan::parse(req.fault_plan_json);
+    opts.faults = &*plan;
+    app->set_fault_plan(&*plan);
+    // Degraded runs produce their diagnosis inside the report instead of
+    // throwing -- the artifact is the product (CLI default for fault runs).
+    opts.watchdog.on_stall = sim::WatchdogConfig::OnStall::kDiagnose;
+  }
+
+  core::RunResult result =
+      req.nodes > 0 ? core::run_on_nodes(*app, cluster, req.nodes, opts)
+                    : core::run_benchmark(*app, cluster, req.ranks, opts);
+  perf::RunReport report =
+      core::build_report(result, cluster, req.app, req.workload);
+  if (plan) report.resilience.plan_json = plan->to_json();
+  return perf::to_json(report);
+}
+
+std::string execute_sweep(const SimRequest& req,
+                          const std::atomic<bool>* cancel, int sweep_jobs) {
+  const mach::ClusterSpec cluster = pick_cluster(req.cluster);
+  core::SweepRunner pool(sweep_jobs);
+  core::RunOptions opts;
+  opts.regions = true;
+  opts.watchdog.cancel = cancel;
+  auto results = pool.map<core::RunResult>(
+      static_cast<std::size_t>(req.ranks), [&](std::size_t i) {
+        auto app = core::make_app(req.app, pick_workload(req.workload));
+        app->set_measured_steps(req.steps);
+        app->set_warmup_steps(1);
+        return core::run_benchmark(*app, cluster, static_cast<int>(i) + 1,
+                                   opts);
+      });
+  // Same wrapper the CLI's `sweep --report` emits: one RunReport per point.
+  std::string json = "{\"schema_version\":" +
+                     std::to_string(perf::kRunReportSchemaVersion) +
+                     ",\"points\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) json += ',';
+    json += perf::to_json(
+        core::build_report(results[i], cluster, req.app, req.workload));
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace
+
+std::string execute_request(const SimRequest& req,
+                            const std::atomic<bool>* cancel, int sweep_jobs) {
+  return req.kind == SimRequest::Kind::kRun
+             ? execute_run(req, cancel)
+             : execute_sweep(req, cancel, sweep_jobs);
+}
+
+}  // namespace spechpc::service

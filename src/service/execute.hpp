@@ -1,0 +1,30 @@
+// Request execution: one validated SimRequest -> one deterministic report.
+//
+// The returned bytes are the unit the result cache stores, so determinism is
+// load-bearing: execution always runs with host self-profiling off and a
+// fixed report configuration (regions + trace on, exactly like the CLI's
+// --report path), which makes the report a pure function of the request's
+// semantic fields -- byte-identical across engine thread counts, sweep
+// worker counts, and repeat invocations (the PR-5/PR-6 identity tests are
+// the proof obligation).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "service/request.hpp"
+
+namespace spechpc::service {
+
+/// Runs `req` to completion and returns the report document:
+///   kRun   -> a RunReport JSON object (perf::validate_run_report_json);
+///   kSweep -> {"schema_version":N,"points":[RunReport...]} in rank order.
+/// `cancel` (may be null) is polled by the engine; when it fires the run
+/// aborts with sim::CancelledError.  `sweep_jobs` sizes the SweepRunner pool
+/// for kSweep requests (an execution knob: the report bytes are identical
+/// for every value).
+std::string execute_request(const SimRequest& req,
+                            const std::atomic<bool>* cancel,
+                            int sweep_jobs = 1);
+
+}  // namespace spechpc::service

@@ -1,0 +1,131 @@
+#include "service/request.hpp"
+
+#include <stdexcept>
+
+#include "core/suite.hpp"
+#include "machine/specs.hpp"
+#include "util/hash.hpp"
+
+namespace spechpc::service {
+
+namespace {
+
+const util::SchemaReader& reader() {
+  static const util::SchemaReader r("request");
+  return r;
+}
+
+/// Cores per node of the named cluster; throws "request: ..." on unknown
+/// names so parse errors stay uniform.
+int cluster_cores(const std::string& name) {
+  if (name == "A") return mach::cluster_a().cores_per_node();
+  if (name == "B") return mach::cluster_b().cores_per_node();
+  reader().error("params.cluster must be \"A\" or \"B\", got \"" + name +
+                 "\"");
+}
+
+}  // namespace
+
+SimRequest parse_request(const util::JsonValue& params,
+                         SimRequest::Kind kind) {
+  const util::SchemaReader& r = reader();
+  if (!params.is_object()) r.error("params must be an object");
+  r.check_keys(params,
+               {"app", "workload", "cluster", "ranks", "nodes", "steps",
+                "eager", "analyze", "faults", "max_ranks", "engine_threads",
+                "deadline_ms"},
+               "params");
+  SimRequest req;
+  req.kind = kind;
+  req.app = r.string(params, "app", "", "params");
+  if (req.app.empty()) r.error("params.app is required");
+  {
+    bool known = false;
+    for (const std::string_view name : core::app_names())
+      known = known || name == req.app;
+    if (!known) r.error("params.app: unknown benchmark \"" + req.app + "\"");
+  }
+  req.workload = r.string(params, "workload", "tiny", "params");
+  if (req.workload != "tiny" && req.workload != "small")
+    r.error("params.workload must be \"tiny\" or \"small\"");
+  req.cluster = r.string(params, "cluster", "A", "params");
+  const int cores = cluster_cores(req.cluster);
+
+  req.steps = r.integer(params, "steps", 3, "params");
+  if (req.steps < 1 || req.steps > 1000)
+    r.error("params.steps must be in [1, 1000]");
+  req.eager = r.boolean(params, "eager", false, "params");
+  req.analyze = r.boolean(params, "analyze", false, "params");
+
+  if (kind == SimRequest::Kind::kRun) {
+    req.ranks = r.integer(params, "ranks", 0, "params");
+    req.nodes = r.integer(params, "nodes", 0, "params");
+    if (req.ranks < 0 || req.ranks > 1 << 20)
+      r.error("params.ranks must be in [0, 1048576]");
+    if (req.nodes < 0 || req.nodes > 4096)
+      r.error("params.nodes must be in [0, 4096]");
+    if (req.ranks > 0 && req.nodes > 0)
+      r.error("params.ranks and params.nodes are mutually exclusive");
+    // Resolve the "one full node" default so every spelling of the same
+    // simulation canonicalizes to one key.
+    if (req.nodes == 0 && req.ranks == 0) req.ranks = cores;
+  } else {
+    if (params.object.count("ranks") || params.object.count("nodes"))
+      r.error("sweep params take max_ranks, not ranks/nodes");
+    req.ranks = r.integer(params, "max_ranks", 0, "params");
+    if (req.ranks < 0 || req.ranks > 4096)
+      r.error("params.max_ranks must be in [0, 4096]");
+    if (req.ranks == 0) req.ranks = cores;
+  }
+
+  if (const util::JsonValue* plan =
+          r.object_field(params, "faults", "params")) {
+    // Round-trip through the fault-plan parser: validates the plan and
+    // canonicalizes it (key order, number formatting) in one step.  Re-emit
+    // only non-empty plans so {"faults": {}} equals no faults at all.
+    resilience::FaultPlan parsed;
+    try {
+      parsed = resilience::FaultPlan::parse(util::json_serialize(*plan));
+    } catch (const std::exception& e) {
+      r.error(std::string("params.faults: ") + e.what());
+    }
+    if (!parsed.empty() || parsed.hard_crashes || parsed.seed != 0)
+      req.fault_plan_json = parsed.to_json();
+  }
+
+  req.engine_threads = r.integer(params, "engine_threads", 1, "params");
+  if (req.engine_threads < 1 || req.engine_threads > 256)
+    r.error("params.engine_threads must be in [1, 256]");
+  const int deadline_ms = r.integer(params, "deadline_ms", 0, "params");
+  if (deadline_ms < 0) r.error("params.deadline_ms must be >= 0");
+  req.deadline_s = deadline_ms / 1000.0;
+  return req;
+}
+
+SimRequest parse_request(std::string_view json, SimRequest::Kind kind) {
+  return parse_request(util::parse_json(json, "request JSON"), kind);
+}
+
+std::string canonical_json(const SimRequest& req) {
+  std::string out = "{\"kind\":";
+  out += req.kind == SimRequest::Kind::kRun ? "\"run\"" : "\"sweep\"";
+  out += ",\"app\":" + util::json_quote(req.app);
+  out += ",\"workload\":" + util::json_quote(req.workload);
+  out += ",\"cluster\":" + util::json_quote(req.cluster);
+  out += ",\"ranks\":" + std::to_string(req.ranks);
+  out += ",\"nodes\":" + std::to_string(req.nodes);
+  out += ",\"steps\":" + std::to_string(req.steps);
+  out += std::string(",\"eager\":") + (req.eager ? "true" : "false");
+  out += std::string(",\"analyze\":") + (req.analyze ? "true" : "false");
+  out += ",\"faults\":";
+  // The plan is already canonical JSON (FaultPlan::to_json); embed verbatim.
+  out += req.fault_plan_json.empty() ? "null" : req.fault_plan_json;
+  out += "}";
+  return out;
+}
+
+std::string cache_key(const SimRequest& req) {
+  return util::sha256_hex(canonical_json(req));
+}
+
+}  // namespace spechpc::service

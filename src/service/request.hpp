@@ -1,0 +1,76 @@
+// Simulation requests: the unit of work `spechpcd` schedules and memoizes.
+//
+// Every simulation is a pure function of (app, size, machine, decomposition,
+// fault plan, model knobs).  A SimRequest captures exactly that tuple, split
+// into two kinds of fields:
+//
+//   * semantic fields -- they change the simulated results or the response
+//     bytes (app, workload, cluster, ranks/nodes, steps, eager, analyze,
+//     fault plan).  These and only these enter the canonical form and hence
+//     the cache key.
+//   * execution knobs -- they change how fast the answer is computed but not
+//     what it is (engine_threads, sweep jobs, deadlines, idempotency keys).
+//     The engine's bit-identity guarantees (PR 5) are what make stripping
+//     them sound: any thread count produces the same RunReport bytes.
+//
+// parse_request() is hardened by construction: it rides util::parse_json
+// (64 MiB input cap, nesting-depth cap, duplicate-key rejection) and rejects
+// unknown keys, unknown apps/clusters/workloads, and out-of-range sizes with
+// structured one-line errors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "resilience/fault_plan.hpp"
+#include "util/json.hpp"
+
+namespace spechpc::service {
+
+struct SimRequest {
+  enum class Kind { kRun, kSweep };
+  Kind kind = Kind::kRun;
+
+  // --- semantic fields (enter the cache key) -------------------------------
+  std::string app;
+  std::string workload = "tiny";  ///< tiny|small
+  std::string cluster = "A";      ///< A|B
+  /// kRun: rank count; parse_request resolves 0 ("one full node") to the
+  /// cluster's cores_per_node so equivalent spellings share one key.
+  /// kSweep: the highest rank count of the sweep (resolved the same way).
+  int ranks = 0;
+  /// kRun only: when > 0, run on all cores of this many nodes (overrides
+  /// ranks, mirroring the CLI's --nodes).
+  int nodes = 0;
+  int steps = 3;
+  bool eager = false;
+  /// Retain the event graph and emit wait-state/critical-path sections.
+  bool analyze = false;
+  /// Canonical fault-plan JSON (FaultPlan::to_json of the parsed plan);
+  /// empty = fault-free.  Canonicalizing at parse time means semantically
+  /// identical plans with different whitespace/key order share one key.
+  std::string fault_plan_json;
+
+  // --- execution knobs (never enter the cache key) -------------------------
+  int engine_threads = 1;  ///< partitioned-engine workers for this request
+  /// Client-requested deadline in seconds; 0 = the service default.
+  double deadline_s = 0.0;
+};
+
+/// Parses the `params` object of a run/sweep request.  Throws
+/// std::runtime_error with a "request: ..." message on any violation.
+SimRequest parse_request(const util::JsonValue& params, SimRequest::Kind kind);
+
+/// Convenience overload: parses `json` text first (hardened limits apply).
+SimRequest parse_request(std::string_view json, SimRequest::Kind kind);
+
+/// Canonical single-line JSON of the semantic fields, fixed key order.
+/// Two requests are semantically identical iff their canonical forms are
+/// byte-equal.
+std::string canonical_json(const SimRequest& req);
+
+/// Content address of a request: lowercase-hex SHA-256 of canonical_json().
+/// This is both the result-cache key and the default idempotency key.
+std::string cache_key(const SimRequest& req);
+
+}  // namespace spechpc::service

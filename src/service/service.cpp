@@ -1,0 +1,318 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+
+#include "service/execute.hpp"
+#include "simmpi/faults.hpp"
+#include "util/json.hpp"
+
+namespace spechpc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration seconds_of(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+std::string error_response(const std::string& id, const std::string& code,
+                           const std::string& message,
+                           int retry_after_ms = -1) {
+  std::string out = "{\"id\":" + id + ",\"error\":{\"code\":\"" + code +
+                    "\",\"message\":" + util::json_quote(message);
+  if (retry_after_ms >= 0)
+    out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
+  out += "}}";
+  return out;
+}
+
+std::string result_response(const std::string& id, const std::string& report,
+                            bool cached, const std::string& key) {
+  // The report document is embedded verbatim: clients that strip the
+  // envelope get byte-identical report JSON whether it came from the cache
+  // or a fresh compute.
+  return "{\"id\":" + id +
+         ",\"result\":{\"cached\":" + (cached ? "true" : "false") +
+         ",\"key\":\"" + key + "\",\"report\":" + report + "}}";
+}
+
+const util::SchemaReader& reader() {
+  static const util::SchemaReader r("request");
+  return r;
+}
+
+}  // namespace
+
+SimService::SimService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cache) {
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.max_queue < 1) cfg_.max_queue = 1;
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+SimService::~SimService() { drain(); }
+
+std::string SimService::handle_line(const std::string& line) {
+  util::JsonValue root;
+  try {
+    root = util::parse_json(line, "request JSON");
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.invalid;
+    return error_response("null", "invalid_request", e.what());
+  }
+  std::string id = "null";
+  try {
+    const util::SchemaReader& r = reader();
+    if (!root.is_object()) r.error("envelope must be an object");
+    if (const auto it = root.object.find("id"); it != root.object.end()) {
+      if (it->second.is_object() || it->second.is_array())
+        r.error("envelope.id must be a scalar");
+      id = util::json_serialize(it->second);
+    }
+    r.check_keys(root, {"id", "method", "params", "deadline_ms",
+                        "idempotency_key"},
+                 "envelope");
+    const std::string method = r.string(root, "method", "", "envelope");
+    if (method == "ping") return "{\"id\":" + id + ",\"result\":{\"ok\":true}}";
+    if (method == "stats")
+      return "{\"id\":" + id + ",\"result\":" + stats_json() + "}";
+    if (method == "shutdown") {
+      shutdown_requested_.store(true, std::memory_order_relaxed);
+      return "{\"id\":" + id + ",\"result\":{\"ok\":true}}";
+    }
+    if (method != "run" && method != "sweep")
+      r.error("unknown method \"" + method + "\"");
+
+    const util::JsonValue* params = r.object_field(root, "params", "envelope");
+    util::JsonValue empty;
+    empty.type = util::JsonValue::Type::kObject;
+    SimRequest req = parse_request(params ? *params : empty,
+                                   method == "run" ? SimRequest::Kind::kRun
+                                                   : SimRequest::Kind::kSweep);
+    const int env_deadline = r.integer(root, "deadline_ms", 0, "envelope");
+    if (env_deadline < 0) r.error("envelope.deadline_ms must be >= 0");
+    if (env_deadline > 0) req.deadline_s = env_deadline / 1000.0;
+    std::string idem = r.string(root, "idempotency_key", "", "envelope");
+    return submit(id, std::move(req), std::move(idem));
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.invalid;
+    return error_response(id, "invalid_request", e.what());
+  }
+}
+
+std::string SimService::submit(const std::string& id, SimRequest req,
+                               std::string idem) {
+  const std::string key = cache_key(req);
+  if (idem.empty()) idem = key;
+
+  // Cache before admission: a saturated or draining service still answers
+  // everything it has seen before (degraded cache-only mode).
+  if (std::optional<std::string> hit = cache_.get(key))
+    return result_response(id, *hit, /*cached=*/true, key);
+
+  const double deadline_s =
+      req.deadline_s > 0 ? req.deadline_s : cfg_.default_deadline_s;
+  const Clock::time_point my_deadline = Clock::now() + seconds_of(deadline_s);
+
+  std::shared_ptr<Job> job;
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = inflight_.find(idem);
+  if (it != inflight_.end()) {
+    job = it->second;
+    ++stats_.coalesced;
+  } else {
+    if (draining_) {
+      ++stats_.rejected_draining;
+      return error_response(id, "draining",
+                            "service is draining; no new work accepted",
+                            cfg_.retry_after_ms);
+    }
+    if (queue_.size() >= cfg_.max_queue) {
+      ++stats_.shed;
+      return error_response(
+          id, "overloaded",
+          "admission queue full (" + std::to_string(queue_.size()) +
+              " queued); serving cached results only",
+          cfg_.retry_after_ms);
+    }
+    job = std::make_shared<Job>();
+    job->req = std::move(req);
+    job->key = key;
+    job->idem = idem;
+    job->deadline = my_deadline;  // first requester's deadline governs cancel
+    inflight_[idem] = job;
+    queue_.push_back(job);
+    ++stats_.accepted;
+    queue_cv_.notify_one();
+  }
+
+  // Wait for the job, enforcing THIS caller's deadline: a coalesced waiter
+  // with a tighter deadline times out on its own even while the job runs on
+  // for more patient waiters.
+  while (!job->done) {
+    if (job->cv.wait_until(lock, my_deadline) == std::cv_status::timeout &&
+        !job->done) {
+      ++stats_.timeouts;
+      return error_response(id, "timeout",
+                            "deadline exceeded after " +
+                                std::to_string(static_cast<long long>(
+                                    deadline_s * 1000.0)) +
+                                " ms waiting for result");
+    }
+  }
+  if (job->ok) return result_response(id, job->result, /*cached=*/false, key);
+  return error_response(id, job->error_code, job->error_message);
+}
+
+void SimService::finish_job_locked(const std::shared_ptr<Job>& job) {
+  const auto f = inflight_.find(job->idem);
+  if (f != inflight_.end() && f->second == job) inflight_.erase(f);
+  job->done = true;
+  job->cv.notify_all();
+  drain_cv_.notify_all();
+}
+
+void SimService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = queue_.front();
+      queue_.pop_front();
+      running_.push_back(job);
+    }
+
+    std::string out;
+    bool ok = false;
+    std::string code, msg;
+    try {
+      if (Clock::now() >= job->deadline) throw sim::CancelledError();
+      out = cfg_.execute_override
+                ? cfg_.execute_override(job->req, &job->cancel)
+                : execute_request(job->req, &job->cancel, cfg_.sweep_jobs);
+      ok = true;
+    } catch (const sim::CancelledError& e) {
+      code = "timeout";
+      msg = e.what();
+    } catch (const std::exception& e) {
+      code = "internal";
+      msg = e.what();
+    }
+    if (ok) cache_.put(job->key, out);  // cache has its own lock
+
+    std::lock_guard<std::mutex> lock(mu_);
+    running_.erase(std::find(running_.begin(), running_.end(), job));
+    job->ok = ok;
+    job->result = std::move(out);
+    job->error_code = std::move(code);
+    job->error_message = std::move(msg);
+    if (ok)
+      ++stats_.completed;
+    else if (job->error_code == "timeout")
+      ++stats_.timeouts;
+    else
+      ++stats_.internal_errors;
+    finish_job_locked(job);
+  }
+}
+
+void SimService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    watchdog_cv_.wait_for(lock, seconds_of(cfg_.watchdog_period_s),
+                          [&] { return stop_; });
+    if (stop_) return;
+    const Clock::time_point now = Clock::now();
+    // Running jobs past deadline: raise the cancel flag; the engine polls it
+    // and aborts with sim::CancelledError, which the worker maps to a
+    // structured `timeout` error.
+    for (const std::shared_ptr<Job>& job : running_)
+      if (now >= job->deadline)
+        job->cancel.store(true, std::memory_order_relaxed);
+    // Queued jobs past deadline would burn a worker on already-dead work;
+    // fail them in place.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      const std::shared_ptr<Job>& job = *it;
+      if (now >= job->deadline) {
+        job->ok = false;
+        job->error_code = "timeout";
+        job->error_message = "deadline exceeded before execution started";
+        ++stats_.timeouts;
+        finish_job_locked(job);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void SimService::drain() {
+  std::call_once(drain_once_, [this] {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      draining_ = true;
+      drain_cv_.wait(lock, [&] { return queue_.empty() && running_.empty(); });
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    watchdog_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    if (watchdog_.joinable()) watchdog_.join();
+    cache_.flush();
+  });
+}
+
+ServiceStats SimService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string SimService::stats_json() {
+  ServiceStats s;
+  std::size_t queued = 0, running = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+    queued = queue_.size();
+    running = running_.size();
+  }
+  const CacheStats c = cache_.stats();
+  const double ratio =
+      c.lookups() > 0 ? static_cast<double>(c.hits()) /
+                            static_cast<double>(c.lookups())
+                      : 0.0;
+  std::string out = "{\"queued\":" + std::to_string(queued) +
+                    ",\"running\":" + std::to_string(running) +
+                    ",\"accepted\":" + std::to_string(s.accepted) +
+                    ",\"completed\":" + std::to_string(s.completed) +
+                    ",\"coalesced\":" + std::to_string(s.coalesced) +
+                    ",\"timeouts\":" + std::to_string(s.timeouts) +
+                    ",\"shed\":" + std::to_string(s.shed) +
+                    ",\"rejected_draining\":" +
+                    std::to_string(s.rejected_draining) +
+                    ",\"invalid\":" + std::to_string(s.invalid) +
+                    ",\"internal_errors\":" +
+                    std::to_string(s.internal_errors) + ",\"cache\":{" +
+                    "\"memory_hits\":" + std::to_string(c.memory_hits) +
+                    ",\"disk_hits\":" + std::to_string(c.disk_hits) +
+                    ",\"misses\":" + std::to_string(c.misses) +
+                    ",\"puts\":" + std::to_string(c.puts) +
+                    ",\"evictions\":" + std::to_string(c.evictions) +
+                    ",\"corrupt_quarantined\":" +
+                    std::to_string(c.corrupt_quarantined) +
+                    ",\"tmp_swept\":" + std::to_string(c.tmp_swept) +
+                    ",\"hit_ratio\":" + std::to_string(ratio) + "}}";
+  return out;
+}
+
+}  // namespace spechpc::service

@@ -1,0 +1,152 @@
+// SimService: the transport-independent core of the spechpcd daemon.
+//
+// One instance owns the worker pool, the bounded admission queue, the result
+// cache, and the deadline watchdog.  Transports are thin: the Unix-socket
+// server and the in-process test harness both just feed newline-delimited
+// request envelopes to handle_line() and ship back the returned envelope.
+//
+// Request envelope (one JSON object per line):
+//   {"id": <scalar>, "method": "ping"|"stats"|"shutdown"|"run"|"sweep",
+//    "params": {...},              // see service::parse_request
+//    "deadline_ms": <int>,         // optional; overrides params.deadline_ms
+//    "idempotency_key": "<str>"}   // optional; defaults to the cache key
+//
+// Response envelope:
+//   {"id": <echoed>, "result": {...}}                         on success
+//   {"id": <echoed>, "error": {"code": "<code>", "message": "...",
+//                              "retry_after_ms": N}}          on failure
+// with codes: invalid_request | timeout | overloaded | draining | internal.
+// Only overloaded/draining carry retry_after_ms -- they are the retryable
+// ones.
+//
+// Robustness properties, in the order a request meets them:
+//
+//   1. Cache first.  The lookup happens before any admission decision, so a
+//      saturated or draining service still answers every request it has seen
+//      before -- that IS the degraded cache-only mode, no separate code path.
+//   2. Admission control.  New work lands in a bounded queue; beyond
+//      max_queue the request is shed with `overloaded` + retry_after_ms
+//      instead of growing latency without bound.
+//   3. Coalescing.  Concurrent requests with the same idempotency key attach
+//      to the one in-flight job and all receive its result; a client retry
+//      after a dropped connection never computes twice.
+//   4. Deadlines.  The watchdog thread scans periodically: queued jobs past
+//      deadline fail immediately with `timeout`; running jobs get their
+//      cancel flag set, which the engine polls (sim::CancelledError).
+//      Waiters additionally enforce their own deadline on the wait itself.
+//   5. Drain.  drain() stops admission, lets queued+running work finish,
+//      joins the pool, and flushes the cache.  Idempotent; the destructor
+//      calls it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/request.hpp"
+
+namespace spechpc::service {
+
+struct ServiceConfig {
+  int workers = 2;       ///< request worker threads
+  int sweep_jobs = 1;    ///< SweepRunner pool size per sweep request
+  std::size_t max_queue = 8;  ///< queued (not running) jobs before shedding
+  double default_deadline_s = 30.0;  ///< for requests with no deadline
+  double watchdog_period_s = 0.02;   ///< deadline scan period
+  int retry_after_ms = 100;  ///< hint attached to overloaded/draining errors
+  CacheConfig cache;
+  /// Test seam: replaces execute_request() when set.  Receives the parsed
+  /// request and the job's cancel flag (poll it to emulate a cancellable
+  /// long run).
+  std::function<std::string(const SimRequest&, const std::atomic<bool>*)>
+      execute_override;
+};
+
+struct ServiceStats {
+  std::uint64_t accepted = 0;   ///< jobs admitted to the queue
+  std::uint64_t completed = 0;  ///< jobs that produced a report
+  std::uint64_t coalesced = 0;  ///< requests attached to an in-flight job
+  std::uint64_t timeouts = 0;   ///< deadline failures (queued, running, wait)
+  std::uint64_t shed = 0;       ///< rejected with `overloaded`
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t invalid = 0;          ///< malformed envelopes/params
+  std::uint64_t internal_errors = 0;  ///< execution threw (non-cancel)
+};
+
+class SimService {
+ public:
+  explicit SimService(ServiceConfig cfg);
+  ~SimService();
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Handles one request envelope (without trailing newline) and returns the
+  /// response envelope.  Blocks until the request resolves (result, error,
+  /// or this caller's deadline).  Safe to call from many threads.
+  std::string handle_line(const std::string& line);
+
+  /// Graceful shutdown: stop admitting, finish queued+running work, join all
+  /// threads, flush the cache.  Idempotent.
+  void drain();
+
+  /// True once a client has issued the `shutdown` method; the daemon's main
+  /// loop polls this to exit.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  ServiceStats stats() const;
+  ResultCache& cache() { return cache_; }
+
+ private:
+  struct Job {
+    SimRequest req;
+    std::string key;   ///< content cache key
+    std::string idem;  ///< idempotency (coalescing) key
+    std::chrono::steady_clock::time_point deadline;
+    std::atomic<bool> cancel{false};
+    bool done = false;
+    bool ok = false;
+    std::string result;  ///< report JSON when ok
+    std::string error_code;
+    std::string error_message;
+    std::condition_variable cv;  ///< waiters; guarded by SimService::mu_
+  };
+
+  std::string submit(const std::string& id, SimRequest req, std::string idem);
+  std::string stats_json();
+  void worker_loop();
+  void watchdog_loop();
+  void finish_job_locked(const std::shared_ptr<Job>& job);
+
+  ServiceConfig cfg_;
+  ResultCache cache_;
+  std::atomic<bool> shutdown_requested_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;     // workers wait for jobs
+  std::condition_variable watchdog_cv_;  // watchdog period / stop
+  std::condition_variable drain_cv_;     // drain waits for quiescence
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::vector<std::shared_ptr<Job>> running_;
+  std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
+  ServiceStats stats_;
+  bool draining_ = false;
+  bool stop_ = false;
+
+  std::once_flag drain_once_;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace spechpc::service

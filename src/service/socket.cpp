@@ -1,0 +1,274 @@
+#include "service/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "service/service.hpp"
+#include "util/json.hpp"
+
+namespace spechpc::service {
+
+namespace {
+
+[[noreturn]] void sys_error(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_error("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+double retry_backoff_s(int attempt, std::uint64_t key_hash,
+                       const RetryPolicy& policy) {
+  if (attempt < 1) attempt = 1;
+  double d = policy.base_s;
+  for (int i = 1; i < attempt; ++i) {
+    d *= policy.multiplier;
+    if (d >= policy.max_backoff_s) break;
+  }
+  if (d > policy.max_backoff_s) d = policy.max_backoff_s;
+  // splitmix64-style scramble of (key, attempt): the schedule is a pure
+  // function of the request identity, so tests can assert it exactly and a
+  // re-run client retries on the very same timetable, while distinct
+  // requests spread out instead of thundering back in lockstep.
+  std::uint64_t h =
+      key_hash ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt));
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  const double unit =
+      static_cast<double>(h >> 11) / 9007199254740992.0;  // [0, 1)
+  return d * (1.0 + policy.jitter * (2.0 * unit - 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+UnixSocketServer::UnixSocketServer(std::string path, SimService& service)
+    : path_(std::move(path)), service_(service) {
+  if (::pipe(stop_pipe_) != 0) sys_error("pipe");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_error("socket");
+  ::unlink(path_.c_str());  // stale socket from a previous (killed) daemon
+  const sockaddr_un addr = make_addr(path_);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    sys_error("bind " + path_);
+  if (::listen(listen_fd_, 64) != 0) sys_error("listen " + path_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+UnixSocketServer::~UnixSocketServer() { stop(); }
+
+void UnixSocketServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // One byte unblocks every poll() (accept loop and all connections).
+  (void)!::write(stop_pipe_[1], "x", 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) t.join();
+  ::close(listen_fd_);
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  ::unlink(path_.c_str());
+}
+
+void UnixSocketServer::accept_loop() {
+  for (;;) {
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    if (::poll(pfds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (pfds[1].revents != 0) return;  // stopping
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopped_) {
+      ::close(fd);
+      return;
+    }
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void UnixSocketServer::serve_connection(int fd) {
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    pollfd pfds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    if (::poll(pfds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[1].revents != 0) break;  // server stopping
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed (or hard error)
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (line.empty()) continue;
+      try {
+        write_all(fd, service_.handle_line(line) + "\n");
+      } catch (const std::exception&) {
+        open = false;  // peer went away mid-response
+        break;
+      }
+    }
+    // A line that exceeds the parser's input cap can never become a valid
+    // request; reject it now instead of buffering without bound.
+    if (buf.size() > util::kMaxJsonBytes) {
+      try {
+        write_all(fd,
+                  "{\"id\":null,\"error\":{\"code\":\"invalid_request\","
+                  "\"message\":\"request line exceeds the input size "
+                  "limit\"}}\n");
+      } catch (const std::exception&) {
+      }
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+void UnixSocketClient::connect_fd() {
+  if (fd_ >= 0) return;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_error("socket");
+  const sockaddr_un addr = make_addr(path_);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    sys_error("connect " + path_);
+  }
+  fd_ = fd;
+  rdbuf_.clear();
+}
+
+void UnixSocketClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rdbuf_.clear();
+}
+
+std::string UnixSocketClient::call(const std::string& line) {
+  connect_fd();
+  try {
+    write_all(fd_, line + "\n");
+  } catch (const std::exception&) {
+    close();
+    throw;
+  }
+  char chunk[4096];
+  for (;;) {
+    if (const std::size_t pos = rdbuf_.find('\n'); pos != std::string::npos) {
+      const std::string resp = rdbuf_.substr(0, pos);
+      rdbuf_.erase(0, pos + 1);
+      return resp;
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      sys_error("read");
+    }
+    if (n == 0) {
+      close();
+      throw std::runtime_error("connection closed before response");
+    }
+    rdbuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string UnixSocketClient::call_with_retry(const std::string& line,
+                                              const RetryPolicy& policy,
+                                              std::uint64_t key_hash,
+                                              int* attempts_out) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    if (attempts_out) *attempts_out = attempt;
+    std::string resp;
+    try {
+      resp = call(line);
+    } catch (const std::exception&) {
+      if (attempt >= max_attempts) throw;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          retry_backoff_s(attempt, key_hash, policy)));
+      continue;
+    }
+    // Retry only the errors the service marks retryable.
+    double retry_after_s = 0.0;
+    bool retryable = false;
+    try {
+      const util::JsonValue root = util::parse_json(resp, "response JSON");
+      if (const auto it = root.object.find("error");
+          it != root.object.end() && it->second.is_object()) {
+        const auto& err = it->second.object;
+        const auto code = err.find("code");
+        if (code != err.end() && (code->second.string == "overloaded" ||
+                                  code->second.string == "draining"))
+          retryable = true;
+        if (const auto ra = err.find("retry_after_ms"); ra != err.end())
+          retry_after_s = ra->second.number / 1000.0;
+      }
+    } catch (const std::exception&) {
+      // Unparseable response: surface it to the caller unchanged.
+    }
+    if (!retryable || attempt >= max_attempts) return resp;
+    std::this_thread::sleep_for(std::chrono::duration<double>(std::max(
+        retry_backoff_s(attempt, key_hash, policy), retry_after_s)));
+  }
+}
+
+}  // namespace spechpc::service

@@ -1,0 +1,113 @@
+// Unix-domain-socket transport for SimService, plus the client retry policy.
+//
+// Protocol: newline-delimited JSON -- one request envelope per line, one
+// response envelope per line, over a SOCK_STREAM AF_UNIX socket.  A
+// connection may carry any number of request/response pairs; requests on one
+// connection are handled in order (the service's worker pool provides the
+// parallelism across connections).
+//
+// The server runs one accept thread (poll on the listen fd plus a stop pipe,
+// so stop() never races a blocking accept) and one thread per connection.
+// Connection read buffers are capped at the JSON input limit; a client that
+// streams an unbounded line gets an `invalid_request` error and a closed
+// connection rather than an OOM.
+//
+// The client implements the retry discipline the service's error codes are
+// designed for: transport failures and retryable errors (`overloaded`,
+// `draining`) are retried with exponential backoff and *deterministic*
+// jitter -- a pure function of (attempt, request key), so a given request's
+// retry schedule is reproducible in tests while distinct requests still
+// decorrelate.  Combined with idempotency keys, a retry that lands after the
+// original actually executed coalesces server-side instead of recomputing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spechpc::service {
+
+class SimService;
+
+/// Client retry policy: attempt n (n >= 1 is the first retry) sleeps
+/// base_s * multiplier^(n-1), clamped to max_backoff_s, then scaled by a
+/// deterministic jitter factor in [1-jitter, 1+jitter].
+struct RetryPolicy {
+  int max_attempts = 4;  ///< total attempts including the first
+  double base_s = 0.05;
+  double multiplier = 2.0;
+  double max_backoff_s = 2.0;
+  double jitter = 0.25;
+};
+
+/// Backoff before retry `attempt` (1-based) of the request whose idempotency
+/// key hashes to `key_hash` (util::fnv1a64).  Pure -- no clock, no RNG.
+double retry_backoff_s(int attempt, std::uint64_t key_hash,
+                       const RetryPolicy& policy);
+
+class UnixSocketServer {
+ public:
+  /// Binds and listens on `path` (an existing socket file is replaced) and
+  /// starts the accept thread.  Throws std::runtime_error on bind failure.
+  UnixSocketServer(std::string path, SimService& service);
+  ~UnixSocketServer();
+  UnixSocketServer(const UnixSocketServer&) = delete;
+  UnixSocketServer& operator=(const UnixSocketServer&) = delete;
+
+  /// Stops accepting, unblocks and joins all connection threads, unlinks the
+  /// socket file.  Idempotent.  Does NOT drain the service.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::string path_;
+  SimService& service_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  bool stopped_ = false;
+};
+
+class UnixSocketClient {
+ public:
+  explicit UnixSocketClient(std::string path) : path_(std::move(path)) {}
+  ~UnixSocketClient() { close(); }
+  UnixSocketClient(const UnixSocketClient&) = delete;
+  UnixSocketClient& operator=(const UnixSocketClient&) = delete;
+
+  /// One round-trip: lazily connects, sends `line` (newline appended), and
+  /// returns the response line.  Throws std::runtime_error on transport
+  /// errors (connection refused, peer closed mid-response, ...).
+  std::string call(const std::string& line);
+
+  /// call() wrapped in the retry discipline: transport errors and
+  /// retryable service errors are retried up to policy.max_attempts with
+  /// retry_backoff_s() sleeps (respecting any server retry_after_ms hint if
+  /// larger).  `key_hash` seeds the jitter -- pass
+  /// util::fnv1a64(idempotency_key).  If `attempts_out` is non-null it
+  /// receives the number of attempts made.  Non-retryable responses are
+  /// returned as-is; a transport failure on the last attempt throws.
+  std::string call_with_retry(const std::string& line,
+                              const RetryPolicy& policy,
+                              std::uint64_t key_hash,
+                              int* attempts_out = nullptr);
+
+  void close();
+
+ private:
+  void connect_fd();
+
+  std::string path_;
+  int fd_ = -1;
+  std::string rdbuf_;  ///< bytes past the last returned response line
+};
+
+}  // namespace spechpc::service

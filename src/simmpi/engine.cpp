@@ -238,10 +238,13 @@ void Engine::run(const RankFn& fn) {
 
 void Engine::run_serial() {
   Partition& p = partitions_[0];
+  const std::atomic<bool>* cancel = cfg_.watchdog.cancel;
   std::chrono::steady_clock::time_point w0;
   if (cfg_.profile_host) w0 = std::chrono::steady_clock::now();
   while (!p.events.empty() &&
          p.done_count + p.crashed_count < cfg_.nranks) {
+    if (cancel && cancel->load(std::memory_order_relaxed))
+      throw CancelledError();
     Event ev = p.events.pop();
     ++p.events_processed;
     if (ev.deliver >= 0) {  // internal retransmission, no coroutine attached
@@ -348,10 +351,15 @@ void Engine::run_windowed() {
 }
 
 void Engine::exec_window(Partition& p, double horizon) {
+  const std::atomic<bool>* cancel = cfg_.watchdog.cancel;
   std::chrono::steady_clock::time_point w0;
   if (cfg_.profile_host) w0 = std::chrono::steady_clock::now();
   std::uint64_t popped = 0;
   while (!p.events.empty() && p.events.top().time < horizon) {
+    // Worker-thread exceptions funnel through run_windowed's abort path, so
+    // a cancel here unwinds every partition at the next window boundary.
+    if (cancel && cancel->load(std::memory_order_relaxed))
+      throw CancelledError();
     Event ev = p.events.pop();
     ++p.events_processed;
     ++popped;

@@ -17,9 +17,11 @@
 //    and logged) but does not perturb matching or timing.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -131,6 +133,16 @@ struct StallDiagnosis {
   std::string to_string() const;
 };
 
+/// Thrown when a run is abandoned through WatchdogConfig::cancel (service
+/// deadlines).  Deliberately NOT derived from the stall/deadlock errors: a
+/// cancelled run says nothing about the simulation, only that the caller
+/// stopped waiting.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError()
+      : std::runtime_error("simulation cancelled (deadline exceeded)") {}
+};
+
 /// Engine watchdog policy: what to do about dropped messages and stalls.
 struct WatchdogConfig {
   /// Reaction when ranks stop making progress before finishing.
@@ -145,6 +157,13 @@ struct WatchdogConfig {
   /// Base retransmission timeout; attempt k waits rto * 2^(k-1) after the
   /// previous (dropped) arrival would have completed.
   double retransmit_timeout_s = 1e-4;
+  /// Cooperative cancellation (service deadlines): when non-null and the
+  /// pointee becomes true, the engine abandons the run at the next event
+  /// boundary by throwing CancelledError.  Execution control only -- a run
+  /// either completes bit-identically to an uncancelled one or not at all.
+  /// The pointee must outlive the run; nullptr (the default) disables the
+  /// check entirely.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace spechpc::sim

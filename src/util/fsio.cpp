@@ -1,0 +1,87 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spechpc::util {
+
+namespace {
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return ss.str();
+}
+
+void atomic_write_file(const std::string& path, std::string_view data) {
+  const std::filesystem::path target(path);
+  const std::string dir =
+      target.has_parent_path() ? target.parent_path().string() : ".";
+  // Unique temp name in the same directory (rename must not cross devices).
+  // PID + address of a local disambiguate concurrent writers of the same key;
+  // each writer owns its temp file exclusively (O_EXCL).
+  char unique[64];
+  int local = 0;
+  std::snprintf(unique, sizeof(unique), "%s%ld-%p-", kTmpPrefix,
+                static_cast<long>(::getpid()), static_cast<void*>(&local));
+  std::string tmp = dir + "/" + unique + target.filename().string();
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) io_error("cannot create temp file", tmp);
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      io_error("write failed for", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // The entry must be on disk before the rename publishes it; otherwise a
+  // crash could leave the final name pointing at unwritten blocks.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    io_error("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    io_error("close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    io_error("rename failed onto", path);
+  }
+  fsync_dir(dir);
+}
+
+void fsync_dir(const std::string& dir) noexcept {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace spechpc::util

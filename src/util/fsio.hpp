@@ -1,0 +1,33 @@
+// Crash-safe file IO for the on-disk result cache.
+//
+// The durability story is write-temp + fsync + atomic-rename: a cache entry
+// becomes visible under its final name only after its bytes are on disk, so
+// a kill -9 (or power cut, modulo directory fsync) at any instant leaves
+// either the complete entry or no entry -- never a torn one under the final
+// name.  Temp files use a reserved prefix and are swept on cache startup.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spechpc::util {
+
+/// Prefix of in-flight temp files (skipped by readers, swept on startup).
+inline constexpr const char* kTmpPrefix = ".tmp-";
+
+/// Reads a whole file; nullopt when it cannot be opened or read.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Writes `data` to `path` atomically: a unique temp file in the same
+/// directory is written, fsync'ed, closed, then rename(2)'d over `path`;
+/// finally the directory itself is fsync'ed so the new name is durable.
+/// Throws std::runtime_error (with errno text) on any failure; the temp file
+/// is unlinked on error paths.
+void atomic_write_file(const std::string& path, std::string_view data);
+
+/// fsyncs a directory (making completed renames durable); best-effort, no
+/// throw -- callers treat it as a flush hint.
+void fsync_dir(const std::string& dir) noexcept;
+
+}  // namespace spechpc::util

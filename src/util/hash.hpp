@@ -1,0 +1,44 @@
+// Content hashing for the result cache.
+//
+// The simulation service memoizes runs by content address: the cache key is
+// the SHA-256 of the canonicalized request, and every on-disk cache entry
+// carries the SHA-256 of its payload so torn or bit-rotted files are detected
+// on read instead of being served.  SHA-256 is implemented here (the repo
+// carries no crypto dependency); it is used for integrity, not secrecy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace spechpc::util {
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+  /// Finalizes and returns the 32-byte digest; the object must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, 32> digest();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// Lowercase hex SHA-256 of `data` (64 characters).
+std::string sha256_hex(std::string_view data);
+
+/// FNV-1a 64-bit hash: cheap deterministic mixing for backoff jitter and
+/// test fixtures (NOT used for cache integrity).
+std::uint64_t fnv1a64(std::string_view data);
+
+}  // namespace spechpc::util

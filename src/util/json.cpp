@@ -1,0 +1,355 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace spechpc::util {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& what,
+         const JsonLimits& limits)
+      : text_(text), what_(what), limits_(limits) {}
+
+  JsonValue parse() {
+    if (text_.size() > limits_.max_bytes) {
+      throw std::runtime_error(
+          what_ + ": document exceeds the " +
+          std::to_string(limits_.max_bytes) + "-byte limit (got " +
+          std::to_string(text_.size()) + " bytes)");
+    }
+    JsonValue v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error(what_ + ": " + msg + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > limits_.max_depth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.string = string();
+      return v;
+    }
+    if (consume("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume("null")) return {};
+    return number();
+  }
+
+  JsonValue object(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      if (!v.object.emplace(std::move(key), value(depth + 1)).second)
+        fail("duplicate object key");
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // Our documents are ASCII configuration/protocol data; encode BMP
+          // code points as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  const std::string& what_;
+  JsonLimits limits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, const std::string& what,
+                     const JsonLimits& limits) {
+  return Parser(text, what, limits).parse();
+}
+
+void SchemaReader::error(const std::string& msg) const {
+  throw std::runtime_error(what_ + ": " + msg);
+}
+
+double SchemaReader::number(const JsonValue& obj, const std::string& key,
+                            double dflt, const char* ctx) const {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) return dflt;
+  if (it->second.type != JsonValue::Type::kNumber)
+    error(std::string(ctx) + "." + key + " must be a number");
+  return it->second.number;
+}
+
+int SchemaReader::integer(const JsonValue& obj, const std::string& key,
+                          int dflt, const char* ctx) const {
+  const double d = number(obj, key, dflt, ctx);
+  if (d != std::floor(d) || d < -2147483648.0 || d > 2147483647.0)
+    error(std::string(ctx) + "." + key + " must be an integer");
+  return static_cast<int>(d);
+}
+
+bool SchemaReader::boolean(const JsonValue& obj, const std::string& key,
+                           bool dflt, const char* ctx) const {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) return dflt;
+  if (it->second.type != JsonValue::Type::kBool)
+    error(std::string(ctx) + "." + key + " must be a boolean");
+  return it->second.boolean;
+}
+
+std::string SchemaReader::string(const JsonValue& obj, const std::string& key,
+                                 const std::string& dflt,
+                                 const char* ctx) const {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) return dflt;
+  if (it->second.type != JsonValue::Type::kString)
+    error(std::string(ctx) + "." + key + " must be a string");
+  return it->second.string;
+}
+
+const JsonValue* SchemaReader::array(const JsonValue& obj,
+                                     const std::string& key,
+                                     const char* ctx) const {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) return nullptr;
+  if (it->second.type != JsonValue::Type::kArray)
+    error(std::string(ctx) + "." + key + " must be an array");
+  return &it->second;
+}
+
+const JsonValue* SchemaReader::object_field(const JsonValue& obj,
+                                            const std::string& key,
+                                            const char* ctx) const {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) return nullptr;
+  if (it->second.type != JsonValue::Type::kObject)
+    error(std::string(ctx) + "." + key + " must be an object");
+  return &it->second;
+}
+
+void SchemaReader::check_keys(const JsonValue& obj,
+                              std::initializer_list<std::string_view> allowed,
+                              const char* ctx) const {
+  for (const auto& kv : obj.object) {
+    bool ok = false;
+    for (const auto a : allowed) ok = ok || kv.first == a;
+    if (!ok)
+      error(std::string("unknown key '") + kv.first + "' in " + ctx);
+  }
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_serialize(const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return v.boolean ? "true" : "false";
+    case JsonValue::Type::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      return buf;
+    }
+    case JsonValue::Type::kString:
+      return json_quote(v.string);
+    case JsonValue::Type::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, val] : v.object) {
+        if (!first) out += ",";
+        first = false;
+        out += json_quote(key) + ":" + json_serialize(val);
+      }
+      return out + "}";
+    }
+    case JsonValue::Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i) out += ",";
+        out += json_serialize(v.array[i]);
+      }
+      return out + "]";
+    }
+  }
+  return "null";
+}
+
+}  // namespace spechpc::util

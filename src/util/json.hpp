@@ -1,0 +1,101 @@
+// Shared hardened JSON DOM parser.
+//
+// Three subsystems materialize JSON documents: fault plans
+// (resilience::FaultPlan::parse), the service request parser
+// (service::parse_request), and -- indirectly -- every validator that has to
+// reject hostile input without crashing.  They all funnel through this one
+// parser so the robustness properties are enforced in a single place:
+//
+//   * a hard input-size cap (kMaxJsonBytes, 64 MiB) rejected up front, so an
+//     oversized or unbounded document never allocates proportional memory;
+//   * a nesting-depth cap (JsonLimits::max_depth), so deeply nested input
+//     fails cleanly instead of exhausting the stack;
+//   * precise, prefixed error messages ("<what>: <problem> at offset N") for
+//     truncated, malformed, and duplicate-key documents.
+//
+// The DOM is deliberately small: objects, arrays, numbers (as double),
+// strings, bools, null.  std::map keeps key order deterministic for error
+// messages and canonical re-serialization.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spechpc::util {
+
+/// Hard ceiling on any parsed JSON document (64 MiB).  Inputs larger than
+/// this are configuration-or-protocol errors, not data we should buffer.
+inline constexpr std::size_t kMaxJsonBytes = 64ull << 20;
+
+struct JsonLimits {
+  std::size_t max_bytes = kMaxJsonBytes;
+  int max_depth = 64;
+};
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+};
+
+/// Parses `text` into a DOM.  `what` prefixes every error message (e.g.
+/// "fault plan JSON"); errors are thrown as std::runtime_error of the form
+/// "<what>: <problem> at offset N".  Duplicate object keys are rejected.
+JsonValue parse_json(std::string_view text, const std::string& what,
+                     const JsonLimits& limits = {});
+
+/// Typed schema accessors over a parsed DOM.  Every extraction error is
+/// thrown as std::runtime_error("<what>: <context>.<key> ..."), matching the
+/// style the fault-plan parser established.
+class SchemaReader {
+ public:
+  explicit SchemaReader(std::string what) : what_(std::move(what)) {}
+
+  [[noreturn]] void error(const std::string& msg) const;
+
+  /// Number with default; throws when present but not a number.
+  double number(const JsonValue& obj, const std::string& key, double dflt,
+                const char* ctx) const;
+  /// Integer with default; throws on fractions and out-of-int range.
+  int integer(const JsonValue& obj, const std::string& key, int dflt,
+              const char* ctx) const;
+  bool boolean(const JsonValue& obj, const std::string& key, bool dflt,
+               const char* ctx) const;
+  std::string string(const JsonValue& obj, const std::string& key,
+                     const std::string& dflt, const char* ctx) const;
+  /// Array field or nullptr when absent; throws on wrong type.
+  const JsonValue* array(const JsonValue& obj, const std::string& key,
+                         const char* ctx) const;
+  /// Object field or nullptr when absent; throws on wrong type.
+  const JsonValue* object_field(const JsonValue& obj, const std::string& key,
+                                const char* ctx) const;
+  /// Rejects any key of `obj` not in `allowed` (typo detection).
+  void check_keys(const JsonValue& obj,
+                  std::initializer_list<std::string_view> allowed,
+                  const char* ctx) const;
+
+ private:
+  std::string what_;
+};
+
+/// Escapes `s` as a JSON string literal (including the quotes); control
+/// characters become \uXXXX.
+std::string json_quote(std::string_view s);
+
+/// Re-serializes a DOM subtree as compact single-line JSON (object keys in
+/// std::map order, numbers via %.17g round-trip formatting).  Used to hand a
+/// nested document fragment to another parser (e.g. the fault plan embedded
+/// in a service request).
+std::string json_serialize(const JsonValue& v);
+
+}  // namespace spechpc::util

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "perf/report.hpp"
+#include "util/json.hpp"
 
 namespace perf = spechpc::perf;
 
@@ -130,6 +131,18 @@ TEST(ReportFuzz, ValidatorErrorsCarryAnOffset) {
   std::string err;
   EXPECT_FALSE(perf::is_valid_json("{\"a\": 1,, }", &err));
   EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(ReportFuzz, OversizedDocumentsAreRejectedBySizeNotParsed) {
+  // One byte past the shared 64 MiB input cap.  The padding is whitespace on
+  // an otherwise valid document, so acceptance would mean the size gate is
+  // missing -- and the error must say "limit", not a parse diagnostic.
+  std::string doc = perf::to_json(small_report());
+  ASSERT_TRUE(perf::is_valid_json(doc));
+  doc.append(spechpc::util::kMaxJsonBytes + 1 - doc.size(), ' ');
+  std::string err;
+  EXPECT_FALSE(perf::is_valid_json(doc, &err));
+  EXPECT_NE(err.find("byte limit"), std::string::npos) << err;
 }
 
 }  // namespace

@@ -1,0 +1,156 @@
+// ResultCache robustness: LRU discipline, crash-safe disk tier, quarantine.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "util/fsio.hpp"
+
+namespace service = spechpc::service;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string make_temp_dir() {
+  std::string tmpl =
+      (fs::temp_directory_path() / "spechpc-cache-XXXXXX").string();
+  const char* d = ::mkdtemp(tmpl.data());
+  EXPECT_NE(d, nullptr);
+  return tmpl;
+}
+
+struct TempDir {
+  std::string path = make_temp_dir();
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::string entry_file(const service::ResultCache& c, const std::string& key) {
+  return c.dir() + "/" + key + ".rr";
+}
+
+TEST(Cache, LruEvictionOrder) {
+  service::ResultCache c({/*dir=*/"", /*memory_entries=*/3});
+  c.put("a", "1");
+  c.put("b", "2");
+  c.put("c", "3");
+  EXPECT_EQ(c.memory_keys(), (std::vector<std::string>{"c", "b", "a"}));
+  // Touching "a" promotes it; inserting "d" must evict "b" (now the LRU).
+  EXPECT_EQ(c.get("a"), "1");
+  c.put("d", "4");
+  EXPECT_EQ(c.memory_keys(), (std::vector<std::string>{"d", "a", "c"}));
+  EXPECT_FALSE(c.get("b").has_value());  // memory-only: eviction is final
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, DiskTierSurvivesMemoryEviction) {
+  TempDir dir;
+  service::ResultCache c({dir.path, /*memory_entries=*/1});
+  c.put("k1", "v1");
+  c.put("k2", "v2");  // evicts k1 from memory; disk copy remains
+  EXPECT_EQ(c.memory_size(), 1u);
+  EXPECT_EQ(c.get("k1"), "v1");
+  EXPECT_EQ(c.stats().disk_hits, 1u);
+}
+
+TEST(Cache, ColdRestartServesFromDisk) {
+  TempDir dir;
+  {
+    service::ResultCache c({dir.path, 8});
+    c.put("key", "the value");
+    c.flush();
+  }
+  service::ResultCache c2({dir.path, 8});
+  EXPECT_EQ(c2.get("key"), "the value");
+  EXPECT_EQ(c2.stats().disk_hits, 1u);
+}
+
+TEST(Cache, CorruptedEntryIsQuarantinedAndRecomputable) {
+  TempDir dir;
+  service::ResultCache c({dir.path, 1});
+  c.put("victim", "good bytes");
+  c.put("other", "x");  // push "victim" out of the memory tier
+  // Flip payload bytes behind the cache's back (bit rot / manual edit).
+  const std::string path = entry_file(c, "victim");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(-4, std::ios::end);
+    f << "EVIL";
+  }
+  EXPECT_FALSE(c.get("victim").has_value());  // detected, never served
+  EXPECT_EQ(c.stats().corrupt_quarantined, 1u);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  // Recompute path: a fresh put atomically replaces the entry and the next
+  // read verifies clean.
+  c.put("victim", "good bytes");
+  c.put("other", "x");
+  EXPECT_EQ(c.get("victim"), "good bytes");
+}
+
+TEST(Cache, TruncatedEntryIsQuarantined) {
+  TempDir dir;
+  service::ResultCache c({dir.path, 1});
+  c.put("t", std::string(1000, 'z'));
+  c.put("other", "x");
+  const std::string path = entry_file(c, "t");
+  fs::resize_file(path, fs::file_size(path) / 2);  // torn tail
+  EXPECT_FALSE(c.get("t").has_value());
+  EXPECT_EQ(c.stats().corrupt_quarantined, 1u);
+}
+
+TEST(Cache, StartupSweepsOrphanedTempFiles) {
+  TempDir dir;
+  const std::string orphan =
+      dir.path + "/" + std::string(spechpc::util::kTmpPrefix) + "12345-abc";
+  std::ofstream(orphan) << "torn write of a killed process";
+  service::ResultCache c({dir.path, 8});
+  EXPECT_EQ(c.stats().tmp_swept, 1u);
+  EXPECT_FALSE(fs::exists(orphan));
+}
+
+TEST(Cache, ConcurrentReadersDuringEviction) {
+  TempDir dir;
+  // Memory tier far smaller than the working set: every reader constantly
+  // faults entries in from disk while writers churn the LRU.
+  service::ResultCache c({dir.path, 2});
+  constexpr int kKeys = 8;
+  auto key_of = [](int i) { return "key" + std::to_string(i); };
+  for (int i = 0; i < kKeys; ++i) c.put(key_of(i), "value" + std::to_string(i));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 300; ++iter) {
+        const int i = (iter * 7 + t * 3) % kKeys;
+        if (iter % 5 == 0) c.put(key_of(i), "value" + std::to_string(i));
+        const auto v = c.get(key_of(i));
+        ASSERT_TRUE(v.has_value());
+        ASSERT_EQ(*v, "value" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.stats().corrupt_quarantined, 0u);
+  EXPECT_LE(c.memory_size(), 2u);
+}
+
+TEST(Cache, DiskErrorsDegradeToMemoryOnly) {
+  TempDir dir;
+  // A regular file where the cache directory should be: every disk write
+  // fails, and the cache must keep serving from memory instead of throwing.
+  std::ofstream(dir.path + "/blocker") << "not a directory";
+  service::ResultCache c({dir.path + "/blocker/cache", 4});
+  EXPECT_NO_THROW(c.put("k", "v"));
+  EXPECT_EQ(c.get("k"), "v");
+  EXPECT_NO_THROW(c.flush());
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Request parsing and canonicalization: the cache-key contract.
+//
+// The load-bearing property is that the cache key is a function of the
+// request's *semantic* fields only -- execution knobs (engine_threads,
+// deadlines, idempotency keys) and equivalent spellings (defaults made
+// explicit, fault-plan formatting) must all collapse onto one key, because
+// the key decides whether a simulation re-runs at all.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "service/request.hpp"
+#include "util/json.hpp"
+
+namespace service = spechpc::service;
+namespace util = spechpc::util;
+
+namespace {
+
+service::SimRequest parse_run(const std::string& json) {
+  return service::parse_request(json, service::SimRequest::Kind::kRun);
+}
+
+TEST(Request, EngineThreadsDoesNotChangeTheKey) {
+  const auto base = parse_run(R"({"app":"lbm","ranks":8})");
+  const auto threaded =
+      parse_run(R"({"app":"lbm","ranks":8,"engine_threads":16})");
+  EXPECT_EQ(service::cache_key(base), service::cache_key(threaded));
+  EXPECT_EQ(threaded.engine_threads, 16);
+}
+
+TEST(Request, RepeatParsesMapToOneKey) {
+  const std::string json =
+      R"({"app":"tealeaf","ranks":4,"steps":5,"eager":true})";
+  EXPECT_EQ(service::cache_key(parse_run(json)),
+            service::cache_key(parse_run(json)));
+}
+
+TEST(Request, DeadlineAndKeyOrderDoNotChangeTheKey) {
+  const auto a = parse_run(R"({"app":"lbm","ranks":8,"deadline_ms":5000})");
+  const auto b = parse_run(R"({"ranks":8,"app":"lbm"})");
+  EXPECT_EQ(service::cache_key(a), service::cache_key(b));
+  EXPECT_DOUBLE_EQ(a.deadline_s, 5.0);
+}
+
+TEST(Request, ExplicitDefaultsEqualOmittedDefaults) {
+  // ranks 0 resolves to one full node; spelling the defaults out changes
+  // nothing.
+  const auto implicit = parse_run(R"({"app":"lbm"})");
+  const auto spelled = parse_run(
+      R"({"app":"lbm","workload":"tiny","cluster":"A","steps":3,"eager":false})");
+  EXPECT_EQ(service::cache_key(implicit), service::cache_key(spelled));
+  EXPECT_GT(implicit.ranks, 0);
+}
+
+TEST(Request, RunAndSweepOfSameShapeDiffer) {
+  const auto run = parse_run(R"({"app":"lbm","ranks":8})");
+  const auto sweep = service::parse_request(R"({"app":"lbm","max_ranks":8})",
+                                            service::SimRequest::Kind::kSweep);
+  EXPECT_NE(service::cache_key(run), service::cache_key(sweep));
+}
+
+TEST(Request, FaultPlanFormattingDoesNotChangeTheKey) {
+  const auto compact = parse_run(
+      R"({"app":"lbm","ranks":4,"faults":{"seed":7,"stragglers":[{"rank":0,"slowdown":2.0}]}})");
+  const auto spaced = parse_run(
+      "{\"app\":\"lbm\",\"ranks\":4,\"faults\":{ \"stragglers\" : [ { "
+      "\"slowdown\" : 2.0, \"rank\" : 0 } ], \"seed\" : 7 }}");
+  EXPECT_EQ(service::cache_key(compact), service::cache_key(spaced));
+  EXPECT_FALSE(compact.fault_plan_json.empty());
+}
+
+TEST(Request, EmptyFaultPlanEqualsNoFaultPlan) {
+  const auto none = parse_run(R"({"app":"lbm","ranks":4})");
+  const auto empty = parse_run(R"({"app":"lbm","ranks":4,"faults":{}})");
+  EXPECT_EQ(service::cache_key(none), service::cache_key(empty));
+}
+
+TEST(Request, RejectsUnknownKeysAppsAndRanges) {
+  EXPECT_THROW(parse_run(R"({"app":"lbm","rnaks":4})"), std::runtime_error);
+  EXPECT_THROW(parse_run(R"({"app":"no-such-proxy"})"), std::runtime_error);
+  EXPECT_THROW(parse_run(R"({"app":"lbm","steps":0})"), std::runtime_error);
+  EXPECT_THROW(parse_run(R"({"app":"lbm","ranks":4,"nodes":2})"),
+               std::runtime_error);
+  EXPECT_THROW(parse_run(R"({"app":"lbm","cluster":"C"})"),
+               std::runtime_error);
+  EXPECT_THROW(parse_run(R"({"app":"lbm","deadline_ms":-1})"),
+               std::runtime_error);
+  EXPECT_THROW(service::parse_request(R"({"app":"lbm","ranks":4})",
+                                      service::SimRequest::Kind::kSweep),
+               std::runtime_error);
+}
+
+// --- hardened-parser properties (shared util::parse_json limits) -----------
+
+TEST(Request, TruncatedInputFailsWithStructuredError) {
+  try {
+    parse_run(R"({"app":"lbm","ranks":)");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("request JSON"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Request, OversizedInputIsRejectedUpFront) {
+  // One byte over the cap; padding whitespace keeps it syntactically valid,
+  // proving the rejection happens on size, not parse failure.
+  std::string json = R"({"app":"lbm","ranks":4})";
+  json.append(util::kMaxJsonBytes + 1 - json.size(), ' ');
+  try {
+    parse_run(json);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte limit"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Request, DeeplyNestedInputFailsCleanly) {
+  std::string json = R"({"app":"lbm","faults":)";
+  for (int i = 0; i < 2000; ++i) json += "[";
+  for (int i = 0; i < 2000; ++i) json += "]";
+  json += "}";
+  try {
+    parse_run(json);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting too deep"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Request, DuplicateKeysAreRejected) {
+  EXPECT_THROW(parse_run(R"({"app":"lbm","ranks":4,"ranks":8})"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -46,6 +46,17 @@ file(WRITE ${TMPDIR}/bad_plan.json "{\"sneed\": 1}")
 expect_failure(1 "sneed" run lbm --ranks 2 --steps 1
   --faults ${TMPDIR}/bad_plan.json)
 
+# Client subcommand argument contract.
+expect_failure(2 "client requires a method" client)
+expect_failure(2 "client run requires an <app> argument" client run --socket s)
+expect_failure(2 "client requires --socket PATH" client ping)
+expect_failure(2 "--deadline-ms expects N >= 0"
+  client run lbm --socket s --deadline-ms -5)
+expect_failure(2 "unknown client method 'frob'" client frob --socket s)
+# Daemon unreachable: a clean transport error after the retries, not a hang.
+expect_failure(1 "connect" client ping --socket ${TMPDIR}/no-daemon.sock
+  --retries 0)
+
 # Sanity: a healthy invocation still succeeds (guards against the checks
 # above being trivially satisfied by a broken binary).
 execute_process(
@@ -56,5 +67,29 @@ execute_process(
 if(NOT status EQUAL 0)
   message(FATAL_ERROR "healthy run failed (${status}): ${err}")
 endif()
+
+# --report -: the report document owns stdout (valid JSON, no tables), for
+# run, sweep, and zplot alike.
+foreach(cmdline IN ITEMS
+    "run;lbm;--ranks;2;--steps;1;--report;-"
+    "sweep;lbm;--max-ranks;2;--steps;1;--report;-"
+    "zplot;lbm;--max-ranks;2;--steps;1;--freq;1.0;--report;-")
+  execute_process(
+    COMMAND ${CLI} ${cmdline}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "--report - failed for '${cmdline}' (${status}): ${err}")
+  endif()
+  string(STRIP "${out}" stripped)
+  if(NOT stripped MATCHES "^\\{.*\\}$")
+    message(FATAL_ERROR
+      "--report - stdout is not a bare JSON document for '${cmdline}':\n${out}")
+  endif()
+  if(out MATCHES "wrote .* report")
+    message(FATAL_ERROR "--report - printed a status line for '${cmdline}'")
+  endif()
+endforeach()
 
 message(STATUS "cli_errors: all error paths behaved")

@@ -13,11 +13,21 @@
 //                     [--freq f1,f2,...] [--report out.json]
 //   spechpc_cli trace <app> [--cluster A|B] [--ranks N | --nodes N]
 //                     [--format ascii|csv|chrome] [--out FILE]
+//   spechpc_cli client <ping|stats|shutdown|run|sweep> [<app>] --socket PATH
+//                     [--cluster A|B] [--workload tiny|small]
+//                     [--ranks N | --nodes N] [--max-ranks N] [--steps N]
+//                     [--eager] [--faults plan.json] [--engine-threads N]
+//                     [--deadline-ms N] [--retries N] [--idempotency-key K]
+//                     [--report FILE|-]
+//
+// `--report -` writes the report JSON to stdout (and suppresses the tables),
+// so reports can be piped without touching the filesystem.
 #include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +36,9 @@
 #include "core/zplot.hpp"
 #include "power/energy_timeline.hpp"
 #include "resilience/resilience.hpp"
+#include "service/socket.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
 
 using namespace spechpc;
 
@@ -54,6 +67,12 @@ struct Args {
   std::string watchdog;     // run: throw|diagnose (default depends on plan)
   std::string analyze;      // run: waits|critpath|all
   std::vector<double> freqs;  // zplot: clock-scaling factors (1.0 = nominal)
+  // client subcommand
+  std::string client_method;  // ping|stats|shutdown|run|sweep
+  std::string socket_path;    // --socket: spechpcd Unix socket
+  int deadline_ms = 0;        // --deadline-ms: request deadline (0 = default)
+  int retries = 3;            // --retries: retry attempts beyond the first
+  std::string idem_key;       // --idempotency-key (default: content key)
 };
 
 int usage() {
@@ -72,7 +91,12 @@ int usage() {
          "                    [--max-ranks N] [--steps N] [--jobs N]\n"
          "                    [--freq f1,f2,...] [--report out.json]\n"
          "  spechpc_cli trace <app> [--cluster A|B] [--ranks N | --nodes N]\n"
-         "                    [--format ascii|csv|chrome] [--out FILE]\n";
+         "                    [--format ascii|csv|chrome] [--out FILE]\n"
+         "  spechpc_cli client <ping|stats|shutdown|run|sweep> [<app>]\n"
+         "                    --socket PATH [--deadline-ms N] [--retries N]\n"
+         "                    [--idempotency-key K] [--report FILE|-]\n"
+         "                    (plus the run/sweep flags above)\n"
+         "use --report - to write report JSON to stdout\n";
   return 2;
 }
 
@@ -88,7 +112,22 @@ std::optional<Args> parse(int argc, char** argv) {
   Args a;
   a.command = argv[1];
   int i = 2;
-  if (a.command != "list") {
+  if (a.command == "client") {
+    if (i >= argc || std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "error: client requires a method "
+                   "(ping|stats|shutdown|run|sweep)\n";
+      return std::nullopt;
+    }
+    a.client_method = argv[i++];
+    if (a.client_method == "run" || a.client_method == "sweep") {
+      if (i >= argc || std::strncmp(argv[i], "--", 2) == 0) {
+        std::cerr << "error: client " << a.client_method
+                  << " requires an <app> argument\n";
+        return std::nullopt;
+      }
+      a.app = argv[i++];
+    }
+  } else if (a.command != "list") {
     if (i >= argc || std::strncmp(argv[i], "--", 2) == 0) {
       std::cerr << "error: command '" << a.command
                 << "' requires an <app> argument\n";
@@ -200,6 +239,24 @@ std::optional<Args> parse(int argc, char** argv) {
       a.chrome_out = next();
     } else if (flag == "--csv") {
       a.csv_out = next();
+    } else if (flag == "--socket") {
+      a.socket_path = next();
+    } else if (flag == "--idempotency-key") {
+      a.idem_key = next();
+    } else if (flag == "--deadline-ms") {
+      a.deadline_ms = next_int();
+      if (ok && a.deadline_ms < 0) {
+        std::cerr << "error: flag --deadline-ms expects N >= 0, got "
+                  << a.deadline_ms << "\n";
+        ok = false;
+      }
+    } else if (flag == "--retries") {
+      a.retries = next_int();
+      if (ok && a.retries < 0) {
+        std::cerr << "error: flag --retries expects N >= 0, got " << a.retries
+                  << "\n";
+        ok = false;
+      }
     } else {
       std::cerr << "error: unknown flag: " << flag << "\n";
       return std::nullopt;
@@ -211,13 +268,17 @@ std::optional<Args> parse(int argc, char** argv) {
 
 /// Fails fast (before the simulation runs) when the report path cannot be
 /// written; append mode neither truncates an existing artifact nor leaves
-/// one behind with partial content.
+/// one behind with partial content.  "-" means stdout and needs no probe.
 void check_report_writable(const std::string& path) {
-  if (path.empty()) return;
+  if (path.empty() || path == "-") return;
   std::ofstream probe(path, std::ios::app);
   if (!probe)
     throw std::runtime_error("cannot open report file for writing: " + path);
 }
+
+/// With --report -, the report document owns stdout: every table is
+/// suppressed so the output stays machine-parseable.
+bool report_to_stdout(const Args& a) { return a.report_out == "-"; }
 
 mach::ClusterSpec pick_cluster(const std::string& name) {
   if (name == "A" || name == "a") return mach::cluster_a();
@@ -296,13 +357,13 @@ int cmd_run(const Args& a) {
   t.add_row({"DRAM power [W]", perf::Table::num(r.power().dram_w, 1)});
   t.add_row({"energy [J]", perf::Table::num(r.power().total_energy_j(), 1)});
   t.add_row({"EDP [Js]", perf::Table::num(r.power().edp(), 2)});
-  t.print(std::cout);
+  if (!report_to_stdout(a)) t.print(std::cout);
 
-  if (opts.regions) {
+  if (opts.regions && !report_to_stdout(a)) {
     std::cout << "\nregions (likwid-style, exclusive attribution):\n";
     perf::region_table(r.engine()).print(std::cout);
   }
-  if (plan) {
+  if (plan && !report_to_stdout(a)) {
     const sim::ResilienceLog& log = r.engine().resilience_log();
     perf::Table rt({"resilience", "value"});
     rt.add_row({"fault events", std::to_string(log.events.size())});
@@ -319,7 +380,7 @@ int cmd_run(const Args& a) {
     std::cout << "\n";
     rt.print(std::cout);
   }
-  if (!a.analyze.empty()) {
+  if (!a.analyze.empty() && !report_to_stdout(a)) {
     if (a.analyze == "waits" || a.analyze == "all") {
       std::cout << "\nwait states (per-rank MPI-time classification):\n";
       perf::wait_state_table(perf::wait_state_rows(r.engine()))
@@ -362,8 +423,12 @@ int cmd_run(const Args& a) {
   if (!a.report_out.empty()) {
     perf::RunReport rep = core::build_report(r, cluster, a.app, a.workload);
     if (plan) rep.resilience.plan_json = plan->to_json();
-    perf::write_json(rep, a.report_out);
-    std::cout << "wrote run report to " << a.report_out << "\n";
+    if (report_to_stdout(a)) {
+      std::cout << perf::to_json(rep) << "\n";
+    } else {
+      perf::write_json(rep, a.report_out);
+      std::cout << "wrote run report to " << a.report_out << "\n";
+    }
   }
   if (r.engine().stall()) {
     // Degraded run that could not finish: the artifact above records the
@@ -410,7 +475,7 @@ int cmd_sweep(const Args& a) {
                perf::Table::num(r.power().chip_w, 0),
                perf::Table::num(r.power().total_energy_j() / a.steps, 1)});
   }
-  t.print(std::cout);
+  if (!report_to_stdout(a)) t.print(std::cout);
 
   if (!a.report_out.empty()) {
     // Sweep artifact: one RunReport document per point, wrapped in an array
@@ -424,10 +489,14 @@ int cmd_sweep(const Args& a) {
           core::build_report(results[i], cluster, a.app, a.workload));
     }
     json += "]}";
-    std::ofstream f(a.report_out);
-    if (!f) throw std::runtime_error("cannot open " + a.report_out);
-    f << json << "\n";
-    std::cout << "wrote sweep report to " << a.report_out << "\n";
+    if (report_to_stdout(a)) {
+      std::cout << json << "\n";
+    } else {
+      std::ofstream f(a.report_out);
+      if (!f) throw std::runtime_error("cannot open " + a.report_out);
+      f << json << "\n";
+      std::cout << "wrote sweep report to " << a.report_out << "\n";
+    }
   }
   return 0;
 }
@@ -444,6 +513,7 @@ int cmd_zplot(const Args& a) {
   const core::ZplotResult z = core::zplot_sweep(a.app, cluster, opts);
 
   for (const core::ZplotCurve& curve : z.curves) {
+    if (report_to_stdout(a)) break;
     std::cout << "clock factor " << perf::Table::num(curve.frequency_factor, 2)
               << ":\n";
     perf::Table t({"cores", "speedup", "J/step", "EDP", ""});
@@ -461,10 +531,14 @@ int cmd_zplot(const Args& a) {
   }
   if (!a.report_out.empty()) {
     const std::string json = core::to_json(z);
-    std::ofstream f(a.report_out);
-    if (!f) throw std::runtime_error("cannot open " + a.report_out);
-    f << json << "\n";
-    std::cout << "wrote zplot report to " << a.report_out << "\n";
+    if (report_to_stdout(a)) {
+      std::cout << json << "\n";
+    } else {
+      std::ofstream f(a.report_out);
+      if (!f) throw std::runtime_error("cannot open " + a.report_out);
+      f << json << "\n";
+      std::cout << "wrote zplot report to " << a.report_out << "\n";
+    }
   }
   return 0;
 }
@@ -535,6 +609,112 @@ int cmd_trace(const Args& a) {
   return 0;
 }
 
+/// Builds the request envelope for a `client run`/`client sweep` call from
+/// the same flags the local commands take.
+std::string client_envelope(const Args& a) {
+  const std::string& m = a.client_method;
+  if (m == "ping" || m == "stats" || m == "shutdown")
+    return "{\"id\":\"cli\",\"method\":\"" + m + "\"}";
+  std::string params = "{\"app\":" + util::json_quote(a.app);
+  params += ",\"workload\":" + util::json_quote(a.workload);
+  params += ",\"cluster\":" + util::json_quote(a.cluster);
+  if (m == "run") {
+    if (a.ranks) params += ",\"ranks\":" + std::to_string(*a.ranks);
+    if (a.nodes) params += ",\"nodes\":" + std::to_string(*a.nodes);
+  } else if (a.max_ranks > 0) {
+    params += ",\"max_ranks\":" + std::to_string(a.max_ranks);
+  }
+  params += ",\"steps\":" + std::to_string(a.steps);
+  if (a.eager) params += ",\"eager\":true";
+  if (a.analyze == "critpath" || a.analyze == "all")
+    params += ",\"analyze\":true";
+  if (!a.faults_path.empty()) {
+    std::ifstream f(a.faults_path);
+    if (!f) throw std::runtime_error("cannot open fault plan: " +
+                                     a.faults_path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    // Re-serialize to a single line: the wire protocol is one JSON document
+    // per line, so embedded newlines from the plan file must go.
+    params += ",\"faults\":" +
+              util::json_serialize(util::parse_json(ss.str(),
+                                                    "fault plan JSON"));
+  }
+  if (a.engine_threads > 1)
+    params += ",\"engine_threads\":" + std::to_string(a.engine_threads);
+  params += "}";
+  std::string env = "{\"id\":\"cli\",\"method\":\"" + m +
+                    "\",\"params\":" + params;
+  if (a.deadline_ms > 0)
+    env += ",\"deadline_ms\":" + std::to_string(a.deadline_ms);
+  if (!a.idem_key.empty())
+    env += ",\"idempotency_key\":" + util::json_quote(a.idem_key);
+  env += "}";
+  return env;
+}
+
+int cmd_client(const Args& a) {
+  if (a.socket_path.empty()) {
+    std::cerr << "error: client requires --socket PATH\n";
+    return 2;
+  }
+  const std::string& m = a.client_method;
+  if (m != "ping" && m != "stats" && m != "shutdown" && m != "run" &&
+      m != "sweep") {
+    std::cerr << "error: unknown client method '" << m
+              << "' (ping|stats|shutdown|run|sweep)\n";
+    return 2;
+  }
+  const std::string envelope = client_envelope(a);
+
+  service::RetryPolicy policy;
+  policy.max_attempts = a.retries + 1;
+  service::UnixSocketClient client(a.socket_path);
+  int attempts = 0;
+  const std::string resp = client.call_with_retry(
+      envelope, policy,
+      util::fnv1a64(a.idem_key.empty() ? envelope : a.idem_key), &attempts);
+
+  const util::JsonValue root = util::parse_json(resp, "response JSON");
+  if (const auto it = root.object.find("error"); it != root.object.end()) {
+    const auto& err = it->second.object;
+    const std::string code =
+        err.count("code") ? err.at("code").string : "unknown";
+    std::cerr << "error: " << code << ": "
+              << (err.count("message") ? err.at("message").string : "")
+              << " (after " << attempts << " attempt(s))\n";
+    return code == "timeout" ? 3 : 1;
+  }
+  if (m == "ping" || m == "stats" || m == "shutdown") {
+    const auto it = root.object.find("result");
+    if (it == root.object.end())
+      throw std::runtime_error("malformed response: no result field");
+    std::cout << util::json_serialize(it->second) << "\n";
+    return 0;
+  }
+  // run/sweep: slice the report document out of the response text verbatim
+  // (it is the last field of the result object), so what the client writes
+  // is byte-identical to what the service computed -- cached or fresh.
+  const std::string marker = "\"report\":";
+  const std::size_t pos = resp.find(marker);
+  if (pos == std::string::npos || resp.size() < pos + marker.size() + 2)
+    throw std::runtime_error("malformed response: no report field");
+  const std::size_t begin = pos + marker.size();
+  const std::string report = resp.substr(begin, resp.size() - begin - 2);
+  const bool cached = resp.find("\"cached\":true") != std::string::npos;
+  std::cerr << "[client] " << (cached ? "cache hit" : "computed") << " in "
+            << attempts << " attempt(s)\n";
+  if (a.report_out.empty() || a.report_out == "-") {
+    std::cout << report << "\n";
+  } else {
+    std::ofstream f(a.report_out);
+    if (!f) throw std::runtime_error("cannot open " + a.report_out);
+    f << report << "\n";
+    std::cerr << "[client] wrote report to " << a.report_out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -546,6 +726,7 @@ int main(int argc, char** argv) {
     if (args->command == "sweep") return cmd_sweep(*args);
     if (args->command == "zplot") return cmd_zplot(*args);
     if (args->command == "trace") return cmd_trace(*args);
+    if (args->command == "client") return cmd_client(*args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,134 @@
+// spechpcd: the long-running simulation service daemon.
+//
+//   spechpcd --socket PATH [--workers N] [--sweep-jobs N] [--max-queue N]
+//            [--cache-dir DIR] [--cache-entries N] [--deadline-ms N]
+//            [--retry-after-ms N] [--watchdog-ms N]
+//
+// Serves newline-delimited JSON requests (see src/service/service.hpp for
+// the envelope) over a Unix-domain socket.  Prints one "listening" line to
+// stdout once it accepts connections -- supervisors and the CI smoke test
+// wait for it.  Exits cleanly on SIGTERM/SIGINT or a client `shutdown`
+// request: stops accepting new work, finishes queued and running requests,
+// flushes the cache, then closes the socket.  A kill -9 at any instant is
+// safe by construction: the result cache's atomic-rename discipline means a
+// restarted daemon pointed at the same --cache-dir serves only complete,
+// checksum-verified entries.
+#include <charconv>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "service/service.hpp"
+#include "service/socket.hpp"
+
+using namespace spechpc;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::string socket_path;
+  service::ServiceConfig cfg;
+};
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  spechpcd --socket PATH [--workers N] [--sweep-jobs N]\n"
+               "           [--max-queue N] [--cache-dir DIR]\n"
+               "           [--cache-entries N] [--deadline-ms N]\n"
+               "           [--retry-after-ms N] [--watchdog-ms N]\n";
+  return 2;
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  bool ok = true;
+  for (int i = 1; i < argc && ok; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: flag " << flag << " requires a value\n";
+        ok = false;
+        return {};
+      }
+      return std::string(argv[++i]);
+    };
+    auto next_int = [&](int lo) -> int {
+      const std::string v = next();
+      if (!ok) return lo;
+      int out = 0;
+      const char* b = v.data();
+      const char* e = v.data() + v.size();
+      const auto [p, ec] = std::from_chars(b, e, out);
+      if (ec != std::errc() || p != e || out < lo) {
+        std::cerr << "error: flag " << flag << " expects an integer >= " << lo
+                  << ", got '" << v << "'\n";
+        ok = false;
+        return lo;
+      }
+      return out;
+    };
+    if (flag == "--socket") {
+      a.socket_path = next();
+    } else if (flag == "--workers") {
+      a.cfg.workers = next_int(1);
+    } else if (flag == "--sweep-jobs") {
+      a.cfg.sweep_jobs = next_int(1);
+    } else if (flag == "--max-queue") {
+      a.cfg.max_queue = static_cast<std::size_t>(next_int(1));
+    } else if (flag == "--cache-dir") {
+      a.cfg.cache.dir = next();
+    } else if (flag == "--cache-entries") {
+      a.cfg.cache.memory_entries = static_cast<std::size_t>(next_int(1));
+    } else if (flag == "--deadline-ms") {
+      a.cfg.default_deadline_s = next_int(1) / 1000.0;
+    } else if (flag == "--retry-after-ms") {
+      a.cfg.retry_after_ms = next_int(0);
+    } else if (flag == "--watchdog-ms") {
+      a.cfg.watchdog_period_s = next_int(1) / 1000.0;
+    } else {
+      std::cerr << "error: unknown flag: " << flag << "\n";
+      return std::nullopt;
+    }
+  }
+  if (!ok) return std::nullopt;
+  if (a.socket_path.empty()) {
+    std::cerr << "error: --socket PATH is required\n";
+    return std::nullopt;
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // peer may vanish mid-write; write() errors
+  try {
+    service::SimService svc(args->cfg);
+    service::UnixSocketServer server(args->socket_path, svc);
+    // Supervisors wait for this exact line before sending traffic.
+    std::cout << "spechpcd listening on " << args->socket_path << std::endl;
+    while (g_stop == 0 && !svc.shutdown_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::cout << "spechpcd draining" << std::endl;
+    // Drain before closing the socket so in-flight requests get their
+    // responses; new submissions are rejected with `draining` meanwhile.
+    svc.drain();
+    server.stop();
+    std::cout << "spechpcd exited cleanly" << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "spechpcd: fatal: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
