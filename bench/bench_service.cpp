@@ -198,6 +198,32 @@ std::string payload_of(int i) {
   return s;
 }
 
+void byte_budget_phase() {
+  section("Byte-budgeted memory tier: big reports cannot pin the RAM");
+  // 64 KiB payloads against a 256 KiB byte budget: at most 4 reports stay
+  // resident even though the entries cap (128) would happily hold all 32.
+  service::CacheConfig cfg;
+  cfg.memory_bytes = 256 << 10;
+  service::ResultCache cache(cfg);
+  for (int i = 0; i < 32; ++i)
+    cache.put("key" + std::to_string(i), payload_of(i));
+  const std::size_t resident = cache.memory_size();
+  const std::size_t bytes = cache.memory_bytes();
+  perf::Table t({"metric", "value"});
+  t.add_row({"reports inserted", "32"});
+  t.add_row({"resident entries", std::to_string(resident)});
+  t.add_row({"resident bytes", std::to_string(bytes)});
+  t.add_row({"evictions", std::to_string(cache.stats().evictions)});
+  t.print(std::cout);
+  check(bytes <= cfg.memory_bytes, "resident bytes within the byte budget");
+  check(resident < 32, "byte budget evicted despite a roomy entries cap");
+  check(resident >= 1, "most recent report always resident");
+  // The freshest entries are the survivors, byte-identical.
+  const auto v = cache.get("key31");
+  check(v.has_value() && *v == payload_of(31),
+        "most recent report served from memory byte-identical");
+}
+
 void crash_phase() {
   section("kill -9 mid-write: the cache never serves torn bytes");
   const std::string dir = make_temp_dir("crash");
@@ -280,6 +306,7 @@ int main() {
       "not fsck");
   mixed_traffic_phase();
   overload_phase();
+  byte_budget_phase();
   crash_phase();
   restart_phase();
   std::cout << "\n"

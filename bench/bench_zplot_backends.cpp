@@ -1,0 +1,175 @@
+// Cross-backend Z-plots: energy vs runtime for every machine in the
+// registry (paper ICL/SPR clusters plus the AMD, SPR+PVC and FPGA
+// descriptors), lbm and tealeaf per backend.
+//
+// The paper's Fig. 4 Z-plots walk the core count up one ccNUMA domain of a
+// CPU node; this bench reruns that sweep on every shipped descriptor so the
+// operating-point structure (minimum-energy vs minimum-EDP placement) can be
+// compared across backends.  On the FPGA descriptor the resource axis is
+// kernel replications rather than cores (HPCC_FPGA convention); the table
+// labels each machine's axis via mach::resource_axis().
+//
+// Self-checking: every curve must be non-empty with positive energies, every
+// per-app sweep must serialize to schema-valid Z-plot JSON, and the combined
+// cross-backend artifact is written to disk (argv[1], default
+// zplot_backends.json) and must itself parse.  Exit status is non-zero on
+// any failed check.
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/zplot.hpp"
+#include "machine/registry.hpp"
+#include "perf/report.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+
+using namespace benchutil;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::cout << (ok ? "  [ok] " : "  [FAIL] ") << what << "\n";
+  if (!ok) ++g_failures;
+}
+
+constexpr std::string_view kApps[] = {"lbm", "tealeaf"};
+
+/// Sweep points along one ccNUMA domain (or HBM quadrant / GPU stack):
+/// powers of two plus the full domain, so wide AMD domains stay fast.
+std::vector<int> domain_sweep(int cores_per_domain) {
+  std::vector<int> pts;
+  for (int p = 1; p < cores_per_domain; p *= 2) pts.push_back(p);
+  pts.push_back(cores_per_domain);
+  return pts;
+}
+
+struct MachineSweep {
+  std::string id;
+  const mach::ClusterSpec* spec = nullptr;
+  std::vector<std::string> docs;  ///< one Z-plot JSON document per app
+};
+
+MachineSweep sweep_machine(const std::string& id) {
+  const auto& reg = mach::Registry::builtin();
+  MachineSweep out;
+  out.id = id;
+  out.spec = &reg.get(id);
+  const mach::ClusterSpec& cl = *out.spec;
+
+  section("Z-plot (" + cl.name + ", backend=" +
+          mach::to_string(cl.backend) + "): energy [J/step] vs runtime, " +
+          mach::resource_axis(cl.backend) + " as parameter");
+  expectation(
+      "minimum-energy and minimum-EDP operating points nearly coincide at "
+      "the high end of the resource axis (race-to-idle, Sect. 4.3.1); the "
+      "non-paper backends are literature-derived what-ifs, not measurements");
+
+  perf::Table t({"app", std::string(mach::resource_axis(cl.backend)),
+                 "s/step", "E [J/step]", "at Emin", "at EDPmin"});
+  for (const std::string_view app : kApps) {
+    core::ZplotOptions opts;
+    opts.core_counts = domain_sweep(cl.cpu.cores_per_domain());
+    opts.jobs = sweep_pool().jobs();
+    const core::ZplotResult z = core::zplot_sweep(app, cl, opts);
+
+    check(z.curves.size() == 1 && !z.curves.front().points.empty(),
+          out.id + "/" + std::string(app) + ": sweep produced points");
+    if (z.curves.empty() || z.curves.front().points.empty()) continue;
+    const core::ZplotCurve& curve = z.curves.front();
+
+    bool positive = z.baseline_seconds_per_step > 0.0;
+    for (const power::OperatingPoint& pt : curve.points)
+      positive = positive && pt.energy_j > 0.0 && pt.speedup > 0.0;
+    check(positive,
+          out.id + "/" + std::string(app) + ": positive energy and speedup");
+    check(curve.min_energy != power::npos && curve.min_edp != power::npos,
+          out.id + "/" + std::string(app) + ": min-energy/min-EDP marked");
+
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      const power::OperatingPoint& pt = curve.points[i];
+      t.add_row({std::string(app), std::to_string(pt.resources),
+                 perf::Table::num(z.baseline_seconds_per_step / pt.speedup, 4),
+                 perf::Table::num(pt.energy_j, 1),
+                 i == curve.min_energy ? "*" : "",
+                 i == curve.min_edp ? "*" : ""});
+    }
+
+    std::string doc = core::to_json(z);
+    std::string err;
+    check(perf::validate_zplot_json(doc, &err),
+          out.id + "/" + std::string(app) + ": schema-valid Z-plot JSON" +
+              (err.empty() ? "" : " (" + err + ")"));
+    out.docs.push_back(std::move(doc));
+  }
+  t.print(std::cout);
+  return out;
+}
+
+/// Combined artifact: one document holding every machine's per-app Z-plot
+/// sweeps plus the canonical descriptor echo, so a plotting script can
+/// overlay backends without re-running anything.
+std::string combined_artifact(const std::vector<MachineSweep>& sweeps) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(perf::kRunReportSchemaVersion);
+  out += ",\"cross_backend_zplot\":[";
+  for (std::size_t m = 0; m < sweeps.size(); ++m) {
+    const MachineSweep& s = sweeps[m];
+    if (m != 0) out += ',';
+    out += "{\"id\":\"" + s.id + "\",\"backend\":\"";
+    out += mach::to_string(s.spec->backend);
+    out += "\",\"resource_axis\":\"";
+    out += mach::resource_axis(s.spec->backend);
+    out += "\",\"descriptor\":" + mach::machine_to_json(*s.spec);
+    out += ",\"sweeps\":[";
+    for (std::size_t d = 0; d < s.docs.size(); ++d) {
+      if (d != 0) out += ',';
+      out += s.docs[d];
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string artifact_path =
+      argc > 1 ? argv[1] : "zplot_backends.json";
+
+  std::vector<MachineSweep> sweeps;
+  for (const std::string& id : mach::Registry::builtin().names())
+    sweeps.push_back(sweep_machine(id));
+
+  const std::string artifact = combined_artifact(sweeps);
+  try {
+    const util::JsonValue doc =
+        util::parse_json(artifact, "cross-backend Z-plot artifact");
+    const auto& machines = doc.object.at("cross_backend_zplot").array;
+    check(machines.size() == sweeps.size(),
+          "artifact covers all " + std::to_string(sweeps.size()) +
+              " machines");
+    std::size_t total = 0;
+    for (const util::JsonValue& m : machines)
+      total += m.object.at("sweeps").array.size();
+    check(total == sweeps.size() * std::size(kApps),
+          "artifact holds one sweep per (machine, app) pair");
+  } catch (const std::exception& e) {
+    check(false, std::string("artifact parses: ") + e.what());
+  }
+  util::atomic_write_file(artifact_path, artifact);
+  std::cout << "\nwrote " << artifact_path << " (" << artifact.size()
+            << " bytes)\n";
+
+  std::cout << (g_failures == 0
+                    ? "bench_zplot_backends: all checks passed"
+                    : "bench_zplot_backends: " + std::to_string(g_failures) +
+                          " check(s) FAILED")
+            << "\n";
+  return g_failures == 0 ? 0 : 1;
+}

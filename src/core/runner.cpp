@@ -1,5 +1,6 @@
 #include "core/runner.hpp"
 
+#include "machine/registry.hpp"
 #include "machine/topology.hpp"
 #include "power/energy_timeline.hpp"
 
@@ -93,6 +94,7 @@ perf::RunReport build_report(const RunResult& result,
   rep.peak_node_flops = cluster.cpu.peak_node_flops();
   rep.sat_bw_per_node_Bps = cluster.cpu.sat_bw_per_node_Bps();
   rep.cores_per_node = cluster.cores_per_node();
+  rep.machine_json = mach::machine_to_json(cluster);
   rep.metrics = result.metrics();
   rep.power = result.power();
   rep.engine_stats = engine.stats();

@@ -1,0 +1,376 @@
+#include "machine/registry.hpp"
+
+#include <cstdio>
+#include <iterator>
+#include <optional>
+#include <stdexcept>
+
+#include "descriptors.gen.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+
+namespace spechpc::mach {
+
+namespace {
+
+constexpr const char* kWhat = "machine descriptor";
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error(std::string(kWhat) + ": " + msg);
+}
+
+/// Required-field accessors: SchemaReader supplies type checking and error
+/// style; presence is enforced here so a missing field is a hard error, not
+/// a silently defaulted spec.
+const util::JsonValue& require(const util::JsonValue& obj,
+                               const std::string& key, const char* ctx) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end())
+    fail(std::string(ctx) + "." + key + " is required");
+  return it->second;
+}
+
+double req_num(const util::SchemaReader& r, const util::JsonValue& obj,
+               const std::string& key, const char* ctx) {
+  require(obj, key, ctx);
+  return r.number(obj, key, 0.0, ctx);
+}
+
+int req_int(const util::SchemaReader& r, const util::JsonValue& obj,
+            const std::string& key, const char* ctx) {
+  require(obj, key, ctx);
+  return r.integer(obj, key, 0, ctx);
+}
+
+bool req_bool(const util::SchemaReader& r, const util::JsonValue& obj,
+              const std::string& key, const char* ctx) {
+  require(obj, key, ctx);
+  return r.boolean(obj, key, false, ctx);
+}
+
+std::string req_str(const util::SchemaReader& r, const util::JsonValue& obj,
+                    const std::string& key, const char* ctx) {
+  require(obj, key, ctx);
+  return r.string(obj, key, "", ctx);
+}
+
+Backend parse_backend(const std::string& s) {
+  if (s == "cpu") return Backend::kCpu;
+  if (s == "gpu") return Backend::kGpu;
+  if (s == "fpga") return Backend::kFpga;
+  fail("backend must be \"cpu\", \"gpu\", or \"fpga\" (got \"" + s + "\")");
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void check_positive(double v, const char* field) {
+  if (!(v > 0.0)) fail(std::string(field) + " must be positive");
+}
+
+void check_non_negative(double v, const char* field) {
+  if (!(v >= 0.0)) fail(std::string(field) + " must be non-negative");
+}
+
+}  // namespace
+
+MachineDescriptor parse_machine_descriptor(std::string_view text) {
+  const util::JsonValue root = util::parse_json(text, kWhat);
+  if (!root.is_object()) fail("top level must be an object");
+  const util::SchemaReader r(kWhat);
+  r.check_keys(root,
+               {"schema_version", "id", "name", "backend", "max_nodes", "cpu",
+                "net"},
+               "descriptor");
+
+  const int version = req_int(r, root, "schema_version", "descriptor");
+  if (version != kMachineSchemaVersion)
+    fail("descriptor.schema_version must be " +
+         std::to_string(kMachineSchemaVersion) + " (got " +
+         std::to_string(version) + ")");
+
+  MachineDescriptor d;
+  d.id = r.string(root, "id", "", "descriptor");
+  d.spec.name = req_str(r, root, "name", "descriptor");
+  d.spec.backend = parse_backend(req_str(r, root, "backend", "descriptor"));
+  d.spec.max_nodes = req_int(r, root, "max_nodes", "descriptor");
+
+  const util::JsonValue* cpu_obj = r.object_field(root, "cpu", "descriptor");
+  if (cpu_obj == nullptr) fail("descriptor.cpu is required");
+  r.check_keys(
+      *cpu_obj,
+      {"name",
+       "model",
+       "base_clock_hz",
+       "cores_per_socket",
+       "sockets_per_node",
+       "domains_per_socket",
+       "l1_per_core_bytes",
+       "l2_per_core_bytes",
+       "l3_per_socket_bytes",
+       "l3_is_victim_cache",
+       "theor_bw_per_domain_Bps",
+       "sat_bw_per_domain_Bps",
+       "per_core_mem_bw_Bps",
+       "mem_per_node_bytes",
+       "simd_flops_per_cycle",
+       "scalar_flops_per_cycle",
+       "l2_bw_per_core_Bps",
+       "l3_bw_per_domain_Bps",
+       "l3_bw_per_core_Bps",
+       "tdp_per_socket_w",
+       "idle_power_per_socket_w",
+       "core_power_busy_scalar_w",
+       "core_power_busy_simd_w",
+       "core_power_stall_w",
+       "core_power_mpi_w",
+       "dram_idle_power_per_domain_w",
+       "dram_max_power_per_domain_w"},
+      "cpu");
+  CpuSpec& cpu = d.spec.cpu;
+  cpu.name = req_str(r, *cpu_obj, "name", "cpu");
+  cpu.model = req_str(r, *cpu_obj, "model", "cpu");
+  cpu.base_clock_hz = req_num(r, *cpu_obj, "base_clock_hz", "cpu");
+  cpu.cores_per_socket = req_int(r, *cpu_obj, "cores_per_socket", "cpu");
+  cpu.sockets_per_node = req_int(r, *cpu_obj, "sockets_per_node", "cpu");
+  cpu.domains_per_socket = req_int(r, *cpu_obj, "domains_per_socket", "cpu");
+  cpu.l1_per_core_bytes = req_num(r, *cpu_obj, "l1_per_core_bytes", "cpu");
+  cpu.l2_per_core_bytes = req_num(r, *cpu_obj, "l2_per_core_bytes", "cpu");
+  cpu.l3_per_socket_bytes = req_num(r, *cpu_obj, "l3_per_socket_bytes", "cpu");
+  cpu.l3_is_victim_cache = req_bool(r, *cpu_obj, "l3_is_victim_cache", "cpu");
+  cpu.theor_bw_per_domain_Bps =
+      req_num(r, *cpu_obj, "theor_bw_per_domain_Bps", "cpu");
+  cpu.sat_bw_per_domain_Bps =
+      req_num(r, *cpu_obj, "sat_bw_per_domain_Bps", "cpu");
+  cpu.per_core_mem_bw_Bps = req_num(r, *cpu_obj, "per_core_mem_bw_Bps", "cpu");
+  cpu.mem_per_node_bytes = req_num(r, *cpu_obj, "mem_per_node_bytes", "cpu");
+  cpu.simd_flops_per_cycle =
+      req_num(r, *cpu_obj, "simd_flops_per_cycle", "cpu");
+  cpu.scalar_flops_per_cycle =
+      req_num(r, *cpu_obj, "scalar_flops_per_cycle", "cpu");
+  cpu.l2_bw_per_core_Bps = req_num(r, *cpu_obj, "l2_bw_per_core_Bps", "cpu");
+  cpu.l3_bw_per_domain_Bps =
+      req_num(r, *cpu_obj, "l3_bw_per_domain_Bps", "cpu");
+  cpu.l3_bw_per_core_Bps = req_num(r, *cpu_obj, "l3_bw_per_core_Bps", "cpu");
+  cpu.tdp_per_socket_w = req_num(r, *cpu_obj, "tdp_per_socket_w", "cpu");
+  cpu.idle_power_per_socket_w =
+      req_num(r, *cpu_obj, "idle_power_per_socket_w", "cpu");
+  cpu.core_power_busy_scalar_w =
+      req_num(r, *cpu_obj, "core_power_busy_scalar_w", "cpu");
+  cpu.core_power_busy_simd_w =
+      req_num(r, *cpu_obj, "core_power_busy_simd_w", "cpu");
+  cpu.core_power_stall_w = req_num(r, *cpu_obj, "core_power_stall_w", "cpu");
+  cpu.core_power_mpi_w = req_num(r, *cpu_obj, "core_power_mpi_w", "cpu");
+  cpu.dram_idle_power_per_domain_w =
+      req_num(r, *cpu_obj, "dram_idle_power_per_domain_w", "cpu");
+  cpu.dram_max_power_per_domain_w =
+      req_num(r, *cpu_obj, "dram_max_power_per_domain_w", "cpu");
+
+  const util::JsonValue* net_obj = r.object_field(root, "net", "descriptor");
+  if (net_obj == nullptr) fail("descriptor.net is required");
+  r.check_keys(*net_obj,
+               {"name", "link_bw_Bps", "inter_latency_s", "intra_latency_s",
+                "intra_bw_Bps", "sender_overhead_s"},
+               "net");
+  InterconnectSpec& net = d.spec.net;
+  net.name = req_str(r, *net_obj, "name", "net");
+  net.link_bw_Bps = req_num(r, *net_obj, "link_bw_Bps", "net");
+  net.inter_latency_s = req_num(r, *net_obj, "inter_latency_s", "net");
+  net.intra_latency_s = req_num(r, *net_obj, "intra_latency_s", "net");
+  net.intra_bw_Bps = req_num(r, *net_obj, "intra_bw_Bps", "net");
+  net.sender_overhead_s = req_num(r, *net_obj, "sender_overhead_s", "net");
+
+  validate_machine(d.spec);
+  return d;
+}
+
+ClusterSpec parse_machine_json(std::string_view text) {
+  return parse_machine_descriptor(text).spec;
+}
+
+void validate_machine(const ClusterSpec& spec) {
+  if (spec.name.empty()) fail("name must be non-empty");
+  if (spec.max_nodes < 1) fail("max_nodes must be >= 1");
+
+  const CpuSpec& cpu = spec.cpu;
+  if (cpu.name.empty()) fail("cpu.name must be non-empty");
+  if (cpu.cores_per_socket < 1) fail("cpu.cores_per_socket must be >= 1");
+  if (cpu.sockets_per_node < 1) fail("cpu.sockets_per_node must be >= 1");
+  if (cpu.domains_per_socket < 1) fail("cpu.domains_per_socket must be >= 1");
+  // cores_per_domain() uses integer division; a non-divisible core count
+  // would silently truncate and break downstream conservation checks.
+  if (cpu.cores_per_socket % cpu.domains_per_socket != 0)
+    fail("cpu.cores_per_socket (" + std::to_string(cpu.cores_per_socket) +
+         ") must be divisible by cpu.domains_per_socket (" +
+         std::to_string(cpu.domains_per_socket) + ")");
+  check_positive(cpu.base_clock_hz, "cpu.base_clock_hz");
+  check_positive(cpu.l1_per_core_bytes, "cpu.l1_per_core_bytes");
+  check_positive(cpu.l2_per_core_bytes, "cpu.l2_per_core_bytes");
+  check_positive(cpu.l3_per_socket_bytes, "cpu.l3_per_socket_bytes");
+  check_positive(cpu.theor_bw_per_domain_Bps, "cpu.theor_bw_per_domain_Bps");
+  check_positive(cpu.sat_bw_per_domain_Bps, "cpu.sat_bw_per_domain_Bps");
+  check_positive(cpu.per_core_mem_bw_Bps, "cpu.per_core_mem_bw_Bps");
+  check_positive(cpu.mem_per_node_bytes, "cpu.mem_per_node_bytes");
+  if (cpu.sat_bw_per_domain_Bps > cpu.theor_bw_per_domain_Bps)
+    fail("cpu.sat_bw_per_domain_Bps must not exceed theor_bw_per_domain_Bps");
+  if (cpu.per_core_mem_bw_Bps > cpu.sat_bw_per_domain_Bps)
+    fail("cpu.per_core_mem_bw_Bps must not exceed sat_bw_per_domain_Bps");
+  check_positive(cpu.simd_flops_per_cycle, "cpu.simd_flops_per_cycle");
+  check_positive(cpu.scalar_flops_per_cycle, "cpu.scalar_flops_per_cycle");
+  if (cpu.simd_flops_per_cycle < cpu.scalar_flops_per_cycle)
+    fail("cpu.simd_flops_per_cycle must be >= scalar_flops_per_cycle");
+  check_positive(cpu.l2_bw_per_core_Bps, "cpu.l2_bw_per_core_Bps");
+  check_positive(cpu.l3_bw_per_domain_Bps, "cpu.l3_bw_per_domain_Bps");
+  check_positive(cpu.l3_bw_per_core_Bps, "cpu.l3_bw_per_core_Bps");
+  check_positive(cpu.tdp_per_socket_w, "cpu.tdp_per_socket_w");
+  check_non_negative(cpu.idle_power_per_socket_w,
+                     "cpu.idle_power_per_socket_w");
+  check_non_negative(cpu.core_power_busy_scalar_w,
+                     "cpu.core_power_busy_scalar_w");
+  check_non_negative(cpu.core_power_busy_simd_w,
+                     "cpu.core_power_busy_simd_w");
+  check_non_negative(cpu.core_power_stall_w, "cpu.core_power_stall_w");
+  check_non_negative(cpu.core_power_mpi_w, "cpu.core_power_mpi_w");
+  check_non_negative(cpu.dram_idle_power_per_domain_w,
+                     "cpu.dram_idle_power_per_domain_w");
+  check_non_negative(cpu.dram_max_power_per_domain_w,
+                     "cpu.dram_max_power_per_domain_w");
+  if (cpu.dram_max_power_per_domain_w < cpu.dram_idle_power_per_domain_w)
+    fail("cpu.dram_max_power_per_domain_w must be >= dram_idle_power");
+
+  const InterconnectSpec& net = spec.net;
+  if (net.name.empty()) fail("net.name must be non-empty");
+  check_positive(net.link_bw_Bps, "net.link_bw_Bps");
+  check_positive(net.intra_bw_Bps, "net.intra_bw_Bps");
+  check_non_negative(net.inter_latency_s, "net.inter_latency_s");
+  check_non_negative(net.intra_latency_s, "net.intra_latency_s");
+  check_non_negative(net.sender_overhead_s, "net.sender_overhead_s");
+}
+
+std::string machine_to_json(const ClusterSpec& spec) {
+  std::string out;
+  out.reserve(1400);
+  out += "{\"schema_version\":" + std::to_string(kMachineSchemaVersion);
+  out += ",\"name\":" + util::json_quote(spec.name);
+  out += ",\"backend\":\"" + std::string(to_string(spec.backend)) + "\"";
+  out += ",\"max_nodes\":" + std::to_string(spec.max_nodes);
+  const CpuSpec& cpu = spec.cpu;
+  out += ",\"cpu\":{\"name\":" + util::json_quote(cpu.name);
+  out += ",\"model\":" + util::json_quote(cpu.model);
+  out += ",\"base_clock_hz\":" + fmt(cpu.base_clock_hz);
+  out += ",\"cores_per_socket\":" + std::to_string(cpu.cores_per_socket);
+  out += ",\"sockets_per_node\":" + std::to_string(cpu.sockets_per_node);
+  out += ",\"domains_per_socket\":" + std::to_string(cpu.domains_per_socket);
+  out += ",\"l1_per_core_bytes\":" + fmt(cpu.l1_per_core_bytes);
+  out += ",\"l2_per_core_bytes\":" + fmt(cpu.l2_per_core_bytes);
+  out += ",\"l3_per_socket_bytes\":" + fmt(cpu.l3_per_socket_bytes);
+  out += ",\"l3_is_victim_cache\":";
+  out += cpu.l3_is_victim_cache ? "true" : "false";
+  out += ",\"theor_bw_per_domain_Bps\":" + fmt(cpu.theor_bw_per_domain_Bps);
+  out += ",\"sat_bw_per_domain_Bps\":" + fmt(cpu.sat_bw_per_domain_Bps);
+  out += ",\"per_core_mem_bw_Bps\":" + fmt(cpu.per_core_mem_bw_Bps);
+  out += ",\"mem_per_node_bytes\":" + fmt(cpu.mem_per_node_bytes);
+  out += ",\"simd_flops_per_cycle\":" + fmt(cpu.simd_flops_per_cycle);
+  out += ",\"scalar_flops_per_cycle\":" + fmt(cpu.scalar_flops_per_cycle);
+  out += ",\"l2_bw_per_core_Bps\":" + fmt(cpu.l2_bw_per_core_Bps);
+  out += ",\"l3_bw_per_domain_Bps\":" + fmt(cpu.l3_bw_per_domain_Bps);
+  out += ",\"l3_bw_per_core_Bps\":" + fmt(cpu.l3_bw_per_core_Bps);
+  out += ",\"tdp_per_socket_w\":" + fmt(cpu.tdp_per_socket_w);
+  out += ",\"idle_power_per_socket_w\":" + fmt(cpu.idle_power_per_socket_w);
+  out += ",\"core_power_busy_scalar_w\":" + fmt(cpu.core_power_busy_scalar_w);
+  out += ",\"core_power_busy_simd_w\":" + fmt(cpu.core_power_busy_simd_w);
+  out += ",\"core_power_stall_w\":" + fmt(cpu.core_power_stall_w);
+  out += ",\"core_power_mpi_w\":" + fmt(cpu.core_power_mpi_w);
+  out += ",\"dram_idle_power_per_domain_w\":" +
+         fmt(cpu.dram_idle_power_per_domain_w);
+  out += ",\"dram_max_power_per_domain_w\":" +
+         fmt(cpu.dram_max_power_per_domain_w);
+  const InterconnectSpec& net = spec.net;
+  out += "},\"net\":{\"name\":" + util::json_quote(net.name);
+  out += ",\"link_bw_Bps\":" + fmt(net.link_bw_Bps);
+  out += ",\"inter_latency_s\":" + fmt(net.inter_latency_s);
+  out += ",\"intra_latency_s\":" + fmt(net.intra_latency_s);
+  out += ",\"intra_bw_Bps\":" + fmt(net.intra_bw_Bps);
+  out += ",\"sender_overhead_s\":" + fmt(net.sender_overhead_s);
+  out += "}}";
+  return out;
+}
+
+Registry::Registry() {
+  const std::string_view shipped[] = {
+      embedded::k_cluster_a, embedded::k_cluster_b, embedded::k_sandy_bridge,
+      embedded::k_amd_genoa, embedded::k_spr_pvc,   embedded::k_fpga_u280,
+  };
+  entries_.reserve(std::size(shipped));
+  for (std::string_view text : shipped) {
+    MachineDescriptor d = parse_machine_descriptor(text);
+    if (d.id.empty())
+      fail("shipped descriptor \"" + d.spec.name + "\" is missing an id");
+    entries_.push_back(Entry{std::move(d.id), text, std::move(d.spec)});
+  }
+}
+
+const Registry& Registry::builtin() {
+  static const Registry instance;
+  return instance;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.id);
+  return out;
+}
+
+const Registry::Entry* Registry::find(const std::string& name) const {
+  // Legacy CLI/service aliases for the paper clusters.
+  std::string wanted = name;
+  if (name == "A") wanted = "cluster-a";
+  if (name == "B") wanted = "cluster-b";
+  for (const Entry& e : entries_)
+    if (e.id == wanted || e.spec.name == wanted) return &e;
+  return nullptr;
+}
+
+bool Registry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const ClusterSpec& Registry::get(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) fail("unknown machine \"" + name + "\"");
+  return e->spec;
+}
+
+std::string_view Registry::descriptor_text(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) fail("unknown machine \"" + name + "\"");
+  return e->text;
+}
+
+const std::string& Registry::canonical_id(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) fail("unknown machine \"" + name + "\"");
+  return e->id;
+}
+
+ClusterSpec Registry::resolve(const std::string& name_or_path) const {
+  if (const Entry* e = find(name_or_path)) return e->spec;
+  const bool looks_like_path =
+      name_or_path.find('/') != std::string::npos ||
+      (name_or_path.size() > 5 &&
+       name_or_path.rfind(".json") == name_or_path.size() - 5);
+  if (!looks_like_path)
+    fail("unknown machine \"" + name_or_path +
+         "\" (builtin ids: cluster-a, cluster-b, sandy-bridge, amd-genoa, "
+         "spr-pvc, fpga-u280; or pass a descriptor file path)");
+  std::optional<std::string> text = util::read_file(name_or_path);
+  if (!text)
+    fail("cannot read descriptor file \"" + name_or_path + "\"");
+  return parse_machine_json(*text);
+}
+
+}  // namespace spechpc::mach

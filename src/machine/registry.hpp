@@ -1,0 +1,97 @@
+// Data-driven machine registry.
+//
+// The Roofline/LogGP/power pipeline is parameterized entirely by ClusterSpec;
+// nothing in it is ICL/SPR-specific.  This registry makes the parameterization
+// data: machine descriptors are JSON documents on the hardened util::parse_json
+// parser (size/depth caps, duplicate-key rejection, offset-precise errors --
+// the same contract as fault plans and service requests), validated against
+// physical-consistency rules before anything downstream sees them.
+//
+// The shipped descriptors live in machines/*.json and are embedded verbatim at
+// configure time (descriptors.gen.hpp), so a bare binary resolves every
+// builtin machine with no filesystem dependency.  The paper clusters
+// (cluster-a, cluster-b, sandy-bridge) load to specs bit-identical to the
+// hard-coded cluster_a()/cluster_b()/sandy_bridge_reference() constructors --
+// a golden test enforces byte-equal RunReports across the 9 proxies.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "machine/specs.hpp"
+
+namespace spechpc::mach {
+
+/// Version of the machine-descriptor JSON schema.
+inline constexpr int kMachineSchemaVersion = 1;
+
+/// A parsed descriptor: registry id (optional for user files) plus the spec.
+struct MachineDescriptor {
+  std::string id;
+  ClusterSpec spec;
+};
+
+/// Parses and validates a machine-descriptor JSON document.  Errors are
+/// thrown as std::runtime_error("machine descriptor: ...") with offset or
+/// field context, matching the FaultPlan/service-request style.
+MachineDescriptor parse_machine_descriptor(std::string_view text);
+
+/// Convenience wrapper over parse_machine_descriptor dropping the id.
+ClusterSpec parse_machine_json(std::string_view text);
+
+/// Physical-consistency validation (positive rates, saturation ordering
+/// per_core <= sat <= theor, cores divisible by ccNUMA domains so that
+/// cores_per_domain() is exact, ...).  Throws std::runtime_error on the
+/// first violation; parse_machine_descriptor calls this for you.
+void validate_machine(const ClusterSpec& spec);
+
+/// Canonical single-line JSON serialization of a resolved spec (numbers via
+/// %.17g, so parse_machine_json(machine_to_json(s)) round-trips every field
+/// bit-identically).  This is what RunReport echoes as machine.descriptor:
+/// it is derived from the resolved spec -- not the input text -- so the
+/// hard-coded and JSON-loaded paths emit identical echoes.
+std::string machine_to_json(const ClusterSpec& spec);
+
+/// Resolves machine names to specs.  The builtin registry holds the shipped
+/// descriptors; resolve() additionally accepts descriptor files by path.
+class Registry {
+ public:
+  /// The registry of shipped descriptors (parsed and validated once).
+  static const Registry& builtin();
+
+  /// Shipped registry ids, in registry order.
+  std::vector<std::string> names() const;
+  /// True when `name` matches a shipped id, spec name, or alias.
+  bool contains(const std::string& name) const;
+  /// Spec by id/spec-name/alias; throws std::runtime_error when unknown.
+  const ClusterSpec& get(const std::string& name) const;
+  /// Verbatim shipped descriptor text by id/spec-name/alias; throws.
+  std::string_view descriptor_text(const std::string& name) const;
+  /// Registry id for any accepted spelling ("A" -> "cluster-a",
+  /// "ClusterA" -> "cluster-a"); throws when unknown.  Cache keys normalize
+  /// through this so aliases of one machine canonicalize identically.
+  const std::string& canonical_id(const std::string& name) const;
+
+  /// Resolves `name_or_path`: first as a registry name (id such as
+  /// "cluster-a", spec name such as "ClusterA", or the legacy "A"/"B"
+  /// aliases), otherwise -- when it looks like a filesystem path (contains
+  /// '/' or ends in ".json") -- as a descriptor file to load, parse, and
+  /// validate.  Throws std::runtime_error on unknown names and unreadable
+  /// or invalid files.
+  ClusterSpec resolve(const std::string& name_or_path) const;
+
+ private:
+  struct Entry {
+    std::string id;
+    std::string_view text;  ///< embedded descriptor, static storage
+    ClusterSpec spec;
+  };
+
+  Registry();
+  const Entry* find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace spechpc::mach

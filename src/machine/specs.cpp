@@ -11,16 +11,37 @@ constexpr double kMiB = 1024.0 * 1024.0;
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
 }  // namespace
 
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kCpu: return "cpu";
+    case Backend::kGpu: return "gpu";
+    case Backend::kFpga: return "fpga";
+  }
+  return "cpu";
+}
+
+const char* resource_axis(Backend b) {
+  return b == Backend::kFpga ? "replications" : "cores";
+}
+
 ClusterSpec scale_frequency(const ClusterSpec& cluster, double factor) {
   if (factor <= 0.0)
     throw std::invalid_argument("scale_frequency: factor must be positive");
   ClusterSpec out = cluster;
   CpuSpec& cpu = out.cpu;
   cpu.base_clock_hz *= factor;
-  // In-core and in-cache rates track the clock; DRAM does not.
+  // In-core and in-cache rates track the clock; saturated DRAM bandwidth
+  // does not.  Single-core bandwidth is concurrency-bound, and the cycle
+  // share of its round-trip latency does stretch at low clocks.
   cpu.l2_bw_per_core_Bps *= factor;
   cpu.l3_bw_per_domain_Bps *= factor;
   cpu.l3_bw_per_core_Bps *= factor;
+  cpu.per_core_mem_bw_Bps *=
+      kPerCoreBwClockShare * factor + (1.0 - kPerCoreBwClockShare);
+  // The per-message sender overhead is CPU time (posting descriptors,
+  // tag matching, completion handling) and stretches with 1/f; wire latency
+  // and link bandwidth stay put.
+  out.net.sender_overhead_s /= factor;
   // Dynamic power ~ f * V^2; V(f) is fairly flat near the base clock on
   // server parts, so the effective exponent is below the textbook 3.
   const double dyn = std::pow(factor, 1.8);

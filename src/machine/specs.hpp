@@ -8,6 +8,20 @@
 
 namespace spechpc::mach {
 
+/// Execution-backend family of a machine descriptor.  The Roofline/LogGP/
+/// power pipeline is backend-agnostic -- the kind only changes how the
+/// resource axis is labeled (cores vs. pipeline replications) and how the
+/// descriptor documents itself, never how the model evaluates.
+enum class Backend { kCpu, kGpu, kFpga };
+
+/// "cpu" / "gpu" / "fpga".
+const char* to_string(Backend b);
+
+/// Name of the machine's parallel-resource axis: "cores" for CPU and GPU
+/// nodes, "replications" for FPGA backends whose frequency x replications
+/// knob replaces the core count (pc2/HPCC_FPGA parameterization).
+const char* resource_axis(Backend b);
+
 /// One CPU generation with its cache/bandwidth/power characteristics.
 struct CpuSpec {
   std::string name;   ///< e.g. "Ice Lake"
@@ -82,16 +96,30 @@ struct ClusterSpec {
   CpuSpec cpu;
   InterconnectSpec net;
   int max_nodes = 0;  ///< nodes available to the study
+  /// Backend family (registry descriptors set it; defaults keep the
+  /// hard-coded paper clusters plain CPU machines).
+  Backend backend = Backend::kCpu;
 
   int cores_per_node() const { return cpu.cores_per_node(); }
 };
 
+/// Fraction of the single-core achievable memory bandwidth that tracks the
+/// core clock.  Single-core bandwidth is concurrency-limited (outstanding
+/// line fills x line size / latency); part of that latency is core cycles
+/// (L1/L2 miss handling, fill-buffer recycling) and part is DRAM/uncore time
+/// that does not scale with the core clock.  The 50/50 split reproduces the
+/// measured ~25% single-core STREAM loss at 0.5x clock on server parts.
+inline constexpr double kPerCoreBwClockShare = 0.5;
+
 /// DVFS what-if (paper outlook: "optimization opportunities"): returns the
 /// cluster with the core clock scaled by `factor`.  Core-bound throughput
-/// and cache bandwidths scale with f; DRAM bandwidth does not.  Dynamic
-/// core power follows ~f*V^2 with V roughly linear in f over the DVFS range
-/// (P_dyn ~ f^1.8); the baseline's clock-distribution share scales with f,
-/// its static-leakage share does not.
+/// and cache bandwidths scale with f; saturated DRAM bandwidth does not,
+/// but the single-core achievable bandwidth partially does (see
+/// kPerCoreBwClockShare).  The per-message MPI sender overhead is CPU time
+/// and scales with 1/f, so communication- and latency-bound cost grows at
+/// low clocks.  Dynamic core power follows ~f*V^2 with V roughly linear in
+/// f over the DVFS range (P_dyn ~ f^1.8); the baseline's clock-distribution
+/// share scales with f, its static-leakage share does not.
 ClusterSpec scale_frequency(const ClusterSpec& cluster, double factor);
 
 /// ClusterA: Intel Xeon Ice Lake Platinum 8360Y, 2 x 36 cores, SNC2.

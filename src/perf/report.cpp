@@ -154,8 +154,12 @@ std::string to_json(const RunReport& r) {
       .kv("cluster", std::string_view(r.cluster))
       .kv("peak_node_flops", r.peak_node_flops)
       .kv("sat_bw_per_node_Bps", r.sat_bw_per_node_Bps)
-      .kv("cores_per_node", r.cores_per_node)
-      .end_obj();
+      .kv("cores_per_node", r.cores_per_node);
+  if (r.machine_json.empty())
+    j.key("descriptor").null();
+  else
+    j.key("descriptor").raw_json(r.machine_json);
+  j.end_obj();
 
   const perf::JobMetrics& m = r.metrics;
   j.key("metrics")
@@ -645,10 +649,10 @@ bool check_schema_version(std::string_view text, int expected,
 const std::vector<std::string>& run_report_required_keys() {
   static const std::vector<std::string> keys = {
       "schema_version", "workload",       "machine",
-      "metrics",        "energy",         "ranks",
-      "engine_stats",   "regions",        "energy_timeline",
-      "region_energy",  "wait_states",    "critical_path",
-      "partition_profile"};
+      "descriptor",     "metrics",        "energy",
+      "ranks",          "engine_stats",   "regions",
+      "energy_timeline", "region_energy", "wait_states",
+      "critical_path",  "partition_profile"};
   return keys;
 }
 

@@ -39,7 +39,9 @@ namespace spechpc::perf {
 /// classification), `critical_path` ({"computed":false} unless the run
 /// retained the event graph) and `partition_profile` (parallel-engine
 /// self-profiling) sections.
-inline constexpr int kRunReportSchemaVersion = 3;
+/// v4: adds machine.descriptor (canonical mach::machine_to_json echo of the
+/// resolved machine descriptor; null when the producer did not resolve one).
+inline constexpr int kRunReportSchemaVersion = 4;
 
 /// Degraded-run accounting: everything the fault-injection subsystem did to
 /// the run.  Only serialized when `enabled` (i.e. a fault plan was armed),
@@ -70,6 +72,10 @@ struct RunReport {
   double peak_node_flops = 0.0;
   double sat_bw_per_node_Bps = 0.0;
   int cores_per_node = 0;
+  /// Canonical descriptor echo (mach::machine_to_json of the resolved spec);
+  /// derived from the spec, not the input file, so hard-coded and
+  /// JSON-loaded machines emit identical echoes.  Empty = serialized null.
+  std::string machine_json;
 
   perf::JobMetrics metrics;             ///< whole-run aggregates
   power::PowerReport power;             ///< power/energy model output

@@ -81,13 +81,22 @@ std::string ResultCache::entry_path(const std::string& key) const {
 void ResultCache::put_memory_locked(const std::string& key,
                                     const std::string& value) {
   if (const auto it = index_.find(key); it != index_.end()) {
+    lru_bytes_ -= it->second->value.size();
     it->second->value = value;
+    lru_bytes_ += it->second->value.size();
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  } else {
+    lru_.push_front(Entry{key, value});
+    index_[key] = lru_.begin();
+    lru_bytes_ += entry_bytes(lru_.front());
   }
-  lru_.push_front(Entry{key, value});
-  index_[key] = lru_.begin();
-  while (lru_.size() > cfg_.memory_entries) {
+  // Evict by accounted size first (one oversized report must not pin many
+  // slots' worth of RAM), entries as the secondary cap.  The freshly used
+  // front entry always stays, even when it alone busts the byte budget.
+  while (lru_.size() > 1 &&
+         (lru_.size() > cfg_.memory_entries ||
+          (cfg_.memory_bytes > 0 && lru_bytes_ > cfg_.memory_bytes))) {
+    lru_bytes_ -= entry_bytes(lru_.back());
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
@@ -173,6 +182,11 @@ CacheStats ResultCache::stats() const {
 std::size_t ResultCache::memory_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+std::size_t ResultCache::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_bytes_;
 }
 
 std::vector<std::string> ResultCache::memory_keys() const {

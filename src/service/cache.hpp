@@ -39,8 +39,14 @@ struct CacheConfig {
   /// Disk tier directory; empty = memory-only cache.  Created (one level)
   /// if missing.
   std::string dir;
-  /// In-memory LRU capacity in entries (>= 1).
+  /// In-memory LRU capacity in entries (>= 1); secondary cap on top of
+  /// `memory_bytes`.
   std::size_t memory_entries = 128;
+  /// In-memory LRU budget in accounted bytes (key + report payload); 0 =
+  /// unbounded.  Evicted by size so one huge report cannot pin 128 slots'
+  /// worth of RAM; the most recent entry always stays resident even when it
+  /// alone exceeds the budget (disk copies survive eviction regardless).
+  std::size_t memory_bytes = 0;
 };
 
 struct CacheStats {
@@ -80,6 +86,8 @@ class ResultCache {
   CacheStats stats() const;
   /// Number of entries currently resident in the memory tier.
   std::size_t memory_size() const;
+  /// Accounted bytes (keys + values) resident in the memory tier.
+  std::size_t memory_bytes() const;
   /// Memory-tier keys, most recently used first (test introspection).
   std::vector<std::string> memory_keys() const;
   const std::string& dir() const { return cfg_.dir; }
@@ -90,6 +98,10 @@ class ResultCache {
     std::string value;
   };
 
+  static std::size_t entry_bytes(const Entry& e) {
+    return e.key.size() + e.value.size();
+  }
+
   std::string entry_path(const std::string& key) const;
   void put_memory_locked(const std::string& key, const std::string& value);
   std::optional<std::string> read_disk_locked(const std::string& key);
@@ -98,6 +110,7 @@ class ResultCache {
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t lru_bytes_ = 0;  ///< sum of entry_bytes over lru_
   CacheStats stats_;
   std::uint64_t disk_write_errors_ = 0;
 };

@@ -5,7 +5,7 @@
 #include "core/runner.hpp"
 #include "core/suite.hpp"
 #include "core/sweep.hpp"
-#include "machine/specs.hpp"
+#include "machine/registry.hpp"
 #include "perf/report.hpp"
 
 namespace spechpc::service {
@@ -13,8 +13,10 @@ namespace spechpc::service {
 namespace {
 
 mach::ClusterSpec pick_cluster(const std::string& name) {
-  // parse_request validated the name; default defensively to A.
-  return name == "B" ? mach::cluster_b() : mach::cluster_a();
+  // parse_request validated and normalized the name; default defensively
+  // to ClusterA for anything that slips through.
+  const mach::Registry& reg = mach::Registry::builtin();
+  return reg.contains(name) ? reg.get(name) : mach::cluster_a();
 }
 
 core::Workload pick_workload(const std::string& name) {

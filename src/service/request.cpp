@@ -3,7 +3,7 @@
 #include <stdexcept>
 
 #include "core/suite.hpp"
-#include "machine/specs.hpp"
+#include "machine/registry.hpp"
 #include "util/hash.hpp"
 
 namespace spechpc::service {
@@ -15,13 +15,18 @@ const util::SchemaReader& reader() {
   return r;
 }
 
-/// Cores per node of the named cluster; throws "request: ..." on unknown
-/// names so parse errors stay uniform.
-int cluster_cores(const std::string& name) {
-  if (name == "A") return mach::cluster_a().cores_per_node();
-  if (name == "B") return mach::cluster_b().cores_per_node();
-  reader().error("params.cluster must be \"A\" or \"B\", got \"" + name +
-                 "\"");
+/// Resolves params.cluster against the builtin machine registry (ids such
+/// as "cluster-a", spec names such as "ClusterA", and the legacy "A"/"B"
+/// aliases).  Descriptor file paths are deliberately NOT accepted here: the
+/// daemon must never read files named by clients.  Throws "request: ..." on
+/// unknown names so parse errors stay uniform.
+const mach::ClusterSpec& resolve_cluster(const std::string& name) {
+  const mach::Registry& reg = mach::Registry::builtin();
+  if (!reg.contains(name))
+    reader().error("params.cluster: unknown machine \"" + name +
+                   "\" (builtin registry names only; the service does not "
+                   "load descriptor files)");
+  return reg.get(name);
 }
 
 }  // namespace
@@ -49,7 +54,10 @@ SimRequest parse_request(const util::JsonValue& params,
   if (req.workload != "tiny" && req.workload != "small")
     r.error("params.workload must be \"tiny\" or \"small\"");
   req.cluster = r.string(params, "cluster", "A", "params");
-  const int cores = cluster_cores(req.cluster);
+  const int cores = resolve_cluster(req.cluster).cores_per_node();
+  // Normalize aliases to the registry id so "A", "ClusterA" and "cluster-a"
+  // canonicalize -- and therefore cache -- identically.
+  req.cluster = mach::Registry::builtin().canonical_id(req.cluster);
 
   req.steps = r.integer(params, "steps", 3, "params");
   if (req.steps < 1 || req.steps > 1000)

@@ -1,0 +1,100 @@
+// Golden registry identity: for every proxy app on both paper clusters, a
+// fully instrumented two-node run driven by the registry-loaded spec emits
+// RunReport JSON byte-identical to the hard-coded constructor's run.  The
+// report carries every simulated quantity (metrics, power, per-rank
+// counters, regions, time series, energy timeline) plus the canonical
+// descriptor echo, so byte equality proves the JSON descriptors encode the
+// paper machines exactly -- down to the last double bit.
+//
+// The non-paper backends (AMD, SPR+PVC, FPGA) have no hard-coded twin;
+// they're covered by end-to-end runs that must produce schema-valid reports.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "core/spechpc.hpp"
+#include "machine/registry.hpp"
+#include "machine/topology.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+
+namespace {
+
+/// One small but fully instrumented two-node run -> canonical report JSON.
+std::string report_json(const std::string& app_name,
+                        const mach::ClusterSpec& cluster) {
+  auto app = core::make_app(app_name, core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.trace = true;
+  opts.regions = true;
+  const core::RunResult r = core::run_benchmark(
+      *app, cluster, mach::block_placement_on_nodes(cluster, 16, 2), opts);
+  return perf::to_json(core::build_report(r, cluster, app_name, "tiny"));
+}
+
+class RegistryIdentity : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(RegistryIdentity, RegistrySpecsReproduceHardCodedReportsByteForByte) {
+  const std::string app(GetParam());
+  const auto& reg = mach::Registry::builtin();
+  const struct {
+    const char* id;
+    mach::ClusterSpec hard_coded;
+  } machines[] = {{"cluster-a", mach::cluster_a()},
+                  {"cluster-b", mach::cluster_b()}};
+  for (const auto& m : machines) {
+    const std::string ref = report_json(app, m.hard_coded);
+    const std::string got = report_json(app, reg.get(m.id));
+    ASSERT_EQ(ref, got) << app << " diverged on " << m.id;
+    // The echo must be present (schema v4) and identical on both paths.
+    EXPECT_NE(ref.find("\"descriptor\":{\"schema_version\":"),
+              std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProxies, RegistryIdentity,
+                         ::testing::ValuesIn(core::app_names()),
+                         [](const auto& param_info) {
+                           std::string name(param_info.param);
+                           for (char& c : name)  // "sph-exa" -> "sph_exa"
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST(RegistryIdentity, NewBackendsRunEndToEndWithValidReports) {
+  for (const std::string id : {"amd-genoa", "spr-pvc", "fpga-u280"}) {
+    const mach::ClusterSpec& cl = mach::Registry::builtin().get(id);
+    for (const std::string app : {"lbm", "tealeaf"}) {
+      const std::string json = report_json(app, cl);
+      std::string err;
+      EXPECT_TRUE(perf::validate_run_report_json(json, &err))
+          << id << "/" << app << ": " << err;
+      // The echo carries the backend tag the pipeline ran under.
+      EXPECT_NE(json.find("\"backend\":\"" +
+                          std::string(mach::to_string(cl.backend)) + "\""),
+                std::string::npos)
+          << id << "/" << app;
+    }
+  }
+}
+
+TEST(RegistryIdentity, FrequencyScaledSpecStillSerializesAndValidates) {
+  // scale_frequency output must stay inside the validator's envelope, so
+  // DVFS'd specs can flow through the same descriptor echo path.
+  for (const double f : {0.7, 1.0, 1.3}) {
+    const mach::ClusterSpec scaled =
+        mach::scale_frequency(mach::cluster_b(), f);
+    EXPECT_NO_THROW(mach::validate_machine(scaled)) << "factor " << f;
+    const std::string canon = mach::machine_to_json(scaled);
+    EXPECT_EQ(mach::machine_to_json(mach::parse_machine_json(canon)), canon)
+        << "factor " << f;
+  }
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 
 #include "core/runner.hpp"
 #include "core/suite.hpp"
+#include "core/zplot.hpp"
 #include "machine/machine.hpp"
 
 namespace mach = spechpc::mach;
@@ -18,7 +19,17 @@ TEST(FrequencyScaling, ScalesCoreRatesNotDram) {
   // DRAM is clocked independently of the cores.
   EXPECT_DOUBLE_EQ(half.cpu.sat_bw_per_domain_Bps,
                    a.cpu.sat_bw_per_domain_Bps);
-  EXPECT_DOUBLE_EQ(half.cpu.per_core_mem_bw_Bps, a.cpu.per_core_mem_bw_Bps);
+  // Single-core bandwidth is concurrency-bound; the core-cycle share of the
+  // line-fill round trip stretches, so it scales partially with the clock.
+  EXPECT_DOUBLE_EQ(half.cpu.per_core_mem_bw_Bps,
+                   a.cpu.per_core_mem_bw_Bps *
+                       (mach::kPerCoreBwClockShare * 0.5 +
+                        (1.0 - mach::kPerCoreBwClockShare)));
+  // The per-message MPI sender overhead is CPU time: it stretches with 1/f.
+  EXPECT_DOUBLE_EQ(half.net.sender_overhead_s, a.net.sender_overhead_s * 2.0);
+  // Wire latency and link bandwidth are not the CPU's business.
+  EXPECT_DOUBLE_EQ(half.net.inter_latency_s, a.net.inter_latency_s);
+  EXPECT_DOUBLE_EQ(half.net.link_bw_Bps, a.net.link_bw_Bps);
 }
 
 TEST(FrequencyScaling, PowerFollowsSuperlinearLaw) {
@@ -43,6 +54,8 @@ TEST(FrequencyScaling, IdentityAtFactorOne) {
   EXPECT_DOUBLE_EQ(same.cpu.base_clock_hz, a.cpu.base_clock_hz);
   EXPECT_DOUBLE_EQ(same.cpu.idle_power_per_socket_w,
                    a.cpu.idle_power_per_socket_w);
+  EXPECT_DOUBLE_EQ(same.cpu.per_core_mem_bw_Bps, a.cpu.per_core_mem_bw_Bps);
+  EXPECT_DOUBLE_EQ(same.net.sender_overhead_s, a.net.sender_overhead_s);
 }
 
 TEST(FrequencyScaling, RejectsNonPositiveFactor) {
@@ -90,6 +103,48 @@ TEST(FrequencyScaling, DownclockingPaysOnlyForMemoryBoundCode) {
       energy_of(slow, "sph-exa") / energy_of(a, "sph-exa");
   EXPECT_LT(tea_ratio, 0.85);  // memory bound: clear savings
   EXPECT_GT(sph_ratio, 0.95);  // compute bound: little or negative benefit
+}
+
+TEST(FrequencyScaling, CommCostGrowsAtLowClockViaSenderOverhead) {
+  // Regression for the DVFS bug: scale_frequency used to leave the
+  // per-message sender overhead (CPU time!) and the single-core achievable
+  // bandwidth untouched, so downclocked runs understated communication and
+  // latency-bound cost.  Undoing just those two terms must make the
+  // downclocked run strictly faster -- i.e. the fix strictly adds cost.
+  const auto a = mach::cluster_a();
+  const auto fixed = mach::scale_frequency(a, 0.5);
+  auto legacy = fixed;
+  legacy.net.sender_overhead_s = a.net.sender_overhead_s;
+  legacy.cpu.per_core_mem_bw_Bps = a.cpu.per_core_mem_bw_Bps;
+
+  auto time_of = [](const mach::ClusterSpec& cl, const char* name) {
+    auto app = core::make_app(name, core::Workload::kTiny);
+    app->set_measured_steps(2);
+    app->set_warmup_steps(1);
+    return core::run_benchmark(*app, cl, 18).seconds_per_step();
+  };
+  // minisweep's wavefront exchanges many small messages: overhead-dominated.
+  EXPECT_GT(time_of(fixed, "minisweep"), time_of(legacy, "minisweep"));
+  EXPECT_GT(time_of(fixed, "hpgmgfv"), time_of(legacy, "hpgmgfv"));
+}
+
+TEST(FrequencyScaling, ZplotCommBoundAppSlowsAtLowClock) {
+  // zplot-level view of the same fix: the half-clock curve of a
+  // message-heavy app is now visibly slower than the nominal curve at the
+  // same core count (the bug made it look almost frequency-insensitive).
+  const auto a = mach::cluster_a();
+  core::ZplotOptions opts;
+  opts.core_counts = {18};
+  opts.frequency_factors = {1.0, 0.5};
+  opts.measured_steps = 2;
+  opts.warmup_steps = 1;
+  const auto z = core::zplot_sweep("minisweep", a, opts);
+  ASSERT_EQ(z.curves.size(), 2u);
+  ASSERT_EQ(z.curves[0].points.size(), 1u);
+  ASSERT_EQ(z.curves[1].points.size(), 1u);
+  const double slowdown =
+      z.curves[0].points[0].speedup / z.curves[1].points[0].speedup;
+  EXPECT_GT(slowdown, 1.10);
 }
 
 }  // namespace

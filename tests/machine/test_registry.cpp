@@ -1,0 +1,287 @@
+// Machine registry: builtin contents, alias resolution, bit-identical
+// round-trips, descriptor-file loading, and the rejection surface of the
+// parser/validator (malformed JSON, unknown keys, missing fields, wrong
+// types, physically inconsistent values).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "machine/registry.hpp"
+#include "machine/specs.hpp"
+#include "util/json.hpp"
+
+namespace mach = spechpc::mach;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Replaces the first occurrence of `from` in a copy of `text`; the fixture
+/// asserts the needle exists so a renamed field can't silently turn a
+/// mutation test into a no-op.
+std::string patched(std::string text, const std::string& from,
+                    const std::string& to) {
+  const auto pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "patch needle not found: " << from;
+  if (pos != std::string::npos) text.replace(pos, from.size(), to);
+  return text;
+}
+
+std::string valid_descriptor() {
+  return std::string(mach::Registry::builtin().descriptor_text("cluster-a"));
+}
+
+/// Expects parse_machine_json(text) to throw with `needle` in the message.
+void expect_rejected(const std::string& text, const std::string& needle) {
+  try {
+    mach::parse_machine_json(text);
+    FAIL() << "descriptor accepted; expected error containing: " << needle;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    path_ = (fs::temp_directory_path() /
+             ("spechpc-registry-" +
+              std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+              ".json"))
+                .string();
+    std::ofstream(path_) << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Registry, BuiltinListsAllShippedMachines) {
+  const std::vector<std::string> want = {"cluster-a", "cluster-b",
+                                         "sandy-bridge", "amd-genoa",
+                                         "spr-pvc", "fpga-u280"};
+  EXPECT_EQ(mach::Registry::builtin().names(), want);
+  for (const std::string& id : want)
+    EXPECT_TRUE(mach::Registry::builtin().contains(id)) << id;
+  EXPECT_FALSE(mach::Registry::builtin().contains("cluster-c"));
+}
+
+TEST(Registry, PaperClustersLoadBitIdenticalToHardCodedSpecs) {
+  const auto& reg = mach::Registry::builtin();
+  // machine_to_json prints every double with %.17g, so string equality here
+  // is bit equality of every numeric field.
+  EXPECT_EQ(mach::machine_to_json(reg.get("cluster-a")),
+            mach::machine_to_json(mach::cluster_a()));
+  EXPECT_EQ(mach::machine_to_json(reg.get("cluster-b")),
+            mach::machine_to_json(mach::cluster_b()));
+  EXPECT_EQ(mach::machine_to_json(reg.get("sandy-bridge")),
+            mach::machine_to_json(mach::sandy_bridge_reference()));
+}
+
+TEST(Registry, LegacyAliasesAndSpecNamesResolve) {
+  const auto& reg = mach::Registry::builtin();
+  for (const std::string alias : {"A", "cluster-a", "ClusterA"}) {
+    EXPECT_TRUE(reg.contains(alias)) << alias;
+    EXPECT_EQ(reg.canonical_id(alias), "cluster-a") << alias;
+    EXPECT_EQ(reg.get(alias).name, "ClusterA") << alias;
+  }
+  for (const std::string alias : {"B", "cluster-b", "ClusterB"}) {
+    EXPECT_EQ(reg.canonical_id(alias), "cluster-b") << alias;
+  }
+  // Aliases are exact: lowercase CLI spellings are normalized by the CLI,
+  // not the registry.
+  EXPECT_FALSE(reg.contains("CLUSTER-A"));
+  EXPECT_THROW(static_cast<void>(reg.canonical_id("nope")),
+               std::runtime_error);
+}
+
+TEST(Registry, EveryBuiltinRoundTripsBitIdentically) {
+  const auto& reg = mach::Registry::builtin();
+  for (const std::string& id : reg.names()) {
+    const mach::ClusterSpec& spec = reg.get(id);
+    const std::string canon = mach::machine_to_json(spec);
+    const mach::ClusterSpec back = mach::parse_machine_json(canon);
+    EXPECT_EQ(mach::machine_to_json(back), canon) << id;
+    // Spot-check raw bit patterns on fields with awkward literals.
+    EXPECT_EQ(std::memcmp(&back.cpu.base_clock_hz, &spec.cpu.base_clock_hz,
+                          sizeof(double)),
+              0)
+        << id;
+    EXPECT_EQ(std::memcmp(&back.net.sender_overhead_s,
+                          &spec.net.sender_overhead_s, sizeof(double)),
+              0)
+        << id;
+    EXPECT_EQ(back.backend, spec.backend) << id;
+  }
+}
+
+TEST(Registry, ShippedDescriptorTextMatchesRegistrySpec) {
+  const auto& reg = mach::Registry::builtin();
+  for (const std::string& id : reg.names()) {
+    const mach::MachineDescriptor d =
+        mach::parse_machine_descriptor(reg.descriptor_text(id));
+    EXPECT_EQ(d.id, id);
+    EXPECT_EQ(mach::machine_to_json(d.spec),
+              mach::machine_to_json(reg.get(id)));
+  }
+}
+
+TEST(Registry, NewBackendsCarryBackendTagAndAxis) {
+  const auto& reg = mach::Registry::builtin();
+  EXPECT_EQ(reg.get("amd-genoa").backend, mach::Backend::kCpu);
+  EXPECT_EQ(reg.get("spr-pvc").backend, mach::Backend::kGpu);
+  EXPECT_EQ(reg.get("fpga-u280").backend, mach::Backend::kFpga);
+  EXPECT_STREQ(mach::resource_axis(mach::Backend::kFpga), "replications");
+  EXPECT_STREQ(mach::resource_axis(mach::Backend::kGpu), "cores");
+  EXPECT_STREQ(mach::to_string(mach::Backend::kGpu), "gpu");
+}
+
+TEST(Registry, ResolveLoadsDescriptorFiles) {
+  const TempFile file(valid_descriptor());
+  const mach::ClusterSpec spec = mach::Registry::builtin().resolve(file.path());
+  EXPECT_EQ(mach::machine_to_json(spec),
+            mach::machine_to_json(mach::cluster_a()));
+}
+
+TEST(Registry, ResolveRejectsUnknownNamesWithBuiltinList) {
+  try {
+    mach::Registry::builtin().resolve("warp-drive");
+    FAIL() << "unknown machine resolved";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("warp-drive"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cluster-a"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fpga-u280"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, ResolveRejectsUnreadableFiles) {
+  try {
+    mach::Registry::builtin().resolve("/nonexistent/machine.json");
+    FAIL() << "unreadable file resolved";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot read"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RegistryValidation, RejectsIndivisibleDomainCounts) {
+  mach::ClusterSpec spec = mach::cluster_a();  // 36 cores/socket
+  spec.cpu.domains_per_socket = 5;
+  try {
+    mach::validate_machine(spec);
+    FAIL() << "indivisible domain count accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("36"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("divisible"), std::string::npos) << msg;
+  }
+  // The same rule holds on the JSON path.
+  expect_rejected(patched(valid_descriptor(), "\"domains_per_socket\": 2",
+                          "\"domains_per_socket\": 7"),
+                  "divisible");
+}
+
+TEST(RegistryValidation, RejectsPhysicallyInconsistentRates) {
+  // Saturation above theoretical peak.
+  mach::ClusterSpec spec = mach::cluster_a();
+  spec.cpu.sat_bw_per_domain_Bps = spec.cpu.theor_bw_per_domain_Bps * 2.0;
+  EXPECT_THROW(mach::validate_machine(spec), std::runtime_error);
+  // Single core faster than the saturated domain.
+  spec = mach::cluster_a();
+  spec.cpu.per_core_mem_bw_Bps = spec.cpu.sat_bw_per_domain_Bps * 2.0;
+  EXPECT_THROW(mach::validate_machine(spec), std::runtime_error);
+  // SIMD slower than scalar.
+  spec = mach::cluster_a();
+  spec.cpu.simd_flops_per_cycle = spec.cpu.scalar_flops_per_cycle / 2.0;
+  EXPECT_THROW(mach::validate_machine(spec), std::runtime_error);
+  // DRAM max below idle.
+  spec = mach::cluster_a();
+  spec.cpu.dram_max_power_per_domain_w =
+      spec.cpu.dram_idle_power_per_domain_w - 1.0;
+  EXPECT_THROW(mach::validate_machine(spec), std::runtime_error);
+}
+
+TEST(RegistryValidation, RejectsNonPositiveValues) {
+  expect_rejected(patched(valid_descriptor(), "\"base_clock_hz\": 2.4e9",
+                          "\"base_clock_hz\": 0"),
+                  "base_clock_hz");
+  expect_rejected(patched(valid_descriptor(), "\"link_bw_Bps\": 12.5e9",
+                          "\"link_bw_Bps\": -1"),
+                  "link_bw_Bps");
+  expect_rejected(patched(valid_descriptor(), "\"max_nodes\": 24",
+                          "\"max_nodes\": 0"),
+                  "max_nodes");
+  expect_rejected(patched(valid_descriptor(), "\"cores_per_socket\": 36",
+                          "\"cores_per_socket\": 0"),
+                  "cores_per_socket");
+}
+
+TEST(RegistryParsing, RejectsUnknownKeys) {
+  expect_rejected(
+      patched(valid_descriptor(), "\"schema_version\": 1",
+              "\"schema_version\": 1, \"warp_factor\": 9"),
+      "warp_factor");
+  expect_rejected(patched(valid_descriptor(), "\"base_clock_hz\"",
+                          "\"boost_clock_hz\""),
+                  "boost_clock_hz");
+}
+
+TEST(RegistryParsing, RejectsMissingRequiredFields) {
+  expect_rejected(patched(valid_descriptor(),
+                          "\"backend\": \"cpu\",", ""),
+                  "backend");
+  expect_rejected(patched(valid_descriptor(),
+                          ",\n    \"sender_overhead_s\": 0.3e-6", ""),
+                  "sender_overhead_s");
+}
+
+TEST(RegistryParsing, RejectsWrongTypes) {
+  expect_rejected(patched(valid_descriptor(), "\"base_clock_hz\": 2.4e9",
+                          "\"base_clock_hz\": \"fast\""),
+                  "base_clock_hz");
+  expect_rejected(patched(valid_descriptor(), "\"l3_is_victim_cache\": true",
+                          "\"l3_is_victim_cache\": 1"),
+                  "l3_is_victim_cache");
+}
+
+TEST(RegistryParsing, RejectsBadBackendAndSchemaVersion) {
+  expect_rejected(patched(valid_descriptor(), "\"backend\": \"cpu\"",
+                          "\"backend\": \"asic\""),
+                  "backend");
+  expect_rejected(patched(valid_descriptor(), "\"schema_version\": 1",
+                          "\"schema_version\": 99"),
+                  "schema_version");
+}
+
+TEST(RegistryParsing, RejectsMalformedDocuments) {
+  expect_rejected("", "machine descriptor");
+  expect_rejected("[1,2,3]", "object");
+  expect_rejected("{\"schema_version\":1", "machine descriptor");
+  const std::string text = valid_descriptor();
+  expect_rejected(text.substr(0, text.size() / 2), "machine descriptor");
+  // Duplicate keys are a parser-level error.
+  expect_rejected(patched(text, "\"schema_version\": 1",
+                          "\"schema_version\": 1, \"schema_version\": 1"),
+                  "duplicate");
+}
+
+TEST(RegistryParsing, RejectsOversizedInput) {
+  std::string huge = valid_descriptor();
+  huge.replace(huge.find('{') + 1, 0,
+               "\"pad\": \"" + std::string(spechpc::util::kMaxJsonBytes, 'x') +
+                   "\",");
+  EXPECT_THROW(static_cast<void>(mach::parse_machine_json(huge)),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -60,7 +60,7 @@ TEST(Report, ValidatorRejectsDocumentsMissingRequiredKeys) {
 
 TEST(Report, SchemaV2CarriesEnergyTimelineAndRegionEnergy) {
   const auto rep = sample_report();
-  ASSERT_EQ(perf::kRunReportSchemaVersion, 3);
+  ASSERT_EQ(perf::kRunReportSchemaVersion, 4);
   // build_report populated the new sections (trace + regions were on).
   EXPECT_GT(rep.energy_timeline.wall_s(), 0.0);
   EXPECT_GT(rep.energy_timeline.total_energy_j(), 0.0);
@@ -71,7 +71,7 @@ TEST(Report, SchemaV2CarriesEnergyTimelineAndRegionEnergy) {
   EXPECT_NEAR(sum_j, rep.energy_timeline.total_energy_j(),
               1e-9 * rep.energy_timeline.total_energy_j());
   const std::string text = perf::to_json(rep);
-  EXPECT_NE(text.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(text.find("\"energy_timeline\""), std::string::npos);
   EXPECT_NE(text.find("\"region_energy\""), std::string::npos);
   EXPECT_NE(text.find("\"busy_simd_seconds\""), std::string::npos);
@@ -115,9 +115,9 @@ TEST(Report, ValidatorRejectsPreviousSchemaVersion) {
   // A document tagged with the previous schema version must be rejected on
   // the version check alone, whatever sections it carries.
   std::string v1 = perf::to_json(sample_report());
-  const auto pos = v1.find("\"schema_version\":3");
+  const auto pos = v1.find("\"schema_version\":4");
   ASSERT_NE(pos, std::string::npos);
-  v1.replace(pos, 18, "\"schema_version\":2");
+  v1.replace(pos, 18, "\"schema_version\":3");
   std::string err;
   EXPECT_TRUE(perf::is_valid_json(v1, &err)) << err;
   EXPECT_FALSE(perf::validate_run_report_json(v1, &err));

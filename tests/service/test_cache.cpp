@@ -50,6 +50,81 @@ TEST(Cache, LruEvictionOrder) {
   EXPECT_EQ(c.stats().evictions, 1u);
 }
 
+TEST(Cache, ByteBudgetEvictsBySize) {
+  // 3 entries of ~100 accounted bytes fit a 350-byte budget; a fourth pushes
+  // the total over and the LRU tail goes, even though the 128-entry default
+  // cap is nowhere near.
+  service::CacheConfig cfg;
+  cfg.memory_bytes = 350;
+  service::ResultCache c(cfg);
+  const std::string v(99, 'v');  // key "a" + value = 100 accounted bytes
+  c.put("a", v);
+  c.put("b", v);
+  c.put("c", v);
+  EXPECT_EQ(c.memory_size(), 3u);
+  EXPECT_EQ(c.memory_bytes(), 300u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  c.put("d", v);
+  EXPECT_EQ(c.memory_keys(), (std::vector<std::string>{"d", "c", "b"}));
+  EXPECT_EQ(c.memory_bytes(), 300u);
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, OversizedReportCannotPinManySlots) {
+  // The motivating bug: one 100k-rank report used to occupy a single slot
+  // of an entries-only budget, leaving 127 more huge reports resident.
+  // With a byte budget, a giant entry evicts everything else but itself
+  // (most recent always stays resident) and the next put displaces it.
+  service::CacheConfig cfg;
+  cfg.memory_bytes = 1000;
+  service::ResultCache c(cfg);
+  c.put("small1", "x");
+  c.put("small2", "y");
+  c.put("giant", std::string(5000, 'g'));
+  EXPECT_EQ(c.memory_keys(), (std::vector<std::string>{"giant"}));
+  EXPECT_EQ(c.stats().evictions, 2u);
+  c.put("after", "z");
+  EXPECT_EQ(c.memory_keys(), (std::vector<std::string>{"after"}));
+}
+
+TEST(Cache, ByteAccountingTracksOverwrites) {
+  service::CacheConfig cfg;
+  cfg.memory_bytes = 10000;
+  service::ResultCache c(cfg);
+  c.put("k", std::string(100, 'a'));
+  EXPECT_EQ(c.memory_bytes(), 101u);
+  c.put("k", std::string(500, 'b'));  // overwrite re-accounts, no duplicate
+  EXPECT_EQ(c.memory_bytes(), 501u);
+  c.put("k", "s");
+  EXPECT_EQ(c.memory_bytes(), 2u);
+  EXPECT_EQ(c.memory_size(), 1u);
+}
+
+TEST(Cache, EntriesCapStillAppliesUnderByteBudget) {
+  service::CacheConfig cfg;
+  cfg.memory_entries = 2;
+  cfg.memory_bytes = 1 << 20;
+  service::ResultCache c(cfg);
+  c.put("a", "1");
+  c.put("b", "2");
+  c.put("c", "3");
+  EXPECT_EQ(c.memory_keys(), (std::vector<std::string>{"c", "b"}));
+}
+
+TEST(Cache, ByteEvictionFallsBackToDiskTier) {
+  TempDir dir;
+  service::CacheConfig cfg;
+  cfg.dir = dir.path;
+  cfg.memory_bytes = 64;
+  service::ResultCache c(cfg);
+  const std::string big(60, 'p');
+  c.put("first", big);
+  c.put("second", big);  // byte budget evicts "first" from memory
+  EXPECT_EQ(c.memory_keys(), (std::vector<std::string>{"second"}));
+  EXPECT_EQ(c.get("first"), big);  // disk copy survives
+  EXPECT_EQ(c.stats().disk_hits, 1u);
+}
+
 TEST(Cache, DiskTierSurvivesMemoryEviction) {
   TempDir dir;
   service::ResultCache c({dir.path, /*memory_entries=*/1});

@@ -1,7 +1,9 @@
 // spechpc_cli: command-line front end of the library for downstream users.
 //
 //   spechpc_cli list
-//   spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]
+//   spechpc_cli machines
+//   spechpc_cli run   <app> [--cluster A|B | --machine NAME|file.json]
+//                     [--workload tiny|small]
 //                     [--ranks N | --nodes N] [--steps N] [--eager]
 //                     [--regions] [--report out.json]
 //                     [--faults plan.json] [--watchdog throw|diagnose]
@@ -32,6 +34,7 @@
 #include <vector>
 
 #include "core/spechpc.hpp"
+#include "machine/registry.hpp"
 #include "core/sweep.hpp"
 #include "core/zplot.hpp"
 #include "power/energy_timeline.hpp"
@@ -48,6 +51,7 @@ struct Args {
   std::string command;
   std::string app;
   std::string cluster = "A";
+  std::string machine;  // registry id/name or descriptor file (beats --cluster)
   std::string workload = "tiny";
   std::optional<int> ranks;
   std::optional<int> nodes;
@@ -79,7 +83,9 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  spechpc_cli list\n"
-         "  spechpc_cli run   <app> [--cluster A|B] [--workload tiny|small]\n"
+         "  spechpc_cli machines\n"
+         "  spechpc_cli run   <app> [--cluster A|B | --machine NAME|file.json]\n"
+         "                    [--workload tiny|small]\n"
          "                    [--ranks N | --nodes N] [--steps N] [--eager]\n"
          "                    [--regions] [--report out.json]\n"
          "                    [--faults plan.json] [--watchdog throw|diagnose]\n"
@@ -96,6 +102,8 @@ int usage() {
          "                    --socket PATH [--deadline-ms N] [--retries N]\n"
          "                    [--idempotency-key K] [--report FILE|-]\n"
          "                    (plus the run/sweep flags above)\n"
+         "run/sweep/zplot/trace accept --machine NAME|file.json in place of\n"
+         "--cluster (see `spechpc_cli machines` for the builtin registry)\n"
          "use --report - to write report JSON to stdout\n";
   return 2;
 }
@@ -127,7 +135,7 @@ std::optional<Args> parse(int argc, char** argv) {
       }
       a.app = argv[i++];
     }
-  } else if (a.command != "list") {
+  } else if (a.command != "list" && a.command != "machines") {
     if (i >= argc || std::strncmp(argv[i], "--", 2) == 0) {
       std::cerr << "error: command '" << a.command
                 << "' requires an <app> argument\n";
@@ -177,6 +185,8 @@ std::optional<Args> parse(int argc, char** argv) {
       a.trace_out = next();
     } else if (flag == "--cluster") {
       a.cluster = next();
+    } else if (flag == "--machine") {
+      a.machine = next();
     } else if (flag == "--workload") {
       a.workload = next();
     } else if (flag == "--faults") {
@@ -280,16 +290,37 @@ void check_report_writable(const std::string& path) {
 /// suppressed so the output stays machine-parseable.
 bool report_to_stdout(const Args& a) { return a.report_out == "-"; }
 
-mach::ClusterSpec pick_cluster(const std::string& name) {
-  if (name == "A" || name == "a") return mach::cluster_a();
-  if (name == "B" || name == "b") return mach::cluster_b();
-  throw std::invalid_argument("unknown cluster (use A or B): " + name);
+/// --machine resolves through the registry (builtin id/name or a descriptor
+/// file path); otherwise the legacy --cluster A|B selection applies.
+mach::ClusterSpec pick_cluster(const Args& a) {
+  if (!a.machine.empty()) return mach::Registry::builtin().resolve(a.machine);
+  if (a.cluster == "A" || a.cluster == "a") return mach::cluster_a();
+  if (a.cluster == "B" || a.cluster == "b") return mach::cluster_b();
+  throw std::invalid_argument("unknown cluster (use A or B): " + a.cluster);
 }
 
 core::Workload pick_workload(const std::string& name) {
   if (name == "tiny") return core::Workload::kTiny;
   if (name == "small") return core::Workload::kSmall;
   throw std::invalid_argument("unknown workload (tiny|small): " + name);
+}
+
+int cmd_machines() {
+  perf::Table t({"id", "name", "backend", "axis", "per node", "peak GF/s",
+                 "sat GB/s", "TDP W"});
+  const auto& reg = mach::Registry::builtin();
+  for (const std::string& id : reg.names()) {
+    const mach::ClusterSpec& m = reg.get(id);
+    t.add_row({id, m.name, mach::to_string(m.backend),
+               mach::resource_axis(m.backend),
+               std::to_string(m.cores_per_node()),
+               perf::Table::num(m.cpu.peak_node_flops() / 1e9, 1),
+               perf::Table::num(m.cpu.sat_bw_per_node_Bps() / 1e9, 1),
+               perf::Table::num(m.cpu.tdp_per_socket_w *
+                                    m.cpu.sockets_per_node, 0)});
+  }
+  t.print(std::cout);
+  return 0;
 }
 
 int cmd_list() {
@@ -304,7 +335,7 @@ int cmd_list() {
 
 int cmd_run(const Args& a) {
   check_report_writable(a.report_out);
-  const auto cluster = pick_cluster(a.cluster);
+  const auto cluster = pick_cluster(a);
   auto app = core::make_app(a.app, pick_workload(a.workload));
   app->set_measured_steps(a.steps);
   app->set_warmup_steps(1);
@@ -441,7 +472,7 @@ int cmd_run(const Args& a) {
 
 int cmd_sweep(const Args& a) {
   check_report_writable(a.report_out);
-  const auto cluster = pick_cluster(a.cluster);
+  const auto cluster = pick_cluster(a);
   const int maxr =
       a.max_ranks > 0 ? a.max_ranks : cluster.cores_per_node();
   // Sweep points are independent simulations; run them on a worker pool
@@ -503,7 +534,7 @@ int cmd_sweep(const Args& a) {
 
 int cmd_zplot(const Args& a) {
   check_report_writable(a.report_out);
-  const auto cluster = pick_cluster(a.cluster);
+  const auto cluster = pick_cluster(a);
   core::ZplotOptions opts;
   opts.workload = pick_workload(a.workload);
   opts.measured_steps = a.steps;
@@ -544,7 +575,7 @@ int cmd_zplot(const Args& a) {
 }
 
 int cmd_trace(const Args& a) {
-  const auto cluster = pick_cluster(a.cluster);
+  const auto cluster = pick_cluster(a);
   auto app = core::make_app(a.app, pick_workload(a.workload));
   app->set_measured_steps(2);
   app->set_warmup_steps(1);
@@ -617,7 +648,11 @@ std::string client_envelope(const Args& a) {
     return "{\"id\":\"cli\",\"method\":\"" + m + "\"}";
   std::string params = "{\"app\":" + util::json_quote(a.app);
   params += ",\"workload\":" + util::json_quote(a.workload);
-  params += ",\"cluster\":" + util::json_quote(a.cluster);
+  // --machine forwards the registry name; the service resolves builtin
+  // machines only (never file paths -- the daemon must not read files named
+  // by clients), so a path here is rejected server-side.
+  params += ",\"cluster\":" +
+            util::json_quote(a.machine.empty() ? a.cluster : a.machine);
   if (m == "run") {
     if (a.ranks) params += ",\"ranks\":" + std::to_string(*a.ranks);
     if (a.nodes) params += ",\"nodes\":" + std::to_string(*a.nodes);
@@ -722,6 +757,7 @@ int main(int argc, char** argv) {
   if (!args) return usage();
   try {
     if (args->command == "list") return cmd_list();
+    if (args->command == "machines") return cmd_machines();
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "sweep") return cmd_sweep(*args);
     if (args->command == "zplot") return cmd_zplot(*args);

@@ -1,8 +1,8 @@
 // spechpcd: the long-running simulation service daemon.
 //
 //   spechpcd --socket PATH [--workers N] [--sweep-jobs N] [--max-queue N]
-//            [--cache-dir DIR] [--cache-entries N] [--deadline-ms N]
-//            [--retry-after-ms N] [--watchdog-ms N]
+//            [--cache-dir DIR] [--cache-entries N] [--cache-bytes N]
+//            [--deadline-ms N] [--retry-after-ms N] [--watchdog-ms N]
 //
 // Serves newline-delimited JSON requests (see src/service/service.hpp for
 // the envelope) over a Unix-domain socket.  Prints one "listening" line to
@@ -41,8 +41,9 @@ int usage() {
   std::cerr << "usage:\n"
                "  spechpcd --socket PATH [--workers N] [--sweep-jobs N]\n"
                "           [--max-queue N] [--cache-dir DIR]\n"
-               "           [--cache-entries N] [--deadline-ms N]\n"
-               "           [--retry-after-ms N] [--watchdog-ms N]\n";
+               "           [--cache-entries N] [--cache-bytes N]\n"
+               "           [--deadline-ms N] [--retry-after-ms N]\n"
+               "           [--watchdog-ms N]\n";
   return 2;
 }
 
@@ -86,6 +87,9 @@ std::optional<Args> parse(int argc, char** argv) {
       a.cfg.cache.dir = next();
     } else if (flag == "--cache-entries") {
       a.cfg.cache.memory_entries = static_cast<std::size_t>(next_int(1));
+    } else if (flag == "--cache-bytes") {
+      // 0 = unbounded; the LRU always keeps its most recent entry resident.
+      a.cfg.cache.memory_bytes = static_cast<std::size_t>(next_int(0));
     } else if (flag == "--deadline-ms") {
       a.cfg.default_deadline_s = next_int(1) / 1000.0;
     } else if (flag == "--retry-after-ms") {
