@@ -110,10 +110,11 @@ perf::RunReport build_report(const RunResult& result,
       rep.region_energy =
           power::attribute_region_energy(model, engine, rep.energy_timeline);
   }
-  rep.wait_states = perf::wait_state_rows(engine);
+  rep.wait_states = perf::wait_state_rows(engine, engine.threads());
   if (engine.graph_enabled()) {
-    rep.critical_path = perf::analyze_critical_path(
-        engine.event_graph(), engine.nranks(), engine.elapsed());
+    rep.critical_path =
+        perf::analyze_critical_path(engine.event_graph(), engine.nranks(),
+                                    engine.elapsed(), engine.threads());
     // The engine owns region ids; resolve them to paths (and, when the run
     // was traced with regions, to an energy-on-critical-path estimate that
     // scales the region's attributed energy by its path share).

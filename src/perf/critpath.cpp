@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <numeric>
+
+#include "perf/partask.hpp"
 
 namespace spechpc::perf {
 
 namespace {
+
+/// Everything the passes need to address one rank's events: its packed
+/// per-rank graph (19-byte rows in program order, which the engine
+/// guarantees is (t1, t0) ascending) and its global-id base.  All per-event
+/// access is a position into the rank's own rows -- sequential scans, no
+/// index, and one cache line per consumed event.
+struct RankRef {
+  const sim::EventGraph* g = nullptr;
+  std::uint64_t base = 0;
+};
 
 /// Chronological critical-path segments from the backward walk (which built
 /// them newest-first).
@@ -20,8 +33,8 @@ void finalize_segments(CriticalPath& cp) {
 
 }  // namespace
 
-CriticalPath analyze_critical_path(const std::vector<sim::GraphEvent>& graph,
-                                   int nranks, double makespan) {
+CriticalPath analyze_critical_path(const sim::EventGraphView& graph,
+                                   int nranks, double makespan, int threads) {
   CriticalPath cp;
   cp.computed = true;
   cp.makespan_s = makespan;
@@ -30,66 +43,109 @@ CriticalPath analyze_critical_path(const std::vector<sim::GraphEvent>& graph,
     cp.by_rank[static_cast<std::size_t>(r)].rank = r;
     cp.by_rank[static_cast<std::size_t>(r)].slack_s = makespan;
   }
-  if (graph.empty() || nranks <= 0) return cp;
+  if (graph.empty() || nranks <= 0 ||
+      graph.ranks.size() != static_cast<std::size_t>(nranks))
+    return cp;
+  const int T = threads < 1 ? 1 : threads;
+  const auto total = static_cast<std::size_t>(graph.total_events());
+  constexpr std::uint8_t kDepBit = sim::EventGraph::kDepBit;
 
-  // Per-rank event lists ordered by (t1, t0); the engine guarantees each
-  // rank's events arrive in program order, so a stable sort keeps equal
-  // keys deterministic under any partitioning.  The end time rides along
-  // with each index so the hot passes below (merge refill, walk skip) read
-  // 16-byte rank-local entries instead of chasing 64-byte events.
-  struct Ev {
-    double t1;
-    std::uint32_t idx;
-  };
-  std::vector<std::vector<Ev>> byrank(static_cast<std::size_t>(nranks));
-  for (std::uint32_t i = 0; i < graph.size(); ++i) {
-    const sim::GraphEvent& e = graph[i];
-    if (e.rank >= 0 && e.rank < nranks)
-      byrank[static_cast<std::size_t>(e.rank)].push_back(Ev{e.t1, i});
+  // ---- per-rank setup (parallel over ranks) -----------------------------
+  // The engine fills per-rank graphs in program order, which is (t1, t0)
+  // ascending; the check below is a safety net for hand-built graphs and
+  // rebuilds the offending rank in sorted order (a copy that never happens
+  // on engine-produced input).
+  std::vector<RankRef> rr(static_cast<std::size_t>(nranks));
+  std::vector<sim::EventGraph> own(static_cast<std::size_t>(nranks));
+  run_sharded(nranks, T, [&](int r) {
+    const auto ri = static_cast<std::size_t>(r);
+    const sim::EventGraph* g = graph.ranks[ri];
+    const std::vector<sim::PackedEvent>& ev = g->events();
+    bool sorted = true;
+    for (std::size_t i = 1; i < ev.size(); ++i) {
+      if (ev[i].t1 < ev[i - 1].t1 ||
+          (ev[i].t1 == ev[i - 1].t1 && ev[i].t0 < ev[i - 1].t0)) {
+        sorted = false;
+        break;
+      }
+    }
+    if (!sorted) {
+      std::vector<std::uint32_t> ids(ev.size());
+      std::iota(ids.begin(), ids.end(), 0u);
+      std::stable_sort(ids.begin(), ids.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         if (ev[a].t1 != ev[b].t1) return ev[a].t1 < ev[b].t1;
+                         return ev[a].t0 < ev[b].t0;
+                       });
+      own[ri] = g->reordered(ids);
+      g = &own[ri];
+    }
+    rr[ri] = RankRef{g, graph.rank_base[ri]};
+  });
+
+  // Fault-stall seconds per global event id (fault runs only).  Ranks own
+  // disjoint id ranges, so filling in parallel is race-free; entries
+  // accumulate in append order, reproducing the legacy
+  // `prev->fault_s += slice.fault_s` sum bitwise.
+  bool any_fault = false;
+  for (const RankRef& q : rr) any_fault |= q.g->faults() > 0;
+  std::vector<double> fault_acc;
+  if (any_fault) {
+    fault_acc.assign(total, 0.0);
+    run_sharded(nranks, T, [&](int r) {
+      const RankRef& q = rr[static_cast<std::size_t>(r)];
+      for (const sim::PackedFault& f : q.g->fault_rows())
+        fault_acc[static_cast<std::size_t>(q.base + f.event)] += f.seconds;
+    });
   }
-  const auto rank_order = [&graph](const Ev& a, const Ev& b) {
-    if (a.t1 != b.t1) return a.t1 < b.t1;
-    return graph[a.idx].t0 < graph[b.idx].t0;
-  };
-  for (auto& idx : byrank)  // program order already satisfies (t1, t0)
-    if (!std::is_sorted(idx.begin(), idx.end(), rank_order))
-      std::stable_sort(idx.begin(), idx.end(), rank_order);
 
   // ---- backward walk ----------------------------------------------------
   // Start at the rank whose last event ends the run; follow remotely-bound
   // blocking intervals across ranks and local progress otherwise.  Every
   // examined event is consumed (per-rank cursors only move down), so the
-  // walk terminates after at most |graph| + #gaps iterations.
+  // walk terminates after at most |graph| + #gaps iterations.  O(path), so
+  // it stays serial while everything around it fans out.
+  //
+  // Dependence rows are keyless (one row per kDepBit-tagged event, in event
+  // order), so each per-rank cursor carries a shadow dep cursor: the number
+  // of dep rows below the cursor.  The walk only ever moves cursors down,
+  // which keeps both exact.
   int rank = -1;
   double last = -std::numeric_limits<double>::infinity();
   for (int r = 0; r < nranks; ++r) {
-    const auto& idx = byrank[static_cast<std::size_t>(r)];
-    if (idx.empty()) continue;
-    if (idx.back().t1 > last) {
-      last = idx.back().t1;
+    const RankRef& q = rr[static_cast<std::size_t>(r)];
+    if (q.g->empty()) continue;
+    const double t1 = q.g->events().back().t1;
+    if (t1 > last) {
+      last = t1;
       rank = r;
     }
   }
   if (rank < 0) return cp;
 
   std::vector<std::size_t> cursor(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r)
+  std::vector<std::size_t> depcur(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
     cursor[static_cast<std::size_t>(r)] =
-        byrank[static_cast<std::size_t>(r)].size();
+        rr[static_cast<std::size_t>(r)].g->size();
+    depcur[static_cast<std::size_t>(r)] =
+        rr[static_cast<std::size_t>(r)].g->deps();
+  }
 
-  auto attribute = [&cp](int r, double a, double b, const sim::GraphEvent* ev,
-                         bool idle) {
+  auto attribute = [&cp](int r, double a, double b, bool idle,
+                         const sim::EventGraph* g, std::size_t pos,
+                         double fault_s) {
     if (b <= a) return;
     CritSegment s;
     s.rank = r;
     s.t_begin = a;
     s.t_end = b;
     s.idle = idle;
-    if (ev) {
-      s.activity = ev->activity;
-      s.cls = ev->cls;
-      s.region = ev->region;
-      s.fault_s = std::min(ev->fault_s, b - a);
+    if (g) {
+      s.activity = g->activity(static_cast<std::uint32_t>(pos));
+      s.cls = g->cls(static_cast<std::uint32_t>(pos));
+      s.region = g->region(static_cast<std::uint32_t>(pos));
+      s.fault_s = std::min(fault_s, b - a);
     }
     cp.segments.push_back(s);
   };
@@ -98,35 +154,52 @@ CriticalPath analyze_critical_path(const std::vector<sim::GraphEvent>& graph,
   while (t > 0.0) {
     ++cp.steps;
     const auto ri = static_cast<std::size_t>(rank);
-    const auto& idx = byrank[ri];
+    const sim::EventGraph& g = *rr[ri].g;
+    const std::vector<sim::PackedEvent>& ev = g.events();
     std::size_t& c = cursor[ri];
-    while (c > 0 && idx[c - 1].t1 > t) --c;  // skip off-path events
+    while (c > 0 && ev[c - 1].t1 > t) {  // skip off-path events
+      --c;
+      if (ev[c].tag & kDepBit) --depcur[ri];
+    }
     if (c == 0) {
       // No recorded event before t on this rank: it sat unblocked (e.g. it
       // started the run here).  Attribute the head as idle and stop.
-      attribute(rank, 0.0, t, nullptr, true);
+      attribute(rank, 0.0, t, true, nullptr, 0, 0.0);
       t = 0.0;
       break;
     }
-    const sim::GraphEvent& ev = graph[idx[c - 1].idx];
-    if (ev.t1 < t) {
+    const std::size_t pos = c - 1;
+    const double ev_t1 = ev[pos].t1;
+    if (ev_t1 < t) {
       // Gap between recorded events: the rank was runnable but idle.
-      attribute(rank, ev.t1, t, nullptr, true);
-      t = ev.t1;
-      continue;  // re-examine ev at the gap's lower edge
+      attribute(rank, ev_t1, t, true, nullptr, 0, 0.0);
+      t = ev_t1;
+      continue;  // re-examine the event at the gap's lower edge
     }
-    --c;  // ev ends exactly at t: consume it
-    const bool remote = ev.origin_rank >= 0 && ev.origin_rank < nranks &&
-                        ev.origin_margin < 0.0 && ev.origin_time < t;
+    --c;  // the event ends exactly at t: consume it
+    const bool has_dep = (ev[pos].tag & kDepBit) != 0;
+    int origin_rank = -1;
+    double origin_time = 0.0, origin_margin = 0.0;
+    if (has_dep) {
+      const sim::PackedDep d = g.dep_rows()[--depcur[ri]];
+      origin_rank = d.rank;
+      origin_time = d.time;
+      origin_margin = d.margin;
+    }
+    const double fault_s =
+        any_fault ? fault_acc[static_cast<std::size_t>(rr[ri].base + pos)]
+                  : 0.0;
+    const bool remote = origin_rank >= 0 && origin_rank < nranks &&
+                        origin_margin < 0.0 && origin_time < t;
     if (remote) {
       // The interval was bound by the origin rank's action: charge the whole
       // dependence span here (waiting class), continue at the origin.
-      attribute(rank, ev.origin_time, t, &ev, false);
-      t = ev.origin_time;
-      rank = ev.origin_rank;
+      attribute(rank, origin_time, t, false, &g, pos, fault_s);
+      t = origin_time;
+      rank = origin_rank;
     } else {
-      attribute(rank, ev.t0, t, &ev, false);
-      t = ev.t0;
+      attribute(rank, ev[pos].t0, t, false, &g, pos, fault_s);
+      t = ev[pos].t0;
     }
   }
   // Telescoping: each iteration moved t down to the next segment boundary,
@@ -140,103 +213,226 @@ CriticalPath analyze_critical_path(const std::vector<sim::GraphEvent>& graph,
   // is the least over (a) its same-rank successor's float plus whatever
   // slack that successor's remote binding can absorb, and (b) the floats of
   // remote events it released, plus those dependences' spare margins.
-  // The global (t1 desc, rank asc, reverse-program-order) order is a k-way
-  // merge of the per-rank lists traversed backward: O(n log k) with a heap
-  // of one 16-byte cursor per rank, instead of an O(n log n) sort over the
-  // whole graph (the sort dominated the analysis at paper scale).
-  struct Cur {
+  //
+  // The consumption order is the unique (t1 desc, rank asc, reverse-program-
+  // order) total order -- a k-way merge of the per-rank rows traversed
+  // backward.  With one shard the merge feeds the recurrence directly; to
+  // parallelize its production without perturbing it, the time axis is cut
+  // into `T` shards by t1 *value* (so equal end times can never straddle a
+  // cut): each shard k-way-merges only the events whose t1 falls in its
+  // interval, into its own pre-sized slice of `order`, and the concatenated
+  // slices equal the serial merge output by uniqueness of the total order.
+  // Thread-count-invariant by construction.
+  const int S =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(T),
+                                             total));  // shards
+  // cuts[r * (S+1) + k]: events of rank r with t1 <= bound[k]; bound[0] is
+  // +inf and bound[S] is -inf, so shard s owns positions
+  // [cuts[s+1], cuts[s]) -- t1 in (bound[s+1], bound[s]].
+  std::vector<double> bound(static_cast<std::size_t>(S) + 1);
+  bound[0] = std::numeric_limits<double>::infinity();
+  bound[static_cast<std::size_t>(S)] =
+      -std::numeric_limits<double>::infinity();
+  for (int k = 1; k < S; ++k)
+    bound[static_cast<std::size_t>(k)] =
+        makespan * static_cast<double>(S - k) / static_cast<double>(S);
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(nranks) *
+                                (static_cast<std::size_t>(S) + 1));
+  run_sharded(nranks, T, [&](int r) {
+    const std::vector<sim::PackedEvent>& ev =
+        rr[static_cast<std::size_t>(r)].g->events();
+    std::size_t* row = &cuts[static_cast<std::size_t>(r) *
+                             (static_cast<std::size_t>(S) + 1)];
+    row[0] = ev.size();
+    row[S] = 0;
+    for (int k = 1; k < S; ++k) {
+      const double b = bound[static_cast<std::size_t>(k)];
+      row[static_cast<std::size_t>(k)] = static_cast<std::size_t>(
+          std::upper_bound(ev.begin(), ev.end(), b,
+                           [](double v, const sim::PackedEvent& e) {
+                             return v < e.t1;
+                           }) -
+          ev.begin());
+    }
+  });
+
+  // Replacement-selection merge of one shard: a manual binary max-heap over
+  // (t1, rank) with per-rank positions on the side.  Consuming an event
+  // replaces the root in place and sifts once -- half the data movement of
+  // pop_heap + push_heap, on 12-byte nodes.  (A 4-ary variant with run
+  // consumption was measured slower here: the heap is L1-resident, so the
+  // extra compares cost more than the saved depth, and lockstep workloads
+  // break ties across ranks every event.)
+  struct HEnt {
     double t1;
     std::int32_t rank;
-    std::uint32_t pos;
   };
-  const auto cur_less = [](const Cur& a, const Cur& b) {
-    if (a.t1 != b.t1) return a.t1 < b.t1;  // max-heap: largest t1 on top
-    return a.rank > b.rank;                // ties: smallest rank first
+  const auto outranks = [](const HEnt& a, const HEnt& b) {
+    if (a.t1 != b.t1) return a.t1 > b.t1;  // largest t1 first
+    return a.rank < b.rank;                // ties: smallest rank first
   };
-  std::vector<Cur> heap;
-  heap.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    const auto& idx = byrank[static_cast<std::size_t>(r)];
-    if (!idx.empty())
-      heap.push_back(
-          Cur{idx.back().t1, r, static_cast<std::uint32_t>(idx.size() - 1)});
-  }
-  std::make_heap(heap.begin(), heap.end(), cur_less);
-  std::vector<std::uint32_t> order;
-  order.reserve(graph.size());
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), cur_less);
-    Cur c = heap.back();
-    heap.pop_back();
-    const auto& idx = byrank[static_cast<std::size_t>(c.rank)];
-    order.push_back(idx[c.pos].idx);
-    if (c.pos > 0) {
-      --c.pos;
-      c.t1 = idx[c.pos].t1;
-      heap.push_back(c);
-      std::push_heap(heap.begin(), heap.end(), cur_less);
+  const auto sift_down = [&outranks](std::vector<HEnt>& h, std::size_t i) {
+    const std::size_t n = h.size();
+    const HEnt v = h[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && outranks(h[child + 1], h[child])) ++child;
+      if (!outranks(h[child], v)) break;
+      h[i] = h[child];
+      i = child;
     }
-  }
-  std::vector<double> flt(graph.size(), 0.0);
+    h[i] = v;
+  };
+  // Emits shard `s` in order, calling sink(rank, pos) per event.
+  const auto merge_shard = [&](int s, std::vector<std::size_t>& pos,
+                               auto&& sink) {
+    std::vector<HEnt> heap;
+    for (int r = 0; r < nranks; ++r) {
+      const std::size_t* row = &cuts[static_cast<std::size_t>(r) *
+                                     (static_cast<std::size_t>(S) + 1)];
+      if (row[s] == row[s + 1]) continue;
+      pos[static_cast<std::size_t>(r)] = row[s] - 1;
+      heap.push_back(
+          HEnt{rr[static_cast<std::size_t>(r)].g->events()[row[s] - 1].t1,
+               static_cast<std::int32_t>(r)});
+    }
+    for (std::size_t i = heap.size() / 2; i-- > 0;) sift_down(heap, i);
+    while (!heap.empty()) {
+      const int r = heap[0].rank;
+      const auto ri = static_cast<std::size_t>(r);
+      const std::size_t p = pos[ri];
+      sink(r, p);
+      const std::size_t stop = cuts[ri * (static_cast<std::size_t>(S) + 1) +
+                                    static_cast<std::size_t>(s) + 1];
+      if (p > stop) {
+        pos[ri] = p - 1;
+        heap[0].t1 = rr[ri].g->events()[p - 1].t1;
+      } else {
+        heap[0] = heap.back();
+        heap.pop_back();
+        if (heap.empty()) break;
+      }
+      sift_down(heap, 0);
+    }
+  };
+
+  // The float recurrence couples ranks through the pending heaps, so it
+  // consumes the merged order strictly serially.  Like the walk, it visits
+  // each rank's events in descending position, so the keyless dep rows
+  // resolve with one descending cursor per rank.
+  //
+  // Per-event floats are never materialized: the only consumers are the
+  // per-rank and per-region slack minima (folded inline -- min is exact, so
+  // fold order cannot change the result) and the pending-entry values
+  // (which use the float just computed).  Skipping the flt[] array removes
+  // one scattered 8 B write per event plus two full re-scan passes.
   constexpr double kNoSucc = -1.0;
   std::vector<double> succ_float(static_cast<std::size_t>(nranks), kNoSucc);
   std::vector<double> succ_absorb(static_cast<std::size_t>(nranks), 0.0);
+  std::vector<std::size_t> dcurf(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    dcurf[static_cast<std::size_t>(r)] =
+        rr[static_cast<std::size_t>(r)].g->deps();
   // Cross-rank constraints waiting for the origin-rank event that completes
-  // at or before the release time: a max-heap by release time per rank
-  // (consumption folds with min, so pop order inside a batch is free --
-  // node-based maps cost an allocation per edge here).
+  // at or before the release time.  Kept as a plain per-rank vector with
+  // linear fold-and-compact on consumption: the sets stay tiny (entries are
+  // released within a step or two in lockstep workloads), consumption folds
+  // with min so visit order inside a batch is free, and appends touch one
+  // tail cache line instead of sifting a heap.
   struct Pend {
     double time;
     double slack;
   };
-  const auto pend_less = [](const Pend& a, const Pend& b) {
-    return a.time < b.time;
-  };
   std::vector<std::vector<Pend>> pending(static_cast<std::size_t>(nranks));
-  for (const std::uint32_t i : order) {
-    const sim::GraphEvent& e = graph[i];
-    const auto ri = static_cast<std::size_t>(e.rank);
+  // Region slack minima, grown on demand (region ids are small dense ints).
+  std::vector<double> region_slack;
+  std::vector<char> region_seen;
+  const auto recurrence = [&](int r, std::size_t p) {
+    const auto ri = static_cast<std::size_t>(r);
+    const sim::EventGraph& g = *rr[ri].g;
+    const sim::PackedEvent e = g.events()[p];
     double f = succ_float[ri] == kNoSucc ? makespan - e.t1
                                          : succ_float[ri] + succ_absorb[ri];
     auto& pend = pending[ri];
-    while (!pend.empty() && pend.front().time >= e.t1) {
-      f = std::min(f, pend.front().slack);
-      std::pop_heap(pend.begin(), pend.end(), pend_less);
-      pend.pop_back();
+    if (!pend.empty()) {
+      std::size_t keep = 0;
+      for (std::size_t k = 0; k < pend.size(); ++k) {
+        if (pend[k].time >= e.t1) {
+          f = std::min(f, pend[k].slack);
+        } else {
+          pend[keep++] = pend[k];
+        }
+      }
+      pend.resize(keep);
     }
-    flt[i] = std::max(0.0, f);
-    if (e.origin_rank >= 0 && e.origin_rank < nranks) {
-      auto& opend = pending[static_cast<std::size_t>(e.origin_rank)];
-      opend.push_back(
-          Pend{e.origin_time, flt[i] + std::max(0.0, e.origin_margin)});
-      std::push_heap(opend.begin(), opend.end(), pend_less);
+    const double fl = std::max(0.0, f);
+    double absorb = 0.0;
+    if (e.tag & kDepBit) {
+      const sim::PackedDep d = g.dep_rows()[--dcurf[ri]];
+      if (d.rank >= 0 && d.rank < nranks) {
+        pending[static_cast<std::size_t>(d.rank)].push_back(
+            Pend{d.time, fl + std::max(0.0, d.margin)});
+      }
+      absorb = std::max(0.0, -d.margin);
     }
-    succ_float[ri] = flt[i];
-    succ_absorb[ri] =
-        e.origin_rank >= 0 ? std::max(0.0, -e.origin_margin) : 0.0;
-  }
-  for (std::uint32_t i = 0; i < graph.size(); ++i) {
-    auto& row = cp.by_rank[static_cast<std::size_t>(graph[i].rank)];
-    row.slack_s = std::min(row.slack_s, flt[i]);
+    succ_float[ri] = fl;
+    succ_absorb[ri] = absorb;
+    CritRankRow& row = cp.by_rank[ri];
+    row.slack_s = std::min(row.slack_s, fl);
+    const auto rid = static_cast<std::size_t>(e.region);
+    if (rid >= region_slack.size()) {
+      region_slack.resize(rid + 1, makespan);
+      region_seen.resize(rid + 1, 0);
+    }
+    region_seen[rid] = 1;
+    region_slack[rid] = std::min(region_slack[rid], fl);
+  };
+  if (S == 1) {
+    // Single shard: feed the recurrence straight from the merge (no
+    // materialized order array -- the common serial-analysis path).
+    std::vector<std::size_t> pos(static_cast<std::size_t>(nranks));
+    merge_shard(0, pos, recurrence);
+  } else {
+    struct OrdEnt {
+      std::int32_t rank;
+      std::uint32_t pos;
+    };
+    std::vector<std::size_t> shard_ofs(static_cast<std::size_t>(S) + 1, 0);
+    for (int s = 0; s < S; ++s) {
+      std::size_t n = 0;
+      for (int r = 0; r < nranks; ++r) {
+        const std::size_t* row = &cuts[static_cast<std::size_t>(r) *
+                                       (static_cast<std::size_t>(S) + 1)];
+        n += row[s] - row[s + 1];
+      }
+      shard_ofs[static_cast<std::size_t>(s) + 1] =
+          shard_ofs[static_cast<std::size_t>(s)] + n;
+    }
+    std::vector<OrdEnt> order(total);
+    run_sharded(S, T, [&](int s) {
+      std::vector<std::size_t> pos(static_cast<std::size_t>(nranks));
+      std::size_t out = shard_ofs[static_cast<std::size_t>(s)];
+      merge_shard(s, pos, [&](int r, std::size_t p) {
+        order[out++] = OrdEnt{static_cast<std::int32_t>(r),
+                              static_cast<std::uint32_t>(p)};
+      });
+    });
+    for (const OrdEnt& oe : order)
+      recurrence(oe.rank, static_cast<std::size_t>(oe.pos));
   }
 
   // ---- per-region aggregation -------------------------------------------
-  // Region ids are small dense ints; flat arrays keep this pass at one
-  // streaming read per event (a map lookup per event dominated the whole
-  // analysis at 1664 ranks).
-  int max_region = 0;
-  for (const sim::GraphEvent& e : graph) max_region = std::max(max_region, e.region);
-  std::vector<double> region_slack(static_cast<std::size_t>(max_region) + 1,
-                                   makespan);
+  // Slack minima were folded into the recurrence above; only the critical
+  // path's own region attribution (from the walked segments) remains.
   std::vector<double> region_cp(region_slack.size(), 0.0);
-  std::vector<char> region_seen(region_slack.size(), 0);
-  for (std::uint32_t i = 0; i < graph.size(); ++i) {
-    const auto rid = static_cast<std::size_t>(std::max(0, graph[i].region));
-    region_seen[rid] = 1;
-    region_slack[rid] = std::min(region_slack[rid], flt[i]);
-  }
   for (const CritSegment& s : cp.segments) {
     const auto rid = static_cast<std::size_t>(std::max(0, s.region));
+    if (rid >= region_slack.size()) {
+      region_slack.resize(rid + 1, makespan);
+      region_seen.resize(rid + 1, 0);
+      region_cp.resize(rid + 1, 0.0);
+    }
     region_seen[rid] = 1;
     region_cp[rid] += s.seconds();
   }

@@ -67,10 +67,21 @@ struct CriticalPath {
 /// Walks the retained graph backwards from `makespan` (the engine's
 /// elapsed()) and computes per-rank/per-region slack.  `nranks` sizes the
 /// by_rank table; ranks with no graph events get cp 0 / slack makespan.
-/// Deterministic: depends only on per-rank event order, which the engine
-/// guarantees is program order under any partitioning or thread count.
-CriticalPath analyze_critical_path(const std::vector<sim::GraphEvent>& graph,
-                                   int nranks, double makespan);
+///
+/// `graph` is the engine's zero-copy EventGraphView (per-rank packed
+/// columns, already in program order as recorded during the run); the view
+/// must stay valid for the duration of the call.  `threads` fans
+/// the per-rank preprocessing, the k-way merge (time-range sharded so equal
+/// end times never split) and the row reductions across that many workers.
+///
+/// Deterministic AND thread-count-invariant: the merge order is the unique
+/// (t1 desc, rank asc, reverse-program-order) total order whatever the
+/// sharding, the float recurrence consumes it serially, and every reduction
+/// is order-free (min over disjoint shards) -- so the result is bitwise
+/// identical for any `threads`.
+CriticalPath analyze_critical_path(const sim::EventGraphView& graph,
+                                   int nranks, double makespan,
+                                   int threads = 1);
 
 /// Per-class + per-rank summary tables of an extracted path.
 Table critical_path_class_table(const CriticalPath& cp);

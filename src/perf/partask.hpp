@@ -1,0 +1,46 @@
+// Minimal fork-join helper for the analysis passes (perf/critpath.cpp,
+// perf/waitstate.cpp): runs `fn(shard)` for every shard in [0, nshards)
+// across up to `threads` std::threads.
+//
+// The contract that keeps analysis output thread-count-invariant: shards
+// must be mutually independent (disjoint writes), and the caller must not
+// depend on which thread runs which shard or in what order.  The helper
+// itself guarantees only that every shard runs exactly once and that the
+// first-thrown exception (lowest thread index, deterministic) propagates.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace spechpc::perf {
+
+template <typename Fn>
+void run_sharded(int nshards, int threads, Fn&& fn) {
+  if (nshards <= 0) return;
+  const int T = threads < 1           ? 1
+                : threads > nshards   ? nshards
+                                      : threads;
+  if (T == 1) {
+    for (int s = 0; s < nshards; ++s) fn(s);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(T));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(T));
+  for (int w = 0; w < T; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        for (int s = w; s < nshards; s += T) fn(s);
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace spechpc::perf

@@ -297,7 +297,14 @@ std::string to_json(const RunReport& r) {
       .begin_obj()
       .kv("lookahead_s", e.lookahead_s)
       .kv("host_profiled", e.host_profiled)
-      .kv("barrier_wait_s", e.barrier_wait_s);
+      .kv("barrier_wait_s", e.barrier_wait_s)
+      // Event-graph retention cost, observable per run (all zero when the
+      // run did not retain the graph).  graph_slices / graph_events is the
+      // coalesce ratio.
+      .kv("graph_events", e.graph_events)
+      .kv("graph_slices", e.graph_slices)
+      .kv("graph_deps", e.graph_deps)
+      .kv("graph_bytes", e.graph_bytes);
   j.key("partitions").begin_arr();
   for (const sim::PartitionStats& ps : e.partitions) {
     j.begin_obj()
@@ -313,6 +320,10 @@ std::string to_json(const RunReport& r) {
         .kv("rendezvous_stall_s", ps.rendezvous_stall_s)
         .kv("exec_wall_s", ps.exec_wall_s)
         .kv("ingest_wall_s", ps.ingest_wall_s)
+        .kv("graph_events", ps.graph_events)
+        .kv("graph_slices", ps.graph_slices)
+        .kv("graph_deps", ps.graph_deps)
+        .kv("graph_bytes", ps.graph_bytes)
         .end_obj();
   }
   j.end_arr();

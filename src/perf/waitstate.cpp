@@ -3,22 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perf/partask.hpp"
+
 namespace spechpc::perf {
 
-std::vector<WaitStateRow> wait_state_rows(const sim::Engine& engine) {
-  std::vector<WaitStateRow> rows;
-  rows.reserve(static_cast<std::size_t>(engine.nranks()));
-  for (int r = 0; r < engine.nranks(); ++r) {
+std::vector<WaitStateRow> wait_state_rows(const sim::Engine& engine,
+                                          int threads) {
+  std::vector<WaitStateRow> rows(static_cast<std::size_t>(engine.nranks()));
+  // Row shards are disjoint and each row depends only on its own rank's
+  // accumulators, so any thread count produces identical rows.
+  run_sharded(engine.nranks(), threads, [&](int r) {
     const sim::WaitStateSeconds& w = engine.wait_states(r);
-    WaitStateRow row;
+    WaitStateRow& row = rows[static_cast<std::size_t>(r)];
     row.rank = r;
     row.late_sender_s = w.late_sender_s;
     row.late_receiver_s = w.late_receiver_s;
     row.collective_s = w.collective_s;
     row.fault_stall_s = w.fault_stall_s;
     row.mpi_s = engine.counters(r).mpi_time();
-    rows.push_back(row);
-  }
+  });
   return rows;
 }
 

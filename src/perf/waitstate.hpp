@@ -26,8 +26,11 @@ struct WaitStateRow {
 };
 
 /// Per-rank wait-state rows of a completed run (always available: the
-/// classification rides the normal accounting path).
-std::vector<WaitStateRow> wait_state_rows(const sim::Engine& engine);
+/// classification rides the normal accounting path).  `threads` fans the
+/// row fill across disjoint rank shards; the rows are pure per-rank copies,
+/// so the result is identical for any value.
+std::vector<WaitStateRow> wait_state_rows(const sim::Engine& engine,
+                                          int threads = 1);
 
 /// Largest |sum(classes) - mpi_s| over the rows, relative to max(1, mpi_s):
 /// the conservation defect (0 up to FP regrouping; tests gate it at 1e-9).

@@ -141,7 +141,10 @@ Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   clock_.assign(n, 0.0);
   counters_.assign(n, RankCounters{});
   wait_.assign(n, WaitStateSeconds{});
-  if (cfg_.enable_graph) graph_last_.assign(n, kNoGraphEvent);
+  if (cfg_.enable_graph) {
+    graph_last_.assign(n, kNoGraphEvent);
+    graph_ranks_.resize(n);
+  }
   snapshot_.assign(n, RankCounters{});
   measure_begin_.assign(n, 0.0);
   measuring_.assign(n, 0);
@@ -162,6 +165,73 @@ Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Dedicated-thread graph recording (serial engine + EngineConfig::
+// stream_graph).  The simulation thread batches raw slices into chunks and
+// ships them through a bounded SPSC queue; one consumer thread runs the same
+// record_graph() path inline recording would, so the retained graph is
+// byte-identical.  While the stream is live the simulation thread never
+// touches graph_ranks_ or graph_last_ -- the consumer owns them; finish()
+// joins before merge_partitions() reads them.
+
+struct Engine::GraphStream {
+  static constexpr std::size_t kChunk = 1024;
+
+  GraphStream(Engine* eng, int queue_chunks)
+      : eng_(eng),
+        q_(static_cast<std::size_t>(queue_chunks > 0 ? queue_chunks : 1)) {
+    buf_.reserve(kChunk);
+    consumer_ = std::thread([this] { consume(); });
+  }
+  ~GraphStream() { finish(true); }
+
+  void push(const GraphEvent& ge) {
+    buf_.push_back(ge);
+    if (buf_.size() >= kChunk) flush();
+  }
+
+  /// Flushes the tail, joins the consumer (so the graph is complete and
+  /// exclusively owned by the caller again) and rethrows any recording
+  /// error unless `swallow` (used when another exception is in flight).
+  /// Idempotent.
+  void finish(bool swallow = false) {
+    if (!finished_) {
+      finished_ = true;
+      flush();
+      q_.close();
+      consumer_.join();
+    }
+    if (error_ && !swallow) std::rethrow_exception(error_);
+  }
+
+ private:
+  void flush() {
+    if (buf_.empty()) return;
+    q_.push(std::move(buf_));
+    buf_.clear();
+    buf_.reserve(kChunk);
+  }
+  void consume() {
+    try {
+      while (auto chunk = q_.pop())
+        for (const GraphEvent& ge : *chunk) eng_->record_graph(ge);
+    } catch (...) {
+      error_ = std::current_exception();
+      // Keep draining (discarding) so the producer's bounded push never
+      // blocks forever; the error surfaces from finish().
+      while (q_.pop()) {
+      }
+    }
+  }
+
+  Engine* eng_;
+  BoundedSpscQueue<std::vector<GraphEvent>> q_;
+  std::vector<GraphEvent> buf_;  // producer-side chunk under fill
+  std::thread consumer_;
+  std::exception_ptr error_;
+  bool finished_ = false;
+};
 
 Engine::~Engine() {
   for (auto h : roots_)
@@ -219,10 +289,24 @@ void Engine::run(const RankFn& fn) {
     roots_.push_back(h);
     schedule(0.0, r, h);
   }
-  if (partitions_.size() == 1)
-    run_serial();
-  else
-    run_windowed();
+  if (cfg_.enable_graph && cfg_.stream_graph && partitions_.size() == 1)
+    graph_stream_ = std::make_unique<GraphStream>(this, cfg_.graph_queue_chunks);
+  try {
+    if (partitions_.size() == 1)
+      run_serial();
+    else
+      run_windowed();
+  } catch (...) {
+    if (graph_stream_) {
+      graph_stream_->finish(true);  // in-flight exception wins
+      graph_stream_.reset();
+    }
+    throw;
+  }
+  if (graph_stream_) {
+    graph_stream_->finish();
+    graph_stream_.reset();
+  }
   if (cfg_.enable_regions)  // credit each rank's tail to its open region
     for (int r = 0; r < cfg_.nranks; ++r) flush_region_window(r);
   merge_partitions();
@@ -564,8 +648,14 @@ void Engine::merge_partitions() {
     p.res_log = ResilienceLog{};
     timeline_ = std::move(p.timeline);
     p.timeline = Timeline{};
-    graph_ = std::move(p.graph);
-    p.graph = {};
+    if (cfg_.enable_graph) {
+      // Demux the staged raw slices (empty when the streaming recorder
+      // packed them during the run); graphs stay per rank and the analysis
+      // borrows them.
+      for (const GraphEvent& ge : p.graph_staging) record_graph(ge);
+      p.graph_staging = std::vector<GraphEvent>{};
+    }
+    build_graph_view();
     if (cfg_.enable_regions) {
       region_nodes_ = std::move(p.region_nodes);
       region_accum_ = std::move(p.region_accum);
@@ -629,31 +719,28 @@ void Engine::merge_partitions() {
     p.timeline = Timeline{};
   }
 
-  // Event graph: same partition-order concatenation and region remap.  The
-  // per-rank subsequences come out in each rank's program order -- all a
-  // rank's events live in one partition and were appended as it progressed
-  // -- which is the only ordering the critical-path analysis relies on.
+  // Event graph: demux each partition's staged raw slices into the per-rank
+  // packed graphs (a no-op when the streaming recorder already packed them
+  // during the run).  Processing one partition's staging at a time keeps
+  // the demux working set at that partition's rank tails -- a few dozen KB
+  // -- instead of thrashing the cache against live simulation state, which
+  // is the whole point of staging.  After the demux the packed per-rank
+  // graphs stay where they are and event_graph() exposes a zero-copy view;
+  // only the region column needs work: remap local ids to the merged tree
+  // in place (each rank's graph uses its owning partition's local ids).
+  // The graphs carry program order -- the only ordering the critical-path
+  // analysis relies on.
   if (cfg_.enable_graph) {
-    if (P == 1 && !cfg_.enable_regions) {
-      graph_ = std::move(partitions_[0].graph);
-      partitions_[0].graph = {};
-    } else {
-      std::size_t total = 0;
-      for (const auto& p : partitions_) total += p.graph.size();
-      graph_.reserve(total);
-      for (std::size_t pi = 0; pi < P; ++pi) {
-        Partition& p = partitions_[pi];
-        if (cfg_.enable_regions) {
-          for (GraphEvent ge : p.graph) {
-            ge.region = region_map[pi][static_cast<std::size_t>(ge.region)];
-            graph_.push_back(ge);
-          }
-        } else {
-          graph_.insert(graph_.end(), p.graph.begin(), p.graph.end());
-        }
-        p.graph = {};
-      }
+    for (auto& p : partitions_) {
+      for (const GraphEvent& ge : p.graph_staging) record_graph(ge);
+      p.graph_staging = std::vector<GraphEvent>{};
     }
+    if (cfg_.enable_regions)
+      for (int r = 0; r < cfg_.nranks; ++r)
+        graph_ranks_[static_cast<std::size_t>(r)].remap_regions(
+            region_map[static_cast<std::size_t>(
+                partition_of_rank_[static_cast<std::size_t>(r)])]);
+    build_graph_view();
   }
 
   // Resilience log: sum the counters and time-sort the merged event list
@@ -677,6 +764,19 @@ void Engine::merge_partitions() {
   std::stable_sort(
       res_log_.events.begin(), res_log_.events.end(),
       [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+}
+
+void Engine::build_graph_view() {
+  if (!cfg_.enable_graph) return;
+  graph_view_ = EventGraphView{};
+  graph_view_.nranks = cfg_.nranks;
+  graph_view_.ranks.reserve(graph_ranks_.size());
+  graph_view_.rank_base.reserve(graph_ranks_.size() + 1);
+  graph_view_.rank_base.push_back(0);
+  for (const EventGraph& g : graph_ranks_) {
+    graph_view_.ranks.push_back(&g);
+    graph_view_.rank_base.push_back(graph_view_.rank_base.back() + g.size());
+  }
 }
 
 std::uint64_t Engine::events_processed() const {
@@ -720,6 +820,19 @@ EngineStats Engine::stats() const {
     ps.rendezvous_stall_s = p.rzv_stall_s;
     ps.exec_wall_s = p.exec_wall_s;
     ps.ingest_wall_s = p.ingest_wall_s;
+    if (cfg_.enable_graph) {
+      for (int wr : p.ranks) {
+        const EventGraph& g = graph_ranks_[static_cast<std::size_t>(wr)];
+        ps.graph_events += g.size();
+        ps.graph_slices += g.slices();
+        ps.graph_deps += g.deps();
+        ps.graph_bytes += g.packed_bytes();
+      }
+      s.graph_events += ps.graph_events;
+      s.graph_slices += ps.graph_slices;
+      s.graph_deps += ps.graph_deps;
+      s.graph_bytes += ps.graph_bytes;
+    }
     s.partitions.push_back(ps);
   }
   auto fold = [&s](const IndexStats& is, std::size_t& hwm, bool promoted) {
@@ -878,29 +991,16 @@ void Engine::account(int rank, Activity a, double t0, double t1,
     ge.origin_rank = ctx.origin_rank;
     ge.origin_time = ctx.origin_time;
     ge.origin_margin = ctx.origin_margin;
-    std::vector<GraphEvent>& g = partition_of_rank(rank).graph;
-    // Coalesce adjacent slices of one op (protocol floor + wait phase of a
-    // send, say): a single op contributes at most one dependence edge, so
-    // merging slices that agree on class/activity/region and carry at most
-    // one origin between them loses nothing the walk or the float pass
-    // reads, and shrinks halo-exchange graphs ~3x.
-    GraphEvent* prev = graph_last_[r] != kNoGraphEvent
-                           ? &g[graph_last_[r]]
-                           : nullptr;
-    if (prev && prev->t1 == ge.t0 && prev->activity == ge.activity &&
-        prev->cls == ge.cls && prev->region == ge.region &&
-        !(prev->origin_rank >= 0 && ge.origin_rank >= 0)) {
-      prev->t1 = ge.t1;
-      prev->fault_s += ge.fault_s;
-      if (ge.origin_rank >= 0) {
-        prev->origin_rank = ge.origin_rank;
-        prev->origin_time = ge.origin_time;
-        prev->origin_margin = ge.origin_margin;
-      }
-    } else {
-      graph_last_[r] = static_cast<std::uint32_t>(g.size());
-      g.push_back(ge);
-    }
+    // With the serial engine's streaming recorder active the slice ships to
+    // the analysis thread, which packs it concurrently; otherwise it is
+    // staged in the partition's raw slice buffer (one sequential tail
+    // write) and packed at merge time.  Either way the retained graph is
+    // byte-identical: both paths replay the same slices in the same order
+    // through EventGraph::record().
+    if (graph_stream_)
+      graph_stream_->push(ge);
+    else
+      partition_of_rank(rank).graph_staging.push_back(ge);
   }
   // Label strings are only materialized on the (off-by-default) trace path;
   // with tracing disabled this function never allocates.
@@ -911,6 +1011,11 @@ void Engine::account(int rank, Activity a, double t0, double t1,
     iv.partition = p.id;
     p.timeline.record(std::move(iv));
   }
+}
+
+void Engine::record_graph(const GraphEvent& ge) {
+  const auto r = static_cast<std::size_t>(ge.rank);
+  graph_ranks_[r].record(ge, graph_last_[r]);
 }
 
 void Engine::record_interval(int rank, TraceInterval iv) {

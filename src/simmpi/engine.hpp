@@ -71,11 +71,20 @@ struct EngineConfig {
   /// default: the disabled path is a single branch per marker call and the
   /// simulated results are bit-identical either way (profiling is passive).
   bool enable_regions = false;
-  /// Retain the dependence-annotated event graph (one GraphEvent per booked
-  /// interval; see simmpi/waitgraph.hpp).  Off by default: retention costs
-  /// memory proportional to the event count.  The simulated results are
+  /// Retain the dependence-annotated event graph (column-packed EventGraph;
+  /// see simmpi/waitgraph.hpp).  Off by default: retention costs memory
+  /// proportional to the event count.  The simulated results are
   /// bit-identical either way -- the graph is a passive recording.
   bool enable_graph = false;
+  /// Overlap graph recording with simulation on a dedicated analysis thread
+  /// (serial engine only, i.e. a single partition; multi-partition runs
+  /// already record inside their own workers).  Raw slices are shipped in
+  /// chunks through a bounded SPSC queue; the retained graph is byte-
+  /// identical to inline recording.  Ignored unless enable_graph.
+  bool stream_graph = true;
+  /// Capacity (in chunks) of the streaming queue; a full queue blocks the
+  /// simulation thread (backpressure) rather than dropping slices.
+  int graph_queue_chunks = 64;
   /// Measure host wall-clock spent in partition execution / mailbox ingest /
   /// barrier waits (std::chrono, NOT virtual time).  Off by default so the
   /// reported stats stay deterministic: when off every *_wall_s field is
@@ -106,6 +115,11 @@ struct PartitionStats {
   std::size_t event_queue_hwm = 0;  ///< deepest event heap ever seen
   /// Rendezvous-stall seconds booked by this partition's ranks (virtual s).
   double rendezvous_stall_s = 0.0;
+  // Event-graph retention counters (all zero unless enable_graph).
+  std::uint64_t graph_events = 0;  ///< retained (coalesced) events
+  std::uint64_t graph_slices = 0;  ///< raw recorded slices pre-coalescing
+  std::uint64_t graph_deps = 0;    ///< events carrying a cross-rank edge
+  std::uint64_t graph_bytes = 0;   ///< packed retained bytes (event+dep+fault)
   // Host wall-clock self-profiling (EngineConfig::profile_host; exactly 0.0
   // when off -- these are the only non-deterministic fields in the stats).
   double exec_wall_s = 0.0;    ///< host seconds inside exec_window()
@@ -152,6 +166,14 @@ struct EngineStats {
   /// Host seconds workers spent blocked at window-boundary barriers, summed
   /// over workers (profile_host only; 0.0 on serial runs).
   double barrier_wait_s = 0.0;
+  // Event-graph retention aggregates (sums of the per-partition counters;
+  // all zero unless enable_graph).  graph_slices / graph_events is the
+  // coalesce ratio; graph_bytes is the packed retained size the compaction
+  // work is measured by.
+  std::uint64_t graph_events = 0;
+  std::uint64_t graph_slices = 0;
+  std::uint64_t graph_deps = 0;
+  std::uint64_t graph_bytes = 0;
   std::vector<PartitionStats> partitions;
 };
 
@@ -296,10 +318,15 @@ class Engine {
     return wait_[static_cast<std::size_t>(rank)];
   }
   bool graph_enabled() const { return cfg_.enable_graph; }
-  /// Retained event graph, merged in partition order (valid after run();
-  /// empty unless enable_graph).  Per-rank subsequences are in that rank's
-  /// program order whatever the partitioning.
-  const std::vector<GraphEvent>& event_graph() const { return graph_; }
+  /// Retained event graph as a zero-copy view over the per-rank packed
+  /// graphs filled during the run (valid after run(); empty unless
+  /// enable_graph).  Region ids are global (merge_partitions() remaps them
+  /// in place).  The view borrows from the engine: it is valid for the
+  /// engine's lifetime.
+  const EventGraphView& event_graph() const { return graph_view_; }
+  /// Configured worker-thread count (what analysis passes may fan out to;
+  /// results are thread-count-invariant either way).
+  int threads() const { return cfg_.threads; }
 
   // --- internal API used by Comm awaiters (not part of the public surface)
   struct OpResult {
@@ -722,9 +749,14 @@ class Engine {
     ResilienceLog res_log;
 
     Timeline timeline;
-    /// Retained event graph (cfg_.enable_graph only; region ids local until
-    /// merge_partitions() remaps them alongside the timeline).
-    std::vector<GraphEvent> graph;
+
+    /// Raw graph slices staged during the run (enable_graph without the
+    /// streaming recorder).  Appending here is one sequential tail write on
+    /// the hot path; the cache-unfriendly demux into the per-rank packed
+    /// graphs runs once at merge time, partition by partition, where the
+    /// working set is only this partition's rank tails.  Drained (and
+    /// freed) by merge_partitions().
+    std::vector<GraphEvent> graph_staging;
 
     // Partition-local region forest (node ids local; accumulators indexed by
     // [local node][local rank index]).  Grafted into one tree by run().
@@ -778,6 +810,13 @@ class Engine {
   /// / fault context of blocking intervals (defaulted for local ones).
   void account(int rank, Activity a, double t0, double t1,
                std::string_view label, const WaitCtx& ctx = {});
+  /// Coalesce-or-append one raw graph slice into the recording rank's
+  /// packed per-rank graph.  Called inline from account(), or from the
+  /// GraphStream consumer thread when the serial engine overlaps recording
+  /// (never both for one run).
+  void record_graph(const GraphEvent& ge);
+  /// Points graph_view_ at the per-rank graphs (no-op unless enable_graph).
+  void build_graph_view();
   Activity effective_activity(int rank, Activity a) const;
   /// Appends a fully built interval to the owning partition's timeline
   /// (stamps the partition id; used by collectives' ActivityScope).
@@ -814,12 +853,24 @@ class Engine {
   std::vector<double> clock_;
   std::vector<RankCounters> counters_;
   std::vector<WaitStateSeconds> wait_;  // per rank; written by account() only
-  std::vector<GraphEvent> graph_;       // merged by run() (enable_graph)
-  // Per-rank index of the rank's newest event in its partition's graph, used
-  // to coalesce adjacent slices of one op (a rank lives on one partition, so
-  // each slot is only ever touched by that partition's worker thread).
-  static constexpr std::uint32_t kNoGraphEvent = 0xffffffffu;
+  /// Zero-copy view over the per-rank graphs (built by merge_partitions()).
+  EventGraphView graph_view_;
+  /// One packed graph per world rank (cfg_.enable_graph only; region ids
+  /// partition-local until merge_partitions() remaps them).  Per-rank
+  /// storage is the streamed preprocessing that used to be a post-run
+  /// pass: rank separation and program order exist the moment the run
+  /// ends, and every analysis pass reads a rank's columns sequentially.
+  /// A rank lives on one partition, so each graph is only ever touched by
+  /// that partition's recorder.
+  std::vector<EventGraph> graph_ranks_;
+  // Per-rank slot of the rank's newest event in its graph, used to coalesce
+  // adjacent slices of one op.
+  static constexpr std::uint32_t kNoGraphEvent = EventGraph::kNoEvent;
   std::vector<std::uint32_t> graph_last_;
+  /// Dedicated-analysis-thread recorder (serial engine + stream_graph only);
+  /// see GraphStream in engine.cpp.
+  struct GraphStream;
+  std::unique_ptr<GraphStream> graph_stream_;
   double barrier_wait_s_ = 0.0;         // profile_host; summed over workers
   std::vector<RankCounters> snapshot_;
   std::vector<double> measure_begin_;

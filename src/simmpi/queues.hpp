@@ -23,8 +23,12 @@
 //    it replaces.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -182,6 +186,65 @@ class FlatHeap {
   }
 
   std::vector<T> v_;
+};
+
+/// Bounded single-producer/single-consumer handoff queue with blocking
+/// backpressure, used to ship completed graph-event chunks from the serial
+/// engine's simulation thread to its dedicated analysis thread.
+///
+/// Semantics the analysis overlap relies on (and tests assert):
+///   * push() blocks while the queue holds `capacity` items -- a slow
+///     consumer stalls the producer; nothing is ever dropped;
+///   * pop() returns items strictly in push order (FIFO);
+///   * close() wakes both sides: subsequent push() returns false (item not
+///     enqueued) and pop() drains the backlog before returning nullopt.
+template <typename T>
+class BoundedSpscQueue {
+ public:
+  explicit BoundedSpscQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks until there is room (backpressure).  Returns false iff the
+  /// queue was closed, in which case the item was not enqueued.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<T> q_;
+  bool closed_ = false;
 };
 
 }  // namespace spechpc::sim

@@ -28,7 +28,10 @@
 // critical path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <vector>
 
 #include "simmpi/counters.hpp"
 
@@ -79,7 +82,11 @@ struct WaitCtx {
   double origin_margin = 0.0;
 };
 
-/// One retained interval of the completed event graph (enable_graph only).
+/// One raw recorded interval, as produced by Engine::account() before
+/// compaction.  This is the interchange record between the recording site
+/// and EventGraph::record() (and the unit shipped over the streaming queue
+/// when the serial engine overlaps recording on a dedicated thread); the
+/// retained storage itself is the column-packed EventGraph below.
 struct GraphEvent {
   int rank = -1;
   double t0 = 0.0;
@@ -92,5 +99,253 @@ struct GraphEvent {
   double origin_time = 0.0;
   double origin_margin = 0.0;
 };
+
+#pragma pack(push, 1)
+/// One retained event, packed to 19 bytes (the storage unit of EventGraph).
+/// `tag` holds activity (4 bits), wait class (3 bits) and the has-dependence
+/// flag (kDepBit).  The struct is byte-packed so a million-event rank costs
+/// 19 MB, not 24; x86-64 and aarch64 load the unaligned doubles natively.
+struct PackedEvent {
+  double t0;
+  double t1;
+  std::uint16_t region;
+  std::uint8_t tag;
+};
+/// Keyless dependence row (20 bytes): slot k belongs to the k-th
+/// kDepBit-tagged event of the same rank, in event order.
+struct PackedDep {
+  std::int32_t rank;
+  double time;
+  double margin;
+};
+/// Sparse fault-stall row (12 bytes); duplicates per event are allowed and
+/// summed in append order at analysis time.
+struct PackedFault {
+  std::uint32_t event;
+  double seconds;
+};
+#pragma pack(pop)
+
+/// Row-packed retained event graph (one instance per world rank).
+///
+/// The old retained form was a flat std::vector<GraphEvent> at 64 B/event.
+/// This packs the hot per-event state into one 19-byte row and moves
+/// everything cold into side arrays:
+///
+///   * the rank is not stored at all: the engine keeps one graph per world
+///     rank, so rank identity and program order are both positional.  That
+///     also makes every analysis pass a sequential scan of the rank's own
+///     rows -- no per-event indirection through an index;
+///   * the cross-rank dependence fields (origin rank/time/margin) live in
+///     dep side rows with no key: coalescing admits at most one edge per
+///     event and the recording site only ever attaches an edge to the
+///     rank's newest event, so the dep-tagged events and the dep rows are
+///     two views of the same ascending sequence.  Slot k belongs to the
+///     k-th dep-tagged event, recoverable with a cursor while scanning;
+///   * fault-stall seconds live in a sparse (event, seconds) array that
+///     stays empty on fault-free runs.
+///
+/// Rows rather than parallel columns on purpose: record() is called from
+/// the engine's hot loop with the world's ranks round-robining, so the
+/// recording working set is one vector tail per rank per array.  One row
+/// vector keeps that at ~1 cache line per rank instead of 4, and the
+/// analysis passes consume whole events anyway (merge + float recurrence
+/// read every field of the event they pop), so the row layout feeds them
+/// one line per event too.
+///
+/// record() also performs the adjacent-slice coalescing that used to live in
+/// Engine::account(): slices agreeing on activity/class/region with at most
+/// one dependence between them merge into the rank's open event.  All of
+/// this is lossless -- replaying the same slices yields analysis output
+/// bitwise identical to the uncompacted representation.
+class EventGraph {
+ public:
+  static constexpr std::uint32_t kNoEvent = 0xffffffffu;
+  static constexpr std::uint8_t kDepBit = 0x80;
+
+  std::size_t size() const { return ev_.size(); }
+  bool empty() const { return ev_.empty(); }
+  /// Raw slices recorded (pre-coalescing); slices()/size() is the coalesce
+  /// ratio.
+  std::uint64_t slices() const { return slices_; }
+  std::size_t deps() const { return dep_.size(); }
+  std::size_t faults() const { return fault_.size(); }
+
+  /// Retained bytes of the graph (the compaction metric) -- actual vector
+  /// payload, not an estimate, thanks to the byte-packed rows.
+  std::uint64_t packed_bytes() const {
+    return static_cast<std::uint64_t>(size()) * kEventBytes +
+           static_cast<std::uint64_t>(deps()) * kDepBytes +
+           static_cast<std::uint64_t>(faults()) * kFaultBytes;
+  }
+  static constexpr std::uint64_t kEventBytes = sizeof(PackedEvent);  // 19
+  static constexpr std::uint64_t kDepBytes = sizeof(PackedDep);      // 20
+  static constexpr std::uint64_t kFaultBytes = sizeof(PackedFault);  // 12
+  static_assert(sizeof(PackedEvent) == 8 + 8 + 2 + 1);
+  static_assert(sizeof(PackedDep) == 4 + 8 + 8);
+  static_assert(sizeof(PackedFault) == 4 + 8);
+
+  double t0(std::uint32_t i) const { return ev_[i].t0; }
+  double t1(std::uint32_t i) const { return ev_[i].t1; }
+  Activity activity(std::uint32_t i) const {
+    return static_cast<Activity>(ev_[i].tag & 0x0f);
+  }
+  WaitClass cls(std::uint32_t i) const {
+    return static_cast<WaitClass>((ev_[i].tag >> 4) & 0x07);
+  }
+  bool has_dep(std::uint32_t i) const { return (ev_[i].tag & kDepBit) != 0; }
+  int region(std::uint32_t i) const { return ev_[i].region; }
+
+  /// Coalesce-or-append one raw slice.  `open` is the caller-owned slot of
+  /// this rank's newest (still-mutable) event (kNoEvent initially); it lives
+  /// outside the graph so the recording thread owns all mutable state.
+  /// Matches the legacy Engine::account() coalescing rule exactly.  Note the
+  /// coalescing guard `!(has_dep(i) && dep)`: an event never accumulates a
+  /// second dependence edge, which is what keeps the dep side arrays keyless
+  /// (one row per dep-tagged event, in event order).
+  void record(const GraphEvent& ge, std::uint32_t& open) {
+    ++slices_;
+    const bool dep = ge.origin_rank >= 0;
+    if (open != kNoEvent) {
+      PackedEvent& e = ev_[open];
+      if (e.t1 == ge.t0 &&
+          static_cast<Activity>(e.tag & 0x0f) == ge.activity &&
+          static_cast<WaitClass>((e.tag >> 4) & 0x07) == ge.cls &&
+          e.region == ge.region && !((e.tag & kDepBit) != 0 && dep)) {
+        e.t1 = ge.t1;
+        if (ge.fault_s != 0.0) push_fault(open, ge.fault_s);
+        if (dep) {
+          e.tag |= kDepBit;
+          push_dep(ge);
+        }
+        return;
+      }
+    }
+    if (ge.region < 0 || ge.region > 0xffff)
+      throw std::length_error("EventGraph: region id exceeds 16-bit storage");
+    if (size() >= static_cast<std::size_t>(kNoEvent))
+      throw std::length_error("EventGraph: rank exceeds 2^32-1 events");
+    const auto i = static_cast<std::uint32_t>(size());
+    ev_.push_back(PackedEvent{
+        ge.t0, ge.t1, static_cast<std::uint16_t>(ge.region),
+        static_cast<std::uint8_t>(
+            (static_cast<unsigned>(ge.activity) & 0x0f) |
+            ((static_cast<unsigned>(ge.cls) & 0x07) << 4) |
+            (dep ? kDepBit : 0))});
+    if (ge.fault_s != 0.0) push_fault(i, ge.fault_s);
+    if (dep) push_dep(ge);
+    open = i;
+  }
+
+  /// Rewrite partition-local region ids to merged global ids (merge step for
+  /// P > 1 runs with regions enabled).  `map[local] = global`.
+  void remap_regions(const std::vector<int>& map) {
+    for (PackedEvent& e : ev_) {
+      const int g = map[e.region];
+      if (g < 0 || g > 0xffff)
+        throw std::length_error(
+            "EventGraph: merged region id exceeds 16-bit storage");
+      e.region = static_cast<std::uint16_t>(g);
+    }
+  }
+
+  /// Copy with events permuted into `ids` order (ids is a permutation of
+  /// [0, size())).  Safety net for graphs not produced by the engine (whose
+  /// program order is already (t1, t0) sorted); dep rows follow their
+  /// events, fault rows keep their per-event append order.
+  EventGraph reordered(const std::vector<std::uint32_t>& ids) const {
+    EventGraph out;
+    out.slices_ = slices_;
+    // Old event id -> its dep slot (cursor over the keyless dep rows).
+    std::vector<std::uint32_t> dep_slot(size(), kNoEvent);
+    for (std::uint32_t i = 0, s = 0; i < size(); ++i)
+      if (ev_[i].tag & kDepBit) dep_slot[i] = s++;
+    std::vector<std::vector<std::size_t>> fault_rows(size());
+    for (std::size_t f = 0; f < fault_.size(); ++f)
+      fault_rows[fault_[f].event].push_back(f);
+    for (const std::uint32_t li : ids) {
+      const auto ni = static_cast<std::uint32_t>(out.size());
+      out.ev_.push_back(ev_[li]);
+      if (ev_[li].tag & kDepBit) out.dep_.push_back(dep_[dep_slot[li]]);
+      for (const std::size_t f : fault_rows[li])
+        out.push_fault(ni, fault_[f].seconds);
+    }
+    return out;
+  }
+
+  // Row storage, exposed read-only for the analysis pass.  The dep rows
+  // have no event-id field: slot k belongs to the k-th kDepBit-tagged
+  // event (scan with a cursor).
+  const std::vector<PackedEvent>& events() const { return ev_; }
+  const std::vector<PackedDep>& dep_rows() const { return dep_; }
+  const std::vector<PackedFault>& fault_rows() const { return fault_; }
+
+ private:
+  void push_dep(const GraphEvent& ge) {
+    dep_.push_back(PackedDep{ge.origin_rank, ge.origin_time, ge.origin_margin});
+  }
+  void push_fault(std::uint32_t i, double s) {
+    fault_.push_back(PackedFault{i, s});
+  }
+
+  std::vector<PackedEvent> ev_;
+  std::vector<PackedDep> dep_;
+  std::vector<PackedFault> fault_;
+  std::uint64_t slices_ = 0;
+};
+
+/// Non-owning view over the per-rank graphs the engine fills during the
+/// run.  Events carry implicit global ids (rank_base[rank] + position), so
+/// analysis never needs a merged copy of the graph and every pass reads a
+/// rank's rows sequentially.
+struct EventGraphView {
+  int nranks = 0;
+  /// One graph per world rank, in rank order (size == nranks).
+  std::vector<const EventGraph*> ranks;
+  /// nranks + 1 prefix sums of per-rank event counts (global-id bases).
+  std::vector<std::uint64_t> rank_base;
+
+  std::uint64_t total_events() const {
+    return rank_base.empty() ? 0 : rank_base.back();
+  }
+  bool empty() const { return total_events() == 0; }
+  std::uint64_t packed_bytes() const {
+    std::uint64_t b = 0;
+    for (const EventGraph* g : ranks) b += g->packed_bytes();
+    return b;
+  }
+};
+
+/// Owning per-rank graphs built by replaying raw slices through
+/// EventGraph::record() -- the reference (batch) construction used by tests
+/// and micro scenarios.
+struct BuiltEventGraph {
+  std::vector<EventGraph> ranks;
+
+  EventGraphView view() const {
+    EventGraphView v;
+    v.nranks = static_cast<int>(ranks.size());
+    v.rank_base.push_back(0);
+    for (const EventGraph& g : ranks) {
+      v.ranks.push_back(&g);
+      v.rank_base.push_back(v.rank_base.back() + g.size());
+    }
+    return v;
+  }
+};
+
+inline BuiltEventGraph build_event_graph(const std::vector<GraphEvent>& slices,
+                                         int nranks) {
+  BuiltEventGraph b;
+  b.ranks.resize(static_cast<std::size_t>(nranks));
+  std::vector<std::uint32_t> open(static_cast<std::size_t>(nranks),
+                                  EventGraph::kNoEvent);
+  for (const GraphEvent& ge : slices) {
+    if (ge.rank < 0 || ge.rank >= nranks) continue;
+    b.ranks[static_cast<std::size_t>(ge.rank)].record(
+        ge, open[static_cast<std::size_t>(ge.rank)]);
+  }
+  return b;
+}
 
 }  // namespace spechpc::sim

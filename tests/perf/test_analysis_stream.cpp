@@ -1,0 +1,344 @@
+// Streaming event-graph construction invariants (see simmpi/waitgraph.hpp
+// and engine.cpp GraphStream): moving the per-rank index construction and
+// slice coalescing onto a dedicated analysis thread must be invisible --
+// the retained graph, the wait-state rows and the critical path are bitwise
+// identical to inline (batch) recording, on clean runs and under the PR 3
+// drop/crash fault plans alike.  The analysis post-pass itself must be
+// thread-count invariant, and the bounded SPSC queue that feeds the
+// recording thread must stall the producer instead of dropping or
+// reordering slices.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spechpc.hpp"
+#include "machine/topology.hpp"
+#include "perf/critpath.hpp"
+#include "perf/waitstate.hpp"
+#include "resilience/resilience.hpp"
+#include "simmpi/queues.hpp"
+
+namespace core = spechpc::core;
+namespace mach = spechpc::mach;
+namespace perf = spechpc::perf;
+namespace res = spechpc::resilience;
+namespace sim = spechpc::sim;
+
+namespace {
+
+/// Forwards the cluster's real network costs but reports no lookahead
+/// floor, forcing the serial engine -- the only configuration where the
+/// dedicated recording thread engages (P == 1).
+class SerialReferenceNet final : public sim::NetworkModel {
+ public:
+  explicit SerialReferenceNet(const sim::NetworkModel* inner)
+      : inner_(inner) {}
+  sim::TransferCost transfer(int src, int dst, const sim::Placement& p,
+                             double bytes) const override {
+    return inner_->transfer(src, dst, p, bytes);
+  }
+  double control_latency(int src, int dst,
+                         const sim::Placement& p) const override {
+    return inner_->control_latency(src, dst, p);
+  }
+
+ private:
+  const sim::NetworkModel* inner_;
+};
+
+/// Owning field-by-field copy of every retained row (rank-concatenated),
+/// plus the per-rank event counts, so two engine runs can be compared after
+/// both engines are gone.
+struct GraphDump {
+  std::vector<double> t0, t1, dep_time, dep_margin, fault_s;
+  std::vector<std::uint16_t> region;
+  std::vector<std::uint8_t> tag;
+  std::vector<std::uint32_t> fault_event;
+  std::vector<std::int32_t> dep_rank;
+  std::vector<std::uint64_t> rank_base;
+  std::uint64_t slices = 0;
+
+  bool operator==(const GraphDump&) const = default;
+};
+
+GraphDump dump_graph(const sim::EventGraphView& v) {
+  GraphDump d;
+  for (const sim::EventGraph* g : v.ranks) {
+    for (const sim::PackedEvent& e : g->events()) {
+      d.t0.push_back(e.t0);
+      d.t1.push_back(e.t1);
+      d.region.push_back(e.region);
+      d.tag.push_back(e.tag);
+    }
+    for (const sim::PackedDep& dep : g->dep_rows()) {
+      d.dep_rank.push_back(dep.rank);
+      d.dep_time.push_back(dep.time);
+      d.dep_margin.push_back(dep.margin);
+    }
+    for (const sim::PackedFault& f : g->fault_rows()) {
+      d.fault_event.push_back(f.event);
+      d.fault_s.push_back(f.seconds);
+    }
+    d.slices += g->slices();
+  }
+  d.rank_base = v.rank_base;
+  return d;
+}
+
+struct Snapshot {
+  int partitions = 0;
+  double elapsed = 0.0;
+  sim::EngineStats stats;
+  std::vector<perf::WaitStateRow> waits;
+  perf::CriticalPath cp;
+  GraphDump dump;
+};
+
+Snapshot serial_run(const std::string& app_name, bool stream,
+                    const res::FaultPlan* plan = nullptr) {
+  auto app = core::make_app(app_name, core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  const mach::ClusterSpec cluster = mach::cluster_a();
+  const mach::RooflineComputeModel compute(cluster);
+  const mach::HdrNetworkModel network(cluster.net);
+  const SerialReferenceNet serial_net(&network);
+  std::optional<res::PlanFaultInjector> injector;
+  sim::EngineConfig cfg;
+  cfg.placement = mach::block_placement_on_nodes(cluster, 16, 2);
+  cfg.nranks = cfg.placement.nranks();
+  cfg.compute = &compute;
+  cfg.network = &serial_net;
+  cfg.enable_graph = true;
+  cfg.stream_graph = stream;
+  cfg.graph_queue_chunks = 2;  // tiny queue: the run exercises backpressure
+  if (plan) {
+    app->set_fault_plan(plan);
+    injector.emplace(*plan);
+    cfg.faults = &*injector;
+    cfg.watchdog.max_retries = 12;
+  }
+  sim::Engine engine(std::move(cfg));
+  engine.run(
+      [&](sim::Comm& c) -> sim::Task<> { return app->rank_main(c); });
+  Snapshot snap;
+  snap.partitions = engine.stats().partition_count;
+  snap.elapsed = engine.elapsed();
+  snap.stats = engine.stats();
+  snap.waits = perf::wait_state_rows(engine);
+  snap.cp = perf::analyze_critical_path(engine.event_graph(), engine.nranks(),
+                                        engine.elapsed());
+  snap.dump = dump_graph(engine.event_graph());
+  return snap;
+}
+
+void expect_identical(const Snapshot& batch, const Snapshot& streamed,
+                      const std::string& label) {
+  ASSERT_EQ(batch.partitions, 1) << label;
+  ASSERT_EQ(streamed.partitions, 1) << label;
+  EXPECT_EQ(batch.elapsed, streamed.elapsed) << label;
+  // The retained graph itself: every column, every per-rank index entry.
+  EXPECT_TRUE(batch.dump == streamed.dump) << label;
+  EXPECT_EQ(batch.stats.graph_events, streamed.stats.graph_events) << label;
+  EXPECT_EQ(batch.stats.graph_slices, streamed.stats.graph_slices) << label;
+  EXPECT_EQ(batch.stats.graph_deps, streamed.stats.graph_deps) << label;
+  EXPECT_EQ(batch.stats.graph_bytes, streamed.stats.graph_bytes) << label;
+  // ...and the analysis derived from it.
+  ASSERT_EQ(batch.waits.size(), streamed.waits.size()) << label;
+  for (std::size_t r = 0; r < batch.waits.size(); ++r) {
+    EXPECT_EQ(batch.waits[r].late_sender_s, streamed.waits[r].late_sender_s)
+        << label << " rank " << r;
+    EXPECT_EQ(batch.waits[r].fault_stall_s, streamed.waits[r].fault_stall_s)
+        << label << " rank " << r;
+    EXPECT_EQ(batch.waits[r].mpi_s, streamed.waits[r].mpi_s)
+        << label << " rank " << r;
+  }
+  EXPECT_EQ(batch.cp.length_s, streamed.cp.length_s) << label;
+  ASSERT_EQ(batch.cp.segments.size(), streamed.cp.segments.size()) << label;
+  for (std::size_t i = 0; i < batch.cp.segments.size(); ++i) {
+    EXPECT_EQ(batch.cp.segments[i].rank, streamed.cp.segments[i].rank)
+        << label << " seg " << i;
+    EXPECT_EQ(batch.cp.segments[i].t_begin, streamed.cp.segments[i].t_begin)
+        << label << " seg " << i;
+    EXPECT_EQ(batch.cp.segments[i].t_end, streamed.cp.segments[i].t_end)
+        << label << " seg " << i;
+  }
+}
+
+TEST(StreamingGraph, MatchesBatchRecordingBitwise) {
+  for (const char* app : {"lbm", "minisweep", "pot3d"}) {
+    const Snapshot batch = serial_run(app, /*stream=*/false);
+    const Snapshot streamed = serial_run(app, /*stream=*/true);
+    ASSERT_GT(batch.stats.graph_events, 0u) << app;
+    expect_identical(batch, streamed, app);
+  }
+}
+
+TEST(StreamingGraph, MatchesBatchUnderDropAndCrashFaultPlans) {
+  const res::FaultPlan drop_plan =
+      res::FaultPlan::parse(R"({"messages": [{"drop_prob": 0.25}]})");
+  const res::FaultPlan crash_plan = res::FaultPlan::parse(R"({
+    "crashes": [{"rank": 2, "time": 1e-9}],
+    "checkpoint": {"interval_steps": 2, "state_bytes_per_rank": 1e6,
+                   "restart_delay_s": 1e-3}
+  })");
+  {
+    const Snapshot batch = serial_run("lbm", false, &drop_plan);
+    const Snapshot streamed = serial_run("lbm", true, &drop_plan);
+    // Drops must actually have fired (fault-stall seconds retained)...
+    ASSERT_FALSE(batch.dump.fault_event.empty());
+    expect_identical(batch, streamed, "lbm+drops");
+  }
+  {
+    const Snapshot batch = serial_run("lbm", false, &crash_plan);
+    const Snapshot streamed = serial_run("lbm", true, &crash_plan);
+    expect_identical(batch, streamed, "lbm+crash");
+  }
+}
+
+// --- post-pass thread-count invariance -----------------------------------
+
+TEST(AnalysisThreads, PostPassIsThreadCountInvariant) {
+  auto app = core::make_app("minisweep", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.analyze = true;
+  const mach::ClusterSpec cluster = mach::cluster_a();
+  const core::RunResult r = core::run_benchmark(
+      *app, cluster, mach::block_placement_on_nodes(cluster, 16, 2), opts);
+  const sim::Engine& engine = r.engine();
+  ASSERT_EQ(engine.stats().partition_count, 2);  // the partitioned engine
+  const perf::CriticalPath ref = perf::analyze_critical_path(
+      engine.event_graph(), engine.nranks(), engine.elapsed(), 1);
+  const auto ref_rows = perf::wait_state_rows(engine, 1);
+  for (int threads : {2, 3, 4, 8}) {
+    const perf::CriticalPath cp = perf::analyze_critical_path(
+        engine.event_graph(), engine.nranks(), engine.elapsed(), threads);
+    EXPECT_EQ(cp.length_s, ref.length_s) << threads;
+    EXPECT_EQ(cp.makespan_s, ref.makespan_s) << threads;
+    ASSERT_EQ(cp.segments.size(), ref.segments.size()) << threads;
+    for (std::size_t i = 0; i < ref.segments.size(); ++i) {
+      EXPECT_EQ(cp.segments[i].rank, ref.segments[i].rank)
+          << threads << " seg " << i;
+      EXPECT_EQ(cp.segments[i].t_begin, ref.segments[i].t_begin)
+          << threads << " seg " << i;
+      EXPECT_EQ(cp.segments[i].t_end, ref.segments[i].t_end)
+          << threads << " seg " << i;
+    }
+    ASSERT_EQ(cp.by_rank.size(), ref.by_rank.size()) << threads;
+    for (std::size_t i = 0; i < ref.by_rank.size(); ++i) {
+      EXPECT_EQ(cp.by_rank[i].cp_s, ref.by_rank[i].cp_s)
+          << threads << " rank " << i;
+      EXPECT_EQ(cp.by_rank[i].slack_s, ref.by_rank[i].slack_s)
+          << threads << " rank " << i;
+    }
+    ASSERT_EQ(cp.by_region.size(), ref.by_region.size()) << threads;
+    for (std::size_t i = 0; i < ref.by_region.size(); ++i) {
+      EXPECT_EQ(cp.by_region[i].region, ref.by_region[i].region)
+          << threads << " region " << i;
+      EXPECT_EQ(cp.by_region[i].cp_s, ref.by_region[i].cp_s)
+          << threads << " region " << i;
+      EXPECT_EQ(cp.by_region[i].slack_s, ref.by_region[i].slack_s)
+          << threads << " region " << i;
+    }
+    const auto rows = perf::wait_state_rows(engine, threads);
+    ASSERT_EQ(rows.size(), ref_rows.size()) << threads;
+    for (std::size_t i = 0; i < ref_rows.size(); ++i) {
+      EXPECT_EQ(rows[i].rank, ref_rows[i].rank) << threads;
+      EXPECT_EQ(rows[i].late_sender_s, ref_rows[i].late_sender_s) << threads;
+      EXPECT_EQ(rows[i].late_receiver_s, ref_rows[i].late_receiver_s)
+          << threads;
+      EXPECT_EQ(rows[i].collective_s, ref_rows[i].collective_s) << threads;
+      EXPECT_EQ(rows[i].fault_stall_s, ref_rows[i].fault_stall_s) << threads;
+      EXPECT_EQ(rows[i].mpi_s, ref_rows[i].mpi_s) << threads;
+    }
+  }
+}
+
+// --- retained-size accounting --------------------------------------------
+
+TEST(GraphCounters, AccountForTheCompactedGraphAndReachTheReport) {
+  auto app = core::make_app("lbm", core::Workload::kTiny);
+  app->set_measured_steps(2);
+  app->set_warmup_steps(1);
+  core::RunOptions opts;
+  opts.analyze = true;
+  const mach::ClusterSpec cluster = mach::cluster_a();
+  const core::RunResult r = core::run_benchmark(
+      *app, cluster, mach::block_placement_on_nodes(cluster, 16, 2), opts);
+  const sim::EngineStats st = r.engine().stats();
+  EXPECT_GT(st.graph_events, 0u);
+  EXPECT_GE(st.graph_slices, st.graph_events);  // coalescing only shrinks
+  // Fault-free run: packed bytes are exactly events + dependence edges.
+  EXPECT_EQ(st.graph_bytes, st.graph_events * sim::EventGraph::kEventBytes +
+                                st.graph_deps * sim::EventGraph::kDepBytes);
+  // The acceptance bar: at least 40% below the legacy 64 B/event layout.
+  EXPECT_LE(st.graph_bytes, st.graph_events * 64 * 6 / 10);
+  const std::string json = perf::to_json(
+      core::build_report(r, cluster, "lbm", "tiny"));
+  EXPECT_TRUE(perf::validate_run_report_json(json));
+  EXPECT_NE(json.find("\"graph_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"graph_slices\""), std::string::npos);
+  EXPECT_NE(json.find("\"graph_bytes\""), std::string::npos);
+}
+
+// --- the bounded SPSC queue under the streaming path ---------------------
+
+TEST(BoundedSpscQueue, BackpressureStallsTheProducerWithoutDropOrReorder) {
+  sim::BoundedSpscQueue<int> q(2);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_TRUE(q.push(int(i)));
+      pushed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // With nobody popping, the producer's lead is bounded by the capacity:
+  // it completes exactly `capacity` pushes and then stalls inside the next.
+  while (pushed.load(std::memory_order_relaxed) < 2) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(pushed.load(std::memory_order_relaxed), 2);
+  // Slow consumer drains everything, in order: stalled, never dropped.
+  for (int i = 0; i < 64; ++i) {
+    const std::optional<int> v = q.pop();
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, i);
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(std::memory_order_relaxed), 64);
+}
+
+TEST(BoundedSpscQueue, CloseDrainsTheBacklogThenSignalsShutdown) {
+  sim::BoundedSpscQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  q.close();
+  EXPECT_FALSE(q.push(4));  // rejected, not silently queued
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedSpscQueue, CloseWakesABlockedProducer) {
+  sim::BoundedSpscQueue<int> q(1);
+  EXPECT_TRUE(q.push(0));
+  std::atomic<bool> rejected{false};
+  std::thread producer(
+      [&] { rejected.store(!q.push(1), std::memory_order_relaxed); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_TRUE(rejected.load(std::memory_order_relaxed));
+  EXPECT_EQ(q.pop().value(), 0);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+}  // namespace

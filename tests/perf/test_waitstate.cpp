@@ -12,6 +12,7 @@
 
 #include "core/spechpc.hpp"
 #include "machine/topology.hpp"
+#include "perf/critpath.hpp"
 #include "perf/waitstate.hpp"
 
 namespace core = spechpc::core;
@@ -98,7 +99,10 @@ struct AnalysisSnapshot {
   int partition_count = 0;
   double elapsed = 0.0;
   std::vector<perf::WaitStateRow> waits;
-  std::vector<sim::GraphEvent> graph;
+  /// Computed while the engine is alive: event_graph() is a borrowed view
+  /// into the engine's per-partition storage, so the analysis runs here and
+  /// only its (owning) result outlives the engine.
+  perf::CriticalPath cp;
 };
 
 AnalysisSnapshot engine_run(const std::string& app_name,
@@ -125,7 +129,8 @@ AnalysisSnapshot engine_run(const std::string& app_name,
   snap.partition_count = engine.stats().partition_count;
   snap.elapsed = engine.elapsed();
   snap.waits = perf::wait_state_rows(engine);
-  snap.graph = engine.event_graph();
+  snap.cp = perf::analyze_critical_path(engine.event_graph(), engine.nranks(),
+                                        engine.elapsed());
   return snap;
 }
 
@@ -152,10 +157,8 @@ TEST(WaitStateEngineIdentity, SerialAndParallelEnginesClassifyIdentically) {
     }
     // ...and bit-identical critical-path analysis (the global event-graph
     // order differs across partitionings; the analysis must not).
-    const perf::CriticalPath a =
-        perf::analyze_critical_path(serial.graph, 16, serial.elapsed);
-    const perf::CriticalPath b =
-        perf::analyze_critical_path(parallel.graph, 16, parallel.elapsed);
+    const perf::CriticalPath& a = serial.cp;
+    const perf::CriticalPath& b = parallel.cp;
     ASSERT_EQ(a.segments.size(), b.segments.size()) << app;
     for (std::size_t i = 0; i < a.segments.size(); ++i) {
       EXPECT_EQ(a.segments[i].rank, b.segments[i].rank) << app << " seg " << i;

@@ -414,12 +414,14 @@ int cmd_run(const Args& a) {
   if (!a.analyze.empty() && !report_to_stdout(a)) {
     if (a.analyze == "waits" || a.analyze == "all") {
       std::cout << "\nwait states (per-rank MPI-time classification):\n";
-      perf::wait_state_table(perf::wait_state_rows(r.engine()))
+      perf::wait_state_table(
+          perf::wait_state_rows(r.engine(), r.engine().threads()))
           .print(std::cout);
     }
     if (a.analyze == "critpath" || a.analyze == "all") {
       const perf::CriticalPath cp = perf::analyze_critical_path(
-          r.engine().event_graph(), r.engine().nranks(), r.engine().elapsed());
+          r.engine().event_graph(), r.engine().nranks(), r.engine().elapsed(),
+          r.engine().threads());
       std::cout << "\ncritical path (makespan "
                 << perf::Table::num(cp.makespan_s, 6) << " s, length "
                 << perf::Table::num(cp.length_s, 6) << " s, "
@@ -615,7 +617,8 @@ int cmd_trace(const Args& a) {
       const power::EnergyTimeline tl =
           power::analyze_timeline(power::PowerModel(cluster), r.engine(), 64);
       const perf::CriticalPath cp = perf::analyze_critical_path(
-          r.engine().event_graph(), r.engine().nranks(), r.engine().elapsed());
+          r.engine().event_graph(), r.engine().nranks(), r.engine().elapsed(),
+          r.engine().threads());
       perf::export_chrome_trace(r.engine().timeline(), *os, &tl, &cp);
     } else {
       perf::export_csv(r.engine().timeline(), *os);
